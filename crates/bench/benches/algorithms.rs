@@ -1,0 +1,45 @@
+//! End-to-end algorithm benchmarks: RC vs the three comparators on a
+//! miniature of the evaluation bench — the Criterion-tracked version of
+//! Table III (the full table comes from the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use incc_core::driver::{run_on_graph, CcAlgorithm};
+use incc_core::{
+    cracker::Cracker, hash_to_min::HashToMin, two_phase::TwoPhase, RandomisedContraction,
+};
+use incc_graph::generators::{gnm_random_graph, path_graph, PathNumbering};
+use incc_graph::EdgeList;
+use incc_mppdb::{Cluster, ClusterConfig};
+
+fn bench_on(c: &mut Criterion, label: &str, graph: &EdgeList) {
+    let algos: Vec<Box<dyn CcAlgorithm>> = vec![
+        Box::new(RandomisedContraction::paper()),
+        Box::new(HashToMin::default()),
+        Box::new(TwoPhase::default()),
+        Box::new(Cracker::default()),
+    ];
+    let mut group = c.benchmark_group(label.to_string());
+    group.sample_size(10);
+    for algo in algos {
+        group.bench_function(algo.name(), |b| {
+            b.iter_batched(
+                || Cluster::new(ClusterConfig::default()),
+                |db| {
+                    let mut seed = 0;
+                    seed += 1;
+                    run_on_graph(algo.as_ref(), &db, graph, seed).unwrap()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    bench_on(c, "gnm_5k_10k", &gnm_random_graph(5_000, 10_000, 3));
+    bench_on(c, "path_3k", &path_graph(3_000, PathNumbering::BitReversed, 0));
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Contraction-step benchmarks: the in-memory mirror of one algorithm
+//! round, used to compare randomisation methods at identical graph
+//! sizes (paper Section V-C).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use incc_core::gamma::{contract_once, contract_to_completion};
+use incc_ffield::Method;
+use incc_graph::generators::{gnm_random_graph, path_graph, PathNumbering};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_contract_once(c: &mut Criterion) {
+    let g = gnm_random_graph(10_000, 20_000, 7);
+    let mut group = c.benchmark_group("contract_once");
+    group.throughput(Throughput::Elements(g.edge_count() as u64));
+    group.sample_size(20);
+    for method in Method::ALL {
+        group.bench_function(method.name(), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let h = method.sample_round(&mut rng);
+                contract_once(black_box(&g.edges), |v| h.hash(v))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_contraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contract_to_completion");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000, 16_000] {
+        let g = path_graph(n, PathNumbering::Sequential, 0);
+        group.bench_function(format!("path_{n}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                contract_to_completion(black_box(&g.edges), Method::Gf64, seed).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contract_once, bench_full_contraction);
+criterion_main!(benches);

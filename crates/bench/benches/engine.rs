@@ -1,0 +1,107 @@
+//! Engine operator benchmarks: the cost of the SQL building blocks
+//! every algorithm round is assembled from (scan+aggregate, self-join,
+//! distinct), and the colocated-vs-shuffled join gap that underlies the
+//! paper's Section VII-C profile comparison.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use incc_graph::generators::{gnm_random_graph, PathNumbering};
+use incc_mppdb::{Cluster, ClusterConfig, ExecutionProfile};
+
+const N: usize = 20_000;
+const M: usize = 40_000;
+
+fn setup(profile: ExecutionProfile) -> Cluster {
+    let db = Cluster::new(ClusterConfig { profile, ..Default::default() });
+    let g = gnm_random_graph(N, M, 42);
+    db.load_pairs("e", "v1", "v2", &g.to_i64_pairs()).unwrap();
+    let _ = PathNumbering::Sequential; // keep the import meaningful
+    db
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(M as u64));
+    group.sample_size(20);
+
+    let db = setup(ExecutionProfile::Colocated);
+    group.bench_function("group_by_min", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                db.run("create table reps as select v1 as v, least(v1, min(v2)) as r \
+                        from e group by v1 distributed by (v)")
+                    .unwrap();
+                db.drop_table("reps").unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("self_join_colocated", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                db.run("create table j as select a.v1 as x, b.v2 as y \
+                        from e as a, e as b where a.v1 = b.v1 distributed by (x)")
+                    .unwrap();
+                db.drop_table("j").unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("distinct", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                db.run("create table d as select distinct v1, v2 from e").unwrap();
+                db.drop_table("d").unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("union_all_double", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                db.run("create table dd as select v1, v2 from e \
+                        union all select v2, v1 from e distributed by (v1)")
+                    .unwrap();
+                db.drop_table("dd").unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // The same join under the External profile always reshuffles.
+    let ext = setup(ExecutionProfile::External);
+    group.bench_function("self_join_external", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                ext.run("create table j as select a.v1 as x, b.v2 as y \
+                         from e as a, e as b where a.v1 = b.v1 distributed by (x)")
+                    .unwrap();
+                ext.drop_table("j").unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_sql_frontend(c: &mut Criterion) {
+    // Parse+plan cost per statement (amortised against multi-second
+    // query execution, this must stay negligible).
+    let db = setup(ExecutionProfile::Colocated);
+    c.bench_function("parse_and_plan_only", |b| {
+        b.iter(|| {
+            incc_mppdb::sql::parse_statement(
+                "select v1 v, least(v1, min(v2)) rep from e group by v1",
+            )
+            .unwrap()
+        })
+    });
+    drop(db);
+}
+
+criterion_group!(benches, bench_operators, bench_sql_frontend);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the randomisation primitives — the per-row cost
+//! behind the paper's Section V-C efficiency argument (finite fields
+//! are cheaper than encryption; both beat shipping random reals).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use incc_ffield::blowfish::Blowfish;
+use incc_ffield::gf64::{axplusb, gf64_inv};
+use incc_ffield::gfp::Gfp;
+use incc_ffield::strategy::mix64;
+
+fn bench_round_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("round_hash");
+    g.throughput(Throughput::Elements(1));
+    let (a, b) = (0x9e37_79b9_7f4a_7c15u64, 0x2545_f491_4f6c_dd1du64);
+    g.bench_function("gf64_axplusb", |bench| {
+        let mut x = 1u64;
+        bench.iter(|| {
+            x = axplusb(black_box(a), black_box(x), black_box(b));
+            x
+        })
+    });
+    g.bench_function("gfp_axb", |bench| {
+        let mut x = 1u64;
+        bench.iter(|| {
+            x = Gfp.axb(black_box(a % incc_ffield::gfp::P), black_box(x), black_box(123));
+            x
+        })
+    });
+    let bf = Blowfish::from_u128(0xDEAD_BEEF_0123_4567_89AB_CDEF_0011_2233);
+    g.bench_function("blowfish_encrypt", |bench| {
+        let mut x = 1u64;
+        bench.iter(|| {
+            x = bf.encrypt(black_box(x));
+            x
+        })
+    });
+    g.bench_function("mix64_random_reals", |bench| {
+        let mut x = 1u64;
+        bench.iter(|| {
+            x = mix64(black_box(x));
+            x
+        })
+    });
+    g.finish();
+}
+
+fn bench_key_schedule(c: &mut Criterion) {
+    // Blowfish's key schedule is the per-round fixed cost of the
+    // encryption method (one schedule per contraction round).
+    c.bench_function("blowfish_key_schedule", |bench| {
+        let mut k = 0u128;
+        bench.iter(|| {
+            k = k.wrapping_add(1);
+            Blowfish::from_u128(black_box(k))
+        })
+    });
+    c.bench_function("gf64_inverse", |bench| {
+        let mut a = 3u64;
+        bench.iter(|| {
+            a = a.wrapping_add(2) | 1;
+            gf64_inv(black_box(a))
+        })
+    });
+}
+
+criterion_group!(benches, bench_round_hashes, bench_key_schedule);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Hunt for the paper's Fig. 9 record graph (the highest-known
+//! contraction factor for an undirected graph, gamma = 81215/144144):
+//! exact-rational beam search over trees, parametric double stars, and
+//! simulated annealing over general graphs.
+use incc_core::gamma::{anneal_worst_gamma, exact_gamma_rational, tree_beam_search};
+fn main() {
+    let (tn, td) = (81215i128, 144144i128);
+    println!("target (paper Fig. 9): {tn}/{td} = {:.7}\n", tn as f64 / td as f64);
+    println!("tree beam search (exact rational gamma, beam 64):");
+    let mut best: (Vec<(u64, u64)>, i128, i128) = (Vec::new(), 0, 1);
+    for (n, edges, num, den) in tree_beam_search(16, 64) {
+        let exact = if num * td == den * tn { "  *** EXACT MATCH ***" } else { "" };
+        println!("  n={n:<2} best gamma {num}/{den} = {:.7}{exact}", num as f64 / den as f64);
+        if num * best.2 > best.1 * den {
+            best = (edges, num, den);
+        }
+    }
+    println!("\nannealing over general graphs (n=12..16):");
+    for n in [12usize, 14, 16] {
+        let (edges, g) = anneal_worst_gamma(n, 30_000, 3);
+        let (num, den) = exact_gamma_rational(&edges);
+        println!("  n={n}: gamma {num}/{den} = {g:.7}");
+        if num * best.2 > best.1 * den {
+            best = (edges, num, den);
+        }
+    }
+    println!(
+        "\nbest found: {}/{} = {:.7} (target {:.7}, diff {:+.2e})",
+        best.1,
+        best.2,
+        best.1 as f64 / best.2 as f64,
+        tn as f64 / td as f64,
+        best.1 as f64 / best.2 as f64 - tn as f64 / td as f64
+    );
+    println!("edges: {:?}", best.0);
+    if best.1 * td == best.2 * tn {
+        println!("*** The paper's Fig. 9 record graph has been rediscovered. ***");
+    }
+}

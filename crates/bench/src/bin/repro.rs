@@ -1,0 +1,450 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro all                # everything (the EXPERIMENTS.md run)
+//! repro table1             # measured rounds/space scaling
+//! repro table2             # dataset census
+//! repro table3             # runtimes + Table IV space + Table V written + RSD
+//! repro fig2               # path contraction factors
+//! repro fig5               # component-size histograms (log-log)
+//! repro gamma              # Theorem 1 / Appendix B contraction factors
+//! repro sparkcmp           # Section VII-C in-db vs external profile
+//! repro ablation           # RC variants × randomisation methods
+//!
+//! options: --scale <denom>  (default 20000; paper sizes are divided by this)
+//!          --runs <n>       (default 3)
+//!          --quick          (scale 100000, 1 run — smoke test)
+//!          --json <dir>     (write machine-readable records)
+//! ```
+
+use incc_bench::report::{
+    human_bytes, render_fig6, render_rsd, render_runtimes, render_space, render_table,
+    render_written,
+};
+use incc_bench::{
+    ablation, benchmark_suite, convergence, fig2_path_contraction, fig5_histograms,
+    gamma_experiment, gamma_search, large_scale_rounds, path_space_blowup, rounds_by_method,
+    spark_comparison, table1_scaling, table2_census, table3_algorithms, transaction_space,
+    union_find_baseline, Config,
+};
+use incc_graph::datasets::Dataset;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    experiment: String,
+    cfg: Config,
+    json_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut experiment = "all".to_string();
+    let mut cfg = Config::default();
+    let mut json_dir = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                cfg.scale_denom = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--runs" => {
+                cfg.runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--runs needs a number"));
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--quick" => {
+                cfg.scale_denom = 100_000;
+                cfg.runs = 1;
+            }
+            "--json" => {
+                json_dir = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--json needs a directory")),
+                ));
+            }
+            "--help" | "-h" => {
+                println!("see module docs: repro [all|table1|table2|table3|fig2|fig5|gamma|sparkcmp|ablation] [--scale N] [--runs N] [--quick] [--json DIR]");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => experiment = other.to_string(),
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+    Args { experiment, cfg, json_dir }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2)
+}
+
+fn save_json<T: Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+    let Some(dir) = dir else { return };
+    std::fs::create_dir_all(dir).expect("create json dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+        .expect("write json");
+    println!("  [json saved to {}]", path.display());
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = args.cfg;
+    println!(
+        "== In-database connected component analysis: reproduction ==\n\
+         scale denominator: {} (paper sizes / {}), runs per cell: {}, {} segments\n",
+        cfg.scale_denom, cfg.scale_denom, cfg.runs, cfg.segments
+    );
+    let t0 = Instant::now();
+    let run_all = args.experiment == "all";
+    match args.experiment.as_str() {
+        "all" | "table1" => table1(&cfg, &args.json_dir),
+        _ => {}
+    }
+    if run_all || args.experiment == "table2" {
+        table2(&cfg, &args.json_dir);
+    }
+    if run_all || args.experiment == "table3" {
+        table3(&cfg, &args.json_dir);
+    }
+    if run_all || args.experiment == "fig2" {
+        fig2(&cfg, &args.json_dir);
+    }
+    if run_all || args.experiment == "fig5" {
+        fig5(&cfg, &args.json_dir);
+    }
+    if run_all || args.experiment == "gamma" {
+        gamma(&cfg, &args.json_dir);
+    }
+    if run_all || args.experiment == "sparkcmp" {
+        sparkcmp(&cfg, &args.json_dir);
+    }
+    if run_all || args.experiment == "ablation" {
+        run_ablation(&cfg, &args.json_dir);
+    }
+    if !run_all
+        && !["table1", "table2", "table3", "fig2", "fig5", "gamma", "sparkcmp", "ablation"]
+            .contains(&args.experiment.as_str())
+    {
+        die(&format!("unknown experiment {:?}", args.experiment));
+    }
+    println!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn table1(cfg: &Config, json: &Option<PathBuf>) {
+    println!("-- Table I (measured): rounds as |V| doubles, G(n, 2n) random graphs --");
+    let algos = table3_algorithms();
+    let sizes = [2_000usize, 4_000, 8_000, 16_000];
+    let rows = table1_scaling(cfg, &algos, &sizes);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.clone(),
+                r.n.to_string(),
+                r.rounds.to_string(),
+                format!("{:.2}x", r.space_ratio),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["algorithm", "|V|", "rounds", "peak space"], &rendered));
+    save_json(json, "table1_rounds", &rows);
+
+    println!("-- Table I (measured): peak space on sequentially numbered paths --");
+    let sizes = [500usize, 1_000, 2_000, 4_000];
+    let rows = path_space_blowup(cfg, &algos, &sizes);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(a, n, ratio)| {
+            vec![
+                a.clone(),
+                n.to_string(),
+                ratio.map(|r| format!("{r:.1}x input")).unwrap_or_else(|| "DNF".into()),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["algorithm", "path length", "peak space"], &rendered));
+    println!("(Hash-to-Min's ratio grows with n — the Θ(|V|²) column of Table I.)\n");
+
+    println!("-- Table I (measured): large-scale rounds via in-memory mirrors --");
+    let rows = large_scale_rounds(cfg.seed);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(a, n, r)| vec![a.clone(), n.to_string(), r.to_string()])
+        .collect();
+    println!("{}", render_table(&["algorithm", "|V|", "rounds"], &rendered));
+    println!(
+        "(same per-round logic as the SQL algorithms, big enough to see the\n\
+         log vs log² trend; /pathunion rows are Two-Phase's worst case)\n"
+    );
+    save_json(json, "table1_large_scale", &rows);
+}
+
+fn table2(cfg: &Config, json: &Option<PathBuf>) {
+    println!("-- Table II: datasets (measured at 1/{} scale vs paper) --", cfg.scale_denom);
+    let rows = table2_census(cfg);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.vertices.to_string(),
+                r.edges.to_string(),
+                r.components.to_string(),
+                format!("{} M", r.paper_vertices_m),
+                format!("{} M", r.paper_edges_m),
+                format!("{} k", r.paper_components_k),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Dataset", "|V|", "|E|", "components", "paper |V|", "paper |E|", "paper comps"],
+            &rendered
+        )
+    );
+    save_json(json, "table2_census", &rows);
+}
+
+fn table3(cfg: &Config, json: &Option<PathBuf>) {
+    println!("-- Tables III/IV/V + Fig. 6: RC vs HM vs TP vs CR on all datasets --");
+    let algos = table3_algorithms();
+    let cells = benchmark_suite(cfg, &Dataset::TABLE2, &algos);
+    let unverified: Vec<_> = cells
+        .iter()
+        .flat_map(|c| c.runs.iter().map(move |r| (c, r)))
+        .filter(|(_, r)| !r.verified)
+        .map(|(c, _)| format!("{}/{}", c.dataset, c.algorithm))
+        .collect();
+    assert!(unverified.is_empty(), "unverified results: {unverified:?}");
+    println!("\nTable III — runtimes (seconds, mean of {} runs):", cfg.runs);
+    println!("{}", render_runtimes(&cells));
+    println!("Fig. 6 — in-database execution times:");
+    println!("{}", render_fig6(&cells));
+    println!("Section VII-B — relative standard deviation of runtimes:");
+    println!("{}", render_rsd(&cells));
+    println!("Table IV — maximum space used:");
+    println!("{}", render_space(&cells));
+    println!("Table V — total bytes written:");
+    println!("{}", render_written(&cells));
+    // The scalability headline: fit log(time) against log(|E|) over
+    // the Candels doubling series (paper: "runtime is essentially
+    // linear in the size of the graph").
+    let series: Vec<(f64, f64)> = cells
+        .iter()
+        .filter(|c| c.algorithm == "RC" && c.dataset.starts_with("Candels"))
+        .filter_map(|c| {
+            let secs = c.mean_secs()?;
+            let bytes = c.runs.first()?.input_bytes as f64;
+            Some((bytes.ln(), secs.ln()))
+        })
+        .collect();
+    if series.len() >= 3 {
+        let n = series.len() as f64;
+        let sx: f64 = series.iter().map(|p| p.0).sum();
+        let sy: f64 = series.iter().map(|p| p.1).sum();
+        let sxx: f64 = series.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = series.iter().map(|p| p.0 * p.1).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        println!(
+            "scalability: RC runtime ~ |E|^{slope:.2} over the Candels series \
+             (paper: \"essentially linear\", exponent ~1)\n"
+        );
+    }
+    println!("context: in-memory union-find (the sequential optimum, not in-database):");
+    for (ds, secs) in union_find_baseline(cfg, &Dataset::TABLE2) {
+        println!("  {ds}: {secs:.3}s");
+    }
+    println!("\ntransaction mode (drops deferred to commit; paper Table V rationale), Candels20:");
+    println!(
+        "{}",
+        render_table(
+            &["algorithm", "normal peak", "txn peak", "bytes written"],
+            &transaction_space(cfg, Dataset::Candels(20))
+                .iter()
+                .map(|(a, n, t, w)| vec![
+                    a.clone(),
+                    human_bytes(*n),
+                    human_bytes(*t),
+                    human_bytes(*w)
+                ])
+                .collect::<Vec<_>>()
+        )
+    );
+    println!("(transactional peak tracks bytes written, not the live working set)\n");
+    save_json(json, "table3_suite", &cells);
+}
+
+fn fig2(_cfg: &Config, json: &Option<PathBuf>) {
+    println!("-- Fig. 2: path-graph contraction factors --");
+    let r = fig2_path_contraction(1000, 100, 7);
+    println!(
+        "sequential numbering, identity order: shrink factor {:.4} (worst case ≈ 1 − 1/n)",
+        r.sequential_shrink
+    );
+    for (m, g) in &r.randomised_shrink {
+        println!("randomised ({m}): mean shrink factor {g:.4}");
+    }
+    println!("(randomisation contracts the path by half per round - far below the 3/4 bound)\n");
+    save_json(json, "fig2", &r);
+}
+
+fn fig5(cfg: &Config, json: &Option<PathBuf>) {
+    println!("-- Fig. 5: component-size census (log2 buckets) --");
+    let (rows, slopes) = fig5_histograms(cfg);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                format!("2^{}..2^{}", r.bucket, r.bucket + 1),
+                r.count.to_string(),
+                "#".repeat(((r.count as f64).log2().max(0.0) as usize).min(60)),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["Dataset", "size bucket", "components", "log scale"], &rendered));
+    for (ds, slope) in &slopes {
+        println!("{ds}: fitted log-log slope {slope:.2} (roughly linear decay = scale-free)");
+    }
+    println!();
+    save_json(json, "fig5", &rows);
+}
+
+fn gamma(_cfg: &Config, json: &Option<PathBuf>) {
+    println!("-- Theorem 1 / Appendix B: contraction factors --");
+    let rows = gamma_experiment(11, 60);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.family.clone(),
+                r.method.clone(),
+                format!("{:.4}", r.gamma),
+                format!("{:.4}", r.bound),
+                if r.gamma <= r.bound + 0.03 { "ok".into() } else { "VIOLATION".to_string() },
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["family", "method", "gamma", "bound", ""], &rendered));
+    let methods = rounds_by_method(4096, 3);
+    println!("rounds to contract a 4096-path, by method:");
+    for (m, rounds) in &methods {
+        println!("  {m}: {rounds} rounds (log2 n = 12)");
+    }
+    println!("\nper-round edge counts on Candels20 (Theorem 1's geometric decay, measured in SQL):");
+    let curves = convergence(_cfg, Dataset::Candels(20));
+    for (algo, sizes) in &curves {
+        let series: Vec<String> = sizes.iter().map(|s| s.to_string()).collect();
+        println!("  {algo}: {}", series.join(" -> "));
+    }
+    save_json(json, "convergence", &curves);
+    println!("\nworst-gamma graph search (exact, all undirected graphs on n vertices):");
+    let search = gamma_search(6);
+    for (n, edges, g) in &search {
+        println!(
+            "  n={n}: max gamma {g:.4} ({} edges: {edges:?}) — paper's best known 0.5634",
+            edges.len()
+        );
+    }
+    println!("\nannealed worst-gamma search (exact inclusion-exclusion scoring):");
+    for n in [8usize, 10, 12, 14] {
+        let (edges, g) = incc_core::gamma::anneal_worst_gamma(n, 4000, 11);
+        println!(
+            "  n={n}: best gamma {g:.5} ({} edges) — Fig. 9's record is 0.56343",
+            edges.len()
+        );
+    }
+    println!();
+    save_json(json, "gamma", &rows);
+    save_json(json, "gamma_search", &search);
+}
+
+fn sparkcmp(cfg: &Config, json: &Option<PathBuf>) {
+    println!("-- Section VII-C: in-database vs external execution profile --");
+    let cells = spark_comparison(cfg);
+    println!("{}", render_runtimes(&cells));
+    // Highlight the headline ratios.
+    let get = |ds: &str, algo: &str| {
+        cells
+            .iter()
+            .find(|c| c.dataset == ds && c.algorithm == algo)
+            .and_then(|c| c.mean_secs())
+    };
+    if let (Some(indb), Some(ext)) = (get("Candels10/in-db", "RC"), get("Candels10/external", "RC"))
+    {
+        println!(
+            "RC on Candels10: external/in-db = {:.2}x (paper reports Spark SQL ≈ 2.3x slower)",
+            ext / indb
+        );
+    }
+    if let (Some(rc), Some(cr)) = (get("Streets/in-db", "RC"), get("Streets/in-db", "CR")) {
+        println!(
+            "Streets-of-Italy-like: RC {rc:.3}s vs Cracker {cr:.3}s ({:.2}x; paper: 143s vs 261s ≈ 1.8x)",
+            cr / rc
+        );
+    }
+    println!("network bytes (communication cost) per cell:");
+    for c in &cells {
+        if let Some(r) = c.runs.first() {
+            println!(
+                "  {} / {}: {}",
+                c.dataset,
+                c.algorithm,
+                human_bytes(r.network_bytes)
+            );
+        }
+    }
+    println!();
+    save_json(json, "sparkcmp", &cells);
+}
+
+fn run_ablation(cfg: &Config, json: &Option<PathBuf>) {
+    println!("-- Ablation A1/A2: RC space variants × randomisation methods (Candels10) --");
+    let cells = ablation(cfg, Dataset::Candels(10));
+    let rendered: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let (secs, rounds, space, written, net) = c
+                .runs
+                .first()
+                .map(|r| {
+                    (
+                        format!("{:.3}", c.mean_secs().unwrap_or(r.secs)),
+                        r.rounds.to_string(),
+                        human_bytes(c.max_space().unwrap_or(r.max_space)),
+                        human_bytes(c.mean_bytes_written().unwrap_or(r.bytes_written)),
+                        human_bytes(r.network_bytes),
+                    )
+                })
+                .unwrap_or_else(|| {
+                    let d = format!("DNF({})", c.dnf.clone().unwrap_or_default());
+                    (d.clone(), d.clone(), d.clone(), d.clone(), d)
+                });
+            vec![c.algorithm.clone(), secs, rounds, space, written, net]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["configuration", "secs", "rounds", "peak space", "written", "network"],
+            &rendered
+        )
+    );
+    println!(
+        "(random_reals ships a per-vertex table across segments each round;\n\
+         the field methods ship two integers — compare the network column.)\n"
+    );
+    save_json(json, "ablation", &cells);
+}

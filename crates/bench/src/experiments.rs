@@ -1,0 +1,553 @@
+//! The experiments, one per paper artefact.
+
+use crate::Config;
+use incc_core::driver::{run_on_graph, CcAlgorithm, RunReport};
+use incc_core::gamma::{
+    contract_to_completion, exact_expected_representatives,
+    exact_expected_representatives_directed, measured_gamma, sequential_path_worst_case,
+};
+use incc_core::{RandomisedContraction, SpaceVariant};
+use incc_ffield::Method;
+use incc_graph::census::{census, log2_size_histogram, loglog_slope};
+use incc_graph::datasets::Dataset;
+use incc_graph::generators::{
+    complete_graph, cycle_graph, gnm_random_graph, path_graph, path_union, star_graph,
+    PathNumbering,
+};
+use incc_graph::EdgeList;
+use incc_mppdb::{Cluster, ClusterConfig, ExecutionProfile};
+use serde::Serialize;
+
+/// One measured run of one algorithm on one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// Wall-clock seconds of the in-database run.
+    pub secs: f64,
+    /// Algorithm rounds.
+    pub rounds: usize,
+    /// High-water live bytes (Table IV metric).
+    pub max_space: u64,
+    /// Total bytes written (Table V metric).
+    pub bytes_written: u64,
+    /// Bytes shuffled between segments.
+    pub network_bytes: u64,
+    /// SQL statements executed.
+    pub queries: u64,
+    /// Loaded input size in bytes.
+    pub input_bytes: u64,
+    /// Whether the labelling matched union–find ground truth.
+    pub verified: bool,
+}
+
+impl RunRecord {
+    fn from_report(report: &RunReport, graph: &EdgeList) -> RunRecord {
+        RunRecord {
+            secs: report.elapsed.as_secs_f64(),
+            rounds: report.rounds,
+            max_space: report.stats.max_live_bytes,
+            bytes_written: report.stats.bytes_written,
+            network_bytes: report.stats.network_bytes,
+            queries: report.stats.queries,
+            input_bytes: report.input_bytes,
+            verified: report.verify_against(graph).is_ok(),
+        }
+    }
+}
+
+/// All runs of one (dataset, algorithm) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    /// Dataset row label.
+    pub dataset: String,
+    /// Algorithm column label.
+    pub algorithm: String,
+    /// Completed runs.
+    pub runs: Vec<RunRecord>,
+    /// "Did not finish" reason, if the cell failed (the paper's dash).
+    pub dnf: Option<String>,
+}
+
+impl CellResult {
+    /// Mean seconds over completed runs.
+    pub fn mean_secs(&self) -> Option<f64> {
+        if self.runs.is_empty() {
+            return None;
+        }
+        Some(self.runs.iter().map(|r| r.secs).sum::<f64>() / self.runs.len() as f64)
+    }
+
+    /// Relative standard deviation of run times (Section VII-B's
+    /// variability metric), when at least two runs completed.
+    pub fn relative_stddev(&self) -> Option<f64> {
+        if self.runs.len() < 2 {
+            return None;
+        }
+        let mean = self.mean_secs()?;
+        let var = self.runs.iter().map(|r| (r.secs - mean).powi(2)).sum::<f64>()
+            / (self.runs.len() - 1) as f64;
+        Some(var.sqrt() / mean)
+    }
+
+    /// Max live space over runs (bytes).
+    pub fn max_space(&self) -> Option<u64> {
+        self.runs.iter().map(|r| r.max_space).max()
+    }
+
+    /// Mean bytes written.
+    pub fn mean_bytes_written(&self) -> Option<u64> {
+        if self.runs.is_empty() {
+            return None;
+        }
+        Some(self.runs.iter().map(|r| r.bytes_written).sum::<u64>() / self.runs.len() as u64)
+    }
+}
+
+fn new_cluster(cfg: &Config, graph: &EdgeList, profile: ExecutionProfile) -> Cluster {
+    // The guard scales with the input, like a fixed-size cluster does:
+    // inputs are 1/denominator of the paper's, so is the "disk".
+    let input_bytes = graph.edge_count() as u64 * 16;
+    Cluster::new(ClusterConfig {
+        segments: cfg.segments,
+        profile,
+        seed: cfg.seed,
+        space_limit: input_bytes * cfg.space_limit_factor + (1 << 16),
+        ..Default::default()
+    })
+}
+
+/// Runs one (dataset, algorithm) cell: `cfg.runs` repetitions, a fresh
+/// cluster each, stopping at the first failure (space guard or round
+/// guard), which is recorded as "did not finish".
+pub fn run_cell(
+    cfg: &Config,
+    dataset_name: &str,
+    graph: &EdgeList,
+    algo: &dyn CcAlgorithm,
+    profile: ExecutionProfile,
+) -> CellResult {
+    let mut cell = CellResult {
+        dataset: dataset_name.to_string(),
+        algorithm: algo.name(),
+        runs: Vec::new(),
+        dnf: None,
+    };
+    for run in 0..cfg.runs {
+        let db = new_cluster(cfg, graph, profile);
+        match run_on_graph(algo, &db, graph, cfg.seed ^ (run as u64).wrapping_mul(0x9E37)) {
+            Ok(report) => cell.runs.push(RunRecord::from_report(&report, graph)),
+            Err(e) => {
+                cell.dnf = Some(if e.is_space_limit() {
+                    "space limit".to_string()
+                } else {
+                    e.to_string()
+                });
+                break;
+            }
+        }
+    }
+    cell
+}
+
+/// Tables III, IV and V plus Fig. 6: every dataset × every algorithm,
+/// measuring time, peak space and bytes written in the same runs.
+pub fn benchmark_suite(
+    cfg: &Config,
+    datasets: &[Dataset],
+    algorithms: &[Box<dyn CcAlgorithm>],
+) -> Vec<CellResult> {
+    let mut out = Vec::new();
+    for ds in datasets {
+        let graph = ds.generate(cfg.scale_denom, cfg.seed);
+        for algo in algorithms {
+            out.push(run_cell(
+                cfg,
+                &ds.name(),
+                &graph,
+                algo.as_ref(),
+                ExecutionProfile::Colocated,
+            ));
+        }
+    }
+    out
+}
+
+/// One Table II row: measured census vs the paper's original sizes.
+#[derive(Debug, Clone, Serialize)]
+pub struct CensusRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Measured |V|.
+    pub vertices: usize,
+    /// Measured |E| (rows).
+    pub edges: usize,
+    /// Measured component count.
+    pub components: usize,
+    /// Paper |V| in millions.
+    pub paper_vertices_m: u64,
+    /// Paper |E| in millions.
+    pub paper_edges_m: u64,
+    /// Paper component count in thousands.
+    pub paper_components_k: u64,
+}
+
+/// Table II: the dataset census at the configured scale.
+pub fn table2_census(cfg: &Config) -> Vec<CensusRow> {
+    Dataset::TABLE2
+        .iter()
+        .map(|ds| {
+            let g = ds.generate(cfg.scale_denom, cfg.seed);
+            let c = census(&g);
+            let pc = ds.paper_census();
+            CensusRow {
+                dataset: ds.name(),
+                vertices: c.vertices,
+                edges: c.edges,
+                components: c.components,
+                paper_vertices_m: pc.vertices_m,
+                paper_edges_m: pc.edges_m,
+                paper_components_k: pc.components_k,
+            }
+        })
+        .collect()
+}
+
+/// One Table I scaling observation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Vertex count of the input.
+    pub n: usize,
+    /// Rounds taken.
+    pub rounds: usize,
+    /// Peak space over input bytes.
+    pub space_ratio: f64,
+}
+
+/// Table I, measured: round counts as |V| doubles (the O(log |V|) vs
+/// O(log² |V|) claims) on random graphs, plus the space behaviour on
+/// the adversarial path (linear for RC/TP, quadratic for HM).
+pub fn table1_scaling(
+    cfg: &Config,
+    algorithms: &[Box<dyn CcAlgorithm>],
+    sizes: &[usize],
+) -> Vec<ScalingRow> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let graph = gnm_random_graph(n, 2 * n, cfg.seed ^ n as u64);
+        for algo in algorithms {
+            let db = new_cluster(cfg, &graph, ExecutionProfile::Colocated);
+            if let Ok(report) = run_on_graph(algo.as_ref(), &db, &graph, cfg.seed) {
+                out.push(ScalingRow {
+                    algorithm: algo.name(),
+                    n,
+                    rounds: report.rounds,
+                    space_ratio: report.stats.max_live_bytes as f64
+                        / report.input_bytes.max(1) as f64,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Space blow-up on sequentially numbered paths: the Table I space
+/// column, measured. Returns `(algorithm, n, space_ratio_or_dnf)`.
+pub fn path_space_blowup(
+    cfg: &Config,
+    algorithms: &[Box<dyn CcAlgorithm>],
+    sizes: &[usize],
+) -> Vec<(String, usize, Option<f64>)> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let graph = path_graph(n, PathNumbering::Sequential, 0);
+        for algo in algorithms {
+            let db = new_cluster(cfg, &graph, ExecutionProfile::Colocated);
+            let ratio = run_on_graph(algo.as_ref(), &db, &graph, cfg.seed)
+                .ok()
+                .map(|r| r.stats.max_live_bytes as f64 / r.input_bytes.max(1) as f64);
+            out.push((algo.name(), n, ratio));
+        }
+    }
+    out
+}
+
+/// Fig. 2: shrink factors of an n-path under adversarial sequential
+/// numbering (1 − 1/n) vs the randomised expectation (≈ 0.72).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Result {
+    /// Path length used.
+    pub n: usize,
+    /// Shrink factor under sequential numbering with identity hash.
+    pub sequential_shrink: f64,
+    /// Mean shrink factor per randomisation method.
+    pub randomised_shrink: Vec<(String, f64)>,
+}
+
+/// Runs the Fig. 2 demonstration.
+pub fn fig2_path_contraction(n: usize, trials: usize, seed: u64) -> Fig2Result {
+    let step = sequential_path_worst_case(n);
+    let edges: Vec<(u64, u64)> = (0..n as u64 - 1).map(|i| (i, i + 1)).collect();
+    let randomised_shrink = Method::ALL
+        .iter()
+        .map(|&m| (m.name().to_string(), measured_gamma(&edges, m, seed, trials)))
+        .collect();
+    Fig2Result { n, sequential_shrink: step.shrink_factor(), randomised_shrink }
+}
+
+/// One Fig. 5 series point: components with size in `[2^bucket, 2^(bucket+1))`.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// log2 size bucket.
+    pub bucket: u32,
+    /// Number of components in the bucket.
+    pub count: usize,
+}
+
+/// Fig. 5: log–log component-size census for the Andromeda-like and
+/// Bitcoin-address-like graphs, plus the fitted slope per dataset.
+pub fn fig5_histograms(cfg: &Config) -> (Vec<HistRow>, Vec<(String, f64)>) {
+    let mut rows = Vec::new();
+    let mut slopes = Vec::new();
+    for ds in [Dataset::Andromeda, Dataset::BitcoinAddresses] {
+        let g = ds.generate(cfg.scale_denom, cfg.seed);
+        let hist = log2_size_histogram(&g);
+        if let Some(s) = loglog_slope(&hist) {
+            slopes.push((ds.name(), s));
+        }
+        for (bucket, count) in hist {
+            rows.push(HistRow { dataset: ds.name(), bucket, count });
+        }
+    }
+    (rows, slopes)
+}
+
+/// One contraction-factor observation (Theorem 1 / Appendix B).
+#[derive(Debug, Clone, Serialize)]
+pub struct GammaRow {
+    /// Graph family.
+    pub family: String,
+    /// Randomisation method, or "exact" for enumerated expectation.
+    pub method: String,
+    /// Observed or exact expected shrink factor.
+    pub gamma: f64,
+    /// The applicable theoretical bound.
+    pub bound: f64,
+}
+
+/// The Theorem 1 / Appendix B experiment: measured first-round shrink
+/// factors per method on assorted families (bound 3/4), exact
+/// enumerated expectations on small graphs (bound 2/3 under full
+/// randomisation), and the directed 3-cycle tightness check.
+pub fn gamma_experiment(seed: u64, trials: usize) -> Vec<GammaRow> {
+    let mut rows = Vec::new();
+    let families: Vec<(&str, Vec<(u64, u64)>)> = vec![
+        ("path-200", path_graph(200, PathNumbering::Sequential, 0).edges),
+        ("cycle-111", cycle_graph(111).edges),
+        ("star-100", star_graph(100).edges),
+        ("complete-24", complete_graph(24).edges),
+        ("gnm-100-300", gnm_random_graph(100, 300, seed).edges),
+    ];
+    for (name, edges) in &families {
+        for m in Method::ALL {
+            rows.push(GammaRow {
+                family: name.to_string(),
+                method: m.name().to_string(),
+                gamma: measured_gamma(edges, m, seed, trials),
+                bound: 0.75,
+            });
+        }
+    }
+    // Exact expectations under full randomisation (Appendix B: ≤ 2/3).
+    for n in [2usize, 3, 4, 5, 6, 7] {
+        let edges: Vec<(u64, u64)> = (0..n as u64 - 1).map(|i| (i, i + 1)).collect();
+        rows.push(GammaRow {
+            family: format!("exact-path-{n}"),
+            method: "exact".into(),
+            gamma: exact_expected_representatives(&edges) / n as f64,
+            bound: 2.0 / 3.0,
+        });
+    }
+    for n in [3usize, 4, 5, 6, 7] {
+        let edges = cycle_graph(n).edges;
+        rows.push(GammaRow {
+            family: format!("exact-cycle-{n}"),
+            method: "exact".into(),
+            gamma: exact_expected_representatives(&edges) / n as f64,
+            bound: 2.0 / 3.0,
+        });
+    }
+    // Tightness: the directed 3-cycle attains exactly 2/3.
+    rows.push(GammaRow {
+        family: "exact-directed-3-cycle".into(),
+        method: "exact".into(),
+        gamma: exact_expected_representatives_directed(&[(0, 1), (1, 2), (2, 0)]) / 3.0,
+        bound: 2.0 / 3.0,
+    });
+    rows
+}
+
+/// Round counts to completion per method — the ablation behind the
+/// Section V-C discussion (all methods contract equally well; they
+/// differ in communication).
+pub fn rounds_by_method(n: usize, seed: u64) -> Vec<(String, usize)> {
+    let g = path_graph(n, PathNumbering::Sequential, 0);
+    Method::ALL
+        .iter()
+        .map(|&m| {
+            (m.name().to_string(), contract_to_completion(&g.edges, m, seed).len())
+        })
+        .collect()
+}
+
+/// Section VII-C: the same SQL under the MPP profile vs the External
+/// (Spark-SQL-like) profile, plus the RC vs Cracker comparison on the
+/// Streets-of-Italy-like dataset.
+pub fn spark_comparison(cfg: &Config) -> Vec<CellResult> {
+    let mut out = Vec::new();
+    let rc = RandomisedContraction::paper();
+    let cracker = incc_core::cracker::Cracker::default();
+    for (ds, profile, label) in [
+        (Dataset::Candels(10), ExecutionProfile::Colocated, "Candels10/in-db"),
+        (Dataset::Candels(10), ExecutionProfile::External, "Candels10/external"),
+        (Dataset::StreetsOfItaly, ExecutionProfile::Colocated, "Streets/in-db"),
+        (Dataset::StreetsOfItaly, ExecutionProfile::External, "Streets/external"),
+    ] {
+        let graph = ds.generate(cfg.scale_denom, cfg.seed);
+        out.push(run_cell(cfg, label, &graph, &rc, profile));
+    }
+    // RC vs Cracker head-to-head on the Streets graph (paper: 143 s vs
+    // 261 s in-database, 1338 s for the original Spark Cracker).
+    let streets = Dataset::StreetsOfItaly.generate(cfg.scale_denom, cfg.seed);
+    out.push(run_cell(cfg, "Streets/in-db", &streets, &cracker, ExecutionProfile::Colocated));
+    out
+}
+
+/// In-memory union–find wall times per dataset — the sequential
+/// optimum the paper's introduction cites, for context alongside
+/// Table III. (Not an in-database algorithm: no SQL, no distribution.)
+pub fn union_find_baseline(cfg: &Config, datasets: &[Dataset]) -> Vec<(String, f64)> {
+    datasets
+        .iter()
+        .map(|ds| {
+            let g = ds.generate(cfg.scale_denom, cfg.seed);
+            let t0 = std::time::Instant::now();
+            let labels = incc_graph::union_find::connected_components(&g.edges);
+            let secs = t0.elapsed().as_secs_f64();
+            std::hint::black_box(labels);
+            (ds.name(), secs)
+        })
+        .collect()
+}
+
+/// Transaction-mode space experiment (the paper's Table V rationale):
+/// running the whole algorithm as one transaction defers every drop,
+/// so peak space equals total bytes written. Returns
+/// `(algorithm, normal_peak, transactional_peak, bytes_written)`.
+pub fn transaction_space(cfg: &Config, dataset: Dataset) -> Vec<(String, u64, u64, u64)> {
+    let graph = dataset.generate(cfg.scale_denom, cfg.seed);
+    let mut out = Vec::new();
+    for algo in crate::table3_algorithms() {
+        let db = new_cluster(cfg, &graph, ExecutionProfile::Colocated);
+        let Ok(normal) = run_on_graph(algo.as_ref(), &db, &graph, cfg.seed) else {
+            continue;
+        };
+        let db = Cluster::new(ClusterConfig {
+            segments: cfg.segments,
+            seed: cfg.seed,
+            ..Default::default()
+        });
+        db.begin_transaction();
+        let Ok(txn) = run_on_graph(algo.as_ref(), &db, &graph, cfg.seed) else {
+            continue;
+        };
+        db.commit();
+        out.push((
+            algo.name(),
+            normal.stats.max_live_bytes,
+            txn.stats.max_live_bytes,
+            txn.stats.bytes_written,
+        ));
+    }
+    out
+}
+
+/// Per-round working-relation sizes for each algorithm on one dataset:
+/// the geometric decay of Theorem 1, measured from the actual SQL runs.
+pub fn convergence(cfg: &Config, dataset: Dataset) -> Vec<(String, Vec<usize>)> {
+    let graph = dataset.generate(cfg.scale_denom, cfg.seed);
+    crate::table3_algorithms()
+        .iter()
+        .filter_map(|algo| {
+            let db = new_cluster(cfg, &graph, ExecutionProfile::Colocated);
+            run_on_graph(algo.as_ref(), &db, &graph, cfg.seed)
+                .ok()
+                .map(|r| (algo.name(), r.round_sizes))
+        })
+        .collect()
+}
+
+/// One worst-γ search result: vertex count, worst graph's edges, γ.
+pub type GammaSearchRow = (usize, Vec<(u64, u64)>, f64);
+
+/// Large-scale round counts via the in-memory mirrors: big enough to
+/// expose the O(log |V|) vs O(log² |V|) separation of Table I that
+/// SQL-scale sweeps cannot reach. Returns `(algorithm, n, rounds)`;
+/// Hash-to-Min rows are omitted where its quadratic guard trips.
+pub fn large_scale_rounds(seed: u64) -> Vec<(String, usize, usize)> {
+    use incc_core::mirror::{cracker_mirror, hash_to_min_mirror, rc_mirror, two_phase_mirror};
+    let mut out = Vec::new();
+    let mut n = 1usize << 12;
+    while n <= 1 << 18 {
+        let g = gnm_random_graph(n, 2 * n, seed ^ n as u64);
+        out.push(("RC".into(), n, rc_mirror(&g.edges, Method::Gf64, seed).rounds));
+        if let Some(hm) = hash_to_min_mirror(&g.edges, 64 * n) {
+            out.push(("HM".into(), n, hm.rounds));
+        }
+        out.push(("TP".into(), n, two_phase_mirror(&g.edges).rounds));
+        out.push(("CR".into(), n, cracker_mirror(&g.edges).rounds));
+        n <<= 2;
+    }
+    // The Two-Phase worst case: unions of doubling bit-reversed paths.
+    let mut base = 8usize;
+    while base <= 512 {
+        let g = path_union(10, base, PathNumbering::BitReversed);
+        let n = g.vertex_count();
+        out.push(("TP/pathunion".into(), n, two_phase_mirror(&g.edges).rounds));
+        out.push((
+            "RC/pathunion".into(),
+            n,
+            rc_mirror(&g.edges, Method::Gf64, seed).rounds,
+        ));
+        base <<= 2;
+    }
+    out
+}
+
+/// Worst-contraction-factor graph search (Appendix B's closing open
+/// question): the highest exact γ over all undirected graphs on
+/// n = 2..=`max_n` vertices.
+pub fn gamma_search(max_n: usize) -> Vec<GammaSearchRow> {
+    (2..=max_n.min(6))
+        .map(|n| {
+            let (edges, gamma) = incc_core::gamma::search_worst_undirected(n);
+            (n, edges, gamma)
+        })
+        .collect()
+}
+
+/// The A1/A2 ablations: space variants and randomisation methods on a
+/// fixed dataset, reporting time, space, rounds and network traffic.
+pub fn ablation(cfg: &Config, dataset: Dataset) -> Vec<CellResult> {
+    let graph = dataset.generate(cfg.scale_denom, cfg.seed);
+    let mut out = Vec::new();
+    for method in Method::ALL {
+        for variant in [SpaceVariant::Fast, SpaceVariant::Deterministic] {
+            let algo = RandomisedContraction::with(method, variant);
+            out.push(run_cell(cfg, &dataset.name(), &graph, &algo, ExecutionProfile::Colocated));
+        }
+    }
+    out
+}

@@ -1,0 +1,75 @@
+//! Experiment harness.
+//!
+//! Each public function regenerates one table or figure of the paper's
+//! evaluation (Section VII) at a configurable scale, returning
+//! structured records that the `repro` binary renders as the paper's
+//! rows and archives as JSON. The experiment index lives in
+//! `DESIGN.md`; measured-vs-paper comparisons in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+
+use incc_core::driver::CcAlgorithm;
+use incc_core::{bfs::BfsStrategy, cracker::Cracker, hash_to_min::HashToMin, two_phase::TwoPhase};
+use incc_core::{RandomisedContraction, SpaceVariant};
+use incc_ffield::Method;
+
+/// Configuration shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Scale denominator: paper dataset sizes are divided by this
+    /// (default 20 000 → the largest dataset has ≈ 200 k edge rows;
+    /// pass 4000 for the ×5 larger "full" run).
+    pub scale_denom: u64,
+    /// Repetitions per (dataset, algorithm) cell — the paper uses 3.
+    pub runs: usize,
+    /// Segments in the simulated cluster.
+    pub segments: usize,
+    /// Space guard as a multiple of the loaded input bytes; runs
+    /// exceeding it report "did not finish", as the paper's dashes.
+    pub space_limit_factor: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scale_denom: 20_000,
+            runs: 3,
+            segments: 8,
+            space_limit_factor: 24,
+            seed: 0x1CDE_2020,
+        }
+    }
+}
+
+/// The paper's four compared algorithms (Table III columns), in order.
+pub fn table3_algorithms() -> Vec<Box<dyn CcAlgorithm>> {
+    vec![
+        Box::new(RandomisedContraction::paper()),
+        Box::new(HashToMin::default()),
+        Box::new(TwoPhase::default()),
+        Box::new(Cracker::default()),
+    ]
+}
+
+/// All algorithm configurations exercised by the ablation experiment:
+/// RC variants/methods plus the BFS strategy of Section IV.
+pub fn ablation_algorithms() -> Vec<Box<dyn CcAlgorithm>> {
+    let mut out: Vec<Box<dyn CcAlgorithm>> = Vec::new();
+    for method in Method::ALL {
+        out.push(Box::new(RandomisedContraction::with(method, SpaceVariant::Fast)));
+    }
+    out.push(Box::new(RandomisedContraction::with(
+        Method::Gf64,
+        SpaceVariant::Deterministic,
+    )));
+    out.push(Box::new(BfsStrategy::default()));
+    out
+}

@@ -1,0 +1,252 @@
+//! Rendering experiment results as the paper's tables.
+
+use crate::experiments::CellResult;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Formats a byte count as the paper's tables do (GB with the scale
+/// shrunk, so MB/KB here).
+pub fn human_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// A generic fixed-width table printer.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Pivot of the benchmark suite by dataset × algorithm, with one value
+/// extractor — renders Tables III (seconds), IV (max space) and V
+/// (bytes written) from the same cells.
+pub fn pivot_cells(
+    cells: &[CellResult],
+    value: impl Fn(&CellResult) -> Option<String>,
+) -> (Vec<&str>, Vec<Vec<String>>) {
+    let datasets: Vec<&str> = {
+        let mut seen = BTreeSet::new();
+        cells
+            .iter()
+            .filter(|c| seen.insert(c.dataset.as_str()))
+            .map(|c| c.dataset.as_str())
+            .collect()
+    };
+    let algorithms: Vec<&str> = {
+        let mut seen = BTreeSet::new();
+        cells
+            .iter()
+            .filter(|c| seen.insert(c.algorithm.as_str()))
+            .map(|c| c.algorithm.as_str())
+            .collect()
+    };
+    let mut rows = Vec::new();
+    for ds in &datasets {
+        let mut row = vec![ds.to_string()];
+        for algo in &algorithms {
+            let cell = cells
+                .iter()
+                .find(|c| c.dataset == *ds && c.algorithm == *algo);
+            row.push(match cell {
+                Some(c) => match &c.dnf {
+                    Some(reason) => format!("DNF({reason})"),
+                    None => value(c).unwrap_or_else(|| "-".into()),
+                },
+                None => "-".into(),
+            });
+        }
+        rows.push(row);
+    }
+    (algorithms, rows)
+}
+
+/// Renders the Table III view (mean seconds per cell).
+pub fn render_runtimes(cells: &[CellResult]) -> String {
+    let (algos, rows) = pivot_cells(cells, |c| c.mean_secs().map(|s| format!("{s:.3}")));
+    let mut headers = vec!["Dataset"];
+    headers.extend(algos);
+    render_table(&headers, &rows)
+}
+
+/// Renders the Table IV view (max space, with input size first).
+pub fn render_space(cells: &[CellResult]) -> String {
+    let (algos, mut rows) = pivot_cells(cells, |c| c.max_space().map(human_bytes));
+    // Prepend the input column.
+    for row in rows.iter_mut() {
+        let input = cells
+            .iter()
+            .find(|c| c.dataset == row[0] && !c.runs.is_empty())
+            .map(|c| human_bytes(c.runs[0].input_bytes))
+            .unwrap_or_else(|| "-".into());
+        row.insert(1, input);
+    }
+    let mut headers = vec!["Dataset", "input"];
+    headers.extend(algos);
+    render_table(&headers, &rows)
+}
+
+/// Renders the Table V view (total bytes written).
+pub fn render_written(cells: &[CellResult]) -> String {
+    let (algos, mut rows) = pivot_cells(cells, |c| c.mean_bytes_written().map(human_bytes));
+    for row in rows.iter_mut() {
+        let input = cells
+            .iter()
+            .find(|c| c.dataset == row[0] && !c.runs.is_empty())
+            .map(|c| human_bytes(c.runs[0].input_bytes))
+            .unwrap_or_else(|| "-".into());
+        row.insert(1, input);
+    }
+    let mut headers = vec!["Dataset", "input"];
+    headers.extend(algos);
+    render_table(&headers, &rows)
+}
+
+/// Renders the Fig. 6 horizontal bar chart: per dataset, one bar per
+/// algorithm scaled to the slowest cell, annotated with seconds — the
+/// chart form of Table III.
+pub fn render_fig6(cells: &[CellResult]) -> String {
+    let max_secs = cells
+        .iter()
+        .filter_map(CellResult::mean_secs)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut out = String::new();
+    let mut datasets: Vec<&str> = Vec::new();
+    for c in cells {
+        if !datasets.contains(&c.dataset.as_str()) {
+            datasets.push(&c.dataset);
+        }
+    }
+    let width = 46usize;
+    for ds in datasets {
+        let _ = writeln!(out, "{ds}");
+        for c in cells.iter().filter(|c| c.dataset == ds) {
+            match c.mean_secs() {
+                Some(secs) => {
+                    let bar = ((secs / max_secs) * width as f64).ceil() as usize;
+                    let _ = writeln!(
+                        out,
+                        "  {:<4} {:<width$} {:.3}s",
+                        c.algorithm,
+                        "█".repeat(bar.max(1)),
+                        secs,
+                        width = width
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<4} {} did not finish",
+                        c.algorithm,
+                        c.dnf.as_deref().unwrap_or("-")
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the Section VII-B variability view (relative std-dev %).
+pub fn render_rsd(cells: &[CellResult]) -> String {
+    let (algos, rows) =
+        pivot_cells(cells, |c| c.relative_stddev().map(|r| format!("{:.1}%", r * 100.0)));
+    let mut headers = vec!["Dataset"];
+    headers.extend(algos);
+    render_table(&headers, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::RunRecord;
+
+    fn cell(ds: &str, algo: &str, secs: &[f64], dnf: Option<&str>) -> CellResult {
+        CellResult {
+            dataset: ds.into(),
+            algorithm: algo.into(),
+            runs: secs
+                .iter()
+                .map(|&s| RunRecord {
+                    secs: s,
+                    rounds: 3,
+                    max_space: 1000,
+                    bytes_written: 5000,
+                    network_bytes: 100,
+                    queries: 10,
+                    input_bytes: 256,
+                    verified: true,
+                })
+                .collect(),
+            dnf: dnf.map(String::from),
+        }
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(17), "17 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 << 20), "3.0 MiB");
+        assert_eq!(human_bytes(5 << 30), "5.0 GiB");
+    }
+
+    #[test]
+    fn pivot_preserves_order_and_marks_dnf() {
+        let cells = vec![
+            cell("A", "RC", &[1.0], None),
+            cell("A", "HM", &[], Some("space limit")),
+            cell("B", "RC", &[2.0, 4.0], None),
+        ];
+        let table = render_runtimes(&cells);
+        assert!(table.contains("DNF(space limit)"), "{table}");
+        assert!(table.contains("3.000"), "mean of 2 and 4: {table}");
+        let a_pos = table.find("A ").unwrap();
+        let b_pos = table.find("B ").unwrap();
+        assert!(a_pos < b_pos);
+    }
+
+    #[test]
+    fn rsd_requires_two_runs() {
+        let cells = vec![cell("A", "RC", &[1.0], None)];
+        assert!(render_rsd(&cells).contains('-'));
+        let cells = vec![cell("A", "RC", &[1.0, 1.0], None)];
+        assert!(render_rsd(&cells).contains("0.0%"));
+    }
+
+    #[test]
+    fn space_table_has_input_column() {
+        let cells = vec![cell("A", "RC", &[1.0], None)];
+        let t = render_space(&cells);
+        assert!(t.contains("input"));
+        assert!(t.contains("256 B"));
+    }
+}

@@ -1,0 +1,81 @@
+//! The naive "Breadth First Search" strategy (paper Section IV).
+//!
+//! Each vertex repeatedly replaces its representative with the minimum
+//! representative in its closed neighbourhood until nothing changes —
+//! the approach of Apache MADlib's connected-components module. It is
+//! correct, but its round count is bounded only by the graph diameter:
+//! on the sequentially numbered path it needs `n − 1` rounds, the
+//! worst-case behaviour the paper uses to motivate Randomised
+//! Contraction. A configurable round guard converts that pathology
+//! into a clean "did not finish" error.
+
+use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm};
+use incc_mppdb::{Cluster, DbError, DbResult};
+
+/// The min-propagation (BFS / MADlib) strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsStrategy {
+    /// Abort with an error after this many rounds (0 = unlimited).
+    /// The paper's Table III marks such runs "did not finish".
+    pub max_rounds: usize,
+}
+
+impl Default for BfsStrategy {
+    fn default() -> Self {
+        BfsStrategy { max_rounds: 10_000 }
+    }
+}
+
+impl CcAlgorithm for BfsStrategy {
+    fn name(&self) -> String {
+        "BFS".into()
+    }
+
+    fn run(&self, db: &Cluster, input: &str, _seed: u64) -> DbResult<AlgoOutcome> {
+        drop_if_exists(db, &["bfsgraph", "bfslab", "bfsupd", "bfsresult"]);
+        // Doubled edge table, as in every algorithm's setup.
+        db.run(&format!(
+            "create table bfsgraph as \
+             select v1, v2 from {input} union all select v2, v1 from {input} \
+             distributed by (v1)"
+        ))?;
+        // Initial representative: min of the closed neighbourhood.
+        db.run(
+            "create table bfslab as \
+             select v1 as v, least(v1, min(v2)) as r from bfsgraph \
+             group by v1 distributed by (v)",
+        )?;
+        let mut rounds = 1usize;
+        loop {
+            if self.max_rounds > 0 && rounds > self.max_rounds {
+                drop_if_exists(db, &["bfsgraph", "bfslab", "bfsupd"]);
+                return Err(DbError::Exec(format!(
+                    "BFS did not finish within {} rounds (diameter-bound worst case)",
+                    self.max_rounds
+                )));
+            }
+            // Improve: r'(v) = min(r(v), min over neighbours w of r(w)).
+            db.run(
+                "create table bfsupd as \
+                 select g.v1 as v, least(l1.r, min(l2.r)) as r \
+                 from bfsgraph as g, bfslab as l1, bfslab as l2 \
+                 where g.v1 = l1.v and g.v2 = l2.v \
+                 group by g.v1, l1.r \
+                 distributed by (v)",
+            )?;
+            let changed = db.query_scalar_i64(
+                "select count(*) as n from bfsupd as u, bfslab as l \
+                 where u.v = l.v and u.r != l.r",
+            )?;
+            db.drop_table("bfslab")?;
+            db.rename_table("bfsupd", "bfslab")?;
+            if changed == 0 {
+                break;
+            }
+            rounds += 1;
+        }
+        db.drop_table("bfsgraph")?;
+        db.rename_table("bfslab", "bfsresult")?;
+        Ok(AlgoOutcome { result_table: "bfsresult".into(), rounds, round_sizes: Vec::new() })
+    }
+}

@@ -1,0 +1,196 @@
+//! The common algorithm interface and the run harness.
+
+use incc_graph::union_find::{connected_components, labellings_equivalent};
+use incc_graph::EdgeList;
+use incc_mppdb::{Cluster, DbError, DbResult, StatsSnapshot};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// What an algorithm reports back after finishing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgoOutcome {
+    /// Name of the table holding the `(v, r)` labelling.
+    pub result_table: String,
+    /// Number of algorithm rounds executed (the O(log |V|) quantity).
+    pub rounds: usize,
+    /// Size of the algorithm's main working relation after each round
+    /// (edge rows for contraction-style algorithms) — the geometric
+    /// decay behind the paper's Theorem 1. Empty when an algorithm
+    /// does not track it.
+    pub round_sizes: Vec<usize>,
+}
+
+/// A connected-components algorithm executing inside the database.
+///
+/// The contract mirrors the paper's Section III: the input is a table
+/// with two vertex-ID columns `v1`, `v2`, one row per undirected edge
+/// (loop edges `(v, v)` represent isolated vertices); the output is a
+/// table with columns `v`, `r` assigning each vertex a label such that
+/// two vertices share a label iff they are in the same component.
+pub trait CcAlgorithm {
+    /// Stable display name ("RC", "HM", "TP", "CR", …).
+    fn name(&self) -> String;
+
+    /// Runs the algorithm over `input` (an existing edge table),
+    /// returning the result-table name. Implementations create and
+    /// drop their own working tables; `seed` drives all randomness.
+    fn run(&self, db: &Cluster, input: &str, seed: u64) -> DbResult<AlgoOutcome>;
+}
+
+/// Everything measured about one algorithm run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// The computed labelling (vertex -> component label).
+    pub labels: HashMap<u64, u64>,
+    /// Algorithm rounds.
+    pub rounds: usize,
+    /// Per-round working-relation sizes (see [`AlgoOutcome::round_sizes`]).
+    pub round_sizes: Vec<usize>,
+    /// Wall-clock duration of the in-database run (excludes graph
+    /// loading and result download).
+    pub elapsed: Duration,
+    /// Resource counters accumulated during the run: bytes written,
+    /// high-water space, network traffic, statement count.
+    pub stats: StatsSnapshot,
+    /// Logical byte size of the loaded input table, the baseline the
+    /// paper's Tables IV-V compare space figures against.
+    pub input_bytes: u64,
+}
+
+impl RunReport {
+    /// Verifies the labelling against in-memory union–find ground
+    /// truth. This is the paper's correctness criterion: identical
+    /// vertex sets and identical co-labelling.
+    pub fn verify_against(&self, edges: &EdgeList) -> Result<(), String> {
+        let truth = connected_components(&edges.edges);
+        if labellings_equivalent(&self.labels, &truth) {
+            Ok(())
+        } else {
+            Err(format!(
+                "{}: labelling disagrees with ground truth \
+                 ({} labelled vertices vs {} true)",
+                self.algorithm,
+                self.labels.len(),
+                truth.len()
+            ))
+        }
+    }
+}
+
+/// Loads a graph, runs an algorithm, downloads and returns the result.
+///
+/// The input table is created as `ccinput` (dropped first if present),
+/// loaded through the bulk path and hash-distributed on `v1` — the
+/// placement the paper's `DISTRIBUTED BY (v1)` declares. Run-scoped
+/// counters are reset after loading so the report reflects the
+/// algorithm alone.
+pub fn run_on_graph(
+    algo: &dyn CcAlgorithm,
+    db: &Cluster,
+    graph: &EdgeList,
+    seed: u64,
+) -> DbResult<RunReport> {
+    let _ = db.run("drop table if exists ccinput");
+    db.load_pairs("ccinput", "v1", "v2", &graph.to_i64_pairs())?;
+    let input_bytes = db.stats().live_bytes;
+    db.reset_run_counters();
+
+    let start = Instant::now();
+    let outcome = algo.run(db, "ccinput", seed);
+    let elapsed = start.elapsed();
+    let stats = db.stats();
+
+    // Clean up the input regardless of success.
+    let cleanup = db.drop_table("ccinput");
+    let outcome = outcome?;
+    cleanup?;
+
+    let pairs = db.scan_pairs(&outcome.result_table)?;
+    db.drop_table(&outcome.result_table)?;
+    let mut labels = HashMap::with_capacity(pairs.len());
+    for (v, r) in pairs {
+        if labels.insert(v as u64, r as u64).is_some() {
+            return Err(DbError::Exec(format!(
+                "{}: duplicate vertex {v} in result",
+                algo.name()
+            )));
+        }
+    }
+    Ok(RunReport {
+        algorithm: algo.name(),
+        labels,
+        rounds: outcome.rounds,
+        round_sizes: outcome.round_sizes,
+        elapsed,
+        stats,
+        input_bytes,
+    })
+}
+
+/// Drops a list of tables, ignoring "does not exist" errors — used by
+/// algorithms to start from a clean slate and to clean up on failure.
+pub fn drop_if_exists(db: &Cluster, tables: &[&str]) {
+    for t in tables {
+        let _ = db.drop_table(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incc_mppdb::ClusterConfig;
+
+    /// A fake algorithm that labels every vertex with itself — correct
+    /// only for edge-free graphs, used to exercise the harness.
+    struct SelfLabel;
+
+    impl CcAlgorithm for SelfLabel {
+        fn name(&self) -> String {
+            "SelfLabel".into()
+        }
+
+        fn run(&self, db: &Cluster, input: &str, _seed: u64) -> DbResult<AlgoOutcome> {
+            drop_if_exists(db, &["selflabel_out"]);
+            db.run(&format!(
+                "create table selflabel_out as \
+                 select distinct v1 as v, v1 as r from {input} distributed by (v)"
+            ))?;
+            Ok(AlgoOutcome {
+                result_table: "selflabel_out".into(),
+                rounds: 1,
+                round_sizes: Vec::new(),
+            })
+        }
+    }
+
+    #[test]
+    fn harness_runs_and_verifies() {
+        let db = Cluster::new(ClusterConfig::default());
+        // Only loop edges: every vertex isolated -> SelfLabel is correct.
+        let g = EdgeList::from_pairs(vec![(1, 1), (5, 5), (9, 9)]);
+        let report = run_on_graph(&SelfLabel, &db, &g, 0).unwrap();
+        assert_eq!(report.labels.len(), 3);
+        assert_eq!(report.rounds, 1);
+        report.verify_against(&g).unwrap();
+        // Working tables cleaned up.
+        assert!(db.table_names().is_empty(), "{:?}", db.table_names());
+    }
+
+    #[test]
+    fn harness_detects_wrong_labelling() {
+        let db = Cluster::new(ClusterConfig::default());
+        let g = EdgeList::from_pairs(vec![(1, 2)]);
+        let report = run_on_graph(&SelfLabel, &db, &g, 0).unwrap();
+        assert!(report.verify_against(&g).is_err());
+    }
+
+    #[test]
+    fn report_records_input_bytes() {
+        let db = Cluster::new(ClusterConfig::default());
+        let g = EdgeList::from_pairs(vec![(1, 1), (2, 2)]);
+        let report = run_on_graph(&SelfLabel, &db, &g, 0).unwrap();
+        assert_eq!(report.input_bytes, 32);
+    }
+}

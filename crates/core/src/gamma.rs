@@ -1,0 +1,873 @@
+//! Contraction-factor analysis (paper Theorem 1, Fig. 2, Appendix B).
+//!
+//! The engine-level algorithm needs one fact: under random vertex
+//! ordering, each contraction round shrinks the vertex set to at most a
+//! constant expected fraction γ < 1. The paper proves γ ≤ 3/4 for the
+//! finite-fields and random-reals methods (Theorem 1) and γ ≤ 2/3
+//! under full randomisation (Appendix B, Theorem 2 — tight on the
+//! directed 3-cycle). This module provides in-memory machinery to
+//! *measure* shrink factors for any method and to compute the
+//! expectation *exactly* on small graphs by enumerating all orderings,
+//! which is how the benchmarks verify the theorems empirically.
+
+use incc_ffield::Method;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// Result of one contraction step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractionStep {
+    /// Vertices before the step.
+    pub vertices_before: usize,
+    /// Distinct representatives chosen (vertices after, before loop
+    /// removal).
+    pub representatives: usize,
+    /// The contracted edge list (duplicates and loops removed).
+    pub edges: Vec<(u64, u64)>,
+}
+
+impl ContractionStep {
+    /// The shrink factor `representatives / vertices_before`.
+    pub fn shrink_factor(&self) -> f64 {
+        if self.vertices_before == 0 {
+            return 0.0;
+        }
+        self.representatives as f64 / self.vertices_before as f64
+    }
+}
+
+/// Applies one contraction round: every vertex maps to the member of
+/// its closed neighbourhood minimising `h` (ties by smaller vertex ID,
+/// matching the random-reals argmin SQL).
+pub fn contract_once(edges: &[(u64, u64)], h: impl Fn(u64) -> u64) -> ContractionStep {
+    let mut neigh: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(a, b) in edges {
+        neigh.entry(a).or_default().push(b);
+        neigh.entry(b).or_default().push(a);
+    }
+    let vertices_before = neigh.len();
+    let mut rep: HashMap<u64, u64> = HashMap::with_capacity(neigh.len());
+    for (&v, ns) in &neigh {
+        let mut best = v;
+        let mut best_h = h(v);
+        for &w in ns {
+            let hw = h(w);
+            if hw < best_h || (hw == best_h && w < best) {
+                best = w;
+                best_h = hw;
+            }
+        }
+        rep.insert(v, best);
+    }
+    let representatives: HashSet<u64> = rep.values().copied().collect();
+    let mut new_edges: HashSet<(u64, u64)> = HashSet::new();
+    for &(a, b) in edges {
+        let (ra, rb) = (rep[&a], rep[&b]);
+        if ra != rb {
+            new_edges.insert((ra.min(rb), ra.max(rb)));
+        }
+    }
+    ContractionStep {
+        vertices_before,
+        representatives: representatives.len(),
+        edges: new_edges.into_iter().collect(),
+    }
+}
+
+/// Contracts repeatedly with fresh random hashes until no edges remain;
+/// returns the per-round shrink factors. This is the in-memory mirror
+/// of the full algorithm, used for round-count experiments.
+pub fn contract_to_completion(
+    edges: &[(u64, u64)],
+    method: Method,
+    seed: u64,
+) -> Vec<ContractionStep> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current: Vec<(u64, u64)> = edges.iter().filter(|(a, b)| a != b).copied().collect();
+    let mut steps = Vec::new();
+    while !current.is_empty() {
+        let h = method.sample_round(&mut rng);
+        let step = contract_once(&current, |v| h.hash(v));
+        current = step.edges.clone();
+        steps.push(step);
+        assert!(steps.len() < 10_000, "contraction failed to converge");
+    }
+    steps
+}
+
+/// Measures the mean first-round shrink factor over `trials`
+/// independent randomisations — the empirical check of Theorem 1's
+/// γ ≤ 3/4 bound.
+pub fn measured_gamma(edges: &[(u64, u64)], method: Method, seed: u64, trials: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let h = method.sample_round(&mut rng);
+        total += contract_once(edges, |v| h.hash(v)).shrink_factor();
+    }
+    total / trials as f64
+}
+
+/// Exact expected number of representatives of a *directed* graph under
+/// a uniformly random vertex ordering, by enumerating all |V|!
+/// labellings (Appendix B setting: `r(v) = argmin over the closed
+/// out-neighbourhood`). Every vertex must have at least one
+/// out-neighbour. Practical up to ~9 vertices.
+pub fn exact_expected_representatives_directed(arcs: &[(u64, u64)]) -> f64 {
+    let mut verts: Vec<u64> = arcs
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    verts.sort_unstable();
+    let n = verts.len();
+    assert!(n <= 10, "exact enumeration is factorial; use measured_gamma instead");
+    let index: HashMap<u64, usize> = verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // Closed out-neighbourhoods as index lists.
+    let mut out: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    for &(a, b) in arcs {
+        out[index[&a]].push(index[&b]);
+    }
+    for (i, o) in out.iter().enumerate() {
+        assert!(o.len() > 1 || arcs.iter().any(|&(a, b)| index[&a] == i && index[&b] == i),
+            "vertex {} has an empty out-neighbourhood", verts[i]);
+    }
+    let mut labels: Vec<usize> = (0..n).collect();
+    let mut total_reps: u64 = 0;
+    let mut count: u64 = 0;
+    permute(&mut labels, 0, &mut |perm| {
+        let mut reps = 0u32;
+        let mut seen = [false; 10];
+        for o in &out {
+            let r = *o.iter().min_by_key(|&&w| perm[w]).expect("nonempty");
+            if !seen[r] {
+                seen[r] = true;
+                reps += 1;
+            }
+        }
+        total_reps += reps as u64;
+        count += 1;
+    });
+    total_reps as f64 / count as f64
+}
+
+/// Undirected variant: each edge becomes two arcs.
+pub fn exact_expected_representatives(edges: &[(u64, u64)]) -> f64 {
+    let arcs: Vec<(u64, u64)> = edges
+        .iter()
+        .flat_map(|&(a, b)| if a == b { vec![(a, b)] } else { vec![(a, b), (b, a)] })
+        .collect();
+    exact_expected_representatives_directed(&arcs)
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// Per-vertex ordering census for the paper's Lemma 1 (Appendix B):
+/// over all |V|! labellings of a directed graph, how often is the
+/// vertex the representative of nobody (type 0), exactly one vertex
+/// (type 1), or two-or-more (type 2+)?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeCensus {
+    /// The vertex.
+    pub vertex: u64,
+    /// Orderings making it type 0.
+    pub type0: u64,
+    /// Orderings making it type 1.
+    pub type1: u64,
+    /// Orderings making it type 2+.
+    pub type2_plus: u64,
+}
+
+/// Counts, for every vertex of a small directed graph, the orderings
+/// under which it has each representative type — the quantities of the
+/// paper's Lemma 1, which proves `type1 ≤ type0` for every vertex with
+/// a non-empty out-neighbourhood. Exact, by enumeration; practical up
+/// to ~8 vertices.
+pub fn lemma1_type_census(arcs: &[(u64, u64)]) -> Vec<TypeCensus> {
+    let mut verts: Vec<u64> = arcs
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    verts.sort_unstable();
+    let n = verts.len();
+    assert!(n <= 9, "Lemma 1 census is factorial; keep graphs small");
+    let index: HashMap<u64, usize> = verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut out: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    for &(a, b) in arcs {
+        if index[&a] != index[&b] {
+            out[index[&a]].push(index[&b]);
+        }
+    }
+    let mut census: Vec<[u64; 3]> = vec![[0; 3]; n];
+    let mut labels: Vec<usize> = (0..n).collect();
+    permute(&mut labels, 0, &mut |perm| {
+        let mut rep_count = [0u32; 9];
+        for o in &out {
+            let r = *o.iter().min_by_key(|&&w| perm[w]).expect("closed nbhd");
+            rep_count[r] += 1;
+        }
+        for (i, c) in census.iter_mut().enumerate() {
+            c[(rep_count[i] as usize).min(2)] += 1;
+        }
+    });
+    verts
+        .iter()
+        .zip(&census)
+        .map(|(&v, c)| TypeCensus { vertex: v, type0: c[0], type1: c[1], type2_plus: c[2] })
+        .collect()
+}
+
+/// Exhaustively searches all undirected graphs on `n` labelled
+/// vertices (every vertex covered by at least one edge) for the
+/// highest exact expected contraction factor γ — the open question the
+/// paper's Appendix B closes with (its best known undirected graph has
+/// γ ≈ 56.343%). Returns `(edges, gamma)` of the worst graph found.
+/// Cost grows as `2^(n(n-1)/2) · n!`; practical to n = 6.
+pub fn search_worst_undirected(n: usize) -> (Vec<(u64, u64)>, f64) {
+    assert!((2..=6).contains(&n), "search is doubly exponential; n must be 2..=6");
+    let pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).collect();
+    let m = pairs.len();
+    let mut best: (Vec<(u64, u64)>, f64) = (Vec::new(), 0.0);
+    // Precompute all permutations of 0..n once.
+    let mut perms: Vec<Vec<usize>> = Vec::new();
+    let mut labels: Vec<usize> = (0..n).collect();
+    permute(&mut labels, 0, &mut |p| perms.push(p.to_vec()));
+    for mask in 1u32..(1 << m) {
+        // Build closed neighbourhood bitmasks; skip graphs leaving a
+        // vertex uncovered.
+        let mut nbhd: Vec<u32> = (0..n).map(|i| 1 << i).collect();
+        let mut covered = 0u32;
+        for (bit, &(a, b)) in pairs.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                nbhd[a] |= 1 << b;
+                nbhd[b] |= 1 << a;
+                covered |= (1 << a) | (1 << b);
+            }
+        }
+        if covered != (1 << n) - 1 {
+            continue;
+        }
+        let mut total_reps: u64 = 0;
+        for perm in &perms {
+            let mut reps = 0u32;
+            let mut seen = 0u32;
+            for &nb in &nbhd {
+                let mut r = 0usize;
+                let mut best_label = usize::MAX;
+                let mut bits = nb;
+                while bits != 0 {
+                    let w = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if perm[w] < best_label {
+                        best_label = perm[w];
+                        r = w;
+                    }
+                }
+                if seen & (1 << r) == 0 {
+                    seen |= 1 << r;
+                    reps += 1;
+                }
+            }
+            total_reps += reps as u64;
+        }
+        let gamma = total_reps as f64 / (perms.len() as u64 * n as u64) as f64;
+        if gamma > best.1 {
+            best = (
+                pairs
+                    .iter()
+                    .enumerate()
+                    .filter(|(bit, _)| mask & (1 << bit) != 0)
+                    .map(|(_, &(a, b))| (a as u64, b as u64))
+                    .collect(),
+                gamma,
+            );
+        }
+    }
+    best
+}
+
+
+/// Exact expected contraction factor of an undirected graph under full
+/// randomisation, computed by inclusion–exclusion instead of
+/// permutation enumeration — polynomial in |V| for bounded degree, so
+/// it scales far beyond [`exact_expected_representatives`]'s n ≤ 10.
+///
+/// Derivation: vertex `v` is chosen as a representative iff it is the
+/// minimum of at least one closed neighbourhood `N[u]` with `u ∈ N[v]`.
+/// Under a uniform random ordering `Pr(v = min S) = 1/|S|` for any set
+/// `S ∋ v`, and `v = min S_a` and `v = min S_b` iff `v = min(S_a ∪
+/// S_b)`, so by inclusion–exclusion over the (deduplicated) family
+/// `{N[u] : u ∈ N[v]}`:
+///
+/// ```text
+/// Pr(v chosen) = Σ_{∅≠T} (−1)^{|T|+1} / |∪T|
+/// ```
+///
+/// Supports up to 128 vertices and at most 20 distinct neighbourhoods
+/// per vertex (2^k subset enumeration).
+pub fn exact_gamma_inclusion_exclusion(edges: &[(u64, u64)]) -> f64 {
+    // Dense-index the vertices into u128 bitmasks.
+    let mut verts: Vec<u64> = edges
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    verts.sort_unstable();
+    let n = verts.len();
+    assert!(n <= 128, "inclusion-exclusion gamma supports up to 128 vertices");
+    let index: HashMap<u64, usize> = verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut closed: Vec<u128> = (0..n).map(|i| 1u128 << i).collect();
+    for &(a, b) in edges {
+        let (ia, ib) = (index[&a], index[&b]);
+        closed[ia] |= 1 << ib;
+        closed[ib] |= 1 << ia;
+    }
+    let mut expected = 0.0f64;
+    for v in 0..n {
+        // The family {N[u] : u ∈ N[v]} (u = v included), deduplicated.
+        let mut family: Vec<u128> = Vec::new();
+        let mut members = closed[v];
+        while members != 0 {
+            let u = members.trailing_zeros() as usize;
+            members &= members - 1;
+            if !family.contains(&closed[u]) {
+                family.push(closed[u]);
+            }
+        }
+        let k = family.len();
+        assert!(k <= 20, "vertex with more than 20 distinct neighbourhoods");
+        // Subset DP: union of T = union of (T without lowest bit) and
+        // the lowest set.
+        let mut union_of: Vec<u128> = vec![0; 1 << k];
+        let mut prob = 0.0f64;
+        for t in 1usize..1 << k {
+            let low = t.trailing_zeros() as usize;
+            union_of[t] = union_of[t & (t - 1)] | family[low];
+            let sign = if t.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+            prob += sign / union_of[t].count_ones() as f64;
+        }
+        expected += prob;
+    }
+    expected / n as f64
+}
+
+
+/// Exact expected contraction factor as a reduced rational `(num,
+/// den)`, via the same inclusion–exclusion as
+/// [`exact_gamma_inclusion_exclusion`] but in integer arithmetic —
+/// every term is `±1/|∪T|` with `|∪T| ≤ |V| ≤ 128`, so sums stay well
+/// inside `i128` using the LCM of 1..=n as the common denominator.
+/// Exact rationals let results be compared against the paper's
+/// γ = 81215/144144 record without floating-point doubt.
+pub fn exact_gamma_rational(edges: &[(u64, u64)]) -> (i128, i128) {
+    let mut verts: Vec<u64> = edges
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    verts.sort_unstable();
+    let n = verts.len();
+    assert!(n <= 40, "rational gamma supports up to 40 vertices");
+    let index: HashMap<u64, usize> = verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut closed: Vec<u64> = (0..n).map(|i| 1u64 << i).collect();
+    for &(a, b) in edges {
+        let (ia, ib) = (index[&a], index[&b]);
+        closed[ia] |= 1 << ib;
+        closed[ib] |= 1 << ia;
+    }
+    // LCM of 1..=n.
+    let gcd = |mut a: i128, mut b: i128| {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a.abs()
+    };
+    let mut lcm: i128 = 1;
+    for k in 1..=n as i128 {
+        lcm = lcm / gcd(lcm, k) * k;
+    }
+    let mut numerator: i128 = 0; // of Σ_v Pr(v chosen), scaled by lcm
+    for v in 0..n {
+        let mut family: Vec<u64> = Vec::new();
+        let mut members = closed[v];
+        while members != 0 {
+            let u = members.trailing_zeros() as usize;
+            members &= members - 1;
+            if !family.contains(&closed[u]) {
+                family.push(closed[u]);
+            }
+        }
+        let k = family.len();
+        assert!(k <= 20, "vertex with more than 20 distinct neighbourhoods");
+        let mut union_of: Vec<u64> = vec![0; 1 << k];
+        for t in 1usize..1 << k {
+            let low = t.trailing_zeros() as usize;
+            union_of[t] = union_of[t & (t - 1)] | family[low];
+            let size = union_of[t].count_ones() as i128;
+            let term = lcm / size;
+            if t.count_ones() % 2 == 1 {
+                numerator += term;
+            } else {
+                numerator -= term;
+            }
+        }
+    }
+    // gamma = numerator / (lcm * n), reduced.
+    let den = lcm * n as i128;
+    let g = gcd(numerator, den);
+    (numerator / g, den / g)
+}
+
+/// One tree-beam-search result: vertex count, best tree's edges, and
+/// its exact γ as a reduced `numerator / denominator`.
+pub type BeamRow = (usize, Vec<(u64, u64)>, i128, i128);
+
+/// Beam search for high-γ **trees**: every best-known worst-γ graph is
+/// a tree (stars, double stars, the paper's Fig. 9 graph), and trees
+/// admit a natural generator — attach one new leaf to any vertex of a
+/// smaller tree. Keeps the `beam` highest-γ trees at each size and
+/// returns the best `(edges, num, den)` per vertex count up to
+/// `max_n`.
+pub fn tree_beam_search(max_n: usize, beam: usize) -> Vec<BeamRow> {
+    assert!((2..=20).contains(&max_n));
+    let mut frontier: Vec<Vec<(u64, u64)>> = vec![vec![(0, 1)]];
+    let mut results = Vec::new();
+    let score = |edges: &[(u64, u64)]| -> (i128, i128) { exact_gamma_rational(edges) };
+    {
+        let (num, den) = score(&frontier[0]);
+        results.push((2usize, frontier[0].clone(), num, den));
+    }
+    for n in 3..=max_n {
+        type Candidate = (f64, (i128, i128), Vec<(u64, u64)>);
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut seen: HashSet<u128> = HashSet::new();
+        for tree in &frontier {
+            let new_vertex = (n - 1) as u64;
+            for attach in 0..new_vertex {
+                // Degree cap guard for the scorer.
+                let deg = tree.iter().filter(|&&(a, b)| a == attach || b == attach).count();
+                if deg + 1 >= 19 {
+                    continue;
+                }
+                let mut next = tree.clone();
+                next.push((attach, new_vertex));
+                let (num, den) = score(&next);
+                // Dedup by exact gamma + sorted degree sequence: a cheap
+                // isomorphism-class proxy that keeps the beam diverse.
+                let mut degs = vec![0u8; n];
+                for &(a, b) in &next {
+                    degs[a as usize] += 1;
+                    degs[b as usize] += 1;
+                }
+                degs.sort_unstable();
+                let mut sig: u128 = (num as u128) ^ ((den as u128) << 64);
+                for d in degs {
+                    sig = sig.wrapping_mul(131).wrapping_add(d as u128);
+                }
+                if !seen.insert(sig) {
+                    continue;
+                }
+                candidates.push((num as f64 / den as f64, (num, den), next));
+            }
+        }
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        candidates.truncate(beam);
+        if let Some((_, (num, den), edges)) = candidates.first() {
+            results.push((n, edges.clone(), *num, *den));
+        }
+        frontier = candidates.into_iter().map(|(_, _, e)| e).collect();
+    }
+    results
+}
+
+/// Simulated-annealing search for high-γ undirected graphs on `n`
+/// labelled vertices, extending [`search_worst_undirected`]'s
+/// exhaustive range (n ≤ 6) toward the size of the paper's Fig. 9
+/// record graph (γ ≈ 0.56343). Starts from the star (the best small
+/// family), proposes single-edge toggles that keep every vertex
+/// covered, and scores with the exact inclusion–exclusion expectation.
+/// Returns the best `(edges, gamma)` seen.
+///
+/// `n` is capped at 20: the starting star's hub has `n − 1` distinct
+/// neighbourhoods, and the exact scorer enumerates `2^(deg+1)` subsets
+/// per vertex.
+pub fn anneal_worst_gamma(n: usize, iters: usize, seed: u64) -> (Vec<(u64, u64)>, f64) {
+    use rand::Rng;
+    assert!(
+        (3..=20).contains(&n),
+        "anneal supports 3..=20 vertices (inclusion-exclusion degree cap)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).collect();
+    // Start: star at 0.
+    let mut present: Vec<bool> = pairs.iter().map(|&(a, _)| a == 0).collect();
+    let edges_of = |present: &[bool]| -> Vec<(u64, u64)> {
+        pairs
+            .iter()
+            .zip(present)
+            .filter(|(_, &p)| p)
+            .map(|(&(a, b), _)| (a as u64, b as u64))
+            .collect()
+    };
+    // Every vertex covered, and degrees inside the inclusion-exclusion
+    // cap (a vertex's family has at most deg+1 distinct sets).
+    let covered = |present: &[bool]| -> bool {
+        let mut deg = vec![0usize; n];
+        for (&(a, b), &p) in pairs.iter().zip(present) {
+            if p {
+                deg[a] += 1;
+                deg[b] += 1;
+            }
+        }
+        deg.iter().all(|&d| d > 0 && d < 19)
+    };
+    let mut current = exact_gamma_inclusion_exclusion(&edges_of(&present));
+    let mut best = (edges_of(&present), current);
+    let (t0, t1) = (0.02f64, 0.0005f64);
+    for i in 0..iters {
+        let temp = t0 * (t1 / t0).powf(i as f64 / iters.max(1) as f64);
+        let flip = rng.gen_range(0..pairs.len());
+        present[flip] = !present[flip];
+        if !covered(&present) {
+            present[flip] = !present[flip];
+            continue;
+        }
+        let cand = exact_gamma_inclusion_exclusion(&edges_of(&present));
+        let delta = cand - current;
+        if delta >= 0.0 || rng.gen::<f64>() < (delta / temp).exp() {
+            current = cand;
+            if cand > best.1 {
+                best = (edges_of(&present), cand);
+            }
+        } else {
+            present[flip] = !present[flip];
+        }
+    }
+    best
+}
+
+/// The Fig. 2 demonstration: a sequentially numbered path contracts by
+/// exactly one vertex under the identity ordering (worst case), while
+/// random orderings contract it geometrically.
+pub fn sequential_path_worst_case(n: usize) -> ContractionStep {
+    assert!(n >= 2);
+    let edges: Vec<(u64, u64)> = (0..n as u64 - 1).map(|i| (i, i + 1)).collect();
+    contract_once(&edges, |v| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incc_graph::generators::{cycle_graph, gnm_random_graph, path_graph, PathNumbering};
+
+    #[test]
+    fn sequential_path_shrinks_by_one() {
+        // Fig. 2(a): every vertex but the first picks its left
+        // neighbour; n-1 representatives remain.
+        for n in [2usize, 5, 50] {
+            let step = sequential_path_worst_case(n);
+            assert_eq!(step.vertices_before, n);
+            assert_eq!(step.representatives, n - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn optimal_path_numbering_contracts_to_a_third() {
+        // Fig. 2(b): the path numbered 3 1 4 5 2 6 contracts to 2 = n/3.
+        let order = [3u64, 1, 4, 5, 2, 6];
+        let edges: Vec<(u64, u64)> = order.windows(2).map(|w| (w[0], w[1])).collect();
+        let step = contract_once(&edges, |v| v);
+        assert_eq!(step.representatives, 2);
+    }
+
+    #[test]
+    fn contraction_preserves_component_count() {
+        use incc_graph::union_find::connected_components;
+        let g = gnm_random_graph(60, 90, 3);
+        let before: HashSet<u64> =
+            connected_components(&g.edges).values().copied().collect();
+        let step = contract_once(&g.edges, incc_ffield::strategy::mix64);
+        // Isolated representatives drop out of the edge list, so only
+        // multi-vertex components are directly comparable.
+        let after: HashSet<u64> =
+            connected_components(&step.edges).values().copied().collect();
+        assert!(after.len() <= before.len());
+        assert!(!step.edges.iter().any(|(a, b)| a == b), "no loops survive");
+    }
+
+    #[test]
+    fn contract_to_completion_is_logarithmic_ish() {
+        let g = path_graph(4096, PathNumbering::Sequential, 0);
+        let steps = contract_to_completion(&g.edges, Method::Gf64, 7);
+        // log_{4/3}(4096) ≈ 29; allow generous slack.
+        assert!(
+            steps.len() <= 60,
+            "randomised contraction took {} rounds on a 4096-path",
+            steps.len()
+        );
+        assert!(steps.len() >= 6, "cannot finish a 4096-path in {} rounds", steps.len());
+    }
+
+    #[test]
+    fn measured_gamma_below_three_quarters() {
+        // Theorem 1: E(shrink) ≤ 3/4 for any graph without isolated
+        // vertices, any method.
+        let graphs: Vec<Vec<(u64, u64)>> = vec![
+            path_graph(200, PathNumbering::Sequential, 0).edges,
+            cycle_graph(111).edges,
+            gnm_random_graph(100, 300, 1).edges,
+        ];
+        for edges in graphs {
+            for m in Method::ALL {
+                let gamma = measured_gamma(&edges, m, 42, 40);
+                assert!(
+                    gamma < 0.78,
+                    "{m:?}: measured gamma {gamma} exceeds Theorem 1 bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_expectation_on_directed_3_cycle_is_two_thirds() {
+        // Appendix B Theorem 2: the bound γ = 2/3 is attained by the
+        // directed 3-cycle.
+        let arcs = vec![(0u64, 1), (1, 2), (2, 0)];
+        let gamma = exact_expected_representatives_directed(&arcs) / 3.0;
+        assert!((gamma - 2.0 / 3.0).abs() < 1e-9, "gamma={gamma}");
+    }
+
+    #[test]
+    fn exact_expectation_undirected_triangle() {
+        // Undirected triangle: every vertex picks the global minimum:
+        // always exactly 1 representative.
+        let gamma = exact_expected_representatives(&[(0, 1), (1, 2), (0, 2)]) / 3.0;
+        assert!((gamma - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_expectation_path_p2() {
+        // Two vertices, one edge: both pick the smaller label: 1 rep.
+        let gamma = exact_expected_representatives(&[(0, 1)]) / 2.0;
+        assert!((gamma - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_expectation_matches_measured_on_p4() {
+        let edges = vec![(0u64, 1), (1, 2), (2, 3)];
+        let exact = exact_expected_representatives(&edges) / 4.0;
+        let measured = measured_gamma(&edges, Method::RandomReals, 5, 20_000);
+        assert!(
+            (exact - measured).abs() < 0.02,
+            "exact {exact} vs measured {measured}"
+        );
+        assert!(exact <= 2.0 / 3.0 + 1e-9, "Appendix B bound");
+    }
+
+
+    #[test]
+    fn inclusion_exclusion_matches_enumeration() {
+        // Cross-check the polynomial formula against brute force on
+        // every family the enumeration can reach.
+        let graphs: Vec<Vec<(u64, u64)>> = vec![
+            vec![(0, 1)],
+            vec![(0, 1), (1, 2)],
+            vec![(0, 1), (1, 2), (2, 0)],
+            vec![(0, 1), (1, 2), (2, 3)],
+            vec![(0, 1), (0, 2), (0, 3)],
+            incc_graph::generators::cycle_graph(6).edges,
+            incc_graph::generators::complete_graph(5).edges,
+            incc_graph::generators::gnm_random_graph(7, 10, 3).edges,
+        ];
+        for edges in graphs {
+            let n = edges
+                .iter()
+                .flat_map(|&(a, b)| [a, b])
+                .collect::<std::collections::HashSet<_>>()
+                .len() as f64;
+            let brute = exact_expected_representatives(&edges) / n;
+            let ie = exact_gamma_inclusion_exclusion(&edges);
+            assert!(
+                (brute - ie).abs() < 1e-9,
+                "mismatch on {edges:?}: brute {brute} vs IE {ie}"
+            );
+        }
+    }
+
+    #[test]
+    fn inclusion_exclusion_scales_past_enumeration() {
+        // Sizes far beyond the n ≤ 10 permutation enumeration, within
+        // the per-vertex 2^k family cap (k = deg + 1 ≤ 20): an
+        // 18-vertex star and a 60-vertex path.
+        let g = incc_graph::generators::star_graph(18);
+        let gamma = exact_gamma_inclusion_exclusion(&g.edges);
+        assert!(gamma > 0.5 && gamma < 2.0 / 3.0, "star-18 gamma {gamma}");
+        let p = incc_graph::generators::path_graph(
+            60,
+            incc_graph::generators::PathNumbering::Sequential,
+            0,
+        );
+        let gamma_p = exact_gamma_inclusion_exclusion(&p.edges);
+        assert!(gamma_p < 2.0 / 3.0, "path-60 gamma {gamma_p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "20 distinct neighbourhoods")]
+    fn inclusion_exclusion_degree_cap_guard() {
+        // A big star's hub has one distinct neighbourhood per leaf;
+        // past the cap the function must refuse, not hang.
+        let g = incc_graph::generators::star_graph(40);
+        exact_gamma_inclusion_exclusion(&g.edges);
+    }
+
+
+    #[test]
+    fn rational_gamma_matches_float_and_enumeration() {
+        let graphs: Vec<Vec<(u64, u64)>> = vec![
+            vec![(0, 1)],
+            vec![(0, 1), (1, 2), (2, 0)],
+            vec![(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (1, 6), (1, 7)], // D(3,3)
+        ];
+        for edges in graphs {
+            let (num, den) = exact_gamma_rational(&edges);
+            let f = exact_gamma_inclusion_exclusion(&edges);
+            assert!((num as f64 / den as f64 - f).abs() < 1e-12, "{edges:?}");
+        }
+        // P2: gamma = 1/2 exactly.
+        assert_eq!(exact_gamma_rational(&[(0, 1)]), (1, 2));
+        // Triangle: gamma = 1/3 exactly.
+        assert_eq!(exact_gamma_rational(&[(0, 1), (1, 2), (2, 0)]), (1, 3));
+    }
+
+    #[test]
+    fn tree_beam_search_reaches_known_optima() {
+        let results = tree_beam_search(8, 24);
+        // n=3: P3 = 5/9; n=4: star = 9/16; n=8: double star D(3,3).
+        let by_n: std::collections::HashMap<usize, (i128, i128)> =
+            results.iter().map(|(n, _, num, den)| (*n, (*num, *den))).collect();
+        assert_eq!(by_n[&3], (5, 9));
+        assert_eq!(by_n[&4], (9, 16));
+        let (num, den) = by_n[&8];
+        let g8 = num as f64 / den as f64;
+        assert!(g8 >= 0.5633, "n=8 best {g8}");
+    }
+
+    #[test]
+    fn anneal_recovers_exhaustive_optimum() {
+        let (_, g4) = search_worst_undirected(4);
+        let (_, a4) = anneal_worst_gamma(4, 1500, 7);
+        assert!(a4 >= g4 - 1e-9, "anneal {a4} below exhaustive {g4}");
+        // And stays below the Appendix B ceiling at a larger size.
+        let (_, a10) = anneal_worst_gamma(10, 800, 7);
+        assert!(a10 < 2.0 / 3.0);
+        assert!(a10 > 0.5);
+    }
+
+    #[test]
+    fn lemma1_holds_on_sample_digraphs() {
+        // Lemma 1: for any vertex with a non-empty out-neighbourhood,
+        // #orderings making it type 1 ≤ #orderings making it type 0.
+        let digraphs: Vec<Vec<(u64, u64)>> = vec![
+            vec![(0, 1), (1, 2), (2, 0)],                  // directed 3-cycle
+            vec![(0, 1), (1, 0)],                          // 2-cycle
+            vec![(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)],  // 4-cycle + chord
+            vec![(0, 1), (0, 2), (1, 2), (2, 0), (3, 0), (2, 3)],
+            // Undirected P4 as arcs both ways.
+            vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
+        ];
+        for arcs in digraphs {
+            for tc in lemma1_type_census(&arcs) {
+                assert!(
+                    tc.type1 <= tc.type0,
+                    "Lemma 1 violated at vertex {} of {arcs:?}: {tc:?}",
+                    tc.vertex
+                );
+                let total = tc.type0 + tc.type1 + tc.type2_plus;
+                assert_eq!(total, factorial_of_vertex_count(&arcs));
+            }
+        }
+    }
+
+    fn factorial_of_vertex_count(arcs: &[(u64, u64)]) -> u64 {
+        let n = arcs
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u64;
+        (1..=n).product()
+    }
+
+    #[test]
+    fn lemma1_census_matches_expectation_identity() {
+        // Σ_v (type1 + type2_plus) / n! = E[#representatives].
+        let arcs = vec![(0u64, 1), (1, 2), (2, 0)];
+        let census = lemma1_type_census(&arcs);
+        let fact = factorial_of_vertex_count(&arcs) as f64;
+        let from_census: f64 =
+            census.iter().map(|c| (c.type1 + c.type2_plus) as f64 / fact).sum();
+        let direct = exact_expected_representatives_directed(&arcs);
+        assert!((from_census - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_gamma_search_small_n() {
+        // n = 2: only K2, gamma = 1/2.
+        let (_, g2) = search_worst_undirected(2);
+        assert!((g2 - 0.5).abs() < 1e-9);
+        // n = 3: P3 beats the triangle (5/9 vs 1/3).
+        let (edges3, g3) = search_worst_undirected(3);
+        assert!((g3 - 5.0 / 9.0).abs() < 1e-9, "gamma={g3} for {edges3:?}");
+        assert_eq!(edges3.len(), 2, "worst 3-vertex graph is the path");
+        // Appendix B: every undirected gamma stays below 2/3...
+        assert!(g3 < 2.0 / 3.0);
+        // ...and n = 4 pushes higher than n = 3's path but stays below.
+        let (_, g4) = search_worst_undirected(4);
+        assert!(g4 >= g3 - 1e-12 && g4 < 2.0 / 3.0, "gamma4={g4}");
+    }
+
+    #[test]
+    #[should_panic(expected = "3..=20")]
+    fn anneal_size_guard() {
+        // n = 21+ would start from a star whose hub exceeds the
+        // inclusion-exclusion cap; the range check must refuse first.
+        anneal_worst_gamma(21, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "doubly exponential")]
+    fn worst_gamma_search_size_guard() {
+        search_worst_undirected(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "factorial")]
+    fn exact_enumeration_size_guard() {
+        let edges: Vec<(u64, u64)> = (0..11u64).map(|i| (i, (i + 1) % 12)).collect();
+        exact_expected_representatives(&edges);
+    }
+
+    #[test]
+    fn empty_graph_contracts_trivially() {
+        let step = contract_once(&[], |v| v);
+        assert_eq!(step.vertices_before, 0);
+        assert_eq!(step.shrink_factor(), 0.0);
+    }
+}

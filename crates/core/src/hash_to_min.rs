@@ -1,0 +1,126 @@
+//! Hash-to-Min (Rastogi et al., "Finding connected components in
+//! Map-Reduce in logarithmic rounds", ICDE 2013) — ported to SQL.
+//!
+//! Every vertex `v` maintains a cluster `C(v)`, initialised to its
+//! closed neighbourhood. Each round, `v` sends `min C(v)` to every
+//! member of `C(v)` and sends all of `C(v)` to the minimum; each
+//! vertex's new cluster is the union of what it received. The paper
+//! reports this as the best practical MapReduce algorithm of its
+//! family — and exploits its Θ(|V|²) worst-case space on path graphs
+//! (the `Path100M` dataset) to show why worst-case space matters: "on a
+//! shorter path of 100,000 vertices they already use more than 100 GB".
+//! The port keeps that behaviour; the engine's space guard reports it
+//! as "did not finish", matching the dashes in the paper's Table III.
+//!
+//! The SQL translation is the direct one the paper describes for its
+//! own experiments: the cluster relation is a table `cc(v, u)` meaning
+//! `u ∈ C(v)`; the map phase is a join against the per-vertex minima
+//! and the reduce phase a `DISTINCT` union.
+
+use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm};
+use incc_mppdb::{Cluster, DbError, DbResult};
+
+/// Hash-to-Min, in-database.
+#[derive(Debug, Clone, Copy)]
+pub struct HashToMin {
+    /// Round guard (0 = unlimited); Hash-to-Min provably converges in
+    /// O(log |V|) rounds, so this only trips on bugs.
+    pub max_rounds: usize,
+}
+
+impl Default for HashToMin {
+    fn default() -> Self {
+        HashToMin { max_rounds: 1000 }
+    }
+}
+
+impl CcAlgorithm for HashToMin {
+    fn name(&self) -> String {
+        "HM".into()
+    }
+
+    fn run(&self, db: &Cluster, input: &str, _seed: u64) -> DbResult<AlgoOutcome> {
+        drop_if_exists(db, &["hmgraph", "hmcc", "hmmin", "hmnew", "hmresult"]);
+        db.run(&format!(
+            "create table hmgraph as \
+             select v1, v2 from {input} union all select v2, v1 from {input} \
+             distributed by (v1)"
+        ))?;
+        // C(v) = N[v]: all neighbours plus v itself.
+        db.run(
+            "create table hmcc as \
+             select distinct v1 as v, v2 as u from hmgraph \
+             union all select distinct v1 as v, v1 as u from hmgraph \
+             distributed by (v)",
+        )?;
+        db.drop_table("hmgraph")?;
+
+        let mut rounds = 0usize;
+        let mut round_sizes: Vec<usize> = Vec::new();
+        let mut prev_sig: Option<(i64, i64, i64)> = None;
+        loop {
+            rounds += 1;
+            if self.max_rounds > 0 && rounds > self.max_rounds {
+                drop_if_exists(db, &["hmcc", "hmmin", "hmnew"]);
+                return Err(DbError::Exec(format!(
+                    "Hash-to-Min did not converge within {} rounds",
+                    self.max_rounds
+                )));
+            }
+            db.run(
+                "create table hmmin as select v, min(u) as m from hmcc \
+                 group by v distributed by (v)",
+            )?;
+            // Map: send C(v) to min(C(v)) and min(C(v)) to all of C(v).
+            // Reduce: union (DISTINCT).
+            let create = db.run(
+                "create table hmnew as \
+                 select distinct v, u from \
+                 (select m.m as v, c.u as u from hmcc as c, hmmin as m where c.v = m.v \
+                  union all \
+                  select c.u as v, m.m as u from hmcc as c, hmmin as m where c.v = m.v) \
+                 as msgs distributed by (v)",
+            );
+            db.drop_table("hmmin")?;
+            let _rows = match create {
+                Ok(out) => out.row_count(),
+                Err(e) => {
+                    drop_if_exists(db, &["hmcc", "hmnew"]);
+                    return Err(e);
+                }
+            };
+            // Convergence: the cluster relation is a fixpoint. The
+            // check compares a cheap signature (count, Σv, Σu) across
+            // rounds; at the fixpoint the relation is literally equal,
+            // so the signature is too. The converse is assumed: a
+            // signature collision between *different* consecutive
+            // relations would stop the loop early. With three
+            // 64-bit-sum components over data that changes by whole
+            // cluster merges, no workload has exhibited this; every
+            // run is verified against union-find downstream.
+            let sig_row = db.query(
+                "select count(*) as c, sum(v) as sv, sum(u) as su from hmnew",
+            )?;
+            let sig = (
+                sig_row[0][0].as_int().unwrap_or(0),
+                sig_row[0][1].as_int().unwrap_or(0),
+                sig_row[0][2].as_int().unwrap_or(0),
+            );
+            db.drop_table("hmcc")?;
+            db.rename_table("hmnew", "hmcc")?;
+            round_sizes.push(sig.0.max(0) as usize);
+            if prev_sig == Some(sig) {
+                break;
+            }
+            prev_sig = Some(sig);
+        }
+        // At convergence C(m) is the whole component for the minimum m
+        // and C(v) ∋ m for every other vertex: the label is min C(v).
+        db.run(
+            "create table hmresult as select v, min(u) as r from hmcc \
+             group by v distributed by (v)",
+        )?;
+        db.drop_table("hmcc")?;
+        Ok(AlgoOutcome { result_table: "hmresult".into(), rounds, round_sizes })
+    }
+}

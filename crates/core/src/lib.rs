@@ -1,0 +1,49 @@
+//! In-database connected component analysis.
+//!
+//! This crate implements the primary contribution of Bögeholz, Brand &
+//! Todor, *"In-database connected component analysis"* (ICDE 2020):
+//! **Randomised Contraction**, a randomised, always-correct,
+//! linear-space connected-components algorithm whose building blocks
+//! are plain SQL queries executed inside an MPP relational database —
+//! here the from-scratch [`incc_mppdb`] engine. For any ε > 0 the
+//! algorithm terminates within O(log |V|) SQL queries with probability
+//! at least 1 − ε (paper Theorem 1 plus Markov).
+//!
+//! Alongside the paper's algorithm (both space variants of Figs. 3-4
+//! and all randomisation methods of Section V-C), the crate ports the
+//! three distributed comparators the paper evaluates against — exactly
+//! as the paper did, via "direct, one-to-one translations" to SQL:
+//!
+//! * [`hash_to_min::HashToMin`] — Rastogi et al., ICDE 2013.
+//! * [`two_phase::TwoPhase`] — Kiveris et al., SoCC 2014.
+//! * [`cracker::Cracker`] — Lulli et al., TPDS 2017.
+//! * [`bfs::BfsStrategy`] — the naive min-propagation strategy of the
+//!   paper's Section IV (the MADlib approach), kept for the worst-case
+//!   demonstrations.
+//!
+//! Every algorithm implements [`driver::CcAlgorithm`]: it receives an
+//! edge table named by the caller (columns `v1`, `v2`, one row per
+//! undirected edge, loop edges marking isolated vertices) and leaves a
+//! result table of `(v, r)` labellings, the paper's output contract.
+//! [`driver::run_on_graph`] wires a generated graph through any
+//! algorithm and verifies the labelling against in-memory union–find.
+//!
+//! The [`gamma`] module contains the contraction-factor machinery
+//! behind the paper's Theorem 1 (γ ≤ 3/4), Appendix B (γ ≤ 2/3 under
+//! full randomisation, tight on the directed 3-cycle) and Fig. 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod cracker;
+pub mod driver;
+pub mod gamma;
+pub mod hash_to_min;
+pub mod mirror;
+pub mod rc;
+pub mod two_phase;
+pub mod udf;
+
+pub use driver::{run_on_graph, AlgoOutcome, CcAlgorithm, RunReport};
+pub use rc::{RandomisedContraction, SpaceVariant};

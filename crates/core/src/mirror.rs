@@ -1,0 +1,339 @@
+//! In-memory mirrors of the four distributed algorithms.
+//!
+//! The SQL implementations in this crate are the faithful artefacts;
+//! these mirrors replay the same per-round logic on plain hash maps so
+//! that *round-count* experiments can run at 10⁶–10⁷ vertices without
+//! engine overhead — large enough to separate Randomised Contraction's
+//! O(log |V|) from Two-Phase's O(log² |V|) (the paper's Table I), which
+//! single-machine SQL sweeps cannot reach. Each mirror returns both the
+//! labelling (verified against union–find in tests) and the number of
+//! rounds, defined identically to its SQL twin.
+
+use incc_ffield::Method;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// Result of an in-memory run: component labels plus round count.
+#[derive(Debug, Clone)]
+pub struct MirrorRun {
+    /// Vertex → component label.
+    pub labels: HashMap<u64, u64>,
+    /// Rounds executed (same counting as the SQL implementation).
+    pub rounds: usize,
+}
+
+fn adjacency(edges: &[(u64, u64)]) -> HashMap<u64, Vec<u64>> {
+    let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(a, b) in edges {
+        if a == b {
+            adj.entry(a).or_default();
+        } else {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        }
+    }
+    adj
+}
+
+/// Randomised Contraction, in memory: contract with a fresh hash per
+/// round until no edges remain, composing representative maps.
+pub fn rc_mirror(edges: &[(u64, u64)], method: Method, seed: u64) -> MirrorRun {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Composition map: original vertex -> current representative.
+    let mut labels: HashMap<u64, u64> = adjacency(edges).keys().map(|&v| (v, v)).collect();
+    let mut current: Vec<(u64, u64)> =
+        edges.iter().filter(|(a, b)| a != b).copied().collect();
+    let mut rounds = 0usize;
+    while !current.is_empty() {
+        rounds += 1;
+        assert!(rounds < 10_000, "RC mirror failed to converge");
+        let h = method.sample_round(&mut rng);
+        let adj = adjacency(&current);
+        let mut rep: HashMap<u64, u64> = HashMap::with_capacity(adj.len());
+        for (&v, ns) in &adj {
+            let mut best = v;
+            let mut best_h = h.hash(v);
+            for &w in ns {
+                let hw = h.hash(w);
+                if hw < best_h || (hw == best_h && w < best) {
+                    best = w;
+                    best_h = hw;
+                }
+            }
+            rep.insert(v, best);
+        }
+        for label in labels.values_mut() {
+            if let Some(&r) = rep.get(label) {
+                *label = r;
+            }
+        }
+        let mut next: HashSet<(u64, u64)> = HashSet::new();
+        for &(a, b) in &current {
+            let (ra, rb) = (rep[&a], rep[&b]);
+            if ra != rb {
+                next.insert((ra.min(rb), ra.max(rb)));
+            }
+        }
+        current = next.into_iter().collect();
+    }
+    MirrorRun { labels, rounds }
+}
+
+/// Hash-to-Min, in memory: clusters C(v), min-to-all and all-to-min
+/// until fixpoint. `max_cluster_total` guards the Θ(|V|²) blow-up
+/// (0 = unlimited); exceeding it returns `None` ("did not finish").
+pub fn hash_to_min_mirror(
+    edges: &[(u64, u64)],
+    max_cluster_total: usize,
+) -> Option<MirrorRun> {
+    let adj = adjacency(edges);
+    let mut clusters: HashMap<u64, HashSet<u64>> = adj
+        .iter()
+        .map(|(&v, ns)| {
+            let mut c: HashSet<u64> = ns.iter().copied().collect();
+            c.insert(v);
+            (v, c)
+        })
+        .collect();
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        assert!(rounds < 10_000, "Hash-to-Min mirror failed to converge");
+        let mut next: HashMap<u64, HashSet<u64>> = HashMap::with_capacity(clusters.len());
+        for c in clusters.values() {
+            let m = *c.iter().min().expect("cluster contains v");
+            for &u in c {
+                next.entry(m).or_default().insert(u);
+                next.entry(u).or_default().insert(m);
+            }
+        }
+        if max_cluster_total > 0 {
+            let total: usize = next.values().map(HashSet::len).sum();
+            if total > max_cluster_total {
+                return None;
+            }
+        }
+        let unchanged = next == clusters;
+        clusters = next;
+        if unchanged {
+            break;
+        }
+    }
+    let labels = clusters
+        .iter()
+        .map(|(&v, c)| (v, *c.iter().min().expect("nonempty")))
+        .collect();
+    Some(MirrorRun { labels, rounds })
+}
+
+/// Two-Phase, in memory: alternate Large-Star and Small-Star on the
+/// canonical (a > b) edge set until fixpoint.
+pub fn two_phase_mirror(edges: &[(u64, u64)]) -> MirrorRun {
+    let verts: HashSet<u64> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let mut e: HashSet<(u64, u64)> = edges
+        .iter()
+        .filter(|(a, b)| a != b)
+        .map(|&(a, b)| (a.max(b), a.min(b)))
+        .collect();
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        assert!(rounds < 10_000, "Two-Phase mirror failed to converge");
+        if e.is_empty() {
+            break;
+        }
+        // Large-Star: m(u) over all neighbours; connect each v > u to m(u).
+        let mut nbrs: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(a, b) in &e {
+            nbrs.entry(a).or_default().push(b);
+            nbrs.entry(b).or_default().push(a);
+        }
+        let mut large: HashSet<(u64, u64)> = HashSet::with_capacity(e.len());
+        for (&u, ns) in &nbrs {
+            let m = ns.iter().copied().min().unwrap_or(u).min(u);
+            for &v in ns {
+                if v > u {
+                    large.insert((v, m));
+                }
+            }
+        }
+        // Small-Star: m over smaller neighbours; connect them and u to m.
+        let mut smaller: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(a, b) in &large {
+            smaller.entry(a).or_default().push(b);
+        }
+        let mut small: HashSet<(u64, u64)> = HashSet::with_capacity(large.len());
+        for (&u, ns) in &smaller {
+            let m = ns.iter().copied().min().expect("nonempty");
+            for &s in ns {
+                if s != m {
+                    small.insert((s.max(m), s.min(m)));
+                }
+            }
+            small.insert((u, m));
+        }
+        let unchanged = small == e;
+        e = small;
+        if unchanged {
+            break;
+        }
+    }
+    // Star forest: leaf -> centre; everything else labels itself.
+    let mut labels: HashMap<u64, u64> = verts.iter().map(|&v| (v, v)).collect();
+    for &(leaf, centre) in &e {
+        labels.insert(leaf, centre);
+    }
+    MirrorRun { labels, rounds }
+}
+
+/// Cracker, in memory: MinSelection + Pruning building a propagation
+/// tree, then root-to-leaf label propagation.
+pub fn cracker_mirror(edges: &[(u64, u64)]) -> MirrorRun {
+    let verts: HashSet<u64> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let mut active: HashSet<(u64, u64)> = edges
+        .iter()
+        .filter(|(a, b)| a != b)
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    let mut tree: Vec<(u64, u64)> = Vec::new(); // (parent, child)
+    let mut rounds = 0usize;
+    while !active.is_empty() {
+        rounds += 1;
+        assert!(rounds < 10_000, "Cracker mirror failed to converge");
+        let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(a, b) in &active {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        }
+        // MinSelection: u learns vmin(v) for every v with u ∈ N[v].
+        let vmin: HashMap<u64, u64> = adj
+            .iter()
+            .map(|(&v, ns)| (v, ns.iter().copied().min().unwrap_or(v).min(v)))
+            .collect();
+        let mut nn: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for (&v, ns) in &adj {
+            let m = vmin[&v];
+            nn.entry(v).or_default().insert(m);
+            for &u in ns {
+                nn.entry(u).or_default().insert(m);
+            }
+        }
+        // Pruning.
+        let mut next: HashSet<(u64, u64)> = HashSet::new();
+        for (&u, set) in &nn {
+            let mm = *set.iter().min().expect("nonempty");
+            if !set.contains(&u) {
+                tree.push((mm, u));
+            }
+            for &x in set {
+                if x != mm {
+                    next.insert((mm.min(x), mm.max(x)));
+                }
+            }
+        }
+        active = next;
+    }
+    // Roots label themselves; labels flow down the tree (children were
+    // pruned strictly later than their parents, so a reverse pass over
+    // the insertion order resolves in one sweep per tree level).
+    let mut labels: HashMap<u64, u64> = verts.iter().map(|&v| (v, v)).collect();
+    // Iterate to fixpoint (tree depth ≈ rounds, so this is cheap).
+    loop {
+        let mut changed = false;
+        for &(parent, child) in &tree {
+            let lp = labels[&parent];
+            if labels[&child] != lp {
+                labels.insert(child, lp);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    MirrorRun { labels, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incc_graph::generators::{
+        cycle_graph, gnm_random_graph, path_graph, path_union, star_graph, PathNumbering,
+    };
+    use incc_graph::union_find::{connected_components, labellings_equivalent};
+
+    fn check(edges: &[(u64, u64)]) {
+        let truth = connected_components(edges);
+        let rc = rc_mirror(edges, Method::Gf64, 7);
+        assert!(labellings_equivalent(&rc.labels, &truth), "RC mirror wrong");
+        let hm = hash_to_min_mirror(edges, 0).expect("unlimited");
+        assert!(labellings_equivalent(&hm.labels, &truth), "HM mirror wrong");
+        let tp = two_phase_mirror(edges);
+        assert!(labellings_equivalent(&tp.labels, &truth), "TP mirror wrong");
+        let cr = cracker_mirror(edges);
+        assert!(labellings_equivalent(&cr.labels, &truth), "CR mirror wrong");
+    }
+
+    #[test]
+    fn mirrors_correct_on_families() {
+        check(&path_graph(200, PathNumbering::Sequential, 0).edges);
+        check(&path_graph(97, PathNumbering::BitReversed, 50).edges);
+        check(&cycle_graph(64).edges);
+        check(&star_graph(40).edges);
+        check(&path_union(3, 7, PathNumbering::Sequential).edges);
+        check(&gnm_random_graph(120, 200, 5).edges);
+        check(&[(1, 1), (2, 2)]); // loops only
+        check(&[(5, 9)]);
+    }
+
+    #[test]
+    fn mirrors_match_random_multigraphs() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let m = rng.gen_range(1..60);
+            let edges: Vec<(u64, u64)> =
+                (0..m).map(|_| (rng.gen_range(0..30), rng.gen_range(0..30))).collect();
+            check(&edges);
+        }
+    }
+
+    #[test]
+    fn hm_mirror_guard_trips_on_paths() {
+        let g = path_graph(2000, PathNumbering::Sequential, 0);
+        assert!(
+            hash_to_min_mirror(&g.edges, 100_000).is_none(),
+            "quadratic growth must trip the guard"
+        );
+    }
+
+    #[test]
+    fn rc_mirror_rounds_logarithmic() {
+        let g = path_graph(1 << 16, PathNumbering::Sequential, 0);
+        let run = rc_mirror(&g.edges, Method::Gf64, 3);
+        assert!(run.rounds <= 40, "{} rounds on a 65536-path", run.rounds);
+        assert!(run.rounds >= 10);
+    }
+
+    #[test]
+    fn mirror_round_counts_match_sql_order_of_magnitude() {
+        // The mirrors must count rounds like their SQL twins: compare on
+        // a mid-size graph.
+        use crate::driver::run_on_graph;
+        use crate::two_phase::TwoPhase;
+        use incc_mppdb::{Cluster, ClusterConfig};
+        let g = gnm_random_graph(300, 500, 9);
+        let db = Cluster::new(ClusterConfig::default());
+        let sql = run_on_graph(&TwoPhase::default(), &db, &g, 1).unwrap();
+        let mem = two_phase_mirror(&g.edges);
+        // The SQL twin needs one extra round to observe the fixpoint
+        // signature; allow ±2.
+        assert!(
+            (sql.rounds as i64 - mem.rounds as i64).abs() <= 2,
+            "SQL {} vs mirror {}",
+            sql.rounds,
+            mem.rounds
+        );
+    }
+}

@@ -1,0 +1,521 @@
+//! Randomised Contraction — the paper's algorithm.
+//!
+//! The algorithm repeatedly contracts the graph to a set of
+//! representative vertices, preserving connectivity, until only
+//! isolated vertices remain (Section V-A). Each round relabels the
+//! vertices with a fresh random bijection `h_i` and picks
+//! `r_i(v) = min_{w ∈ N[v]} h_i(w)` — computed as a plain SQL
+//! `GROUP BY` with the `min` aggregate, the performance optimisation
+//! the paper describes in Section V-D (relabelling is sound because
+//! `h_i` is a bijection, so labels stay unique).
+//!
+//! Two space variants are implemented:
+//!
+//! * [`SpaceVariant::Fast`] — the paper's Fig. 4 / Appendix A code:
+//!   one representative table `ccreps{i}` per round, composed
+//!   back-to-front after contraction finishes, folding the affine round
+//!   keys as `(A, B) ← (A·α, A·β + B)`. Space is linear in expectation.
+//! * [`SpaceVariant::Deterministic`] — the paper's Fig. 3: a running
+//!   composition table `L` updated every round, giving deterministic
+//!   linear space at the cost of joining the full-size `L` each round.
+//!
+//! All four randomisation methods of Section V-C are supported; the
+//! finite-field methods ship only two 64-bit round keys to the
+//! segments, the Blowfish method one 128-bit key, while the random
+//! reals method materialises a per-vertex table of uniform draws and
+//! joins it across the cluster — the communication difference the
+//! paper's Section V-C discussion predicts, measurable through the
+//! engine's network counter.
+
+use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm};
+use crate::udf::{AxPlusB, AxbP, BlowfishUdf};
+use incc_ffield::gfp::P;
+use incc_ffield::Method;
+use incc_mppdb::{Cluster, Datum, DbResult, ScalarUdf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Which space/performance variant to run (paper Figs. 3 vs 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpaceVariant {
+    /// Fig. 4: per-round representative tables joined small-to-large
+    /// afterwards. Faster; linear space in expectation.
+    #[default]
+    Fast,
+    /// Fig. 3: one full-size composition table maintained per round.
+    /// Slower; linear space deterministically.
+    Deterministic,
+}
+
+/// The Randomised Contraction algorithm.
+///
+/// ```
+/// use incc_core::{run_on_graph, RandomisedContraction};
+/// use incc_graph::EdgeList;
+/// use incc_mppdb::{Cluster, ClusterConfig};
+///
+/// let db = Cluster::new(ClusterConfig::default());
+/// let graph = EdgeList::from_pairs(vec![(1, 2), (2, 3), (9, 9)]);
+/// let report = run_on_graph(&RandomisedContraction::paper(), &db, &graph, 42).unwrap();
+/// report.verify_against(&graph).unwrap();
+/// assert_eq!(report.labels[&1], report.labels[&3]);
+/// assert_ne!(report.labels[&1], report.labels[&9]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RandomisedContraction {
+    /// Randomisation method (default: GF(2^64), the paper's choice).
+    pub method: Method,
+    /// Space variant (default: the fast Fig. 4 code).
+    pub variant: SpaceVariant,
+}
+
+impl Default for RandomisedContraction {
+    fn default() -> Self {
+        RandomisedContraction { method: Method::Gf64, variant: SpaceVariant::Fast }
+    }
+}
+
+impl RandomisedContraction {
+    /// The paper's configuration: finite fields over GF(2^64), fast
+    /// variant.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A specific configuration.
+    pub fn with(method: Method, variant: SpaceVariant) -> Self {
+        RandomisedContraction { method, variant }
+    }
+}
+
+/// Everything the per-round SQL needs to evaluate `h_i`.
+enum RoundExpr {
+    /// Finite-field affine map rendered inline: `udf(A, x, B)`.
+    Affine { udf: &'static str, a: i64, b: i64 },
+    /// Per-round registered Blowfish UDF: `name(x)`.
+    Cipher { name: String },
+}
+
+impl RoundExpr {
+    fn apply(&self, operand: &str) -> String {
+        match self {
+            RoundExpr::Affine { udf, a, b } => format!("{udf}({a}, {operand}, {b})"),
+            RoundExpr::Cipher { name } => format!("{name}({operand})"),
+        }
+    }
+}
+
+/// Per-run working state.
+struct RcRun<'a> {
+    db: &'a Cluster,
+    method: Method,
+    rng: StdRng,
+    /// UDF names registered during this run (unregistered at the end).
+    registered: Vec<String>,
+}
+
+impl CcAlgorithm for RandomisedContraction {
+    fn name(&self) -> String {
+        match (self.method, self.variant) {
+            (Method::Gf64, SpaceVariant::Fast) => "RC".into(),
+            (m, SpaceVariant::Fast) => format!("RC[{}]", m.name()),
+            (m, SpaceVariant::Deterministic) => format!("RC[{},det]", m.name()),
+        }
+    }
+
+    fn run(&self, db: &Cluster, input: &str, seed: u64) -> DbResult<AlgoOutcome> {
+        let mut run = RcRun {
+            db,
+            method: self.method,
+            rng: StdRng::seed_from_u64(seed),
+            registered: Vec::new(),
+        };
+        run.prepare();
+        let result = match self.variant {
+            SpaceVariant::Fast => run.run_fast(input),
+            SpaceVariant::Deterministic => run.run_deterministic(input),
+        };
+        run.finish();
+        result
+    }
+}
+
+impl<'a> RcRun<'a> {
+    /// Registers the standing UDFs and clears leftover working tables.
+    fn prepare(&mut self) {
+        self.db.register_udf("axplusb", Arc::new(AxPlusB));
+        self.db.register_udf("axb_p", Arc::new(AxbP));
+        drop_if_exists(
+            self.db,
+            &[
+                "ccgraph", "ccgraph2", "ccgraph3", "ccresult", "cctmp", "cclab", "ccrepr",
+                "ccverts", "cchash", "cccand", "ccminh",
+            ],
+        );
+        let mut i = 1;
+        while self.db.drop_table(&format!("ccreps{i}")).is_ok() {
+            i += 1;
+        }
+    }
+
+    fn finish(&mut self) {
+        for name in self.registered.drain(..) {
+            self.db.unregister_udf(&name);
+        }
+    }
+
+    /// Draws the next round's key. Affine keys avoid the `i64::MIN`
+    /// bit pattern, whose decimal rendering cannot round-trip through
+    /// the SQL parser.
+    fn sample_key(&mut self) -> RoundKey {
+        match self.method {
+            Method::Gf64 => loop {
+                let a: u64 = self.rng.gen();
+                let b: u64 = self.rng.gen();
+                if a != 0 && a != 1 << 63 && b != 1 << 63 {
+                    return RoundKey::Affine { a, b };
+                }
+            },
+            Method::Gfp => RoundKey::Affine {
+                a: self.rng.gen_range(1..P),
+                b: self.rng.gen_range(0..P),
+            },
+            Method::Blowfish => RoundKey::Cipher(self.rng.gen()),
+            Method::RandomReals => RoundKey::None,
+        }
+    }
+
+    /// Builds the SQL-side expression for this round's hash, registering
+    /// a cipher UDF when needed. `None` for the random-reals method,
+    /// which has no per-vertex closed form.
+    fn round_expr(&mut self, round: usize, key: &RoundKey) -> Option<RoundExpr> {
+        match key {
+            RoundKey::Affine { a, b } => Some(RoundExpr::Affine {
+                udf: match self.method {
+                    Method::Gf64 => "axplusb",
+                    Method::Gfp => "axb_p",
+                    _ => unreachable!("affine key for non-field method"),
+                },
+                a: *a as i64,
+                b: *b as i64,
+            }),
+            RoundKey::Cipher(k) => {
+                let name = format!("bf_{round}");
+                self.db.register_udf(&name, Arc::new(BlowfishUdf::new(*k)));
+                self.registered.push(name.clone());
+                Some(RoundExpr::Cipher { name })
+            }
+            RoundKey::None => None,
+        }
+    }
+
+    /// One round's representative table: for bijection methods this is
+    /// the paper's one-query `least(h(v), min(h(w)))` relabelling; for
+    /// random reals it is the argmin construction keeping original IDs.
+    fn build_reps(&mut self, reps_table: &str, expr: &Option<RoundExpr>) -> DbResult<()> {
+        match expr {
+            Some(e) => {
+                self.db.run(&format!(
+                    "create table {reps_table} as \
+                     select v1 v, least({hv}, min({hw})) rep \
+                     from ccgraph group by v1 \
+                     distributed by (v)",
+                    hv = e.apply("v1"),
+                    hw = e.apply("v2"),
+                ))?;
+            }
+            None => {
+                // Random reals: draw h per vertex, pick the argmin
+                // neighbour (ties broken by min ID). Representatives
+                // remain original vertex IDs, so no relabelling occurs
+                // and correctness survives h collisions.
+                self.db.run(
+                    "create table ccverts as select distinct v1 as v from ccgraph \
+                     distributed by (v)",
+                )?;
+                self.db.run(
+                    "create table cchash as select v, random() as h from ccverts \
+                     distributed by (v)",
+                )?;
+                self.db.run(
+                    "create table cccand as \
+                     select g.v1 as v, g.v2 as w, hh.h as h \
+                     from ccgraph as g, cchash as hh where g.v2 = hh.v \
+                     union all \
+                     select hh.v as v, hh.v as w, hh.h as h from cchash as hh",
+                )?;
+                self.db.run(
+                    "create table ccminh as select v, min(h) as mh from cccand \
+                     group by v distributed by (v)",
+                )?;
+                self.db.run(&format!(
+                    "create table {reps_table} as \
+                     select c.v as v, min(c.w) as rep \
+                     from cccand as c, ccminh as m \
+                     where c.v = m.v and c.h = m.mh \
+                     group by c.v distributed by (v)"
+                ))?;
+                drop_if_exists(self.db, &["ccverts", "cchash", "cccand", "ccminh"]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Contracts `ccgraph` through `reps_table` (the Appendix A
+    /// two-join formulation), returning the new edge count.
+    fn contract(&mut self, reps_table: &str) -> DbResult<usize> {
+        self.db.run(&format!(
+            "create table ccgraph2 as \
+             select r1.rep as v1, v2 from ccgraph, {reps_table} as r1 \
+             where ccgraph.v1 = r1.v \
+             distributed by (v2)"
+        ))?;
+        self.db.drop_table("ccgraph")?;
+        let rows = self
+            .db
+            .run(&format!(
+                "create table ccgraph3 as \
+                 select distinct v1, r2.rep as v2 \
+                 from ccgraph2, {reps_table} as r2 \
+                 where ccgraph2.v2 = r2.v and v1 != r2.rep \
+                 distributed by (v1)"
+            ))?
+            .row_count();
+        self.db.drop_table("ccgraph2")?;
+        self.db.rename_table("ccgraph3", "ccgraph")?;
+        Ok(rows)
+    }
+
+    /// The paper's setup query: double the edge table so each
+    /// undirected edge appears in both directions.
+    fn setup(&mut self, input: &str) -> DbResult<()> {
+        self.db.run(&format!(
+            "create table ccgraph as \
+             select v1, v2 from {input} union all select v2, v1 from {input} \
+             distributed by (v1)"
+        ))?;
+        Ok(())
+    }
+
+    /// Fig. 4 / Appendix A: contract with per-round `ccreps{i}` tables,
+    /// then compose back-to-front with folded keys.
+    fn run_fast(&mut self, input: &str) -> DbResult<AlgoOutcome> {
+        self.setup(input)?;
+        let mut stack: Vec<RoundKey> = Vec::new();
+        let mut round_sizes: Vec<usize> = Vec::new();
+        let mut roundno = 0usize;
+        loop {
+            roundno += 1;
+            let key = self.sample_key();
+            let expr = self.round_expr(roundno, &key);
+            let reps = format!("ccreps{roundno}");
+            self.build_reps(&reps, &expr)?;
+            let rows = self.contract(&reps)?;
+            round_sizes.push(rows);
+            stack.push(key);
+            if rows == 0 {
+                break;
+            }
+        }
+        self.db.drop_table("ccgraph")?;
+        let total_rounds = roundno;
+
+        // Back-to-front composition. `fold` accumulates the relabelling
+        // of all already-popped rounds: affine keys fold into one (A, B)
+        // pair — the paper's `(A, B) ← (A·α, A·β + B)` — ciphers
+        // accumulate into a composed UDF; random reals need no
+        // relabelling at all.
+        let mut fold = Fold::identity(self.method);
+        while roundno >= 1 {
+            let key = stack.pop().expect("stack tracks rounds");
+            fold.absorb(&key);
+            roundno -= 1;
+            if roundno == 0 {
+                break;
+            }
+            let missing = fold.missing_expr(self.db, &mut self.registered, "r1.rep");
+            self.db.run(&format!(
+                "create table cctmp as \
+                 select r1.v as v, coalesce(r2.rep, {missing}) as rep \
+                 from ccreps{lo} as r1 left outer join ccreps{hi} as r2 \
+                 on (r1.rep = r2.v) \
+                 distributed by (v)",
+                lo = roundno,
+                hi = roundno + 1,
+            ))?;
+            self.db.drop_table(&format!("ccreps{roundno}"))?;
+            self.db.drop_table(&format!("ccreps{}", roundno + 1))?;
+            self.db.rename_table("cctmp", &format!("ccreps{roundno}"))?;
+        }
+        self.db.rename_table("ccreps1", "ccresult")?;
+        Ok(AlgoOutcome {
+            result_table: "ccresult".into(),
+            rounds: total_rounds,
+            round_sizes,
+        })
+    }
+
+    /// Fig. 3: maintain the running composition table `cclab`.
+    fn run_deterministic(&mut self, input: &str) -> DbResult<AlgoOutcome> {
+        self.setup(input)?;
+        let mut first = true;
+        let mut rounds = 0usize;
+        let mut round_sizes: Vec<usize> = Vec::new();
+        loop {
+            rounds += 1;
+            let key = self.sample_key();
+            let expr = self.round_expr(rounds, &key);
+            self.build_reps("ccrepr", &expr)?;
+            let rows = self.contract("ccrepr")?;
+            round_sizes.push(rows);
+            if first {
+                self.db.rename_table("ccrepr", "cclab")?;
+                first = false;
+            } else {
+                // Missing rows are vertices already isolated; they are
+                // relabelled through this round's hash so label spaces
+                // stay consistent (random reals never relabels).
+                let missing = match &expr {
+                    Some(e) => e.apply("l.rep"),
+                    None => "l.rep".to_string(),
+                };
+                self.db.run(&format!(
+                    "create table cctmp as \
+                     select l.v as v, coalesce(r.rep, {missing}) as rep \
+                     from cclab as l left outer join ccrepr as r on (l.rep = r.v) \
+                     distributed by (v)"
+                ))?;
+                self.db.drop_table("cclab")?;
+                self.db.drop_table("ccrepr")?;
+                self.db.rename_table("cctmp", "cclab")?;
+            }
+            if rows == 0 {
+                break;
+            }
+        }
+        self.db.drop_table("ccgraph")?;
+        self.db.rename_table("cclab", "ccresult")?;
+        Ok(AlgoOutcome { result_table: "ccresult".into(), rounds, round_sizes })
+    }
+}
+
+/// One round's sampled key material.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundKey {
+    /// Finite-field affine parameters (A, B), A ≠ 0.
+    Affine { a: u64, b: u64 },
+    /// A 128-bit Blowfish round key.
+    Cipher(u128),
+    /// Random reals: no closed-form key.
+    None,
+}
+
+/// The accumulated relabelling of the rounds popped so far in the
+/// Fig. 4 back-substitution loop.
+enum Fold {
+    /// Affine over GF(2^64): `x -> A·x + B`.
+    Gf64 { a: u64, b: u64 },
+    /// Affine over GF(p).
+    Gfp { a: u64, b: u64 },
+    /// Composition of Blowfish ciphers, applied oldest-first.
+    Ciphers(Vec<u128>),
+    /// Random reals: representatives keep original IDs; nothing folds.
+    None,
+}
+
+impl Fold {
+    fn identity(method: Method) -> Fold {
+        match method {
+            Method::Gf64 => Fold::Gf64 { a: 1, b: 0 },
+            Method::Gfp => Fold::Gfp { a: 1, b: 0 },
+            Method::Blowfish => Fold::Ciphers(Vec::new()),
+            Method::RandomReals => Fold::None,
+        }
+    }
+
+    /// Absorbs one more (earlier) round: `acc ← acc ∘ h`, the paper's
+    /// `(A, B) ← (A·α, A·β + B)` key folding.
+    fn absorb(&mut self, key: &RoundKey) {
+        match (self, key) {
+            (Fold::Gf64 { a, b }, RoundKey::Affine { a: alpha, b: beta }) => {
+                let na = incc_ffield::gf64::gf64_mul(*a, *alpha);
+                let nb = incc_ffield::gf64::gf64_mul(*a, *beta) ^ *b;
+                *a = na;
+                *b = nb;
+            }
+            (Fold::Gfp { a, b }, RoundKey::Affine { a: alpha, b: beta }) => {
+                let f = incc_ffield::Gfp;
+                let na = f.mul(*a, *alpha);
+                let nb = f.add(f.mul(*a, *beta), *b);
+                *a = na;
+                *b = nb;
+            }
+            (Fold::Ciphers(keys), RoundKey::Cipher(k)) => {
+                // Earlier rounds apply first: insert at the front.
+                keys.insert(0, *k);
+            }
+            (Fold::None, RoundKey::None) => {}
+            _ => unreachable!("method/round mismatch"),
+        }
+    }
+
+    /// Renders the relabelling of a missing (early-isolated) vertex.
+    fn missing_expr(
+        &self,
+        db: &Cluster,
+        registered: &mut Vec<String>,
+        operand: &str,
+    ) -> String {
+        match self {
+            Fold::Gf64 { a, b } => {
+                format!("axplusb({}, {operand}, {})", *a as i64, *b as i64)
+            }
+            Fold::Gfp { a, b } => {
+                format!("axb_p({}, {operand}, {})", *a as i64, *b as i64)
+            }
+            Fold::Ciphers(keys) => {
+                let name = "bf_fold".to_string();
+                db.register_udf(&name, Arc::new(CipherFold::new(keys.clone())));
+                if !registered.contains(&name) {
+                    registered.push(name.clone());
+                }
+                format!("{name}({operand})")
+            }
+            Fold::None => operand.to_string(),
+        }
+    }
+}
+
+/// Applies a sequence of Blowfish encryptions oldest-key-first — the
+/// composed relabelling `h_k ∘ … ∘ h_{i+1}` for the encryption method's
+/// back-substitution.
+struct CipherFold {
+    ciphers: Vec<incc_ffield::blowfish::Blowfish>,
+}
+
+impl CipherFold {
+    fn new(keys: Vec<u128>) -> CipherFold {
+        CipherFold {
+            ciphers: keys
+                .into_iter()
+                .map(incc_ffield::blowfish::Blowfish::from_u128)
+                .collect(),
+        }
+    }
+}
+
+impl ScalarUdf for CipherFold {
+    fn eval(&self, args: &[Datum]) -> Datum {
+        match args {
+            [Datum::Int(x)] => {
+                let mut v = *x as u64;
+                for c in &self.ciphers {
+                    v = c.encrypt(v);
+                }
+                Datum::Int(v as i64)
+            }
+            _ => Datum::Null,
+        }
+    }
+}

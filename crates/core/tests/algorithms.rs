@@ -1,0 +1,222 @@
+//! End-to-end correctness: every algorithm, on every graph family,
+//! verified against in-memory union–find (the paper's correctness
+//! criterion: identical vertex sets, identical co-labelling).
+
+use incc_core::bfs::BfsStrategy;
+use incc_core::cracker::Cracker;
+use incc_core::hash_to_min::HashToMin;
+use incc_core::two_phase::TwoPhase;
+use incc_core::{run_on_graph, CcAlgorithm, RandomisedContraction, SpaceVariant};
+use incc_ffield::Method;
+use incc_graph::generators::{
+    complete_graph, cycle_graph, gnm_random_graph, image_graph_2d, path_graph, path_union,
+    star_graph, GridParams, PathNumbering,
+};
+use incc_graph::EdgeList;
+use incc_mppdb::{Cluster, ClusterConfig};
+
+fn test_graphs() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        ("single_loop", EdgeList::from_pairs(vec![(7, 7)])),
+        ("one_edge", EdgeList::from_pairs(vec![(5, 9)])),
+        ("loops_only", EdgeList::from_pairs(vec![(1, 1), (2, 2), (3, 3)])),
+        ("duplicate_edges", EdgeList::from_pairs(vec![(1, 2), (2, 1), (1, 2), (2, 3)])),
+        ("path_sequential", path_graph(40, PathNumbering::Sequential, 0)),
+        ("path_bitrev", path_graph(33, PathNumbering::BitReversed, 100)),
+        ("path_union", path_union(3, 5, PathNumbering::Sequential)),
+        ("cycle", cycle_graph(25)),
+        ("star", star_graph(30)),
+        ("complete", complete_graph(12)),
+        ("gnm_sparse", gnm_random_graph(80, 60, 11)),
+        ("gnm_dense", gnm_random_graph(40, 200, 12)),
+        (
+            "image",
+            image_graph_2d(20, 14, GridParams { seed: 3, ..Default::default() }),
+        ),
+        ("mixed_with_isolated", {
+            let mut g = gnm_random_graph(30, 25, 13);
+            g.push(1_000_001, 1_000_001);
+            g.push(1_000_002, 1_000_002);
+            g
+        }),
+    ]
+}
+
+fn check_algorithm(algo: &dyn CcAlgorithm) {
+    let db = Cluster::new(ClusterConfig { segments: 4, ..Default::default() });
+    for (name, g) in test_graphs() {
+        let report = run_on_graph(algo, &db, &g, 0xD15EA5E)
+            .unwrap_or_else(|e| panic!("{} failed on {name}: {e}", algo.name()));
+        report
+            .verify_against(&g)
+            .unwrap_or_else(|e| panic!("{} wrong on {name}: {e}", algo.name()));
+        assert!(report.rounds >= 1, "{} reported zero rounds on {name}", algo.name());
+        // No working tables may survive a run.
+        assert!(
+            db.table_names().is_empty(),
+            "{} leaked tables on {name}: {:?}",
+            algo.name(),
+            db.table_names()
+        );
+    }
+}
+
+#[test]
+fn randomised_contraction_fast_gf64() {
+    check_algorithm(&RandomisedContraction::paper());
+}
+
+#[test]
+fn randomised_contraction_fast_gfp() {
+    check_algorithm(&RandomisedContraction::with(Method::Gfp, SpaceVariant::Fast));
+}
+
+#[test]
+fn randomised_contraction_fast_blowfish() {
+    check_algorithm(&RandomisedContraction::with(Method::Blowfish, SpaceVariant::Fast));
+}
+
+#[test]
+fn randomised_contraction_fast_random_reals() {
+    check_algorithm(&RandomisedContraction::with(Method::RandomReals, SpaceVariant::Fast));
+}
+
+#[test]
+fn randomised_contraction_deterministic_gf64() {
+    check_algorithm(&RandomisedContraction::with(Method::Gf64, SpaceVariant::Deterministic));
+}
+
+#[test]
+fn randomised_contraction_deterministic_blowfish() {
+    check_algorithm(&RandomisedContraction::with(Method::Blowfish, SpaceVariant::Deterministic));
+}
+
+#[test]
+fn randomised_contraction_deterministic_random_reals() {
+    check_algorithm(&RandomisedContraction::with(
+        Method::RandomReals,
+        SpaceVariant::Deterministic,
+    ));
+}
+
+#[test]
+fn hash_to_min_correct() {
+    check_algorithm(&HashToMin::default());
+}
+
+#[test]
+fn two_phase_correct() {
+    check_algorithm(&TwoPhase::default());
+}
+
+#[test]
+fn cracker_correct() {
+    check_algorithm(&Cracker::default());
+}
+
+#[test]
+fn bfs_correct() {
+    check_algorithm(&BfsStrategy::default());
+}
+
+#[test]
+fn rc_round_count_logarithmic_on_path() {
+    // The headline claim: O(log |V|) rounds on the adversarial path.
+    let db = Cluster::new(ClusterConfig::default());
+    let g = path_graph(2048, PathNumbering::Sequential, 0);
+    let report = run_on_graph(&RandomisedContraction::paper(), &db, &g, 1).unwrap();
+    report.verify_against(&g).unwrap();
+    assert!(
+        report.rounds <= 40,
+        "RC took {} rounds on a 2048-path (expected ~log)",
+        report.rounds
+    );
+}
+
+#[test]
+fn bfs_hits_round_guard_on_path() {
+    // Section IV: BFS needs n-1 rounds on the sequentially numbered
+    // path; the guard converts that into "did not finish".
+    let db = Cluster::new(ClusterConfig::default());
+    let g = path_graph(300, PathNumbering::Sequential, 0);
+    let err = run_on_graph(&BfsStrategy { max_rounds: 20 }, &db, &g, 0).unwrap_err();
+    assert!(err.to_string().contains("did not finish"), "{err}");
+}
+
+#[test]
+fn hash_to_min_blows_space_limit_on_path() {
+    // The paper: "on a shorter path of 100,000 vertices they already
+    // use more than 100 GB" — quadratic intermediate state. With a
+    // tight space guard the run reports "did not finish" (space).
+    let g = path_graph(600, PathNumbering::Sequential, 0);
+    let db = Cluster::new(ClusterConfig { space_limit: 200_000, ..Default::default() });
+    let err = run_on_graph(&HashToMin::default(), &db, &g, 0).unwrap_err();
+    assert!(err.is_space_limit(), "expected space-limit error, got {err}");
+    // Randomised Contraction handles the same graph within the limit.
+    let db2 = Cluster::new(ClusterConfig { space_limit: 200_000, ..Default::default() });
+    let report = run_on_graph(&RandomisedContraction::paper(), &db2, &g, 0).unwrap();
+    report.verify_against(&g).unwrap();
+}
+
+#[test]
+fn rc_is_reproducible_per_seed() {
+    let db = Cluster::new(ClusterConfig::default());
+    let g = gnm_random_graph(60, 100, 5);
+    let a = run_on_graph(&RandomisedContraction::paper(), &db, &g, 99).unwrap();
+    let b = run_on_graph(&RandomisedContraction::paper(), &db, &g, 99).unwrap();
+    assert_eq!(a.labels, b.labels);
+    assert_eq!(a.rounds, b.rounds);
+}
+
+#[test]
+fn all_algorithms_agree_on_partition() {
+    let g = gnm_random_graph(70, 80, 21);
+    let algos: Vec<Box<dyn CcAlgorithm>> = vec![
+        Box::new(RandomisedContraction::paper()),
+        Box::new(HashToMin::default()),
+        Box::new(TwoPhase::default()),
+        Box::new(Cracker::default()),
+        Box::new(BfsStrategy::default()),
+    ];
+    let db = Cluster::new(ClusterConfig::default());
+    let reference = incc_graph::union_find::connected_components(&g.edges);
+    for algo in &algos {
+        let report = run_on_graph(algo.as_ref(), &db, &g, 3).unwrap();
+        assert!(
+            incc_graph::union_find::labellings_equivalent(&report.labels, &reference),
+            "{} disagrees with union-find",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn blowfish_fast_composition_handles_early_isolation() {
+    // Regression guard for the Fig. 4 back-substitution with the
+    // encryption method: a star contracts in round 1, so its vertices
+    // are missing from every later representative table and must be
+    // relabelled through the *composed* ciphers (oldest key first). A
+    // long path alongside forces several more rounds.
+    let mut g = star_graph(12);
+    g.extend(&path_graph(400, PathNumbering::Sequential, 1000));
+    let algo = RandomisedContraction::with(Method::Blowfish, SpaceVariant::Fast);
+    let db = Cluster::new(ClusterConfig::default());
+    for seed in [1u64, 2, 3, 4, 5] {
+        let report = run_on_graph(&algo, &db, &g, seed).unwrap();
+        assert!(report.rounds >= 3, "need several rounds to exercise the fold");
+        report.verify_against(&g).unwrap();
+    }
+}
+
+#[test]
+fn round_sizes_decay_geometrically_for_rc() {
+    let g = path_graph(2000, PathNumbering::Sequential, 0);
+    let db = Cluster::new(ClusterConfig::default());
+    let report = run_on_graph(&RandomisedContraction::paper(), &db, &g, 9).unwrap();
+    assert_eq!(report.round_sizes.len(), report.rounds);
+    assert_eq!(*report.round_sizes.last().unwrap(), 0, "terminates empty");
+    // Strictly decreasing from round 2 on a path (dedup + loop removal).
+    for w in report.round_sizes.windows(2) {
+        assert!(w[1] < w[0] || w[0] == 0, "no shrink: {:?}", report.round_sizes);
+    }
+}

@@ -1,0 +1,239 @@
+//! Blowfish — the paper's *encryption method* for vertex relabelling.
+//!
+//! Section V-C of the paper: "A more efficient idea is to pick a
+//! pseudo-random permutation by means of an encryption function on the
+//! domain of the vertex IDs. If the vertex IDs are 64-bit integers, a
+//! suitable choice is the Blowfish algorithm which can be implemented
+//! in a database as a user-defined function." Only the random round key
+//! has to be shipped to the segments; each segment then computes the
+//! pseudo-random IDs locally.
+//!
+//! This is a complete, from-scratch Blowfish (Schneier, 1993): a
+//! 16-round Feistel network on 64-bit blocks with key-dependent
+//! S-boxes. The initial P-array and S-box constants are the hexadecimal
+//! digits of π, generated exactly by [`crate::pi`] instead of being
+//! embedded as an opaque table. The implementation is validated against
+//! the published Eric Young test vectors.
+
+use crate::pi::pi_words;
+use std::sync::OnceLock;
+
+const ROUNDS: usize = 16;
+
+/// The π-derived initial state shared by every cipher instance.
+struct InitTables {
+    p: [u32; ROUNDS + 2],
+    s: [[u32; 256]; 4],
+}
+
+fn init_tables() -> &'static InitTables {
+    static TABLES: OnceLock<InitTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let words = pi_words(ROUNDS + 2 + 4 * 256);
+        let mut p = [0u32; ROUNDS + 2];
+        p.copy_from_slice(&words[..ROUNDS + 2]);
+        let mut s = [[0u32; 256]; 4];
+        for (b, chunk) in s.iter_mut().zip(words[ROUNDS + 2..].chunks(256)) {
+            b.copy_from_slice(chunk);
+        }
+        InitTables { p, s }
+    })
+}
+
+/// A keyed Blowfish cipher operating on 64-bit blocks.
+///
+/// Encryption is a bijection of `u64`, which is exactly what the
+/// Randomised Contraction relabelling requires: a unique representative
+/// choice is guaranteed because distinct vertex IDs encrypt to distinct
+/// values.
+pub struct Blowfish {
+    p: [u32; ROUNDS + 2],
+    s: [[u32; 256]; 4],
+}
+
+impl Blowfish {
+    /// Expands a key of 1 to 56 bytes into the cipher state.
+    ///
+    /// # Panics
+    /// Panics if `key` is empty or longer than 56 bytes (the Blowfish
+    /// maximum of 448 bits).
+    pub fn new(key: &[u8]) -> Self {
+        assert!(
+            !key.is_empty() && key.len() <= 56,
+            "Blowfish key must be 1..=56 bytes, got {}",
+            key.len()
+        );
+        let init = init_tables();
+        let mut cipher = Blowfish { p: init.p, s: init.s };
+        // XOR the key, cycled, into the P-array.
+        let mut k = 0usize;
+        for p in cipher.p.iter_mut() {
+            let mut word = 0u32;
+            for _ in 0..4 {
+                word = (word << 8) | key[k] as u32;
+                k = (k + 1) % key.len();
+            }
+            *p ^= word;
+        }
+        // Replace P and S entries with successive encryptions of zero.
+        let (mut l, mut r) = (0u32, 0u32);
+        for i in (0..ROUNDS + 2).step_by(2) {
+            let (nl, nr) = cipher.encrypt_halves(l, r);
+            cipher.p[i] = nl;
+            cipher.p[i + 1] = nr;
+            l = nl;
+            r = nr;
+        }
+        for b in 0..4 {
+            for i in (0..256).step_by(2) {
+                let (nl, nr) = cipher.encrypt_halves(l, r);
+                cipher.s[b][i] = nl;
+                cipher.s[b][i + 1] = nr;
+                l = nl;
+                r = nr;
+            }
+        }
+        cipher
+    }
+
+    /// Convenience constructor from a 128-bit round key, the form the
+    /// Randomised Contraction driver draws per round.
+    pub fn from_u128(key: u128) -> Self {
+        Blowfish::new(&key.to_be_bytes())
+    }
+
+    #[inline]
+    fn encrypt_halves(&self, mut l: u32, mut r: u32) -> (u32, u32) {
+        for i in 0..ROUNDS {
+            l ^= self.p[i];
+            r ^= self.f(l);
+            std::mem::swap(&mut l, &mut r);
+        }
+        std::mem::swap(&mut l, &mut r);
+        r ^= self.p[ROUNDS];
+        l ^= self.p[ROUNDS + 1];
+        (l, r)
+    }
+
+    /// The Blowfish F function:
+    /// `F(x) = ((S0[a] + S1[b]) ^ S2[c]) + S3[d]` with wrapping adds.
+    #[inline]
+    fn f(&self, x: u32) -> u32 {
+        let a = self.s[0][(x >> 24) as usize];
+        let b = self.s[1][(x >> 16 & 0xff) as usize];
+        let c = self.s[2][(x >> 8 & 0xff) as usize];
+        let d = self.s[3][(x & 0xff) as usize];
+        (a.wrapping_add(b) ^ c).wrapping_add(d)
+    }
+
+    #[inline]
+    fn decrypt_halves(&self, mut l: u32, mut r: u32) -> (u32, u32) {
+        for i in (2..ROUNDS + 2).rev() {
+            l ^= self.p[i];
+            r ^= self.f(l);
+            std::mem::swap(&mut l, &mut r);
+        }
+        std::mem::swap(&mut l, &mut r);
+        r ^= self.p[1];
+        l ^= self.p[0];
+        (l, r)
+    }
+
+    /// Encrypts one 64-bit block (big-endian halves convention).
+    #[inline]
+    pub fn encrypt(&self, block: u64) -> u64 {
+        let (l, r) = self.encrypt_halves((block >> 32) as u32, block as u32);
+        (l as u64) << 32 | r as u64
+    }
+
+    /// Decrypts one 64-bit block; the inverse of [`Blowfish::encrypt`].
+    #[inline]
+    pub fn decrypt(&self, block: u64) -> u64 {
+        let (l, r) = self.decrypt_halves((block >> 32) as u32, block as u32);
+        (l as u64) << 32 | r as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Published Blowfish known-answer vectors (Eric Young's set):
+    /// (key, plaintext, ciphertext).
+    const VECTORS: &[(u64, u64, u64)] = &[
+        (0x0000000000000000, 0x0000000000000000, 0x4EF997456198DD78),
+        (0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0x51866FD5B85ECB8A),
+        (0x3000000000000000, 0x1000000000000001, 0x7D856F9A613063F2),
+        (0x1111111111111111, 0x1111111111111111, 0x2466DD878B963C9D),
+        (0x0123456789ABCDEF, 0x1111111111111111, 0x61F9C3802281B096),
+        (0xFEDCBA9876543210, 0x0123456789ABCDEF, 0x0ACEAB0FC6A0A28D),
+        (0x7CA110454A1A6E57, 0x01A1D6D039776742, 0x59C68245EB05282B),
+    ];
+
+    #[test]
+    fn known_answer_vectors() {
+        for &(key, plain, cipher) in VECTORS {
+            let bf = Blowfish::new(&key.to_be_bytes());
+            assert_eq!(
+                bf.encrypt(plain),
+                cipher,
+                "key={key:016X} plain={plain:016X}"
+            );
+            assert_eq!(bf.decrypt(cipher), plain);
+        }
+    }
+
+    #[test]
+    fn variable_key_length() {
+        // Same 8-byte key given as 8 and as 16 bytes (doubled) must
+        // differ — the schedule cycles the key, so doubling changes
+        // nothing for an 8-byte key repeated. Verify cycling semantics:
+        let k8 = Blowfish::new(&0x0123456789ABCDEFu64.to_be_bytes());
+        let mut k16 = [0u8; 16];
+        k16[..8].copy_from_slice(&0x0123456789ABCDEFu64.to_be_bytes());
+        k16[8..].copy_from_slice(&0x0123456789ABCDEFu64.to_be_bytes());
+        let c16 = Blowfish::new(&k16);
+        assert_eq!(k8.encrypt(42), c16.encrypt(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=56 bytes")]
+    fn empty_key_rejected() {
+        Blowfish::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=56 bytes")]
+    fn oversized_key_rejected() {
+        Blowfish::new(&[0u8; 57]);
+    }
+
+    #[test]
+    fn encryption_is_injective_on_sample() {
+        use std::collections::HashSet;
+        let bf = Blowfish::from_u128(0xDEAD_BEEF_CAFE_BABE_0123_4567_89AB_CDEF);
+        let mut seen = HashSet::new();
+        for x in 0..4096u64 {
+            assert!(seen.insert(bf.encrypt(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_decrypt_inverts_encrypt(key: u128, block: u64) {
+            let bf = Blowfish::from_u128(key);
+            prop_assert_eq!(bf.decrypt(bf.encrypt(block)), block);
+        }
+
+        #[test]
+        fn prop_different_keys_differ(key: u128, block: u64) {
+            let a = Blowfish::from_u128(key);
+            let b = Blowfish::from_u128(key ^ 1);
+            // Not a cryptographic claim — just a smoke test that the key
+            // schedule actually depends on the key.
+            prop_assert_ne!(a.encrypt(block), b.encrypt(block));
+        }
+    }
+}

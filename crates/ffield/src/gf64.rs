@@ -1,0 +1,247 @@
+//! Arithmetic in GF(2^64).
+//!
+//! Elements are 64-bit integers interpreted as polynomials over GF(2);
+//! multiplication is carry-less polynomial multiplication reduced modulo
+//! the irreducible polynomial `x^64 + x^4 + x^3 + x + 1` (`0x1b`), the
+//! same polynomial the paper's `axplusb` UDF uses (Fig. 7 of the paper).
+//!
+//! The paper stores vertex IDs as 64-bit integers and treats that data
+//! type as the field GF(2^64), so the per-round relabelling
+//! `h(x) = A·x + B` is a bijection whenever `A != 0`: every non-zero
+//! field element has a multiplicative inverse.
+
+/// The reduction constant: low bits of the irreducible polynomial
+/// `x^64 + x^4 + x^3 + x + 1`.
+pub const IRRPOLY: u64 = 0x1b;
+
+/// Multiplies two elements of GF(2^64).
+///
+/// This is a direct port of the shift-and-add loop in the paper's C
+/// user-defined function (Fig. 7): for every set bit of `x`, the current
+/// shifted copy of `a` is XOR-ed into the result, with reduction by
+/// [`IRRPOLY`] whenever `a` overflows the degree-63 boundary.
+#[inline]
+pub fn gf64_mul(mut a: u64, mut x: u64) -> u64 {
+    let mut r = 0u64;
+    while x != 0 {
+        if x & 1 != 0 {
+            r ^= a;
+        }
+        x >>= 1;
+        // Shift `a` one degree up, folding the overflow back in.
+        let carry = a >> 63;
+        a <<= 1;
+        if carry != 0 {
+            a ^= IRRPOLY;
+        }
+    }
+    r
+}
+
+/// Computes `A·x + B` over GF(2^64): the paper's `axplusb` UDF.
+///
+/// Addition in a field of characteristic 2 is XOR, so the result is
+/// `gf64_mul(a, x) ^ b`. For any `a != 0` the map `x -> axplusb(a,x,b)`
+/// is a bijection of the full 64-bit domain.
+///
+/// ```
+/// use incc_ffield::gf64::{axplusb, axplusb_inv};
+///
+/// let y = axplusb(0xDEAD, 42, 0xBEEF);
+/// assert_eq!(axplusb_inv(0xDEAD, y, 0xBEEF), 42);
+/// ```
+#[inline]
+pub fn axplusb(a: u64, x: u64, b: u64) -> u64 {
+    gf64_mul(a, x) ^ b
+}
+
+/// Raises `a` to the power `e` in GF(2^64) by square-and-multiply.
+pub fn gf64_pow(mut a: u64, mut e: u64) -> u64 {
+    let mut r = 1u64;
+    while e != 0 {
+        if e & 1 != 0 {
+            r = gf64_mul(r, a);
+        }
+        a = gf64_mul(a, a);
+        e >>= 1;
+    }
+    r
+}
+
+/// Computes the multiplicative inverse of a non-zero element.
+///
+/// Uses Fermat: the multiplicative group has order `2^64 − 1`, so
+/// `a^(2^64 − 2) = a^{-1}`.
+///
+/// # Panics
+/// Panics if `a == 0`; zero has no inverse.
+pub fn gf64_inv(a: u64) -> u64 {
+    assert!(a != 0, "0 has no multiplicative inverse in GF(2^64)");
+    gf64_pow(a, u64::MAX - 1)
+}
+
+/// Inverts the affine map `y = A·x + B`, returning `x = A^{-1}·(y − B)`.
+///
+/// Subtraction equals addition (XOR) in characteristic 2.
+pub fn axplusb_inv(a: u64, y: u64, b: u64) -> u64 {
+    gf64_mul(gf64_inv(a), y ^ b)
+}
+
+/// The field GF(2^64) as a unit type implementing helpers used by the
+/// randomisation strategy layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Gf64;
+
+impl Gf64 {
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(self, a: u64, b: u64) -> u64 {
+        gf64_mul(a, b)
+    }
+
+    /// Field addition (XOR).
+    #[inline]
+    pub fn add(self, a: u64, b: u64) -> u64 {
+        a ^ b
+    }
+
+    /// The affine bijection `x -> A·x + B`.
+    #[inline]
+    pub fn axb(self, a: u64, x: u64, b: u64) -> u64 {
+        axplusb(a, x, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for &v in &[0u64, 1, 2, 3, 0xdead_beef, u64::MAX] {
+            assert_eq!(gf64_mul(v, 1), v);
+            assert_eq!(gf64_mul(1, v), v);
+            assert_eq!(gf64_mul(v, 0), 0);
+            assert_eq!(gf64_mul(0, v), 0);
+        }
+    }
+
+    #[test]
+    fn mul_by_x_reduces() {
+        // x^63 * x = x^64 = x^4 + x^3 + x + 1 = IRRPOLY.
+        assert_eq!(gf64_mul(1 << 63, 2), IRRPOLY);
+    }
+
+    #[test]
+    fn known_small_products() {
+        // (x+1)(x+1) = x^2 + 1 in characteristic 2.
+        assert_eq!(gf64_mul(0b11, 0b11), 0b101);
+        // x^3 * x^5 = x^8.
+        assert_eq!(gf64_mul(1 << 3, 1 << 5), 1 << 8);
+    }
+
+    #[test]
+    fn axplusb_matches_paper_loop() {
+        // Re-implementation of the C loop from Fig. 7, kept deliberately
+        // verbatim (signed-shift masking included) as a cross-check.
+        fn c_axplusb(mut a: i64, mut x: i64, b: i64) -> i64 {
+            let mut r: i64 = 0;
+            while x != 0 {
+                if x & 1 != 0 {
+                    r ^= a;
+                }
+                x = (x >> 1) & 0x7fff_ffff_ffff_ffff;
+                if a & (1i64 << 63) != 0 {
+                    a = (a << 1) ^ (IRRPOLY as i64);
+                } else {
+                    a <<= 1;
+                }
+            }
+            r ^ b
+        }
+        let samples = [
+            (1u64, 1u64, 0u64),
+            (0x1234_5678_9abc_def0, 0xfedc_ba98_7654_3210, 42),
+            (u64::MAX, u64::MAX, u64::MAX),
+            (1 << 63, 3, 7),
+        ];
+        for (a, x, b) in samples {
+            assert_eq!(
+                axplusb(a, x, b),
+                c_axplusb(a as i64, x as i64, b as i64) as u64,
+                "mismatch for a={a:#x} x={x:#x} b={b:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_of_generator_candidates() {
+        for a in [2u64, 3, 0x1b, 0xdead_beef_cafe_babe] {
+            let inv = gf64_inv(a);
+            assert_eq!(gf64_mul(a, inv), 1, "a={a:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_has_no_inverse() {
+        gf64_inv(0);
+    }
+
+    #[test]
+    fn affine_map_is_bijective_on_sample() {
+        use std::collections::HashSet;
+        let (a, b) = (0x9e37_79b9_7f4a_7c15u64, 0x2545_f491_4f6c_dd1du64);
+        let mut seen = HashSet::new();
+        for x in 0..4096u64 {
+            assert!(seen.insert(axplusb(a, x, b)), "collision at x={x}");
+        }
+    }
+
+    #[test]
+    fn affine_inverse_round_trips() {
+        let (a, b) = (0x0123_4567_89ab_cdefu64, 0xfeed_face_dead_beefu64);
+        for x in [0u64, 1, 2, 1 << 63, u64::MAX, 0x5555_5555_5555_5555] {
+            let y = axplusb(a, x, b);
+            assert_eq!(axplusb_inv(a, y, b), x);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_commutative(a: u64, b: u64) {
+            prop_assert_eq!(gf64_mul(a, b), gf64_mul(b, a));
+        }
+
+        #[test]
+        fn prop_mul_associative(a: u64, b: u64, c: u64) {
+            prop_assert_eq!(gf64_mul(gf64_mul(a, b), c), gf64_mul(a, gf64_mul(b, c)));
+        }
+
+        #[test]
+        fn prop_distributive(a: u64, b: u64, c: u64) {
+            prop_assert_eq!(gf64_mul(a, b ^ c), gf64_mul(a, b) ^ gf64_mul(a, c));
+        }
+
+        #[test]
+        fn prop_nonzero_invertible(a in 1u64..) {
+            prop_assert_eq!(gf64_mul(a, gf64_inv(a)), 1);
+        }
+
+        #[test]
+        fn prop_affine_inverse(a in 1u64.., x: u64, b: u64) {
+            let y = axplusb(a, x, b);
+            prop_assert_eq!(axplusb_inv(a, y, b), x);
+        }
+
+        #[test]
+        fn prop_pow_agrees_with_repeated_mul(a: u64, e in 0u64..64) {
+            let mut expect = 1u64;
+            for _ in 0..e {
+                expect = gf64_mul(expect, a);
+            }
+            prop_assert_eq!(gf64_pow(a, e), expect);
+        }
+    }
+}

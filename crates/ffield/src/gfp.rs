@@ -1,0 +1,194 @@
+//! Arithmetic in GF(p) for the Mersenne prime `p = 2^61 − 1`.
+//!
+//! The paper notes (Section V-C) that an SQL-only implementation of the
+//! finite-fields method — one that cannot load a C user-defined function
+//! for GF(2^64) — "could alternatively choose a prime number p known to
+//! be larger than any vertex ID and use normal integer arithmetic modulo
+//! p". This module is that alternative. `2^61 − 1` is prime, large
+//! enough for any realistic vertex-ID domain, and admits a fast
+//! reduction: `x mod (2^61 − 1)` is a shift, a mask and at most two
+//! conditional subtractions.
+
+/// The Mersenne prime `2^61 − 1`.
+pub const P: u64 = (1 << 61) - 1;
+
+/// GF(p) with `p = 2^61 − 1`.
+///
+/// Elements are integers in `[0, p)`. All operations debug-assert their
+/// inputs are reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Gfp;
+
+/// Reduces an arbitrary 128-bit value modulo `2^61 − 1`.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    // Split into 61-bit limbs; since 2^61 ≡ 1 (mod p) their sum is
+    // congruent to x. Two folds bring a 128-bit value under 2^62,
+    // then one conditional subtraction normalises.
+    let lo = (x & (P as u128)) as u64;
+    let mid = ((x >> 61) & (P as u128)) as u64;
+    let hi = (x >> 122) as u64;
+    let mut s = lo + mid + hi; // < 2^61 + 2^61 + 2^6 < 2^63
+    s = (s & P) + (s >> 61);
+    if s >= P {
+        s -= P;
+    }
+    s
+}
+
+impl Gfp {
+    /// Reduces a `u64` into the field, mapping `x` to `x mod p`.
+    #[inline]
+    pub fn embed(self, x: u64) -> u64 {
+        let mut s = (x & P) + (x >> 61);
+        if s >= P {
+            s -= P;
+        }
+        s
+    }
+
+    /// Field addition.
+    #[inline]
+    pub fn add(self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < P && b < P);
+        let s = a + b;
+        if s >= P {
+            s - P
+        } else {
+            s
+        }
+    }
+
+    /// Field subtraction.
+    #[inline]
+    pub fn sub(self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < P && b < P);
+        if a >= b {
+            a - b
+        } else {
+            a + P - b
+        }
+    }
+
+    /// Field multiplication via one 128-bit product and Mersenne folding.
+    #[inline]
+    pub fn mul(self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < P && b < P);
+        reduce128(a as u128 * b as u128)
+    }
+
+    /// The affine map `x -> A·x + B (mod p)`; a bijection of `[0, p)`
+    /// whenever `A != 0`.
+    #[inline]
+    pub fn axb(self, a: u64, x: u64, b: u64) -> u64 {
+        self.add(self.mul(a, self.embed(x)), b)
+    }
+
+    /// Exponentiation by square-and-multiply.
+    pub fn pow(self, mut a: u64, mut e: u64) -> u64 {
+        let mut r = 1u64;
+        while e != 0 {
+            if e & 1 != 0 {
+                r = self.mul(r, a);
+            }
+            a = self.mul(a, a);
+            e >>= 1;
+        }
+        r
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Panics
+    /// Panics if `a == 0`.
+    pub fn inv(self, a: u64) -> u64 {
+        assert!(a != 0, "0 has no multiplicative inverse in GF(p)");
+        self.pow(a, P - 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const F: Gfp = Gfp;
+
+    #[test]
+    fn p_is_mersenne_61() {
+        assert_eq!(P, 2_305_843_009_213_693_951);
+    }
+
+    #[test]
+    fn reduce_boundaries() {
+        assert_eq!(reduce128(0), 0);
+        assert_eq!(reduce128(P as u128), 0);
+        assert_eq!(reduce128(P as u128 + 1), 1);
+        assert_eq!(reduce128((P as u128) * (P as u128)), reduce_naive(P as u128 * P as u128));
+        assert_eq!(reduce128(u128::MAX), reduce_naive(u128::MAX));
+    }
+
+    fn reduce_naive(x: u128) -> u64 {
+        (x % P as u128) as u64
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(F.add(P - 1, 1), 0);
+        assert_eq!(F.sub(0, 1), P - 1);
+        assert_eq!(F.mul(2, 3), 6);
+        assert_eq!(F.mul(P - 1, P - 1), 1); // (-1)^2 = 1
+    }
+
+    #[test]
+    fn inverse_examples() {
+        for a in [1u64, 2, 3, 1_000_003, P - 1] {
+            assert_eq!(F.mul(a, F.inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_inverse_panics() {
+        F.inv(0);
+    }
+
+    #[test]
+    fn axb_bijective_on_sample() {
+        use std::collections::HashSet;
+        let (a, b) = (123_456_789u64, 987_654_321u64);
+        let mut seen = HashSet::new();
+        for x in 0..4096u64 {
+            assert!(seen.insert(F.axb(a, x, b)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_matches_naive(a in 0..P, b in 0..P) {
+            prop_assert_eq!(F.mul(a, b), reduce_naive(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn prop_reduce128_matches_naive(x: u128) {
+            prop_assert_eq!(reduce128(x), reduce_naive(x));
+        }
+
+        #[test]
+        fn prop_add_sub_roundtrip(a in 0..P, b in 0..P) {
+            prop_assert_eq!(F.sub(F.add(a, b), b), a);
+        }
+
+        #[test]
+        fn prop_inverse(a in 1..P) {
+            prop_assert_eq!(F.mul(a, F.inv(a)), 1);
+        }
+
+        #[test]
+        fn prop_affine_invertible(a in 1..P, b in 0..P, x in 0..P) {
+            let y = F.axb(a, x, b);
+            let x_back = F.mul(F.inv(a), F.sub(y, b));
+            prop_assert_eq!(x_back, x);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Pseudo-random bijections over vertex-ID domains.
+//!
+//! The Randomised Contraction algorithm of Bögeholz, Brand & Todor
+//! ("In-database connected component analysis", ICDE 2020) relabels the
+//! vertices of a graph at every contraction round with a fresh random
+//! bijection `h_i` and picks each vertex's representative as the
+//! `argmin` of `h_i` over its closed neighbourhood. The paper describes
+//! three ways to realise `h_i` (Section V-C); this crate implements all
+//! of them from scratch:
+//!
+//! * **Finite fields** — `h(x) = A·x + B` over a finite field on the
+//!   vertex-ID domain. Two instantiations are provided:
+//!   [`gf64`] implements GF(2^64) with polynomial arithmetic modulo
+//!   `x^64 + x^4 + x^3 + x + 1`, bit-for-bit compatible with the paper's
+//!   `axplusb` C user-defined function (Fig. 7); [`gfp`] implements
+//!   GF(p) for the Mersenne prime `p = 2^61 − 1`, the paper's "SQL-only"
+//!   alternative using ordinary modular integer arithmetic.
+//! * **Encryption** — [`blowfish`] is a complete Blowfish implementation
+//!   whose P-array and S-boxes are derived, as Schneier specifies, from
+//!   the hexadecimal expansion of π; [`pi`] computes those digits
+//!   exactly with a fixed-point Machin-formula spigot, so the tables are
+//!   generated rather than embedded.
+//! * **Random reals** — a per-vertex uniform draw; provided here as a
+//!   keyed hash to `[0, 1)` ([`strategy::Method::RandomReals`]) so that the
+//!   in-database implementation can evaluate it deterministically per
+//!   round without shipping a table of reals to every segment.
+//!
+//! The [`strategy`] module wraps all methods behind the
+//! [`strategy::RoundHash`] trait used by the algorithm driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blowfish;
+pub mod gf64;
+pub mod gfp;
+pub mod pi;
+pub mod strategy;
+
+pub use gf64::{axplusb, Gf64};
+pub use gfp::Gfp;
+pub use strategy::{Method, RoundHash};

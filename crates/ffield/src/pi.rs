@@ -1,0 +1,218 @@
+//! Exact hexadecimal digits of π.
+//!
+//! Blowfish initialises its P-array and S-boxes with the hexadecimal
+//! expansion of π. Rather than embedding 4 KiB of opaque constants, this
+//! module *computes* the digits with an exact fixed-point evaluation of
+//! Machin's formula
+//!
+//! ```text
+//! π = 16·arctan(1/5) − 4·arctan(1/239)
+//! ```
+//!
+//! using a little big-number fraction type with `u64` limbs. Every
+//! operation (shift, add, subtract, divide-by-small) is exact, and the
+//! series is summed until terms vanish below the working precision, so
+//! all requested digits are correct as long as a modest number of guard
+//! limbs is kept (we keep eight, far more than the worst-case carry
+//! propagation needs).
+
+/// A fixed-point non-negative number with a single integer limb of
+/// headroom: `value = Σ limb[i]·2^(64·i) / 2^(64·(n−1))` where
+/// `n = limbs.len()`. Limbs are little-endian.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BigFix {
+    limbs: Vec<u64>,
+}
+
+impl BigFix {
+    fn zero(n: usize) -> Self {
+        BigFix { limbs: vec![0; n] }
+    }
+
+    /// Constructs `1/d` exactly rounded down.
+    fn one_over(d: u64, n: usize) -> Self {
+        let mut v = BigFix::zero(n);
+        // Integer part of 1/d is 0 for d > 1; long-divide 1.0 by d.
+        let mut rem: u128 = 1;
+        for i in (0..n - 1).rev() {
+            let cur = rem << 64;
+            v.limbs[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        v
+    }
+
+    fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// In-place divide by a small divisor, truncating.
+    fn div_small(&mut self, d: u64) {
+        debug_assert!(d > 0);
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            self.limbs[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+    }
+
+    /// In-place addition. Panics on overflow of the top limb, which
+    /// cannot happen for the magnitudes used here (π < 4).
+    fn add_assign(&mut self, other: &BigFix) {
+        let mut carry = 0u64;
+        for (a, &b) in self.limbs.iter_mut().zip(&other.limbs) {
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *a = s2;
+            carry = (c1 | c2) as u64;
+        }
+        assert_eq!(carry, 0, "BigFix overflow");
+    }
+
+    /// In-place subtraction; `self` must be ≥ `other`.
+    fn sub_assign(&mut self, other: &BigFix) {
+        let mut borrow = 0u64;
+        for (a, &b) in self.limbs.iter_mut().zip(&other.limbs) {
+            let (s1, c1) = a.overflowing_sub(b);
+            let (s2, c2) = s1.overflowing_sub(borrow);
+            *a = s2;
+            borrow = (c1 | c2) as u64;
+        }
+        assert_eq!(borrow, 0, "BigFix underflow");
+    }
+
+    /// In-place multiply by a small factor.
+    fn mul_small(&mut self, m: u64) {
+        let mut carry = 0u128;
+        for a in self.limbs.iter_mut() {
+            let cur = *a as u128 * m as u128 + carry;
+            *a = cur as u64;
+            carry = cur >> 64;
+        }
+        assert_eq!(carry, 0, "BigFix overflow in mul_small");
+    }
+}
+
+/// Computes `arctan(1/x)` to `n` limbs by the Gregory series.
+fn arctan_inv(x: u64, n: usize) -> BigFix {
+    let x2 = x * x;
+    let mut power = BigFix::one_over(x, n); // 1/x^(2k+1)
+    let mut result = power.clone(); // k = 0 term
+    let mut k: u64 = 1;
+    loop {
+        power.div_small(x2);
+        if power.is_zero() {
+            break;
+        }
+        let mut term = power.clone();
+        term.div_small(2 * k + 1);
+        if k % 2 == 1 {
+            result.sub_assign(&term);
+        } else {
+            result.add_assign(&term);
+        }
+        k += 1;
+    }
+    result
+}
+
+/// Returns the first `count` hexadecimal digits of the *fractional*
+/// part of π, most significant first.
+///
+/// `pi_hex_digits(8)` is `[2, 4, 3, F, 6, A, 8, 8]`: π =
+/// 3.243F6A88… in base 16.
+pub fn pi_hex_digits(count: usize) -> Vec<u8> {
+    if count == 0 {
+        return Vec::new();
+    }
+    // 16 hex digits per limb; 8 guard limbs absorb series truncation
+    // and rounding error.
+    let n = count / 16 + 10;
+    let mut pi = arctan_inv(5, n);
+    pi.mul_small(16);
+    let mut t = arctan_inv(239, n);
+    t.mul_small(4);
+    pi.sub_assign(&t);
+    // Integer part lives in the top limb; sanity-check it is 3.
+    assert_eq!(pi.limbs[n - 1], 3, "π integer part");
+    let mut digits = Vec::with_capacity(count);
+    'outer: for i in (0..n - 1).rev() {
+        let limb = pi.limbs[i];
+        for nib in (0..16).rev() {
+            digits.push(((limb >> (nib * 4)) & 0xf) as u8);
+            if digits.len() == count {
+                break 'outer;
+            }
+        }
+    }
+    digits
+}
+
+/// Returns the first `count` 32-bit words of the fractional hexadecimal
+/// expansion of π, as used by the Blowfish key schedule.
+pub fn pi_words(count: usize) -> Vec<u32> {
+    let digits = pi_hex_digits(count * 8);
+    digits
+        .chunks(8)
+        .map(|c| c.iter().fold(0u32, |acc, &d| (acc << 4) | d as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_digits_match_reference() {
+        // π = 3.243F6A8885A308D313198A2E03707344A4093822299F31D0…
+        let expect = "243F6A8885A308D313198A2E03707344A4093822299F31D0";
+        let digits = pi_hex_digits(expect.len());
+        let got: String = digits
+            .iter()
+            .map(|&d| char::from_digit(d as u32, 16).unwrap().to_ascii_uppercase())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn words_match_blowfish_p_array_head() {
+        // The first four Blowfish P-array constants are well known.
+        let words = pi_words(4);
+        assert_eq!(words, vec![0x243F_6A88, 0x85A3_08D3, 0x1319_8A2E, 0x0370_7344]);
+    }
+
+    #[test]
+    fn sbox_head_constant() {
+        // S-box 0 starts at word offset 18: S[0][0] = 0xD1310BA6.
+        let words = pi_words(19);
+        assert_eq!(words[18], 0xD131_0BA6);
+    }
+
+    #[test]
+    fn digit_count_is_exact() {
+        assert_eq!(pi_hex_digits(1), vec![2]);
+        assert_eq!(pi_hex_digits(0), Vec::<u8>::new());
+        assert_eq!(pi_hex_digits(33).len(), 33);
+    }
+
+    #[test]
+    fn one_over_long_division() {
+        // 1/2 in fixed point: top fractional limb = 2^63.
+        let v = BigFix::one_over(2, 3);
+        assert_eq!(v.limbs, vec![0, 1 << 63, 0]);
+        // 1/3 = 0x5555…
+        let v = BigFix::one_over(3, 3);
+        assert_eq!(v.limbs[1], 0x5555_5555_5555_5555);
+    }
+
+    #[test]
+    fn arith_roundtrip() {
+        let mut a = BigFix::one_over(7, 4);
+        let b = BigFix::one_over(11, 4);
+        let a0 = a.clone();
+        a.add_assign(&b);
+        a.sub_assign(&b);
+        assert_eq!(a, a0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-round randomisation strategies.
+//!
+//! Each contraction round of Randomised Contraction needs a fresh
+//! pseudo-random order on the (remaining) vertex IDs. The order is
+//! induced by a hash `h : u64 -> u64`; a vertex's representative is the
+//! neighbour (or itself) minimising `h`. This module packages the
+//! paper's three methods behind one trait so the algorithm driver and
+//! the benchmarks can switch between them.
+
+use crate::blowfish::Blowfish;
+use crate::gf64::axplusb;
+use crate::gfp::{Gfp, P};
+use rand::Rng;
+
+/// The randomisation method used to order vertices each round
+/// (paper Section V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// `h(x) = A·x + B` over GF(2^64) — the paper's headline method,
+    /// implemented in the database as the `axplusb` UDF.
+    Gf64,
+    /// `h(x) = A·x + B (mod 2^61 − 1)` — the paper's "SQL-only"
+    /// fallback using plain modular integer arithmetic.
+    Gfp,
+    /// Blowfish encryption of the vertex ID under a random 128-bit
+    /// round key.
+    Blowfish,
+    /// The *random reals* method: an independent uniform draw per
+    /// vertex, realised as a keyed non-bijective 64-bit mix. Collisions
+    /// have probability ≈ n²/2^65 and only affect tie-breaking.
+    RandomReals,
+}
+
+impl Method {
+    /// All methods, for sweeps.
+    pub const ALL: [Method; 4] = [Method::Gf64, Method::Gfp, Method::Blowfish, Method::RandomReals];
+
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Gf64 => "gf2_64",
+            Method::Gfp => "gf_p61",
+            Method::Blowfish => "blowfish",
+            Method::RandomReals => "random_reals",
+        }
+    }
+
+    /// Draws the round parameters and returns the round hash.
+    pub fn sample_round<R: Rng + ?Sized>(self, rng: &mut R) -> RoundHash {
+        match self {
+            Method::Gf64 => {
+                let mut a = 0u64;
+                while a == 0 {
+                    a = rng.gen();
+                }
+                RoundHash::Gf64 { a, b: rng.gen() }
+            }
+            Method::Gfp => {
+                let mut a = 0u64;
+                while a == 0 {
+                    a = rng.gen_range(0..P);
+                }
+                RoundHash::Gfp { a, b: rng.gen_range(0..P) }
+            }
+            Method::Blowfish => RoundHash::Blowfish(Box::new(Blowfish::from_u128(rng.gen()))),
+            Method::RandomReals => RoundHash::RandomReals { key: rng.gen() },
+        }
+    }
+
+    /// Whether the method's hash is a bijection of its domain, which is
+    /// what lets the in-database implementation *relabel* vertices by
+    /// their hash values (new IDs stay unique).
+    pub fn is_bijective(self) -> bool {
+        !matches!(self, Method::RandomReals)
+    }
+}
+
+/// A sampled per-round vertex ordering.
+pub enum RoundHash {
+    /// See [`Method::Gf64`].
+    Gf64 {
+        /// Multiplier, non-zero.
+        a: u64,
+        /// Offset.
+        b: u64,
+    },
+    /// See [`Method::Gfp`].
+    Gfp {
+        /// Multiplier, non-zero, `< P`.
+        a: u64,
+        /// Offset, `< P`.
+        b: u64,
+    },
+    /// See [`Method::Blowfish`].
+    Blowfish(Box<Blowfish>),
+    /// See [`Method::RandomReals`].
+    RandomReals {
+        /// 64-bit mixing key.
+        key: u64,
+    },
+}
+
+impl RoundHash {
+    /// Evaluates the round hash at a vertex ID.
+    #[inline]
+    pub fn hash(&self, v: u64) -> u64 {
+        match self {
+            RoundHash::Gf64 { a, b } => axplusb(*a, v, *b),
+            RoundHash::Gfp { a, b } => Gfp.axb(*a, v, *b),
+            RoundHash::Blowfish(bf) => bf.encrypt(v),
+            RoundHash::RandomReals { key } => mix64(v ^ key),
+        }
+    }
+
+    /// The affine parameters `(A, B)` if this is a finite-field round;
+    /// the Fig. 4 back-substitution loop folds these into a single
+    /// accumulated affine map.
+    pub fn affine_params(&self) -> Option<(u64, u64)> {
+        match self {
+            RoundHash::Gf64 { a, b } | RoundHash::Gfp { a, b } => Some((*a, *b)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for RoundHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundHash::Gf64 { a, b } => write!(f, "Gf64(a={a:#x}, b={b:#x})"),
+            RoundHash::Gfp { a, b } => write!(f, "Gfp(a={a}, b={b})"),
+            RoundHash::Blowfish(_) => write!(f, "Blowfish(..)"),
+            RoundHash::RandomReals { key } => write!(f, "RandomReals(key={key:#x})"),
+        }
+    }
+}
+
+/// SplitMix64 finalisation: a fast full-avalanche 64-bit mixer, used to
+/// model the random-reals draw deterministically from `(key, vertex)`.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn bijective_methods_have_no_collisions() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for m in [Method::Gf64, Method::Gfp, Method::Blowfish] {
+            let h = m.sample_round(&mut rng);
+            let mut seen = HashSet::new();
+            for v in 0..2048u64 {
+                assert!(seen.insert(h.hash(v)), "{m:?} collided at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gfp_domain_restricted_outputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = Method::Gfp.sample_round(&mut rng);
+        for v in 0..1000u64 {
+            assert!(h.hash(v) < P);
+        }
+    }
+
+    #[test]
+    fn affine_params_only_for_field_methods() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(Method::Gf64.sample_round(&mut rng).affine_params().is_some());
+        assert!(Method::Gfp.sample_round(&mut rng).affine_params().is_some());
+        assert!(Method::Blowfish.sample_round(&mut rng).affine_params().is_none());
+        assert!(Method::RandomReals.sample_round(&mut rng).affine_params().is_none());
+    }
+
+    #[test]
+    fn rounds_differ_between_samples() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for m in Method::ALL {
+            let h1 = m.sample_round(&mut rng);
+            let h2 = m.sample_round(&mut rng);
+            let differs = (0..64u64).any(|v| h1.hash(v) != h2.hash(v));
+            assert!(differs, "{m:?} produced identical rounds");
+        }
+    }
+
+    #[test]
+    fn mix64_avalanches() {
+        // Flipping one input bit flips roughly half the output bits.
+        let x = 0x0123_4567_89ab_cdefu64;
+        let flips = (mix64(x) ^ mix64(x ^ 1)).count_ones();
+        assert!((16..=48).contains(&flips), "weak avalanche: {flips}");
+    }
+
+    #[test]
+    fn method_names_unique() {
+        let names: HashSet<_> = Method::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), Method::ALL.len());
+    }
+}

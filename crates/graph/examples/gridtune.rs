@@ -1,0 +1,26 @@
+//! Tuning probe for the synthetic image/video generators: prints the
+//! component census across jitter settings so the defaults can be
+//! matched to the paper's dataset shapes (see datasets.rs).
+
+use incc_graph::census::{census, log2_size_histogram, loglog_slope};
+use incc_graph::generators::{image_graph_2d, video_graph_3d, GridParams};
+fn main() {
+    for j in [5u32, 6, 7, 8] {
+        let p = GridParams { threshold: 50, octaves: 3, jitter: j, seed: 1, randomize_ids: false };
+        let g = image_graph_2d(300, 200, p);
+        let c = census(&g);
+        let slope = loglog_slope(&log2_size_histogram(&g));
+        println!("2D j={j}: comps={} ({:.1}%) largest={:.1}% slope={:?}",
+            c.components, 100.0*c.components as f64/c.vertices as f64,
+            100.0*c.largest_component as f64/c.vertices as f64, slope);
+    }
+    for j in [1u32, 2, 3] {
+        let p = GridParams { threshold: 20, octaves: 3, jitter: j, seed: 1, randomize_ids: false };
+        let g = video_graph_3d(60, 40, 10, p);
+        let c = census(&g);
+        let slope = loglog_slope(&log2_size_histogram(&g));
+        println!("3D thr=20 j={j}: comps={} ({:.2}%) largest={:.1}% slope={:?}",
+            c.components, 100.0*c.components as f64/c.vertices as f64,
+            100.0*c.largest_component as f64/c.vertices as f64, slope);
+    }
+}

@@ -1,0 +1,190 @@
+//! Component census: counts and size distributions.
+//!
+//! Reproduces the analyses behind the paper's Table II (|V|, |E| and
+//! component counts per dataset) and Figure 5 (the log–log component-
+//! size distribution demonstrating scale-freedom of the Bitcoin-address
+//! and Andromeda graphs).
+
+use crate::union_find::connected_components;
+use crate::EdgeList;
+use std::collections::{BTreeMap, HashMap};
+
+/// Summary statistics of a graph, as reported per dataset in Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphCensus {
+    /// Distinct vertices appearing in the edge list.
+    pub vertices: usize,
+    /// Edge rows (including duplicates, as stored).
+    pub edges: usize,
+    /// Connected components.
+    pub components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Maximum vertex degree (counting distinct neighbours).
+    pub max_degree: usize,
+}
+
+/// Distinct-neighbour sets per vertex (loops contribute the vertex
+/// with no neighbours) — shared by [`census`] and
+/// [`degree_distribution`].
+fn neighbour_sets(g: &EdgeList) -> HashMap<u64, std::collections::HashSet<u64>> {
+    let mut neighbours: HashMap<u64, std::collections::HashSet<u64>> = HashMap::new();
+    for &(a, b) in &g.edges {
+        if a != b {
+            neighbours.entry(a).or_default().insert(b);
+            neighbours.entry(b).or_default().insert(a);
+        } else {
+            neighbours.entry(a).or_default();
+        }
+    }
+    neighbours
+}
+
+/// Computes the census of a graph.
+pub fn census(g: &EdgeList) -> GraphCensus {
+    let labels = connected_components(&g.edges);
+    let mut sizes: HashMap<u64, usize> = HashMap::new();
+    for label in labels.values() {
+        *sizes.entry(*label).or_insert(0) += 1;
+    }
+    let neighbours = neighbour_sets(g);
+    GraphCensus {
+        vertices: labels.len(),
+        edges: g.edge_count(),
+        components: sizes.len(),
+        largest_component: sizes.values().copied().max().unwrap_or(0),
+        max_degree: neighbours.values().map(|s| s.len()).max().unwrap_or(0),
+    }
+}
+
+/// Degree distribution: `degree -> vertex count` (distinct neighbours,
+/// loops giving degree 0). The paper's image graphs are bounded by 4
+/// (2-D) / 6 (3-D); R-MAT and the Bitcoin graphs are heavy-tailed.
+pub fn degree_distribution(g: &EdgeList) -> BTreeMap<usize, usize> {
+    let mut dist = BTreeMap::new();
+    for s in neighbour_sets(g).values() {
+        *dist.entry(s.len()).or_insert(0) += 1;
+    }
+    dist
+}
+
+/// Exact component-size distribution: `size -> number of components of
+/// that size`, ordered by size.
+pub fn component_size_distribution(g: &EdgeList) -> BTreeMap<usize, usize> {
+    let labels = connected_components(&g.edges);
+    let mut sizes: HashMap<u64, usize> = HashMap::new();
+    for label in labels.values() {
+        *sizes.entry(*label).or_insert(0) += 1;
+    }
+    let mut dist = BTreeMap::new();
+    for size in sizes.values() {
+        *dist.entry(*size).or_insert(0) += 1;
+    }
+    dist
+}
+
+/// The Figure 5 series: component counts bucketed by power-of-two size
+/// (`bucket k` holds components of size in `[2^k, 2^(k+1))`). A graph
+/// with a scale-free component-size distribution shows a roughly linear
+/// decay of `log(count)` against `k`.
+pub fn log2_size_histogram(g: &EdgeList) -> BTreeMap<u32, usize> {
+    let mut hist = BTreeMap::new();
+    for (size, count) in component_size_distribution(g) {
+        let bucket = (usize::BITS - 1) - size.leading_zeros();
+        *hist.entry(bucket).or_insert(0) += count;
+    }
+    hist
+}
+
+/// Least-squares slope of `log2(count)` against `log2(size)` over the
+/// histogram buckets — the scale-freedom diagnostic for Fig. 5. Returns
+/// `None` with fewer than two non-empty buckets.
+pub fn loglog_slope(hist: &BTreeMap<u32, usize>) -> Option<f64> {
+    if hist.len() < 2 {
+        return None;
+    }
+    let pts: Vec<(f64, f64)> = hist
+        .iter()
+        .map(|(&b, &c)| (b as f64, (c as f64).log2()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_and_a_loner() -> EdgeList {
+        EdgeList::from_pairs(vec![(1, 2), (2, 3), (3, 1), (10, 20), (20, 30), (99, 99)])
+    }
+
+    #[test]
+    fn census_counts() {
+        let c = census(&two_triangles_and_a_loner());
+        assert_eq!(c.vertices, 7);
+        assert_eq!(c.edges, 6);
+        assert_eq!(c.components, 3);
+        assert_eq!(c.largest_component, 3);
+        assert_eq!(c.max_degree, 2);
+    }
+
+    #[test]
+    fn empty_census() {
+        let c = census(&EdgeList::new());
+        assert_eq!(c.vertices, 0);
+        assert_eq!(c.components, 0);
+        assert_eq!(c.largest_component, 0);
+        assert_eq!(c.max_degree, 0);
+    }
+
+    #[test]
+    fn degree_distribution_counts() {
+        let d = degree_distribution(&two_triangles_and_a_loner());
+        assert_eq!(d.get(&2), Some(&4), "triangle corners + path middle");
+        assert_eq!(d.get(&0), Some(&1), "the loop-edge vertex");
+        assert_eq!(d.get(&1), Some(&2), "path endpoints");
+        assert_eq!(degree_distribution(&EdgeList::new()).len(), 0);
+    }
+
+    #[test]
+    fn size_distribution() {
+        let d = component_size_distribution(&two_triangles_and_a_loner());
+        assert_eq!(d.get(&1), Some(&1)); // the loop-edge vertex
+        assert_eq!(d.get(&3), Some(&2)); // the two triangles
+    }
+
+    #[test]
+    fn log2_buckets() {
+        // Components of sizes 1, 3, 3: buckets 0 (size 1) and 1 (sizes 2-3).
+        let h = log2_size_histogram(&two_triangles_and_a_loner());
+        assert_eq!(h.get(&0), Some(&1));
+        assert_eq!(h.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn slope_of_geometric_decay_is_negative() {
+        // Synthetic histogram: counts 64, 16, 4, 1 over buckets 0..3.
+        let mut h = BTreeMap::new();
+        for (b, c) in [(0u32, 64usize), (1, 16), (2, 4), (3, 1)] {
+            h.insert(b, c);
+        }
+        let slope = loglog_slope(&h).unwrap();
+        assert!((slope + 2.0).abs() < 1e-9, "slope={slope}");
+    }
+
+    #[test]
+    fn slope_requires_two_buckets() {
+        let mut h = BTreeMap::new();
+        h.insert(0u32, 5usize);
+        assert_eq!(loglog_slope(&h), None);
+    }
+}

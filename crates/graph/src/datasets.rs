@@ -1,0 +1,266 @@
+//! The paper's dataset bench (Table II), reproduced at reduced scale.
+//!
+//! Every dataset of Section VII-A is available by name. Sizes are
+//! divided by a configurable `scale_denominator` (the paper runs 83 M –
+//! 1.5 G vertex graphs on a five-node cluster; the default denominator
+//! of 4000 yields graphs of 10⁴–10⁶ edges that exercise identical code
+//! paths on one machine). The [`Dataset::paper_census`] method records
+//! the original sizes so experiment reports can show the mapping.
+
+use crate::generators::{
+    bitcoin_address_graph, bitcoin_full_graph, chung_lu_graph, image_graph_2d, path_graph,
+    path_union, rmat_graph, road_network, video_graph_3d, BitcoinParams, GridParams,
+    PathNumbering, RmatParams,
+};
+use crate::EdgeList;
+
+/// Default scale denominator: paper sizes divided by 4000.
+pub const DEFAULT_SCALE_DENOM: u64 = 4000;
+
+/// One of the paper's evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Gigapixel image of the Andromeda galaxy, 4-connectivity,
+    /// colour threshold 50 (synthesised here from value noise).
+    Andromeda,
+    /// Bitcoin address-clustering graph (Meiklejohn et al. heuristic).
+    BitcoinAddresses,
+    /// Full Bitcoin transaction graph.
+    BitcoinFull,
+    /// CANDELS video voxel graph with the given frame count
+    /// (10, 20, 40, 80 or 160 in the paper's scalability series).
+    Candels(u32),
+    /// The com-Friendster social network (Chung–Lu stand-in).
+    Friendster,
+    /// R-MAT (0.57, 0.19, 0.19, 0.05), vertex IDs randomised.
+    Rmat,
+    /// Sequentially numbered path with 100 M vertices (scaled):
+    /// the Hash-to-Min / Cracker space worst case.
+    Path100M,
+    /// Union of 10 paths with adversarial numbering: the Two-Phase
+    /// worst case.
+    PathUnion10,
+    /// "Streets of Italy"-like road network (Section VII-C
+    /// Spark-comparison dataset: 19 M vertices, 20 M edges).
+    StreetsOfItaly,
+}
+
+/// Original sizes as reported in the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperCensus {
+    /// |V| in millions.
+    pub vertices_m: u64,
+    /// |E| in millions.
+    pub edges_m: u64,
+    /// Components in thousands.
+    pub components_k: u64,
+}
+
+impl Dataset {
+    /// The twelve datasets of Table II, in the paper's row order.
+    pub const TABLE2: [Dataset; 12] = [
+        Dataset::Andromeda,
+        Dataset::BitcoinAddresses,
+        Dataset::BitcoinFull,
+        Dataset::Candels(10),
+        Dataset::Candels(20),
+        Dataset::Candels(40),
+        Dataset::Candels(80),
+        Dataset::Candels(160),
+        Dataset::Friendster,
+        Dataset::Rmat,
+        Dataset::Path100M,
+        Dataset::PathUnion10,
+    ];
+
+    /// The dataset's display name (paper row label).
+    pub fn name(&self) -> String {
+        match self {
+            Dataset::Andromeda => "Andromeda".into(),
+            Dataset::BitcoinAddresses => "Bitcoin addresses".into(),
+            Dataset::BitcoinFull => "Bitcoin full".into(),
+            Dataset::Candels(f) => format!("Candels{f}"),
+            Dataset::Friendster => "Friendster".into(),
+            Dataset::Rmat => "RMAT".into(),
+            Dataset::Path100M => "Path100M".into(),
+            Dataset::PathUnion10 => "PathUnion10".into(),
+            Dataset::StreetsOfItaly => "Streets of Italy".into(),
+        }
+    }
+
+    /// Table II's original sizes (Streets of Italy from Section VII-C).
+    pub fn paper_census(&self) -> PaperCensus {
+        let (v, e, c) = match self {
+            Dataset::Andromeda => (1459, 2287, 62_166),
+            Dataset::BitcoinAddresses => (878, 830, 216_917),
+            Dataset::BitcoinFull => (1476, 2079, 37),
+            Dataset::Candels(10) => (83, 238, 39),
+            Dataset::Candels(20) => (166, 483, 48),
+            Dataset::Candels(40) => (332, 975, 91),
+            Dataset::Candels(80) => (663, 1958, 224),
+            Dataset::Candels(160) => (1326, 3923, 617),
+            Dataset::Candels(f) => (8 * *f as u64 / 10 * 10, 24 * *f as u64, 1),
+            Dataset::Friendster => (66, 1806, 0),
+            Dataset::Rmat => (39, 2079, 5),
+            Dataset::Path100M => (100, 100, 0),
+            Dataset::PathUnion10 => (154, 154, 0),
+            Dataset::StreetsOfItaly => (19, 20, 0),
+        };
+        PaperCensus { vertices_m: v, edges_m: e, components_k: c }
+    }
+
+    /// Generates the dataset at `1/scale_denom` of the paper's size.
+    ///
+    /// # Panics
+    /// Panics if `scale_denom` is so large the dataset degenerates to
+    /// fewer than a handful of vertices.
+    pub fn generate(&self, scale_denom: u64, seed: u64) -> EdgeList {
+        assert!(scale_denom >= 1);
+        let scale_v = |v_millions: u64| -> usize {
+            let v = v_millions * 1_000_000 / scale_denom;
+            assert!(v >= 8, "{} degenerates at denominator {scale_denom}", self.name());
+            v as usize
+        };
+        match self {
+            Dataset::Andromeda => {
+                // Paper image: 69,536 × 22,230 (aspect ≈ 3.128).
+                let v = scale_v(1459);
+                let w = ((v as f64 * 3.128).sqrt()) as usize;
+                let h = (v / w.max(1)).max(1);
+                image_graph_2d(
+                    w,
+                    h,
+                    GridParams { threshold: 50, octaves: 3, jitter: 7, seed, randomize_ids: true },
+                )
+            }
+            Dataset::BitcoinAddresses => {
+                // |V| ≈ transactions · (1 + fresh-addresses per txn).
+                let v = scale_v(878);
+                bitcoin_address_graph(BitcoinParams {
+                    transactions: v / 2,
+                    seed,
+                    ..Default::default()
+                })
+            }
+            Dataset::BitcoinFull => {
+                let v = scale_v(1476);
+                bitcoin_full_graph(BitcoinParams {
+                    transactions: v,
+                    seed,
+                    ..Default::default()
+                })
+            }
+            Dataset::Candels(frames) => {
+                // Paper: 4K frames (3840 × 2160 ≈ 8.3 M voxels/frame),
+                // frame count = the dataset index.
+                let per_frame = (8_294_400 / scale_denom).max(64) as usize;
+                let w = ((per_frame as f64 * 16.0 / 9.0).sqrt()) as usize;
+                let h = (per_frame / w.max(1)).max(1);
+                video_graph_3d(
+                    w,
+                    h,
+                    *frames as usize,
+                    GridParams { threshold: 20, octaves: 3, jitter: 2, seed, randomize_ids: true },
+                )
+            }
+            Dataset::Friendster => {
+                let v = scale_v(66);
+                let e = (1806 * 1_000_000 / scale_denom) as usize;
+                chung_lu_graph(v, e, 0.6, seed)
+            }
+            Dataset::Rmat => {
+                let v = scale_v(39);
+                let e = (2079 * 1_000_000 / scale_denom) as usize;
+                let scale = (usize::BITS - v.leading_zeros()).max(2);
+                rmat_graph(scale, e, RmatParams { seed, ..Default::default() })
+            }
+            Dataset::Path100M => {
+                path_graph(scale_v(100), PathNumbering::Sequential, 0)
+            }
+            Dataset::PathUnion10 => {
+                // 10 paths of doubling length summing to the target.
+                let v = scale_v(154);
+                let base = (v / 1023).max(2);
+                path_union(10, base, PathNumbering::BitReversed)
+            }
+            Dataset::StreetsOfItaly => {
+                // |V| ≈ |E|: a half-kept lattice.
+                let v = scale_v(19);
+                let w = ((v as f64).sqrt()) as usize;
+                road_network(w.max(2), (v / w.max(1)).max(2), 520, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::census;
+
+    // Tests use a large denominator so each graph is small.
+    const D: u64 = 400_000;
+
+    #[test]
+    fn all_table2_datasets_generate() {
+        for ds in Dataset::TABLE2 {
+            let g = ds.generate(D, 7);
+            let c = census(&g);
+            assert!(c.vertices > 0, "{}: empty", ds.name());
+            assert!(c.edges > 0, "{}: no edges", ds.name());
+        }
+    }
+
+    #[test]
+    fn census_shapes_match_paper() {
+        // Bitcoin addresses: many components. Bitcoin full: few.
+        let addr = census(&Dataset::BitcoinAddresses.generate(D, 1));
+        assert!(addr.components > addr.vertices / 20, "{addr:?}");
+        let full = census(&Dataset::BitcoinFull.generate(D, 1));
+        assert!(full.components < full.vertices / 10, "{full:?}");
+        // Paths: exactly 1 and 10 components.
+        assert_eq!(census(&Dataset::Path100M.generate(D, 1)).components, 1);
+        assert_eq!(census(&Dataset::PathUnion10.generate(D, 1)).components, 10);
+        // Friendster: one giant component.
+        let fr = census(&Dataset::Friendster.generate(D, 1));
+        assert_eq!(fr.components, 1, "{fr:?}");
+    }
+
+    #[test]
+    fn candels_series_doubles() {
+        let c10 = census(&Dataset::Candels(10).generate(D, 1));
+        let c20 = census(&Dataset::Candels(20).generate(D, 1));
+        let ratio = c20.vertices as f64 / c10.vertices as f64;
+        assert!((1.8..2.2).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn low_degree_datasets_bounded() {
+        assert!(census(&Dataset::Andromeda.generate(D, 1)).max_degree <= 4);
+        assert!(census(&Dataset::Candels(10).generate(D, 1)).max_degree <= 6);
+        assert!(census(&Dataset::StreetsOfItaly.generate(D, 1)).max_degree <= 4);
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let a = Dataset::Rmat.generate(D, 5);
+        let b = Dataset::Rmat.generate(D, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_census_rows_present() {
+        for ds in Dataset::TABLE2 {
+            let pc = ds.paper_census();
+            assert!(pc.vertices_m > 0);
+            assert!(pc.edges_m > 0);
+        }
+        assert_eq!(Dataset::Andromeda.paper_census().components_k, 62_166);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerates")]
+    fn absurd_denominator_rejected() {
+        Dataset::Friendster.generate(u64::MAX, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Elementary graph families used by tests and the contraction-factor
+//! experiments (Theorem 1 / Appendix B).
+
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// The cycle on `n ≥ 3` vertices — the directed 3-cycle attains the
+/// tight γ = 2/3 bound of the paper's Theorem 2.
+pub fn cycle_graph(n: usize) -> EdgeList {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut g = EdgeList::new();
+    for i in 0..n as u64 {
+        g.push(i, (i + 1) % n as u64);
+    }
+    g
+}
+
+/// The star with one hub and `n − 1` leaves: contracts to a single
+/// vertex in one round under any labelling.
+pub fn star_graph(n: usize) -> EdgeList {
+    assert!(n >= 2, "star needs at least 2 vertices");
+    let mut g = EdgeList::new();
+    for i in 1..n as u64 {
+        g.push(0, i);
+    }
+    g
+}
+
+/// The complete graph on `n` vertices.
+pub fn complete_graph(n: usize) -> EdgeList {
+    assert!(n >= 2, "complete graph needs at least 2 vertices");
+    let mut g = EdgeList::new();
+    for a in 0..n as u64 {
+        for b in a + 1..n as u64 {
+            g.push(a, b);
+        }
+    }
+    g
+}
+
+/// The Erdős–Rényi G(n, m) random graph: `m` distinct non-loop edges
+/// drawn uniformly. Deterministic given `seed`.
+pub fn gnm_random_graph(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2);
+    let max_edges = n * (n - 1) / 2;
+    assert!(m <= max_edges, "G(n,m) with m={m} > {max_edges} possible edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(m);
+    let mut g = EdgeList::new();
+    while g.edge_count() < m {
+        let a = rng.gen_range(0..n as u64);
+        let b = rng.gen_range(0..n as u64);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            g.push(key.0, key.1);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::census;
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle_graph(4);
+        assert_eq!(g.edge_count(), 4);
+        let c = census(&g);
+        assert_eq!(c.vertices, 4);
+        assert_eq!(c.components, 1);
+        assert_eq!(c.max_degree, 2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let c = census(&star_graph(10));
+        assert_eq!(c.vertices, 10);
+        assert_eq!(c.edges, 9);
+        assert_eq!(c.max_degree, 9);
+        assert_eq!(c.components, 1);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let c = census(&complete_graph(6));
+        assert_eq!(c.edges, 15);
+        assert_eq!(c.max_degree, 5);
+    }
+
+    #[test]
+    fn gnm_properties() {
+        let g = gnm_random_graph(50, 100, 42);
+        assert_eq!(g.edge_count(), 100);
+        // No loops, no duplicates.
+        let set: HashSet<(u64, u64)> = g.edges.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+        assert!(g.edges.iter().all(|&(a, b)| a != b));
+        // Deterministic.
+        assert_eq!(g, gnm_random_graph(50, 100, 42));
+        assert_ne!(g, gnm_random_graph(50, 100, 43));
+    }
+
+    #[test]
+    #[should_panic(expected = "possible edges")]
+    fn gnm_too_many_edges_rejected() {
+        gnm_random_graph(4, 100, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Synthetic Bitcoin transaction graphs.
+//!
+//! The paper's flagship real-world application (Section VII-A) analyses
+//! the Bitcoin blockchain two ways:
+//!
+//! * **Bitcoin addresses** — the address-clustering heuristic of
+//!   Meiklejohn et al.: a bipartite graph linking each transaction to
+//!   the addresses it spends from; connected components group addresses
+//!   presumed controlled by one entity. Its component-size census is
+//!   scale-free (Fig. 5) with a very large number of components
+//!   (216.9 M at 878 M vertices — roughly one component per four
+//!   vertices).
+//! * **Bitcoin full** — the transaction/output graph, which collapses
+//!   into very few components (37 k at 1.5 G vertices).
+//!
+//! The blockchain itself is 250 GB and is not shipped; this generator
+//! reproduces the *process* that gives those censuses: entities of
+//! heavy-tailed size own addresses; each transaction draws its inputs
+//! from one entity's addresses (address graph), and outputs chain into
+//! later transactions' inputs with preferential reuse (full graph).
+
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the synthetic Bitcoin graphs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitcoinParams {
+    /// Number of transactions to simulate.
+    pub transactions: usize,
+    /// Mean number of inputs per transaction (geometric, ≥ 1).
+    pub mean_inputs: f64,
+    /// Probability a transaction input reuses an *existing* address of
+    /// the spending entity instead of a fresh one.
+    pub reuse_probability: f64,
+    /// Pareto shape for entity sizes (smaller = heavier tail).
+    pub entity_shape: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BitcoinParams {
+    fn default() -> Self {
+        BitcoinParams {
+            transactions: 10_000,
+            mean_inputs: 1.5,
+            reuse_probability: 0.35,
+            entity_shape: 1.2,
+            seed: 1,
+        }
+    }
+}
+
+/// Address IDs live below this offset, transaction IDs above it, so the
+/// bipartite sides never collide.
+pub const TXN_ID_OFFSET: u64 = 1 << 40;
+
+fn sample_inputs(rng: &mut StdRng, mean: f64) -> usize {
+    // Geometric with mean `mean` (≥ 1): success prob 1/mean.
+    let p = (1.0 / mean).clamp(0.05, 1.0);
+    let mut k = 1;
+    while rng.gen::<f64>() > p && k < 64 {
+        k += 1;
+    }
+    k
+}
+
+/// The address-clustering graph: one vertex per address and per
+/// transaction, an edge `(address, transaction)` for every input.
+pub fn bitcoin_address_graph(params: BitcoinParams) -> EdgeList {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut g = EdgeList::new();
+    let mut next_address: u64 = 0;
+    // Per-entity address pools; entity chosen per transaction with a
+    // heavy-tailed (Pareto-ish) popularity so big exchanges emerge.
+    let mut entities: Vec<Vec<u64>> = Vec::new();
+    for t in 0..params.transactions {
+        let txn_id = TXN_ID_OFFSET + t as u64;
+        // Pick (or create) the spending entity: preferential by a
+        // Pareto index into the entity list.
+        let e_idx = if entities.is_empty() || rng.gen::<f64>() < 0.3 {
+            entities.push(Vec::new());
+            entities.len() - 1
+        } else {
+            // Pareto-like index: small indices (old entities) favoured.
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            let idx = (entities.len() as f64 * u.powf(params.entity_shape)) as usize;
+            idx.min(entities.len() - 1)
+        };
+        let n_inputs = sample_inputs(&mut rng, params.mean_inputs);
+        for _ in 0..n_inputs {
+            let pool = &mut entities[e_idx];
+            let addr = if !pool.is_empty() && rng.gen::<f64>() < params.reuse_probability {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                let a = next_address;
+                next_address += 1;
+                pool.push(a);
+                a
+            };
+            g.push(addr, txn_id);
+        }
+    }
+    g
+}
+
+/// The full transaction graph: transactions chained through outputs.
+/// Each transaction links to `k` predecessor transactions (its funding
+/// sources) chosen with strong preferential attachment, yielding the
+/// few-giant-components structure of the paper's "Bitcoin full".
+pub fn bitcoin_full_graph(params: BitcoinParams) -> EdgeList {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0xB17C_0111);
+    let mut g = EdgeList::new();
+    // Endpoint multiset for preferential attachment.
+    let mut endpoints: Vec<u64> = Vec::new();
+    for t in 0..params.transactions {
+        let txn_id = TXN_ID_OFFSET + t as u64;
+        let n_inputs = sample_inputs(&mut rng, params.mean_inputs);
+        // A small fraction of transactions are coinbase (no inputs):
+        // they start new components.
+        if t == 0 || rng.gen::<f64>() < 0.01 {
+            g.push(txn_id, txn_id);
+            endpoints.push(txn_id);
+            continue;
+        }
+        for _ in 0..n_inputs {
+            let src = endpoints[rng.gen_range(0..endpoints.len())];
+            g.push(src, txn_id);
+            endpoints.push(src);
+        }
+        endpoints.push(txn_id);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::{census, log2_size_histogram, loglog_slope};
+
+    #[test]
+    fn address_graph_is_bipartite_by_id_range() {
+        let g = bitcoin_address_graph(BitcoinParams { transactions: 2000, ..Default::default() });
+        for &(a, t) in &g.edges {
+            assert!(a < TXN_ID_OFFSET, "left side is an address");
+            assert!(t >= TXN_ID_OFFSET, "right side is a transaction");
+        }
+    }
+
+    #[test]
+    fn address_graph_many_components_scale_free() {
+        let g = bitcoin_address_graph(BitcoinParams { transactions: 8000, ..Default::default() });
+        let c = census(&g);
+        // Paper's census: components ≈ |V| / 4 — many small clusters.
+        assert!(
+            c.components * 3 > c.vertices / 4,
+            "expected many components: {c:?}"
+        );
+        assert!(c.components < c.vertices, "but some clustering");
+        let slope = loglog_slope(&log2_size_histogram(&g)).unwrap();
+        assert!(slope < -0.5, "scale-free-ish census expected, slope={slope}");
+    }
+
+    #[test]
+    fn full_graph_few_components() {
+        let p = BitcoinParams { transactions: 5000, ..Default::default() };
+        let g = bitcoin_full_graph(p);
+        let c = census(&g);
+        assert!(
+            c.components < c.vertices / 20,
+            "full graph must collapse into few components: {c:?}"
+        );
+        assert!(c.largest_component > c.vertices / 2, "{c:?}");
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let p = BitcoinParams { transactions: 500, ..Default::default() };
+        assert_eq!(bitcoin_address_graph(p), bitcoin_address_graph(p));
+        assert_eq!(bitcoin_full_graph(p), bitcoin_full_graph(p));
+        let p2 = BitcoinParams { seed: 2, ..p };
+        assert_ne!(bitcoin_address_graph(p), bitcoin_address_graph(p2));
+    }
+
+    #[test]
+    fn input_count_distribution_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let total: usize = (0..n).map(|_| sample_inputs(&mut rng, 1.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((1.2..1.8).contains(&mean), "mean inputs {mean}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Dataset generators.
+//!
+//! Each generator is deterministic given its seed and produces an
+//! [`crate::EdgeList`] whose structure mirrors one of the paper's
+//! evaluation datasets (Section VII-A). Vertex IDs stay below
+//! `2^61 − 1` so every randomisation method — including the GF(p)
+//! finite field — applies.
+
+mod basic;
+mod bitcoin;
+mod grid;
+mod paths;
+mod relabel;
+mod rmat;
+mod social;
+
+pub use basic::{complete_graph, cycle_graph, gnm_random_graph, star_graph};
+pub use bitcoin::{bitcoin_address_graph, bitcoin_full_graph, BitcoinParams, TXN_ID_OFFSET};
+pub use grid::{image_graph_2d, road_network, video_graph_3d, GridParams};
+pub use paths::{path_graph, path_union, PathNumbering};
+pub use relabel::randomize_vertex_ids;
+pub use rmat::{rmat_graph, RmatParams};
+pub use social::chung_lu_graph;

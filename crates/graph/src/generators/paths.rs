@@ -1,0 +1,138 @@
+//! Path graphs — the adversarial datasets.
+//!
+//! A sequentially numbered path is the worst case for min-propagation
+//! algorithms (paper Section IV and Fig. 2): Breadth First Search takes
+//! `n − 1` rounds, deterministic min-contraction shrinks by one vertex
+//! per round, and Hash-to-Min's cluster sets grow quadratically. The
+//! paper's `Path100M` dataset is exactly this; `PathUnion10` is the
+//! Two-Phase worst case, a union of paths of different lengths with
+//! adversarial numbering.
+
+use crate::EdgeList;
+
+/// How the vertices along a path are numbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathNumbering {
+    /// `0 — 1 — 2 — …` — the adversarial case of Fig. 2(a).
+    Sequential,
+    /// Bit-reversed positions — spreads consecutive IDs far apart along
+    /// the path, an adversarial numbering for star-contraction
+    /// algorithms.
+    BitReversed,
+}
+
+/// A path on `n` vertices (`n − 1` edges) numbered per `numbering`,
+/// with vertex IDs offset by `base`.
+pub fn path_graph(n: usize, numbering: PathNumbering, base: u64) -> EdgeList {
+    assert!(n >= 1, "path needs at least one vertex");
+    let labels: Vec<u64> = match numbering {
+        PathNumbering::Sequential => (0..n as u64).map(|i| base + i).collect(),
+        PathNumbering::BitReversed => {
+            // Rank each position by its bit-reversed value so the
+            // labels are a dense permutation of 0..n.
+            let bits = usize::BITS - (n - 1).max(1).leading_zeros();
+            let rev = |x: usize| -> usize {
+                let mut r = 0usize;
+                for b in 0..bits {
+                    if x & (1 << b) != 0 {
+                        r |= 1 << (bits - 1 - b);
+                    }
+                }
+                r
+            };
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&p| rev(p));
+            let mut labels = vec![0u64; n];
+            for (rank, &pos) in order.iter().enumerate() {
+                labels[pos] = base + rank as u64;
+            }
+            labels
+        }
+    };
+    let mut g = EdgeList::new();
+    if n == 1 {
+        // A single vertex is represented as a loop edge.
+        g.push(labels[0], labels[0]);
+        return g;
+    }
+    for pos in 0..n - 1 {
+        g.push(labels[pos], labels[pos + 1]);
+    }
+    g
+}
+
+/// A union of `k` disjoint paths; path `j` has `base_len · 2^j`
+/// vertices. With `PathNumbering::BitReversed` this is the PathUnion
+/// construction the paper uses as the Two-Phase worst case.
+pub fn path_union(k: usize, base_len: usize, numbering: PathNumbering) -> EdgeList {
+    assert!(k >= 1 && base_len >= 1);
+    let mut g = EdgeList::new();
+    let mut base = 0u64;
+    for j in 0..k {
+        let n = base_len << j;
+        g.extend(&path_graph(n, numbering, base));
+        base += n as u64;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::census;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sequential_path_shape() {
+        let g = path_graph(5, PathNumbering::Sequential, 0);
+        assert_eq!(g.edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn single_vertex_is_loop() {
+        let g = path_graph(1, PathNumbering::Sequential, 7);
+        assert_eq!(g.edges, vec![(7, 7)]);
+    }
+
+    #[test]
+    fn bit_reversed_is_permutation() {
+        for n in [1usize, 2, 3, 7, 8, 13, 64, 100] {
+            let g = path_graph(n, PathNumbering::BitReversed, 0);
+            let verts: HashSet<u64> = g.vertices();
+            assert_eq!(verts.len(), n, "n={n}");
+            assert_eq!(verts, (0..n as u64).collect(), "n={n}");
+            let c = census(&g);
+            assert_eq!(c.components, 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bit_reversed_differs_from_sequential() {
+        let a = path_graph(16, PathNumbering::Sequential, 0);
+        let b = path_graph(16, PathNumbering::BitReversed, 0);
+        assert_ne!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn offset_base_applies() {
+        let g = path_graph(3, PathNumbering::Sequential, 100);
+        assert_eq!(g.edges, vec![(100, 101), (101, 102)]);
+    }
+
+    #[test]
+    fn path_union_components() {
+        let g = path_union(4, 3, PathNumbering::Sequential);
+        let c = census(&g);
+        assert_eq!(c.components, 4);
+        // 3 + 6 + 12 + 24 = 45 vertices.
+        assert_eq!(c.vertices, 45);
+        // Disjoint ID ranges.
+        assert_eq!(g.vertices().len(), 45);
+    }
+
+    #[test]
+    fn path_union_bit_reversed_valid() {
+        let g = path_union(3, 5, PathNumbering::BitReversed);
+        assert_eq!(census(&g).components, 3);
+    }
+}

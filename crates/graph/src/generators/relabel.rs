@@ -1,0 +1,89 @@
+//! Vertex-ID randomisation.
+//!
+//! The paper randomises the vertex IDs of its image-derived and R-MAT
+//! graphs "to decouple the graph structure from artefacts of the
+//! generation technique". This module relabels a graph's vertices with
+//! distinct pseudo-random IDs drawn from `[0, 2^61 − 1)` — below the
+//! GF(p) modulus so every randomisation method remains applicable.
+
+use crate::EdgeList;
+use incc_ffield::gfp::P;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Replaces every vertex ID with a distinct random ID in `[0, 2^61 − 1)`.
+/// Deterministic given `seed`; structure (and therefore the component
+/// partition) is preserved.
+pub fn randomize_vertex_ids(g: &mut EdgeList, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mapping: HashMap<u64, u64> = HashMap::new();
+    let mut used: HashSet<u64> = HashSet::new();
+    let fresh = |rng: &mut StdRng, used: &mut HashSet<u64>| -> u64 {
+        loop {
+            let id = rng.gen_range(0..P);
+            if used.insert(id) {
+                return id;
+            }
+        }
+    };
+    for e in g.edges.iter_mut() {
+        let a = *mapping.entry(e.0).or_insert_with(|| fresh(&mut rng, &mut used));
+        let b = match mapping.get(&e.1) {
+            Some(&b) => b,
+            None => {
+                let b = fresh(&mut rng, &mut used);
+                mapping.insert(e.1, b);
+                b
+            }
+        };
+        *e = (a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::census;
+    use crate::generators::{cycle_graph, path_graph, PathNumbering};
+
+    #[test]
+    fn relabelling_preserves_structure() {
+        let mut g = cycle_graph(20);
+        let before = census(&g);
+        randomize_vertex_ids(&mut g, 5);
+        let after = census(&g);
+        assert_eq!(before.vertices, after.vertices);
+        assert_eq!(before.components, after.components);
+        assert_eq!(before.max_degree, after.max_degree);
+    }
+
+    #[test]
+    fn ids_are_distinct_and_in_domain() {
+        let mut g = path_graph(500, PathNumbering::Sequential, 0);
+        randomize_vertex_ids(&mut g, 11);
+        let verts = g.vertices();
+        assert_eq!(verts.len(), 500);
+        assert!(verts.iter().all(|&v| v < P));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = cycle_graph(10);
+        let mut b = cycle_graph(10);
+        randomize_vertex_ids(&mut a, 3);
+        randomize_vertex_ids(&mut b, 3);
+        assert_eq!(a, b);
+        let mut c = cycle_graph(10);
+        randomize_vertex_ids(&mut c, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn loops_stay_loops() {
+        let mut g = EdgeList::from_pairs(vec![(7, 7), (1, 2)]);
+        randomize_vertex_ids(&mut g, 1);
+        assert_eq!(g.edges[0].0, g.edges[0].1);
+        assert_ne!(g.edges[1].0, g.edges[1].1);
+    }
+}

@@ -1,0 +1,137 @@
+//! R-MAT recursive matrix graphs (Chakrabarti, Zhan & Faloutsos, 2004).
+//!
+//! The paper generates "a large random graph using the R-MAT method
+//! with parameters (0.57, 0.19, 0.19, 0.05), which are the parameters
+//! used in [Kiveris et al.]. Vertex IDs were randomised to decouple the
+//! graph structure from artefacts of the generation technique."
+
+use crate::generators::relabel::randomize_vertex_ids;
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// R-MAT generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Quadrant probabilities; must be positive and sum to 1.
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// Bottom-right quadrant.
+    pub d: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Randomise vertex IDs afterwards, as the paper does.
+    pub randomize_ids: bool,
+}
+
+impl Default for RmatParams {
+    /// The paper's parameters (0.57, 0.19, 0.19, 0.05).
+    fn default() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05, seed: 1, randomize_ids: true }
+    }
+}
+
+/// Generates an R-MAT graph over `2^scale` vertices with `edges`
+/// distinct non-loop edges.
+pub fn rmat_graph(scale: u32, edges: usize, params: RmatParams) -> EdgeList {
+    assert!((1..61).contains(&scale), "scale out of range");
+    let total = params.a + params.b + params.c + params.d;
+    assert!(
+        (total - 1.0).abs() < 1e-9 && params.a > 0.0 && params.d >= 0.0,
+        "R-MAT probabilities must sum to 1"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(edges);
+    let mut g = EdgeList::new();
+    let mut attempts: usize = 0;
+    let max_attempts = edges.saturating_mul(100).max(1000);
+    while g.edge_count() < edges {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "R-MAT could not place {edges} distinct edges at scale {scale}"
+        );
+        let (mut x, mut y) = (0u64, 0u64);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (dx, dy) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            x = (x << 1) | dx;
+            y = (y << 1) | dy;
+        }
+        if x == y {
+            continue;
+        }
+        let key = (x.min(y), x.max(y));
+        if seen.insert(key) {
+            g.push(key.0, key.1);
+        }
+    }
+    if params.randomize_ids {
+        randomize_vertex_ids(&mut g, params.seed ^ 0x1234_5678);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::census;
+
+    #[test]
+    fn rmat_basic_properties() {
+        let p = RmatParams { randomize_ids: false, ..Default::default() };
+        let g = rmat_graph(10, 4000, p);
+        assert_eq!(g.edge_count(), 4000);
+        assert!(g.edges.iter().all(|&(a, b)| a != b), "no loops");
+        let set: HashSet<(u64, u64)> = g.edges.iter().copied().collect();
+        assert_eq!(set.len(), 4000, "no duplicates");
+        assert!(g.max_vertex_id().unwrap() < 1 << 10);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // With a = 0.57, low-ID vertices are much busier than high-ID
+        // ones — degree distribution must be heavily skewed.
+        let p = RmatParams { randomize_ids: false, ..Default::default() };
+        let g = rmat_graph(12, 8000, p);
+        let c = census(&g);
+        let avg_degree = 2.0 * c.edges as f64 / c.vertices as f64;
+        assert!(
+            c.max_degree as f64 > 10.0 * avg_degree,
+            "max_degree={} avg={avg_degree}",
+            c.max_degree
+        );
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let p = RmatParams::default();
+        assert_eq!(rmat_graph(8, 500, p), rmat_graph(8, 500, p));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn invalid_probabilities_rejected() {
+        let p = RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0, seed: 0, randomize_ids: false };
+        rmat_graph(8, 10, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "could not place")]
+    fn impossible_edge_count_detected() {
+        // 2 vertices admit only 1 distinct edge.
+        rmat_graph(1, 10, RmatParams { randomize_ids: false, ..Default::default() });
+    }
+}

@@ -1,0 +1,88 @@
+//! Chung–Lu power-law social graphs (the Friendster stand-in).
+//!
+//! The paper uses the SNAP "com-Friendster" graph: 66 M vertices,
+//! 1.8 G edges, a single connected component, heavy-tailed degrees. A
+//! Chung–Lu model with Zipf weights reproduces those traits at any
+//! scale: vertex `i` gets weight `∝ (i + 1)^{-α}` and edges pick both
+//! endpoints independently with probability proportional to weight.
+//! At Friendster's density (average degree ≈ 55) the generated graph
+//! is connected with overwhelming probability.
+
+use crate::generators::relabel::randomize_vertex_ids;
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Generates a Chung–Lu graph on `n` vertices with `m` distinct
+/// non-loop edges and Zipf exponent `alpha` (0 = uniform; 0.5–0.9 =
+/// social-network-like). Vertex IDs are randomised.
+pub fn chung_lu_graph(n: usize, m: usize, alpha: f64, seed: u64) -> EdgeList {
+    assert!(n >= 2);
+    assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1) for CDF inversion");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Inverse-CDF sampling for weights w_i ∝ (i+1)^{-alpha}:
+    // CDF(i) ≈ ((i+1)/n)^{1-alpha}, so i = n·u^{1/(1-alpha)}.
+    let exponent = 1.0 / (1.0 - alpha);
+    let sample = |rng: &mut StdRng| -> u64 {
+        let u: f64 = rng.gen::<f64>().max(1e-15);
+        let i = (n as f64 * u.powf(exponent)) as u64;
+        i.min(n as u64 - 1)
+    };
+    let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(m);
+    let mut g = EdgeList::new();
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(100).max(1000);
+    while g.edge_count() < m {
+        attempts += 1;
+        assert!(attempts <= max_attempts, "Chung–Lu could not place {m} distinct edges");
+        let a = sample(&mut rng);
+        let b = sample(&mut rng);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            g.push(key.0, key.1);
+        }
+    }
+    randomize_vertex_ids(&mut g, seed ^ 0x0050_C1A1);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::census;
+
+    #[test]
+    fn friendster_like_is_one_component() {
+        // Friendster density: avg degree ~55; here n=2000, m=20000
+        // (avg degree 20) is already far past the connectivity
+        // threshold for the vertices that appear.
+        let g = chung_lu_graph(2000, 20_000, 0.6, 3);
+        let c = census(&g);
+        assert_eq!(c.components, 1, "{c:?}");
+        assert_eq!(c.edges, 20_000);
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let g = chung_lu_graph(5000, 25_000, 0.8, 5);
+        let c = census(&g);
+        let avg = 2.0 * c.edges as f64 / c.vertices as f64;
+        assert!(c.max_degree as f64 > 8.0 * avg, "max {} vs avg {avg}", c.max_degree);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(chung_lu_graph(100, 300, 0.5, 9), chung_lu_graph(100, 300, 0.5, 9));
+        assert_ne!(chung_lu_graph(100, 300, 0.5, 9), chung_lu_graph(100, 300, 0.5, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_one_rejected() {
+        chung_lu_graph(10, 5, 1.0, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Edge-list file I/O in the SNAP text format.
+//!
+//! The paper's Friendster dataset comes from the Stanford Large
+//! Network Dataset Collection, distributed as whitespace-separated
+//! `from to` lines with `#` comment headers. This module reads and
+//! writes that format so the reproduction can run against real SNAP
+//! downloads in place of the synthetic stand-ins.
+
+use crate::EdgeList;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// An I/O or parse failure while reading an edge list.
+#[derive(Debug)]
+pub struct IoError {
+    /// Human-readable description, with a line number where relevant.
+    pub message: String,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn err(message: impl Into<String>) -> IoError {
+    IoError { message: message.into() }
+}
+
+/// Reads a SNAP-format edge list: one `u v` pair per line (any
+/// whitespace separates), `#`-prefixed lines are comments, blank lines
+/// are skipped.
+pub fn read_edge_list(path: &Path) -> Result<EdgeList, IoError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| err(format!("open {}: {e}", path.display())))?;
+    let reader = std::io::BufReader::new(file);
+    let mut g = EdgeList::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| err(format!("read line {}: {e}", lineno + 1)))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(err(format!("line {}: expected two vertex IDs", lineno + 1)));
+        };
+        if parts.next().is_some() {
+            return Err(err(format!("line {}: more than two fields", lineno + 1)));
+        }
+        let a: u64 = a
+            .parse()
+            .map_err(|e| err(format!("line {}: bad vertex ID {a:?}: {e}", lineno + 1)))?;
+        let b: u64 = b
+            .parse()
+            .map_err(|e| err(format!("line {}: bad vertex ID {b:?}: {e}", lineno + 1)))?;
+        g.push(a, b);
+    }
+    Ok(g)
+}
+
+/// Writes a SNAP-format edge list with a small header comment.
+pub fn write_edge_list(g: &EdgeList, path: &Path) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| err(format!("create {}: {e}", path.display())))?;
+    let mut w = BufWriter::new(file);
+    let io = |e: std::io::Error| err(format!("write {}: {e}", path.display()));
+    writeln!(w, "# Undirected edge list ({} rows)", g.edge_count()).map_err(io)?;
+    writeln!(w, "# FromNodeId\tToNodeId").map_err(io)?;
+    for &(a, b) in &g.edges {
+        writeln!(w, "{a}\t{b}").map_err(io)?;
+    }
+    w.flush().map_err(io)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::gnm_random_graph;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("incc_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = gnm_random_graph(50, 120, 7);
+        let path = temp_path("roundtrip.txt");
+        write_edge_list(&g, &path).unwrap();
+        let back = read_edge_list(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parses_snap_style_comments_and_whitespace() {
+        let path = temp_path("snap.txt");
+        std::fs::write(
+            &path,
+            "# Undirected graph: ../../data/output/friendster.txt\n\
+             # Nodes: 4 Edges: 3\n\
+             \n\
+             1\t2\n\
+             3   4\n\
+             1 3\n",
+        )
+        .unwrap();
+        let g = read_edge_list(&path).unwrap();
+        assert_eq!(g.edges, vec![(1, 2), (3, 4), (1, 3)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["1\n", "1 2 3\n", "a b\n", "1 -2\n"] {
+            let path = temp_path("bad.txt");
+            std::fs::write(&path, bad).unwrap();
+            let e = read_edge_list(&path).unwrap_err();
+            assert!(e.to_string().contains("line 1"), "{bad:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(read_edge_list(Path::new("/nonexistent/nope.txt")).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Graphs, generators and component analysis utilities.
+//!
+//! The paper's evaluation (Section VII) runs four connected-components
+//! algorithms over twelve datasets: two real Bitcoin-derived graphs, a
+//! gigapixel image graph, a series of 3-D video graphs, the Friendster
+//! social network, an R-MAT random graph and two adversarial path
+//! constructions. The real datasets are not redistributable (and are
+//! hundreds of gigabytes), so this crate provides *generators* that
+//! reproduce their relevant structure at configurable scale — the
+//! substitutions are documented in `DESIGN.md` — plus exact in-memory
+//! component analysis (union–find) used as ground truth by every test
+//! and benchmark.
+//!
+//! A graph here is simply an undirected edge list over `u64` vertex
+//! IDs, the same representation the paper's SQL tables use. Isolated
+//! vertices are represented as loop edges `(v, v)` when needed, exactly
+//! as the paper suggests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod union_find;
+
+use std::collections::HashSet;
+
+/// An undirected graph as a list of edges.
+///
+/// Edges are unordered pairs; `(x, y)` and `(y, x)` denote the same
+/// edge and duplicates are allowed (the algorithms deduplicate in SQL).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EdgeList {
+    /// The edges.
+    pub edges: Vec<(u64, u64)>,
+}
+
+impl EdgeList {
+    /// An empty graph.
+    pub fn new() -> EdgeList {
+        EdgeList::default()
+    }
+
+    /// Builds from raw pairs.
+    pub fn from_pairs(edges: Vec<(u64, u64)>) -> EdgeList {
+        EdgeList { edges }
+    }
+
+    /// Number of edge rows (including duplicates and loops).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The set of vertices appearing in at least one edge.
+    pub fn vertices(&self) -> HashSet<u64> {
+        let mut s = HashSet::with_capacity(self.edges.len());
+        for &(a, b) in &self.edges {
+            s.insert(a);
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Number of distinct vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices().len()
+    }
+
+    /// Appends an edge.
+    pub fn push(&mut self, a: u64, b: u64) {
+        self.edges.push((a, b));
+    }
+
+    /// Extends with another graph's edges.
+    pub fn extend(&mut self, other: &EdgeList) {
+        self.edges.extend_from_slice(&other.edges);
+    }
+
+    /// The edges as `i64` pairs for loading into the database.
+    ///
+    /// # Panics
+    /// Panics if a vertex ID exceeds `i64::MAX` — generators keep IDs
+    /// below `2^61 − 1` so every randomisation method applies.
+    pub fn to_i64_pairs(&self) -> Vec<(i64, i64)> {
+        self.edges
+            .iter()
+            .map(|&(a, b)| {
+                assert!(a <= i64::MAX as u64 && b <= i64::MAX as u64, "vertex ID overflow");
+                (a as i64, b as i64)
+            })
+            .collect()
+    }
+
+    /// Maximum vertex ID, or `None` for an empty graph.
+    pub fn max_vertex_id(&self) -> Option<u64> {
+        self.edges.iter().map(|&(a, b)| a.max(b)).max()
+    }
+}

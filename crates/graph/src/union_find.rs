@@ -1,0 +1,226 @@
+//! Union–find — the single-machine optimum and the ground truth.
+//!
+//! The paper's introduction cites Union/Find as the theoretically
+//! optimal sequential algorithm (inverse-Ackermann amortised per edge)
+//! while observing it is ill-suited to distributed execution. Here it
+//! plays two roles: the in-memory baseline the distributed algorithms
+//! are sanity-checked against, and the reference labelling used by
+//! [`crate::census`] and by every correctness test in the workspace.
+
+use std::collections::HashMap;
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets, elements `0..n`.
+    pub fn new(n: usize) -> UnionFind {
+        assert!(n <= u32::MAX as usize, "UnionFind supports up to 2^32 elements");
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+        true
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Computes connected-component labels for an edge list over arbitrary
+/// `u64` vertex IDs. Returns one `(vertex, label)` entry per distinct
+/// vertex; two vertices share a label iff they are connected. Labels
+/// are the minimum vertex ID of the component, a convenient canonical
+/// choice.
+///
+/// ```
+/// use incc_graph::union_find::connected_components;
+///
+/// let labels = connected_components(&[(1, 2), (2, 3), (7, 8)]);
+/// assert_eq!(labels[&3], 1);
+/// assert_eq!(labels[&8], 7);
+/// ```
+pub fn connected_components(edges: &[(u64, u64)]) -> HashMap<u64, u64> {
+    // Dense-index the vertex IDs.
+    let mut index: HashMap<u64, u32> = HashMap::new();
+    let mut ids: Vec<u64> = Vec::new();
+    let idx_of = |v: u64, ids: &mut Vec<u64>, index: &mut HashMap<u64, u32>| -> u32 {
+        *index.entry(v).or_insert_with(|| {
+            ids.push(v);
+            (ids.len() - 1) as u32
+        })
+    };
+    let mut pairs = Vec::with_capacity(edges.len());
+    for &(a, b) in edges {
+        let ia = idx_of(a, &mut ids, &mut index);
+        let ib = idx_of(b, &mut ids, &mut index);
+        pairs.push((ia, ib));
+    }
+    let mut uf = UnionFind::new(ids.len());
+    for (ia, ib) in pairs {
+        uf.union(ia, ib);
+    }
+    // Canonical label: min vertex ID per root.
+    let mut min_of_root: HashMap<u32, u64> = HashMap::new();
+    for (i, &v) in ids.iter().enumerate() {
+        let root = uf.find(i as u32);
+        min_of_root
+            .entry(root)
+            .and_modify(|m| {
+                if v < *m {
+                    *m = v;
+                }
+            })
+            .or_insert(v);
+    }
+    let mut labels = HashMap::with_capacity(ids.len());
+    for (i, &v) in ids.iter().enumerate() {
+        let root = uf.find(i as u32);
+        labels.insert(v, min_of_root[&root]);
+    }
+    labels
+}
+
+/// Checks that two labellings describe the same partition of the same
+/// vertex set: equal domains, and a one-to-one correspondence between
+/// label values. This is exactly the paper's correctness criterion —
+/// label *values* are arbitrary, only co-labelling matters.
+pub fn labellings_equivalent(a: &HashMap<u64, u64>, b: &HashMap<u64, u64>) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut fwd: HashMap<u64, u64> = HashMap::new();
+    let mut bwd: HashMap<u64, u64> = HashMap::new();
+    for (v, la) in a {
+        let Some(lb) = b.get(v) else { return false };
+        if *fwd.entry(*la).or_insert(*lb) != *lb {
+            return false;
+        }
+        if *bwd.entry(*lb).or_insert(*la) != *la {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 3));
+        uf.union(1, 3);
+        assert!(uf.connected(0, 4));
+        assert_eq!(uf.len(), 5);
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let edges = vec![(1, 2), (2, 3), (3, 1), (10, 20), (20, 30)];
+        let labels = connected_components(&edges);
+        assert_eq!(labels.len(), 6);
+        assert_eq!(labels[&1], labels[&3]);
+        assert_eq!(labels[&10], labels[&30]);
+        assert_ne!(labels[&1], labels[&10]);
+        // Min-ID canonical labels.
+        assert_eq!(labels[&3], 1);
+        assert_eq!(labels[&30], 10);
+    }
+
+    #[test]
+    fn loop_edges_mark_isolated_vertices() {
+        let labels = connected_components(&[(5, 5), (1, 2)]);
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels[&5], 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(connected_components(&[]).is_empty());
+    }
+
+    #[test]
+    fn equivalence_ignores_label_values() {
+        let a: HashMap<u64, u64> = [(1, 100), (2, 100), (3, 7)].into();
+        let b: HashMap<u64, u64> = [(1, 9), (2, 9), (3, 1)].into();
+        assert!(labellings_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn equivalence_rejects_merged_components() {
+        let a: HashMap<u64, u64> = [(1, 1), (2, 1), (3, 3)].into();
+        let merged: HashMap<u64, u64> = [(1, 1), (2, 1), (3, 1)].into();
+        assert!(!labellings_equivalent(&a, &merged));
+        assert!(!labellings_equivalent(&merged, &a));
+    }
+
+    #[test]
+    fn equivalence_rejects_split_components() {
+        let a: HashMap<u64, u64> = [(1, 1), (2, 1)].into();
+        let split: HashMap<u64, u64> = [(1, 1), (2, 2)].into();
+        assert!(!labellings_equivalent(&a, &split));
+    }
+
+    #[test]
+    fn equivalence_rejects_domain_mismatch() {
+        let a: HashMap<u64, u64> = [(1, 1)].into();
+        let b: HashMap<u64, u64> = [(2, 2)].into();
+        assert!(!labellings_equivalent(&a, &b));
+        let c: HashMap<u64, u64> = [(1, 1), (2, 2)].into();
+        assert!(!labellings_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn long_path_single_component() {
+        let edges: Vec<(u64, u64)> = (0..9999).map(|i| (i, i + 1)).collect();
+        let labels = connected_components(&edges);
+        assert_eq!(labels.len(), 10_000);
+        assert!(labels.values().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,363 @@
+//! Columnar row batches — the unit of storage and execution.
+
+use crate::schema::Schema;
+use crate::value::{DataType, Datum};
+
+/// A single column of values plus an optional validity mask.
+///
+/// `validity == None` means all values are valid (the common case for
+/// this workload; NULLs only appear through left outer joins).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64 {
+        /// Values; entries at invalid positions are unspecified.
+        values: Vec<i64>,
+        /// Per-row validity, or `None` for all-valid.
+        validity: Option<Vec<bool>>,
+    },
+    /// 64-bit floats.
+    Float64 {
+        /// Values; entries at invalid positions are unspecified.
+        values: Vec<f64>,
+        /// Per-row validity, or `None` for all-valid.
+        validity: Option<Vec<bool>>,
+    },
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(dtype: DataType) -> Column {
+        match dtype {
+            DataType::Int64 => Column::Int64 { values: Vec::new(), validity: None },
+            DataType::Float64 => Column::Float64 { values: Vec::new(), validity: None },
+        }
+    }
+
+    /// A column from non-null integers.
+    pub fn from_ints(values: Vec<i64>) -> Column {
+        Column::Int64 { values, validity: None }
+    }
+
+    /// A column from non-null floats.
+    pub fn from_doubles(values: Vec<f64>) -> Column {
+        Column::Float64 { values, validity: None }
+    }
+
+    /// Builds a column of `dtype` from datums.
+    ///
+    /// # Panics
+    /// Panics if a non-null datum does not match `dtype`.
+    pub fn from_datums(dtype: DataType, datums: impl IntoIterator<Item = Datum>) -> Column {
+        let mut col = Column::empty(dtype);
+        for d in datums {
+            col.push(d);
+        }
+        col
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { values, .. } => values.len(),
+            Column::Float64 { values, .. } => values.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64 { .. } => DataType::Int64,
+            Column::Float64 { .. } => DataType::Float64,
+        }
+    }
+
+    /// Whether the row at `i` holds a valid (non-NULL) value.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self {
+            Column::Int64 { validity, .. } | Column::Float64 { validity, .. } => {
+                validity.as_ref().map_or(true, |v| v[i])
+            }
+        }
+    }
+
+    /// The datum at row `i`.
+    #[inline]
+    pub fn datum(&self, i: usize) -> Datum {
+        if !self.is_valid(i) {
+            return Datum::Null;
+        }
+        match self {
+            Column::Int64 { values, .. } => Datum::Int(values[i]),
+            Column::Float64 { values, .. } => Datum::Double(values[i]),
+        }
+    }
+
+    /// The raw integer at row `i`, ignoring validity.
+    ///
+    /// # Panics
+    /// Panics if the column is not `Int64`.
+    #[inline]
+    pub fn int_unchecked(&self, i: usize) -> i64 {
+        match self {
+            Column::Int64 { values, .. } => values[i],
+            Column::Float64 { .. } => panic!("int_unchecked on Float64 column"),
+        }
+    }
+
+    /// Appends a datum.
+    ///
+    /// # Panics
+    /// Panics on a type mismatch.
+    pub fn push(&mut self, d: Datum) {
+        match (self, d) {
+            (Column::Int64 { values, validity }, Datum::Int(v)) => {
+                values.push(v);
+                if let Some(mask) = validity {
+                    mask.push(true);
+                }
+            }
+            (Column::Float64 { values, validity }, Datum::Double(v)) => {
+                values.push(v);
+                if let Some(mask) = validity {
+                    mask.push(true);
+                }
+            }
+            (Column::Int64 { values, validity }, Datum::Null) => {
+                let n = values.len();
+                values.push(0);
+                validity.get_or_insert_with(|| vec![true; n]).push(false);
+            }
+            (Column::Float64 { values, validity }, Datum::Null) => {
+                let n = values.len();
+                values.push(0.0);
+                validity.get_or_insert_with(|| vec![true; n]).push(false);
+            }
+            (col, d) => panic!("type mismatch pushing {d:?} into {:?} column", col.data_type()),
+        }
+    }
+
+    /// Appends row `i` of `other` (same type) to `self`.
+    pub fn push_from(&mut self, other: &Column, i: usize) {
+        self.push(other.datum(i));
+    }
+
+    /// The raw `i64` slice when this is an all-valid integer column —
+    /// the operators' fast-path precondition.
+    #[inline]
+    pub fn as_plain_ints(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int64 { values, validity: None } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Logical size in bytes: 8 per value plus 1 per validity entry.
+    /// This is the unit the cluster's space accounting uses.
+    pub fn byte_size(&self) -> u64 {
+        let validity_bytes = match self {
+            Column::Int64 { validity, .. } | Column::Float64 { validity, .. } => {
+                validity.as_ref().map_or(0, |v| v.len() as u64)
+            }
+        };
+        8 * self.len() as u64 + validity_bytes
+    }
+
+    /// Takes the subset of rows at the given indices, in order.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let mut out = Column::empty(self.data_type());
+        for &i in indices {
+            out.push_from(self, i);
+        }
+        out
+    }
+}
+
+/// A batch of rows: one [`Column`] per schema field, all equal length.
+/// One batch per table partition.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Batch {
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Batch {
+    /// An empty batch shaped like `schema`.
+    pub fn empty(schema: &Schema) -> Batch {
+        Batch {
+            columns: schema.fields().iter().map(|f| Column::empty(f.dtype)).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Builds a batch from columns.
+    ///
+    /// # Panics
+    /// Panics if columns disagree on length.
+    pub fn from_columns(columns: Vec<Column>) -> Batch {
+        let rows = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            assert_eq!(c.len(), rows, "ragged batch");
+        }
+        Batch { columns, rows }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// The full row at `i` as datums.
+    pub fn row(&self, i: usize) -> Vec<Datum> {
+        self.columns.iter().map(|c| c.datum(i)).collect()
+    }
+
+    /// Appends the row at `i` of `other` (same shape).
+    pub fn push_row_from(&mut self, other: &Batch, i: usize) {
+        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+            dst.push_from(src, i);
+        }
+        self.rows += 1;
+    }
+
+    /// Appends a row of datums.
+    pub fn push_row(&mut self, row: &[Datum]) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        for (col, d) in self.columns.iter_mut().zip(row) {
+            col.push(*d);
+        }
+        self.rows += 1;
+    }
+
+    /// Logical size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.columns.iter().map(Column::byte_size).sum()
+    }
+
+    /// The subset of rows at `indices`, in order.
+    pub fn take(&self, indices: &[usize]) -> Batch {
+        Batch {
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            rows: indices.len(),
+        }
+    }
+
+    /// Concatenates batches of identical shape.
+    pub fn concat(batches: &[Batch]) -> Batch {
+        let Some(first) = batches.first() else {
+            return Batch::default();
+        };
+        let mut out = Batch {
+            columns: first.columns.iter().map(|c| Column::empty(c.data_type())).collect(),
+            rows: 0,
+        };
+        for b in batches {
+            for i in 0..b.rows {
+                out.push_row_from(b, i);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    #[test]
+    fn column_roundtrip() {
+        let mut c = Column::empty(DataType::Int64);
+        c.push(Datum::Int(1));
+        c.push(Datum::Null);
+        c.push(Datum::Int(3));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.datum(0), Datum::Int(1));
+        assert_eq!(c.datum(1), Datum::Null);
+        assert!(!c.is_valid(1));
+        assert!(c.is_valid(2));
+        // 3 values * 8 bytes + 3 validity bytes.
+        assert_eq!(c.byte_size(), 27);
+    }
+
+    #[test]
+    fn column_without_nulls_has_no_mask_cost() {
+        let c = Column::from_ints(vec![1, 2, 3, 4]);
+        assert_eq!(c.byte_size(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn push_wrong_type_panics() {
+        let mut c = Column::empty(DataType::Int64);
+        c.push(Datum::Double(1.0));
+    }
+
+    #[test]
+    fn take_preserves_nulls() {
+        let c = Column::from_datums(
+            DataType::Int64,
+            [Datum::Int(10), Datum::Null, Datum::Int(30)],
+        );
+        let t = c.take(&[2, 1]);
+        assert_eq!(t.datum(0), Datum::Int(30));
+        assert_eq!(t.datum(1), Datum::Null);
+    }
+
+    #[test]
+    fn batch_basics() {
+        let schema = Schema::new(vec![
+            Field::new("v", DataType::Int64),
+            Field::new("h", DataType::Float64),
+        ]);
+        let mut b = Batch::empty(&schema);
+        b.push_row(&[Datum::Int(1), Datum::Double(0.5)]);
+        b.push_row(&[Datum::Int(2), Datum::Null]);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.width(), 2);
+        assert_eq!(b.row(1), vec![Datum::Int(2), Datum::Null]);
+        assert_eq!(b.byte_size(), 16 + 16 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_batch_rejected() {
+        Batch::from_columns(vec![Column::from_ints(vec![1]), Column::from_ints(vec![1, 2])]);
+    }
+
+    #[test]
+    fn concat_batches() {
+        let a = Batch::from_columns(vec![Column::from_ints(vec![1, 2])]);
+        let b = Batch::from_columns(vec![Column::from_ints(vec![3])]);
+        let c = Batch::concat(&[a, b]);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.column(0).int_unchecked(2), 3);
+        assert_eq!(Batch::concat(&[]).rows(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Result alias for all engine operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors produced by the catalog, SQL front end, planner or executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A referenced table does not exist, or a created one already does.
+    Catalog(String),
+    /// The SQL text failed to tokenise or parse.
+    Parse(String),
+    /// The query is syntactically valid but cannot be planned
+    /// (unknown column, unsupported construct, type mismatch).
+    Plan(String),
+    /// A runtime execution failure.
+    Exec(String),
+    /// The cluster's configured space limit was exceeded. Benchmarks
+    /// report this condition as "did not finish", as the paper does for
+    /// Hash-to-Min on its larger datasets.
+    SpaceLimitExceeded {
+        /// Live bytes the operation would have reached.
+        needed: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Plan(m) => write!(f, "plan error: {m}"),
+            DbError::Exec(m) => write!(f, "execution error: {m}"),
+            DbError::SpaceLimitExceeded { needed, limit } => write!(
+                f,
+                "space limit exceeded: needed {needed} bytes, limit {limit} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl DbError {
+    /// True when the error is the space guard tripping — the condition
+    /// experiments report as "did not finish".
+    pub fn is_space_limit(&self) -> bool {
+        matches!(self, DbError::SpaceLimitExceeded { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(DbError::Catalog("no t".into()).to_string().contains("no t"));
+        assert!(DbError::Parse("bad".into()).to_string().starts_with("parse"));
+        let e = DbError::SpaceLimitExceeded { needed: 10, limit: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.is_space_limit());
+        assert!(!DbError::Exec("x".into()).is_space_limit());
+    }
+}

@@ -1,0 +1,199 @@
+//! Execution utilities: per-partition parallelism and row hashing.
+
+use crate::batch::Batch;
+use crate::error::DbResult;
+use crate::value::Datum;
+use incc_ffield::strategy::mix64;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Runs `f` over the items on scoped OS threads — one per partition —
+/// modelling the MPP cluster's per-segment parallel execution. Results
+/// come back in input order. Falls back to inline execution for a
+/// single item.
+pub fn par_try_map<T, U, F>(items: Vec<T>, f: F) -> DbResult<Vec<U>>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> DbResult<U> + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let results: Vec<DbResult<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let f = &f;
+                scope.spawn(move || f(i, item))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Hashes one datum for partition placement and hash tables.
+#[inline]
+pub fn hash_datum(d: &Datum) -> u64 {
+    match d {
+        Datum::Null => 0x6e75_6c6c_6e75_6c6c, // distinct NULL bucket
+        Datum::Int(v) => mix64(*v as u64),
+        Datum::Double(v) => mix64(v.to_bits() ^ 0x9e37_79b9),
+    }
+}
+
+/// Hashes a row's key columns (given by index) into one value.
+#[inline]
+pub fn hash_key(batch: &Batch, row: usize, key_cols: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in key_cols {
+        h = mix64(h ^ hash_datum(&batch.column(c).datum(row)));
+    }
+    h
+}
+
+/// A fast, non-cryptographic hasher for the engine's internal hash
+/// tables (joins, group-by, distinct). Integer keys go through one
+/// SplitMix64 round; byte streams fold FNV-style. Hash-flooding
+/// resistance is irrelevant here — keys are the engine's own data.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0 ^ 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = mix64(h);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = mix64(self.0 ^ v);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// HashMap with the engine's fast hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+/// HashSet with the engine's fast hasher.
+pub type FastSet<K> = std::collections::HashSet<K, BuildHasherDefault<FastHasher>>;
+
+/// A hashable, equatable key for group-by and join hash tables.
+///
+/// `f64` keys are compared by bit pattern — adequate for equality
+/// grouping of values the engine itself produced.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyPart {
+    /// NULL key part (groups together in GROUP BY; joins never match it).
+    Null,
+    /// Integer key part.
+    Int(i64),
+    /// Float key part by bit pattern.
+    Bits(u64),
+}
+
+impl From<Datum> for KeyPart {
+    fn from(d: Datum) -> KeyPart {
+        match d {
+            Datum::Null => KeyPart::Null,
+            Datum::Int(v) => KeyPart::Int(v),
+            Datum::Double(v) => KeyPart::Bits(v.to_bits()),
+        }
+    }
+}
+
+/// Extracts a multi-column key for the given row.
+#[inline]
+pub fn row_key(batch: &Batch, row: usize, key_cols: &[usize]) -> Vec<KeyPart> {
+    key_cols.iter().map(|&c| KeyPart::from(batch.column(c).datum(row))).collect()
+}
+
+/// True when any key column is NULL at this row — SQL equi-joins never
+/// match NULL keys.
+#[inline]
+pub fn key_has_null(batch: &Batch, row: usize, key_cols: &[usize]) -> bool {
+    key_cols.iter().any(|&c| !batch.column(c).is_valid(row))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Column;
+    use crate::error::DbError;
+    use crate::value::DataType;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_try_map(vec![10, 20, 30, 40], |i, v| Ok(v + i)).unwrap();
+        assert_eq!(out, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn par_map_propagates_errors() {
+        let r: DbResult<Vec<i32>> = par_try_map(vec![1, 2, 3], |_, v| {
+            if v == 2 {
+                Err(DbError::Exec("boom".into()))
+            } else {
+                Ok(v)
+            }
+        });
+        assert!(matches!(r, Err(DbError::Exec(_))));
+    }
+
+    #[test]
+    fn par_map_single_item_inline() {
+        assert_eq!(par_try_map(vec![7], |_, v| Ok(v * 2)).unwrap(), vec![14]);
+        assert_eq!(par_try_map(Vec::<i32>::new(), |_, v| Ok(v)).unwrap(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn datum_hash_distinguishes() {
+        assert_ne!(hash_datum(&Datum::Int(1)), hash_datum(&Datum::Int(2)));
+        assert_ne!(hash_datum(&Datum::Int(0)), hash_datum(&Datum::Null));
+        assert_ne!(hash_datum(&Datum::Double(1.0)), hash_datum(&Datum::Int(1)));
+    }
+
+    #[test]
+    fn row_keys() {
+        let b = Batch::from_columns(vec![
+            Column::from_ints(vec![1, 2]),
+            Column::from_datums(DataType::Int64, [Datum::Null, Datum::Int(5)]),
+        ]);
+        assert_eq!(row_key(&b, 0, &[0, 1]), vec![KeyPart::Int(1), KeyPart::Null]);
+        assert!(key_has_null(&b, 0, &[0, 1]));
+        assert!(!key_has_null(&b, 1, &[0, 1]));
+        assert_eq!(hash_key(&b, 0, &[0]), hash_key(&b, 0, &[0]));
+        assert_ne!(hash_key(&b, 0, &[0]), hash_key(&b, 1, &[0]));
+    }
+}

@@ -1,0 +1,465 @@
+//! Scalar expressions and user-defined functions.
+
+use crate::batch::{Batch, Column};
+use crate::error::{DbError, DbResult};
+use crate::value::{DataType, Datum};
+use incc_ffield::strategy::mix64;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A scalar user-defined function, registrable on a [`crate::Cluster`].
+///
+/// This is the hook the paper relies on: finite-field arithmetic "is
+/// awkward to implement in SQL, so we wrote a fast implementation in C
+/// and loaded it as a user-defined function into the database". The
+/// `incc-core` crate registers `axplusb` (GF(2^64)), `axb_p` (GF(p))
+/// and per-round Blowfish closures through this trait.
+pub trait ScalarUdf: Send + Sync {
+    /// Evaluates the function on one row's argument values.
+    fn eval(&self, args: &[Datum]) -> Datum;
+    /// The function's return type (drives output schema inference).
+    fn return_type(&self) -> DataType {
+        DataType::Int64
+    }
+}
+
+/// Comparison operators usable in `WHERE` and join conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to a comparison result; `None` (NULL
+    /// involved) yields SQL three-valued "unknown", which filters treat
+    /// as false.
+    pub fn apply(self, ord: Option<Ordering>) -> bool {
+        match ord {
+            None => false,
+            Some(o) => match self {
+                CmpOp::Eq => o == Ordering::Equal,
+                CmpOp::Ne => o != Ordering::Equal,
+                CmpOp::Lt => o == Ordering::Less,
+                CmpOp::Le => o != Ordering::Greater,
+                CmpOp::Gt => o == Ordering::Greater,
+                CmpOp::Ge => o != Ordering::Less,
+            },
+        }
+    }
+}
+
+/// A bound scalar expression over a batch's columns (by index).
+#[derive(Clone)]
+pub enum Expr {
+    /// Input column by position.
+    Column(usize),
+    /// Integer literal.
+    LitInt(i64),
+    /// Float literal.
+    LitDouble(f64),
+    /// NULL literal.
+    Null,
+    /// `least(...)`: smallest non-NULL argument (PostgreSQL semantics).
+    Least(Vec<Expr>),
+    /// `greatest(...)`: largest non-NULL argument.
+    Greatest(Vec<Expr>),
+    /// `coalesce(...)`: first non-NULL argument.
+    Coalesce(Vec<Expr>),
+    /// A registered user-defined function call.
+    Udf {
+        /// Function name (for display).
+        name: String,
+        /// Implementation.
+        func: Arc<dyn ScalarUdf>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `random()`: uniform in `[0, 1)`, deterministic per
+    /// (seed, partition, row) so runs are reproducible.
+    Random {
+        /// Per-query seed issued by the cluster.
+        seed: u64,
+    },
+    /// Comparison (predicates only).
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Conjunction (predicates only).
+    And(Box<Expr>, Box<Expr>),
+    /// NULL test (predicates only).
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::LitInt(v) => write!(f, "{v}"),
+            Expr::LitDouble(v) => write!(f, "{v}"),
+            Expr::Null => write!(f, "NULL"),
+            Expr::Least(a) => write!(f, "least({a:?})"),
+            Expr::Greatest(a) => write!(f, "greatest({a:?})"),
+            Expr::Coalesce(a) => write!(f, "coalesce({a:?})"),
+            Expr::Udf { name, args, .. } => write!(f, "{name}({args:?})"),
+            Expr::Random { .. } => write!(f, "random()"),
+            Expr::Cmp { op, left, right } => write!(f, "({left:?} {op:?} {right:?})"),
+            Expr::And(l, r) => write!(f, "({l:?} AND {r:?})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr:?} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+impl Expr {
+    /// The expression's output type given the input column types.
+    pub fn output_type(&self, input: &[DataType]) -> DbResult<DataType> {
+        match self {
+            Expr::Column(i) => input
+                .get(*i)
+                .copied()
+                .ok_or_else(|| DbError::Plan(format!("column index {i} out of range"))),
+            Expr::LitInt(_) => Ok(DataType::Int64),
+            Expr::LitDouble(_) | Expr::Random { .. } => Ok(DataType::Float64),
+            Expr::Null => Ok(DataType::Int64),
+            Expr::Least(args) | Expr::Greatest(args) | Expr::Coalesce(args) => {
+                let mut ty = None;
+                for a in args {
+                    let t = a.output_type(input)?;
+                    match ty {
+                        None => ty = Some(t),
+                        Some(prev) if prev != t => {
+                            // Mixed numeric args widen to float.
+                            ty = Some(DataType::Float64);
+                        }
+                        _ => {}
+                    }
+                }
+                ty.ok_or_else(|| DbError::Plan("variadic function with no arguments".into()))
+            }
+            Expr::Udf { func, .. } => Ok(func.return_type()),
+            Expr::Cmp { .. } | Expr::And(..) | Expr::IsNull { .. } => {
+                Err(DbError::Plan("boolean expression used as a value".into()))
+            }
+        }
+    }
+
+    /// Evaluates one row to a datum.
+    pub fn eval_row(&self, batch: &Batch, row: usize, part: usize) -> DbResult<Datum> {
+        Ok(match self {
+            Expr::Column(i) => batch.column(*i).datum(row),
+            Expr::LitInt(v) => Datum::Int(*v),
+            Expr::LitDouble(v) => Datum::Double(*v),
+            Expr::Null => Datum::Null,
+            Expr::Least(args) => fold_extreme(args, batch, row, part, Ordering::Less)?,
+            Expr::Greatest(args) => fold_extreme(args, batch, row, part, Ordering::Greater)?,
+            Expr::Coalesce(args) => {
+                let mut out = Datum::Null;
+                for a in args {
+                    let d = a.eval_row(batch, row, part)?;
+                    if !d.is_null() {
+                        out = d;
+                        break;
+                    }
+                }
+                out
+            }
+            Expr::Udf { func, args, .. } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval_row(batch, row, part)?);
+                }
+                func.eval(&vals)
+            }
+            Expr::Random { seed } => {
+                let bits = mix64(seed ^ (part as u64).rotate_left(40) ^ row as u64);
+                Datum::Double((bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64))
+            }
+            Expr::Cmp { .. } | Expr::And(..) | Expr::IsNull { .. } => {
+                return Err(DbError::Exec("boolean expression evaluated as a value".into()))
+            }
+        })
+    }
+
+    /// Evaluates the expression over a whole batch into a column.
+    pub fn eval(&self, batch: &Batch, part: usize) -> DbResult<Column> {
+        // Fast path: bare column reference.
+        if let Expr::Column(i) = self {
+            return Ok(batch.column(*i).clone());
+        }
+        let types: Vec<DataType> = batch.columns().iter().map(Column::data_type).collect();
+        let dtype = self.output_type(&types)?;
+        let mut out = Column::empty(dtype);
+        for row in 0..batch.rows() {
+            let d = self.eval_row(batch, row, part)?;
+            // NULLs of any type are fine; non-null values must match.
+            match (dtype, d) {
+                (DataType::Float64, Datum::Int(v)) => out.push(Datum::Double(v as f64)),
+                _ => out.push(d),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluates a predicate expression to a row-selection mask.
+    pub fn eval_predicate(&self, batch: &Batch, part: usize) -> DbResult<Vec<bool>> {
+        match self {
+            Expr::And(l, r) => {
+                let mut a = l.eval_predicate(batch, part)?;
+                let b = r.eval_predicate(batch, part)?;
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x &= y;
+                }
+                Ok(a)
+            }
+            Expr::Cmp { op, left, right } => {
+                let mut mask = Vec::with_capacity(batch.rows());
+                for row in 0..batch.rows() {
+                    let l = left.eval_row(batch, row, part)?;
+                    let r = right.eval_row(batch, row, part)?;
+                    mask.push(op.apply(l.sql_cmp(&r)));
+                }
+                Ok(mask)
+            }
+            Expr::IsNull { expr, negated } => {
+                let mut mask = Vec::with_capacity(batch.rows());
+                for row in 0..batch.rows() {
+                    let is_null = expr.eval_row(batch, row, part)?.is_null();
+                    mask.push(is_null != *negated);
+                }
+                Ok(mask)
+            }
+            _ => Err(DbError::Exec("non-boolean expression used as a predicate".into())),
+        }
+    }
+
+    /// Rewrites column indices through `mapping` (old index -> new index),
+    /// used when pushing expressions past projections.
+    pub fn remap_columns(&self, mapping: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Column(i) => Expr::Column(mapping(*i)),
+            Expr::LitInt(v) => Expr::LitInt(*v),
+            Expr::LitDouble(v) => Expr::LitDouble(*v),
+            Expr::Null => Expr::Null,
+            Expr::Least(a) => Expr::Least(a.iter().map(|e| e.remap_columns(mapping)).collect()),
+            Expr::Greatest(a) => {
+                Expr::Greatest(a.iter().map(|e| e.remap_columns(mapping)).collect())
+            }
+            Expr::Coalesce(a) => {
+                Expr::Coalesce(a.iter().map(|e| e.remap_columns(mapping)).collect())
+            }
+            Expr::Udf { name, func, args } => Expr::Udf {
+                name: name.clone(),
+                func: func.clone(),
+                args: args.iter().map(|e| e.remap_columns(mapping)).collect(),
+            },
+            Expr::Random { seed } => Expr::Random { seed: *seed },
+            Expr::Cmp { op, left, right } => Expr::Cmp {
+                op: *op,
+                left: Box::new(left.remap_columns(mapping)),
+                right: Box::new(right.remap_columns(mapping)),
+            },
+            Expr::And(l, r) => Expr::And(
+                Box::new(l.remap_columns(mapping)),
+                Box::new(r.remap_columns(mapping)),
+            ),
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.remap_columns(mapping)),
+                negated: *negated,
+            },
+        }
+    }
+
+    /// True if the expression never yields NULL given non-nullable inputs
+    /// and is deterministic — conservative nullability inference.
+    pub fn references(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Column(i) => out.push(*i),
+            Expr::LitInt(_) | Expr::LitDouble(_) | Expr::Null | Expr::Random { .. } => {}
+            Expr::Least(a) | Expr::Greatest(a) | Expr::Coalesce(a) => {
+                for e in a {
+                    e.references(out);
+                }
+            }
+            Expr::Udf { args, .. } => {
+                for e in args {
+                    e.references(out);
+                }
+            }
+            Expr::Cmp { left, right, .. } => {
+                left.references(out);
+                right.references(out);
+            }
+            Expr::And(l, r) => {
+                l.references(out);
+                r.references(out);
+            }
+            Expr::IsNull { expr, .. } => expr.references(out),
+        }
+    }
+}
+
+fn fold_extreme(
+    args: &[Expr],
+    batch: &Batch,
+    row: usize,
+    part: usize,
+    keep: Ordering,
+) -> DbResult<Datum> {
+    // PostgreSQL least/greatest: NULL arguments are ignored; the result
+    // is NULL only when every argument is NULL.
+    let mut best = Datum::Null;
+    for a in args {
+        let d = a.eval_row(batch, row, part)?;
+        if d.is_null() {
+            continue;
+        }
+        if best.is_null() || d.sql_cmp(&best) == Some(keep) {
+            best = d;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Column;
+
+    fn batch() -> Batch {
+        Batch::from_columns(vec![
+            Column::from_ints(vec![10, 20, 30]),
+            Column::from_datums(DataType::Int64, [Datum::Int(5), Datum::Null, Datum::Int(35)]),
+        ])
+    }
+
+    #[test]
+    fn least_ignores_nulls() {
+        let e = Expr::Least(vec![Expr::Column(0), Expr::Column(1)]);
+        let c = e.eval(&batch(), 0).unwrap();
+        assert_eq!(c.datum(0), Datum::Int(5));
+        assert_eq!(c.datum(1), Datum::Int(20)); // NULL ignored
+        assert_eq!(c.datum(2), Datum::Int(30));
+    }
+
+    #[test]
+    fn greatest_and_all_null() {
+        let e = Expr::Greatest(vec![Expr::Column(1), Expr::Null]);
+        let c = e.eval(&batch(), 0).unwrap();
+        assert_eq!(c.datum(1), Datum::Null);
+        assert_eq!(c.datum(2), Datum::Int(35));
+    }
+
+    #[test]
+    fn coalesce_first_non_null() {
+        let e = Expr::Coalesce(vec![Expr::Column(1), Expr::LitInt(-1)]);
+        let c = e.eval(&batch(), 0).unwrap();
+        assert_eq!(c.datum(0), Datum::Int(5));
+        assert_eq!(c.datum(1), Datum::Int(-1));
+    }
+
+    #[test]
+    fn predicate_three_valued_logic() {
+        // col1 != 5 — the NULL row must NOT pass.
+        let e = Expr::Cmp {
+            op: CmpOp::Ne,
+            left: Box::new(Expr::Column(1)),
+            right: Box::new(Expr::LitInt(5)),
+        };
+        assert_eq!(e.eval_predicate(&batch(), 0).unwrap(), vec![false, false, true]);
+    }
+
+    #[test]
+    fn and_conjunction() {
+        let gt = |n| Expr::Cmp {
+            op: CmpOp::Gt,
+            left: Box::new(Expr::Column(0)),
+            right: Box::new(Expr::LitInt(n)),
+        };
+        let e = Expr::And(Box::new(gt(10)), Box::new(gt(20)));
+        assert_eq!(e.eval_predicate(&batch(), 0).unwrap(), vec![false, false, true]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let e = Expr::Random { seed: 42 };
+        let c1 = e.eval(&batch(), 3).unwrap();
+        let c2 = e.eval(&batch(), 3).unwrap();
+        assert_eq!(c1, c2);
+        for i in 0..3 {
+            let v = c1.datum(i).as_double().unwrap();
+            assert!((0.0..1.0).contains(&v));
+        }
+        // Different partition -> different stream.
+        let c3 = e.eval(&batch(), 4).unwrap();
+        assert_ne!(c1, c3);
+    }
+
+    #[test]
+    fn udf_evaluation() {
+        struct PlusOne;
+        impl ScalarUdf for PlusOne {
+            fn eval(&self, args: &[Datum]) -> Datum {
+                match args[0] {
+                    Datum::Int(v) => Datum::Int(v + 1),
+                    _ => Datum::Null,
+                }
+            }
+        }
+        let e = Expr::Udf {
+            name: "plus_one".into(),
+            func: Arc::new(PlusOne),
+            args: vec![Expr::Column(0)],
+        };
+        let c = e.eval(&batch(), 0).unwrap();
+        assert_eq!(c.datum(2), Datum::Int(31));
+    }
+
+    #[test]
+    fn output_types() {
+        let types = [DataType::Int64, DataType::Int64];
+        assert_eq!(Expr::LitInt(1).output_type(&types).unwrap(), DataType::Int64);
+        assert_eq!(Expr::Random { seed: 0 }.output_type(&types).unwrap(), DataType::Float64);
+        let mixed = Expr::Least(vec![Expr::Column(0), Expr::LitDouble(0.5)]);
+        assert_eq!(mixed.output_type(&types).unwrap(), DataType::Float64);
+        assert!(Expr::Column(9).output_type(&types).is_err());
+    }
+
+    #[test]
+    fn int_widens_to_float_in_mixed_column() {
+        let e = Expr::Least(vec![Expr::Column(0), Expr::LitDouble(15.0)]);
+        let c = e.eval(&batch(), 0).unwrap();
+        assert_eq!(c.datum(0), Datum::Double(10.0));
+        assert_eq!(c.datum(2), Datum::Double(15.0));
+    }
+
+    #[test]
+    fn references_collects_columns() {
+        let e = Expr::Least(vec![Expr::Column(2), Expr::Coalesce(vec![Expr::Column(0)])]);
+        let mut refs = Vec::new();
+        e.references(&mut refs);
+        assert_eq!(refs, vec![2, 0]);
+    }
+}

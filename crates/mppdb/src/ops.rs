@@ -1,0 +1,942 @@
+//! Physical operators over partitioned data.
+//!
+//! Every operator consumes and produces [`PData`]: a schema, one batch
+//! per segment, and the distribution those batches satisfy. Operators
+//! that need rows co-located by a key (join, group-by, distinct) insert
+//! an *exchange* — a hash repartition whose moved bytes are charged to
+//! the cluster's network counter — unless the input is already
+//! distributed on that key and the execution profile allows exploiting
+//! it.
+
+use crate::batch::{Batch, Column};
+use crate::error::{DbError, DbResult};
+use crate::exec::{hash_key, key_has_null, par_try_map, row_key, FastMap, FastSet, KeyPart};
+use crate::expr::Expr;
+use crate::schema::{Field, Schema};
+use crate::stats::Stats;
+use crate::table::Distribution;
+use crate::value::{DataType, Datum};
+use std::collections::hash_map::Entry;
+use std::collections::HashSet;
+
+/// Partitioned intermediate data flowing between operators.
+#[derive(Debug, Clone)]
+pub struct PData {
+    /// Output schema.
+    pub schema: Schema,
+    /// One batch per segment.
+    pub parts: Vec<Batch>,
+    /// Distribution the partitions satisfy.
+    pub dist: Distribution,
+}
+
+impl PData {
+    /// Total row count.
+    pub fn row_count(&self) -> usize {
+        self.parts.iter().map(Batch::rows).sum()
+    }
+}
+
+/// Aggregate functions supported by `GROUP BY` queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `min(expr)` — the workhorse of every algorithm in the paper.
+    Min,
+    /// `max(expr)`.
+    Max,
+    /// `count(expr)` / `count(*)` (non-null count; `*` counts all rows
+    /// via a constant input).
+    Count,
+    /// `sum(expr)`.
+    Sum,
+}
+
+/// One aggregate computation: function + input expression.
+#[derive(Debug, Clone)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Its argument, evaluated against input rows before grouping.
+    pub input: Expr,
+}
+
+impl AggFunc {
+    /// Output type of the aggregate given its input type.
+    pub fn output_type(self, input: DataType) -> DataType {
+        match self {
+            AggFunc::Count => DataType::Int64,
+            AggFunc::Min | AggFunc::Max | AggFunc::Sum => input,
+        }
+    }
+}
+
+/// Accumulator for one aggregate within one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    MinMax { best: Datum, keep_less: bool },
+    Count(i64),
+    SumInt(i64, bool),
+    SumFloat(f64, bool),
+}
+
+impl AggState {
+    fn new(func: AggFunc, dtype: DataType) -> AggState {
+        match func {
+            AggFunc::Min => AggState::MinMax { best: Datum::Null, keep_less: true },
+            AggFunc::Max => AggState::MinMax { best: Datum::Null, keep_less: false },
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => match dtype {
+                DataType::Int64 => AggState::SumInt(0, false),
+                DataType::Float64 => AggState::SumFloat(0.0, false),
+            },
+        }
+    }
+
+    fn update(&mut self, d: Datum) {
+        match self {
+            AggState::MinMax { best, keep_less } => {
+                if d.is_null() {
+                    return;
+                }
+                let replace = match best.sql_cmp(&d) {
+                    None => true, // best is NULL
+                    Some(ord) => {
+                        if *keep_less {
+                            ord == std::cmp::Ordering::Greater
+                        } else {
+                            ord == std::cmp::Ordering::Less
+                        }
+                    }
+                };
+                if replace {
+                    *best = d;
+                }
+            }
+            AggState::Count(n) => {
+                if !d.is_null() {
+                    *n += 1;
+                }
+            }
+            AggState::SumInt(s, any) => {
+                if let Datum::Int(v) = d {
+                    *s = s.wrapping_add(v);
+                    *any = true;
+                }
+            }
+            AggState::SumFloat(s, any) => {
+                if let Some(v) = d.as_double() {
+                    *s += v;
+                    *any = true;
+                }
+            }
+        }
+    }
+
+    /// Merges another state of the same shape (for global aggregates).
+    fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (s @ AggState::MinMax { .. }, AggState::MinMax { best, .. }) => s.update(*best),
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::SumInt(a, aa), AggState::SumInt(b, ba)) => {
+                *a = a.wrapping_add(*b);
+                *aa |= ba;
+            }
+            (AggState::SumFloat(a, aa), AggState::SumFloat(b, ba)) => {
+                *a += b;
+                *aa |= ba;
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
+    fn finish(&self) -> Datum {
+        match self {
+            AggState::MinMax { best, .. } => *best,
+            AggState::Count(n) => Datum::Int(*n),
+            AggState::SumInt(s, any) => {
+                if *any {
+                    Datum::Int(*s)
+                } else {
+                    Datum::Null
+                }
+            }
+            AggState::SumFloat(s, any) => {
+                if *any {
+                    Datum::Double(*s)
+                } else {
+                    Datum::Null
+                }
+            }
+        }
+    }
+}
+
+/// Projects each partition through the expressions, producing the given
+/// output fields. Tracks whether the input hash distribution survives
+/// (a distribution column passed through as a bare column reference).
+pub fn project(input: PData, exprs: &[(Expr, Field)]) -> DbResult<PData> {
+    let out_schema = build_schema_allow_dups(exprs.iter().map(|(_, f)| f.clone()).collect());
+    let new_dist = match &input.dist {
+        Distribution::Hash(cols) => {
+            let mapped: Option<Vec<usize>> = cols
+                .iter()
+                .map(|&c| {
+                    exprs.iter().position(|(e, _)| matches!(e, Expr::Column(i) if *i == c))
+                })
+                .collect();
+            match mapped {
+                Some(m) => Distribution::Hash(m),
+                None => Distribution::Arbitrary,
+            }
+        }
+        Distribution::Arbitrary => Distribution::Arbitrary,
+    };
+    let exprs_ref = exprs;
+    let parts = par_try_map(input.parts, |part_id, batch| {
+        let mut cols = Vec::with_capacity(exprs_ref.len());
+        for (e, _) in exprs_ref {
+            cols.push(e.eval(&batch, part_id)?);
+        }
+        // A projection of zero columns is impossible through SQL.
+        Ok(Batch::from_columns(cols))
+    })?;
+    Ok(PData { schema: out_schema, parts, dist: new_dist })
+}
+
+/// Filters each partition by the predicate; distribution is preserved.
+pub fn filter(input: PData, pred: &Expr) -> DbResult<PData> {
+    let parts = par_try_map(input.parts, |part_id, batch| {
+        let mask = pred.eval_predicate(&batch, part_id)?;
+        let idx: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
+        Ok(batch.take(&idx))
+    })?;
+    Ok(PData { schema: input.schema, parts, dist: input.dist })
+}
+
+/// Hash-repartitions the data on `key_cols` into `target_parts`
+/// partitions, charging moved bytes to the network counter. Output
+/// distribution is `Hash(key_cols)`.
+pub fn repartition_hash(
+    input: PData,
+    key_cols: &[usize],
+    stats: &Stats,
+    target_parts: usize,
+) -> DbResult<PData> {
+    let n = target_parts.max(1);
+    // Bucket every source partition's rows by destination.
+    let bucketed: Vec<Vec<Batch>> = par_try_map(input.parts, |_, batch| {
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for row in 0..batch.rows() {
+            let dest = (hash_key(&batch, row, key_cols) % n as u64) as usize;
+            buckets[dest].push(row);
+        }
+        Ok(buckets.into_iter().map(|idx| batch.take(&idx)).collect::<Vec<Batch>>())
+    })?;
+    // Exchange accounting uses shuffle-write semantics (as Spark and
+    // MPP databases report it): every byte passing through the exchange
+    // counts, whether or not it happens to land on its source segment.
+    // Elided exchanges (co-located joins) therefore charge nothing,
+    // while a forced reshuffle under the External profile charges the
+    // full relation size.
+    let moved: u64 = bucketed
+        .iter()
+        .flat_map(|buckets| buckets.iter())
+        .map(Batch::byte_size)
+        .sum();
+    stats.charge_network(moved);
+    let parts: Vec<Batch> = (0..n)
+        .map(|dst| {
+            let slices: Vec<Batch> = bucketed.iter().map(|src| src[dst].clone()).collect();
+            Batch::concat(&slices)
+        })
+        .collect();
+    Ok(PData { schema: input.schema, parts, dist: Distribution::Hash(key_cols.to_vec()) })
+}
+
+/// Ensures the data is hash-distributed on `key_cols`, exchanging if
+/// necessary. When `allow_colocated` is false (the External profile),
+/// the exchange always happens — modelling an engine that cannot see
+/// the stored distribution.
+pub fn ensure_distribution(
+    input: PData,
+    key_cols: &[usize],
+    allow_colocated: bool,
+    stats: &Stats,
+    target_parts: usize,
+) -> DbResult<PData> {
+    if allow_colocated && input.dist.is_hash_on(key_cols) && input.parts.len() == target_parts {
+        Ok(input)
+    } else {
+        repartition_hash(input, key_cols, stats, target_parts)
+    }
+}
+
+/// Grouped aggregation. With an empty `group_cols`, computes a global
+/// aggregate (one output row on partition 0).
+pub fn aggregate(
+    input: PData,
+    group_cols: &[usize],
+    aggs: &[AggExpr],
+    allow_colocated: bool,
+    stats: &Stats,
+    target_parts: usize,
+) -> DbResult<PData> {
+    let in_types: Vec<DataType> =
+        input.schema.fields().iter().map(|f| f.dtype).collect();
+    let agg_types: Vec<DataType> = aggs
+        .iter()
+        .map(|a| Ok(a.func.output_type(a.input.output_type(&in_types)?)))
+        .collect::<DbResult<_>>()?;
+
+    let mut out_fields: Vec<Field> = group_cols
+        .iter()
+        .map(|&c| input.schema.field(c).clone())
+        .collect();
+    for (i, (a, ty)) in aggs.iter().zip(&agg_types).enumerate() {
+        let name = format!("agg{i}");
+        let mut f = Field::new(name, *ty);
+        f.nullable = !matches!(a.func, AggFunc::Count);
+        out_fields.push(f);
+    }
+    // Output schema may repeat names if two group columns share one;
+    // build without the duplicate check by constructing via join trick.
+    let out_schema = build_schema_allow_dups(out_fields);
+
+    if group_cols.is_empty() {
+        return global_aggregate(input, aggs, &agg_types, out_schema);
+    }
+
+    let data = ensure_distribution(input, group_cols, allow_colocated, stats, target_parts)?;
+    let aggs_ref = aggs;
+    let types_ref = &agg_types;
+    let group_ref = group_cols;
+    let parts = par_try_map(data.parts, |part_id, batch| {
+        // Evaluate agg inputs once per partition.
+        let mut agg_inputs = Vec::with_capacity(aggs_ref.len());
+        for a in aggs_ref {
+            agg_inputs.push(a.input.eval(&batch, part_id)?);
+        }
+        let mut order: Vec<Vec<Datum>> = Vec::new();
+        // Fast path: single all-valid Int64 group key.
+        let fast_keys = if let [g] = group_ref {
+            batch.column(*g).as_plain_ints()
+        } else {
+            None
+        };
+        let groups: Vec<(usize, Vec<AggState>)> = if let Some(keys) = fast_keys {
+            let mut groups: FastMap<i64, (usize, Vec<AggState>)> = FastMap::default();
+            for (row, &k) in keys.iter().enumerate() {
+                let entry = groups.entry(k).or_insert_with(|| {
+                    let states = aggs_ref
+                        .iter()
+                        .zip(types_ref)
+                        .map(|(a, ty)| AggState::new(a.func, *ty))
+                        .collect();
+                    order.push(vec![Datum::Int(k)]);
+                    (order.len() - 1, states)
+                });
+                for (st, col) in entry.1.iter_mut().zip(&agg_inputs) {
+                    st.update(col.datum(row));
+                }
+            }
+            groups.into_values().collect()
+        } else {
+            let mut groups: FastMap<Vec<KeyPart>, (usize, Vec<AggState>)> = FastMap::default();
+            for row in 0..batch.rows() {
+                let key = row_key(&batch, row, group_ref);
+                let entry = match groups.entry(key) {
+                    Entry::Occupied(e) => e.into_mut(),
+                    Entry::Vacant(e) => {
+                        let states = aggs_ref
+                            .iter()
+                            .zip(types_ref)
+                            .map(|(a, ty)| AggState::new(a.func, *ty))
+                            .collect();
+                        order.push(
+                            group_ref.iter().map(|&c| batch.column(c).datum(row)).collect(),
+                        );
+                        e.insert((order.len() - 1, states))
+                    }
+                };
+                for (st, col) in entry.1.iter_mut().zip(&agg_inputs) {
+                    st.update(col.datum(row));
+                }
+            }
+            groups.into_values().collect()
+        };
+        // Emit groups in first-seen order for determinism.
+        let mut finished = groups;
+        finished.sort_by_key(|(ord, _)| *ord);
+        let mut cols: Vec<Column> = group_ref
+            .iter()
+            .map(|&c| Column::empty(batch.column(c).data_type()))
+            .collect();
+        let mut agg_cols: Vec<Column> =
+            types_ref.iter().map(|&t| Column::empty(t)).collect();
+        for (ord, states) in finished {
+            for (c, d) in cols.iter_mut().zip(&order[ord]) {
+                c.push(*d);
+            }
+            for (c, st) in agg_cols.iter_mut().zip(&states) {
+                c.push(st.finish());
+            }
+        }
+        cols.extend(agg_cols);
+        Ok(Batch::from_columns(cols))
+    })?;
+    // Group columns keep their hash placement (positions 0..k).
+    let dist = Distribution::Hash((0..group_cols.len()).collect());
+    Ok(PData { schema: out_schema, parts, dist })
+}
+
+fn global_aggregate(
+    input: PData,
+    aggs: &[AggExpr],
+    agg_types: &[DataType],
+    out_schema: Schema,
+) -> DbResult<PData> {
+    let n_parts = input.parts.len();
+    let partials: Vec<Vec<AggState>> = par_try_map(input.parts, |part_id, batch| {
+        let mut states: Vec<AggState> = aggs
+            .iter()
+            .zip(agg_types)
+            .map(|(a, ty)| AggState::new(a.func, *ty))
+            .collect();
+        for (a, st) in aggs.iter().zip(states.iter_mut()) {
+            let col = a.input.eval(&batch, part_id)?;
+            for row in 0..batch.rows() {
+                st.update(col.datum(row));
+            }
+        }
+        Ok(states)
+    })?;
+    let mut merged: Vec<AggState> = aggs
+        .iter()
+        .zip(agg_types)
+        .map(|(a, ty)| AggState::new(a.func, *ty))
+        .collect();
+    for p in &partials {
+        for (m, s) in merged.iter_mut().zip(p) {
+            m.merge(s);
+        }
+    }
+    let mut cols: Vec<Column> = agg_types.iter().map(|&t| Column::empty(t)).collect();
+    for (c, st) in cols.iter_mut().zip(&merged) {
+        c.push(st.finish());
+    }
+    let mut parts = vec![Batch::from_columns(cols)];
+    for _ in 1..n_parts {
+        parts.push(Batch::empty(&out_schema));
+    }
+    Ok(PData { schema: out_schema, parts, dist: Distribution::Arbitrary })
+}
+
+/// Join types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner equi-join.
+    Inner,
+    /// Left outer equi-join — unmatched left rows emit NULLs on the
+    /// right (the paper's composition step relies on this).
+    LeftOuter,
+}
+
+/// Hash equi-join on `l_keys = r_keys`, building on the right side.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join(
+    left: PData,
+    right: PData,
+    l_keys: &[usize],
+    r_keys: &[usize],
+    join_type: JoinType,
+    allow_colocated: bool,
+    stats: &Stats,
+    target_parts: usize,
+) -> DbResult<PData> {
+    assert_eq!(l_keys.len(), r_keys.len(), "join key arity mismatch");
+    let out_schema =
+        left.schema.join(&right.schema, matches!(join_type, JoinType::LeftOuter));
+    let left = ensure_distribution(left, l_keys, allow_colocated, stats, target_parts)?;
+    let right = ensure_distribution(right, r_keys, allow_colocated, stats, target_parts)?;
+    let left_dist_cols = match &left.dist {
+        Distribution::Hash(c) => c.clone(),
+        Distribution::Arbitrary => Vec::new(),
+    };
+    let right_width = right.schema.len();
+    let pairs: Vec<(Batch, Batch)> =
+        left.parts.into_iter().zip(right.parts).collect();
+    let parts = par_try_map(pairs, |_, (lb, rb)| {
+        let mut l_idx: Vec<usize> = Vec::new();
+        let mut r_idx: Vec<Option<usize>> = Vec::new();
+        // Fast path: single all-valid Int64 key on both sides — no
+        // per-row key allocation, fast hasher.
+        let fast = if let ([lk], [rk]) = (l_keys, r_keys) {
+            lb.column(*lk).as_plain_ints().zip(rb.column(*rk).as_plain_ints())
+        } else {
+            None
+        };
+        if let Some((l_vals, r_vals)) = fast {
+            let mut table: FastMap<i64, smallvec_rows::Rows> = FastMap::default();
+            for (row, &k) in r_vals.iter().enumerate() {
+                table.entry(k).or_default().push(row as u32);
+            }
+            for (row, &k) in l_vals.iter().enumerate() {
+                match table.get(&k) {
+                    Some(rows) => {
+                        for &r in rows.as_slice() {
+                            l_idx.push(row);
+                            r_idx.push(Some(r as usize));
+                        }
+                    }
+                    None => {
+                        if matches!(join_type, JoinType::LeftOuter) {
+                            l_idx.push(row);
+                            r_idx.push(None);
+                        }
+                    }
+                }
+            }
+        } else {
+            // General path: build side right, multi-part keys.
+            let mut table: FastMap<Vec<KeyPart>, Vec<usize>> = FastMap::default();
+            for row in 0..rb.rows() {
+                if key_has_null(&rb, row, r_keys) {
+                    continue;
+                }
+                table.entry(row_key(&rb, row, r_keys)).or_default().push(row);
+            }
+            for row in 0..lb.rows() {
+                let matched = if key_has_null(&lb, row, l_keys) {
+                    None
+                } else {
+                    table.get(&row_key(&lb, row, l_keys))
+                };
+                match matched {
+                    Some(rows) => {
+                        for &r in rows {
+                            l_idx.push(row);
+                            r_idx.push(Some(r));
+                        }
+                    }
+                    None => {
+                        if matches!(join_type, JoinType::LeftOuter) {
+                            l_idx.push(row);
+                            r_idx.push(None);
+                        }
+                    }
+                }
+            }
+        }
+        let mut cols: Vec<Column> = Vec::with_capacity(lb.width() + rb.width());
+        for c in lb.columns() {
+            cols.push(c.take(&l_idx));
+        }
+        for ci in 0..right_width {
+            let src = rb.column(ci);
+            let mut out = Column::empty(src.data_type());
+            for r in &r_idx {
+                match r {
+                    Some(row) => out.push_from(src, *row),
+                    None => out.push(Datum::Null),
+                }
+            }
+            cols.push(out);
+        }
+        Ok(Batch::from_columns(cols))
+    })?;
+    // The join output keeps the left side's key placement.
+    let dist = if left_dist_cols.is_empty() {
+        Distribution::Arbitrary
+    } else {
+        Distribution::Hash(left_dist_cols)
+    };
+    Ok(PData { schema: out_schema, parts, dist })
+}
+
+/// Removes duplicate rows (SELECT DISTINCT): exchanges on all columns,
+/// then deduplicates per partition.
+pub fn distinct(
+    input: PData,
+    allow_colocated: bool,
+    stats: &Stats,
+    target_parts: usize,
+) -> DbResult<PData> {
+    let all_cols: Vec<usize> = (0..input.schema.len()).collect();
+    let data = ensure_distribution(input, &all_cols, allow_colocated, stats, target_parts)?;
+    let all_ref = &all_cols;
+    let parts = par_try_map(data.parts, |_, batch| {
+        let mut keep: Vec<usize> = Vec::new();
+        // Fast path: two all-valid Int64 columns — the edge-table shape
+        // every contraction round deduplicates.
+        let fast = if batch.width() == 2 {
+            batch.column(0).as_plain_ints().zip(batch.column(1).as_plain_ints())
+        } else {
+            None
+        };
+        if let Some((a, b)) = fast {
+            let mut seen: FastSet<(i64, i64)> = FastSet::default();
+            seen.reserve(batch.rows());
+            for row in 0..batch.rows() {
+                if seen.insert((a[row], b[row])) {
+                    keep.push(row);
+                }
+            }
+        } else {
+            let mut seen: FastSet<Vec<KeyPart>> = FastSet::default();
+            seen.reserve(batch.rows());
+            for row in 0..batch.rows() {
+                if seen.insert(row_key(&batch, row, all_ref)) {
+                    keep.push(row);
+                }
+            }
+        }
+        Ok(batch.take(&keep))
+    })?;
+    Ok(PData { schema: data.schema, parts, dist: data.dist })
+}
+
+/// Concatenates two inputs partition-wise (`UNION ALL`).
+pub fn union_all(a: PData, b: PData) -> DbResult<PData> {
+    if a.schema.len() != b.schema.len() {
+        return Err(DbError::Plan(format!(
+            "UNION ALL arity mismatch: {} vs {}",
+            a.schema.len(),
+            b.schema.len()
+        )));
+    }
+    let n = a.parts.len().max(b.parts.len());
+    let mut parts = Vec::with_capacity(n);
+    let empty_a = Batch::empty(&a.schema);
+    for i in 0..n {
+        let pa = a.parts.get(i).unwrap_or(&empty_a);
+        let pb = b.parts.get(i);
+        let combined = match pb {
+            Some(pb) => Batch::concat(&[pa.clone(), pb.clone()]),
+            None => pa.clone(),
+        };
+        parts.push(combined);
+    }
+    let dist = if a.dist == b.dist { a.dist.clone() } else { Distribution::Arbitrary };
+    Ok(PData { schema: a.schema, parts, dist })
+}
+
+/// A tiny inline-first row list for join build sides: nearly every
+/// build key is unique, so the single-row case avoids heap allocation.
+mod smallvec_rows {
+    /// Up to one row inline; spills to a `Vec` beyond that.
+    #[derive(Debug, Clone, Default)]
+    pub enum Rows {
+        /// No rows yet.
+        #[default]
+        Empty,
+        /// Exactly one row.
+        One(u32),
+        /// Two or more rows.
+        Many(Vec<u32>),
+    }
+
+    impl Rows {
+        /// Appends a row index.
+        #[inline]
+        pub fn push(&mut self, row: u32) {
+            match self {
+                Rows::Empty => *self = Rows::One(row),
+                Rows::One(first) => *self = Rows::Many(vec![*first, row]),
+                Rows::Many(v) => v.push(row),
+            }
+        }
+
+        /// The rows as a slice.
+        #[inline]
+        pub fn as_slice(&self) -> &[u32] {
+            match self {
+                Rows::Empty => &[],
+                Rows::One(r) => std::slice::from_ref(r),
+                Rows::Many(v) => v,
+            }
+        }
+    }
+}
+
+/// Builds a schema that tolerates duplicate column names (join and
+/// aggregate outputs are accessed positionally).
+pub fn build_schema_allow_dups(mut fields: Vec<Field>) -> Schema {
+    // Disambiguate duplicates with a positional suffix; the planner
+    // only resolves names against *user-facing* schemas, which are
+    // checked strictly at CREATE TABLE time.
+    let mut seen: HashSet<String> = HashSet::new();
+    for (i, f) in fields.iter_mut().enumerate() {
+        if !seen.insert(f.name.clone()) {
+            f.name = format!("{}#{}", f.name, i);
+            seen.insert(f.name.clone());
+        }
+    }
+    Schema::new(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pdata(values: Vec<Vec<i64>>, dist: Distribution) -> PData {
+        // One column "v", one partition per inner vec.
+        let schema = Schema::new(vec![Field::new("v", DataType::Int64)]);
+        let parts = values
+            .into_iter()
+            .map(|v| Batch::from_columns(vec![Column::from_ints(v)]))
+            .collect();
+        PData { schema, parts, dist }
+    }
+
+    fn pdata2(values: Vec<Vec<(i64, i64)>>, dist: Distribution) -> PData {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ]);
+        let parts = values
+            .into_iter()
+            .map(|rows| {
+                let (a, b): (Vec<i64>, Vec<i64>) = rows.into_iter().unzip();
+                Batch::from_columns(vec![Column::from_ints(a), Column::from_ints(b)])
+            })
+            .collect();
+        PData { schema, parts, dist }
+    }
+
+    fn all_rows(p: &PData) -> Vec<Vec<Datum>> {
+        let mut out = Vec::new();
+        for b in &p.parts {
+            for i in 0..b.rows() {
+                out.push(b.row(i));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn repartition_places_equal_keys_together() {
+        let stats = Stats::new();
+        let input = pdata(vec![vec![1, 2, 3, 4], vec![1, 2, 5, 6]], Distribution::Arbitrary);
+        let out = repartition_hash(input, &[0], &stats, 2).unwrap();
+        assert_eq!(out.parts.len(), 2);
+        assert!(out.dist.is_hash_on(&[0]));
+        // Every value must appear in exactly one partition.
+        for v in [1i64, 2] {
+            let holders: Vec<usize> = out
+                .parts
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| {
+                    (0..b.rows()).any(|r| b.column(0).int_unchecked(r) == v)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(holders.len(), 1, "value {v} split across partitions");
+        }
+        assert!(stats.snapshot().network_bytes > 0);
+        assert_eq!(out.row_count(), 8);
+    }
+
+    #[test]
+    fn colocated_skips_exchange() {
+        let stats = Stats::new();
+        let input = pdata(vec![vec![1], vec![2]], Distribution::Hash(vec![0]));
+        let out = ensure_distribution(input, &[0], true, &stats, 2).unwrap();
+        assert_eq!(stats.snapshot().network_bytes, 0);
+        assert_eq!(out.row_count(), 2);
+        // External profile forces the shuffle.
+        let input2 = pdata(vec![vec![1], vec![2]], Distribution::Hash(vec![0]));
+        ensure_distribution(input2, &[0], false, &stats, 2).unwrap();
+        // Moved bytes may be zero by luck of hashing; the shuffle must
+        // at least have run (row placement recomputed). We can't observe
+        // that directly here, so just check no error.
+    }
+
+    #[test]
+    fn aggregate_min_grouped() {
+        let stats = Stats::new();
+        let input = pdata2(
+            vec![vec![(1, 10), (2, 5)], vec![(1, 3), (2, 20)]],
+            Distribution::Arbitrary,
+        );
+        let out = aggregate(
+            input,
+            &[0],
+            &[AggExpr { func: AggFunc::Min, input: Expr::Column(1) }],
+            true,
+            &stats,
+            2,
+        )
+        .unwrap();
+        let mut rows = all_rows(&out);
+        rows.sort_by_key(|r| r[0].as_int());
+        assert_eq!(
+            rows,
+            vec![
+                vec![Datum::Int(1), Datum::Int(3)],
+                vec![Datum::Int(2), Datum::Int(5)]
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregate_global_count_sum() {
+        let stats = Stats::new();
+        let input = pdata(vec![vec![1, 2], vec![3]], Distribution::Arbitrary);
+        let out = aggregate(
+            input,
+            &[],
+            &[
+                AggExpr { func: AggFunc::Count, input: Expr::LitInt(1) },
+                AggExpr { func: AggFunc::Sum, input: Expr::Column(0) },
+                AggExpr { func: AggFunc::Max, input: Expr::Column(0) },
+            ],
+            true,
+            &stats,
+            2,
+        )
+        .unwrap();
+        assert_eq!(out.row_count(), 1);
+        assert_eq!(
+            all_rows(&out)[0],
+            vec![Datum::Int(3), Datum::Int(6), Datum::Int(3)]
+        );
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let stats = Stats::new();
+        let input = pdata(vec![vec![], vec![]], Distribution::Arbitrary);
+        let out = aggregate(
+            input,
+            &[],
+            &[
+                AggExpr { func: AggFunc::Count, input: Expr::LitInt(1) },
+                AggExpr { func: AggFunc::Min, input: Expr::Column(0) },
+            ],
+            true,
+            &stats,
+            2,
+        )
+        .unwrap();
+        assert_eq!(all_rows(&out)[0], vec![Datum::Int(0), Datum::Null]);
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let stats = Stats::new();
+        let l = pdata2(vec![vec![(1, 100), (2, 200)], vec![(3, 300)]], Distribution::Arbitrary);
+        let r = pdata2(vec![vec![(1, 11)], vec![(3, 33), (4, 44)]], Distribution::Arbitrary);
+        let out =
+            hash_join(l, r, &[0], &[0], JoinType::Inner, true, &stats, 2).unwrap();
+        let mut rows = all_rows(&out);
+        rows.sort_by_key(|r| r[0].as_int());
+        assert_eq!(
+            rows,
+            vec![
+                vec![Datum::Int(1), Datum::Int(100), Datum::Int(1), Datum::Int(11)],
+                vec![Datum::Int(3), Datum::Int(300), Datum::Int(3), Datum::Int(33)],
+            ]
+        );
+    }
+
+    #[test]
+    fn left_outer_join_emits_nulls() {
+        let stats = Stats::new();
+        let l = pdata2(vec![vec![(1, 100), (2, 200)]], Distribution::Arbitrary);
+        let r = pdata2(vec![vec![(1, 11)]], Distribution::Arbitrary);
+        let out =
+            hash_join(l, r, &[0], &[0], JoinType::LeftOuter, true, &stats, 2).unwrap();
+        let mut rows = all_rows(&out);
+        rows.sort_by_key(|r| r[0].as_int());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec![Datum::Int(2), Datum::Int(200), Datum::Null, Datum::Null]);
+        assert!(out.schema.field(2).nullable);
+    }
+
+    #[test]
+    fn join_duplicate_right_keys_multiply() {
+        let stats = Stats::new();
+        let l = pdata(vec![vec![7]], Distribution::Arbitrary);
+        let r = pdata(vec![vec![7, 7, 7]], Distribution::Arbitrary);
+        let out = hash_join(l, r, &[0], &[0], JoinType::Inner, true, &stats, 2).unwrap();
+        assert_eq!(out.row_count(), 3);
+    }
+
+    #[test]
+    fn distinct_dedups_across_partitions() {
+        let stats = Stats::new();
+        let input = pdata(vec![vec![1, 2, 2], vec![1, 3]], Distribution::Arbitrary);
+        let out = distinct(input, true, &stats, 2).unwrap();
+        let mut vals: Vec<i64> =
+            all_rows(&out).iter().map(|r| r[0].as_int().unwrap()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_all_concats() {
+        let a = pdata(vec![vec![1], vec![2]], Distribution::Arbitrary);
+        let b = pdata(vec![vec![3], vec![4]], Distribution::Arbitrary);
+        let out = union_all(a, b).unwrap();
+        assert_eq!(out.row_count(), 4);
+    }
+
+    #[test]
+    fn union_all_arity_mismatch_rejected() {
+        let a = pdata(vec![vec![1]], Distribution::Arbitrary);
+        let b = pdata2(vec![vec![(1, 2)]], Distribution::Arbitrary);
+        assert!(union_all(a, b).is_err());
+    }
+
+    #[test]
+    fn projection_tracks_distribution() {
+        let input = pdata2(vec![vec![(1, 10)], vec![(2, 20)]], Distribution::Hash(vec![0]));
+        // Project b, a — distribution column 0 (a) moves to position 1.
+        let out = project(
+            input,
+            &[
+                (Expr::Column(1), Field::new("b", DataType::Int64)),
+                (Expr::Column(0), Field::new("a", DataType::Int64)),
+            ],
+        )
+        .unwrap();
+        assert!(out.dist.is_hash_on(&[1]));
+        // Projecting the distribution column away loses placement.
+        let input2 = pdata2(vec![vec![(1, 10)]], Distribution::Hash(vec![0]));
+        let out2 = project(
+            input2,
+            &[(Expr::Column(1), Field::new("b", DataType::Int64))],
+        )
+        .unwrap();
+        assert_eq!(out2.dist, Distribution::Arbitrary);
+    }
+
+    #[test]
+    fn filter_preserves_distribution() {
+        use crate::expr::CmpOp;
+        let input = pdata(vec![vec![1, 5], vec![7, 2]], Distribution::Hash(vec![0]));
+        let pred = Expr::Cmp {
+            op: CmpOp::Gt,
+            left: Box::new(Expr::Column(0)),
+            right: Box::new(Expr::LitInt(3)),
+        };
+        let out = filter(input, &pred).unwrap();
+        assert_eq!(out.row_count(), 2);
+        assert!(out.dist.is_hash_on(&[0]));
+    }
+
+    #[test]
+    fn schema_dedup_suffixes() {
+        let s = build_schema_allow_dups(vec![
+            Field::new("v", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]);
+        assert_eq!(s.field(0).name, "v");
+        assert_eq!(s.field(1).name, "v#1");
+    }
+}

@@ -1,0 +1,141 @@
+//! Table schemas.
+
+use crate::value::DataType;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (lower-cased by the SQL front end).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+    /// Whether NULLs may appear (left outer joins introduce them).
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A non-nullable field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype, nullable: false }
+    }
+
+    /// A nullable copy of this field.
+    pub fn as_nullable(&self) -> Field {
+        Field { nullable: true, ..self.clone() }
+    }
+}
+
+/// An ordered list of fields. Cheap to clone (Arc-backed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    /// Builds a schema from fields.
+    ///
+    /// # Panics
+    /// Panics if two fields share a name — ambiguous output schemas are
+    /// a planner bug, not a user error.
+    pub fn new(fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            for g in &fields[..i] {
+                assert_ne!(f.name, g.name, "duplicate column name {:?}", f.name);
+            }
+        }
+        Schema { fields: Arc::new(fields) }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a column by name, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field at `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// A new schema concatenating `self` and `other` — the shape of a
+    /// join output. The right side is marked nullable when `right_nullable`
+    /// (left outer join).
+    pub fn join(&self, other: &Schema, right_nullable: bool) -> Schema {
+        let mut fields: Vec<Field> = self.fields.to_vec();
+        for f in other.fields() {
+            fields.push(if right_nullable { f.as_nullable() } else { f.clone() });
+        }
+        Schema { fields: Arc::new(fields) }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", fld.name, fld.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vw() -> Schema {
+        Schema::new(vec![Field::new("v", DataType::Int64), Field::new("w", DataType::Int64)])
+    }
+
+    #[test]
+    fn lookup() {
+        let s = vw();
+        assert_eq!(s.index_of("v"), Some(0));
+        assert_eq!(s.index_of("w"), Some(1));
+        assert_eq!(s.index_of("x"), None);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![Field::new("v", DataType::Int64), Field::new("v", DataType::Int64)]);
+    }
+
+    #[test]
+    fn join_schema_marks_nullable() {
+        let s = vw();
+        let r = Schema::new(vec![Field::new("r", DataType::Int64)]);
+        let j = s.join(&r, true);
+        assert_eq!(j.len(), 3);
+        assert!(j.field(2).nullable);
+        assert!(!j.field(0).nullable);
+        let j2 = s.join(&r, false);
+        assert!(!j2.field(2).nullable);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(vw().to_string(), "(v bigint, w bigint)");
+    }
+}

@@ -1,0 +1,244 @@
+//! Abstract syntax for the supported SQL dialect.
+
+use crate::expr::CmpOp;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name AS query [DISTRIBUTED BY (col)]`.
+    CreateTableAs {
+        /// New table name (lower-cased).
+        name: String,
+        /// The defining query.
+        query: Query,
+        /// Optional hash-distribution column.
+        distributed_by: Option<String>,
+    },
+    /// A bare `SELECT`.
+    Select(Query),
+    /// `EXPLAIN [ANALYZE] <select>` — render the logical plan,
+    /// optionally executing it with per-node row counts and timings.
+    Explain {
+        /// The query.
+        query: Query,
+        /// Whether to execute and annotate (`EXPLAIN ANALYZE`).
+        analyze: bool,
+    },
+    /// `DROP TABLE [IF EXISTS] name`.
+    DropTable {
+        /// Table to drop.
+        name: String,
+        /// Whether a missing table is tolerated.
+        if_exists: bool,
+    },
+    /// `CREATE TABLE name (col type, …) [DISTRIBUTED BY (col)]` — an
+    /// empty table with an explicit schema.
+    CreateTable {
+        /// New table name.
+        name: String,
+        /// Column names and type names (`bigint`, `double precision`).
+        columns: Vec<(String, String)>,
+        /// Optional hash-distribution column.
+        distributed_by: Option<String>,
+    },
+    /// `INSERT INTO name VALUES (…), (…)`.
+    Insert {
+        /// Target table.
+        name: String,
+        /// Literal rows.
+        rows: Vec<Vec<AstExpr>>,
+    },
+    /// `ALTER TABLE from RENAME TO to`.
+    RenameTable {
+        /// Existing name.
+        from: String,
+        /// New name.
+        to: String,
+    },
+}
+
+/// A query: one or more select cores joined by `UNION ALL`, with an
+/// optional final ordering and row limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The `UNION ALL` branches, at least one.
+    pub selects: Vec<SelectCore>,
+    /// `ORDER BY` keys: output column name + descending flag. Applied
+    /// to the gathered result of a bare `SELECT` (a stored table has no
+    /// order, as in any relational database).
+    pub order_by: Vec<(String, bool)>,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+}
+
+/// One `SELECT … FROM … WHERE … GROUP BY …` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectCore {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Output expressions.
+    pub items: Vec<SelectItem>,
+    /// `FROM` relations in order; empty for a FROM-less select.
+    pub from: Vec<FromItem>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<AstExpr>,
+    /// `GROUP BY` column references.
+    pub group_by: Vec<AstExpr>,
+    /// `HAVING` predicate (aggregation context).
+    pub having: Option<AstExpr>,
+}
+
+/// A select-list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: AstExpr,
+    /// `AS alias` (or implicit bare-word alias).
+    pub alias: Option<String>,
+}
+
+/// How a relation enters the `FROM` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Comma-separated (inner join via `WHERE` equalities).
+    Comma,
+    /// `[INNER] JOIN … ON …`.
+    Inner,
+    /// `LEFT [OUTER] JOIN … ON …`.
+    LeftOuter,
+}
+
+/// One relation in the `FROM` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// The relation.
+    pub rel: TableRel,
+    /// Alias (defaults to the table name for base tables).
+    pub alias: Option<String>,
+    /// How it joins what came before (`Comma` for the first item).
+    pub kind: JoinKind,
+    /// `ON` condition for explicit joins.
+    pub on: Option<AstExpr>,
+}
+
+/// A base table or a parenthesised subquery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRel {
+    /// A stored table by name.
+    Table(String),
+    /// `( query )` — must carry an alias.
+    Subquery(Box<Query>),
+}
+
+/// An unbound expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference, optionally qualified (`e.v`).
+    Column {
+        /// Table alias qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `NULL`.
+    Null,
+    /// `*` — only valid inside `count(*)`.
+    Star,
+    /// Function call: scalar builtin, UDF, or aggregate.
+    Call {
+        /// Lower-cased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+    },
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// Conjunction.
+    And(Box<AstExpr>, Box<AstExpr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// The tested expression.
+        expr: Box<AstExpr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl AstExpr {
+    /// Flattens a conjunction tree into its conjuncts.
+    pub fn conjuncts(&self) -> Vec<&AstExpr> {
+        match self {
+            AstExpr::And(l, r) => {
+                let mut out = l.conjuncts();
+                out.extend(r.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// True when the expression contains an aggregate call
+    /// (`min`, `max`, `count`, `sum`).
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            AstExpr::Call { name, args } => {
+                is_aggregate_name(name) || args.iter().any(AstExpr::contains_aggregate)
+            }
+            AstExpr::Cmp { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            AstExpr::And(l, r) => l.contains_aggregate() || r.contains_aggregate(),
+            AstExpr::IsNull { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        }
+    }
+}
+
+/// Whether a function name denotes an aggregate.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(name, "min" | "max" | "count" | "sum")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(n: &str) -> AstExpr {
+        AstExpr::Column { qualifier: None, name: n.into() }
+    }
+
+    #[test]
+    fn conjunct_flattening() {
+        let e = AstExpr::And(
+            Box::new(AstExpr::And(Box::new(col("a")), Box::new(col("b")))),
+            Box::new(col("c")),
+        );
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(*parts[2], col("c"));
+        assert_eq!(col("x").conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = AstExpr::Call { name: "min".into(), args: vec![col("x")] };
+        assert!(agg.contains_aggregate());
+        let nested = AstExpr::Call { name: "least".into(), args: vec![col("x"), agg] };
+        assert!(nested.contains_aggregate());
+        let scalar = AstExpr::Call { name: "least".into(), args: vec![col("x")] };
+        assert!(!scalar.contains_aggregate());
+        assert!(is_aggregate_name("count"));
+        assert!(!is_aggregate_name("coalesce"));
+    }
+}

@@ -1,0 +1,241 @@
+//! SQL tokenizer.
+
+use crate::error::{DbError, DbResult};
+
+/// A lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword, lower-cased.
+    Ident(String),
+    /// Integer literal (sign handled by the parser).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `-` (unary minus on literals)
+    Minus,
+    /// `+`
+    Plus,
+    /// `;`
+    Semi,
+}
+
+/// Tokenizes SQL text. Comments (`-- …`) run to end of line.
+pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse(format!("unexpected '!' at byte {i}")));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|e| DbError::Parse(format!("bad float {text:?}: {e}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 = text.parse().map_err(|e| {
+                        DbError::Parse(format!("bad integer {text:?}: {e}"))
+                    })?;
+                    out.push(Token::Int(v));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(DbError::Parse(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("select v1, min(x) from T where a != 2;").unwrap();
+        assert_eq!(toks[0], Token::Ident("select".into()));
+        assert_eq!(toks[1], Token::Ident("v1".into()));
+        assert_eq!(toks[2], Token::Comma);
+        assert!(toks.contains(&Token::Ne));
+        assert_eq!(*toks.last().unwrap(), Token::Semi);
+        // Keywords lower-cased.
+        assert!(toks.contains(&Token::Ident("t".into())));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            tokenize("42 3.5 -7").unwrap(),
+            vec![Token::Int(42), Token::Float(3.5), Token::Minus, Token::Int(7)]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            tokenize("< <= > >= = != <>").unwrap(),
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("select -- everything here is ignored != (\n 1").unwrap();
+        assert_eq!(toks, vec![Token::Ident("select".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn qualified_names_and_star() {
+        assert_eq!(
+            tokenize("count(*) e.v").unwrap(),
+            vec![
+                Token::Ident("count".into()),
+                Token::LParen,
+                Token::Star,
+                Token::RParen,
+                Token::Ident("e".into()),
+                Token::Dot,
+                Token::Ident("v".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_characters_rejected() {
+        assert!(tokenize("select 'x'").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("select 99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(tokenize("   \n\t ").unwrap(), vec![]);
+    }
+}

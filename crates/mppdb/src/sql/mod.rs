@@ -1,0 +1,30 @@
+//! The SQL front end.
+//!
+//! Implements exactly the dialect the paper's implementation (Appendix
+//! A) and the ported comparator algorithms need:
+//!
+//! ```sql
+//! CREATE TABLE t AS SELECT ... [DISTRIBUTED BY (col)];
+//! SELECT [DISTINCT] expr [AS name], ...
+//!   FROM rel [AS alias] {, rel [AS alias]}        -- equi-joins via WHERE
+//!        [LEFT [OUTER] JOIN rel [AS alias] ON cond]
+//!   [WHERE conjunctions]
+//!   [GROUP BY cols]
+//!   [UNION ALL SELECT ...];
+//! DROP TABLE [IF EXISTS] t;
+//! ALTER TABLE t RENAME TO u;
+//! ```
+//!
+//! Scalar functions: `least`, `greatest`, `coalesce`, `random()` and
+//! any UDF registered on the cluster (`axplusb`, …). Aggregates:
+//! `min`, `max`, `count` (incl. `count(*)`), `sum`. Relations may be
+//! parenthesised subqueries with an alias.
+
+mod ast;
+mod lexer;
+mod parser;
+mod planner;
+
+pub use ast::{AstExpr, FromItem, JoinKind, Query, SelectCore, SelectItem, Statement, TableRel};
+pub use parser::parse_statement;
+pub use planner::{plan_query, plan_query_with_schema, PlannerCatalog};

@@ -1,0 +1,539 @@
+//! Recursive-descent parser.
+
+use super::ast::*;
+use super::lexer::{tokenize, Token};
+use crate::error::{DbError, DbResult};
+use crate::expr::CmpOp;
+
+/// Parses one SQL statement (an optional trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> DbResult<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&Token::Semi);
+    if !p.at_end() {
+        return Err(DbError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> DbResult<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| DbError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a keyword (case-insensitive identifier) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!("expected {kw:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> DbResult<()> {
+        if self.eat_if(t) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> DbResult<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> DbResult<Statement> {
+        if self.eat_kw("create") {
+            self.expect_kw("table")?;
+            let name = self.ident()?;
+            if self.eat_if(&Token::LParen) {
+                // Explicit column list: an empty table.
+                let mut columns = Vec::new();
+                loop {
+                    let col = self.ident()?;
+                    let mut ty = self.ident()?;
+                    // Multi-word types: "double precision".
+                    if ty == "double" && self.eat_kw("precision") {
+                        ty = "double precision".into();
+                    }
+                    columns.push((col, ty));
+                    if !self.eat_if(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                let distributed_by = self.distributed_by()?;
+                return Ok(Statement::CreateTable { name, columns, distributed_by });
+            }
+            self.expect_kw("as")?;
+            let query = self.query()?;
+            let distributed_by = self.distributed_by()?;
+            Ok(Statement::CreateTableAs { name, query, distributed_by })
+        } else if self.eat_kw("insert") {
+            self.expect_kw("into")?;
+            let name = self.ident()?;
+            self.expect_kw("values")?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Token::LParen)?;
+                let mut row = Vec::new();
+                if !self.eat_if(&Token::RParen) {
+                    row.push(self.expr()?);
+                    while self.eat_if(&Token::Comma) {
+                        row.push(self.expr()?);
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                rows.push(row);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            Ok(Statement::Insert { name, rows })
+        } else if self.eat_kw("drop") {
+            self.expect_kw("table")?;
+            let if_exists = if self.eat_kw("if") {
+                self.expect_kw("exists")?;
+                true
+            } else {
+                false
+            };
+            let name = self.ident()?;
+            Ok(Statement::DropTable { name, if_exists })
+        } else if self.eat_kw("alter") {
+            self.expect_kw("table")?;
+            let from = self.ident()?;
+            self.expect_kw("rename")?;
+            self.expect_kw("to")?;
+            let to = self.ident()?;
+            Ok(Statement::RenameTable { from, to })
+        } else if self.eat_kw("explain") {
+            let analyze = self.eat_kw("analyze");
+            Ok(Statement::Explain { query: self.query()?, analyze })
+        } else if matches!(self.peek(), Some(Token::Ident(s)) if s == "select") {
+            Ok(Statement::Select(self.query()?))
+        } else {
+            Err(DbError::Parse(format!(
+                "expected CREATE/DROP/ALTER/SELECT, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn distributed_by(&mut self) -> DbResult<Option<String>> {
+        if self.eat_kw("distributed") {
+            self.expect_kw("by")?;
+            self.expect(&Token::LParen)?;
+            let col = self.ident()?;
+            self.expect(&Token::RParen)?;
+            Ok(Some(col))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn query(&mut self) -> DbResult<Query> {
+        let mut selects = vec![self.select_core()?];
+        loop {
+            // `UNION ALL` — look ahead so a bare `union` table name is
+            // not swallowed.
+            if matches!(self.peek(), Some(Token::Ident(s)) if s == "union")
+                && matches!(self.peek2(), Some(Token::Ident(s)) if s == "all")
+            {
+                self.pos += 2;
+                selects.push(self.select_core()?);
+            } else {
+                break;
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let col = self.ident()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((col, desc));
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(DbError::Parse(format!(
+                        "LIMIT needs a non-negative integer, got {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query { selects, order_by, limit })
+    }
+
+    fn select_core(&mut self) -> DbResult<SelectCore> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = vec![self.select_item()?];
+        while self.eat_if(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            from.push(self.parse_from_item(JoinKind::Comma, false)?);
+            loop {
+                if self.eat_if(&Token::Comma) {
+                    from.push(self.parse_from_item(JoinKind::Comma, false)?);
+                } else if self.eat_kw("left") {
+                    self.eat_kw("outer");
+                    self.expect_kw("join")?;
+                    from.push(self.parse_from_item(JoinKind::LeftOuter, true)?);
+                } else if self.eat_kw("inner") {
+                    self.expect_kw("join")?;
+                    from.push(self.parse_from_item(JoinKind::Inner, true)?);
+                } else if self.eat_kw("join") {
+                    from.push(self.parse_from_item(JoinKind::Inner, true)?);
+                } else {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.expr()?);
+            while self.eat_if(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
+        Ok(SelectCore { distinct, items, from, where_clause, group_by, having })
+    }
+
+    fn select_item(&mut self) -> DbResult<SelectItem> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            // Bare-word alias, unless the word is a clause keyword.
+            const CLAUSE_KEYWORDS: &[&str] = &[
+                "from", "where", "group", "union", "distributed", "left", "inner",
+                "join", "on", "as", "order", "limit", "having", "is",
+            ];
+            if CLAUSE_KEYWORDS.contains(&s.as_str()) {
+                None
+            } else {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn parse_from_item(&mut self, kind: JoinKind, with_on: bool) -> DbResult<FromItem> {
+        let rel = if self.eat_if(&Token::LParen) {
+            let q = self.query()?;
+            self.expect(&Token::RParen)?;
+            TableRel::Subquery(Box::new(q))
+        } else {
+            TableRel::Table(self.ident()?)
+        };
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            const CLAUSE_KEYWORDS: &[&str] = &[
+                "where", "group", "union", "distributed", "left", "inner", "join",
+                "on", "order", "limit", "having", "is",
+            ];
+            if CLAUSE_KEYWORDS.contains(&s.as_str()) {
+                None
+            } else {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            }
+        } else {
+            None
+        };
+        let on = if with_on {
+            self.expect_kw("on")?;
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(FromItem { rel, alias, kind, on })
+    }
+
+    /// expr := cmp (AND cmp)*
+    fn expr(&mut self) -> DbResult<AstExpr> {
+        let mut e = self.cmp()?;
+        while self.eat_kw("and") {
+            let r = self.cmp()?;
+            e = AstExpr::And(Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    /// cmp := primary [IS [NOT] NULL | (= | != | < | <= | > | >=) primary]
+    fn cmp(&mut self) -> DbResult<AstExpr> {
+        let left = self.primary()?;
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(AstExpr::IsNull { expr: Box::new(left), negated });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(CmpOp::Eq),
+            Some(Token::Ne) => Some(CmpOp::Ne),
+            Some(Token::Lt) => Some(CmpOp::Lt),
+            Some(Token::Le) => Some(CmpOp::Le),
+            Some(Token::Gt) => Some(CmpOp::Gt),
+            Some(Token::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.primary()?;
+            Ok(AstExpr::Cmp { op, left: Box::new(left), right: Box::new(right) })
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn primary(&mut self) -> DbResult<AstExpr> {
+        match self.next()? {
+            Token::Int(v) => Ok(AstExpr::Int(v)),
+            Token::Float(v) => Ok(AstExpr::Float(v)),
+            Token::Minus => match self.next()? {
+                Token::Int(v) => Ok(AstExpr::Int(-v)),
+                Token::Float(v) => Ok(AstExpr::Float(-v)),
+                other => {
+                    Err(DbError::Parse(format!("expected number after '-', got {other:?}")))
+                }
+            },
+            Token::Plus => self.primary(),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Star => Ok(AstExpr::Star),
+            Token::Ident(name) => {
+                if name == "null" {
+                    return Ok(AstExpr::Null);
+                }
+                if self.eat_if(&Token::LParen) {
+                    // Function call.
+                    let mut args = Vec::new();
+                    if !self.eat_if(&Token::RParen) {
+                        args.push(self.expr()?);
+                        while self.eat_if(&Token::Comma) {
+                            args.push(self.expr()?);
+                        }
+                        self.expect(&Token::RParen)?;
+                    }
+                    return Ok(AstExpr::Call { name, args });
+                }
+                if self.eat_if(&Token::Dot) {
+                    let col = self.ident()?;
+                    return Ok(AstExpr::Column { qualifier: Some(name), name: col });
+                }
+                Ok(AstExpr::Column { qualifier: None, name })
+            }
+            other => Err(DbError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_ccreps_query() {
+        // The per-round representatives query from Appendix A.
+        let sql = "create table ccreps1 as \
+                   select v1 v, least(axplusb(3, v1, 5), min(axplusb(3, v2, 5))) rep \
+                   from ccgraph group by v1 distributed by (v)";
+        let Statement::CreateTableAs { name, query, distributed_by } =
+            parse_statement(sql).unwrap()
+        else {
+            panic!("not CTAS")
+        };
+        assert_eq!(name, "ccreps1");
+        assert_eq!(distributed_by.as_deref(), Some("v"));
+        let core = &query.selects[0];
+        assert_eq!(core.items.len(), 2);
+        assert_eq!(core.items[0].alias.as_deref(), Some("v"));
+        assert_eq!(core.items[1].alias.as_deref(), Some("rep"));
+        assert_eq!(core.group_by.len(), 1);
+        assert!(core.items[1].expr.contains_aggregate());
+    }
+
+    #[test]
+    fn parses_paper_setup_union() {
+        let sql = "create table ccgraph as \
+                   select v1, v2 from edges union all select v2, v1 from edges \
+                   distributed by (v1)";
+        let Statement::CreateTableAs { query, .. } = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(query.selects.len(), 2);
+    }
+
+    #[test]
+    fn parses_paper_contraction_join() {
+        let sql = "create table ccgraph3 as \
+                   select distinct v1, r2.rep as v2 \
+                   from ccgraph2, ccreps as r2 \
+                   where ccgraph2.v2 = r2.v and v1 != r2.rep \
+                   distributed by (v1)";
+        let Statement::CreateTableAs { query, .. } = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let core = &query.selects[0];
+        assert!(core.distinct);
+        assert_eq!(core.from.len(), 2);
+        assert_eq!(core.from[1].alias.as_deref(), Some("r2"));
+        let conj = core.where_clause.as_ref().unwrap().conjuncts();
+        assert_eq!(conj.len(), 2);
+    }
+
+    #[test]
+    fn parses_left_outer_join() {
+        let sql = "select r1.v as v, coalesce(r2.rep, axplusb(1, r1.rep, 0)) as rep \
+                   from reps1 as r1 left outer join reps2 as r2 on (r1.rep = r2.v)";
+        let Statement::Select(q) = parse_statement(sql).unwrap() else { panic!() };
+        let core = &q.selects[0];
+        assert_eq!(core.from[1].kind, JoinKind::LeftOuter);
+        assert!(core.from[1].on.is_some());
+    }
+
+    #[test]
+    fn parses_ddl() {
+        assert_eq!(
+            parse_statement("drop table t;").unwrap(),
+            Statement::DropTable { name: "t".into(), if_exists: false }
+        );
+        assert_eq!(
+            parse_statement("drop table if exists t").unwrap(),
+            Statement::DropTable { name: "t".into(), if_exists: true }
+        );
+        assert_eq!(
+            parse_statement("alter table a rename to b").unwrap(),
+            Statement::RenameTable { from: "a".into(), to: "b".into() }
+        );
+    }
+
+    #[test]
+    fn parses_count_star_and_subquery() {
+        let sql = "select count(*) as n from (select distinct v1 as v from g) as verts";
+        let Statement::Select(q) = parse_statement(sql).unwrap() else { panic!() };
+        let core = &q.selects[0];
+        assert!(matches!(core.from[0].rel, TableRel::Subquery(_)));
+        assert_eq!(core.from[0].alias.as_deref(), Some("verts"));
+    }
+
+    #[test]
+    fn parses_negative_literals() {
+        let sql = "select axplusb(-42, v, -7) as r from t";
+        let Statement::Select(q) = parse_statement(sql).unwrap() else { panic!() };
+        let AstExpr::Call { args, .. } = &q.selects[0].items[0].expr else { panic!() };
+        assert_eq!(args[0], AstExpr::Int(-42));
+        assert_eq!(args[2], AstExpr::Int(-7));
+    }
+
+    #[test]
+    fn parses_from_less_select() {
+        let sql = "select 1 as a, 2.5 as b";
+        let Statement::Select(q) = parse_statement(sql).unwrap() else { panic!() };
+        assert!(q.selects[0].from.is_empty());
+        assert_eq!(q.selects[0].items.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("frobnicate the database").is_err());
+        assert!(parse_statement("select").is_err());
+        assert!(parse_statement("select 1 from t extra garbage !").is_err());
+        assert!(parse_statement("create table t select 1").is_err());
+        assert!(parse_statement("").is_err());
+    }
+
+    #[test]
+    fn bare_word_aliases() {
+        let sql = "select v1 v, v2 w from e";
+        let Statement::Select(q) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(q.selects[0].items[0].alias.as_deref(), Some("v"));
+        assert_eq!(q.selects[0].items[1].alias.as_deref(), Some("w"));
+    }
+
+    #[test]
+    fn group_by_qualified_column() {
+        let sql = "select e.v, min(e.w) from e group by e.v";
+        let Statement::Select(q) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(
+            q.selects[0].group_by[0],
+            AstExpr::Column { qualifier: Some("e".into()), name: "v".into() }
+        );
+    }
+}

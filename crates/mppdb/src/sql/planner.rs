@@ -1,0 +1,878 @@
+//! Binds parsed SQL to logical plans.
+//!
+//! Name resolution follows standard SQL scoping: `FROM` relations
+//! contribute qualified columns (alias or table name); unqualified
+//! names must be unambiguous. Comma-joined relations are combined
+//! left-deep using the equality conjuncts of the `WHERE` clause as join
+//! keys (the engine does not execute Cartesian products — the paper's
+//! queries never need one). Aggregation splits each select item into a
+//! pre-aggregation input expression and a post-aggregation projection.
+
+use super::ast::{
+    is_aggregate_name, AstExpr, FromItem, JoinKind, Query, SelectCore, TableRel,
+};
+use crate::error::{DbError, DbResult};
+use crate::expr::{Expr, ScalarUdf};
+use crate::ops::{AggExpr, AggFunc, JoinType};
+use crate::plan::Plan;
+use crate::schema::{Field, Schema};
+use crate::value::DataType;
+use std::sync::Arc;
+
+/// What the planner needs to know about the outside world.
+pub trait PlannerCatalog {
+    /// Schema of a stored table.
+    fn table_schema(&self, name: &str) -> DbResult<Schema>;
+    /// A registered UDF by (lower-cased) name.
+    fn udf(&self, name: &str) -> Option<Arc<dyn ScalarUdf>>;
+    /// A fresh seed for each `random()` call site.
+    fn next_random_seed(&self) -> u64;
+}
+
+/// Plans a query (a `UNION ALL` chain of select cores).
+pub fn plan_query(q: &Query, cat: &dyn PlannerCatalog) -> DbResult<Plan> {
+    Ok(plan_query_with_schema(q, cat)?.0)
+}
+
+/// Plans a query and also returns its output schema (needed by the
+/// executor to resolve `ORDER BY` names against the result).
+pub fn plan_query_with_schema(q: &Query, cat: &dyn PlannerCatalog) -> DbResult<(Plan, Schema)> {
+    let mut plans = Vec::with_capacity(q.selects.len());
+    let mut schema: Option<Schema> = None;
+    for core in &q.selects {
+        let (p, s) = plan_select(core, cat)?;
+        if let Some(first) = &schema {
+            if first.len() != s.len() {
+                return Err(DbError::Plan(format!(
+                    "UNION ALL branches have different arity: {} vs {}",
+                    first.len(),
+                    s.len()
+                )));
+            }
+        } else {
+            schema = Some(s);
+        }
+        plans.push(p);
+    }
+    let schema = schema.expect("parser guarantees at least one select");
+    let plan = if plans.len() == 1 {
+        plans.pop().expect("one plan")
+    } else {
+        Plan::UnionAll { inputs: plans }
+    };
+    Ok((plan, schema))
+}
+
+/// One column visible in a scope.
+#[derive(Debug, Clone)]
+struct ScopeCol {
+    qualifier: String,
+    field: Field,
+}
+
+/// The columns visible to expressions at some point of planning.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    cols: Vec<ScopeCol>,
+}
+
+impl Scope {
+    fn push_relation(&mut self, qualifier: &str, schema: &Schema, force_nullable: bool) {
+        for f in schema.fields() {
+            let field = if force_nullable { f.as_nullable() } else { f.clone() };
+            self.cols.push(ScopeCol { qualifier: qualifier.to_string(), field });
+        }
+    }
+
+    fn types(&self) -> Vec<DataType> {
+        self.cols.iter().map(|c| c.field.dtype).collect()
+    }
+
+    fn nullables(&self) -> Vec<bool> {
+        self.cols.iter().map(|c| c.field.nullable).collect()
+    }
+
+    /// Resolves a (possibly qualified) column name to its index, or
+    /// `None` if absent. Errors on ambiguity.
+    fn try_resolve(&self, qualifier: Option<&str>, name: &str) -> DbResult<Option<usize>> {
+        let mut found = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            if c.field.name != name {
+                continue;
+            }
+            if let Some(q) = qualifier {
+                if c.qualifier != q {
+                    continue;
+                }
+            }
+            if found.is_some() {
+                return Err(DbError::Plan(format!(
+                    "ambiguous column reference {:?}",
+                    display_col(qualifier, name)
+                )));
+            }
+            found = Some(i);
+        }
+        Ok(found)
+    }
+
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> DbResult<usize> {
+        self.try_resolve(qualifier, name)?.ok_or_else(|| {
+            DbError::Plan(format!("unknown column {:?}", display_col(qualifier, name)))
+        })
+    }
+}
+
+fn display_col(qualifier: Option<&str>, name: &str) -> String {
+    match qualifier {
+        Some(q) => format!("{q}.{name}"),
+        None => name.to_string(),
+    }
+}
+
+fn plan_select(core: &SelectCore, cat: &dyn PlannerCatalog) -> DbResult<(Plan, Schema)> {
+    // 1. FROM clause -> join tree + scope.
+    let (mut plan, scope, leftover_preds) = plan_from(core, cat)?;
+
+    // 2. Residual WHERE conjuncts -> filter.
+    if let Some(pred) = leftover_preds {
+        plan = Plan::Filter { input: Box::new(plan), pred };
+    }
+
+    // 3. Aggregation or plain projection.
+    let has_agg = !core.group_by.is_empty()
+        || core.items.iter().any(|i| i.expr.contains_aggregate())
+        || core.having.as_ref().is_some_and(AstExpr::contains_aggregate);
+    if core.having.is_some() && !has_agg {
+        return Err(DbError::Plan("HAVING requires GROUP BY or aggregates".into()));
+    }
+    let (mut plan, out_schema) = if has_agg {
+        plan_aggregate_select(core, cat, plan, &scope)?
+    } else {
+        let mut exprs = Vec::with_capacity(core.items.len());
+        let types = scope.types();
+        let nullables = scope.nullables();
+        for (i, item) in core.items.iter().enumerate() {
+            let e = bind_scalar(&item.expr, &scope, cat)?;
+            let field = output_field(&e, &item.expr, item.alias.as_deref(), i, &types, &nullables)?;
+            exprs.push((e, field));
+        }
+        let schema =
+            crate::ops::build_schema_allow_dups(exprs.iter().map(|(_, f)| f.clone()).collect());
+        (Plan::Project { input: Box::new(plan), exprs }, schema)
+    };
+
+    // 4. DISTINCT.
+    if core.distinct {
+        plan = Plan::Distinct { input: Box::new(plan) };
+    }
+    Ok((plan, out_schema))
+}
+
+/// Plans the FROM clause: returns the join tree, the visible scope, and
+/// any WHERE conjuncts not consumed as join conditions (bound as one
+/// predicate), or `None` if all were consumed / absent.
+fn plan_from(
+    core: &SelectCore,
+    cat: &dyn PlannerCatalog,
+) -> DbResult<(Plan, Scope, Option<Expr>)> {
+    if core.from.is_empty() {
+        if core.where_clause.is_some() {
+            return Err(DbError::Plan("WHERE without FROM is unsupported".into()));
+        }
+        return Ok((Plan::OneRow, Scope::default(), None));
+    }
+
+    let where_conjuncts: Vec<AstExpr> = core
+        .where_clause
+        .as_ref()
+        .map(|w| w.conjuncts().into_iter().cloned().collect())
+        .unwrap_or_default();
+    let mut consumed = vec![false; where_conjuncts.len()];
+
+    let mut plan: Option<Plan> = None;
+    let mut scope = Scope::default();
+    for item in &core.from {
+        let (rel_plan, rel_scope) = plan_relation(item, cat)?;
+        let Some(acc) = plan.take() else {
+            plan = Some(rel_plan);
+            scope = rel_scope;
+            continue;
+        };
+        match item.kind {
+            JoinKind::Comma | JoinKind::Inner => {
+                // Join keys come from the ON clause (explicit JOIN) and
+                // from usable WHERE equality conjuncts.
+                let mut l_keys = Vec::new();
+                let mut r_keys = Vec::new();
+                let mut post_filters: Vec<AstExpr> = Vec::new();
+                if let Some(on) = &item.on {
+                    for c in on.conjuncts() {
+                        match as_join_keys(c, &scope, &rel_scope)? {
+                            Some((l, r)) => {
+                                l_keys.push(l);
+                                r_keys.push(r);
+                            }
+                            None => post_filters.push((*c).clone()),
+                        }
+                    }
+                }
+                for (ci, c) in where_conjuncts.iter().enumerate() {
+                    if consumed[ci] {
+                        continue;
+                    }
+                    if let Some((l, r)) = as_join_keys(c, &scope, &rel_scope)? {
+                        l_keys.push(l);
+                        r_keys.push(r);
+                        consumed[ci] = true;
+                    }
+                }
+                if l_keys.is_empty() {
+                    return Err(DbError::Plan(format!(
+                        "no equi-join condition links relation {:?}; \
+                         Cartesian products are unsupported",
+                        relation_name(item)
+                    )));
+                }
+                let mut joined = Plan::Join {
+                    left: Box::new(acc),
+                    right: Box::new(rel_plan),
+                    l_keys,
+                    r_keys,
+                    join_type: JoinType::Inner,
+                };
+                append_scope(&mut scope, &rel_scope, false);
+                // Non-equi ON conjuncts become filters over the joined scope.
+                if !post_filters.is_empty() {
+                    let pred = bind_conjunction(&post_filters, &scope, cat)?;
+                    joined = Plan::Filter { input: Box::new(joined), pred };
+                }
+                plan = Some(joined);
+            }
+            JoinKind::LeftOuter => {
+                let on = item.on.as_ref().ok_or_else(|| {
+                    DbError::Plan("LEFT OUTER JOIN requires an ON clause".into())
+                })?;
+                let mut l_keys = Vec::new();
+                let mut r_keys = Vec::new();
+                for c in on.conjuncts() {
+                    match as_join_keys(c, &scope, &rel_scope)? {
+                        Some((l, r)) => {
+                            l_keys.push(l);
+                            r_keys.push(r);
+                        }
+                        None => {
+                            return Err(DbError::Plan(
+                                "LEFT OUTER JOIN supports only equality conditions".into(),
+                            ))
+                        }
+                    }
+                }
+                if l_keys.is_empty() {
+                    return Err(DbError::Plan(
+                        "LEFT OUTER JOIN requires at least one equality".into(),
+                    ));
+                }
+                plan = Some(Plan::Join {
+                    left: Box::new(acc),
+                    right: Box::new(rel_plan),
+                    l_keys,
+                    r_keys,
+                    join_type: JoinType::LeftOuter,
+                });
+                append_scope(&mut scope, &rel_scope, true);
+            }
+        }
+    }
+
+    // Any unconsumed WHERE conjunct binds against the final scope.
+    let leftovers: Vec<AstExpr> = where_conjuncts
+        .into_iter()
+        .zip(&consumed)
+        .filter(|(_, &used)| !used)
+        .map(|(c, _)| c)
+        .collect();
+    let pred = if leftovers.is_empty() {
+        None
+    } else {
+        Some(bind_conjunction(&leftovers, &scope, cat)?)
+    };
+    Ok((plan.expect("nonempty FROM"), scope, pred))
+}
+
+fn relation_name(item: &FromItem) -> String {
+    match (&item.alias, &item.rel) {
+        (Some(a), _) => a.clone(),
+        (None, TableRel::Table(t)) => t.clone(),
+        (None, TableRel::Subquery(_)) => "<subquery>".to_string(),
+    }
+}
+
+fn append_scope(scope: &mut Scope, rel: &Scope, force_nullable: bool) {
+    for c in &rel.cols {
+        let field = if force_nullable { c.field.as_nullable() } else { c.field.clone() };
+        scope.cols.push(ScopeCol { qualifier: c.qualifier.clone(), field });
+    }
+}
+
+fn plan_relation(item: &FromItem, cat: &dyn PlannerCatalog) -> DbResult<(Plan, Scope)> {
+    match &item.rel {
+        TableRel::Table(name) => {
+            let schema = cat.table_schema(name)?;
+            let qualifier = item.alias.clone().unwrap_or_else(|| name.clone());
+            let mut scope = Scope::default();
+            scope.push_relation(&qualifier, &schema, false);
+            Ok((Plan::Scan { table: name.clone() }, scope))
+        }
+        TableRel::Subquery(q) => {
+            let alias = item.alias.clone().ok_or_else(|| {
+                DbError::Plan("subquery in FROM requires an alias".into())
+            })?;
+            if !q.order_by.is_empty() || q.limit.is_some() {
+                return Err(DbError::Plan(
+                    "ORDER BY / LIMIT are not supported in FROM subqueries".into(),
+                ));
+            }
+            let (plan, schema) = plan_query_with_schema(q, cat)?;
+            let mut scope = Scope::default();
+            scope.push_relation(&alias, &schema, false);
+            Ok((plan, scope))
+        }
+    }
+}
+
+/// If the conjunct is `left_col = right_col` with one side in each
+/// scope, returns the (left_index, right_index) pair.
+fn as_join_keys(
+    conjunct: &AstExpr,
+    left: &Scope,
+    right: &Scope,
+) -> DbResult<Option<(usize, usize)>> {
+    use crate::expr::CmpOp;
+    let AstExpr::Cmp { op: CmpOp::Eq, left: a, right: b } = conjunct else {
+        return Ok(None);
+    };
+    let (AstExpr::Column { qualifier: qa, name: na }, AstExpr::Column { qualifier: qb, name: nb }) =
+        (a.as_ref(), b.as_ref())
+    else {
+        return Ok(None);
+    };
+    let a_left = left.try_resolve(qa.as_deref(), na)?;
+    let a_right = right.try_resolve(qa.as_deref(), na)?;
+    let b_left = left.try_resolve(qb.as_deref(), nb)?;
+    let b_right = right.try_resolve(qb.as_deref(), nb)?;
+    // Prefer the orientation where each side resolves on exactly one scope.
+    match (a_left, a_right, b_left, b_right) {
+        (Some(l), None, None, Some(r)) => Ok(Some((l, r))),
+        (None, Some(r), Some(l), None) => Ok(Some((l, r))),
+        // Ambiguous resolutions (column exists on both sides) are not
+        // treated as join keys; they will bind as a filter if possible.
+        _ => Ok(None),
+    }
+}
+
+fn bind_conjunction(
+    conjuncts: &[AstExpr],
+    scope: &Scope,
+    cat: &dyn PlannerCatalog,
+) -> DbResult<Expr> {
+    let mut bound: Option<Expr> = None;
+    for c in conjuncts {
+        let e = bind_predicate(c, scope, cat)?;
+        bound = Some(match bound {
+            None => e,
+            Some(acc) => Expr::And(Box::new(acc), Box::new(e)),
+        });
+    }
+    bound.ok_or_else(|| DbError::Plan("empty predicate".into()))
+}
+
+fn bind_predicate(ast: &AstExpr, scope: &Scope, cat: &dyn PlannerCatalog) -> DbResult<Expr> {
+    match ast {
+        AstExpr::And(l, r) => Ok(Expr::And(
+            Box::new(bind_predicate(l, scope, cat)?),
+            Box::new(bind_predicate(r, scope, cat)?),
+        )),
+        AstExpr::Cmp { op, left, right } => Ok(Expr::Cmp {
+            op: *op,
+            left: Box::new(bind_scalar(left, scope, cat)?),
+            right: Box::new(bind_scalar(right, scope, cat)?),
+        }),
+        AstExpr::IsNull { expr, negated } => Ok(Expr::IsNull {
+            expr: Box::new(bind_scalar(expr, scope, cat)?),
+            negated: *negated,
+        }),
+        other => Err(DbError::Plan(format!("expected a boolean condition, got {other:?}"))),
+    }
+}
+
+fn bind_scalar(ast: &AstExpr, scope: &Scope, cat: &dyn PlannerCatalog) -> DbResult<Expr> {
+    match ast {
+        AstExpr::Column { qualifier, name } => {
+            Ok(Expr::Column(scope.resolve(qualifier.as_deref(), name)?))
+        }
+        AstExpr::Int(v) => Ok(Expr::LitInt(*v)),
+        AstExpr::Float(v) => Ok(Expr::LitDouble(*v)),
+        AstExpr::Null => Ok(Expr::Null),
+        AstExpr::Star => Err(DbError::Plan("'*' is only valid inside count(*)".into())),
+        AstExpr::Call { name, args } => {
+            if is_aggregate_name(name) {
+                return Err(DbError::Plan(format!(
+                    "aggregate {name}() is not allowed in this context"
+                )));
+            }
+            let bound: Vec<Expr> = args
+                .iter()
+                .map(|a| bind_scalar(a, scope, cat))
+                .collect::<DbResult<_>>()?;
+            match name.as_str() {
+                "least" => {
+                    require_args(name, &bound, 1)?;
+                    Ok(Expr::Least(bound))
+                }
+                "greatest" => {
+                    require_args(name, &bound, 1)?;
+                    Ok(Expr::Greatest(bound))
+                }
+                "coalesce" => {
+                    require_args(name, &bound, 1)?;
+                    Ok(Expr::Coalesce(bound))
+                }
+                "random" => {
+                    if !bound.is_empty() {
+                        return Err(DbError::Plan("random() takes no arguments".into()));
+                    }
+                    Ok(Expr::Random { seed: cat.next_random_seed() })
+                }
+                other => match cat.udf(other) {
+                    Some(func) => {
+                        Ok(Expr::Udf { name: other.to_string(), func, args: bound })
+                    }
+                    None => Err(DbError::Plan(format!("unknown function {other}()"))),
+                },
+            }
+        }
+        AstExpr::Cmp { .. } | AstExpr::And(..) | AstExpr::IsNull { .. } => {
+            Err(DbError::Plan("boolean expression used as a value".into()))
+        }
+    }
+}
+
+/// Checks a variadic function has at least `min` arguments.
+fn require_args(name: &str, args: &[Expr], min: usize) -> DbResult<()> {
+    if args.len() < min {
+        Err(DbError::Plan(format!("{name}() needs at least {min} argument(s)")))
+    } else {
+        Ok(())
+    }
+}
+
+/// Derives the output field for a bound select item.
+fn output_field(
+    bound: &Expr,
+    ast: &AstExpr,
+    alias: Option<&str>,
+    index: usize,
+    input_types: &[DataType],
+    input_nullables: &[bool],
+) -> DbResult<Field> {
+    let name = match alias {
+        Some(a) => a.to_string(),
+        None => match ast {
+            AstExpr::Column { name, .. } => name.clone(),
+            _ => format!("col{index}"),
+        },
+    };
+    let dtype = bound.output_type(input_types)?;
+    let mut f = Field::new(name, dtype);
+    f.nullable = infer_nullable(bound, input_nullables);
+    Ok(f)
+}
+
+/// Conservative nullability inference for projection outputs.
+fn infer_nullable(e: &Expr, input_nullables: &[bool]) -> bool {
+    match e {
+        Expr::Column(i) => input_nullables.get(*i).copied().unwrap_or(true),
+        Expr::LitInt(_) | Expr::LitDouble(_) | Expr::Random { .. } => false,
+        Expr::Null => true,
+        // least/greatest/coalesce yield NULL only when all arguments do.
+        Expr::Least(a) | Expr::Greatest(a) | Expr::Coalesce(a) => {
+            a.iter().all(|e| infer_nullable(e, input_nullables))
+        }
+        Expr::Udf { args, .. } => args.iter().any(|e| infer_nullable(e, input_nullables)),
+        Expr::Cmp { .. } | Expr::And(..) | Expr::IsNull { .. } => true,
+    }
+}
+
+/// Plans a select core with aggregation: splits each item into
+/// pre-aggregation inputs and a post-aggregation projection.
+fn plan_aggregate_select(
+    core: &SelectCore,
+    cat: &dyn PlannerCatalog,
+    input: Plan,
+    scope: &Scope,
+) -> DbResult<(Plan, Schema)> {
+    // Group columns must be plain column references.
+    let mut group_cols: Vec<usize> = Vec::with_capacity(core.group_by.len());
+    for g in &core.group_by {
+        let AstExpr::Column { qualifier, name } = g else {
+            return Err(DbError::Plan(
+                "GROUP BY supports only column references".into(),
+            ));
+        };
+        group_cols.push(scope.resolve(qualifier.as_deref(), name)?);
+    }
+
+    let mut aggs: Vec<AggExpr> = Vec::new();
+    let mut post_exprs: Vec<(Expr, Field)> = Vec::new();
+
+    // Post-aggregation scope: group columns first, then agg outputs.
+    let pre_types = scope.types();
+    let pre_nullables = scope.nullables();
+    let mut post_types: Vec<DataType> =
+        group_cols.iter().map(|&c| pre_types[c]).collect();
+    let mut post_nullables: Vec<bool> =
+        group_cols.iter().map(|&c| pre_nullables[c]).collect();
+
+    for (i, item) in core.items.iter().enumerate() {
+        let bound = bind_agg_item(
+            &item.expr,
+            scope,
+            cat,
+            &group_cols,
+            &mut aggs,
+            &mut post_types,
+            &mut post_nullables,
+        )?;
+        let name = match item.alias.as_deref() {
+            Some(a) => a.to_string(),
+            None => match &item.expr {
+                AstExpr::Column { name, .. } => name.clone(),
+                _ => format!("col{i}"),
+            },
+        };
+        let dtype = bound.output_type(&post_types)?;
+        let mut f = Field::new(name, dtype);
+        f.nullable = infer_nullable(&bound, &post_nullables);
+        post_exprs.push((bound, f));
+    }
+
+    // HAVING binds in the same post-aggregation space as the select
+    // items (it may introduce additional aggregate computations).
+    let having = match &core.having {
+        Some(h) => Some(bind_agg_predicate(
+            h,
+            scope,
+            cat,
+            &group_cols,
+            &mut aggs,
+            &mut post_types,
+            &mut post_nullables,
+        )?),
+        None => None,
+    };
+    let mut plan = Plan::Aggregate { input: Box::new(input), group_cols, aggs };
+    if let Some(pred) = having {
+        plan = Plan::Filter { input: Box::new(plan), pred };
+    }
+    let schema = crate::ops::build_schema_allow_dups(
+        post_exprs.iter().map(|(_, f)| f.clone()).collect(),
+    );
+    Ok((Plan::Project { input: Box::new(plan), exprs: post_exprs }, schema))
+}
+
+/// Binds a HAVING predicate in the post-aggregation space.
+#[allow(clippy::too_many_arguments)]
+fn bind_agg_predicate(
+    ast: &AstExpr,
+    scope: &Scope,
+    cat: &dyn PlannerCatalog,
+    group_cols: &[usize],
+    aggs: &mut Vec<AggExpr>,
+    post_types: &mut Vec<DataType>,
+    post_nullables: &mut Vec<bool>,
+) -> DbResult<Expr> {
+    match ast {
+        AstExpr::And(l, r) => Ok(Expr::And(
+            Box::new(bind_agg_predicate(l, scope, cat, group_cols, aggs, post_types, post_nullables)?),
+            Box::new(bind_agg_predicate(r, scope, cat, group_cols, aggs, post_types, post_nullables)?),
+        )),
+        AstExpr::Cmp { op, left, right } => Ok(Expr::Cmp {
+            op: *op,
+            left: Box::new(bind_agg_item(left, scope, cat, group_cols, aggs, post_types, post_nullables)?),
+            right: Box::new(bind_agg_item(right, scope, cat, group_cols, aggs, post_types, post_nullables)?),
+        }),
+        AstExpr::IsNull { expr, negated } => Ok(Expr::IsNull {
+            expr: Box::new(bind_agg_item(expr, scope, cat, group_cols, aggs, post_types, post_nullables)?),
+            negated: *negated,
+        }),
+        other => Err(DbError::Plan(format!("expected a boolean HAVING condition, got {other:?}"))),
+    }
+}
+
+/// Binds one select item in an aggregation context: aggregate calls map
+/// to aggregate outputs; bare columns must be grouped.
+#[allow(clippy::too_many_arguments)]
+fn bind_agg_item(
+    ast: &AstExpr,
+    scope: &Scope,
+    cat: &dyn PlannerCatalog,
+    group_cols: &[usize],
+    aggs: &mut Vec<AggExpr>,
+    post_types: &mut Vec<DataType>,
+    post_nullables: &mut Vec<bool>,
+) -> DbResult<Expr> {
+    match ast {
+        AstExpr::Column { qualifier, name } => {
+            let idx = scope.resolve(qualifier.as_deref(), name)?;
+            match group_cols.iter().position(|&g| g == idx) {
+                Some(pos) => Ok(Expr::Column(pos)),
+                None => Err(DbError::Plan(format!(
+                    "column {:?} must appear in GROUP BY or inside an aggregate",
+                    display_col(qualifier.as_deref(), name)
+                ))),
+            }
+        }
+        AstExpr::Int(v) => Ok(Expr::LitInt(*v)),
+        AstExpr::Float(v) => Ok(Expr::LitDouble(*v)),
+        AstExpr::Null => Ok(Expr::Null),
+        AstExpr::Star => Err(DbError::Plan("'*' is only valid inside count(*)".into())),
+        AstExpr::Call { name, args } if is_aggregate_name(name) => {
+            let func = match name.as_str() {
+                "min" => AggFunc::Min,
+                "max" => AggFunc::Max,
+                "count" => AggFunc::Count,
+                "sum" => AggFunc::Sum,
+                _ => unreachable!("is_aggregate_name"),
+            };
+            if args.iter().any(AstExpr::contains_aggregate) {
+                return Err(DbError::Plan("nested aggregates are not allowed".into()));
+            }
+            let input = match (func, args.as_slice()) {
+                (AggFunc::Count, [AstExpr::Star]) => Expr::LitInt(1),
+                (_, [arg]) => bind_scalar(arg, scope, cat)?,
+                _ => {
+                    return Err(DbError::Plan(format!(
+                        "{name}() takes exactly one argument"
+                    )))
+                }
+            };
+            let in_type = input.output_type(&scope.types())?;
+            let out_type = func.output_type(in_type);
+            let pos = group_cols.len() + aggs.len();
+            aggs.push(AggExpr { func, input });
+            post_types.push(out_type);
+            post_nullables.push(!matches!(func, AggFunc::Count));
+            Ok(Expr::Column(pos))
+        }
+        AstExpr::Call { name, args } => {
+            let bound: Vec<Expr> = args
+                .iter()
+                .map(|a| {
+                    bind_agg_item(a, scope, cat, group_cols, aggs, post_types, post_nullables)
+                })
+                .collect::<DbResult<_>>()?;
+            match name.as_str() {
+                "least" => Ok(Expr::Least(bound)),
+                "greatest" => Ok(Expr::Greatest(bound)),
+                "coalesce" => Ok(Expr::Coalesce(bound)),
+                "random" => Err(DbError::Plan(
+                    "random() is not allowed in an aggregated select list".into(),
+                )),
+                other => match cat.udf(other) {
+                    Some(func) => {
+                        Ok(Expr::Udf { name: other.to_string(), func, args: bound })
+                    }
+                    None => Err(DbError::Plan(format!("unknown function {other}()"))),
+                },
+            }
+        }
+        AstExpr::Cmp { .. } | AstExpr::And(..) | AstExpr::IsNull { .. } => {
+            Err(DbError::Plan("boolean expression used as a value".into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse_statement;
+    use crate::sql::Statement;
+    use crate::value::DataType;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct FakeCat {
+        seed: AtomicU64,
+    }
+
+    impl PlannerCatalog for FakeCat {
+        fn table_schema(&self, name: &str) -> DbResult<Schema> {
+            match name {
+                "e" => Ok(Schema::new(vec![
+                    Field::new("v1", DataType::Int64),
+                    Field::new("v2", DataType::Int64),
+                ])),
+                "r" => Ok(Schema::new(vec![
+                    Field::new("v", DataType::Int64),
+                    Field::new("rep", DataType::Int64),
+                ])),
+                _ => Err(DbError::Catalog(format!("no table {name}"))),
+            }
+        }
+
+        fn udf(&self, name: &str) -> Option<Arc<dyn ScalarUdf>> {
+            if name == "axplusb" {
+                struct Ax;
+                impl ScalarUdf for Ax {
+                    fn eval(&self, _args: &[crate::value::Datum]) -> crate::value::Datum {
+                        crate::value::Datum::Int(0)
+                    }
+                }
+                Some(Arc::new(Ax))
+            } else {
+                None
+            }
+        }
+
+        fn next_random_seed(&self) -> u64 {
+            self.seed.fetch_add(1, Ordering::Relaxed)
+        }
+    }
+
+    fn plan(sql: &str) -> DbResult<Plan> {
+        let cat = FakeCat { seed: AtomicU64::new(0) };
+        match parse_statement(sql).unwrap() {
+            Statement::Select(q) => plan_query(&q, &cat),
+            Statement::CreateTableAs { query, .. } => plan_query(&query, &cat),
+            _ => panic!("not a query"),
+        }
+    }
+
+    #[test]
+    fn plans_group_by_with_nested_aggregate() {
+        let p = plan(
+            "select v1 v, least(axplusb(3, v1, 5), min(axplusb(3, v2, 5))) rep \
+             from e group by v1",
+        )
+        .unwrap();
+        // Project over Aggregate over Scan.
+        let Plan::Project { input, exprs } = p else { panic!("expected project") };
+        assert_eq!(exprs.len(), 2);
+        let Plan::Aggregate { group_cols, aggs, .. } = *input else {
+            panic!("expected aggregate")
+        };
+        assert_eq!(group_cols, vec![0]);
+        assert_eq!(aggs.len(), 1);
+    }
+
+    #[test]
+    fn plans_three_way_comma_join() {
+        let p = plan(
+            "select distinct av.rep as v1, aw.rep as v2 \
+             from e, r as av, r as aw \
+             where e.v1 = av.v and e.v2 = aw.v and av.rep != aw.rep",
+        )
+        .unwrap();
+        // Distinct(Project(Filter(Join(Join(e, av), aw)))).
+        let Plan::Distinct { input } = p else { panic!("expected distinct") };
+        let Plan::Project { input, .. } = *input else { panic!("expected project") };
+        let Plan::Filter { input, .. } = *input else { panic!("expected filter") };
+        let Plan::Join { left, .. } = *input else { panic!("expected join") };
+        assert!(matches!(*left, Plan::Join { .. }));
+    }
+
+    #[test]
+    fn plans_left_outer_join() {
+        let p = plan(
+            "select l.v as v, coalesce(rr.rep, axplusb(1, l.rep, 0)) as rep \
+             from r as l left outer join r as rr on (l.rep = rr.v)",
+        )
+        .unwrap();
+        let Plan::Project { input, .. } = p else { panic!() };
+        let Plan::Join { join_type, l_keys, r_keys, .. } = *input else { panic!() };
+        assert_eq!(join_type, JoinType::LeftOuter);
+        assert_eq!(l_keys, vec![1]);
+        assert_eq!(r_keys, vec![0]);
+    }
+
+    #[test]
+    fn rejects_cartesian_product() {
+        let err = plan("select e.v1 from e, r as x").unwrap_err();
+        assert!(err.to_string().contains("Cartesian"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_column_and_function() {
+        assert!(plan("select nosuch from e").is_err());
+        assert!(plan("select frob(v1) from e").is_err());
+    }
+
+    #[test]
+    fn rejects_ungrouped_column() {
+        let err = plan("select v1, min(v2) from e group by v2").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nested_aggregate() {
+        assert!(plan("select min(min(v1)) from e").is_err());
+    }
+
+    #[test]
+    fn count_star_binds() {
+        let p = plan("select count(*) as n from e").unwrap();
+        let Plan::Project { input, .. } = p else { panic!() };
+        let Plan::Aggregate { aggs, group_cols, .. } = *input else { panic!() };
+        assert!(group_cols.is_empty());
+        assert_eq!(aggs.len(), 1);
+        assert!(matches!(aggs[0].func, AggFunc::Count));
+    }
+
+    #[test]
+    fn union_all_arity_checked() {
+        assert!(plan("select v1 from e union all select v1, v2 from e").is_err());
+        assert!(plan("select v1 from e union all select v2 from e").is_ok());
+    }
+
+    #[test]
+    fn from_less_select_plans() {
+        let p = plan("select 1 as a").unwrap();
+        let Plan::Project { input, .. } = p else { panic!() };
+        assert!(matches!(*input, Plan::OneRow));
+    }
+
+    #[test]
+    fn subquery_requires_alias() {
+        assert!(plan("select v from (select v1 as v from e)").is_err());
+        assert!(plan("select s.v from (select v1 as v from e) as s").is_ok());
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        // v appears in both r instances.
+        let err =
+            plan("select v from r as a, r as b where a.rep = b.v").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn random_gets_distinct_seeds() {
+        let cat = FakeCat { seed: AtomicU64::new(0) };
+        let Statement::Select(q) =
+            parse_statement("select random() as a, random() as b from e").unwrap()
+        else {
+            panic!()
+        };
+        let p = plan_query(&q, &cat).unwrap();
+        let Plan::Project { exprs, .. } = p else { panic!() };
+        let seeds: Vec<u64> = exprs
+            .iter()
+            .filter_map(|(e, _)| match e {
+                Expr::Random { seed } => Some(*seed),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seeds.len(), 2);
+        assert_ne!(seeds[0], seeds[1]);
+    }
+}

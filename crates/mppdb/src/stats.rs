@@ -1,0 +1,214 @@
+//! Cluster-wide resource accounting.
+//!
+//! The paper's evaluation reports three resource metrics besides wall
+//! time: maximum space in use at any moment (Table IV), total bytes
+//! written over the whole run (Table V, the "transaction" cost), and —
+//! implicitly, in the Section V-C discussion of randomisation methods —
+//! the amount of data moved between segments. This module tracks all
+//! three with atomic counters charged by the storage and exchange
+//! layers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Atomic resource counters shared across the cluster's threads.
+#[derive(Debug, Default)]
+pub struct Stats {
+    live_bytes: AtomicU64,
+    max_live_bytes: AtomicU64,
+    bytes_written: AtomicU64,
+    rows_written: AtomicU64,
+    network_bytes: AtomicU64,
+    queries: AtomicU64,
+    space_limit: AtomicU64, // 0 = unlimited
+    /// Transaction mode: dropped tables' space is not reclaimed until
+    /// commit — the paper's Table V argument ("most databases delete
+    /// temporary tables only at the successful completion of the whole
+    /// algorithm").
+    defer_credits: AtomicBool,
+    deferred_bytes: AtomicU64,
+}
+
+impl Stats {
+    /// Fresh counters, unlimited space.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Sets the space guard; 0 disables it. Returns nothing — checks
+    /// happen on the next charge.
+    pub fn set_space_limit(&self, bytes: u64) {
+        self.space_limit.store(bytes, Ordering::Relaxed);
+    }
+
+    /// The configured space guard (0 = unlimited).
+    pub fn space_limit(&self) -> u64 {
+        self.space_limit.load(Ordering::Relaxed)
+    }
+
+    /// Charges a table creation: `bytes` live storage and write volume,
+    /// `rows` written rows. Returns the new live total so callers can
+    /// test it against the limit.
+    pub fn charge_create(&self, bytes: u64, rows: u64) -> u64 {
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.rows_written.fetch_add(rows, Ordering::Relaxed);
+        let live = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.max_live_bytes.fetch_max(live, Ordering::Relaxed);
+        live
+    }
+
+    /// Credits a dropped table's bytes back — or defers the credit in
+    /// transaction mode, so peak space equals total bytes written.
+    pub fn credit_drop(&self, bytes: u64) {
+        if self.defer_credits.load(Ordering::Relaxed) {
+            self.deferred_bytes.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.live_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Enables or disables transaction mode (deferred space credits).
+    pub fn set_transactional(&self, on: bool) {
+        self.defer_credits.store(on, Ordering::Relaxed);
+    }
+
+    /// Commits a transaction: reclaims all deferred space at once.
+    pub fn commit(&self) {
+        let deferred = self.deferred_bytes.swap(0, Ordering::Relaxed);
+        self.live_bytes.fetch_sub(deferred, Ordering::Relaxed);
+    }
+
+    /// Charges bytes moved across segments by an exchange.
+    pub fn charge_network(&self, bytes: u64) {
+        self.network_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Counts one executed statement.
+    pub fn count_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current live bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            live_bytes: self.live_bytes.load(Ordering::Relaxed),
+            max_live_bytes: self.max_live_bytes.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            rows_written: self.rows_written.load(Ordering::Relaxed),
+            network_bytes: self.network_bytes.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the run-scoped counters (high-water mark, written bytes,
+    /// network, query count) while keeping live bytes — used between
+    /// benchmark runs so each algorithm is measured from its input
+    /// tables only.
+    pub fn reset_run_counters(&self) {
+        let live = self.live_bytes.load(Ordering::Relaxed);
+        self.max_live_bytes.store(live, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.rows_written.store(0, Ordering::Relaxed);
+        self.network_bytes.store(0, Ordering::Relaxed);
+        self.queries.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the cluster counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Bytes of live table storage right now.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes — the paper's Table IV metric.
+    pub max_live_bytes: u64,
+    /// Cumulative bytes written — the paper's Table V metric.
+    pub bytes_written: u64,
+    /// Cumulative rows written.
+    pub rows_written: u64,
+    /// Bytes exchanged between segments.
+    pub network_bytes: u64,
+    /// Statements executed.
+    pub queries: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference against an earlier snapshot (for run-scoped metrics
+    /// without resetting the shared counters).
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            live_bytes: self.live_bytes,
+            max_live_bytes: self.max_live_bytes,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            rows_written: self.rows_written - earlier.rows_written,
+            network_bytes: self.network_bytes - earlier.network_bytes,
+            queries: self.queries - earlier.queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_credit() {
+        let s = Stats::new();
+        assert_eq!(s.charge_create(100, 10), 100);
+        assert_eq!(s.charge_create(50, 5), 150);
+        s.credit_drop(100);
+        let snap = s.snapshot();
+        assert_eq!(snap.live_bytes, 50);
+        assert_eq!(snap.max_live_bytes, 150);
+        assert_eq!(snap.bytes_written, 150);
+        assert_eq!(snap.rows_written, 15);
+    }
+
+    #[test]
+    fn high_water_mark_survives_drops() {
+        let s = Stats::new();
+        s.charge_create(1000, 1);
+        s.credit_drop(1000);
+        s.charge_create(10, 1);
+        assert_eq!(s.snapshot().max_live_bytes, 1000);
+    }
+
+    #[test]
+    fn reset_run_counters_keeps_live() {
+        let s = Stats::new();
+        s.charge_create(100, 10);
+        s.charge_network(7);
+        s.count_query();
+        s.reset_run_counters();
+        let snap = s.snapshot();
+        assert_eq!(snap.live_bytes, 100);
+        assert_eq!(snap.max_live_bytes, 100);
+        assert_eq!(snap.bytes_written, 0);
+        assert_eq!(snap.network_bytes, 0);
+        assert_eq!(snap.queries, 0);
+    }
+
+    #[test]
+    fn delta_since() {
+        let s = Stats::new();
+        s.charge_create(100, 10);
+        let t0 = s.snapshot();
+        s.charge_create(25, 2);
+        s.charge_network(9);
+        let d = s.snapshot().delta_since(&t0);
+        assert_eq!(d.bytes_written, 25);
+        assert_eq!(d.rows_written, 2);
+        assert_eq!(d.network_bytes, 9);
+    }
+
+    #[test]
+    fn space_limit_roundtrip() {
+        let s = Stats::new();
+        assert_eq!(s.space_limit(), 0);
+        s.set_space_limit(1 << 20);
+        assert_eq!(s.space_limit(), 1 << 20);
+    }
+}

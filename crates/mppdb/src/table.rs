@@ -1,0 +1,81 @@
+//! Stored tables: schema + partitioned data + distribution policy.
+
+use crate::batch::Batch;
+use crate::schema::Schema;
+use std::sync::Arc;
+
+/// How a table's rows are spread across the cluster's segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Distribution {
+    /// Hash-partitioned on the given column indices — the MPP default
+    /// and what `DISTRIBUTED BY (col)` produces. Rows with equal key
+    /// values land on the same segment, which is what makes co-located
+    /// joins and aggregations possible.
+    Hash(Vec<usize>),
+    /// No guaranteed placement (round-robin load balancing).
+    Arbitrary,
+}
+
+impl Distribution {
+    /// True when the table is hash-distributed on exactly `cols`.
+    pub fn is_hash_on(&self, cols: &[usize]) -> bool {
+        matches!(self, Distribution::Hash(c) if c == cols)
+    }
+}
+
+/// An immutable stored table. Cloning is cheap; partitions are shared.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Output schema.
+    pub schema: Schema,
+    /// One batch per segment.
+    pub partitions: Arc<Vec<Batch>>,
+    /// Placement policy the partitions satisfy.
+    pub distribution: Distribution,
+}
+
+impl Table {
+    /// Builds a table from parts.
+    pub fn new(schema: Schema, partitions: Vec<Batch>, distribution: Distribution) -> Table {
+        Table { schema, partitions: Arc::new(partitions), distribution }
+    }
+
+    /// Total rows across partitions.
+    pub fn row_count(&self) -> usize {
+        self.partitions.iter().map(Batch::rows).sum()
+    }
+
+    /// Logical size in bytes across partitions.
+    pub fn byte_size(&self) -> u64 {
+        self.partitions.iter().map(Batch::byte_size).sum()
+    }
+
+    /// Number of partitions (segments).
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Column;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    #[test]
+    fn table_accounting() {
+        let schema = Schema::new(vec![Field::new("v", DataType::Int64)]);
+        let parts = vec![
+            Batch::from_columns(vec![Column::from_ints(vec![1, 2])]),
+            Batch::from_columns(vec![Column::from_ints(vec![3])]),
+        ];
+        let t = Table::new(schema, parts, Distribution::Hash(vec![0]));
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.byte_size(), 24);
+        assert_eq!(t.partition_count(), 2);
+        assert!(t.distribution.is_hash_on(&[0]));
+        assert!(!t.distribution.is_hash_on(&[1]));
+        assert!(!Distribution::Arbitrary.is_hash_on(&[0]));
+    }
+}

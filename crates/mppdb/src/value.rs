@@ -1,0 +1,143 @@
+//! Scalar values and types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The column data types the engine supports.
+///
+/// The paper's workload is 64-bit integer vertex IDs throughout;
+/// `Float64` exists for the *random reals* randomisation method, which
+/// draws a uniform real per vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (vertex IDs, labels, counts).
+    Int64,
+    /// 64-bit IEEE float (random reals).
+    Float64,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int64 => write!(f, "bigint"),
+            DataType::Float64 => write!(f, "double precision"),
+        }
+    }
+}
+
+/// A single scalar value, possibly NULL.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Datum {
+    /// SQL NULL.
+    Null,
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Double(f64),
+}
+
+impl Datum {
+    /// True for [`Datum::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// The value as an integer, or `None` if NULL or a float.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers widen losslessly enough for the
+    /// engine's comparison purposes.
+    #[inline]
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Datum::Double(v) => Some(*v),
+            Datum::Int(v) => Some(*v as f64),
+            Datum::Null => None,
+        }
+    }
+
+    /// The type of a non-null datum.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Datum::Null => None,
+            Datum::Int(_) => Some(DataType::Int64),
+            Datum::Double(_) => Some(DataType::Float64),
+        }
+    }
+
+    /// SQL comparison semantics: NULL compares as unknown (`None`);
+    /// numerics compare cross-type through f64 widening.
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        match (self, other) {
+            (Datum::Null, _) | (_, Datum::Null) => None,
+            (Datum::Int(a), Datum::Int(b)) => Some(a.cmp(b)),
+            _ => self.as_double()?.partial_cmp(&other.as_double()?),
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Double(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::Int(v)
+    }
+}
+
+impl From<f64> for Datum {
+    fn from(v: f64) -> Self {
+        Datum::Double(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_predicates() {
+        assert!(Datum::Null.is_null());
+        assert!(!Datum::Int(0).is_null());
+        assert_eq!(Datum::Null.as_int(), None);
+        assert_eq!(Datum::Int(5).as_int(), Some(5));
+        assert_eq!(Datum::Double(2.5).as_int(), None);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(Datum::Int(1).sql_cmp(&Datum::Int(2)), Some(Ordering::Less));
+        assert_eq!(Datum::Int(2).sql_cmp(&Datum::Double(2.0)), Some(Ordering::Equal));
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Int(1)), None);
+        assert_eq!(Datum::Double(3.5).sql_cmp(&Datum::Int(3)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Datum::Null.to_string(), "NULL");
+        assert_eq!(Datum::Int(-7).to_string(), "-7");
+        assert_eq!(DataType::Int64.to_string(), "bigint");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Datum::from(3i64), Datum::Int(3));
+        assert_eq!(Datum::from(0.5f64), Datum::Double(0.5));
+        assert_eq!(Datum::Int(4).data_type(), Some(DataType::Int64));
+        assert_eq!(Datum::Null.data_type(), None);
+    }
+}

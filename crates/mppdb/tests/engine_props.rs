@@ -1,0 +1,243 @@
+//! Property tests pitting the distributed engine against naive
+//! single-threaded reference implementations: whatever the partitioning,
+//! exchange placement and fast paths do, the relational semantics must
+//! be exactly those of the obvious nested-loop/sort evaluation.
+
+use incc_mppdb::{Cluster, ClusterConfig, Datum, ExecutionProfile};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A small random table: rows of (key, value) with keys drawn from a
+/// narrow domain so joins and groups actually collide.
+fn arb_table() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((-8i64..8, -100i64..100), 0..40)
+}
+
+fn load(db: &Cluster, name: &str, rows: &[(i64, i64)]) {
+    db.load_pairs(name, "k", "x", rows).unwrap();
+}
+
+fn sorted(mut rows: Vec<Vec<i64>>) -> Vec<Vec<i64>> {
+    rows.sort();
+    rows
+}
+
+fn query_ints(db: &Cluster, sql: &str) -> Vec<Vec<i64>> {
+    db.query(sql)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.into_iter().map(|d| d.as_int().expect("int")).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inner equi-join == nested loop join, under both profiles.
+    #[test]
+    fn join_matches_nested_loop(a in arb_table(), b in arb_table(), external: bool) {
+        let profile = if external {
+            ExecutionProfile::External
+        } else {
+            ExecutionProfile::Colocated
+        };
+        let db = Cluster::new(ClusterConfig { segments: 4, profile, ..Default::default() });
+        load(&db, "a", &a);
+        load(&db, "b", &b);
+        let got = sorted(query_ints(
+            &db,
+            "select a.k, a.x, b.x from a, b where a.k = b.k",
+        ));
+        let mut expect = Vec::new();
+        for &(ka, xa) in &a {
+            for &(kb, xb) in &b {
+                if ka == kb {
+                    expect.push(vec![ka, xa, xb]);
+                }
+            }
+        }
+        prop_assert_eq!(got, sorted(expect));
+    }
+
+    /// Left outer join == nested loop + null padding (checked on the
+    /// count of padded rows; values carry NULL so they leave the int
+    /// domain).
+    #[test]
+    fn left_join_pads_unmatched(a in arb_table(), b in arb_table()) {
+        let db = Cluster::new(ClusterConfig { segments: 4, ..Default::default() });
+        load(&db, "a", &a);
+        load(&db, "b", &b);
+        let rows = db
+            .query("select a.k, b.x from a left outer join b on (a.k = b.k)")
+            .unwrap();
+        let match_count: usize = a
+            .iter()
+            .map(|&(ka, _)| b.iter().filter(|&&(kb, _)| ka == kb).count().max(1))
+            .sum();
+        prop_assert_eq!(rows.len(), match_count);
+        let nulls = rows.iter().filter(|r| r[1].is_null()).count();
+        let unmatched = a
+            .iter()
+            .filter(|&&(ka, _)| !b.iter().any(|&(kb, _)| ka == kb))
+            .count();
+        prop_assert_eq!(nulls, unmatched);
+    }
+
+    /// GROUP BY min/max/count/sum == HashMap fold.
+    #[test]
+    fn aggregate_matches_fold(a in arb_table()) {
+        let db = Cluster::new(ClusterConfig { segments: 4, ..Default::default() });
+        load(&db, "a", &a);
+        let got = sorted(query_ints(
+            &db,
+            "select k, min(x), max(x), count(*), sum(x) from a group by k",
+        ));
+        let mut folds: HashMap<i64, (i64, i64, i64, i64)> = HashMap::new();
+        for &(k, x) in &a {
+            let e = folds.entry(k).or_insert((i64::MAX, i64::MIN, 0, 0));
+            e.0 = e.0.min(x);
+            e.1 = e.1.max(x);
+            e.2 += 1;
+            e.3 += x;
+        }
+        let expect: Vec<Vec<i64>> = folds
+            .into_iter()
+            .map(|(k, (mn, mx, c, s))| vec![k, mn, mx, c, s])
+            .collect();
+        prop_assert_eq!(got, sorted(expect));
+    }
+
+    /// DISTINCT == set dedup, regardless of partitioning.
+    #[test]
+    fn distinct_matches_set(a in arb_table(), external: bool) {
+        let profile = if external {
+            ExecutionProfile::External
+        } else {
+            ExecutionProfile::Colocated
+        };
+        let db = Cluster::new(ClusterConfig { segments: 4, profile, ..Default::default() });
+        load(&db, "a", &a);
+        let got = sorted(query_ints(&db, "select distinct k, x from a"));
+        let mut set: Vec<Vec<i64>> = a
+            .iter()
+            .map(|&(k, x)| vec![k, x])
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .collect();
+        set.sort();
+        prop_assert_eq!(got, set);
+    }
+
+    /// Filters: the engine's WHERE equals the predicate applied in Rust.
+    #[test]
+    fn filter_matches_predicate(a in arb_table(), threshold in -100i64..100) {
+        let db = Cluster::new(ClusterConfig { segments: 4, ..Default::default() });
+        load(&db, "a", &a);
+        let got = sorted(query_ints(&db, &format!(
+            "select k, x from a where x >= {threshold} and k != 0"
+        )));
+        let expect: Vec<Vec<i64>> = a
+            .iter()
+            .filter(|&&(k, x)| x >= threshold && k != 0)
+            .map(|&(k, x)| vec![k, x])
+            .collect();
+        prop_assert_eq!(got, sorted(expect));
+    }
+
+    /// ORDER BY really sorts, and LIMIT takes a prefix of that order.
+    #[test]
+    fn order_by_sorts(a in arb_table(), limit in 0usize..20) {
+        let db = Cluster::new(ClusterConfig { segments: 4, ..Default::default() });
+        load(&db, "a", &a);
+        let rows = query_ints(&db, &format!(
+            "select k, x from a order by k, x desc limit {limit}"
+        ));
+        prop_assert!(rows.len() <= limit.min(a.len()));
+        for w in rows.windows(2) {
+            prop_assert!(
+                w[0][0] < w[1][0] || (w[0][0] == w[1][0] && w[0][1] >= w[1][1]),
+                "not sorted: {w:?}"
+            );
+        }
+        // The full ordered result has all rows.
+        let all = query_ints(&db, "select k, x from a order by k, x desc");
+        prop_assert_eq!(all.len(), a.len());
+    }
+
+    /// The distribution/exchange machinery never changes the multiset
+    /// of rows: a CTAS re-distributed by any column scans back the same.
+    #[test]
+    fn redistribution_preserves_rows(a in arb_table(), by_second: bool) {
+        let db = Cluster::new(ClusterConfig { segments: 4, ..Default::default() });
+        load(&db, "a", &a);
+        let col = if by_second { "x" } else { "k" };
+        db.run(&format!("create table moved as select k, x from a distributed by ({col})"))
+            .unwrap();
+        let mut got = db.scan_pairs("moved").unwrap();
+        let mut expect = a.clone();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn fast_and_slow_join_paths_agree_on_nulls() {
+    // The int fast path must not engage when NULLs exist; verify the
+    // NULL-key rows never match (SQL semantics).
+    let db = Cluster::new(ClusterConfig::default());
+    db.run(
+        "create table a as select 1 as k, 10 as x union all select null as k, 20 as x",
+    )
+    .unwrap();
+    db.run(
+        "create table b as select 1 as k, 30 as x union all select null as k, 40 as x",
+    )
+    .unwrap();
+    let rows = db.query("select a.x, b.x from a, b where a.k = b.k").unwrap();
+    assert_eq!(rows, vec![vec![Datum::Int(10), Datum::Int(30)]]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The optimizer must be semantically invisible: any query of this
+    /// family returns identical rows with it on and off.
+    #[test]
+    fn optimizer_preserves_semantics(
+        a in arb_table(),
+        b in arb_table(),
+        threshold in -50i64..50,
+        outer: bool,
+    ) {
+        let run = |optimize: bool| {
+            let db = Cluster::new(ClusterConfig {
+                segments: 4,
+                optimize,
+                ..Default::default()
+            });
+            load(&db, "a", &a);
+            load(&db, "b", &b);
+            let sql = if outer {
+                format!(
+                    "select a.k, a.x, b.x from a left outer join b on (a.k = b.k) \
+                     where a.x >= {threshold} and 1 = 1"
+                )
+            } else {
+                format!(
+                    "select a.k, a.x, b.x from a, b \
+                     where a.k = b.k and a.x >= {threshold} and b.x < 90 and 2 > 1"
+                )
+            };
+            let mut rows: Vec<Vec<String>> = db
+                .query(&sql)
+                .unwrap()
+                .into_iter()
+                .map(|r| r.into_iter().map(|d| d.to_string()).collect())
+                .collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}

@@ -1,0 +1,17 @@
+//! Example binaries for the in-database connected-components library.
+//!
+//! Run with `cargo run -p incc-examples --release --bin <name>`:
+//!
+//! * `quickstart` — the five-minute tour: load edges, run Randomised
+//!   Contraction, inspect the result, see the worst case that motivates
+//!   randomisation.
+//! * `bitcoin_clustering` — the paper's flagship application: entity
+//!   clustering of a (synthetic) Bitcoin address graph.
+//! * `image_segmentation` — connected components as image segmentation,
+//!   with an ASCII rendering of the segments.
+//! * `sql_shell` — an interactive SQL prompt on the MPP engine, with
+//!   the paper's `axplusb` UDF preloaded (try `explain analyze …`).
+//! * `snap_import` — import a SNAP edge-list file, analyse it
+//!   in-database, export the component labelling as CSV.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,58 @@
+//! Cross-checks between the SQL algorithms and their in-memory
+//! mirrors: identical partitions on shared inputs, and the round-count
+//! trends the mirrors exist to measure.
+
+use incc_core::driver::run_on_graph;
+use incc_core::mirror::{cracker_mirror, hash_to_min_mirror, rc_mirror, two_phase_mirror};
+use incc_core::{cracker::Cracker, hash_to_min::HashToMin, two_phase::TwoPhase};
+use incc_ffield::Method;
+use incc_graph::generators::{gnm_random_graph, path_graph, PathNumbering};
+use incc_graph::union_find::labellings_equivalent;
+use incc_mppdb::{Cluster, ClusterConfig};
+
+#[test]
+fn mirrors_agree_with_sql_twins() {
+    let g = gnm_random_graph(150, 240, 17);
+    let db = Cluster::new(ClusterConfig::default());
+
+    let sql_hm = run_on_graph(&HashToMin::default(), &db, &g, 1).unwrap();
+    let mem_hm = hash_to_min_mirror(&g.edges, 0).unwrap();
+    assert!(labellings_equivalent(&sql_hm.labels, &mem_hm.labels), "HM");
+
+    let sql_tp = run_on_graph(&TwoPhase::default(), &db, &g, 1).unwrap();
+    let mem_tp = two_phase_mirror(&g.edges);
+    assert!(labellings_equivalent(&sql_tp.labels, &mem_tp.labels), "TP");
+
+    let sql_cr = run_on_graph(&Cracker::default(), &db, &g, 1).unwrap();
+    let mem_cr = cracker_mirror(&g.edges);
+    assert!(labellings_equivalent(&sql_cr.labels, &mem_cr.labels), "CR");
+    // Cracker's pruning rounds are deterministic: counts must match.
+    assert_eq!(sql_cr.rounds, mem_cr.rounds, "CR round counts");
+
+    let mem_rc = rc_mirror(&g.edges, Method::Gf64, 1);
+    assert!(labellings_equivalent(&mem_rc.labels, &mem_tp.labels), "RC");
+}
+
+#[test]
+fn large_scale_round_trends() {
+    // RC rounds grow ~logarithmically on paths from 2^12 to 2^16
+    // vertices — an increase of at most a handful of rounds per 4x.
+    let mut prev = 0usize;
+    for shift in [12u32, 14, 16] {
+        let g = path_graph(1 << shift, PathNumbering::Sequential, 0);
+        let run = rc_mirror(&g.edges, Method::Gf64, 5);
+        assert!(
+            run.rounds <= prev + 14,
+            "rounds jumped {prev} -> {} at 2^{shift}",
+            run.rounds
+        );
+        assert!(run.rounds >= 8, "implausibly few rounds at 2^{shift}");
+        prev = run.rounds;
+    }
+    // Cracker's vertex pruning stays single-digit across the sweep.
+    for shift in [12u32, 14, 16] {
+        let g = gnm_random_graph(1 << shift, 2 << shift, 3);
+        let cr = cracker_mirror(&g.edges);
+        assert!(cr.rounds <= 8, "CR took {} rounds at 2^{shift}", cr.rounds);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests spanning the whole stack: random graphs in,
+//! exact component partitions out — for every algorithm, both
+//! execution profiles, and the randomisation-method invariants.
+
+use incc_core::driver::{run_on_graph, CcAlgorithm};
+use incc_core::{
+    cracker::Cracker, hash_to_min::HashToMin, two_phase::TwoPhase, RandomisedContraction,
+    SpaceVariant,
+};
+use incc_ffield::Method;
+use incc_graph::union_find::{connected_components, labellings_equivalent};
+use incc_graph::EdgeList;
+use incc_mppdb::{Cluster, ClusterConfig, ExecutionProfile};
+use proptest::prelude::*;
+
+/// A random small multigraph: arbitrary pairs over a small ID space,
+/// loops allowed (isolated-vertex markers), duplicates allowed.
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    proptest::collection::vec((0u64..60, 0u64..60), 1..120)
+        .prop_map(EdgeList::from_pairs)
+}
+
+/// A sparse random graph over scattered 61-bit IDs (exercises the
+/// finite-field domain handling).
+fn arb_sparse_wide_graph() -> impl Strategy<Value = EdgeList> {
+    proptest::collection::vec(
+        (0u64..(1 << 61) - 1, 0u64..(1 << 61) - 1),
+        1..40,
+    )
+    .prop_map(EdgeList::from_pairs)
+}
+
+fn check(algo: &dyn CcAlgorithm, g: &EdgeList, seed: u64, profile: ExecutionProfile) {
+    let db = Cluster::new(ClusterConfig { segments: 4, profile, ..Default::default() });
+    let report = run_on_graph(algo, &db, g, seed).expect("algorithm run");
+    let truth = connected_components(&g.edges);
+    prop_assert_with_panic(labellings_equivalent(&report.labels, &truth), algo, g);
+}
+
+fn prop_assert_with_panic(ok: bool, algo: &dyn CcAlgorithm, g: &EdgeList) {
+    assert!(ok, "{} produced a wrong partition for {:?}", algo.name(), g.edges);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rc_gf64_matches_union_find(g in arb_graph(), seed: u64) {
+        check(&RandomisedContraction::paper(), &g, seed, ExecutionProfile::Colocated);
+    }
+
+    #[test]
+    fn rc_gfp_matches_union_find(g in arb_graph(), seed: u64) {
+        check(
+            &RandomisedContraction::with(Method::Gfp, SpaceVariant::Fast),
+            &g,
+            seed,
+            ExecutionProfile::Colocated,
+        );
+    }
+
+    #[test]
+    fn rc_deterministic_matches_union_find(g in arb_graph(), seed: u64) {
+        check(
+            &RandomisedContraction::with(Method::Gf64, SpaceVariant::Deterministic),
+            &g,
+            seed,
+            ExecutionProfile::Colocated,
+        );
+    }
+
+    #[test]
+    fn rc_random_reals_matches_union_find(g in arb_graph(), seed: u64) {
+        check(
+            &RandomisedContraction::with(Method::RandomReals, SpaceVariant::Fast),
+            &g,
+            seed,
+            ExecutionProfile::Colocated,
+        );
+    }
+
+    #[test]
+    fn rc_wide_ids_match_union_find(g in arb_sparse_wide_graph(), seed: u64) {
+        check(&RandomisedContraction::paper(), &g, seed, ExecutionProfile::Colocated);
+        check(
+            &RandomisedContraction::with(Method::Gfp, SpaceVariant::Fast),
+            &g,
+            seed,
+            ExecutionProfile::Colocated,
+        );
+    }
+
+    #[test]
+    fn rc_external_profile_matches_union_find(g in arb_graph(), seed: u64) {
+        // Forcing every exchange (the Spark-SQL-like profile) must not
+        // change any result, only the work done.
+        check(&RandomisedContraction::paper(), &g, seed, ExecutionProfile::External);
+    }
+
+    #[test]
+    fn comparators_match_union_find(g in arb_graph()) {
+        check(&HashToMin::default(), &g, 1, ExecutionProfile::Colocated);
+        check(&TwoPhase::default(), &g, 1, ExecutionProfile::Colocated);
+        check(&Cracker::default(), &g, 1, ExecutionProfile::Colocated);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The contraction invariant behind Theorem 1: a contraction step
+    /// never splits or merges components (checked structurally).
+    #[test]
+    fn contraction_step_preserves_connectivity(g in arb_graph(), seed: u64) {
+        use incc_core::gamma::contract_once;
+        let edges: Vec<(u64, u64)> = g.edges.iter().filter(|(a, b)| a != b).copied().collect();
+        prop_assume!(!edges.is_empty());
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let h = Method::Gf64.sample_round(&mut rng);
+        let step = contract_once(&edges, |v| h.hash(v));
+        // Multi-vertex components before == components after contraction
+        // (each contracted component keeps at least one representative,
+        // isolated reps drop out of the edge list only when their whole
+        // component contracted to a point).
+        let before = connected_components(&edges);
+        let after = connected_components(&step.edges);
+        let comp_count = |labels: &std::collections::HashMap<u64, u64>| {
+            labels.values().collect::<std::collections::HashSet<_>>().len()
+        };
+        prop_assert!(comp_count(&after) <= comp_count(&before));
+        prop_assert!(step.representatives <= before.len());
+        prop_assert!(!step.edges.iter().any(|(a, b)| a == b));
+    }
+
+    /// Round hashes are injective on sampled domains for every
+    /// bijective method — the property that makes SQL relabelling safe.
+    #[test]
+    fn round_hashes_injective(seed: u64, xs in proptest::collection::hash_set(0u64..(1<<61)-1, 2..50)) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        for m in [Method::Gf64, Method::Gfp, Method::Blowfish] {
+            let h = m.sample_round(&mut rng);
+            let hashed: std::collections::HashSet<u64> = xs.iter().map(|&x| h.hash(x)).collect();
+            prop_assert_eq!(hashed.len(), xs.len(), "{:?} collided", m);
+        }
+    }
+}
+
+#[test]
+fn rc_handles_adversarial_equal_ids_graph() {
+    // All edges share one vertex ID — a degenerate star of loops.
+    let g = EdgeList::from_pairs(vec![(5, 5), (5, 5), (5, 5)]);
+    let db = Cluster::new(ClusterConfig::default());
+    let report = run_on_graph(&RandomisedContraction::paper(), &db, &g, 0).unwrap();
+    assert_eq!(report.labels.len(), 1);
+}
