@@ -1,0 +1,141 @@
+//! Service-layer throughput and latency under concurrency.
+//!
+//! Runs a fixed interactive statement mix through the query service at
+//! 1, 4 and 16 concurrent sessions and reports queries/second plus
+//! p50/p95 per-statement latency — the scaling curve a multi-tenant
+//! deployment of the paper's workload cares about. Alongside the
+//! console table it appends a machine-readable record to
+//! `results/service.json`, next to the repro harness's outputs.
+//!
+//! Run with `cargo bench -p incc-bench --bench service`.
+
+use incc_graph::generators::gnm_random_graph;
+use incc_service::{Service, ServiceConfig};
+use std::sync::Mutex;
+use std::time::Instant;
+
+const SESSION_COUNTS: &[usize] = &[1, 4, 16];
+const MIX_ITERS_PER_SESSION: usize = 40;
+/// Statements per mix iteration (see `run_mix_iteration`).
+const STATEMENTS_PER_ITER: usize = 4;
+
+struct Level {
+    sessions: usize,
+    statements: usize,
+    wall_secs: f64,
+    qps: f64,
+    p50_us: u128,
+    p95_us: u128,
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One iteration of the interactive mix: an aggregate scan, a CTAS, a
+/// query over the created table, and its drop — the building blocks
+/// every CC algorithm round is made of.
+fn run_mix_iteration(service: &Service, session: &incc_mppdb::Session, latencies: &mut Vec<u128>) {
+    let statements = [
+        "select count(*) as n from edges",
+        "create table scratch as select v1 as v, count(*) as d from edges \
+         group by v1 distributed by (v)",
+        "select min(d) as m from scratch",
+        "drop table scratch",
+    ];
+    for sql in statements {
+        let start = Instant::now();
+        service.run_sql(session, sql).unwrap();
+        latencies.push(start.elapsed().as_micros());
+    }
+}
+
+fn run_level(sessions: usize) -> Level {
+    let service = Service::start(ServiceConfig {
+        max_concurrent: sessions,
+        queue_depth: 64,
+        ..Default::default()
+    });
+    let graph = gnm_random_graph(2_000, 4_000, 1_234);
+    service
+        .cluster()
+        .load_pairs("edges", "v1", "v2", &graph.to_i64_pairs())
+        .unwrap();
+
+    let all_latencies: Mutex<Vec<u128>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..sessions {
+            let service = &service;
+            let all_latencies = &all_latencies;
+            scope.spawn(move || {
+                let session = service.session();
+                let mut latencies = Vec::with_capacity(MIX_ITERS_PER_SESSION * STATEMENTS_PER_ITER);
+                for _ in 0..MIX_ITERS_PER_SESSION {
+                    run_mix_iteration(service, &session, &mut latencies);
+                }
+                all_latencies.lock().unwrap().extend(latencies);
+                session.close();
+            });
+        }
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+    service.shutdown();
+
+    let mut latencies = all_latencies.into_inner().unwrap();
+    latencies.sort_unstable();
+    let statements = latencies.len();
+    Level {
+        sessions,
+        statements,
+        wall_secs,
+        qps: statements as f64 / wall_secs,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+    }
+}
+
+fn write_json(levels: &[Level]) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/service.json");
+    let series: Vec<String> = levels
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"sessions\": {}, \"statements\": {}, \"wall_secs\": {:.4}, \
+                 \"qps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}}}",
+                l.sessions, l.statements, l.wall_secs, l.qps, l.p50_us, l.p95_us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"service_concurrency\",\n  \
+         \"statement_mix\": \"count / group-by CTAS / scan / drop\",\n  \
+         \"mix_iters_per_session\": {MIX_ITERS_PER_SESSION},\n  \"series\": [\n{}\n  ]\n}}\n",
+        series.join(",\n")
+    );
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+fn main() {
+    println!("service-layer concurrency bench ({MIX_ITERS_PER_SESSION} mix iterations/session)");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10}",
+        "sessions", "statements", "qps", "p50_us", "p95_us"
+    );
+    let levels: Vec<Level> = SESSION_COUNTS.iter().map(|&s| run_level(s)).collect();
+    for l in &levels {
+        println!(
+            "{:>8} {:>12} {:>10.1} {:>10} {:>10}",
+            l.sessions, l.statements, l.qps, l.p50_us, l.p95_us
+        );
+    }
+    match write_json(&levels) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results/service.json: {e}"),
+    }
+}

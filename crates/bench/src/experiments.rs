@@ -459,10 +459,14 @@ pub fn transaction_space(cfg: &Config, dataset: Dataset) -> Vec<(String, u64, u6
             seed: cfg.seed,
             ..Default::default()
         });
+        // Single-tenant benchmark cluster: the cluster-level (default
+        // session) transaction toggle is exactly what's measured here.
+        #[allow(deprecated)]
         db.begin_transaction();
         let Ok(txn) = run_on_graph(algo.as_ref(), &db, &graph, cfg.seed) else {
             continue;
         };
+        #[allow(deprecated)]
         db.commit();
         out.push((
             algo.name(),

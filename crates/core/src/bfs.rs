@@ -9,8 +9,8 @@
 //! Contraction. A configurable round guard converts that pathology
 //! into a clean "did not finish" error.
 
-use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm};
-use incc_mppdb::{Cluster, DbError, DbResult};
+use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm, RunControl};
+use incc_mppdb::{DbError, DbResult, SqlEngine};
 
 /// The min-propagation (BFS / MADlib) strategy.
 #[derive(Debug, Clone, Copy)]
@@ -31,7 +31,13 @@ impl CcAlgorithm for BfsStrategy {
         "BFS".into()
     }
 
-    fn run(&self, db: &Cluster, input: &str, _seed: u64) -> DbResult<AlgoOutcome> {
+    fn run_controlled(
+        &self,
+        db: &dyn SqlEngine,
+        input: &str,
+        _seed: u64,
+        ctrl: &RunControl<'_>,
+    ) -> DbResult<AlgoOutcome> {
         drop_if_exists(db, &["bfsgraph", "bfslab", "bfsupd", "bfsresult"]);
         // Doubled edge table, as in every algorithm's setup.
         db.run(&format!(
@@ -47,6 +53,10 @@ impl CcAlgorithm for BfsStrategy {
         )?;
         let mut rounds = 1usize;
         loop {
+            if let Err(e) = ctrl.checkpoint() {
+                drop_if_exists(db, &["bfsgraph", "bfslab", "bfsupd"]);
+                return Err(e);
+            }
             if self.max_rounds > 0 && rounds > self.max_rounds {
                 drop_if_exists(db, &["bfsgraph", "bfslab", "bfsupd"]);
                 return Err(DbError::Exec(format!(
@@ -69,6 +79,7 @@ impl CcAlgorithm for BfsStrategy {
             )?;
             db.drop_table("bfslab")?;
             db.rename_table("bfsupd", "bfslab")?;
+            ctrl.report_round(rounds, changed.max(0) as usize);
             if changed == 0 {
                 break;
             }

@@ -21,8 +21,8 @@
 //! Contraction but substantially heavier in data volume (Table V),
 //! matching its published communication bound of O(|V|·|E| / log |V|).
 
-use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm};
-use incc_mppdb::{Cluster, DbError, DbResult};
+use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm, RunControl};
+use incc_mppdb::{DbError, DbResult, SqlEngine};
 
 /// Cracker, in-database.
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +47,13 @@ impl CcAlgorithm for Cracker {
         "CR".into()
     }
 
-    fn run(&self, db: &Cluster, input: &str, _seed: u64) -> DbResult<AlgoOutcome> {
+    fn run_controlled(
+        &self,
+        db: &dyn SqlEngine,
+        input: &str,
+        _seed: u64,
+        ctrl: &RunControl<'_>,
+    ) -> DbResult<AlgoOutcome> {
         drop_if_exists(db, WORK_TABLES);
         // Full vertex set (seeds silently leave the active graph; the
         // final labelling joins back against this).
@@ -64,7 +70,8 @@ impl CcAlgorithm for Cracker {
         let mut tree_exists = false;
         let mut rounds = 0usize;
         let mut round_sizes: Vec<usize> = Vec::new();
-        let result = self.prune_loop(db, &mut rounds, &mut tree_exists, &mut round_sizes);
+        let result =
+            self.prune_loop(db, ctrl, &mut rounds, &mut tree_exists, &mut round_sizes);
         if let Err(e) = result {
             drop_if_exists(db, WORK_TABLES);
             return Err(e);
@@ -78,12 +85,14 @@ impl Cracker {
     /// MinSelection + Pruning until the active graph is empty.
     fn prune_loop(
         &self,
-        db: &Cluster,
+        db: &dyn SqlEngine,
+        ctrl: &RunControl<'_>,
         rounds: &mut usize,
         tree_exists: &mut bool,
         round_sizes: &mut Vec<usize>,
     ) -> DbResult<()> {
         loop {
+            ctrl.checkpoint()?;
             if db.row_count("crgraph")? == 0 {
                 db.drop_table("crgraph")?;
                 return Ok(());
@@ -159,6 +168,7 @@ impl Cracker {
                 )?
                 .row_count();
             round_sizes.push(rows);
+            ctrl.report_round(*rounds, rows);
             db.drop_table("crms")?;
             db.drop_table("crmm")?;
         }
@@ -167,7 +177,7 @@ impl Cracker {
     /// Seeds label themselves; labels flow down the propagation tree;
     /// vertices outside the tree (pure seeds) label themselves via the
     /// final outer join.
-    fn propagate(&self, db: &Cluster, tree_exists: bool) -> DbResult<()> {
+    fn propagate(&self, db: &dyn SqlEngine, tree_exists: bool) -> DbResult<()> {
         if !tree_exists {
             // Every vertex was a seed (edge-free or loop-only input).
             db.run(

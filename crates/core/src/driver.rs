@@ -2,8 +2,9 @@
 
 use incc_graph::union_find::{connected_components, labellings_equivalent};
 use incc_graph::EdgeList;
-use incc_mppdb::{Cluster, DbError, DbResult, StatsSnapshot};
+use incc_mppdb::{Cluster, DbError, DbResult, SqlEngine, StatsSnapshot};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// What an algorithm reports back after finishing.
@@ -20,6 +21,45 @@ pub struct AlgoOutcome {
     pub round_sizes: Vec<usize>,
 }
 
+/// Cooperative controls threaded through a whole algorithm run: a
+/// cancel flag checked between rounds and an optional round-progress
+/// callback. The default value never interrupts and reports nowhere —
+/// the behaviour of the plain [`CcAlgorithm::run`].
+///
+/// This is the algorithm-level counterpart of the engine's
+/// per-statement [`incc_mppdb::QueryGuard`]: the guard stops a single
+/// long statement between operators, while `RunControl` stops the
+/// *loop* between rounds and lets a job scheduler surface
+/// `Running {{ round }}` status.
+#[derive(Default, Clone, Copy)]
+pub struct RunControl<'a> {
+    /// When set and true, the run aborts with [`DbError::Cancelled`] at
+    /// the next round boundary (after cleaning up working tables).
+    pub cancel: Option<&'a AtomicBool>,
+    /// Called after each completed round with `(round, working_rows)`.
+    pub on_round: Option<&'a (dyn Fn(usize, usize) + Sync)>,
+}
+
+impl RunControl<'_> {
+    /// Returns [`DbError::Cancelled`] when the cancel flag is raised.
+    /// Algorithms call this at every round boundary.
+    pub fn checkpoint(&self) -> DbResult<()> {
+        if let Some(flag) = self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(DbError::Cancelled("algorithm run cancelled".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reports one completed round to the progress callback, if any.
+    pub fn report_round(&self, round: usize, working_rows: usize) {
+        if let Some(f) = self.on_round {
+            f(round, working_rows);
+        }
+    }
+}
+
 /// A connected-components algorithm executing inside the database.
 ///
 /// The contract mirrors the paper's Section III: the input is a table
@@ -27,14 +67,33 @@ pub struct AlgoOutcome {
 /// (loop edges `(v, v)` represent isolated vertices); the output is a
 /// table with columns `v`, `r` assigning each vertex a label such that
 /// two vertices share a label iff they are in the same component.
+///
+/// Algorithms run against any [`SqlEngine`]: a bare [`Cluster`] (the
+/// original single-tenant mode) or a [`incc_mppdb::Session`], which
+/// namespaces the hardcoded working-table names per session so
+/// concurrent runs on one cluster cannot collide.
 pub trait CcAlgorithm {
     /// Stable display name ("RC", "HM", "TP", "CR", …).
     fn name(&self) -> String;
 
     /// Runs the algorithm over `input` (an existing edge table),
-    /// returning the result-table name. Implementations create and
-    /// drop their own working tables; `seed` drives all randomness.
-    fn run(&self, db: &Cluster, input: &str, seed: u64) -> DbResult<AlgoOutcome>;
+    /// returning the result-table name, honouring `ctrl`'s cancel flag
+    /// at round boundaries and reporting round progress through it.
+    /// Implementations create and drop their own working tables; `seed`
+    /// drives all randomness.
+    fn run_controlled(
+        &self,
+        db: &dyn SqlEngine,
+        input: &str,
+        seed: u64,
+        ctrl: &RunControl<'_>,
+    ) -> DbResult<AlgoOutcome>;
+
+    /// [`CcAlgorithm::run_controlled`] with no cancellation or progress
+    /// reporting — the plain entry point.
+    fn run(&self, db: &dyn SqlEngine, input: &str, seed: u64) -> DbResult<AlgoOutcome> {
+        self.run_controlled(db, input, seed, &RunControl::default())
+    }
 }
 
 /// Everything measured about one algorithm run.
@@ -131,7 +190,7 @@ pub fn run_on_graph(
 
 /// Drops a list of tables, ignoring "does not exist" errors — used by
 /// algorithms to start from a clean slate and to clean up on failure.
-pub fn drop_if_exists(db: &Cluster, tables: &[&str]) {
+pub fn drop_if_exists(db: &dyn SqlEngine, tables: &[&str]) {
     for t in tables {
         let _ = db.drop_table(t);
     }
@@ -151,12 +210,20 @@ mod tests {
             "SelfLabel".into()
         }
 
-        fn run(&self, db: &Cluster, input: &str, _seed: u64) -> DbResult<AlgoOutcome> {
+        fn run_controlled(
+            &self,
+            db: &dyn SqlEngine,
+            input: &str,
+            _seed: u64,
+            ctrl: &RunControl<'_>,
+        ) -> DbResult<AlgoOutcome> {
+            ctrl.checkpoint()?;
             drop_if_exists(db, &["selflabel_out"]);
             db.run(&format!(
                 "create table selflabel_out as \
                  select distinct v1 as v, v1 as r from {input} distributed by (v)"
             ))?;
+            ctrl.report_round(1, 0);
             Ok(AlgoOutcome {
                 result_table: "selflabel_out".into(),
                 rounds: 1,

@@ -17,8 +17,8 @@
 //! `u ∈ C(v)`; the map phase is a join against the per-vertex minima
 //! and the reduce phase a `DISTINCT` union.
 
-use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm};
-use incc_mppdb::{Cluster, DbError, DbResult};
+use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm, RunControl};
+use incc_mppdb::{DbError, DbResult, SqlEngine};
 
 /// Hash-to-Min, in-database.
 #[derive(Debug, Clone, Copy)]
@@ -39,7 +39,13 @@ impl CcAlgorithm for HashToMin {
         "HM".into()
     }
 
-    fn run(&self, db: &Cluster, input: &str, _seed: u64) -> DbResult<AlgoOutcome> {
+    fn run_controlled(
+        &self,
+        db: &dyn SqlEngine,
+        input: &str,
+        _seed: u64,
+        ctrl: &RunControl<'_>,
+    ) -> DbResult<AlgoOutcome> {
         drop_if_exists(db, &["hmgraph", "hmcc", "hmmin", "hmnew", "hmresult"]);
         db.run(&format!(
             "create table hmgraph as \
@@ -59,6 +65,10 @@ impl CcAlgorithm for HashToMin {
         let mut round_sizes: Vec<usize> = Vec::new();
         let mut prev_sig: Option<(i64, i64, i64)> = None;
         loop {
+            if let Err(e) = ctrl.checkpoint() {
+                drop_if_exists(db, &["hmcc", "hmmin", "hmnew"]);
+                return Err(e);
+            }
             rounds += 1;
             if self.max_rounds > 0 && rounds > self.max_rounds {
                 drop_if_exists(db, &["hmcc", "hmmin", "hmnew"]);
@@ -109,6 +119,7 @@ impl CcAlgorithm for HashToMin {
             db.drop_table("hmcc")?;
             db.rename_table("hmnew", "hmcc")?;
             round_sizes.push(sig.0.max(0) as usize);
+            ctrl.report_round(rounds, sig.0.max(0) as usize);
             if prev_sig == Some(sig) {
                 break;
             }

@@ -27,14 +27,20 @@
 //! paper's Section V-C discussion predicts, measurable through the
 //! engine's network counter.
 
-use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm};
+use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm, RunControl};
 use crate::udf::{AxPlusB, AxbP, BlowfishUdf};
 use incc_ffield::gfp::P;
 use incc_ffield::Method;
-use incc_mppdb::{Cluster, Datum, DbResult, ScalarUdf};
+use incc_mppdb::{Datum, DbResult, ScalarUdf, SqlEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Monotonic discriminator for per-run UDF names. Cipher UDFs live in
+/// the cluster-wide registry, so two RC runs executing concurrently (in
+/// different sessions) must not both call their round key `bf_1`.
+static UDF_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Which space/performance variant to run (paper Figs. 3 vs 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -108,9 +114,12 @@ impl RoundExpr {
 
 /// Per-run working state.
 struct RcRun<'a> {
-    db: &'a Cluster,
+    db: &'a dyn SqlEngine,
+    ctrl: &'a RunControl<'a>,
     method: Method,
     rng: StdRng,
+    /// Discriminator making this run's UDF names globally unique.
+    uid: u64,
     /// UDF names registered during this run (unregistered at the end).
     registered: Vec<String>,
 }
@@ -124,11 +133,19 @@ impl CcAlgorithm for RandomisedContraction {
         }
     }
 
-    fn run(&self, db: &Cluster, input: &str, seed: u64) -> DbResult<AlgoOutcome> {
+    fn run_controlled(
+        &self,
+        db: &dyn SqlEngine,
+        input: &str,
+        seed: u64,
+        ctrl: &RunControl<'_>,
+    ) -> DbResult<AlgoOutcome> {
         let mut run = RcRun {
             db,
+            ctrl,
             method: self.method,
             rng: StdRng::seed_from_u64(seed),
+            uid: UDF_SEQ.fetch_add(1, Ordering::Relaxed),
             registered: Vec::new(),
         };
         run.prepare();
@@ -136,6 +153,9 @@ impl CcAlgorithm for RandomisedContraction {
             SpaceVariant::Fast => run.run_fast(input),
             SpaceVariant::Deterministic => run.run_deterministic(input),
         };
+        if result.is_err() {
+            run.cleanup();
+        }
         run.finish();
         result
     }
@@ -146,6 +166,13 @@ impl<'a> RcRun<'a> {
     fn prepare(&mut self) {
         self.db.register_udf("axplusb", Arc::new(AxPlusB));
         self.db.register_udf("axb_p", Arc::new(AxbP));
+        self.cleanup();
+    }
+
+    /// Drops every working table this run may have left behind — the
+    /// clean-slate step before a run and the error/cancellation path
+    /// after one.
+    fn cleanup(&mut self) {
         drop_if_exists(
             self.db,
             &[
@@ -201,7 +228,7 @@ impl<'a> RcRun<'a> {
                 b: *b as i64,
             }),
             RoundKey::Cipher(k) => {
-                let name = format!("bf_{round}");
+                let name = format!("bf{}_{round}", self.uid);
                 self.db.register_udf(&name, Arc::new(BlowfishUdf::new(*k)));
                 self.registered.push(name.clone());
                 Some(RoundExpr::Cipher { name })
@@ -306,6 +333,7 @@ impl<'a> RcRun<'a> {
         let mut round_sizes: Vec<usize> = Vec::new();
         let mut roundno = 0usize;
         loop {
+            self.ctrl.checkpoint()?;
             roundno += 1;
             let key = self.sample_key();
             let expr = self.round_expr(roundno, &key);
@@ -314,6 +342,7 @@ impl<'a> RcRun<'a> {
             let rows = self.contract(&reps)?;
             round_sizes.push(rows);
             stack.push(key);
+            self.ctrl.report_round(roundno, rows);
             if rows == 0 {
                 break;
             }
@@ -328,13 +357,15 @@ impl<'a> RcRun<'a> {
         // relabelling at all.
         let mut fold = Fold::identity(self.method);
         while roundno >= 1 {
+            self.ctrl.checkpoint()?;
             let key = stack.pop().expect("stack tracks rounds");
             fold.absorb(&key);
             roundno -= 1;
             if roundno == 0 {
                 break;
             }
-            let missing = fold.missing_expr(self.db, &mut self.registered, "r1.rep");
+            let missing =
+                fold.missing_expr(self.db, &mut self.registered, "r1.rep", self.uid);
             self.db.run(&format!(
                 "create table cctmp as \
                  select r1.v as v, coalesce(r2.rep, {missing}) as rep \
@@ -363,12 +394,14 @@ impl<'a> RcRun<'a> {
         let mut rounds = 0usize;
         let mut round_sizes: Vec<usize> = Vec::new();
         loop {
+            self.ctrl.checkpoint()?;
             rounds += 1;
             let key = self.sample_key();
             let expr = self.round_expr(rounds, &key);
             self.build_reps("ccrepr", &expr)?;
             let rows = self.contract("ccrepr")?;
             round_sizes.push(rows);
+            self.ctrl.report_round(rounds, rows);
             if first {
                 self.db.rename_table("ccrepr", "cclab")?;
                 first = false;
@@ -463,9 +496,10 @@ impl Fold {
     /// Renders the relabelling of a missing (early-isolated) vertex.
     fn missing_expr(
         &self,
-        db: &Cluster,
+        db: &dyn SqlEngine,
         registered: &mut Vec<String>,
         operand: &str,
+        uid: u64,
     ) -> String {
         match self {
             Fold::Gf64 { a, b } => {
@@ -475,7 +509,7 @@ impl Fold {
                 format!("axb_p({}, {operand}, {})", *a as i64, *b as i64)
             }
             Fold::Ciphers(keys) => {
-                let name = "bf_fold".to_string();
+                let name = format!("bf_fold{uid}");
                 db.register_udf(&name, Arc::new(CipherFold::new(keys.clone())));
                 if !registered.contains(&name) {
                     registered.push(name.clone());

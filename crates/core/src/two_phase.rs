@@ -17,8 +17,8 @@
 //! as pipelined subqueries rather than materialised tables. The
 //! `PathUnion10` dataset is its round-count worst case.
 
-use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm};
-use incc_mppdb::{Cluster, DbError, DbResult};
+use crate::driver::{drop_if_exists, AlgoOutcome, CcAlgorithm, RunControl};
+use incc_mppdb::{DbError, DbResult, SqlEngine};
 
 /// Two-Phase, in-database.
 #[derive(Debug, Clone, Copy)]
@@ -43,7 +43,7 @@ impl TwoPhase {
     /// (every row satisfies `a > b`). `large` selects Large-Star,
     /// otherwise Small-Star. Returns a signature of the new edge set
     /// for convergence detection.
-    fn star(&self, db: &Cluster, large: bool) -> DbResult<(i64, i64, i64)> {
+    fn star(&self, db: &dyn SqlEngine, large: bool) -> DbResult<(i64, i64, i64)> {
         if large {
             // m(u) over ALL neighbours; connect each v > u to m(u).
             // m ≤ u < v keeps the a > b invariant.
@@ -95,7 +95,13 @@ impl CcAlgorithm for TwoPhase {
         "TP".into()
     }
 
-    fn run(&self, db: &Cluster, input: &str, _seed: u64) -> DbResult<AlgoOutcome> {
+    fn run_controlled(
+        &self,
+        db: &dyn SqlEngine,
+        input: &str,
+        _seed: u64,
+        ctrl: &RunControl<'_>,
+    ) -> DbResult<AlgoOutcome> {
         drop_if_exists(db, &["tpedges", "tpmin", "tpnew", "tpverts", "tpresult"]);
         // Remember the full vertex set (loop edges disappear from the
         // star iteration; they rejoin at labelling time).
@@ -115,6 +121,10 @@ impl CcAlgorithm for TwoPhase {
         let mut round_sizes: Vec<usize> = Vec::new();
         let mut prev_sig: Option<(i64, i64, i64)> = None;
         loop {
+            if let Err(e) = ctrl.checkpoint() {
+                drop_if_exists(db, &["tpedges", "tpmin", "tpnew", "tpverts"]);
+                return Err(e);
+            }
             rounds += 1;
             if self.max_rounds > 0 && rounds > self.max_rounds {
                 drop_if_exists(db, &["tpedges", "tpverts"]);
@@ -129,6 +139,7 @@ impl CcAlgorithm for TwoPhase {
             self.star(db, true)?;
             let sig = self.star(db, false)?;
             round_sizes.push(sig.0.max(0) as usize);
+            ctrl.report_round(rounds, sig.0.max(0) as usize);
             if prev_sig == Some(sig) {
                 break;
             }

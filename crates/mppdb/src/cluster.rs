@@ -4,8 +4,9 @@ use crate::batch::{Batch, Column};
 use crate::error::{DbError, DbResult};
 use crate::exec::hash_datum;
 use crate::ops::PData;
-use crate::plan::{execute, ExecContext};
+use crate::plan::{execute, ExecContext, QueryGuard};
 use crate::schema::{Field, Schema};
+use crate::session::{Session, SessionCore};
 use crate::sql::{self, PlannerCatalog, Statement};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::table::{Distribution, Table};
@@ -111,23 +112,37 @@ pub struct Cluster {
     config: ClusterConfig,
     catalog: RwLock<HashMap<String, Table>>,
     udfs: RwLock<HashMap<String, Arc<dyn ScalarUdf>>>,
-    stats: Stats,
+    stats: Arc<Stats>,
     random_seq: AtomicU64,
+    /// The built-in session behind [`Cluster::run`]: id 0, no name
+    /// mangling, counters shared with the global instance.
+    default_core: SessionCore,
+    next_session_id: AtomicU64,
 }
 
 impl Cluster {
     /// Creates an empty cluster.
     pub fn new(config: ClusterConfig) -> Cluster {
         assert!(config.segments > 0, "cluster needs at least one segment");
-        let stats = Stats::new();
+        let stats = Arc::new(Stats::new());
         stats.set_space_limit(config.space_limit);
         Cluster {
             random_seq: AtomicU64::new(config.seed),
             config,
             catalog: RwLock::new(HashMap::new()),
             udfs: RwLock::new(HashMap::new()),
+            default_core: SessionCore::default_core(stats.clone()),
             stats,
+            next_session_id: AtomicU64::new(1),
         }
+    }
+
+    /// Opens a new session on this cluster: an isolated temporary-table
+    /// namespace with its own counters, transaction state and cancel
+    /// flag. See [`Session`].
+    pub fn session(self: &Arc<Self>) -> Session {
+        let id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
+        Session::new(self.clone(), SessionCore::fresh(id, self.stats.clone()))
     }
 
     /// The configuration this cluster was built with.
@@ -182,15 +197,46 @@ impl Cluster {
         Ok(self.table(name)?.row_count())
     }
 
-    /// Executes one SQL statement.
+    /// True when a table of exactly this (lowercased) name is stored.
+    pub(crate) fn has_table(&self, name: &str) -> bool {
+        self.catalog.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Executes one SQL statement in the default session.
     pub fn run(&self, sql_text: &str) -> DbResult<QueryOutput> {
-        let stmt = sql::parse_statement(sql_text)?;
-        self.stats.count_query();
+        self.run_in(&self.default_core, sql_text)
+    }
+
+    /// Executes one SQL statement under a session's namespace, stats
+    /// attribution and interrupt state. The entry point behind both
+    /// [`Cluster::run`] and [`Session::run`].
+    pub(crate) fn run_in(&self, core: &SessionCore, sql_text: &str) -> DbResult<QueryOutput> {
+        let start = std::time::Instant::now();
+        let mut stmt = sql::parse_statement(sql_text)?;
+        core.rewrite(self, &mut stmt);
+        core.stats.count_query();
+        let guard = QueryGuard {
+            cancel: Some(core.interrupt_flag()),
+            deadline: core.timeout().map(|t| start + t),
+        };
+        let result = self.dispatch(core, stmt, guard);
+        core.note_statement(start.elapsed());
+        result
+    }
+
+    fn dispatch(
+        &self,
+        core: &SessionCore,
+        stmt: Statement,
+        guard: QueryGuard<'_>,
+    ) -> DbResult<QueryOutput> {
+        guard.check()?;
+        let stats = &core.stats;
         match stmt {
             Statement::Select(q) => {
                 let (plan, schema) = sql::plan_query_with_schema(&q, self)?;
                 let plan = self.maybe_optimize(plan);
-                let data = self.execute_plan(&plan)?;
+                let data = self.execute_plan(&plan, stats, guard)?;
                 let mut rows = gather(&data);
                 if !q.order_by.is_empty() {
                     let keys: Vec<(usize, bool)> = q
@@ -232,8 +278,9 @@ impl Cluster {
                     let ctx = ExecContext {
                         lookup: &lookup,
                         allow_colocated: self.config.profile == ExecutionProfile::Colocated,
-                        stats: &self.stats,
+                        stats,
                         segments: self.config.segments,
+                        guard,
                     };
                     let (_, annotated) = crate::plan::execute_analyze(&plan, &ctx)?;
                     Ok(QueryOutput::Explain(annotated))
@@ -250,8 +297,8 @@ impl Cluster {
                     ));
                 }
                 let plan = self.maybe_optimize(sql::plan_query(&query, self)?);
-                let data = self.execute_plan(&plan)?;
-                let rows = self.store(&name, data, distributed_by.as_deref())?;
+                let data = self.execute_plan(&plan, stats, guard)?;
+                let rows = self.store_with(stats, &name, data, distributed_by.as_deref())?;
                 Ok(QueryOutput::Created { table: name, rows })
             }
             Statement::CreateTable { name, columns, distributed_by } => {
@@ -295,15 +342,15 @@ impl Cluster {
                     None => Distribution::Hash(vec![0]),
                 };
                 let data = PData { schema, parts, dist };
-                self.store(&name, data, None)?;
+                self.store_with(stats, &name, data, None)?;
                 Ok(QueryOutput::Created { table: name, rows: 0 })
             }
             Statement::Insert { name, rows } => {
-                let rows_inserted = self.insert_rows(&name, &rows)?;
+                let rows_inserted = self.insert_rows_with(stats, &name, &rows)?;
                 Ok(QueryOutput::Inserted { table: name, rows: rows_inserted })
             }
             Statement::DropTable { name, if_exists } => {
-                match self.drop_table(&name) {
+                match self.drop_table_with(stats, &name) {
                     Ok(()) => Ok(QueryOutput::Dropped),
                     Err(DbError::Catalog(_)) if if_exists => Ok(QueryOutput::Dropped),
                     Err(e) => Err(e),
@@ -343,24 +390,39 @@ impl Cluster {
         }
     }
 
-    fn execute_plan(&self, plan: &crate::plan::Plan) -> DbResult<PData> {
+    fn execute_plan(
+        &self,
+        plan: &crate::plan::Plan,
+        stats: &Stats,
+        guard: QueryGuard<'_>,
+    ) -> DbResult<PData> {
         let lookup = |name: &str| self.table(name);
         let ctx = ExecContext {
             lookup: &lookup,
             allow_colocated: self.config.profile == ExecutionProfile::Colocated,
-            stats: &self.stats,
+            stats,
             segments: self.config.segments,
+            guard,
         };
         execute(plan, &ctx)
     }
 
     /// Materialises partitioned data as a stored table, applying the
-    /// requested distribution and charging space accounting.
-    fn store(&self, name: &str, data: PData, distributed_by: Option<&str>) -> DbResult<usize> {
+    /// requested distribution and charging space accounting to `stats`
+    /// (a session's counters, which roll up globally).
+    ///
+    /// The existence check, the space-limit check, the charge and the
+    /// insert happen under one catalog write lock, so two concurrent
+    /// CTAS statements on the same name cannot both succeed and the
+    /// space guard cannot be oversubscribed by a racing pair.
+    pub(crate) fn store_with(
+        &self,
+        stats: &Stats,
+        name: &str,
+        data: PData,
+        distributed_by: Option<&str>,
+    ) -> DbResult<usize> {
         let name = name.to_ascii_lowercase();
-        if self.catalog.read().contains_key(&name) {
-            return Err(DbError::Catalog(format!("table {name:?} already exists")));
-        }
         let data = match distributed_by {
             Some(col) => {
                 let idx = data.schema.index_of(&col.to_ascii_lowercase()).ok_or_else(|| {
@@ -370,7 +432,7 @@ impl Cluster {
                     data,
                     &[idx],
                     self.config.profile == ExecutionProfile::Colocated,
-                    &self.stats,
+                    stats,
                     self.config.segments,
                 )?
             }
@@ -379,6 +441,12 @@ impl Cluster {
         let table = Table::new(data.schema, data.parts, data.dist);
         let bytes = table.byte_size();
         let rows = table.row_count();
+        let mut cat = self.catalog.write();
+        if cat.contains_key(&name) {
+            return Err(DbError::Catalog(format!("table {name:?} already exists")));
+        }
+        // The space guard is cluster-wide; the charge lands on the
+        // session counters and rolls up.
         let limit = self.stats.space_limit();
         if limit > 0 && self.stats.live_bytes() + bytes > limit {
             return Err(DbError::SpaceLimitExceeded {
@@ -386,14 +454,19 @@ impl Cluster {
                 limit,
             });
         }
-        self.stats.charge_create(bytes, rows as u64);
-        self.catalog.write().insert(name, table);
+        stats.charge_create(bytes, rows as u64);
+        cat.insert(name, table);
         Ok(rows)
     }
 
     /// Appends literal rows to an existing table, re-routing each row
     /// to its hash partition. Implements `INSERT INTO … VALUES`.
-    fn insert_rows(&self, name: &str, rows: &[Vec<crate::sql::AstExpr>]) -> DbResult<usize> {
+    fn insert_rows_with(
+        &self,
+        stats: &Stats,
+        name: &str,
+        rows: &[Vec<crate::sql::AstExpr>],
+    ) -> DbResult<usize> {
         use crate::sql::AstExpr;
         let name = name.to_ascii_lowercase();
         let table = self.table(&name)?;
@@ -436,7 +509,18 @@ impl Cluster {
         }
         // Rebuild the partitions with the new rows routed by the
         // distribution key (tables are immutable snapshots; an insert
-        // replaces the stored table, charging only the delta).
+        // replaces the stored table, charging only the delta). The
+        // re-read, rebuild, charge and swap all happen under one write
+        // lock so concurrent inserts cannot lose each other's rows.
+        let mut cat = self.catalog.write();
+        let table = cat
+            .get(&name)
+            .ok_or_else(|| DbError::Catalog(format!("table {name:?} does not exist")))?;
+        if table.schema.len() != width {
+            return Err(DbError::Exec(format!(
+                "table {name:?} changed schema during INSERT"
+            )));
+        }
         let dist_col = match &table.distribution {
             Distribution::Hash(cols) => cols.first().copied().unwrap_or(0),
             Distribution::Arbitrary => 0,
@@ -457,17 +541,23 @@ impl Cluster {
                 limit,
             });
         }
-        self.stats.charge_create(delta, datum_rows.len() as u64);
-        self.catalog.write().insert(name, new_table);
+        stats.charge_create(delta, datum_rows.len() as u64);
+        cat.insert(name, new_table);
         Ok(datum_rows.len())
     }
 
-    /// Drops a table, crediting its space back.
+    /// Drops a table, crediting its space back to the default session.
     pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        self.drop_table_with(&self.stats, name)
+    }
+
+    /// Drops a table, crediting its space to the given (session)
+    /// counters.
+    pub(crate) fn drop_table_with(&self, stats: &Stats, name: &str) -> DbResult<()> {
         let name = name.to_ascii_lowercase();
         match self.catalog.write().remove(&name) {
             Some(t) => {
-                self.stats.credit_drop(t.byte_size());
+                stats.credit_drop(t.byte_size());
                 Ok(())
             }
             None => Err(DbError::Catalog(format!("table {name:?} does not exist"))),
@@ -503,6 +593,18 @@ impl Cluster {
         col_b: &str,
         pairs: &[(i64, i64)],
     ) -> DbResult<()> {
+        self.load_pairs_with(&self.stats, name, col_a, col_b, pairs)
+    }
+
+    /// [`Cluster::load_pairs`] with explicit (session) stat attribution.
+    pub(crate) fn load_pairs_with(
+        &self,
+        stats: &Stats,
+        name: &str,
+        col_a: &str,
+        col_b: &str,
+        pairs: &[(i64, i64)],
+    ) -> DbResult<()> {
         let n = self.config.segments;
         let mut parts_a: Vec<Vec<i64>> = vec![Vec::new(); n];
         let mut parts_b: Vec<Vec<i64>> = vec![Vec::new(); n];
@@ -521,7 +623,7 @@ impl Cluster {
             .map(|(a, b)| Batch::from_columns(vec![Column::from_ints(a), Column::from_ints(b)]))
             .collect();
         let data = PData { schema, parts, dist: Distribution::Hash(vec![0]) };
-        self.store(name, data, None)?;
+        self.store_with(stats, name, data, None)?;
         Ok(())
     }
 
@@ -557,11 +659,22 @@ impl Cluster {
     /// whole algorithm as one transaction, the setting under which the
     /// paper's Table V (total bytes written) is the binding space
     /// metric.
+    ///
+    /// This toggles the *default session's* (= global) counters, which
+    /// every direct [`Cluster::run`] caller shares — a footgun under
+    /// concurrency. New code should open a [`Session`] and use
+    /// [`Session::begin_transaction`], which scopes deferral to that
+    /// session alone.
+    #[deprecated(note = "use Session::begin_transaction for session-scoped transactions")]
     pub fn begin_transaction(&self) {
         self.stats.set_transactional(true);
     }
 
     /// Leaves transaction mode and reclaims all deferred space.
+    ///
+    /// Deprecated alongside [`Cluster::begin_transaction`]; prefer
+    /// [`Session::commit`].
+    #[deprecated(note = "use Session::commit for session-scoped transactions")]
     pub fn commit(&self) {
         self.stats.set_transactional(false);
         self.stats.commit();
@@ -659,7 +772,7 @@ impl Cluster {
             parts[dest].push_row(&row);
         }
         let data = PData { schema, parts, dist: Distribution::Hash(vec![0]) };
-        self.store(name, data, None)?;
+        self.store_with(&self.stats, name, data, None)?;
         Ok(())
     }
 }

@@ -1,0 +1,193 @@
+//! The [`SqlEngine`] abstraction: anything that can execute this
+//! dialect of SQL.
+//!
+//! The paper's algorithms are pure SQL drivers — they only ever parse,
+//! create, scan, drop and rename tables. Abstracting that surface into
+//! a dyn-safe trait lets the same algorithm code run either directly on
+//! a [`Cluster`] (single-tenant benchmarks, the original mode) or
+//! through a [`Session`] (the service layer's multi-tenant mode, where
+//! working tables are namespaced per session and statements honour the
+//! session's cancel flag and timeout).
+
+use crate::cluster::{Cluster, QueryOutput};
+use crate::error::{DbError, DbResult};
+use crate::session::Session;
+use crate::stats::StatsSnapshot;
+use crate::value::Datum;
+use std::sync::Arc;
+
+pub use crate::expr::ScalarUdf;
+
+/// A SQL execution surface: the subset of [`Cluster`]'s API the CC
+/// algorithms drive. Implemented by [`Cluster`] (global namespace,
+/// never interrupted) and [`Session`] (per-session namespace, stats,
+/// cancellation).
+pub trait SqlEngine: Sync {
+    /// Executes one SQL statement.
+    fn run(&self, sql_text: &str) -> DbResult<QueryOutput>;
+
+    /// Row count of a visible table.
+    fn row_count(&self, name: &str) -> DbResult<usize>;
+
+    /// Drops a table.
+    fn drop_table(&self, name: &str) -> DbResult<()>;
+
+    /// Renames a table.
+    fn rename_table(&self, from: &str, to: &str) -> DbResult<()>;
+
+    /// Registers (or replaces) a scalar UDF callable from SQL.
+    fn register_udf(&self, name: &str, udf: Arc<dyn ScalarUdf>);
+
+    /// Removes a UDF registration.
+    fn unregister_udf(&self, name: &str);
+
+    /// Bulk-loads a two-column bigint edge list.
+    fn load_pairs(
+        &self,
+        name: &str,
+        col_a: &str,
+        col_b: &str,
+        pairs: &[(i64, i64)],
+    ) -> DbResult<()>;
+
+    /// Reads a two-integer-column table back as gathered pairs.
+    fn scan_pairs(&self, name: &str) -> DbResult<Vec<(i64, i64)>>;
+
+    /// Resource counters for this execution surface: cluster-wide for a
+    /// [`Cluster`], session-scoped for a [`Session`].
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Executes a `SELECT` and returns its rows.
+    fn query(&self, sql_text: &str) -> DbResult<Vec<Vec<Datum>>> {
+        match self.run(sql_text)? {
+            QueryOutput::Rows(rows) => Ok(rows),
+            other => Err(DbError::Plan(format!("expected a SELECT, got {other:?}"))),
+        }
+    }
+
+    /// Executes a `SELECT` expected to return one integer.
+    fn query_scalar_i64(&self, sql_text: &str) -> DbResult<i64> {
+        let rows = self.query(sql_text)?;
+        rows.first()
+            .and_then(|r| r.first())
+            .and_then(Datum::as_int)
+            .ok_or_else(|| DbError::Exec("query did not return a scalar integer".into()))
+    }
+}
+
+impl SqlEngine for Cluster {
+    fn run(&self, sql_text: &str) -> DbResult<QueryOutput> {
+        Cluster::run(self, sql_text)
+    }
+
+    fn row_count(&self, name: &str) -> DbResult<usize> {
+        Cluster::row_count(self, name)
+    }
+
+    fn drop_table(&self, name: &str) -> DbResult<()> {
+        Cluster::drop_table(self, name)
+    }
+
+    fn rename_table(&self, from: &str, to: &str) -> DbResult<()> {
+        Cluster::rename_table(self, from, to)
+    }
+
+    fn register_udf(&self, name: &str, udf: Arc<dyn ScalarUdf>) {
+        Cluster::register_udf(self, name, udf)
+    }
+
+    fn unregister_udf(&self, name: &str) {
+        Cluster::unregister_udf(self, name)
+    }
+
+    fn load_pairs(
+        &self,
+        name: &str,
+        col_a: &str,
+        col_b: &str,
+        pairs: &[(i64, i64)],
+    ) -> DbResult<()> {
+        Cluster::load_pairs(self, name, col_a, col_b, pairs)
+    }
+
+    fn scan_pairs(&self, name: &str) -> DbResult<Vec<(i64, i64)>> {
+        Cluster::scan_pairs(self, name)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        Cluster::stats(self)
+    }
+}
+
+impl SqlEngine for Session {
+    fn run(&self, sql_text: &str) -> DbResult<QueryOutput> {
+        Session::run(self, sql_text)
+    }
+
+    fn row_count(&self, name: &str) -> DbResult<usize> {
+        Session::row_count(self, name)
+    }
+
+    fn drop_table(&self, name: &str) -> DbResult<()> {
+        Session::drop_table(self, name)
+    }
+
+    fn rename_table(&self, from: &str, to: &str) -> DbResult<()> {
+        Session::rename_table(self, from, to)
+    }
+
+    fn register_udf(&self, name: &str, udf: Arc<dyn ScalarUdf>) {
+        self.cluster().register_udf(name, udf)
+    }
+
+    fn unregister_udf(&self, name: &str) {
+        self.cluster().unregister_udf(name)
+    }
+
+    fn load_pairs(
+        &self,
+        name: &str,
+        col_a: &str,
+        col_b: &str,
+        pairs: &[(i64, i64)],
+    ) -> DbResult<()> {
+        Session::load_pairs(self, name, col_a, col_b, pairs)
+    }
+
+    fn scan_pairs(&self, name: &str) -> DbResult<Vec<(i64, i64)>> {
+        Session::scan_pairs(self, name)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        Session::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    fn run_roundtrip(db: &dyn SqlEngine) {
+        db.load_pairs("e", "a", "b", &[(1, 2), (3, 4)]).unwrap();
+        assert_eq!(db.row_count("e").unwrap(), 2);
+        db.run("create table f as select a from e").unwrap();
+        db.rename_table("f", "g").unwrap();
+        assert_eq!(
+            db.query_scalar_i64("select count(*) as n from g").unwrap(),
+            2
+        );
+        db.drop_table("g").unwrap();
+        db.drop_table("e").unwrap();
+    }
+
+    #[test]
+    fn cluster_and_session_share_the_engine_surface() {
+        let c = Arc::new(Cluster::new(ClusterConfig::default()));
+        run_roundtrip(c.as_ref());
+        let s = c.session();
+        run_roundtrip(&s);
+        drop(s);
+        assert!(c.table_names().is_empty());
+    }
+}

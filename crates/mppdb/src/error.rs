@@ -26,6 +26,11 @@ pub enum DbError {
         /// The configured limit.
         limit: u64,
     },
+    /// The statement was interrupted: its session was cancelled or its
+    /// deadline passed. The executor checks between operators, so a
+    /// long multi-join round stops promptly without corrupting the
+    /// catalog (no partial table is ever stored).
+    Cancelled(String),
 }
 
 impl fmt::Display for DbError {
@@ -39,6 +44,7 @@ impl fmt::Display for DbError {
                 f,
                 "space limit exceeded: needed {needed} bytes, limit {limit} bytes"
             ),
+            DbError::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
 }
@@ -50,6 +56,11 @@ impl DbError {
     /// experiments report as "did not finish".
     pub fn is_space_limit(&self) -> bool {
         matches!(self, DbError::SpaceLimitExceeded { .. })
+    }
+
+    /// True when the error is a cancellation or timeout interrupt.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, DbError::Cancelled(_))
     }
 }
 

@@ -46,6 +46,7 @@
 
 mod batch;
 mod cluster;
+mod engine;
 mod error;
 mod exec;
 mod expr;
@@ -53,6 +54,7 @@ mod ops;
 pub mod optimizer;
 mod plan;
 mod schema;
+mod session;
 pub mod sql;
 mod stats;
 mod table;
@@ -60,9 +62,12 @@ mod value;
 
 pub use batch::{Batch, Column};
 pub use cluster::{Cluster, ClusterConfig, ExecutionProfile, QueryOutput, ScalarUdf};
+pub use engine::SqlEngine;
 pub use error::{DbError, DbResult};
 pub use expr::Expr;
+pub use plan::QueryGuard;
 pub use schema::{Field, Schema};
+pub use session::Session;
 pub use stats::StatsSnapshot;
 pub use table::Distribution;
 pub use value::{DataType, Datum};

@@ -92,6 +92,7 @@ fn analyze_node(
     depth: usize,
     lines: &mut Vec<(usize, String)>,
 ) -> DbResult<PData> {
+    ctx.guard.check()?;
     let label = node_label(plan);
     let slot = lines.len();
     lines.push((depth, String::new()));
@@ -218,6 +219,39 @@ fn render(plan: &Plan, depth: usize, out: &mut String) {
     }
 }
 
+/// Interrupt state threaded through the executor: a cooperative cancel
+/// flag and an optional deadline. The executor calls [`QueryGuard::check`]
+/// on entry to every plan node, so a cancelled session or an expired
+/// statement timeout stops a long multi-join round at the next operator
+/// boundary — before any result is stored, keeping the catalog clean.
+#[derive(Default, Clone, Copy)]
+pub struct QueryGuard<'a> {
+    /// When set and true, the statement aborts with
+    /// [`DbError::Cancelled`].
+    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
+    /// When set and in the past, the statement aborts with
+    /// [`DbError::Cancelled`].
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl QueryGuard<'_> {
+    /// Returns `Err(DbError::Cancelled)` if the cancel flag is raised
+    /// or the deadline has passed; otherwise `Ok(())`.
+    pub fn check(&self) -> DbResult<()> {
+        if let Some(flag) = self.cancel {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(DbError::Cancelled("query cancelled".into()));
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(DbError::Cancelled("statement deadline exceeded".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Everything the executor needs from the cluster.
 pub struct ExecContext<'a> {
     /// Table lookup.
@@ -230,10 +264,13 @@ pub struct ExecContext<'a> {
     /// Number of segments — every operator produces this many
     /// partitions, keeping partition counts uniform across the plan.
     pub segments: usize,
+    /// Cancellation / deadline checkpoints (default: never interrupts).
+    pub guard: QueryGuard<'a>,
 }
 
 /// Executes a plan to partitioned data.
 pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> DbResult<PData> {
+    ctx.guard.check()?;
     match plan {
         Plan::Scan { table } => {
             let t = (ctx.lookup)(table)?;
@@ -337,8 +374,47 @@ mod tests {
         };
         execute(
             plan,
-            &ExecContext { lookup: &lookup, allow_colocated: true, stats: &stats, segments: 2 },
+            &ExecContext {
+                lookup: &lookup,
+                allow_colocated: true,
+                stats: &stats,
+                segments: 2,
+                guard: QueryGuard::default(),
+            },
         )
+    }
+
+    #[test]
+    fn guard_cancels_execution() {
+        use std::sync::atomic::AtomicBool;
+        let stats = Stats::new();
+        let lookup = |_: &str| -> DbResult<Table> { Ok(test_table()) };
+        let flag = AtomicBool::new(true);
+        let ctx = ExecContext {
+            lookup: &lookup,
+            allow_colocated: true,
+            stats: &stats,
+            segments: 2,
+            guard: QueryGuard { cancel: Some(&flag), deadline: None },
+        };
+        let err = execute(&Plan::Scan { table: "t".into() }, &ctx).unwrap_err();
+        assert!(err.is_cancelled());
+    }
+
+    #[test]
+    fn guard_enforces_deadline() {
+        let stats = Stats::new();
+        let lookup = |_: &str| -> DbResult<Table> { Ok(test_table()) };
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let ctx = ExecContext {
+            lookup: &lookup,
+            allow_colocated: true,
+            stats: &stats,
+            segments: 2,
+            guard: QueryGuard { cancel: None, deadline: Some(past) },
+        };
+        let err = execute(&Plan::Scan { table: "t".into() }, &ctx).unwrap_err();
+        assert!(err.is_cancelled());
     }
 
     #[test]

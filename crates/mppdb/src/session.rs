@@ -1,0 +1,557 @@
+//! Sessions: per-connection state on a shared cluster.
+//!
+//! A [`Session`] is a lightweight handle over an `Arc<Cluster>` that
+//! adds everything a concurrent query service needs and the bare
+//! cluster deliberately does not have:
+//!
+//! * **A temporary-table namespace.** The paper's algorithms hardcode
+//!   working-table names (`ccgraph`, `ccreps1`, `hmcc`, …), so two
+//!   concurrent runs on one cluster would collide. A session rewrites
+//!   table names at the AST level: creates are prefixed with
+//!   `__sess{id}__`, and reads resolve the prefixed name first, falling
+//!   back to the shared catalog. Algorithms keep their literal SQL;
+//!   isolation is transparent.
+//! * **Session-scoped transactions.** `begin_transaction`/`commit`
+//!   defer space credits on the *session's* counters only, so one
+//!   session's transaction no longer changes global accounting
+//!   semantics for everyone (the old cluster-level footgun).
+//! * **Interruption.** Each session carries a cancel flag and an
+//!   optional per-statement timeout; the executor checks them between
+//!   operators ([`crate::plan::QueryGuard`]).
+//! * **Attribution.** Charges roll up through a per-session
+//!   [`Stats`] into the cluster-wide counters, so a service can report
+//!   rows/bytes/network per session as well as globally.
+
+use crate::cluster::{Cluster, QueryOutput};
+use crate::error::{DbError, DbResult};
+use crate::sql::{Query, Statement, TableRel};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::value::Datum;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The id of the cluster's built-in default session, which performs no
+/// name mangling (full backwards compatibility for direct
+/// [`Cluster::run`] callers).
+pub(crate) const DEFAULT_SESSION_ID: u64 = 0;
+
+/// Per-session state shared between [`Session`] and the cluster's
+/// dispatch path. The cluster owns one (the default session); every
+/// [`Session`] handle owns its own.
+pub(crate) struct SessionCore {
+    /// Unique id; 0 is the default session (no namespace).
+    pub(crate) id: u64,
+    /// Session-scoped counters, parented to the cluster's.
+    pub(crate) stats: Arc<Stats>,
+    /// When true (the default for real sessions), unqualified creates
+    /// land in the session namespace.
+    temp_ns: AtomicBool,
+    /// Cooperative cancel flag, checked between operators.
+    interrupt: Arc<AtomicBool>,
+    /// Per-statement timeout; the deadline is computed when each
+    /// statement starts.
+    timeout: Mutex<Option<Duration>>,
+    /// Total wall time spent executing statements.
+    exec_nanos: AtomicU64,
+    /// Wall time of the most recent statement.
+    last_nanos: AtomicU64,
+}
+
+impl SessionCore {
+    /// The cluster's built-in session: shares the global `Stats`
+    /// instance (no parent, so nothing is double-counted) and never
+    /// rewrites names.
+    pub(crate) fn default_core(stats: Arc<Stats>) -> SessionCore {
+        SessionCore {
+            id: DEFAULT_SESSION_ID,
+            stats,
+            temp_ns: AtomicBool::new(false),
+            interrupt: Arc::new(AtomicBool::new(false)),
+            timeout: Mutex::new(None),
+            exec_nanos: AtomicU64::new(0),
+            last_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// A fresh session core parented to the cluster's counters.
+    pub(crate) fn fresh(id: u64, global: Arc<Stats>) -> SessionCore {
+        assert_ne!(id, DEFAULT_SESSION_ID);
+        SessionCore {
+            id,
+            stats: Arc::new(Stats::with_parent(global)),
+            temp_ns: AtomicBool::new(true),
+            interrupt: Arc::new(AtomicBool::new(false)),
+            timeout: Mutex::new(None),
+            exec_nanos: AtomicU64::new(0),
+            last_nanos: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn interrupt_flag(&self) -> &AtomicBool {
+        &self.interrupt
+    }
+
+    pub(crate) fn timeout(&self) -> Option<Duration> {
+        *self.timeout.lock()
+    }
+
+    pub(crate) fn note_statement(&self, elapsed: Duration) {
+        let nanos = elapsed.as_nanos() as u64;
+        self.exec_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.last_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The session-namespace name for `name` (lowercased like every
+    /// catalog key).
+    pub(crate) fn mangled(&self, name: &str) -> String {
+        format!("__sess{}__{}", self.id, name.to_ascii_lowercase())
+    }
+
+    /// Namespace prefix of this session's temporary tables.
+    pub(crate) fn ns_prefix(&self) -> String {
+        format!("__sess{}__", self.id)
+    }
+
+    /// Name to use when *creating* `name` in this session.
+    fn create_name(&self, name: &str) -> String {
+        if self.id != DEFAULT_SESSION_ID && self.temp_ns.load(Ordering::Relaxed) {
+            self.mangled(name)
+        } else {
+            name.to_ascii_lowercase()
+        }
+    }
+
+    /// Name to use when *reading* (or dropping/renaming-from) `name`:
+    /// the session's own table shadows a same-named shared one.
+    pub(crate) fn resolve(&self, cluster: &Cluster, name: &str) -> String {
+        if self.id != DEFAULT_SESSION_ID {
+            let m = self.mangled(name);
+            if cluster.has_table(&m) {
+                return m;
+            }
+        }
+        name.to_ascii_lowercase()
+    }
+
+    /// Rewrites every table name in `stmt` into this session's
+    /// namespace: creates are mangled, reads resolved (session table
+    /// first, then shared). No-op for the default session.
+    pub(crate) fn rewrite(&self, cluster: &Cluster, stmt: &mut Statement) {
+        if self.id == DEFAULT_SESSION_ID {
+            return;
+        }
+        match stmt {
+            Statement::Select(q) => self.rewrite_query(cluster, q),
+            Statement::Explain { query, .. } => self.rewrite_query(cluster, query),
+            Statement::CreateTableAs { name, query, .. } => {
+                self.rewrite_query(cluster, query);
+                *name = self.create_name(name);
+            }
+            Statement::CreateTable { name, .. } => *name = self.create_name(name),
+            Statement::Insert { name, .. } => *name = self.resolve(cluster, name),
+            Statement::DropTable { name, .. } => *name = self.resolve(cluster, name),
+            Statement::RenameTable { from, to } => {
+                *from = self.resolve(cluster, from);
+                *to = self.create_name(to);
+            }
+        }
+    }
+
+    fn rewrite_query(&self, cluster: &Cluster, q: &mut Query) {
+        for core in &mut q.selects {
+            for item in &mut core.from {
+                match &mut item.rel {
+                    TableRel::Table(name) => {
+                        // Qualified column references (`ccgraph.v1`) bind
+                        // to the alias when one is present, else to the
+                        // written table name — pin the original name as
+                        // the alias so qualifiers survive the rename.
+                        if item.alias.is_none() {
+                            item.alias = Some(name.clone());
+                        }
+                        *name = self.resolve(cluster, name);
+                    }
+                    TableRel::Subquery(sub) => self.rewrite_query(cluster, sub),
+                }
+            }
+        }
+    }
+}
+
+/// A session handle: the unit of multi-tenancy on a [`Cluster`].
+///
+/// Created with [`Cluster::session`]. All SQL run through a session is
+/// transparently isolated in a per-session temporary-table namespace,
+/// attributed to per-session counters, and interruptible via
+/// [`Session::cancel_flag`] or [`Session::set_timeout`]. Dropping (or
+/// [`Session::close`]-ing) the session drops its temporary tables and
+/// releases their space.
+///
+/// ```
+/// use incc_mppdb::{Cluster, ClusterConfig};
+/// use std::sync::Arc;
+///
+/// let cluster = Arc::new(Cluster::new(ClusterConfig::default()));
+/// let a = cluster.session();
+/// let b = cluster.session();
+/// a.run("create table t as select 1 as x").unwrap();
+/// b.run("create table t as select 2 as x").unwrap(); // no collision
+/// assert_eq!(a.query_scalar_i64("select x from t").unwrap(), 1);
+/// assert_eq!(b.query_scalar_i64("select x from t").unwrap(), 2);
+/// drop(a);
+/// drop(b);
+/// assert!(cluster.table_names().is_empty());
+/// ```
+pub struct Session {
+    cluster: Arc<Cluster>,
+    core: SessionCore,
+    closed: AtomicBool,
+}
+
+impl Session {
+    pub(crate) fn new(cluster: Arc<Cluster>, core: SessionCore) -> Session {
+        Session {
+            cluster,
+            core,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// This session's unique id.
+    pub fn id(&self) -> u64 {
+        self.core.id
+    }
+
+    /// The cluster this session runs on.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Executes one SQL statement in this session's namespace.
+    pub fn run(&self, sql_text: &str) -> DbResult<QueryOutput> {
+        self.cluster.run_in(&self.core, sql_text)
+    }
+
+    /// Executes a `SELECT` and returns its rows.
+    pub fn query(&self, sql_text: &str) -> DbResult<Vec<Vec<Datum>>> {
+        match self.run(sql_text)? {
+            QueryOutput::Rows(rows) => Ok(rows),
+            other => Err(DbError::Plan(format!("expected a SELECT, got {other:?}"))),
+        }
+    }
+
+    /// Executes a `SELECT` expected to return one integer.
+    pub fn query_scalar_i64(&self, sql_text: &str) -> DbResult<i64> {
+        let rows = self.query(sql_text)?;
+        rows.first()
+            .and_then(|r| r.first())
+            .and_then(Datum::as_int)
+            .ok_or_else(|| DbError::Exec("query did not return a scalar integer".into()))
+    }
+
+    /// Enters transaction mode for this session only: its dropped
+    /// tables' space stays charged (here and in the global roll-up)
+    /// until [`Session::commit`].
+    pub fn begin_transaction(&self) {
+        self.core.stats.set_transactional(true);
+    }
+
+    /// Leaves transaction mode and reclaims this session's deferred
+    /// space.
+    pub fn commit(&self) {
+        self.core.stats.set_transactional(false);
+        self.core.stats.commit();
+    }
+
+    /// When `on` (the default), unqualified `CREATE` statements land in
+    /// the session namespace. Turn off to create shared tables — e.g. a
+    /// graph several sessions will analyse.
+    pub fn set_temp_namespace(&self, on: bool) {
+        self.core.temp_ns.store(on, Ordering::Relaxed);
+    }
+
+    /// The catalog name a table called `name` gets when created in this
+    /// session's namespace — useful for tests and diagnostics.
+    pub fn temp_table_name(&self, name: &str) -> String {
+        self.core.mangled(name)
+    }
+
+    /// The shared cancel flag. A controller stores `true` to interrupt
+    /// the statement currently executing in this session (and every
+    /// later one, until [`Session::clear_interrupt`]).
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        self.core.interrupt.clone()
+    }
+
+    /// Raises the cancel flag.
+    pub fn cancel(&self) {
+        self.core.interrupt.store(true, Ordering::Relaxed);
+    }
+
+    /// Lowers the cancel flag so the session can run statements again.
+    pub fn clear_interrupt(&self) {
+        self.core.interrupt.store(false, Ordering::Relaxed);
+    }
+
+    /// Sets (or clears) the per-statement timeout. Each statement's
+    /// deadline is computed when it starts executing.
+    pub fn set_timeout(&self, timeout: Option<Duration>) {
+        *self.core.timeout.lock() = timeout;
+    }
+
+    /// Session-scoped counters (rows/bytes written, network bytes,
+    /// statements). These cover only work done through this session.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.core.stats.snapshot()
+    }
+
+    /// Total wall time spent executing this session's statements.
+    pub fn exec_time(&self) -> Duration {
+        Duration::from_nanos(self.core.exec_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Wall time of the most recently executed statement.
+    pub fn last_statement_time(&self) -> Duration {
+        Duration::from_nanos(self.core.last_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Loads an edge list into this session's namespace (see
+    /// [`Cluster::load_pairs`]).
+    pub fn load_pairs(
+        &self,
+        name: &str,
+        col_a: &str,
+        col_b: &str,
+        pairs: &[(i64, i64)],
+    ) -> DbResult<()> {
+        let target = self.core.create_name(name);
+        self.cluster
+            .load_pairs_with(&self.core.stats, &target, col_a, col_b, pairs)
+    }
+
+    /// Reads a two-column table back as pairs, resolving the session
+    /// namespace first.
+    pub fn scan_pairs(&self, name: &str) -> DbResult<Vec<(i64, i64)>> {
+        self.cluster
+            .scan_pairs(&self.core.resolve(&self.cluster, name))
+    }
+
+    /// Row count of a table visible to this session.
+    pub fn row_count(&self, name: &str) -> DbResult<usize> {
+        self.cluster
+            .row_count(&self.core.resolve(&self.cluster, name))
+    }
+
+    /// Drops a table visible to this session, crediting its space to
+    /// this session's counters.
+    pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        self.cluster
+            .drop_table_with(&self.core.stats, &self.core.resolve(&self.cluster, name))
+    }
+
+    /// Renames a table: the source resolves through the session
+    /// namespace, the target is created in it.
+    pub fn rename_table(&self, from: &str, to: &str) -> DbResult<()> {
+        let from = self.core.resolve(&self.cluster, from);
+        let to = self.core.create_name(to);
+        self.cluster.rename_table(&from, &to)
+    }
+
+    /// Drops every temporary table this session created and releases
+    /// their space. Idempotent; also runs on drop.
+    pub fn close(&self) {
+        if self.closed.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        // A closing session must actually release space even if it died
+        // mid-transaction.
+        self.core.stats.set_transactional(false);
+        self.core.stats.commit();
+        let prefix = self.core.ns_prefix();
+        for name in self.cluster.table_names() {
+            if name.starts_with(&prefix) {
+                let _ = self.cluster.drop_table_with(&self.core.stats, &name);
+            }
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.core.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cluster::{Cluster, ClusterConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn cluster() -> Arc<Cluster> {
+        Arc::new(Cluster::new(ClusterConfig::default()))
+    }
+
+    #[test]
+    fn namespaces_isolate_same_named_tables() {
+        let c = cluster();
+        let a = c.session();
+        let b = c.session();
+        a.run("create table work as select 1 as v").unwrap();
+        b.run("create table work as select 2 as v union all select 3 as v")
+            .unwrap();
+        assert_eq!(a.row_count("work").unwrap(), 1);
+        assert_eq!(b.row_count("work").unwrap(), 2);
+        // The catalog holds both, under mangled names.
+        assert_eq!(c.table_names().len(), 2);
+        assert!(c.has_table(&a.temp_table_name("work")));
+    }
+
+    #[test]
+    fn session_reads_fall_back_to_shared_tables() {
+        let c = cluster();
+        c.load_pairs("shared", "v", "w", &[(1, 10), (2, 20)])
+            .unwrap();
+        let s = c.session();
+        assert_eq!(
+            s.query_scalar_i64("select count(*) as n from shared")
+                .unwrap(),
+            2
+        );
+        // A session table with the same name shadows the shared one.
+        s.run("create table shared as select 7 as v").unwrap();
+        assert_eq!(
+            s.query_scalar_i64("select count(*) as n from shared")
+                .unwrap(),
+            1
+        );
+        s.drop_table("shared").unwrap();
+        // After the shadow is gone the shared table is visible again.
+        assert_eq!(
+            s.query_scalar_i64("select count(*) as n from shared")
+                .unwrap(),
+            2
+        );
+        drop(s);
+        assert_eq!(c.table_names(), vec!["shared".to_string()]);
+    }
+
+    #[test]
+    fn qualified_references_survive_rewriting() {
+        let c = cluster();
+        let s = c.session();
+        s.load_pairs("ccgraph", "v1", "v2", &[(1, 2), (2, 3)])
+            .unwrap();
+        s.load_pairs("reps", "v", "r", &[(1, 1), (2, 1), (3, 1)])
+            .unwrap();
+        // The implicit-alias shape RC's contract step uses.
+        let n = s
+            .query_scalar_i64(
+                "select count(*) as n from ccgraph, reps as r1 \
+                 where ccgraph.v1 = r1.v",
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn close_releases_space_and_tables() {
+        let c = cluster();
+        let s = c.session();
+        s.load_pairs("t1", "a", "b", &[(1, 1), (2, 2)]).unwrap();
+        s.run("create table t2 as select a from t1").unwrap();
+        assert!(c.stats().live_bytes > 0);
+        assert_eq!(c.table_names().len(), 2);
+        s.close();
+        assert_eq!(c.table_names().len(), 0);
+        assert_eq!(c.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn session_transaction_defers_only_its_own_credits() {
+        let c = cluster();
+        let s = c.session();
+        let t = c.session();
+        s.load_pairs("x", "a", "b", &[(1, 1)]).unwrap();
+        t.load_pairs("y", "a", "b", &[(2, 2)]).unwrap();
+        let full = c.stats().live_bytes;
+        s.begin_transaction();
+        s.drop_table("x").unwrap();
+        // Deferred: both the session and the global roll-up stay charged.
+        assert_eq!(c.stats().live_bytes, full);
+        assert_eq!(s.stats().live_bytes, full / 2);
+        // Another session's drop is unaffected by s's transaction.
+        t.drop_table("y").unwrap();
+        assert_eq!(c.stats().live_bytes, full / 2);
+        s.commit();
+        assert_eq!(c.stats().live_bytes, 0);
+        assert_eq!(s.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn cancel_interrupts_statement() {
+        let c = cluster();
+        let s = c.session();
+        s.load_pairs("t", "a", "b", &[(1, 1)]).unwrap();
+        s.cancel();
+        let err = s.run("select count(*) as n from t").unwrap_err();
+        assert!(err.is_cancelled());
+        s.clear_interrupt();
+        assert_eq!(
+            s.query_scalar_i64("select count(*) as n from t").unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn zero_timeout_trips_immediately() {
+        let c = cluster();
+        let s = c.session();
+        s.load_pairs("t", "a", "b", &[(1, 1)]).unwrap();
+        s.set_timeout(Some(Duration::ZERO));
+        let err = s.run("select count(*) as n from t").unwrap_err();
+        assert!(err.is_cancelled());
+        s.set_timeout(None);
+        assert_eq!(
+            s.query_scalar_i64("select count(*) as n from t").unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn stats_attribute_to_the_issuing_session() {
+        let c = cluster();
+        let a = c.session();
+        let b = c.session();
+        a.load_pairs("t", "x", "y", &[(1, 1), (2, 2)]).unwrap();
+        let sa = a.stats();
+        let sb = b.stats();
+        assert!(sa.bytes_written > 0);
+        assert_eq!(sb.bytes_written, 0);
+        assert_eq!(c.stats().bytes_written, sa.bytes_written);
+        assert!(a.exec_time() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn shared_table_creation_with_namespace_off() {
+        let c = cluster();
+        let s = c.session();
+        s.set_temp_namespace(false);
+        s.run("create table g as select 1 as v").unwrap();
+        assert_eq!(c.table_names(), vec!["g".to_string()]);
+        // Visible to other sessions and to the bare cluster.
+        assert_eq!(c.row_count("g").unwrap(), 1);
+        drop(s); // shared tables are NOT dropped on close
+        assert_eq!(c.table_names(), vec!["g".to_string()]);
+    }
+}

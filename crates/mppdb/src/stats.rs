@@ -9,8 +9,14 @@
 //! layers.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Atomic resource counters shared across the cluster's threads.
+///
+/// Counters form a two-level hierarchy: each session owns a `Stats`
+/// whose `parent` is the cluster-wide instance, so every charge is
+/// attributed to the issuing session *and* rolled up globally in one
+/// call. The cluster's own instance has no parent.
 #[derive(Debug, Default)]
 pub struct Stats {
     live_bytes: AtomicU64,
@@ -23,15 +29,25 @@ pub struct Stats {
     /// Transaction mode: dropped tables' space is not reclaimed until
     /// commit — the paper's Table V argument ("most databases delete
     /// temporary tables only at the successful completion of the whole
-    /// algorithm").
+    /// algorithm"). Per-instance, so each session transacts
+    /// independently; while a session defers, the parent's live bytes
+    /// stay charged too (the space really is still held).
     defer_credits: AtomicBool,
     deferred_bytes: AtomicU64,
+    /// Cluster-wide roll-up target (None for the global instance).
+    parent: Option<Arc<Stats>>,
 }
 
 impl Stats {
     /// Fresh counters, unlimited space.
     pub fn new() -> Stats {
         Stats::default()
+    }
+
+    /// Fresh counters that roll every charge up into `parent` —
+    /// the per-session constructor.
+    pub fn with_parent(parent: Arc<Stats>) -> Stats {
+        Stats { parent: Some(parent), ..Stats::default() }
     }
 
     /// Sets the space guard; 0 disables it. Returns nothing — checks
@@ -49,6 +65,9 @@ impl Stats {
     /// `rows` written rows. Returns the new live total so callers can
     /// test it against the limit.
     pub fn charge_create(&self, bytes: u64, rows: u64) -> u64 {
+        if let Some(p) = &self.parent {
+            p.charge_create(bytes, rows);
+        }
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         self.rows_written.fetch_add(rows, Ordering::Relaxed);
         let live = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
@@ -58,11 +77,34 @@ impl Stats {
 
     /// Credits a dropped table's bytes back — or defers the credit in
     /// transaction mode, so peak space equals total bytes written.
+    /// Deferral stops the roll-up too: the parent keeps the space
+    /// charged until this instance commits.
     pub fn credit_drop(&self, bytes: u64) {
         if self.defer_credits.load(Ordering::Relaxed) {
             self.deferred_bytes.fetch_add(bytes, Ordering::Relaxed);
         } else {
-            self.live_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            self.sub_live(bytes);
+            if let Some(p) = &self.parent {
+                p.credit_drop(bytes);
+            }
+        }
+    }
+
+    /// Saturating live-byte decrement (a session that drops a table it
+    /// did not create must not wrap its own counter).
+    fn sub_live(&self, bytes: u64) {
+        let mut cur = self.live_bytes.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.live_bytes.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
         }
     }
 
@@ -71,20 +113,30 @@ impl Stats {
         self.defer_credits.store(on, Ordering::Relaxed);
     }
 
-    /// Commits a transaction: reclaims all deferred space at once.
+    /// Commits a transaction: reclaims all deferred space at once,
+    /// here and in the parent roll-up.
     pub fn commit(&self) {
         let deferred = self.deferred_bytes.swap(0, Ordering::Relaxed);
-        self.live_bytes.fetch_sub(deferred, Ordering::Relaxed);
+        self.sub_live(deferred);
+        if let Some(p) = &self.parent {
+            p.credit_drop(deferred);
+        }
     }
 
     /// Charges bytes moved across segments by an exchange.
     pub fn charge_network(&self, bytes: u64) {
         self.network_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.charge_network(bytes);
+        }
     }
 
     /// Counts one executed statement.
     pub fn count_query(&self) {
         self.queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.count_query();
+        }
     }
 
     /// Current live bytes.

@@ -96,6 +96,7 @@ fn explain_join_distinct_union() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the delegating cluster-level transaction API
 fn transaction_mode_defers_space_reclamation() {
     let db = db_with_edges();
     let base = db.stats().live_bytes;
@@ -115,6 +116,7 @@ fn transaction_mode_defers_space_reclamation() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the delegating cluster-level transaction API
 fn transaction_mode_peak_equals_written() {
     // The paper's Table V rationale: in a transaction, peak space is
     // the total written because drops don't free anything.

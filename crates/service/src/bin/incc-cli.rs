@@ -1,0 +1,100 @@
+//! `incc-cli` — a line-oriented client for `incc-serve`.
+//!
+//! ```text
+//! incc-cli [addr] [-e REQUEST]...
+//! ```
+//!
+//! With `-e` arguments, sends each request and prints its response
+//! (exit code 1 if any ends in `ERR`). Without, reads requests from
+//! stdin until EOF or `\quit`.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// Reads one protocol response: data lines up to and including the
+/// `OK`/`ERR` terminator. Returns (lines, ok).
+fn read_response(reader: &mut impl BufRead) -> io::Result<(Vec<String>, bool)> {
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok((lines, false)); // server hung up
+        }
+        let trimmed = line.trim_end().to_string();
+        let terminal = trimmed.starts_with("OK");
+        let errored = trimmed.starts_with("ERR");
+        lines.push(trimmed);
+        if terminal || errored {
+            return Ok((lines, terminal));
+        }
+    }
+}
+
+fn main() -> io::Result<()> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut requests: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-e" => match args.next() {
+                Some(r) => requests.push(r),
+                None => {
+                    eprintln!("usage: incc-cli [addr] [-e REQUEST]...");
+                    std::process::exit(2);
+                }
+            },
+            other => addr = other.to_string(),
+        }
+    }
+
+    let stream = TcpStream::connect(&addr).map_err(|e| {
+        eprintln!("incc-cli: cannot connect to {addr}: {e}");
+        e
+    })?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    // Greeting.
+    let (greeting, _) = read_response(&mut reader)?;
+    for line in &greeting {
+        eprintln!("{line}");
+    }
+
+    let mut failed = false;
+    let mut send = |req: &str, reader: &mut BufReader<TcpStream>| -> io::Result<bool> {
+        writeln!(writer, "{req}")?;
+        writer.flush()?;
+        let (lines, ok) = read_response(reader)?;
+        for line in &lines {
+            println!("{line}");
+        }
+        Ok(ok)
+    };
+
+    if requests.is_empty() {
+        let stdin = io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line?;
+            let req = line.trim();
+            if req.is_empty() {
+                continue;
+            }
+            if !send(req, &mut reader)? {
+                failed = true;
+            }
+            if req.eq_ignore_ascii_case("\\quit") {
+                break;
+            }
+        }
+    } else {
+        for req in &requests {
+            if !send(req, &mut reader)? {
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    Ok(())
+}

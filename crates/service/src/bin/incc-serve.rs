@@ -1,0 +1,64 @@
+//! `incc-serve` — the query service as a TCP daemon.
+//!
+//! ```text
+//! incc-serve [addr] [--workers N] [--queue N] [--timeout-ms N] [--space-budget BYTES]
+//! ```
+//!
+//! Listens on `addr` (default `127.0.0.1:7878`) and speaks the
+//! newline-delimited protocol of [`incc_service::server`]. Each
+//! connection gets its own isolated session; `\job` submissions share
+//! the service-wide worker pool.
+
+use incc_service::{Server, Service, ServiceConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: incc-serve [addr] [--workers N] [--queue N] \
+         [--timeout-ms N] [--space-budget BYTES]"
+    );
+    std::process::exit(2);
+}
+
+fn parsed<T: std::str::FromStr>(value: Option<String>) -> T {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => config.max_concurrent = parsed(args.next()),
+            "--queue" => config.queue_depth = parsed(args.next()),
+            "--timeout-ms" => {
+                config.statement_timeout = Some(Duration::from_millis(parsed::<u64>(args.next())));
+            }
+            "--space-budget" => config.space_budget = parsed(args.next()),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => addr = other.to_string(),
+            _ => usage(),
+        }
+    }
+    let service = Service::start(config.clone());
+    let server = match Server::bind(service, &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("incc-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = server.local_addr().expect("local_addr");
+    eprintln!(
+        "incc-serve: listening on {bound} \
+         (workers {}, queue {}, timeout {:?}, space budget {})",
+        config.max_concurrent, config.queue_depth, config.statement_timeout, config.space_budget
+    );
+    if let Err(e) = server.serve() {
+        eprintln!("incc-serve: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,195 @@
+//! `incc-smoke` — the concurrency smoke driver.
+//!
+//! ```text
+//! incc-smoke [clients] [vertices] [edges]
+//! ```
+//!
+//! Boots a full service + TCP server on an ephemeral port, loads a
+//! shared random edge table, and hammers it with N concurrent TCP
+//! clients (default 16). Every client runs a mix of interactive SQL in
+//! its private namespace plus one full Randomised Contraction job, and
+//! verifies the returned labelling against in-memory union–find. The
+//! driver then checks that all per-connection space was released.
+//! Exits non-zero on any failure — the end-to-end gate `ci.sh` runs.
+
+use incc_graph::generators::gnm_random_graph;
+use incc_graph::union_find::{connected_components, labellings_equivalent};
+use incc_service::{Server, Service, ServiceConfig};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &std::net::SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let mut c = Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        };
+        c.read_response()?; // greeting
+        Ok(c)
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(Vec<String>, String)> {
+        let mut data = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server hung up",
+                ));
+            }
+            let line = line.trim_end().to_string();
+            if line.starts_with("OK") || line.starts_with("ERR") {
+                return Ok((data, line));
+            }
+            data.push(line);
+        }
+    }
+
+    fn request(&mut self, req: &str) -> Result<(Vec<String>, String), String> {
+        writeln!(self.writer, "{req}").map_err(|e| e.to_string())?;
+        self.writer.flush().map_err(|e| e.to_string())?;
+        let (data, terminator) = self.read_response().map_err(|e| e.to_string())?;
+        if terminator.starts_with("ERR") {
+            return Err(format!("{req} -> {terminator}"));
+        }
+        Ok((data, terminator))
+    }
+}
+
+fn client_run(
+    addr: &std::net::SocketAddr,
+    client_id: usize,
+    truth: &HashMap<u64, u64>,
+) -> Result<(), String> {
+    let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+    // Mixed interactive SQL in the private namespace.
+    c.request(&format!(
+        "create table mine as select v1, v2 from edges where v1 != {client_id}"
+    ))?;
+    let (rows, _) = c.request("select count(*) as n from mine")?;
+    if rows.len() != 1 {
+        return Err(format!(
+            "client {client_id}: expected one count row, got {rows:?}"
+        ));
+    }
+    c.request("create table deg as select v1 as v, count(*) as d from mine group by v1 distributed by (v)")?;
+    c.request("drop table deg")?;
+    c.request("drop table mine")?;
+    // One full RC job against the shared table.
+    let (_, ok) = c.request(&format!("\\job rc edges {client_id}"))?;
+    let id = ok
+        .rsplit(' ')
+        .next()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| format!("client {client_id}: bad job ack {ok}"))?;
+    let (_, done) = c.request(&format!("\\wait {id}"))?;
+    if done != "OK done" {
+        return Err(format!("client {client_id}: job ended {done}"));
+    }
+    let (rows, _) = c.request(&format!("\\result {id}"))?;
+    let mut labels = HashMap::with_capacity(rows.len());
+    for row in &rows {
+        let mut cells = row.split(',');
+        let (Some(v), Some(r)) = (cells.next(), cells.next()) else {
+            return Err(format!("client {client_id}: bad result row {row}"));
+        };
+        // Vertices are original ids; labels are arbitrary i64
+        // representatives (RC's can come from the cipher domain).
+        let v: u64 = v.parse().map_err(|_| format!("bad vertex {row}"))?;
+        let r: i64 = r.parse().map_err(|_| format!("bad label {row}"))?;
+        labels.insert(v, r as u64);
+    }
+    if !labellings_equivalent(&labels, truth) {
+        return Err(format!(
+            "client {client_id}: labelling disagrees with union-find \
+             ({} vs {} vertices)",
+            labels.len(),
+            truth.len()
+        ));
+    }
+    c.request("\\quit")?;
+    Ok(())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let m: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(600);
+
+    let service = Service::start(ServiceConfig {
+        max_concurrent: 8,
+        queue_depth: clients.max(16),
+        ..Default::default()
+    });
+    let graph = gnm_random_graph(n, m, 20_260_806);
+    let truth = connected_components(&graph.edges);
+    service
+        .cluster()
+        .load_pairs("edges", "v1", "v2", &graph.to_i64_pairs())
+        .expect("load shared edge table");
+    let baseline = service.cluster().stats().live_bytes;
+
+    let server = Server::bind(service.clone(), "127.0.0.1:0").expect("bind");
+    let (addr, _accept) = server.spawn().expect("spawn server");
+    eprintln!("incc-smoke: {clients} clients against {addr} (|V|={n}, |E|={m})");
+
+    let failures: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let truth = &truth;
+                scope.spawn(move || client_run(&addr, i, truth))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, h)| match h.join() {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e),
+                Err(_) => Some(format!("client {i}: panicked")),
+            })
+            .collect()
+    });
+
+    for f in &failures {
+        eprintln!("incc-smoke: FAIL {f}");
+    }
+
+    // Give connection threads a moment to drop their sessions, then
+    // verify all per-session space was released.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let live = service.cluster().stats().live_bytes;
+        let tables = service.cluster().table_names();
+        if (live == baseline && tables == vec!["edges".to_string()])
+            || std::time::Instant::now() > deadline
+        {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let live = service.cluster().stats().live_bytes;
+    let tables = service.cluster().table_names();
+    let clean = live == baseline && tables == vec!["edges".to_string()];
+    if !clean {
+        eprintln!(
+            "incc-smoke: FAIL space not released (live {live} vs baseline {baseline}, \
+             tables {tables:?})"
+        );
+    }
+    service.shutdown();
+    if failures.is_empty() && clean {
+        eprintln!("incc-smoke: PASS ({clients} clients, all labellings correct, space clean)");
+    } else {
+        std::process::exit(1);
+    }
+}

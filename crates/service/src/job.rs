@@ -1,0 +1,355 @@
+//! Asynchronous connected-components jobs.
+//!
+//! A *job* is one whole CC computation — algorithm, edge table, seed —
+//! submitted to the service and executed on a pooled worker inside its
+//! own [`incc_mppdb::Session`]. Submitters poll (or block on) a
+//! [`JobHandle`]; the worker reports round progress through
+//! [`incc_core::driver::RunControl`], so a handle shows
+//! `Running { round }` while the algorithm iterates.
+
+use incc_core::bfs::BfsStrategy;
+use incc_core::cracker::Cracker;
+use incc_core::hash_to_min::HashToMin;
+use incc_core::two_phase::TwoPhase;
+use incc_core::{CcAlgorithm, RandomisedContraction};
+use incc_mppdb::StatsSnapshot;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Which CC algorithm a job runs. All five of the repo's algorithms
+/// are reachable from the service so a client can reproduce the
+/// paper's comparison workload concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// Randomised Contraction (the paper's algorithm, default config).
+    Rc,
+    /// Hash-to-Min (Rastogi et al.).
+    HashToMin,
+    /// Two-Phase (Kiveris et al.).
+    TwoPhase,
+    /// Cracker (Lulli et al.).
+    Cracker,
+    /// Naive min-propagation (MADlib / paper Section IV).
+    Bfs,
+}
+
+impl AlgoKind {
+    /// Parses the protocol spelling of an algorithm name.
+    pub fn parse(s: &str) -> Option<AlgoKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "rc" => Some(AlgoKind::Rc),
+            "hm" | "hashtomin" | "hash_to_min" => Some(AlgoKind::HashToMin),
+            "tp" | "twophase" | "two_phase" => Some(AlgoKind::TwoPhase),
+            "cr" | "cracker" => Some(AlgoKind::Cracker),
+            "bfs" => Some(AlgoKind::Bfs),
+            _ => None,
+        }
+    }
+
+    /// Protocol spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlgoKind::Rc => "rc",
+            AlgoKind::HashToMin => "hm",
+            AlgoKind::TwoPhase => "tp",
+            AlgoKind::Cracker => "cr",
+            AlgoKind::Bfs => "bfs",
+        }
+    }
+
+    /// Instantiates the algorithm with its default configuration.
+    pub(crate) fn instance(self) -> Box<dyn CcAlgorithm> {
+        match self {
+            AlgoKind::Rc => Box::new(RandomisedContraction::paper()),
+            AlgoKind::HashToMin => Box::new(HashToMin::default()),
+            AlgoKind::TwoPhase => Box::new(TwoPhase::default()),
+            AlgoKind::Cracker => Box::new(Cracker::default()),
+            AlgoKind::Bfs => Box::new(BfsStrategy::default()),
+        }
+    }
+}
+
+/// What to compute: an algorithm over an existing edge table.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Algorithm to run.
+    pub algo: AlgoKind,
+    /// Name of the edge table (columns `v1`, `v2`), resolved through
+    /// the job's session — usually a shared table several jobs analyse.
+    pub input: String,
+    /// Seed for the algorithm's randomness.
+    pub seed: u64,
+}
+
+/// Lifecycle of a job, as observed through [`JobHandle::status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Executing; `round` counts completed algorithm rounds (0 while
+    /// the input is still being prepared).
+    Running {
+        /// Completed algorithm rounds.
+        round: usize,
+    },
+    /// Finished successfully; the labelling is in [`JobHandle::result`].
+    Done,
+    /// Failed (including cancellation and timeout), with the error text.
+    Failed(String),
+}
+
+impl JobStatus {
+    /// True for `Done` and `Failed` — the states a waiter unblocks on.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed(_))
+    }
+
+    /// One-line protocol rendering (`queued`, `running 3`, `done`,
+    /// `failed <msg>`).
+    pub fn render(&self) -> String {
+        match self {
+            JobStatus::Queued => "queued".into(),
+            JobStatus::Running { round } => format!("running {round}"),
+            JobStatus::Done => "done".into(),
+            JobStatus::Failed(m) => format!("failed {m}"),
+        }
+    }
+}
+
+/// Everything a finished job produced.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The `(v, r)` component labelling.
+    pub labels: Vec<(i64, i64)>,
+    /// Algorithm rounds executed.
+    pub rounds: usize,
+    /// Per-round working-relation sizes (empty when untracked).
+    pub round_sizes: Vec<usize>,
+    /// Wall-clock time of the in-database run.
+    pub elapsed: Duration,
+    /// Session-scoped counters accumulated by the run.
+    pub stats: StatsSnapshot,
+}
+
+/// Shared mutable state of one job. The service's registry, the
+/// executing worker and every [`JobHandle`] hold an `Arc` of this.
+pub(crate) struct JobState {
+    id: u64,
+    spec: JobSpec,
+    /// Raised by [`JobHandle::cancel`]; algorithms observe it at round
+    /// boundaries via `RunControl`.
+    cancel: AtomicBool,
+    /// The running session's interrupt flag, attached by the worker so
+    /// a cancel also stops the statement currently executing.
+    session_flag: Mutex<Option<Arc<AtomicBool>>>,
+    status: Mutex<JobStatus>,
+    result: Mutex<Option<Arc<JobResult>>>,
+    done: Condvar,
+}
+
+impl JobState {
+    pub(crate) fn new(id: u64, spec: JobSpec) -> Arc<JobState> {
+        Arc::new(JobState {
+            id,
+            spec,
+            cancel: AtomicBool::new(false),
+            session_flag: Mutex::new(None),
+            status: Mutex::new(JobStatus::Queued),
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    pub(crate) fn cancel_flag(&self) -> &AtomicBool {
+        &self.cancel
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Worker-side: publish the session's interrupt flag, re-checking
+    /// the job flag afterwards so a cancel that raced the attach still
+    /// interrupts the session.
+    pub(crate) fn attach_session_flag(&self, flag: Arc<AtomicBool>) {
+        *self.session_flag.lock().unwrap() = Some(flag);
+        if self.is_cancelled() {
+            if let Some(f) = self.session_flag.lock().unwrap().as_ref() {
+                f.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(crate) fn detach_session_flag(&self) {
+        *self.session_flag.lock().unwrap() = None;
+    }
+
+    pub(crate) fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        if let Some(f) = self.session_flag.lock().unwrap().as_ref() {
+            f.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Worker-side status update; ignored once terminal (a late round
+    /// callback must not resurrect a finished job).
+    pub(crate) fn set_running(&self, round: usize) {
+        let mut st = self.status.lock().unwrap();
+        if !st.is_terminal() {
+            *st = JobStatus::Running { round };
+        }
+    }
+
+    pub(crate) fn finish_ok(&self, result: JobResult) {
+        *self.result.lock().unwrap() = Some(Arc::new(result));
+        let mut st = self.status.lock().unwrap();
+        if !st.is_terminal() {
+            *st = JobStatus::Done;
+        }
+        self.done.notify_all();
+    }
+
+    pub(crate) fn finish_failed(&self, message: &str) {
+        let mut st = self.status.lock().unwrap();
+        if !st.is_terminal() {
+            *st = JobStatus::Failed(message.to_string());
+        }
+        self.done.notify_all();
+    }
+
+    fn status(&self) -> JobStatus {
+        self.status.lock().unwrap().clone()
+    }
+
+    fn wait(&self) -> JobStatus {
+        let mut st = self.status.lock().unwrap();
+        while !st.is_terminal() {
+            st = self.done.wait(st).unwrap();
+        }
+        st.clone()
+    }
+}
+
+/// Client-side handle to a submitted job: poll, block, cancel, fetch.
+#[derive(Clone)]
+pub struct JobHandle {
+    pub(crate) state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// The service-assigned job id (what the wire protocol names).
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// The submitted spec.
+    pub fn spec(&self) -> &JobSpec {
+        self.state.spec()
+    }
+
+    /// Current status snapshot.
+    pub fn status(&self) -> JobStatus {
+        self.state.status()
+    }
+
+    /// Blocks until the job reaches a terminal status and returns it.
+    pub fn wait(&self) -> JobStatus {
+        self.state.wait()
+    }
+
+    /// Requests cancellation: the job stops at the next operator or
+    /// round boundary and reports `Failed("cancelled: …")`. A job that
+    /// has not started yet fails without ever running.
+    pub fn cancel(&self) {
+        self.state.cancel();
+    }
+
+    /// The result of a `Done` job (`None` otherwise).
+    pub fn result(&self) -> Option<Arc<JobResult>> {
+        self.state.result.lock().unwrap().clone()
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.state.id)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_kind_parses_protocol_spellings() {
+        assert_eq!(AlgoKind::parse("RC"), Some(AlgoKind::Rc));
+        assert_eq!(AlgoKind::parse("hash_to_min"), Some(AlgoKind::HashToMin));
+        assert_eq!(AlgoKind::parse("tp"), Some(AlgoKind::TwoPhase));
+        assert_eq!(AlgoKind::parse("cracker"), Some(AlgoKind::Cracker));
+        assert_eq!(AlgoKind::parse("bfs"), Some(AlgoKind::Bfs));
+        assert_eq!(AlgoKind::parse("dijkstra"), None);
+        for k in [AlgoKind::Rc, AlgoKind::HashToMin, AlgoKind::TwoPhase] {
+            assert_eq!(AlgoKind::parse(k.as_str()), Some(k));
+        }
+    }
+
+    #[test]
+    fn terminal_status_wins_over_late_updates() {
+        let spec = JobSpec {
+            algo: AlgoKind::Rc,
+            input: "e".into(),
+            seed: 0,
+        };
+        let job = JobState::new(1, spec);
+        job.set_running(2);
+        assert_eq!(job.status(), JobStatus::Running { round: 2 });
+        job.finish_failed("cancelled: test");
+        // A straggling round callback cannot overwrite the terminal state.
+        job.set_running(3);
+        assert_eq!(job.status(), JobStatus::Failed("cancelled: test".into()));
+        assert!(job.wait().is_terminal());
+    }
+
+    #[test]
+    fn cancel_raises_attached_session_flag() {
+        let spec = JobSpec {
+            algo: AlgoKind::Bfs,
+            input: "e".into(),
+            seed: 0,
+        };
+        let job = JobState::new(7, spec);
+        let flag = Arc::new(AtomicBool::new(false));
+        job.attach_session_flag(flag.clone());
+        job.cancel();
+        assert!(flag.load(Ordering::Relaxed));
+        // Cancel-before-attach also reaches a later-attached session.
+        let job2 = JobState::new(
+            8,
+            JobSpec {
+                algo: AlgoKind::Bfs,
+                input: "e".into(),
+                seed: 0,
+            },
+        );
+        job2.cancel();
+        let flag2 = Arc::new(AtomicBool::new(false));
+        job2.attach_session_flag(flag2.clone());
+        assert!(flag2.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn status_renders_for_the_wire() {
+        assert_eq!(JobStatus::Queued.render(), "queued");
+        assert_eq!(JobStatus::Running { round: 4 }.render(), "running 4");
+        assert_eq!(JobStatus::Done.render(), "done");
+        assert_eq!(JobStatus::Failed("boom".into()).render(), "failed boom");
+    }
+}

@@ -1,0 +1,60 @@
+//! A concurrent multi-session query service on top of the incc MPP
+//! engine.
+//!
+//! The paper runs its connected-components workloads on Apache HAWQ —
+//! a *database service*: many clients, concurrent queries, admission
+//! control, cancellation. This crate adds that missing layer over
+//! [`incc_mppdb`]'s single-process cluster:
+//!
+//! * **Sessions** — [`Service::session`] hands out
+//!   [`incc_mppdb::Session`]s: per-session temp-table namespaces (the
+//!   algorithms' hardcoded working-table names no longer collide),
+//!   session-scoped transactions, per-session resource counters and
+//!   statement timings.
+//! * **Admission control** — a bounded job queue and a global
+//!   concurrency gate cap how much work executes at once
+//!   ([`ServiceConfig::max_concurrent`]); an optional space budget
+//!   *rejects* new work while the cluster is over it, instead of
+//!   letting allocations crash into the hard limit. Per-statement
+//!   timeouts and cancel flags are checked between plan operators.
+//! * **Jobs** — whole CC computations ([`AlgoKind`]: RC, Hash-to-Min,
+//!   Two-Phase, Cracker, BFS) run asynchronously on a worker pool;
+//!   [`JobHandle`] polls `Queued → Running { round } → Done | Failed`,
+//!   blocks on completion, and cancels mid-round (working tables and
+//!   their space are released).
+//! * **A wire protocol** — [`Server`] speaks newline-delimited SQL
+//!   plus `\`-prefixed service commands over TCP, with CSV or JSON row
+//!   output; the `incc-serve`, `incc-cli` and `incc-smoke` binaries
+//!   wrap it.
+//!
+//! ```
+//! use incc_service::{AlgoKind, JobSpec, JobStatus, Service, ServiceConfig};
+//!
+//! let service = Service::start(ServiceConfig::default());
+//! service.cluster().load_pairs("g", "v1", "v2", &[(1, 2), (2, 3)]).unwrap();
+//!
+//! // Interactive SQL in two isolated sessions.
+//! let (a, b) = (service.session(), service.session());
+//! service.run_sql(&a, "create table t as select v1 from g").unwrap();
+//! service.run_sql(&b, "create table t as select 42 as v1").unwrap(); // no collision
+//!
+//! // A whole CC computation as an asynchronous job.
+//! let job = service
+//!     .submit(JobSpec { algo: AlgoKind::Rc, input: "g".into(), seed: 1 })
+//!     .unwrap();
+//! assert_eq!(job.wait(), JobStatus::Done);
+//! assert_eq!(job.result().unwrap().labels.len(), 3);
+//! service.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod scheduler;
+pub mod server;
+mod service;
+
+pub use job::{AlgoKind, JobHandle, JobResult, JobSpec, JobStatus};
+pub use server::Server;
+pub use service::{AdmissionError, Service, ServiceConfig};

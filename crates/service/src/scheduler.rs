@@ -1,0 +1,271 @@
+//! The admission controller's moving parts: a bounded worker pool with
+//! a bounded submission queue, and a counting gate that caps how many
+//! SQL statements execute concurrently.
+//!
+//! Everything here is plain `std::sync` — `Mutex` + `Condvar` + OS
+//! threads — matching the engine's scoped-thread execution model and
+//! keeping the service free of runtime dependencies.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+    stop: AtomicBool,
+    depth: usize,
+}
+
+/// A fixed pool of worker threads draining a bounded FIFO queue.
+///
+/// [`WorkerPool::submit`] *rejects* (rather than blocks) when the
+/// queue is at capacity — the service's backpressure signal. Shutdown
+/// stops workers after their current task; queued-but-unstarted tasks
+/// are discarded (the service fails their jobs explicitly).
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads servicing a queue of at most `depth`
+    /// pending tasks.
+    pub(crate) fn new(workers: usize, depth: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            depth,
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("incc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues a task, or returns it back when the queue is full or
+    /// the pool is shutting down.
+    pub(crate) fn submit(&self, task: Task) -> Result<(), Task> {
+        if self.shared.stop.load(Ordering::Relaxed) {
+            return Err(task);
+        }
+        let mut q = self.shared.queue.lock().unwrap();
+        if q.len() >= self.shared.depth {
+            return Err(task);
+        }
+        q.push_back(task);
+        drop(q);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Tasks waiting for a worker right now.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// Stops accepting work, discards the queue, and joins every
+    /// worker after its in-flight task finishes. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.queue.lock().unwrap().clear();
+        self.shared.available.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = shared.available.wait(q).unwrap();
+            }
+        };
+        task();
+    }
+}
+
+/// A counting semaphore bounding concurrent statement execution.
+///
+/// Both interactive statements and every statement a job's algorithm
+/// issues acquire a permit, so "max concurrent queries" is one global
+/// number no matter where the SQL comes from. Waiters block (queries
+/// are short); admission-level rejection happens earlier, at submit
+/// time.
+pub(crate) struct Gate {
+    capacity: usize,
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    pub(crate) fn new(capacity: usize) -> Gate {
+        Gate {
+            capacity: capacity.max(1),
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is free, then holds it for the guard's
+    /// lifetime.
+    pub(crate) fn acquire(&self) -> GatePermit<'_> {
+        let mut n = self.active.lock().unwrap();
+        while *n >= self.capacity {
+            n = self.freed.wait(n).unwrap();
+        }
+        *n += 1;
+        GatePermit { gate: self }
+    }
+
+    /// Statements executing right now.
+    #[cfg(test)]
+    pub(crate) fn active(&self) -> usize {
+        *self.active.lock().unwrap()
+    }
+}
+
+/// RAII permit returned by [`Gate::acquire`].
+pub(crate) struct GatePermit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        let mut n = self.gate.active.lock().unwrap();
+        *n -= 1;
+        drop(n);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn pool_runs_submitted_tasks() {
+        let pool = WorkerPool::new(4, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let c = counter.clone();
+            pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }))
+            .ok()
+            .unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while counter.load(Ordering::Relaxed) < 32 {
+            assert!(std::time::Instant::now() < deadline, "tasks did not drain");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let pool = WorkerPool::new(1, 1);
+        // Occupy the single worker until released.
+        let release = Arc::new(AtomicBool::new(false));
+        let started = Arc::new(AtomicBool::new(false));
+        {
+            let (release, started) = (release.clone(), started.clone());
+            pool.submit(Box::new(move || {
+                started.store(true, Ordering::Relaxed);
+                while !release.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }))
+            .ok()
+            .unwrap();
+        }
+        while !started.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // One task fits in the queue; the next is rejected, not blocked.
+        pool.submit(Box::new(|| {})).ok().unwrap();
+        assert!(pool.submit(Box::new(|| {})).is_err());
+        release.store(true, Ordering::Relaxed);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_discards_queued_tasks_and_rejects_new_ones() {
+        let pool = WorkerPool::new(1, 8);
+        let release = Arc::new(AtomicBool::new(false));
+        {
+            let release = release.clone();
+            pool.submit(Box::new(move || {
+                while !release.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }))
+            .ok()
+            .unwrap();
+        }
+        let ran = Arc::new(AtomicBool::new(false));
+        {
+            let ran = ran.clone();
+            pool.submit(Box::new(move || ran.store(true, Ordering::Relaxed)))
+                .ok()
+                .unwrap();
+        }
+        release.store(true, Ordering::Relaxed);
+        pool.shutdown();
+        assert!(pool.submit(Box::new(|| {})).is_err());
+    }
+
+    #[test]
+    fn gate_caps_concurrency() {
+        let gate = Arc::new(Gate::new(2));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let (gate, peak) = (gate.clone(), peak.clone());
+                std::thread::spawn(move || {
+                    let _permit = gate.acquire();
+                    let now = gate.active();
+                    peak.fetch_max(now, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(5));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(peak.load(Ordering::Relaxed) <= 2);
+        assert_eq!(gate.active(), 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! A minimal text protocol over TCP (`std::net`, one thread per
+//! connection).
+//!
+//! Clients send newline-delimited requests. A request is either a SQL
+//! statement (executed in the connection's session) or a `\`-prefixed
+//! service command. Every response is zero or more data lines followed
+//! by exactly one terminator line starting with `OK` or `ERR`, so a
+//! client reads until the terminator:
+//!
+//! ```text
+//! -> select v1, v2 from edges
+//! <- 1,2
+//! <- 2,3
+//! <- OK 2
+//! -> \job rc edges 7
+//! <- OK job 1
+//! -> \wait 1
+//! <- OK done
+//! -> \result 1
+//! <- 1,1
+//! <- 2,1
+//! <- 3,1
+//! <- OK 3
+//! ```
+//!
+//! Commands: `\job <algo> <table> [seed]`, `\status <id>`,
+//! `\wait <id>`, `\cancel <id>`, `\result <id>`, `\stats [global]`,
+//! `\mode csv|json`, `\timeout <ms>|off`, `\shared on|off`, `\quit`.
+
+use crate::service::Service;
+use crate::{AlgoKind, JobSpec, JobStatus};
+use incc_mppdb::{Datum, QueryOutput, Session};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Row output rendering.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Csv,
+    Json,
+}
+
+/// The TCP front end: accepts connections and gives each one a session
+/// on the shared [`Service`].
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+}
+
+impl Server {
+    /// Binds the listener (use port 0 for an ephemeral port).
+    pub fn bind(service: Arc<Service>, addr: &str) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the calling thread, spawning one thread
+    /// per connection. Returns only on listener error.
+    pub fn serve(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let service = self.service.clone();
+            std::thread::Builder::new()
+                .name("incc-conn".into())
+                .spawn(move || {
+                    let _ = handle_connection(&service, stream);
+                })
+                .expect("spawn connection thread");
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread; returns the bound
+    /// address and the loop's join handle.
+    pub fn spawn(self) -> io::Result<(SocketAddr, JoinHandle<io::Result<()>>)> {
+        let addr = self.local_addr()?;
+        let handle = std::thread::Builder::new()
+            .name("incc-accept".into())
+            .spawn(move || self.serve())
+            .expect("spawn accept thread");
+        Ok((addr, handle))
+    }
+}
+
+fn handle_connection(service: &Arc<Service>, stream: TcpStream) -> io::Result<()> {
+    let session = service.session();
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut w = BufWriter::new(stream);
+    let mut mode = Mode::Csv;
+    writeln!(w, "OK incc session {}", session.id())?;
+    w.flush()?;
+    for line in reader.lines() {
+        let line = line?;
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        let quit = if let Some(cmd) = request.strip_prefix('\\') {
+            execute_command(service, &session, &mut mode, cmd, &mut w)?
+        } else {
+            execute_sql(service, &session, mode, request, &mut w)?;
+            false
+        };
+        w.flush()?;
+        if quit {
+            break;
+        }
+    }
+    // Session cleanup (temp tables, space) happens on drop.
+    Ok(())
+}
+
+/// Handles one `\` command; returns true when the connection should
+/// close.
+fn execute_command(
+    service: &Arc<Service>,
+    session: &Session,
+    mode: &mut Mode,
+    cmd: &str,
+    w: &mut impl Write,
+) -> io::Result<bool> {
+    let mut parts = cmd.split_whitespace();
+    let verb = parts.next().unwrap_or("").to_ascii_lowercase();
+    let args: Vec<&str> = parts.collect();
+    match (verb.as_str(), args.as_slice()) {
+        ("quit", []) => {
+            writeln!(w, "OK bye")?;
+            return Ok(true);
+        }
+        ("mode", ["csv"]) => {
+            *mode = Mode::Csv;
+            writeln!(w, "OK mode csv")?;
+        }
+        ("mode", ["json"]) => {
+            *mode = Mode::Json;
+            writeln!(w, "OK mode json")?;
+        }
+        ("timeout", ["off"]) => {
+            session.set_timeout(None);
+            writeln!(w, "OK timeout off")?;
+        }
+        ("timeout", [ms]) => match ms.parse::<u64>() {
+            Ok(ms) => {
+                session.set_timeout(Some(Duration::from_millis(ms)));
+                writeln!(w, "OK timeout {ms}")?;
+            }
+            Err(_) => writeln!(w, "ERR timeout wants milliseconds or 'off'")?,
+        },
+        ("shared", [flag @ ("on" | "off")]) => {
+            // `\shared on` creates tables in the shared catalog (for
+            // edge tables several sessions will analyse).
+            session.set_temp_namespace(*flag == "off");
+            writeln!(w, "OK shared {flag}")?;
+        }
+        ("job", [algo, table, rest @ ..]) => {
+            let Some(algo) = AlgoKind::parse(algo) else {
+                writeln!(w, "ERR unknown algorithm (rc|hm|tp|cr|bfs)")?;
+                return Ok(false);
+            };
+            let seed = match rest {
+                [] => 0,
+                [s] => match s.parse::<u64>() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        writeln!(w, "ERR seed must be an unsigned integer")?;
+                        return Ok(false);
+                    }
+                },
+                _ => {
+                    writeln!(w, "ERR usage: \\job <algo> <table> [seed]")?;
+                    return Ok(false);
+                }
+            };
+            let spec = JobSpec {
+                algo,
+                input: table.to_string(),
+                seed,
+            };
+            match service.submit(spec) {
+                Ok(job) => writeln!(w, "OK job {}", job.id())?,
+                Err(e) => writeln!(w, "ERR {e}")?,
+            }
+        }
+        ("status" | "wait" | "cancel" | "result", [id]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                writeln!(w, "ERR job id must be an unsigned integer")?;
+                return Ok(false);
+            };
+            let Some(job) = service.job(id) else {
+                writeln!(w, "ERR no such job {id}")?;
+                return Ok(false);
+            };
+            match verb.as_str() {
+                "status" => writeln!(w, "OK {}", job.status().render())?,
+                "wait" => writeln!(w, "OK {}", job.wait().render())?,
+                "cancel" => {
+                    job.cancel();
+                    writeln!(w, "OK cancelling {id}")?;
+                }
+                _ => match (job.status(), job.result()) {
+                    (JobStatus::Done, Some(result)) => {
+                        for &(v, r) in &result.labels {
+                            write_row(w, *mode, &[Datum::Int(v), Datum::Int(r)])?;
+                        }
+                        writeln!(w, "OK {}", result.labels.len())?;
+                    }
+                    (status, _) => writeln!(w, "ERR job {id} is {}", status.render())?,
+                },
+            }
+        }
+        ("stats", args @ ([] | ["global"])) => {
+            let s = if args.is_empty() {
+                session.stats()
+            } else {
+                service.cluster().stats()
+            };
+            writeln!(w, "live_bytes {}", s.live_bytes)?;
+            writeln!(w, "max_live_bytes {}", s.max_live_bytes)?;
+            writeln!(w, "bytes_written {}", s.bytes_written)?;
+            writeln!(w, "rows_written {}", s.rows_written)?;
+            writeln!(w, "network_bytes {}", s.network_bytes)?;
+            writeln!(w, "queries {}", s.queries)?;
+            if args.is_empty() {
+                writeln!(w, "exec_micros {}", session.exec_time().as_micros())?;
+                writeln!(
+                    w,
+                    "last_statement_micros {}",
+                    session.last_statement_time().as_micros()
+                )?;
+                writeln!(w, "OK 8")?;
+            } else {
+                writeln!(w, "OK 6")?;
+            }
+        }
+        _ => writeln!(w, "ERR unknown command \\{cmd}")?,
+    }
+    Ok(false)
+}
+
+fn execute_sql(
+    service: &Arc<Service>,
+    session: &Session,
+    mode: Mode,
+    sql: &str,
+    w: &mut impl Write,
+) -> io::Result<()> {
+    // Session-namespaced tables carry an internal `__sess{id}__`
+    // prefix in the catalog; clients see the name they wrote.
+    let prefix = session.temp_table_name("");
+    match service.run_sql(session, sql) {
+        Ok(QueryOutput::Rows(rows)) => {
+            for row in &rows {
+                write_row(w, mode, row)?;
+            }
+            writeln!(w, "OK {}", rows.len())
+        }
+        Ok(QueryOutput::Created { table, rows }) => {
+            writeln!(
+                w,
+                "OK created {} {rows}",
+                table.strip_prefix(&prefix).unwrap_or(&table)
+            )
+        }
+        Ok(QueryOutput::Inserted { table, rows }) => {
+            writeln!(
+                w,
+                "OK inserted {} {rows}",
+                table.strip_prefix(&prefix).unwrap_or(&table)
+            )
+        }
+        Ok(QueryOutput::Dropped) => writeln!(w, "OK dropped"),
+        Ok(QueryOutput::Renamed) => writeln!(w, "OK renamed"),
+        Ok(QueryOutput::Explain(plan)) => {
+            let mut n = 0;
+            for line in plan.lines() {
+                writeln!(w, "{line}")?;
+                n += 1;
+            }
+            writeln!(w, "OK {n}")
+        }
+        Err(e) => writeln!(w, "ERR {e}"),
+    }
+}
+
+fn write_row(w: &mut impl Write, mode: Mode, row: &[Datum]) -> io::Result<()> {
+    match mode {
+        Mode::Csv => {
+            let cells: Vec<String> = row.iter().map(|d| d.to_string()).collect();
+            writeln!(w, "{}", cells.join(","))
+        }
+        Mode::Json => {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|d| match d {
+                    Datum::Null => "null".to_string(),
+                    other => other.to_string(),
+                })
+                .collect();
+            writeln!(w, "[{}]", cells.join(","))
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! The service proper: admission control, session handout, and the
+//! asynchronous job API.
+
+use crate::job::{JobHandle, JobResult, JobSpec, JobState};
+use crate::scheduler::{Gate, WorkerPool};
+use incc_core::driver::RunControl;
+use incc_mppdb::{
+    Cluster, ClusterConfig, DbError, DbResult, QueryOutput, ScalarUdf, Session, SqlEngine,
+    StatsSnapshot,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum SQL statements executing concurrently, across both
+    /// interactive sessions and job workers; also the job worker-pool
+    /// size.
+    pub max_concurrent: usize,
+    /// Maximum jobs waiting for a worker before submissions are
+    /// rejected.
+    pub queue_depth: usize,
+    /// Per-statement timeout applied to every session the service
+    /// hands out (`None` = unlimited).
+    pub statement_timeout: Option<Duration>,
+    /// Admission space budget in bytes (0 = unlimited): new statements
+    /// and job submissions are *rejected* — never crashed — while the
+    /// cluster's live bytes are at or above this level. Distinct from
+    /// the cluster's own hard `space_limit`, which fails the allocating
+    /// statement itself.
+    pub space_budget: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_concurrent: 4,
+            queue_depth: 64,
+            statement_timeout: None,
+            space_budget: 0,
+        }
+    }
+}
+
+/// Why the admission controller refused work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The job queue is at `queue_depth`.
+    QueueFull {
+        /// The configured depth that was hit.
+        depth: usize,
+    },
+    /// Live bytes are at or above the configured budget.
+    SpaceBudget {
+        /// Cluster-wide live bytes at rejection time.
+        live: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The service has been shut down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull { depth } => {
+                write!(f, "admission rejected: job queue full ({depth} waiting)")
+            }
+            AdmissionError::SpaceBudget { live, budget } => write!(
+                f,
+                "admission rejected: space budget exceeded ({live} live bytes >= {budget})"
+            ),
+            AdmissionError::ShuttingDown => write!(f, "admission rejected: shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A [`SqlEngine`] wrapper that routes every statement through the
+/// service's concurrency gate, so algorithm rounds running on job
+/// workers count against the same `max_concurrent` bound as
+/// interactive statements.
+struct GatedEngine<'a> {
+    inner: &'a Session,
+    gate: &'a Gate,
+}
+
+impl SqlEngine for GatedEngine<'_> {
+    fn run(&self, sql_text: &str) -> DbResult<QueryOutput> {
+        let _permit = self.gate.acquire();
+        self.inner.run(sql_text)
+    }
+
+    fn row_count(&self, name: &str) -> DbResult<usize> {
+        self.inner.row_count(name)
+    }
+
+    fn drop_table(&self, name: &str) -> DbResult<()> {
+        self.inner.drop_table(name)
+    }
+
+    fn rename_table(&self, from: &str, to: &str) -> DbResult<()> {
+        self.inner.rename_table(from, to)
+    }
+
+    fn register_udf(&self, name: &str, udf: Arc<dyn ScalarUdf>) {
+        self.inner.register_udf(name, udf)
+    }
+
+    fn unregister_udf(&self, name: &str) {
+        self.inner.unregister_udf(name)
+    }
+
+    fn load_pairs(
+        &self,
+        name: &str,
+        col_a: &str,
+        col_b: &str,
+        pairs: &[(i64, i64)],
+    ) -> DbResult<()> {
+        self.inner.load_pairs(name, col_a, col_b, pairs)
+    }
+
+    fn scan_pairs(&self, name: &str) -> DbResult<Vec<(i64, i64)>> {
+        self.inner.scan_pairs(name)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+}
+
+/// A concurrent multi-session query service over one [`Cluster`].
+///
+/// The service owns an admission controller (bounded job queue, global
+/// statement-concurrency gate, space budget), hands out
+/// namespace-isolated [`Session`]s, and executes whole CC computations
+/// as asynchronous [`JobHandle`]s with `Queued → Running { round } →
+/// Done | Failed` status polling.
+///
+/// ```
+/// use incc_service::{AlgoKind, JobSpec, JobStatus, Service, ServiceConfig};
+///
+/// let service = Service::start(ServiceConfig::default());
+/// // A shared edge table: triangle {1,2,3} plus isolated vertex 9.
+/// service
+///     .cluster()
+///     .load_pairs("edges", "v1", "v2", &[(1, 2), (2, 3), (3, 1), (9, 9)])
+///     .unwrap();
+/// let job = service
+///     .submit(JobSpec { algo: AlgoKind::Rc, input: "edges".into(), seed: 7 })
+///     .unwrap();
+/// assert_eq!(job.wait(), JobStatus::Done);
+/// let result = job.result().unwrap();
+/// assert_eq!(result.labels.len(), 4);
+/// service.shutdown();
+/// ```
+pub struct Service {
+    cluster: Arc<Cluster>,
+    pool: WorkerPool,
+    gate: Arc<Gate>,
+    config: ServiceConfig,
+    next_job: AtomicU64,
+    jobs: Mutex<HashMap<u64, Arc<JobState>>>,
+}
+
+impl Service {
+    /// Wraps an existing cluster.
+    pub fn new(cluster: Arc<Cluster>, config: ServiceConfig) -> Arc<Service> {
+        Arc::new(Service {
+            cluster,
+            pool: WorkerPool::new(config.max_concurrent, config.queue_depth),
+            gate: Arc::new(Gate::new(config.max_concurrent)),
+            config,
+            next_job: AtomicU64::new(1),
+            jobs: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Convenience: a fresh default cluster under a new service.
+    pub fn start(config: ServiceConfig) -> Arc<Service> {
+        Service::new(Arc::new(Cluster::new(ClusterConfig::default())), config)
+    }
+
+    /// The underlying cluster (e.g. for loading shared tables or
+    /// reading global stats).
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The configuration this service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Opens a new isolated session with the service's default
+    /// statement timeout applied.
+    pub fn session(&self) -> Session {
+        let s = self.cluster.session();
+        s.set_timeout(self.config.statement_timeout);
+        s
+    }
+
+    /// The admission check every piece of new work passes.
+    pub fn admit(&self) -> Result<(), AdmissionError> {
+        if self.config.space_budget > 0 {
+            let live = self.cluster.stats().live_bytes;
+            if live >= self.config.space_budget {
+                return Err(AdmissionError::SpaceBudget {
+                    live,
+                    budget: self.config.space_budget,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one interactive statement in `session`, subject to
+    /// admission (space budget) and the global concurrency gate.
+    pub fn run_sql(&self, session: &Session, sql: &str) -> DbResult<QueryOutput> {
+        if let Err(e) = self.admit() {
+            return Err(DbError::Exec(e.to_string()));
+        }
+        let _permit = self.gate.acquire();
+        session.run(sql)
+    }
+
+    /// Submits a CC computation as an asynchronous job. Returns
+    /// immediately with a pollable handle, or an admission error when
+    /// the queue is full or the space budget is exhausted.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, AdmissionError> {
+        self.admit()?;
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let state = JobState::new(id, spec);
+        self.jobs.lock().unwrap().insert(id, state.clone());
+        let cluster = self.cluster.clone();
+        let gate = self.gate.clone();
+        let timeout = self.config.statement_timeout;
+        let task_state = state.clone();
+        let submitted = self.pool.submit(Box::new(move || {
+            execute_job(&cluster, &gate, timeout, &task_state);
+        }));
+        if submitted.is_err() {
+            self.jobs.lock().unwrap().remove(&id);
+            return Err(AdmissionError::QueueFull {
+                depth: self.config.queue_depth,
+            });
+        }
+        Ok(JobHandle { state })
+    }
+
+    /// Looks up a previously submitted job by id.
+    pub fn job(&self, id: u64) -> Option<JobHandle> {
+        self.jobs.lock().unwrap().get(&id).map(|state| JobHandle {
+            state: state.clone(),
+        })
+    }
+
+    /// Jobs waiting for a worker right now.
+    pub fn queued_jobs(&self) -> usize {
+        self.pool.queue_len()
+    }
+
+    /// Cancels all unfinished jobs, waits for the workers to wind
+    /// down, and fails anything still queued. Idempotent.
+    pub fn shutdown(&self) {
+        let jobs: Vec<Arc<JobState>> = self.jobs.lock().unwrap().values().cloned().collect();
+        for job in &jobs {
+            job.cancel();
+        }
+        // Stops new dequeues, discards the queue, joins in-flight
+        // workers (their runs exit promptly via the raised flags).
+        self.pool.shutdown();
+        for job in &jobs {
+            job.finish_failed("cancelled: service shut down");
+        }
+    }
+}
+
+fn execute_job(
+    cluster: &Arc<Cluster>,
+    gate: &Gate,
+    timeout: Option<Duration>,
+    job: &Arc<JobState>,
+) {
+    if job.is_cancelled() {
+        job.finish_failed("cancelled: before start");
+        return;
+    }
+    job.set_running(0);
+    let session = cluster.session();
+    session.set_timeout(timeout);
+    job.attach_session_flag(session.cancel_flag());
+    let spec = job.spec().clone();
+    let algo = spec.algo.instance();
+    let on_round = |round: usize, _rows: usize| job.set_running(round);
+    let ctrl = RunControl {
+        cancel: Some(job.cancel_flag()),
+        on_round: Some(&on_round),
+    };
+    let engine = GatedEngine {
+        inner: &session,
+        gate,
+    };
+    let before = session.stats();
+    let start = Instant::now();
+    let outcome = algo.run_controlled(&engine, &spec.input, spec.seed, &ctrl);
+    let elapsed = start.elapsed();
+    let verdict = match outcome {
+        Ok(o) => match session.scan_pairs(&o.result_table) {
+            Ok(labels) => {
+                let _ = session.drop_table(&o.result_table);
+                let stats = session.stats().delta_since(&before);
+                Ok(JobResult {
+                    labels,
+                    rounds: o.rounds,
+                    round_sizes: o.round_sizes,
+                    elapsed,
+                    stats,
+                })
+            }
+            Err(e) => Err(e.to_string()),
+        },
+        Err(e) => Err(e.to_string()),
+    };
+    job.detach_session_flag();
+    // Closing the session releases every working table the run left
+    // behind (crucial after cancellation or failure). This must happen
+    // *before* the terminal status is published: a waiter that observes
+    // Done/Failed must also observe the space released.
+    session.close();
+    match verdict {
+        Ok(result) => job.finish_ok(result),
+        Err(message) => job.finish_failed(&message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{AlgoKind, JobStatus};
+    use incc_graph::union_find::{connected_components, labellings_equivalent};
+    use incc_graph::EdgeList;
+
+    fn load_edges(service: &Service, name: &str, pairs: &[(i64, i64)]) {
+        service
+            .cluster()
+            .load_pairs(name, "v1", "v2", pairs)
+            .unwrap();
+    }
+
+    #[test]
+    fn job_computes_correct_labels() {
+        let service = Service::start(ServiceConfig::default());
+        let pairs = vec![(1, 2), (2, 3), (4, 5), (9, 9)];
+        load_edges(&service, "edges", &pairs);
+        let job = service
+            .submit(JobSpec {
+                algo: AlgoKind::Rc,
+                input: "edges".into(),
+                seed: 11,
+            })
+            .unwrap();
+        assert_eq!(job.wait(), JobStatus::Done);
+        let result = job.result().unwrap();
+        let labels: std::collections::HashMap<u64, u64> = result
+            .labels
+            .iter()
+            .map(|&(v, r)| (v as u64, r as u64))
+            .collect();
+        let g = EdgeList::from_pairs(pairs.iter().map(|&(a, b)| (a as u64, b as u64)).collect());
+        let truth = connected_components(&g.edges);
+        assert!(labellings_equivalent(&labels, &truth));
+        assert!(result.rounds >= 1);
+        assert!(result.stats.queries > 0);
+        // The job's session cleaned up after itself: only the shared
+        // input remains, and its space is the only live space.
+        assert_eq!(service.cluster().table_names(), vec!["edges".to_string()]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn every_algorithm_is_reachable_as_a_job() {
+        let service = Service::start(ServiceConfig::default());
+        let pairs = vec![(1, 2), (2, 3), (3, 1), (7, 8)];
+        load_edges(&service, "edges", &pairs);
+        let g = EdgeList::from_pairs(pairs.iter().map(|&(a, b)| (a as u64, b as u64)).collect());
+        let truth = connected_components(&g.edges);
+        for algo in [
+            AlgoKind::Rc,
+            AlgoKind::HashToMin,
+            AlgoKind::TwoPhase,
+            AlgoKind::Cracker,
+            AlgoKind::Bfs,
+        ] {
+            let job = service
+                .submit(JobSpec {
+                    algo,
+                    input: "edges".into(),
+                    seed: 3,
+                })
+                .unwrap();
+            assert_eq!(job.wait(), JobStatus::Done, "{algo:?}");
+            let labels: std::collections::HashMap<u64, u64> = job
+                .result()
+                .unwrap()
+                .labels
+                .iter()
+                .map(|&(v, r)| (v as u64, r as u64))
+                .collect();
+            assert!(labellings_equivalent(&labels, &truth), "{algo:?}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn space_budget_rejects_rather_than_crashes() {
+        let service = Service::start(ServiceConfig {
+            space_budget: 1,
+            ..Default::default()
+        });
+        load_edges(&service, "edges", &[(1, 2)]);
+        // live_bytes >= 1 now: both statements and jobs are refused.
+        let err = service
+            .submit(JobSpec {
+                algo: AlgoKind::Rc,
+                input: "edges".into(),
+                seed: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::SpaceBudget { .. }));
+        let session = service.session();
+        let err = service
+            .run_sql(&session, "select count(*) as n from edges")
+            .unwrap_err();
+        assert!(err.to_string().contains("space budget"));
+        service.shutdown();
+    }
+
+    #[test]
+    fn jobs_are_findable_by_id_and_fail_on_missing_input() {
+        let service = Service::start(ServiceConfig::default());
+        let job = service
+            .submit(JobSpec {
+                algo: AlgoKind::TwoPhase,
+                input: "no_such".into(),
+                seed: 0,
+            })
+            .unwrap();
+        let found = service.job(job.id()).unwrap();
+        assert_eq!(found.id(), job.id());
+        assert!(service.job(job.id() + 1000).is_none());
+        match found.wait() {
+            JobStatus::Failed(m) => assert!(m.contains("no_such"), "{m}"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_unfinished_jobs() {
+        let service = Service::start(ServiceConfig {
+            max_concurrent: 1,
+            queue_depth: 8,
+            ..Default::default()
+        });
+        // A worst-case input keeps the single worker busy long enough
+        // for later submissions to still be queued at shutdown.
+        let path: Vec<(i64, i64)> = (0..600).map(|i| (i, i + 1)).collect();
+        load_edges(&service, "edges", &path);
+        let jobs: Vec<JobHandle> = (0..4)
+            .map(|s| {
+                service
+                    .submit(JobSpec {
+                        algo: AlgoKind::Bfs,
+                        input: "edges".into(),
+                        seed: s,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        service.shutdown();
+        for job in jobs {
+            let status = job.wait();
+            assert!(status.is_terminal());
+        }
+        // All job sessions are gone; only the shared input remains.
+        assert_eq!(service.cluster().table_names(), vec!["edges".to_string()]);
+        service.shutdown(); // idempotent
+    }
+}

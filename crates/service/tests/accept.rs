@@ -1,0 +1,104 @@
+//! The PR's acceptance workload: 16 concurrent clients, each running
+//! mixed interactive SQL plus at least one full Randomised Contraction
+//! job against a shared edge table. Every labelling must agree with
+//! in-memory union–find, nothing may panic, and live bytes must return
+//! to the shared-table baseline once every session is closed.
+
+use incc_graph::generators::gnm_random_graph;
+use incc_graph::union_find::{connected_components, labellings_equivalent};
+use incc_service::{AlgoKind, JobSpec, JobStatus, Service, ServiceConfig};
+use std::collections::HashMap;
+
+const CLIENTS: usize = 16;
+
+#[test]
+fn sixteen_concurrent_clients_compute_correct_components() {
+    let service = Service::start(ServiceConfig {
+        max_concurrent: 4,
+        queue_depth: CLIENTS * 2,
+        ..Default::default()
+    });
+    let graph = gnm_random_graph(300, 450, 77);
+    let truth = connected_components(&graph.edges);
+    service
+        .cluster()
+        .load_pairs("edges", "v1", "v2", &graph.to_i64_pairs())
+        .unwrap();
+    let baseline = service.cluster().stats().live_bytes;
+    let edge_count = graph.edges.len();
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let service = &service;
+            let truth = &truth;
+            scope.spawn(move || {
+                let session = service.session();
+                // Interactive work in the private namespace; every
+                // client uses the same literal table names.
+                service
+                    .run_sql(
+                        &session,
+                        "create table scratch as select v1, v2 from edges \
+                         distributed by (v1)",
+                    )
+                    .unwrap();
+                let n = session
+                    .query_scalar_i64("select count(*) as n from scratch")
+                    .unwrap();
+                assert_eq!(n as usize, edge_count, "client {client}");
+                service
+                    .run_sql(
+                        &session,
+                        "create table degs as select v1 as v, count(*) as d \
+                         from scratch group by v1 distributed by (v)",
+                    )
+                    .unwrap();
+                session.drop_table("degs").unwrap();
+                session.drop_table("scratch").unwrap();
+
+                // At least one full RC job per client; a third of the
+                // clients run a comparator too.
+                let job = service
+                    .submit(JobSpec {
+                        algo: AlgoKind::Rc,
+                        input: "edges".into(),
+                        seed: client as u64 + 1,
+                    })
+                    .unwrap();
+                if client % 3 == 0 {
+                    let extra = service
+                        .submit(JobSpec {
+                            algo: AlgoKind::TwoPhase,
+                            input: "edges".into(),
+                            seed: client as u64,
+                        })
+                        .unwrap();
+                    assert_eq!(extra.wait(), JobStatus::Done, "client {client} TP");
+                    let labels: HashMap<u64, u64> = extra
+                        .result()
+                        .unwrap()
+                        .labels
+                        .iter()
+                        .map(|&(v, r)| (v as u64, r as u64))
+                        .collect();
+                    assert!(labellings_equivalent(&labels, truth), "client {client} TP");
+                }
+                assert_eq!(job.wait(), JobStatus::Done, "client {client} RC");
+                let result = job.result().unwrap();
+                assert!(result.rounds >= 1);
+                let labels: HashMap<u64, u64> = result
+                    .labels
+                    .iter()
+                    .map(|&(v, r)| (v as u64, r as u64))
+                    .collect();
+                assert!(labellings_equivalent(&labels, truth), "client {client} RC");
+                session.close();
+            });
+        }
+    });
+
+    // Zero residue: only the shared table, at baseline space.
+    assert_eq!(service.cluster().table_names(), vec!["edges".to_string()]);
+    assert_eq!(service.cluster().stats().live_bytes, baseline);
+    service.shutdown();
+}

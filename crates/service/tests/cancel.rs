@@ -1,0 +1,119 @@
+//! Cancellation and timeout release space.
+//!
+//! The paper's Hash-to-Min worst case — a long path, where cluster
+//! tables grow exponentially with the round number — is exactly the
+//! workload an operator needs to kill. These tests cancel such a run
+//! mid-round (and time one out) and verify the service releases every
+//! working table and all of its space.
+
+use incc_service::{AlgoKind, JobSpec, JobStatus, Service, ServiceConfig};
+use std::time::{Duration, Instant};
+
+fn path_pairs(n: i64) -> Vec<(i64, i64)> {
+    (0..n).map(|i| (i, i + 1)).collect()
+}
+
+#[test]
+fn cancelling_a_running_job_frees_its_space() {
+    let service = Service::start(ServiceConfig::default());
+    // A 2048-path: Hash-to-Min needs ~11 rounds here and its working
+    // relation grows every round, so the run is comfortably long
+    // enough to catch mid-flight.
+    service
+        .cluster()
+        .load_pairs("hmpath", "v1", "v2", &path_pairs(2048))
+        .unwrap();
+    let baseline = service.cluster().stats().live_bytes;
+
+    let job = service
+        .submit(JobSpec {
+            algo: AlgoKind::HashToMin,
+            input: "hmpath".into(),
+            seed: 0,
+        })
+        .unwrap();
+
+    // Wait until the algorithm has completed at least one round, then
+    // cancel. Peak space at that moment is strictly above baseline.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match job.status() {
+            JobStatus::Running { round } if round >= 1 => break,
+            s if s.is_terminal() => panic!("job finished before it could be cancelled: {s:?}"),
+            _ => {
+                assert!(Instant::now() < deadline, "job never reached round 1");
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+    job.cancel();
+
+    match job.wait() {
+        JobStatus::Failed(m) => assert!(m.contains("cancelled"), "unexpected failure: {m}"),
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    assert!(job.result().is_none());
+
+    // No orphan working tables, and live space back to the input
+    // table alone.
+    assert_eq!(service.cluster().table_names(), vec!["hmpath".to_string()]);
+    assert_eq!(service.cluster().stats().live_bytes, baseline);
+    service.shutdown();
+}
+
+#[test]
+fn statement_timeout_fails_the_job_and_frees_its_space() {
+    // A tiny per-statement timeout trips inside the first heavy round;
+    // the job reports Failed and everything is cleaned up.
+    let service = Service::start(ServiceConfig {
+        statement_timeout: Some(Duration::from_nanos(1)),
+        ..Default::default()
+    });
+    service
+        .cluster()
+        .load_pairs("hmpath", "v1", "v2", &path_pairs(512))
+        .unwrap();
+    let baseline = service.cluster().stats().live_bytes;
+
+    let job = service
+        .submit(JobSpec {
+            algo: AlgoKind::HashToMin,
+            input: "hmpath".into(),
+            seed: 0,
+        })
+        .unwrap();
+    match job.wait() {
+        JobStatus::Failed(m) => assert!(m.contains("cancelled"), "unexpected failure: {m}"),
+        other => panic!("expected timeout failure, got {other:?}"),
+    }
+    assert_eq!(service.cluster().table_names(), vec!["hmpath".to_string()]);
+    assert_eq!(service.cluster().stats().live_bytes, baseline);
+    service.shutdown();
+}
+
+#[test]
+fn interactive_cancellation_frees_session_space_on_close() {
+    // The session-level variant: cancel an interactive session
+    // mid-workload, then close it — its namespace and space vanish.
+    let service = Service::start(ServiceConfig::default());
+    service
+        .cluster()
+        .load_pairs("g", "v1", "v2", &path_pairs(64))
+        .unwrap();
+    let baseline = service.cluster().stats().live_bytes;
+
+    let session = service.session();
+    service
+        .run_sql(&session, "create table w as select v1, v2 from g")
+        .unwrap();
+    assert!(service.cluster().stats().live_bytes > baseline);
+    session.cancel();
+    let err = service
+        .run_sql(&session, "create table w2 as select v1 from w")
+        .unwrap_err();
+    assert!(err.is_cancelled());
+    session.close();
+    assert_eq!(service.cluster().table_names(), vec!["g".to_string()]);
+    assert_eq!(service.cluster().stats().live_bytes, baseline);
+    service.shutdown();
+}

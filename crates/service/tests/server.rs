@@ -1,0 +1,186 @@
+//! Wire-protocol tests against a live TCP server.
+
+use incc_service::{Server, Service, ServiceConfig};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut c = Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: BufWriter::new(stream),
+        };
+        let (_, greeting) = c.read_response();
+        assert!(greeting.starts_with("OK incc session"), "{greeting}");
+        c
+    }
+
+    fn read_response(&mut self) -> (Vec<String>, String) {
+        let mut data = Vec::new();
+        loop {
+            let mut line = String::new();
+            assert!(
+                self.reader.read_line(&mut line).unwrap() > 0,
+                "server hung up"
+            );
+            let line = line.trim_end().to_string();
+            if line.starts_with("OK") || line.starts_with("ERR") {
+                return (data, line);
+            }
+            data.push(line);
+        }
+    }
+
+    fn request(&mut self, req: &str) -> (Vec<String>, String) {
+        writeln!(self.writer, "{req}").unwrap();
+        self.writer.flush().unwrap();
+        self.read_response()
+    }
+}
+
+fn server() -> (std::sync::Arc<Service>, SocketAddr) {
+    let service = Service::start(ServiceConfig::default());
+    let server = Server::bind(service.clone(), "127.0.0.1:0").unwrap();
+    let (addr, _handle) = server.spawn().unwrap();
+    (service, addr)
+}
+
+#[test]
+fn sql_roundtrip_in_both_output_modes() {
+    let (_service, addr) = server();
+    let mut c = Client::connect(addr);
+
+    let (_, ok) =
+        c.request("create table t as select 1 as a, 2 as b union all select 3 as a, 4 as b");
+    assert_eq!(ok, "OK created t 2");
+
+    let (rows, ok) = c.request("select a, b from t order by a");
+    assert_eq!(rows, vec!["1,2", "3,4"]);
+    assert_eq!(ok, "OK 2");
+
+    let (_, ok) = c.request("\\mode json");
+    assert_eq!(ok, "OK mode json");
+    let (rows, _) = c.request("select a, b from t order by a");
+    assert_eq!(rows, vec!["[1,2]", "[3,4]"]);
+
+    let (_, ok) = c.request("drop table t");
+    assert_eq!(ok, "OK dropped");
+
+    let (_, err) = c.request("select a from nowhere");
+    assert!(err.starts_with("ERR "), "{err}");
+
+    let (_, bye) = c.request("\\quit");
+    assert_eq!(bye, "OK bye");
+}
+
+#[test]
+fn sessions_are_isolated_between_connections() {
+    let (service, addr) = server();
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+    a.request("create table t as select 1 as x");
+    b.request("create table t as select 2 as x union all select 3 as x");
+    let (rows, _) = a.request("select count(*) as n from t");
+    assert_eq!(rows, vec!["1"]);
+    let (rows, _) = b.request("select count(*) as n from t");
+    assert_eq!(rows, vec!["2"]);
+    a.request("\\quit");
+    b.request("\\quit");
+    // Both connections' namespaces disappear with their sessions.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !service.cluster().table_names().is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sessions left tables behind"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(service.cluster().stats().live_bytes, 0);
+}
+
+#[test]
+fn job_lifecycle_over_the_wire() {
+    let (service, addr) = server();
+    // Shared edge table: two triangles.
+    service
+        .cluster()
+        .load_pairs(
+            "edges",
+            "v1",
+            "v2",
+            &[(1, 2), (2, 3), (3, 1), (10, 11), (11, 12), (12, 10)],
+        )
+        .unwrap();
+    let mut c = Client::connect(addr);
+
+    let (_, ok) = c.request("\\job rc edges 5");
+    let id: u64 = ok.strip_prefix("OK job ").unwrap().parse().unwrap();
+    let (_, done) = c.request(&format!("\\wait {id}"));
+    assert_eq!(done, "OK done");
+    let (_, status) = c.request(&format!("\\status {id}"));
+    assert_eq!(status, "OK done");
+
+    let (rows, ok) = c.request(&format!("\\result {id}"));
+    assert_eq!(ok, "OK 6");
+    let mut labels = std::collections::HashMap::new();
+    for row in rows {
+        // Labels are arbitrary i64 representatives (RC's can come from
+        // the cipher domain), vertices are the original ids.
+        let (v, r) = row.split_once(',').unwrap();
+        labels.insert(v.parse::<i64>().unwrap(), r.parse::<i64>().unwrap());
+    }
+    assert_eq!(labels.len(), 6);
+    assert_eq!(labels[&1], labels[&3]);
+    assert_eq!(labels[&10], labels[&12]);
+    assert_ne!(labels[&1], labels[&10]);
+
+    let (_, err) = c.request("\\job dijkstra edges");
+    assert!(err.starts_with("ERR unknown algorithm"), "{err}");
+    let (_, err) = c.request("\\status 999");
+    assert!(err.starts_with("ERR no such job"), "{err}");
+    c.request("\\quit");
+}
+
+#[test]
+fn stats_and_shared_tables_over_the_wire() {
+    let (service, addr) = server();
+    let mut c = Client::connect(addr);
+
+    // A shared table created with `\shared on` outlives the session.
+    let (_, ok) = c.request("\\shared on");
+    assert_eq!(ok, "OK shared on");
+    c.request("create table g as select 1 as v1, 2 as v2");
+    let (_, ok) = c.request("\\shared off");
+    assert_eq!(ok, "OK shared off");
+
+    let (lines, ok) = c.request("\\stats");
+    assert_eq!(ok, "OK 8");
+    assert!(lines.iter().any(|l| l.starts_with("bytes_written ")));
+    assert!(lines.iter().any(|l| l.starts_with("queries ")));
+
+    let (lines, ok) = c.request("\\stats global");
+    assert_eq!(ok, "OK 6");
+    let live = lines
+        .iter()
+        .find_map(|l| l.strip_prefix("live_bytes "))
+        .unwrap()
+        .parse::<u64>()
+        .unwrap();
+    assert!(live > 0);
+
+    c.request("\\quit");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while service.cluster().table_names() != vec!["g".to_string()] {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shared table vanished or residue left"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,117 @@
+//! Minimal offline stand-in for `criterion`: runs each benchmark body
+//! a handful of times so bench targets type-check and smoke-run.
+
+use std::time::Instant;
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(&mut self, name: S, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: 3 };
+        f(&mut b);
+        let _ = name.into();
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(&mut self, name: S, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: 3 };
+        f(&mut b);
+        let _ = (&self.name, name.into());
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        let _ = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,454 @@
+//! Minimal, self-contained stand-in for the `proptest` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! patches `proptest` to this crate (see `stubs/README.md`). It
+//! implements exactly the API subset the workspace's property tests
+//! use: the `proptest!` macro (both `name in strategy` and
+//! `name: Type` parameter forms, with an optional
+//! `#![proptest_config(...)]` header), `prop_assert*!`, `prop_oneof!`,
+//! `Just`, integer-range and `&str` strategies, tuple strategies,
+//! `prop_map`, `proptest::collection::{vec, hash_set}`, and
+//! `any::<T>()` for primitives.
+//!
+//! Differences from the real crate: no shrinking and no failure-seed
+//! persistence. Cases come from a deterministic per-test SplitMix64
+//! stream (seeded from the test's name), so every run generates the
+//! same cases and failures reproduce exactly.
+
+/// Deterministic pseudo-random case generation.
+pub mod rng {
+    /// SplitMix64 — tiny, fast, and plenty for test-case generation.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// An independent stream for one (test, case) pair.
+        pub fn for_case(seed: u64, case: u64) -> TestRng {
+            TestRng(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// The next 128 uniformly random bits.
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u128) -> u128 {
+            self.next_u128() % bound
+        }
+    }
+
+    /// FNV-1a over a test name: the per-test base seed.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in s.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Runner configuration (`cases` is the only knob the tests use).
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// The `Strategy` trait and the combinators the workspace uses.
+pub mod strategy {
+    use crate::rng::TestRng;
+
+    /// A generator of values of one type. Object-safe: only
+    /// `new_value` is required; combinators are `Self: Sized`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Boxing helper used by `prop_oneof!` (keeps type inference
+    /// simple at the macro call site).
+    pub fn boxed<S>(s: S) -> BoxedStrategy<S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// `strategy.prop_map(f)`.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Always yields a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among strategies (backs `prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    /// Build a [`OneOf`] from boxed alternatives.
+    pub fn one_of<T>(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        OneOf { options }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u128) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let width = (<$t>::MAX as i128 - self.start as i128) as u128 + 1;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let width = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    (*self.start() as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// String-pattern strategy. The real crate interprets the pattern
+    /// as a regex; the workspace only uses `".*"`, for which arbitrary
+    /// strings are the correct semantics, so that is what we generate:
+    /// character soup across ASCII, control characters, and wide
+    /// unicode.
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            const PALETTE: &[char] = &[
+                'a', 'b', 'z', 'A', 'Z', '0', '1', '9', ' ', '\t', '\n', '\r', '\0', '(', ')', ',',
+                ';', '*', '=', '<', '>', '\'', '"', '%', '_', '-', '.', 'é', 'λ', '☃', '𝕊',
+                '\u{7f}', '\u{1b}',
+            ];
+            let len = rng.below(49) as usize;
+            (0..len)
+                .map(|_| PALETTE[rng.below(PALETTE.len() as u128) as usize])
+                .collect()
+        }
+    }
+}
+
+/// `any::<T>()` for the primitive types the tests draw whole values of.
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        /// Draw one uniformly random value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u128() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_ints!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — used by the macro's `name: Type` parameter form.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// `proptest::collection::{vec, hash_set}`.
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// A `Vec` of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A `HashSet` of values from `element`, cardinality drawn from
+    /// `size` (best-effort when the element domain is small).
+    pub fn hash_set<S>(element: S, size: core::ops::Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.new_value(rng);
+            let mut set = HashSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(100) + 100 {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// `use proptest::prelude::*;`
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` path alias the real prelude exposes.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Property assertion — plain `assert!` here (no shrinking to drive).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Case precondition: a failing assumption skips the current case and
+/// moves on to the next one. (The expansion relies on being inside the
+/// per-case loop `proptest!` generates, which is the only place the
+/// real crate allows it either.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($arg:tt)+)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// The `proptest!` block macro: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions
+/// whose parameters are `name in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; ) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident ( $($params:tt)* ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::rng::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::rng::TestRng::for_case(__seed, __case as u64);
+                $crate::__proptest_bind! { __rng; ($($params)*); $body }
+            }
+        }
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; (); $body:block) => { $body };
+    ($rng:ident; ($pname:ident in $pstrat:expr, $($rest:tt)*); $body:block) => {
+        let $pname = $crate::strategy::Strategy::new_value(&($pstrat), &mut $rng);
+        $crate::__proptest_bind! { $rng; ($($rest)*); $body }
+    };
+    ($rng:ident; ($pname:ident in $pstrat:expr); $body:block) => {
+        let $pname = $crate::strategy::Strategy::new_value(&($pstrat), &mut $rng);
+        $crate::__proptest_bind! { $rng; (); $body }
+    };
+    ($rng:ident; ($pname:ident : $pty:ty, $($rest:tt)*); $body:block) => {
+        let $pname = <$pty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { $rng; ($($rest)*); $body }
+    };
+    ($rng:ident; ($pname:ident : $pty:ty); $body:block) => {
+        let $pname = <$pty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { $rng; (); $body }
+    };
+}

@@ -1,0 +1,6 @@
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize {}
