@@ -27,6 +27,11 @@ step cargo clippy --workspace --all-targets
 step cargo build --release --workspace
 step cargo test --workspace -q
 
+# Kernel bench smoke: tiny scale, but the run must complete and the
+# JSON artifact it writes must parse — malformed output fails the gate.
+step env ENGINE_BENCH_SMOKE=1 cargo bench -p incc-bench --bench engine
+step python3 -c 'import json; json.load(open("results/engine_bench_smoke.json"))'
+
 # The concurrency stress / cancellation / acceptance suites and the
 # 16-client TCP smoke driver, each bounded so a deadlock is a failure.
 step timeout 300 cargo test -p incc-service --test stress -- --nocapture

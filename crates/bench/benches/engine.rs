@@ -1,107 +1,277 @@
-//! Engine operator benchmarks: the cost of the SQL building blocks
-//! every algorithm round is assembled from (scan+aggregate, self-join,
-//! distinct), and the colocated-vs-shuffled join gap that underlies the
-//! paper's Section VII-C profile comparison.
+//! Engine hot-path benchmarks with a persistent JSON trail.
+//!
+//! Measures the SQL building blocks every CC algorithm round is
+//! assembled from — shuffle (hash repartition), self-join, group-by,
+//! distinct, union-all — plus two end-to-end algorithm runs
+//! (Randomised Contraction and Hash-to-Min), and writes
+//! `results/engine_bench.json` so successive PRs have a perf
+//! trajectory to compare against. The `baseline` block holds the
+//! numbers measured on the pre-vectorization engine (PR 1, commit
+//! 17e2349) at the same sizes on the same container, so the JSON
+//! itself documents the speedup.
+//!
+//! Run with `cargo bench -p incc-bench --bench engine`; set
+//! `ENGINE_BENCH_SMOKE=1` for a seconds-long CI smoke run (tiny sizes,
+//! no baseline comparison — it only proves the harness and the JSON
+//! stay well-formed).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use incc_graph::generators::{gnm_random_graph, PathNumbering};
+use incc_core::hash_to_min::HashToMin;
+use incc_core::{run_on_graph, RandomisedContraction};
+use incc_graph::generators::gnm_random_graph;
 use incc_mppdb::{Cluster, ClusterConfig, ExecutionProfile};
+use std::time::Instant;
 
-const N: usize = 20_000;
-const M: usize = 40_000;
+/// Microbench sizes (vertices, edges) and per-case iterations.
+struct Scale {
+    smoke: bool,
+    n: usize,
+    m: usize,
+    iters: usize,
+    /// End-to-end graph sizes (kept smaller: full algorithm runs).
+    e2e_n: usize,
+    e2e_m: usize,
+}
 
-fn setup(profile: ExecutionProfile) -> Cluster {
+impl Scale {
+    fn from_env() -> Scale {
+        if std::env::var("ENGINE_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+            Scale { smoke: true, n: 500, m: 1_000, iters: 2, e2e_n: 200, e2e_m: 400 }
+        } else {
+            Scale { smoke: false, n: 50_000, m: 100_000, iters: 5, e2e_n: 20_000, e2e_m: 40_000 }
+        }
+    }
+}
+
+/// Pre-change reference times (milliseconds), measured on this
+/// container at the full scale above against the PR 1 engine
+/// (per-operator thread spawning, row-at-a-time `KeyPart` paths,
+/// clone-based shuffle). Used to compute the `speedup` block.
+const BASELINE: &[(&str, f64)] = &[
+    ("shuffle", 5.608),
+    ("join", 38.668),
+    ("group_by", 14.199),
+    ("join_external", 47.511),
+    ("distinct", 9.304),
+    ("union_all", 11.461),
+    ("rc_end_to_end", 154.325),
+    ("hash_to_min_end_to_end", 487.962),
+];
+
+struct Case {
+    name: &'static str,
+    /// Best-of-iters wall milliseconds.
+    ms: f64,
+    /// Input rows processed per second at that time.
+    rows_per_sec: f64,
+    /// Extra detail (e.g. rounds) rendered into the JSON record.
+    extra: Option<String>,
+}
+
+fn time_case(
+    name: &'static str,
+    rows: usize,
+    iters: usize,
+    mut body: impl FnMut(),
+) -> Case {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        body();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    Case {
+        name,
+        ms: best,
+        rows_per_sec: rows as f64 / (best / 1e3),
+        extra: None,
+    }
+}
+
+fn setup(scale: &Scale, profile: ExecutionProfile) -> Cluster {
     let db = Cluster::new(ClusterConfig { profile, ..Default::default() });
-    let g = gnm_random_graph(N, M, 42);
+    let g = gnm_random_graph(scale.n, scale.m, 42);
     db.load_pairs("e", "v1", "v2", &g.to_i64_pairs()).unwrap();
-    let _ = PathNumbering::Sequential; // keep the import meaningful
     db
 }
 
-fn bench_operators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group.throughput(Throughput::Elements(M as u64));
-    group.sample_size(20);
+fn micro_benches(scale: &Scale) -> Vec<Case> {
+    let mut cases = Vec::new();
+    let db = setup(scale, ExecutionProfile::Colocated);
+    let m = scale.m;
+    let iters = scale.iters;
 
-    let db = setup(ExecutionProfile::Colocated);
-    group.bench_function("group_by_min", |b| {
-        b.iter_batched(
-            || (),
-            |()| {
-                db.run("create table reps as select v1 as v, least(v1, min(v2)) as r \
-                        from e group by v1 distributed by (v)")
-                    .unwrap();
-                db.drop_table("reps").unwrap();
-            },
-            BatchSize::PerIteration,
+    // Hash repartition: the edge table redistributed on its second
+    // column — every row moves through the exchange.
+    cases.push(time_case("shuffle", m, iters, || {
+        db.run("create table s as select v1, v2 from e distributed by (v2)").unwrap();
+        db.drop_table("s").unwrap();
+    }));
+    // Colocated self-join on the distribution key (RC's contract step).
+    cases.push(time_case("join", m, iters, || {
+        db.run(
+            "create table j as select a.v1 as x, b.v2 as y \
+             from e as a, e as b where a.v1 = b.v1 distributed by (x)",
         )
-    });
-    group.bench_function("self_join_colocated", |b| {
-        b.iter_batched(
-            || (),
-            |()| {
-                db.run("create table j as select a.v1 as x, b.v2 as y \
-                        from e as a, e as b where a.v1 = b.v1 distributed by (x)")
-                    .unwrap();
-                db.drop_table("j").unwrap();
-            },
-            BatchSize::PerIteration,
+        .unwrap();
+        db.drop_table("j").unwrap();
+    }));
+    // Grouped min: the representative-selection step.
+    cases.push(time_case("group_by", m, iters, || {
+        db.run(
+            "create table reps as select v1 as v, least(v1, min(v2)) as r \
+             from e group by v1 distributed by (v)",
         )
-    });
-    group.bench_function("distinct", |b| {
-        b.iter_batched(
-            || (),
-            |()| {
-                db.run("create table d as select distinct v1, v2 from e").unwrap();
-                db.drop_table("d").unwrap();
-            },
-            BatchSize::PerIteration,
+        .unwrap();
+        db.drop_table("reps").unwrap();
+    }));
+    // Edge deduplication after contraction.
+    cases.push(time_case("distinct", m, iters, || {
+        db.run("create table d as select distinct v1, v2 from e").unwrap();
+        db.drop_table("d").unwrap();
+    }));
+    // Symmetrising union (both edge directions).
+    cases.push(time_case("union_all", 2 * m, iters, || {
+        db.run(
+            "create table dd as select v1, v2 from e \
+             union all select v2, v1 from e distributed by (v1)",
         )
-    });
-    group.bench_function("union_all_double", |b| {
-        b.iter_batched(
-            || (),
-            |()| {
-                db.run("create table dd as select v1, v2 from e \
-                        union all select v2, v1 from e distributed by (v1)")
-                    .unwrap();
-                db.drop_table("dd").unwrap();
-            },
-            BatchSize::PerIteration,
-        )
-    });
+        .unwrap();
+        db.drop_table("dd").unwrap();
+    }));
 
-    // The same join under the External profile always reshuffles.
-    let ext = setup(ExecutionProfile::External);
-    group.bench_function("self_join_external", |b| {
-        b.iter_batched(
-            || (),
-            |()| {
-                ext.run("create table j as select a.v1 as x, b.v2 as y \
-                         from e as a, e as b where a.v1 = b.v1 distributed by (x)")
-                    .unwrap();
-                ext.drop_table("j").unwrap();
-            },
-            BatchSize::PerIteration,
+    // The same self-join under the External profile: distribution is
+    // invisible, so both sides reshuffle first.
+    let ext = setup(scale, ExecutionProfile::External);
+    cases.push(time_case("join_external", m, iters, || {
+        ext.run(
+            "create table j as select a.v1 as x, b.v2 as y \
+             from e as a, e as b where a.v1 = b.v1 distributed by (x)",
         )
-    });
-    group.finish();
+        .unwrap();
+        ext.drop_table("j").unwrap();
+    }));
+    cases
 }
 
-fn bench_sql_frontend(c: &mut Criterion) {
-    // Parse+plan cost per statement (amortised against multi-second
-    // query execution, this must stay negligible).
-    let db = setup(ExecutionProfile::Colocated);
-    c.bench_function("parse_and_plan_only", |b| {
-        b.iter(|| {
-            incc_mppdb::sql::parse_statement(
-                "select v1 v, least(v1, min(v2)) rep from e group by v1",
-            )
-            .unwrap()
-        })
+fn end_to_end(scale: &Scale) -> Vec<Case> {
+    let g = gnm_random_graph(scale.e2e_n, scale.e2e_m, 7);
+    let mut cases = Vec::new();
+
+    let db = Cluster::new(ClusterConfig::default());
+    let report = run_on_graph(&RandomisedContraction::paper(), &db, &g, 42).unwrap();
+    report.verify_against(&g).unwrap();
+    let ms = report.elapsed.as_secs_f64() * 1e3;
+    cases.push(Case {
+        name: "rc_end_to_end",
+        ms,
+        rows_per_sec: scale.e2e_m as f64 / (ms / 1e3),
+        extra: Some(format!(
+            "\"rounds\": {}, \"ms_per_round\": {:.3}",
+            report.rounds,
+            ms / report.rounds.max(1) as f64
+        )),
     });
-    drop(db);
+
+    let db = Cluster::new(ClusterConfig::default());
+    let report = run_on_graph(&HashToMin::default(), &db, &g, 42).unwrap();
+    report.verify_against(&g).unwrap();
+    let ms = report.elapsed.as_secs_f64() * 1e3;
+    cases.push(Case {
+        name: "hash_to_min_end_to_end",
+        ms,
+        rows_per_sec: scale.e2e_m as f64 / (ms / 1e3),
+        extra: Some(format!(
+            "\"rounds\": {}, \"ms_per_round\": {:.3}",
+            report.rounds,
+            ms / report.rounds.max(1) as f64
+        )),
+    });
+    cases
 }
 
-criterion_group!(benches, bench_operators, bench_sql_frontend);
-criterion_main!(benches);
+fn baseline_ms(name: &str) -> Option<f64> {
+    BASELINE
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, ms)| ms)
+        .filter(|ms| ms.is_finite())
+}
+
+fn write_json(scale: &Scale, cases: &[Case]) -> std::io::Result<std::path::PathBuf> {
+    // Smoke runs land in their own file so CI never clobbers the
+    // committed full-scale record.
+    let file = if scale.smoke { "engine_bench_smoke.json" } else { "engine_bench.json" };
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results").join(file);
+    let mut records = Vec::new();
+    let mut speedups = Vec::new();
+    for c in cases {
+        let mut rec = format!(
+            "    {{\"name\": \"{}\", \"ms\": {:.3}, \"rows_per_sec\": {:.0}",
+            c.name, c.ms, c.rows_per_sec
+        );
+        if let Some(extra) = &c.extra {
+            rec.push_str(", ");
+            rec.push_str(extra);
+        }
+        if !scale.smoke {
+            if let Some(base) = baseline_ms(c.name) {
+                rec.push_str(&format!(
+                    ", \"baseline_ms\": {:.3}, \"speedup\": {:.2}",
+                    base,
+                    base / c.ms
+                ));
+                speedups.push(format!("    \"{}\": {:.2}", c.name, base / c.ms));
+            }
+        }
+        rec.push('}');
+        records.push(rec);
+    }
+    let speedup_block = if speedups.is_empty() {
+        "null".to_string()
+    } else {
+        format!("{{\n{}\n  }}", speedups.join(",\n"))
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"engine_kernels\",\n  \"smoke\": {},\n  \
+         \"config\": {{\"n\": {}, \"m\": {}, \"e2e_n\": {}, \"e2e_m\": {}, \
+         \"segments\": 8, \"iters\": {}}},\n  \
+         \"baseline_label\": \"PR 1 engine (pre-vectorization), same container\",\n  \
+         \"results\": [\n{}\n  ],\n  \"speedup_vs_baseline\": {}\n}}\n",
+        scale.smoke,
+        scale.n,
+        scale.m,
+        scale.e2e_n,
+        scale.e2e_m,
+        scale.iters,
+        records.join(",\n"),
+        speedup_block
+    );
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "engine kernel bench (n={}, m={}, iters={}, smoke={})",
+        scale.n, scale.m, scale.iters, scale.smoke
+    );
+    let mut cases = micro_benches(&scale);
+    cases.extend(end_to_end(&scale));
+    println!("{:>24} {:>12} {:>14} {:>10}", "case", "ms", "rows/sec", "speedup");
+    for c in &cases {
+        let speedup = baseline_ms(c.name)
+            .filter(|_| !scale.smoke)
+            .map(|b| format!("{:.2}x", b / c.ms))
+            .unwrap_or_else(|| "-".into());
+        println!("{:>24} {:>12.3} {:>14.0} {:>10}", c.name, c.ms, c.rows_per_sec, speedup);
+    }
+    match write_json(&scale, &cases) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write results/engine_bench.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -3,6 +3,11 @@
 use crate::schema::Schema;
 use crate::value::{DataType, Datum};
 
+/// A selection vector: row indices into a batch, `u32` so the common
+/// gather paths move half the bytes of `usize` indices. Partitions are
+/// capped below `u32::MAX` rows before any kernel builds one.
+pub type SelVec = Vec<u32>;
+
 /// A single column of values plus an optional validity mask.
 ///
 /// `validity == None` means all values are valid (the common case for
@@ -158,6 +163,132 @@ impl Column {
         }
     }
 
+    /// The raw `i64` slice plus its validity mask for any integer
+    /// column — the null-tolerant variant of [`Column::as_plain_ints`]
+    /// used by the vectorized kernels.
+    #[inline]
+    pub fn as_int_parts(&self) -> Option<(&[i64], Option<&[bool]>)> {
+        match self {
+            Column::Int64 { values, validity } => Some((values, validity.as_deref())),
+            Column::Float64 { .. } => None,
+        }
+    }
+
+    /// Gathers the rows at `indices` by direct slice access (no per-row
+    /// `Datum` round trip). An all-valid result carries no mask, so
+    /// byte accounting matches [`Column::take`].
+    pub fn take_u32(&self, indices: &[u32]) -> Column {
+        fn gather<T: Copy>(
+            values: &[T],
+            validity: Option<&Vec<bool>>,
+            indices: &[u32],
+        ) -> (Vec<T>, Option<Vec<bool>>) {
+            let out = indices.iter().map(|&i| values[i as usize]).collect();
+            let mask = validity.and_then(|m| {
+                let mask: Vec<bool> = indices.iter().map(|&i| m[i as usize]).collect();
+                mask.iter().any(|v| !v).then_some(mask)
+            });
+            (out, mask)
+        }
+        match self {
+            Column::Int64 { values, validity } => {
+                let (values, validity) = gather(values, validity.as_ref(), indices);
+                Column::Int64 { values, validity }
+            }
+            Column::Float64 { values, validity } => {
+                let (values, validity) = gather(values, validity.as_ref(), indices);
+                Column::Float64 { values, validity }
+            }
+        }
+    }
+
+    /// Like [`Column::take_u32`], but an index of `u32::MAX` yields a
+    /// NULL — the left-outer-join pad for the unmatched side.
+    pub fn take_u32_padded(&self, indices: &[u32]) -> Column {
+        fn gather<T: Copy + Default>(
+            values: &[T],
+            validity: Option<&Vec<bool>>,
+            indices: &[u32],
+        ) -> (Vec<T>, Option<Vec<bool>>) {
+            let mut out = Vec::with_capacity(indices.len());
+            let mut mask = Vec::with_capacity(indices.len());
+            let mut any_null = false;
+            for &i in indices {
+                if i == u32::MAX {
+                    out.push(T::default());
+                    mask.push(false);
+                    any_null = true;
+                } else {
+                    out.push(values[i as usize]);
+                    let ok = validity.map_or(true, |m| m[i as usize]);
+                    mask.push(ok);
+                    any_null |= !ok;
+                }
+            }
+            (out, any_null.then_some(mask))
+        }
+        match self {
+            Column::Int64 { values, validity } => {
+                let (values, validity) = gather(values, validity.as_ref(), indices);
+                Column::Int64 { values, validity }
+            }
+            Column::Float64 { values, validity } => {
+                let (values, validity) = gather(values, validity.as_ref(), indices);
+                Column::Float64 { values, validity }
+            }
+        }
+    }
+
+    /// Appends all of `other`, consuming it. An empty `self` of the
+    /// same type takes `other`'s buffers wholesale; a type mismatch
+    /// falls back to per-datum pushes, which tolerate NULLs crossing
+    /// types (UNION ALL branches may type an all-NULL column
+    /// differently).
+    ///
+    /// # Panics
+    /// Panics when a non-NULL value meets a column of the other type.
+    pub fn append(&mut self, other: Column) {
+        fn merge<T>(
+            values: &mut Vec<T>,
+            validity: &mut Option<Vec<bool>>,
+            mut other_values: Vec<T>,
+            other_validity: Option<Vec<bool>>,
+        ) {
+            if values.is_empty() {
+                *values = other_values;
+                *validity = other_validity;
+                return;
+            }
+            let n = values.len();
+            values.append(&mut other_values);
+            match (validity.as_mut(), other_validity) {
+                (None, None) => {}
+                (Some(mask), None) => mask.resize(values.len(), true),
+                (None, Some(mut other_mask)) => {
+                    let mut mask = vec![true; n];
+                    mask.append(&mut other_mask);
+                    *validity = Some(mask);
+                }
+                (Some(mask), Some(mut other_mask)) => mask.append(&mut other_mask),
+            }
+        }
+        match (self, other) {
+            (
+                Column::Int64 { values, validity },
+                Column::Int64 { values: ov, validity: om },
+            ) => merge(values, validity, ov, om),
+            (
+                Column::Float64 { values, validity },
+                Column::Float64 { values: ov, validity: om },
+            ) => merge(values, validity, ov, om),
+            (col, other) => {
+                for i in 0..other.len() {
+                    col.push(other.datum(i));
+                }
+            }
+        }
+    }
+
     /// Logical size in bytes: 8 per value plus 1 per validity entry.
     /// This is the unit the cluster's space accounting uses.
     pub fn byte_size(&self) -> u64 {
@@ -268,6 +399,40 @@ impl Batch {
         }
     }
 
+    /// The subset of rows at `indices` via direct slice gathers.
+    pub fn take_u32(&self, indices: &[u32]) -> Batch {
+        Batch {
+            columns: self.columns.iter().map(|c| c.take_u32(indices)).collect(),
+            rows: indices.len(),
+        }
+    }
+
+    /// Appends all of `other` (same shape), consuming it.
+    pub fn append(&mut self, other: Batch) {
+        if self.columns.is_empty() {
+            *self = other;
+            return;
+        }
+        assert_eq!(self.width(), other.width(), "batch shape mismatch");
+        self.rows += other.rows;
+        for (dst, src) in self.columns.iter_mut().zip(other.columns) {
+            dst.append(src);
+        }
+    }
+
+    /// Concatenates by consuming the inputs — buffer moves instead of
+    /// the per-row copies of [`Batch::concat`].
+    pub fn concat_owned(batches: Vec<Batch>) -> Batch {
+        let mut iter = batches.into_iter();
+        let Some(mut out) = iter.next() else {
+            return Batch::default();
+        };
+        for b in iter {
+            out.append(b);
+        }
+        out
+    }
+
     /// Concatenates batches of identical shape.
     pub fn concat(batches: &[Batch]) -> Batch {
         let Some(first) = batches.first() else {
@@ -349,6 +514,68 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_batch_rejected() {
         Batch::from_columns(vec![Column::from_ints(vec![1]), Column::from_ints(vec![1, 2])]);
+    }
+
+    #[test]
+    fn take_u32_matches_take_and_normalises_masks() {
+        let c = Column::from_datums(
+            DataType::Int64,
+            [Datum::Int(10), Datum::Null, Datum::Int(30)],
+        );
+        let t = c.take_u32(&[2, 1, 0]);
+        assert_eq!(t.datum(0), Datum::Int(30));
+        assert_eq!(t.datum(1), Datum::Null);
+        assert_eq!(t.datum(2), Datum::Int(10));
+        // Selecting only valid rows drops the mask entirely, matching
+        // take()'s byte accounting.
+        let all_valid = c.take_u32(&[0, 2]);
+        assert!(all_valid.as_plain_ints().is_some());
+        assert_eq!(all_valid.byte_size(), c.take(&[0, 2]).byte_size());
+    }
+
+    #[test]
+    fn take_u32_padded_inserts_nulls() {
+        let c = Column::from_ints(vec![10, 20]);
+        let t = c.take_u32_padded(&[1, u32::MAX, 0]);
+        assert_eq!(t.datum(0), Datum::Int(20));
+        assert_eq!(t.datum(1), Datum::Null);
+        assert_eq!(t.datum(2), Datum::Int(10));
+    }
+
+    #[test]
+    fn append_mixes_validity_masks() {
+        let mut a = Column::from_ints(vec![1, 2]);
+        a.append(Column::from_datums(DataType::Int64, [Datum::Null, Datum::Int(4)]));
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.datum(1), Datum::Int(2));
+        assert_eq!(a.datum(2), Datum::Null);
+        assert_eq!(a.datum(3), Datum::Int(4));
+
+        let mut b = Column::from_datums(DataType::Int64, [Datum::Null]);
+        b.append(Column::from_ints(vec![7]));
+        assert_eq!(b.datum(0), Datum::Null);
+        assert_eq!(b.datum(1), Datum::Int(7));
+
+        // Empty self takes the other buffers wholesale, mask and all.
+        let mut c = Column::empty(DataType::Int64);
+        c.append(Column::from_ints(vec![5]));
+        assert!(c.as_plain_ints().is_some());
+    }
+
+    #[test]
+    fn concat_owned_matches_concat() {
+        let a = Batch::from_columns(vec![Column::from_ints(vec![1, 2])]);
+        let b = Batch::from_columns(vec![Column::from_datums(
+            DataType::Int64,
+            [Datum::Null],
+        )]);
+        let by_copy = Batch::concat(&[a.clone(), b.clone()]);
+        let by_move = Batch::concat_owned(vec![a, b]);
+        assert_eq!(by_move.rows(), 3);
+        for i in 0..3 {
+            assert_eq!(by_move.row(i), by_copy.row(i));
+        }
+        assert_eq!(Batch::concat_owned(Vec::new()).rows(), 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::error::{DbError, DbResult};
 use crate::exec::hash_datum;
 use crate::ops::PData;
 use crate::plan::{execute, ExecContext, QueryGuard};
+use crate::pool::SegmentPool;
 use crate::schema::{Field, Schema};
 use crate::session::{Session, SessionCore};
 use crate::sql::{self, PlannerCatalog, Statement};
@@ -51,6 +52,10 @@ pub struct ClusterConfig {
     /// on every planned query. On by default; benchmarks can disable
     /// it to measure its contribution.
     pub optimize: bool,
+    /// Allow the vectorized i64 operator kernels. On by default; the
+    /// parity test suite disables it to force the generic
+    /// row-at-a-time path as a correctness oracle.
+    pub vectorized: bool,
 }
 
 impl Default for ClusterConfig {
@@ -61,6 +66,7 @@ impl Default for ClusterConfig {
             seed: 0xC0FFEE,
             space_limit: 0,
             optimize: true,
+            vectorized: true,
         }
     }
 }
@@ -113,6 +119,9 @@ pub struct Cluster {
     catalog: RwLock<HashMap<String, Table>>,
     udfs: RwLock<HashMap<String, Arc<dyn ScalarUdf>>>,
     stats: Arc<Stats>,
+    /// One worker thread per segment, shared by every query on this
+    /// cluster (and by `incc-service`'s job scheduler).
+    pool: Arc<SegmentPool>,
     random_seq: AtomicU64,
     /// The built-in session behind [`Cluster::run`]: id 0, no name
     /// mangling, counters shared with the global instance.
@@ -126,6 +135,7 @@ impl Cluster {
         assert!(config.segments > 0, "cluster needs at least one segment");
         let stats = Arc::new(Stats::new());
         stats.set_space_limit(config.space_limit);
+        let pool = Arc::new(SegmentPool::new(config.segments));
         Cluster {
             random_seq: AtomicU64::new(config.seed),
             config,
@@ -133,8 +143,21 @@ impl Cluster {
             udfs: RwLock::new(HashMap::new()),
             default_core: SessionCore::default_core(stats.clone()),
             stats,
+            pool,
             next_session_id: AtomicU64::new(1),
         }
+    }
+
+    /// The cluster's segment worker pool — one thread per segment,
+    /// shared by every operator and (via `incc-service`) job execution.
+    pub fn worker_pool(&self) -> &Arc<SegmentPool> {
+        &self.pool
+    }
+
+    /// Per-operator execution counters (wall time, rows, kernel-tier
+    /// partition counts) accumulated since the last counter reset.
+    pub fn op_stats(&self) -> Vec<crate::stats::OpStats> {
+        self.stats.op_stats()
     }
 
     /// Opens a new session on this cluster: an isolated temporary-table
@@ -216,7 +239,7 @@ impl Cluster {
         core.rewrite(self, &mut stmt);
         core.stats.count_query();
         let guard = QueryGuard {
-            cancel: Some(core.interrupt_flag()),
+            cancel: Some(core.interrupt_handle()),
             deadline: core.timeout().map(|t| start + t),
         };
         let result = self.dispatch(core, stmt, guard);
@@ -228,7 +251,7 @@ impl Cluster {
         &self,
         core: &SessionCore,
         stmt: Statement,
-        guard: QueryGuard<'_>,
+        guard: QueryGuard,
     ) -> DbResult<QueryOutput> {
         guard.check()?;
         let stats = &core.stats;
@@ -279,8 +302,10 @@ impl Cluster {
                         lookup: &lookup,
                         allow_colocated: self.config.profile == ExecutionProfile::Colocated,
                         stats,
+                        pool: &self.pool,
                         segments: self.config.segments,
                         guard,
+                        vectorized: self.config.vectorized,
                     };
                     let (_, annotated) = crate::plan::execute_analyze(&plan, &ctx)?;
                     Ok(QueryOutput::Explain(annotated))
@@ -394,15 +419,17 @@ impl Cluster {
         &self,
         plan: &crate::plan::Plan,
         stats: &Stats,
-        guard: QueryGuard<'_>,
+        guard: QueryGuard,
     ) -> DbResult<PData> {
         let lookup = |name: &str| self.table(name);
         let ctx = ExecContext {
             lookup: &lookup,
             allow_colocated: self.config.profile == ExecutionProfile::Colocated,
             stats,
+            pool: &self.pool,
             segments: self.config.segments,
             guard,
+            vectorized: self.config.vectorized,
         };
         execute(plan, &ctx)
     }
@@ -428,13 +455,15 @@ impl Cluster {
                 let idx = data.schema.index_of(&col.to_ascii_lowercase()).ok_or_else(|| {
                     DbError::Plan(format!("DISTRIBUTED BY column {col:?} not in output"))
                 })?;
-                crate::ops::ensure_distribution(
-                    data,
-                    &[idx],
-                    self.config.profile == ExecutionProfile::Colocated,
+                let octx = crate::ops::OpCtx {
                     stats,
-                    self.config.segments,
-                )?
+                    pool: &self.pool,
+                    segments: self.config.segments,
+                    allow_colocated: self.config.profile == ExecutionProfile::Colocated,
+                    guard: QueryGuard::default(),
+                    vectorized: self.config.vectorized,
+                };
+                crate::ops::ensure_distribution(data, &[idx], &octx)?
             }
             None => data,
         };

@@ -1,40 +1,11 @@
-//! Execution utilities: per-partition parallelism and row hashing.
+//! Execution utilities: row hashing and the generic-path key types.
+//! (Per-partition parallelism lives in [`crate::pool`]; the vectorized
+//! key kernels in [`crate::kernels`].)
 
 use crate::batch::Batch;
-use crate::error::DbResult;
 use crate::value::Datum;
 use incc_ffield::strategy::mix64;
 use std::hash::{BuildHasherDefault, Hasher};
-
-/// Runs `f` over the items on scoped OS threads — one per partition —
-/// modelling the MPP cluster's per-segment parallel execution. Results
-/// come back in input order. Falls back to inline execution for a
-/// single item.
-pub fn par_try_map<T, U, F>(items: Vec<T>, f: F) -> DbResult<Vec<U>>
-where
-    T: Send,
-    U: Send,
-    F: Fn(usize, T) -> DbResult<U> + Sync,
-{
-    if items.len() <= 1 {
-        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let results: Vec<DbResult<U>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .into_iter()
-            .enumerate()
-            .map(|(i, item)| {
-                let f = &f;
-                scope.spawn(move || f(i, item))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("partition worker panicked"))
-            .collect()
-    });
-    results.into_iter().collect()
-}
 
 /// Hashes one datum for partition placement and hash tables.
 #[inline]
@@ -150,32 +121,7 @@ pub fn key_has_null(batch: &Batch, row: usize, key_cols: &[usize]) -> bool {
 mod tests {
     use super::*;
     use crate::batch::Column;
-    use crate::error::DbError;
     use crate::value::DataType;
-
-    #[test]
-    fn par_map_preserves_order() {
-        let out = par_try_map(vec![10, 20, 30, 40], |i, v| Ok(v + i)).unwrap();
-        assert_eq!(out, vec![10, 21, 32, 43]);
-    }
-
-    #[test]
-    fn par_map_propagates_errors() {
-        let r: DbResult<Vec<i32>> = par_try_map(vec![1, 2, 3], |_, v| {
-            if v == 2 {
-                Err(DbError::Exec("boom".into()))
-            } else {
-                Ok(v)
-            }
-        });
-        assert!(matches!(r, Err(DbError::Exec(_))));
-    }
-
-    #[test]
-    fn par_map_single_item_inline() {
-        assert_eq!(par_try_map(vec![7], |_, v| Ok(v * 2)).unwrap(), vec![14]);
-        assert_eq!(par_try_map(Vec::<i32>::new(), |_, v| Ok(v)).unwrap(), Vec::<i32>::new());
-    }
 
     #[test]
     fn datum_hash_distinguishes() {

@@ -1,0 +1,386 @@
+//! Vectorized int64 operator kernels.
+//!
+//! Every query the paper's CC algorithms issue keys on one or two
+//! `Int64` columns, so the operators dispatch to these kernels whenever
+//! the key columns are integers (see [`crate::Column::as_int_parts`]).
+//! The kernels work directly over `&[i64]` slices plus optional
+//! validity masks, with open-addressing hash tables sized up-front —
+//! no per-row `KeyPart` vectors, no `Datum` boxing, no rehash growth in
+//! the hot loop. The row-at-a-time generic paths in [`crate::ops`]
+//! remain as the fallback and as the correctness oracle for the parity
+//! property suite.
+//!
+//! Row indices are `u32` ([`SelVec`]); partitions holding ≥ `u32::MAX`
+//! rows fall back to the generic path before a kernel is entered.
+
+use crate::batch::SelVec;
+use incc_ffield::strategy::mix64;
+
+/// Sentinel for "no row" in chain links and padded selection vectors.
+pub const NO_ROW: u32 = u32::MAX;
+
+/// FNV offset basis — [`crate::exec::hash_key`]'s fold seed. Bucketing
+/// here must stay byte-identical to that row-at-a-time hash, or stored
+/// hash distributions and co-location stop lining up.
+const KEY_FOLD_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+/// [`crate::exec::hash_datum`]'s NULL bucket.
+const NULL_HASH: u64 = 0x6e75_6c6c_6e75_6c6c;
+
+#[inline]
+fn is_valid(validity: Option<&[bool]>, row: usize) -> bool {
+    validity.map_or(true, |m| m[row])
+}
+
+/// An open-addressing `i64 → u32` hash table: power-of-two capacity,
+/// linear probing, one SplitMix64 round per lookup. Sized for a ≤ 0.5
+/// load factor at construction, so it never grows.
+pub struct I64Map {
+    keys: Vec<i64>,
+    vals: Vec<u32>,
+    used: Vec<bool>,
+    mask: u64,
+}
+
+impl I64Map {
+    /// A table ready to hold up to `rows` distinct keys.
+    pub fn for_rows(rows: usize) -> I64Map {
+        let cap = (rows.max(4) * 2).next_power_of_two();
+        I64Map {
+            keys: vec![0; cap],
+            vals: vec![0; cap],
+            used: vec![false; cap],
+            mask: cap as u64 - 1,
+        }
+    }
+
+    /// The slot holding `key`, or the empty slot where it belongs.
+    #[inline]
+    fn slot_of(&self, key: i64) -> usize {
+        let mut slot = (mix64(key as u64) & self.mask) as usize;
+        while self.used[slot] && self.keys[slot] != key {
+            slot = ((slot as u64 + 1) & self.mask) as usize;
+        }
+        slot
+    }
+
+    /// The value stored for `key`, if any.
+    #[inline]
+    pub fn get(&self, key: i64) -> Option<u32> {
+        let slot = self.slot_of(key);
+        self.used[slot].then(|| self.vals[slot])
+    }
+
+    /// Returns the existing value for `key`, or inserts `value` and
+    /// returns `None`.
+    #[inline]
+    pub fn get_or_insert(&mut self, key: i64, value: u32) -> Option<u32> {
+        let slot = self.slot_of(key);
+        if self.used[slot] {
+            Some(self.vals[slot])
+        } else {
+            self.used[slot] = true;
+            self.keys[slot] = key;
+            self.vals[slot] = value;
+            None
+        }
+    }
+
+    /// Stores `value` for `key`, returning the previous value if any.
+    #[inline]
+    pub fn set(&mut self, key: i64, value: u32) -> Option<u32> {
+        let slot = self.slot_of(key);
+        let prev = self.used[slot].then(|| self.vals[slot]);
+        self.used[slot] = true;
+        self.keys[slot] = key;
+        self.vals[slot] = value;
+        prev
+    }
+}
+
+/// Computes each row's destination partition for a hash repartition,
+/// reproducing `hash_key` exactly over all-integer key columns.
+pub fn bucket_rows(key_cols: &[(&[i64], Option<&[bool]>)], n_parts: u64) -> SelVec {
+    let rows = key_cols.first().map_or(0, |(v, _)| v.len());
+    let mut dests = Vec::with_capacity(rows);
+    match key_cols {
+        // The dominant case — one integer key — with no per-row
+        // column-loop overhead.
+        [(values, None)] => {
+            for &v in *values {
+                let h = mix64(KEY_FOLD_SEED ^ mix64(v as u64));
+                dests.push((h % n_parts) as u32);
+            }
+        }
+        _ => {
+            for row in 0..rows {
+                let mut h = KEY_FOLD_SEED;
+                for &(values, validity) in key_cols {
+                    let d = if is_valid(validity, row) {
+                        mix64(values[row] as u64)
+                    } else {
+                        NULL_HASH
+                    };
+                    h = mix64(h ^ d);
+                }
+                dests.push((h % n_parts) as u32);
+            }
+        }
+    }
+    dests
+}
+
+/// A hash-join build side over one integer key column: a head table
+/// plus per-row chain links for duplicate keys. NULL keys are skipped —
+/// SQL equi-joins never match them.
+pub struct JoinBuild {
+    heads: I64Map,
+    next: Vec<u32>,
+}
+
+/// Builds the join hash table over the build (right) side's keys.
+/// Rows are inserted in reverse so chain traversal yields ascending row
+/// order — the same match order as the generic path.
+pub fn build_join(keys: &[i64], validity: Option<&[bool]>) -> JoinBuild {
+    let mut heads = I64Map::for_rows(keys.len());
+    let mut next = vec![NO_ROW; keys.len()];
+    for row in (0..keys.len()).rev() {
+        if !is_valid(validity, row) {
+            continue;
+        }
+        next[row] = heads.set(keys[row], row as u32).unwrap_or(NO_ROW);
+    }
+    JoinBuild { heads, next }
+}
+
+/// Probes the build table with the left side's keys, appending matched
+/// row pairs to the selection vectors. Unmatched probe rows are dropped
+/// for inner joins and padded with [`NO_ROW`] on the right for left
+/// outer joins; NULL probe keys never match.
+pub fn probe_join(
+    build: &JoinBuild,
+    keys: &[i64],
+    validity: Option<&[bool]>,
+    left_outer: bool,
+    left_sel: &mut SelVec,
+    right_sel: &mut SelVec,
+) {
+    for (row, &key) in keys.iter().enumerate() {
+        let head = if is_valid(validity, row) { build.heads.get(key) } else { None };
+        match head {
+            Some(mut r) => loop {
+                left_sel.push(row as u32);
+                right_sel.push(r);
+                r = build.next[r as usize];
+                if r == NO_ROW {
+                    break;
+                }
+            },
+            None => {
+                if left_outer {
+                    left_sel.push(row as u32);
+                    right_sel.push(NO_ROW);
+                }
+            }
+        }
+    }
+}
+
+/// Group assignment over one integer key column, in first-seen order.
+pub struct GroupIds {
+    /// Group index of every input row.
+    pub row_groups: SelVec,
+    /// First-seen key per group; the entry at [`GroupIds::null_group`]
+    /// (if any) is a placeholder for the NULL group.
+    pub keys: Vec<i64>,
+    /// Index of the group holding NULL keys, when one exists.
+    pub null_group: Option<u32>,
+}
+
+/// Assigns each row to a group by its key, NULLs grouping together
+/// (SQL `GROUP BY` semantics). Group indices follow first appearance,
+/// matching the generic path's deterministic output order.
+pub fn group_ids(keys: &[i64], validity: Option<&[bool]>) -> GroupIds {
+    let mut map = I64Map::for_rows(keys.len());
+    let mut row_groups = Vec::with_capacity(keys.len());
+    let mut group_keys: Vec<i64> = Vec::new();
+    let mut null_group = NO_ROW;
+    for (row, &key) in keys.iter().enumerate() {
+        let g = if !is_valid(validity, row) {
+            if null_group == NO_ROW {
+                null_group = group_keys.len() as u32;
+                group_keys.push(0);
+            }
+            null_group
+        } else {
+            match map.get_or_insert(key, group_keys.len() as u32) {
+                Some(g) => g,
+                None => {
+                    group_keys.push(key);
+                    (group_keys.len() - 1) as u32
+                }
+            }
+        };
+        row_groups.push(g);
+    }
+    GroupIds {
+        row_groups,
+        keys: group_keys,
+        null_group: (null_group != NO_ROW).then_some(null_group),
+    }
+}
+
+/// First-occurrence indices over one integer column, NULL counting as a
+/// single distinct value — `SELECT DISTINCT` on a one-column relation.
+pub fn distinct_ints(keys: &[i64], validity: Option<&[bool]>) -> SelVec {
+    let mut map = I64Map::for_rows(keys.len());
+    let mut keep = Vec::new();
+    let mut seen_null = false;
+    for (row, &key) in keys.iter().enumerate() {
+        if !is_valid(validity, row) {
+            if !seen_null {
+                seen_null = true;
+                keep.push(row as u32);
+            }
+        } else if map.get_or_insert(key, row as u32).is_none() {
+            keep.push(row as u32);
+        }
+    }
+    keep
+}
+
+/// First-occurrence indices over an integer pair — the edge-table shape
+/// every contraction round deduplicates. An open-addressing set keyed
+/// on `(a, b, null-bits)`; NULL slots are normalised to 0 before
+/// hashing so unspecified storage under an invalid bit cannot split a
+/// logical duplicate.
+pub fn distinct_pairs(
+    a: &[i64],
+    a_validity: Option<&[bool]>,
+    b: &[i64],
+    b_validity: Option<&[bool]>,
+) -> SelVec {
+    let rows = a.len();
+    let cap = (rows.max(4) * 2).next_power_of_two();
+    let mask = cap as u64 - 1;
+    let mut set_a = vec![0i64; cap];
+    let mut set_b = vec![0i64; cap];
+    let mut set_bits = vec![0u8; cap];
+    let mut used = vec![false; cap];
+    let mut keep = Vec::new();
+    for row in 0..rows {
+        let a_ok = is_valid(a_validity, row);
+        let b_ok = is_valid(b_validity, row);
+        let va = if a_ok { a[row] } else { 0 };
+        let vb = if b_ok { b[row] } else { 0 };
+        let bits = u8::from(!a_ok) | (u8::from(!b_ok) << 1);
+        let h = mix64(mix64(va as u64 ^ KEY_FOLD_SEED) ^ (vb as u64) ^ ((bits as u64) << 56));
+        let mut slot = (h & mask) as usize;
+        while used[slot]
+            && !(set_a[slot] == va && set_b[slot] == vb && set_bits[slot] == bits)
+        {
+            slot = ((slot as u64 + 1) & mask) as usize;
+        }
+        if !used[slot] {
+            used[slot] = true;
+            set_a[slot] = va;
+            set_b[slot] = vb;
+            set_bits[slot] = bits;
+            keep.push(row as u32);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{Batch, Column};
+    use crate::exec::hash_key;
+    use crate::value::Datum;
+
+    #[test]
+    fn bucketing_matches_row_at_a_time_hash() {
+        let vals = vec![1i64, -5, 0, i64::MAX, i64::MIN, 42];
+        let col = Column::from_ints(vals.clone());
+        let batch = Batch::from_columns(vec![col]);
+        let dests = bucket_rows(&[(&vals, None)], 8);
+        for (row, &dest) in dests.iter().enumerate() {
+            assert_eq!(dest as u64, hash_key(&batch, row, &[0]) % 8);
+        }
+    }
+
+    #[test]
+    fn bucketing_matches_with_nulls_and_two_keys() {
+        let a = Column::from_datums(
+            crate::value::DataType::Int64,
+            [Datum::Int(3), Datum::Null, Datum::Int(-9)],
+        );
+        let b = Column::from_ints(vec![7, 8, 9]);
+        let batch = Batch::from_columns(vec![a, b]);
+        let (av, am) = batch.column(0).as_int_parts().unwrap();
+        let (bv, bm) = batch.column(1).as_int_parts().unwrap();
+        let dests = bucket_rows(&[(av, am), (bv, bm)], 5);
+        for (row, &dest) in dests.iter().enumerate() {
+            assert_eq!(dest as u64, hash_key(&batch, row, &[0, 1]) % 5);
+        }
+    }
+
+    #[test]
+    fn join_chains_traverse_in_ascending_row_order() {
+        let build = build_join(&[7, 3, 7, 7], None);
+        let (mut l, mut r) = (Vec::new(), Vec::new());
+        probe_join(&build, &[7, 1], None, true, &mut l, &mut r);
+        assert_eq!(l, vec![0, 0, 0, 1]);
+        assert_eq!(r, vec![0, 2, 3, NO_ROW]);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let build_validity = vec![true, false];
+        let build = build_join(&[5, 5], Some(&build_validity));
+        let probe_validity = vec![true, false];
+        let (mut l, mut r) = (Vec::new(), Vec::new());
+        probe_join(&build, &[5, 5], Some(&probe_validity), false, &mut l, &mut r);
+        assert_eq!((l, r), (vec![0], vec![0]));
+    }
+
+    #[test]
+    fn groups_form_in_first_seen_order_with_one_null_group() {
+        let validity = vec![true, false, true, false, true];
+        let g = group_ids(&[4, 0, 9, 0, 4], Some(&validity));
+        assert_eq!(g.row_groups, vec![0, 1, 2, 1, 0]);
+        assert_eq!(g.null_group, Some(1));
+        assert_eq!(g.keys.len(), 3);
+        assert_eq!((g.keys[0], g.keys[2]), (4, 9));
+    }
+
+    #[test]
+    fn distinct_pairs_normalises_null_storage() {
+        // Rows 0 and 2 are logically identical (1, NULL) even though
+        // the invalid slot stores different garbage.
+        let a = vec![1, 1, 1];
+        let b = vec![99, 2, -7];
+        let b_validity = vec![false, true, false];
+        assert_eq!(distinct_pairs(&a, None, &b, Some(&b_validity)), vec![0, 1]);
+    }
+
+    #[test]
+    fn distinct_ints_keeps_first_occurrences() {
+        let validity = vec![true, false, true, false, true];
+        assert_eq!(distinct_ints(&[5, 0, 5, 0, 6], Some(&validity)), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn map_handles_collision_chains() {
+        let mut m = I64Map::for_rows(64);
+        for k in 0..64i64 {
+            assert_eq!(m.get_or_insert(k * 1024, k as u32), None);
+        }
+        for k in 0..64i64 {
+            assert_eq!(m.get(k * 1024), Some(k as u32));
+        }
+        assert_eq!(m.get(12345), None);
+        assert_eq!(m.set(0, 99), Some(0));
+        assert_eq!(m.get(0), Some(99));
+    }
+}

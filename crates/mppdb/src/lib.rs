@@ -50,9 +50,11 @@ mod engine;
 mod error;
 mod exec;
 mod expr;
+pub mod kernels;
 mod ops;
 pub mod optimizer;
 mod plan;
+pub mod pool;
 mod schema;
 mod session;
 pub mod sql;
@@ -60,14 +62,16 @@ mod stats;
 mod table;
 mod value;
 
-pub use batch::{Batch, Column};
+pub use batch::{Batch, Column, SelVec};
 pub use cluster::{Cluster, ClusterConfig, ExecutionProfile, QueryOutput, ScalarUdf};
 pub use engine::SqlEngine;
 pub use error::{DbError, DbResult};
 pub use expr::Expr;
 pub use plan::QueryGuard;
+pub use pool::SegmentPool;
 pub use schema::{Field, Schema};
 pub use session::Session;
 pub use stats::StatsSnapshot;
+pub use stats::{OpKind, OpMetrics, OpStats};
 pub use table::Distribution;
 pub use value::{DataType, Datum};

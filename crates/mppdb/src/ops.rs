@@ -7,17 +7,38 @@
 //! the cluster's network counter — unless the input is already
 //! distributed on that key and the execution profile allows exploiting
 //! it.
+//!
+//! Partitions run on the cluster's [`SegmentPool`] rather than freshly
+//! spawned threads, and each operator dispatches per partition between
+//! two tiers:
+//!
+//! * a **vectorized** tier (the [`crate::kernels`] module) taken when
+//!   the key columns are `Int64` — slice-level hashing with no per-row
+//!   key vectors or `Datum` boxing;
+//! * the **generic** row-at-a-time tier, which handles every type
+//!   combination and doubles as the correctness oracle
+//!   (`OpCtx::vectorized == false` forces it everywhere, which is how
+//!   the parity property suite cross-checks the kernels).
+//!
+//! Every invocation's wall time, row counts, and per-tier partition
+//! counts are charged to [`Stats::charge_op`].
 
-use crate::batch::{Batch, Column};
+use crate::batch::{Batch, Column, SelVec};
 use crate::error::{DbError, DbResult};
-use crate::exec::{hash_key, key_has_null, par_try_map, row_key, FastMap, FastSet, KeyPart};
+use crate::exec::{hash_key, key_has_null, row_key, FastMap, FastSet, KeyPart};
 use crate::expr::Expr;
+use crate::kernels;
+use crate::plan::QueryGuard;
+use crate::pool::SegmentPool;
 use crate::schema::{Field, Schema};
-use crate::stats::Stats;
+use crate::stats::{OpKind, OpMetrics, Stats};
 use crate::table::Distribution;
 use crate::value::{DataType, Datum};
 use std::collections::hash_map::Entry;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Partitioned intermediate data flowing between operators.
 #[derive(Debug, Clone)]
@@ -35,6 +56,76 @@ impl PData {
     pub fn row_count(&self) -> usize {
         self.parts.iter().map(Batch::rows).sum()
     }
+}
+
+/// Everything an operator needs from the executor: counters, the
+/// segment pool, partitioning parameters, the cancellation guard, and
+/// the kernel-dispatch switch.
+pub struct OpCtx<'a> {
+    /// Resource counters (operator timings charge here too).
+    pub stats: &'a Stats,
+    /// The cluster's segment worker pool.
+    pub pool: &'a SegmentPool,
+    /// Number of segments — every operator produces this many
+    /// partitions, keeping partition counts uniform across the plan.
+    pub segments: usize,
+    /// Whether co-located inputs may skip exchanges
+    /// (false under [`crate::ExecutionProfile::External`]).
+    pub allow_colocated: bool,
+    /// Cancellation / deadline checkpoints; cloned into every partition
+    /// task and re-checked at task start.
+    pub guard: QueryGuard,
+    /// Whether the vectorized i64 kernels may be used.
+    pub vectorized: bool,
+}
+
+/// Per-operator timing scope: created on entry, finished with the
+/// output row count. The tier counters are `Arc`ed so partition tasks
+/// on the pool can bump them.
+struct OpTimer {
+    kind: OpKind,
+    started: Instant,
+    rows_in: u64,
+    vec_parts: Arc<AtomicU64>,
+    gen_parts: Arc<AtomicU64>,
+}
+
+impl OpTimer {
+    fn new(kind: OpKind, rows_in: u64) -> OpTimer {
+        OpTimer {
+            kind,
+            started: Instant::now(),
+            rows_in,
+            vec_parts: Arc::new(AtomicU64::new(0)),
+            gen_parts: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn finish(self, stats: &Stats, rows_out: u64) {
+        stats.charge_op(
+            self.kind,
+            OpMetrics {
+                vectorized_parts: self.vec_parts.load(Ordering::Relaxed),
+                generic_parts: self.gen_parts.load(Ordering::Relaxed),
+                rows_in: self.rows_in,
+                rows_out,
+                nanos: self.started.elapsed().as_nanos() as u64,
+            },
+        );
+    }
+}
+
+/// Selection vectors index rows with `u32`; reject the (absurd for this
+/// workload) partitions that could overflow them.
+fn check_u32_rows(data: &PData) -> DbResult<()> {
+    if data.parts.iter().any(|b| b.rows() >= u32::MAX as usize) {
+        return Err(DbError::Exec("partition exceeds u32 row capacity".into()));
+    }
+    Ok(())
+}
+
+fn total_rows(parts: &[Batch]) -> u64 {
+    parts.iter().map(|b| b.rows() as u64).sum()
 }
 
 /// Aggregate functions supported by `GROUP BY` queries.
@@ -174,7 +265,8 @@ impl AggState {
 /// Projects each partition through the expressions, producing the given
 /// output fields. Tracks whether the input hash distribution survives
 /// (a distribution column passed through as a bare column reference).
-pub fn project(input: PData, exprs: &[(Expr, Field)]) -> DbResult<PData> {
+pub fn project(input: PData, exprs: &[(Expr, Field)], ctx: &OpCtx<'_>) -> DbResult<PData> {
+    let timer = OpTimer::new(OpKind::Project, total_rows(&input.parts));
     let out_schema = build_schema_allow_dups(exprs.iter().map(|(_, f)| f.clone()).collect());
     let new_dist = match &input.dist {
         Distribution::Hash(cols) => {
@@ -191,50 +283,90 @@ pub fn project(input: PData, exprs: &[(Expr, Field)]) -> DbResult<PData> {
         }
         Distribution::Arbitrary => Distribution::Arbitrary,
     };
-    let exprs_ref = exprs;
-    let parts = par_try_map(input.parts, |part_id, batch| {
-        let mut cols = Vec::with_capacity(exprs_ref.len());
-        for (e, _) in exprs_ref {
+    let exprs: Arc<Vec<(Expr, Field)>> = Arc::new(exprs.to_vec());
+    let guard = ctx.guard.clone();
+    let gen_parts = timer.gen_parts.clone();
+    let parts = ctx.pool.run_parts(input.parts, move |part_id, batch| {
+        guard.check()?;
+        gen_parts.fetch_add(1, Ordering::Relaxed);
+        let mut cols = Vec::with_capacity(exprs.len());
+        for (e, _) in exprs.iter() {
             cols.push(e.eval(&batch, part_id)?);
         }
         // A projection of zero columns is impossible through SQL.
         Ok(Batch::from_columns(cols))
     })?;
+    timer.finish(ctx.stats, total_rows(&parts));
     Ok(PData { schema: out_schema, parts, dist: new_dist })
 }
 
 /// Filters each partition by the predicate; distribution is preserved.
-pub fn filter(input: PData, pred: &Expr) -> DbResult<PData> {
-    let parts = par_try_map(input.parts, |part_id, batch| {
+/// Selected rows are gathered through a `u32` selection vector.
+pub fn filter(input: PData, pred: &Expr, ctx: &OpCtx<'_>) -> DbResult<PData> {
+    check_u32_rows(&input)?;
+    let timer = OpTimer::new(OpKind::Filter, total_rows(&input.parts));
+    let pred = pred.clone();
+    let guard = ctx.guard.clone();
+    let vec_parts = timer.vec_parts.clone();
+    let parts = ctx.pool.run_parts(input.parts, move |part_id, batch| {
+        guard.check()?;
+        vec_parts.fetch_add(1, Ordering::Relaxed);
         let mask = pred.eval_predicate(&batch, part_id)?;
-        let idx: Vec<usize> = mask
+        let sel: SelVec = mask
             .iter()
             .enumerate()
-            .filter_map(|(i, &keep)| keep.then_some(i))
+            .filter_map(|(i, &keep)| keep.then_some(i as u32))
             .collect();
-        Ok(batch.take(&idx))
+        Ok(batch.take_u32(&sel))
     })?;
+    timer.finish(ctx.stats, total_rows(&parts));
     Ok(PData { schema: input.schema, parts, dist: input.dist })
 }
 
-/// Hash-repartitions the data on `key_cols` into `target_parts`
+/// Hash-repartitions the data on `key_cols` into `ctx.segments`
 /// partitions, charging moved bytes to the network counter. Output
 /// distribution is `Hash(key_cols)`.
-pub fn repartition_hash(
-    input: PData,
-    key_cols: &[usize],
-    stats: &Stats,
-    target_parts: usize,
-) -> DbResult<PData> {
-    let n = target_parts.max(1);
-    // Bucket every source partition's rows by destination.
-    let bucketed: Vec<Vec<Batch>> = par_try_map(input.parts, |_, batch| {
-        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for row in 0..batch.rows() {
-            let dest = (hash_key(&batch, row, key_cols) % n as u64) as usize;
-            buckets[dest].push(row);
+///
+/// Two pool passes: each source partition is bucketed into per-dest
+/// batches (vectorized over i64 keys when possible), then the buckets
+/// are *moved* — never copied — into their destination partitions and
+/// concatenated by buffer append.
+pub fn repartition_hash(input: PData, key_cols: &[usize], ctx: &OpCtx<'_>) -> DbResult<PData> {
+    check_u32_rows(&input)?;
+    let timer = OpTimer::new(OpKind::Repartition, total_rows(&input.parts));
+    let n = ctx.segments.max(1);
+    let PData { schema, parts: in_parts, dist: _ } = input;
+    let keys: Arc<Vec<usize>> = Arc::new(key_cols.to_vec());
+    let guard = ctx.guard.clone();
+    let vectorized = ctx.vectorized;
+    let vec_parts = timer.vec_parts.clone();
+    let gen_parts = timer.gen_parts.clone();
+    let bucketed: Vec<(u64, Vec<Batch>)> = ctx.pool.run_parts(in_parts, move |_, batch| {
+        guard.check()?;
+        let int_keys = if vectorized {
+            keys.iter().map(|&c| batch.column(c).as_int_parts()).collect::<Option<Vec<_>>>()
+        } else {
+            None
+        };
+        let dests: SelVec = match int_keys {
+            Some(cols) => {
+                vec_parts.fetch_add(1, Ordering::Relaxed);
+                kernels::bucket_rows(&cols, n as u64)
+            }
+            None => {
+                gen_parts.fetch_add(1, Ordering::Relaxed);
+                (0..batch.rows())
+                    .map(|row| (hash_key(&batch, row, &keys) % n as u64) as u32)
+                    .collect()
+            }
+        };
+        let mut sels: Vec<SelVec> = vec![Vec::new(); n];
+        for (row, &d) in dests.iter().enumerate() {
+            sels[d as usize].push(row as u32);
         }
-        Ok(buckets.into_iter().map(|idx| batch.take(&idx)).collect::<Vec<Batch>>())
+        let out: Vec<Batch> = sels.iter().map(|sel| batch.take_u32(sel)).collect();
+        let moved: u64 = out.iter().map(Batch::byte_size).sum();
+        Ok((moved, out))
     })?;
     // Exchange accounting uses shuffle-write semantics (as Spark and
     // MPP databases report it): every byte passing through the exchange
@@ -242,36 +374,35 @@ pub fn repartition_hash(
     // Elided exchanges (co-located joins) therefore charge nothing,
     // while a forced reshuffle under the External profile charges the
     // full relation size.
-    let moved: u64 = bucketed
-        .iter()
-        .flat_map(|buckets| buckets.iter())
-        .map(Batch::byte_size)
-        .sum();
-    stats.charge_network(moved);
-    let parts: Vec<Batch> = (0..n)
-        .map(|dst| {
-            let slices: Vec<Batch> = bucketed.iter().map(|src| src[dst].clone()).collect();
-            Batch::concat(&slices)
-        })
-        .collect();
-    Ok(PData { schema: input.schema, parts, dist: Distribution::Hash(key_cols.to_vec()) })
+    let moved: u64 = bucketed.iter().map(|(m, _)| *m).sum();
+    ctx.stats.charge_network(moved);
+    // Transpose source-major buckets into destination-major groups by
+    // moving each batch exactly once.
+    let mut per_dest: Vec<Vec<Batch>> = (0..n).map(|_| Vec::with_capacity(bucketed.len())).collect();
+    for (_, buckets) in bucketed {
+        for (dst, b) in buckets.into_iter().enumerate() {
+            per_dest[dst].push(b);
+        }
+    }
+    let guard = ctx.guard.clone();
+    let parts = ctx.pool.run_parts(per_dest, move |_, batches| {
+        guard.check()?;
+        Ok(Batch::concat_owned(batches))
+    })?;
+    timer.finish(ctx.stats, total_rows(&parts));
+    Ok(PData { schema, parts, dist: Distribution::Hash(key_cols.to_vec()) })
 }
 
 /// Ensures the data is hash-distributed on `key_cols`, exchanging if
-/// necessary. When `allow_colocated` is false (the External profile),
-/// the exchange always happens — modelling an engine that cannot see
-/// the stored distribution.
-pub fn ensure_distribution(
-    input: PData,
-    key_cols: &[usize],
-    allow_colocated: bool,
-    stats: &Stats,
-    target_parts: usize,
-) -> DbResult<PData> {
-    if allow_colocated && input.dist.is_hash_on(key_cols) && input.parts.len() == target_parts {
+/// necessary. When `ctx.allow_colocated` is false (the External
+/// profile), the exchange always happens — modelling an engine that
+/// cannot see the stored distribution.
+pub fn ensure_distribution(input: PData, key_cols: &[usize], ctx: &OpCtx<'_>) -> DbResult<PData> {
+    if ctx.allow_colocated && input.dist.is_hash_on(key_cols) && input.parts.len() == ctx.segments
+    {
         Ok(input)
     } else {
-        repartition_hash(input, key_cols, stats, target_parts)
+        repartition_hash(input, key_cols, ctx)
     }
 }
 
@@ -281,10 +412,9 @@ pub fn aggregate(
     input: PData,
     group_cols: &[usize],
     aggs: &[AggExpr],
-    allow_colocated: bool,
-    stats: &Stats,
-    target_parts: usize,
+    ctx: &OpCtx<'_>,
 ) -> DbResult<PData> {
+    let timer = OpTimer::new(OpKind::Aggregate, total_rows(&input.parts));
     let in_types: Vec<DataType> =
         input.schema.fields().iter().map(|f| f.dtype).collect();
     let agg_types: Vec<DataType> = aggs
@@ -307,76 +437,100 @@ pub fn aggregate(
     let out_schema = build_schema_allow_dups(out_fields);
 
     if group_cols.is_empty() {
-        return global_aggregate(input, aggs, &agg_types, out_schema);
+        let out = global_aggregate(input, aggs, &agg_types, out_schema, ctx)?;
+        timer.finish(ctx.stats, total_rows(&out.parts));
+        return Ok(out);
     }
 
-    let data = ensure_distribution(input, group_cols, allow_colocated, stats, target_parts)?;
-    let aggs_ref = aggs;
-    let types_ref = &agg_types;
-    let group_ref = group_cols;
-    let parts = par_try_map(data.parts, |part_id, batch| {
+    let data = ensure_distribution(input, group_cols, ctx)?;
+    let aggs: Arc<Vec<AggExpr>> = Arc::new(aggs.to_vec());
+    let agg_types_arc: Arc<Vec<DataType>> = Arc::new(agg_types);
+    let group: Arc<Vec<usize>> = Arc::new(group_cols.to_vec());
+    let guard = ctx.guard.clone();
+    let vectorized = ctx.vectorized;
+    let vec_parts = timer.vec_parts.clone();
+    let gen_parts = timer.gen_parts.clone();
+    let parts = ctx.pool.run_parts(data.parts, move |part_id, batch| {
+        guard.check()?;
         // Evaluate agg inputs once per partition.
-        let mut agg_inputs = Vec::with_capacity(aggs_ref.len());
-        for a in aggs_ref {
+        let mut agg_inputs = Vec::with_capacity(aggs.len());
+        for a in aggs.iter() {
             agg_inputs.push(a.input.eval(&batch, part_id)?);
         }
-        let mut order: Vec<Vec<Datum>> = Vec::new();
-        // Fast path: single all-valid Int64 group key.
-        let fast_keys = if let [g] = group_ref {
-            batch.column(*g).as_plain_ints()
+        let new_states = || -> Vec<AggState> {
+            aggs.iter()
+                .zip(agg_types_arc.iter())
+                .map(|(a, ty)| AggState::new(a.func, *ty))
+                .collect()
+        };
+        // Vectorized tier: a single Int64 group key (NULLs included)
+        // goes through the group_ids kernel — one slice pass, no
+        // per-row key vectors.
+        let int_key = if vectorized {
+            if let &[g] = group.as_slice() {
+                batch.column(g).as_int_parts()
+            } else {
+                None
+            }
         } else {
             None
         };
-        let groups: Vec<(usize, Vec<AggState>)> = if let Some(keys) = fast_keys {
-            let mut groups: FastMap<i64, (usize, Vec<AggState>)> = FastMap::default();
-            for (row, &k) in keys.iter().enumerate() {
-                let entry = groups.entry(k).or_insert_with(|| {
-                    let states = aggs_ref
-                        .iter()
-                        .zip(types_ref)
-                        .map(|(a, ty)| AggState::new(a.func, *ty))
-                        .collect();
-                    order.push(vec![Datum::Int(k)]);
-                    (order.len() - 1, states)
-                });
-                for (st, col) in entry.1.iter_mut().zip(&agg_inputs) {
+        if let Some((keys, validity)) = int_key {
+            vec_parts.fetch_add(1, Ordering::Relaxed);
+            let gi = kernels::group_ids(keys, validity);
+            let mut states: Vec<Vec<AggState>> =
+                (0..gi.keys.len()).map(|_| new_states()).collect();
+            for (row, &g) in gi.row_groups.iter().enumerate() {
+                for (st, col) in states[g as usize].iter_mut().zip(&agg_inputs) {
                     st.update(col.datum(row));
                 }
             }
-            groups.into_values().collect()
-        } else {
-            let mut groups: FastMap<Vec<KeyPart>, (usize, Vec<AggState>)> = FastMap::default();
-            for row in 0..batch.rows() {
-                let key = row_key(&batch, row, group_ref);
-                let entry = match groups.entry(key) {
-                    Entry::Occupied(e) => e.into_mut(),
-                    Entry::Vacant(e) => {
-                        let states = aggs_ref
-                            .iter()
-                            .zip(types_ref)
-                            .map(|(a, ty)| AggState::new(a.func, *ty))
-                            .collect();
-                        order.push(
-                            group_ref.iter().map(|&c| batch.column(c).datum(row)).collect(),
-                        );
-                        e.insert((order.len() - 1, states))
-                    }
-                };
-                for (st, col) in entry.1.iter_mut().zip(&agg_inputs) {
-                    st.update(col.datum(row));
+            let mut gcol = Column::empty(DataType::Int64);
+            for (i, &k) in gi.keys.iter().enumerate() {
+                if gi.null_group == Some(i as u32) {
+                    gcol.push(Datum::Null);
+                } else {
+                    gcol.push(Datum::Int(k));
                 }
             }
-            groups.into_values().collect()
-        };
+            let mut cols = Vec::with_capacity(1 + agg_types_arc.len());
+            cols.push(gcol);
+            let mut agg_cols: Vec<Column> =
+                agg_types_arc.iter().map(|&t| Column::empty(t)).collect();
+            for group_states in states {
+                for (c, st) in agg_cols.iter_mut().zip(&group_states) {
+                    c.push(st.finish());
+                }
+            }
+            cols.extend(agg_cols);
+            return Ok(Batch::from_columns(cols));
+        }
+        // Generic tier: multi-column or non-integer keys.
+        gen_parts.fetch_add(1, Ordering::Relaxed);
+        let mut order: Vec<Vec<Datum>> = Vec::new();
+        let mut groups: FastMap<Vec<KeyPart>, (usize, Vec<AggState>)> = FastMap::default();
+        for row in 0..batch.rows() {
+            let key = row_key(&batch, row, &group);
+            let entry = match groups.entry(key) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => {
+                    order.push(group.iter().map(|&c| batch.column(c).datum(row)).collect());
+                    e.insert((order.len() - 1, new_states()))
+                }
+            };
+            for (st, col) in entry.1.iter_mut().zip(&agg_inputs) {
+                st.update(col.datum(row));
+            }
+        }
         // Emit groups in first-seen order for determinism.
-        let mut finished = groups;
+        let mut finished: Vec<(usize, Vec<AggState>)> = groups.into_values().collect();
         finished.sort_by_key(|(ord, _)| *ord);
-        let mut cols: Vec<Column> = group_ref
+        let mut cols: Vec<Column> = group
             .iter()
             .map(|&c| Column::empty(batch.column(c).data_type()))
             .collect();
         let mut agg_cols: Vec<Column> =
-            types_ref.iter().map(|&t| Column::empty(t)).collect();
+            agg_types_arc.iter().map(|&t| Column::empty(t)).collect();
         for (ord, states) in finished {
             for (c, d) in cols.iter_mut().zip(&order[ord]) {
                 c.push(*d);
@@ -388,6 +542,7 @@ pub fn aggregate(
         cols.extend(agg_cols);
         Ok(Batch::from_columns(cols))
     })?;
+    timer.finish(ctx.stats, total_rows(&parts));
     // Group columns keep their hash placement (positions 0..k).
     let dist = Distribution::Hash((0..group_cols.len()).collect());
     Ok(PData { schema: out_schema, parts, dist })
@@ -398,15 +553,20 @@ fn global_aggregate(
     aggs: &[AggExpr],
     agg_types: &[DataType],
     out_schema: Schema,
+    ctx: &OpCtx<'_>,
 ) -> DbResult<PData> {
     let n_parts = input.parts.len();
-    let partials: Vec<Vec<AggState>> = par_try_map(input.parts, |part_id, batch| {
-        let mut states: Vec<AggState> = aggs
+    let aggs_arc: Arc<Vec<AggExpr>> = Arc::new(aggs.to_vec());
+    let types_arc: Arc<Vec<DataType>> = Arc::new(agg_types.to_vec());
+    let guard = ctx.guard.clone();
+    let partials: Vec<Vec<AggState>> = ctx.pool.run_parts(input.parts, move |part_id, batch| {
+        guard.check()?;
+        let mut states: Vec<AggState> = aggs_arc
             .iter()
-            .zip(agg_types)
+            .zip(types_arc.iter())
             .map(|(a, ty)| AggState::new(a.func, *ty))
             .collect();
-        for (a, st) in aggs.iter().zip(states.iter_mut()) {
+        for (a, st) in aggs_arc.iter().zip(states.iter_mut()) {
             let col = a.input.eval(&batch, part_id)?;
             for row in 0..batch.rows() {
                 st.update(col.datum(row));
@@ -446,22 +606,25 @@ pub enum JoinType {
 }
 
 /// Hash equi-join on `l_keys = r_keys`, building on the right side.
-#[allow(clippy::too_many_arguments)]
 pub fn hash_join(
     left: PData,
     right: PData,
     l_keys: &[usize],
     r_keys: &[usize],
     join_type: JoinType,
-    allow_colocated: bool,
-    stats: &Stats,
-    target_parts: usize,
+    ctx: &OpCtx<'_>,
 ) -> DbResult<PData> {
     assert_eq!(l_keys.len(), r_keys.len(), "join key arity mismatch");
+    check_u32_rows(&left)?;
+    check_u32_rows(&right)?;
+    let timer = OpTimer::new(
+        OpKind::Join,
+        total_rows(&left.parts) + total_rows(&right.parts),
+    );
     let out_schema =
         left.schema.join(&right.schema, matches!(join_type, JoinType::LeftOuter));
-    let left = ensure_distribution(left, l_keys, allow_colocated, stats, target_parts)?;
-    let right = ensure_distribution(right, r_keys, allow_colocated, stats, target_parts)?;
+    let left = ensure_distribution(left, l_keys, ctx)?;
+    let right = ensure_distribution(right, r_keys, ctx)?;
     let left_dist_cols = match &left.dist {
         Distribution::Hash(c) => c.clone(),
         Distribution::Arbitrary => Vec::new(),
@@ -469,64 +632,71 @@ pub fn hash_join(
     let right_width = right.schema.len();
     let pairs: Vec<(Batch, Batch)> =
         left.parts.into_iter().zip(right.parts).collect();
-    let parts = par_try_map(pairs, |_, (lb, rb)| {
-        let mut l_idx: Vec<usize> = Vec::new();
-        let mut r_idx: Vec<Option<usize>> = Vec::new();
-        // Fast path: single all-valid Int64 key on both sides — no
-        // per-row key allocation, fast hasher.
-        let fast = if let ([lk], [rk]) = (l_keys, r_keys) {
-            lb.column(*lk).as_plain_ints().zip(rb.column(*rk).as_plain_ints())
+    let l_keys_arc: Arc<Vec<usize>> = Arc::new(l_keys.to_vec());
+    let r_keys_arc: Arc<Vec<usize>> = Arc::new(r_keys.to_vec());
+    let guard = ctx.guard.clone();
+    let vectorized = ctx.vectorized;
+    let vec_parts = timer.vec_parts.clone();
+    let gen_parts = timer.gen_parts.clone();
+    let parts = ctx.pool.run_parts(pairs, move |_, (lb, rb)| {
+        guard.check()?;
+        let left_outer = matches!(join_type, JoinType::LeftOuter);
+        // Vectorized tier: a single Int64 key on both sides. Build and
+        // probe run over raw slices; matches land in two `u32`
+        // selection vectors gathered straight into the output — the
+        // probe loop allocates nothing per row.
+        let int_keys = if vectorized {
+            if let (&[lk], &[rk]) = (l_keys_arc.as_slice(), r_keys_arc.as_slice()) {
+                lb.column(lk).as_int_parts().zip(rb.column(rk).as_int_parts())
+            } else {
+                None
+            }
         } else {
             None
         };
-        if let Some((l_vals, r_vals)) = fast {
-            let mut table: FastMap<i64, smallvec_rows::Rows> = FastMap::default();
-            for (row, &k) in r_vals.iter().enumerate() {
-                table.entry(k).or_default().push(row as u32);
+        if let Some(((l_vals, l_valid), (r_vals, r_valid))) = int_keys {
+            vec_parts.fetch_add(1, Ordering::Relaxed);
+            let build = kernels::build_join(r_vals, r_valid);
+            let mut l_sel: SelVec = Vec::new();
+            let mut r_sel: SelVec = Vec::new();
+            kernels::probe_join(&build, l_vals, l_valid, left_outer, &mut l_sel, &mut r_sel);
+            let mut cols: Vec<Column> = Vec::with_capacity(lb.width() + right_width);
+            for c in lb.columns() {
+                cols.push(c.take_u32(&l_sel));
             }
-            for (row, &k) in l_vals.iter().enumerate() {
-                match table.get(&k) {
-                    Some(rows) => {
-                        for &r in rows.as_slice() {
-                            l_idx.push(row);
-                            r_idx.push(Some(r as usize));
-                        }
-                    }
-                    None => {
-                        if matches!(join_type, JoinType::LeftOuter) {
-                            l_idx.push(row);
-                            r_idx.push(None);
-                        }
+            for ci in 0..right_width {
+                cols.push(rb.column(ci).take_u32_padded(&r_sel));
+            }
+            return Ok(Batch::from_columns(cols));
+        }
+        // Generic tier: build side right, multi-part keys.
+        gen_parts.fetch_add(1, Ordering::Relaxed);
+        let mut l_idx: Vec<usize> = Vec::new();
+        let mut r_idx: Vec<Option<usize>> = Vec::new();
+        let mut table: FastMap<Vec<KeyPart>, Vec<usize>> = FastMap::default();
+        for row in 0..rb.rows() {
+            if key_has_null(&rb, row, &r_keys_arc) {
+                continue;
+            }
+            table.entry(row_key(&rb, row, &r_keys_arc)).or_default().push(row);
+        }
+        for row in 0..lb.rows() {
+            let matched = if key_has_null(&lb, row, &l_keys_arc) {
+                None
+            } else {
+                table.get(&row_key(&lb, row, &l_keys_arc))
+            };
+            match matched {
+                Some(rows) => {
+                    for &r in rows {
+                        l_idx.push(row);
+                        r_idx.push(Some(r));
                     }
                 }
-            }
-        } else {
-            // General path: build side right, multi-part keys.
-            let mut table: FastMap<Vec<KeyPart>, Vec<usize>> = FastMap::default();
-            for row in 0..rb.rows() {
-                if key_has_null(&rb, row, r_keys) {
-                    continue;
-                }
-                table.entry(row_key(&rb, row, r_keys)).or_default().push(row);
-            }
-            for row in 0..lb.rows() {
-                let matched = if key_has_null(&lb, row, l_keys) {
-                    None
-                } else {
-                    table.get(&row_key(&lb, row, l_keys))
-                };
-                match matched {
-                    Some(rows) => {
-                        for &r in rows {
-                            l_idx.push(row);
-                            r_idx.push(Some(r));
-                        }
-                    }
-                    None => {
-                        if matches!(join_type, JoinType::LeftOuter) {
-                            l_idx.push(row);
-                            r_idx.push(None);
-                        }
+                None => {
+                    if left_outer {
+                        l_idx.push(row);
+                        r_idx.push(None);
                     }
                 }
             }
@@ -548,6 +718,7 @@ pub fn hash_join(
         }
         Ok(Batch::from_columns(cols))
     })?;
+    timer.finish(ctx.stats, total_rows(&parts));
     // The join output keeps the left side's key placement.
     let dist = if left_dist_cols.is_empty() {
         Distribution::Arbitrary
@@ -559,48 +730,58 @@ pub fn hash_join(
 
 /// Removes duplicate rows (SELECT DISTINCT): exchanges on all columns,
 /// then deduplicates per partition.
-pub fn distinct(
-    input: PData,
-    allow_colocated: bool,
-    stats: &Stats,
-    target_parts: usize,
-) -> DbResult<PData> {
+pub fn distinct(input: PData, ctx: &OpCtx<'_>) -> DbResult<PData> {
+    check_u32_rows(&input)?;
+    let timer = OpTimer::new(OpKind::Distinct, total_rows(&input.parts));
     let all_cols: Vec<usize> = (0..input.schema.len()).collect();
-    let data = ensure_distribution(input, &all_cols, allow_colocated, stats, target_parts)?;
-    let all_ref = &all_cols;
-    let parts = par_try_map(data.parts, |_, batch| {
-        let mut keep: Vec<usize> = Vec::new();
-        // Fast path: two all-valid Int64 columns — the edge-table shape
-        // every contraction round deduplicates.
-        let fast = if batch.width() == 2 {
-            batch.column(0).as_plain_ints().zip(batch.column(1).as_plain_ints())
+    let data = ensure_distribution(input, &all_cols, ctx)?;
+    let all_arc: Arc<Vec<usize>> = Arc::new(all_cols);
+    let guard = ctx.guard.clone();
+    let vectorized = ctx.vectorized;
+    let vec_parts = timer.vec_parts.clone();
+    let gen_parts = timer.gen_parts.clone();
+    let parts = ctx.pool.run_parts(data.parts, move |_, batch| {
+        guard.check()?;
+        // Vectorized tier: one or two Int64 columns — the vertex and
+        // edge table shapes every contraction round deduplicates.
+        let sel = if vectorized {
+            match batch.width() {
+                1 => batch
+                    .column(0)
+                    .as_int_parts()
+                    .map(|(v, m)| kernels::distinct_ints(v, m)),
+                2 => batch
+                    .column(0)
+                    .as_int_parts()
+                    .zip(batch.column(1).as_int_parts())
+                    .map(|((a, am), (b, bm))| kernels::distinct_pairs(a, am, b, bm)),
+                _ => None,
+            }
         } else {
             None
         };
-        if let Some((a, b)) = fast {
-            let mut seen: FastSet<(i64, i64)> = FastSet::default();
-            seen.reserve(batch.rows());
-            for row in 0..batch.rows() {
-                if seen.insert((a[row], b[row])) {
-                    keep.push(row);
-                }
-            }
-        } else {
-            let mut seen: FastSet<Vec<KeyPart>> = FastSet::default();
-            seen.reserve(batch.rows());
-            for row in 0..batch.rows() {
-                if seen.insert(row_key(&batch, row, all_ref)) {
-                    keep.push(row);
-                }
+        if let Some(sel) = sel {
+            vec_parts.fetch_add(1, Ordering::Relaxed);
+            return Ok(batch.take_u32(&sel));
+        }
+        gen_parts.fetch_add(1, Ordering::Relaxed);
+        let mut keep: SelVec = Vec::new();
+        let mut seen: FastSet<Vec<KeyPart>> = FastSet::default();
+        seen.reserve(batch.rows());
+        for row in 0..batch.rows() {
+            if seen.insert(row_key(&batch, row, &all_arc)) {
+                keep.push(row as u32);
             }
         }
-        Ok(batch.take(&keep))
+        Ok(batch.take_u32(&keep))
     })?;
+    timer.finish(ctx.stats, total_rows(&parts));
     Ok(PData { schema: data.schema, parts, dist: data.dist })
 }
 
-/// Concatenates two inputs partition-wise (`UNION ALL`).
-pub fn union_all(a: PData, b: PData) -> DbResult<PData> {
+/// Concatenates two inputs partition-wise (`UNION ALL`), consuming both
+/// — each partition pair merges by buffer append, no row copies.
+pub fn union_all(a: PData, b: PData, ctx: &OpCtx<'_>) -> DbResult<PData> {
     if a.schema.len() != b.schema.len() {
         return Err(DbError::Plan(format!(
             "UNION ALL arity mismatch: {} vs {}",
@@ -608,58 +789,26 @@ pub fn union_all(a: PData, b: PData) -> DbResult<PData> {
             b.schema.len()
         )));
     }
+    let timer = OpTimer::new(
+        OpKind::UnionAll,
+        total_rows(&a.parts) + total_rows(&b.parts),
+    );
+    let dist = if a.dist == b.dist { a.dist.clone() } else { Distribution::Arbitrary };
+    let schema = a.schema;
     let n = a.parts.len().max(b.parts.len());
     let mut parts = Vec::with_capacity(n);
-    let empty_a = Batch::empty(&a.schema);
-    for i in 0..n {
-        let pa = a.parts.get(i).unwrap_or(&empty_a);
-        let pb = b.parts.get(i);
-        let combined = match pb {
-            Some(pb) => Batch::concat(&[pa.clone(), pb.clone()]),
-            None => pa.clone(),
-        };
-        parts.push(combined);
-    }
-    let dist = if a.dist == b.dist { a.dist.clone() } else { Distribution::Arbitrary };
-    Ok(PData { schema: a.schema, parts, dist })
-}
-
-/// A tiny inline-first row list for join build sides: nearly every
-/// build key is unique, so the single-row case avoids heap allocation.
-mod smallvec_rows {
-    /// Up to one row inline; spills to a `Vec` beyond that.
-    #[derive(Debug, Clone, Default)]
-    pub enum Rows {
-        /// No rows yet.
-        #[default]
-        Empty,
-        /// Exactly one row.
-        One(u32),
-        /// Two or more rows.
-        Many(Vec<u32>),
-    }
-
-    impl Rows {
-        /// Appends a row index.
-        #[inline]
-        pub fn push(&mut self, row: u32) {
-            match self {
-                Rows::Empty => *self = Rows::One(row),
-                Rows::One(first) => *self = Rows::Many(vec![*first, row]),
-                Rows::Many(v) => v.push(row),
-            }
+    let mut a_iter = a.parts.into_iter();
+    let mut b_iter = b.parts.into_iter();
+    for _ in 0..n {
+        let mut pa = a_iter.next().unwrap_or_else(|| Batch::empty(&schema));
+        if let Some(pb) = b_iter.next() {
+            pa.append(pb);
         }
-
-        /// The rows as a slice.
-        #[inline]
-        pub fn as_slice(&self) -> &[u32] {
-            match self {
-                Rows::Empty => &[],
-                Rows::One(r) => std::slice::from_ref(r),
-                Rows::Many(v) => v,
-            }
-        }
+        parts.push(pa);
     }
+    let rows_out = total_rows(&parts);
+    timer.finish(ctx.stats, rows_out);
+    Ok(PData { schema, parts, dist })
 }
 
 /// Builds a schema that tolerates duplicate column names (join and
@@ -717,11 +866,34 @@ mod tests {
         out
     }
 
+    /// A scratch stats + pool pair for building test contexts.
+    struct TestRig {
+        stats: Stats,
+        pool: SegmentPool,
+    }
+
+    impl TestRig {
+        fn new() -> TestRig {
+            TestRig { stats: Stats::new(), pool: SegmentPool::new(2) }
+        }
+
+        fn ctx(&self) -> OpCtx<'_> {
+            OpCtx {
+                stats: &self.stats,
+                pool: &self.pool,
+                segments: 2,
+                allow_colocated: true,
+                guard: QueryGuard::default(),
+                vectorized: true,
+            }
+        }
+    }
+
     #[test]
     fn repartition_places_equal_keys_together() {
-        let stats = Stats::new();
+        let rig = TestRig::new();
         let input = pdata(vec![vec![1, 2, 3, 4], vec![1, 2, 5, 6]], Distribution::Arbitrary);
-        let out = repartition_hash(input, &[0], &stats, 2).unwrap();
+        let out = repartition_hash(input, &[0], &rig.ctx()).unwrap();
         assert_eq!(out.parts.len(), 2);
         assert!(out.dist.is_hash_on(&[0]));
         // Every value must appear in exactly one partition.
@@ -737,20 +909,41 @@ mod tests {
                 .collect();
             assert_eq!(holders.len(), 1, "value {v} split across partitions");
         }
-        assert!(stats.snapshot().network_bytes > 0);
+        assert!(rig.stats.snapshot().network_bytes > 0);
         assert_eq!(out.row_count(), 8);
     }
 
     #[test]
+    fn vectorized_and_generic_repartition_agree() {
+        let rig = TestRig::new();
+        let input = pdata(vec![vec![1, -2, 3, 4], vec![1, 2, 5, i64::MIN]], Distribution::Arbitrary);
+        let vec_out = repartition_hash(input.clone(), &[0], &rig.ctx()).unwrap();
+        let mut gen_ctx = rig.ctx();
+        gen_ctx.vectorized = false;
+        let gen_out = repartition_hash(input, &[0], &gen_ctx).unwrap();
+        for (vb, gb) in vec_out.parts.iter().zip(&gen_out.parts) {
+            assert_eq!(vb.rows(), gb.rows());
+            for r in 0..vb.rows() {
+                assert_eq!(vb.row(r), gb.row(r));
+            }
+        }
+        let ops = rig.stats.op_stats();
+        let rep = ops.iter().find(|o| o.kind == OpKind::Repartition).unwrap();
+        assert!(rep.vectorized_parts > 0 && rep.generic_parts > 0);
+    }
+
+    #[test]
     fn colocated_skips_exchange() {
-        let stats = Stats::new();
+        let rig = TestRig::new();
         let input = pdata(vec![vec![1], vec![2]], Distribution::Hash(vec![0]));
-        let out = ensure_distribution(input, &[0], true, &stats, 2).unwrap();
-        assert_eq!(stats.snapshot().network_bytes, 0);
+        let out = ensure_distribution(input, &[0], &rig.ctx()).unwrap();
+        assert_eq!(rig.stats.snapshot().network_bytes, 0);
         assert_eq!(out.row_count(), 2);
         // External profile forces the shuffle.
         let input2 = pdata(vec![vec![1], vec![2]], Distribution::Hash(vec![0]));
-        ensure_distribution(input2, &[0], false, &stats, 2).unwrap();
+        let mut ext = rig.ctx();
+        ext.allow_colocated = false;
+        ensure_distribution(input2, &[0], &ext).unwrap();
         // Moved bytes may be zero by luck of hashing; the shuffle must
         // at least have run (row placement recomputed). We can't observe
         // that directly here, so just check no error.
@@ -758,7 +951,7 @@ mod tests {
 
     #[test]
     fn aggregate_min_grouped() {
-        let stats = Stats::new();
+        let rig = TestRig::new();
         let input = pdata2(
             vec![vec![(1, 10), (2, 5)], vec![(1, 3), (2, 20)]],
             Distribution::Arbitrary,
@@ -767,9 +960,7 @@ mod tests {
             input,
             &[0],
             &[AggExpr { func: AggFunc::Min, input: Expr::Column(1) }],
-            true,
-            &stats,
-            2,
+            &rig.ctx(),
         )
         .unwrap();
         let mut rows = all_rows(&out);
@@ -785,7 +976,7 @@ mod tests {
 
     #[test]
     fn aggregate_global_count_sum() {
-        let stats = Stats::new();
+        let rig = TestRig::new();
         let input = pdata(vec![vec![1, 2], vec![3]], Distribution::Arbitrary);
         let out = aggregate(
             input,
@@ -795,9 +986,7 @@ mod tests {
                 AggExpr { func: AggFunc::Sum, input: Expr::Column(0) },
                 AggExpr { func: AggFunc::Max, input: Expr::Column(0) },
             ],
-            true,
-            &stats,
-            2,
+            &rig.ctx(),
         )
         .unwrap();
         assert_eq!(out.row_count(), 1);
@@ -809,7 +998,7 @@ mod tests {
 
     #[test]
     fn global_aggregate_on_empty_input() {
-        let stats = Stats::new();
+        let rig = TestRig::new();
         let input = pdata(vec![vec![], vec![]], Distribution::Arbitrary);
         let out = aggregate(
             input,
@@ -818,21 +1007,60 @@ mod tests {
                 AggExpr { func: AggFunc::Count, input: Expr::LitInt(1) },
                 AggExpr { func: AggFunc::Min, input: Expr::Column(0) },
             ],
-            true,
-            &stats,
-            2,
+            &rig.ctx(),
         )
         .unwrap();
         assert_eq!(all_rows(&out)[0], vec![Datum::Int(0), Datum::Null]);
     }
 
     #[test]
+    fn aggregate_groups_nulls_together_on_both_tiers() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]);
+        let make = || {
+            let part = Batch::from_columns(vec![
+                Column::from_datums(
+                    DataType::Int64,
+                    [Datum::Int(1), Datum::Null, Datum::Int(1), Datum::Null],
+                ),
+                Column::from_ints(vec![10, 20, 30, 40]),
+            ]);
+            PData {
+                schema: schema.clone(),
+                parts: vec![part, Batch::empty(&schema)],
+                dist: Distribution::Hash(vec![0]),
+            }
+        };
+        let aggs = [AggExpr { func: AggFunc::Min, input: Expr::Column(1) }];
+        let rig = TestRig::new();
+        let vec_out = aggregate(make(), &[0], &aggs, &rig.ctx()).unwrap();
+        let mut gen_ctx = rig.ctx();
+        gen_ctx.vectorized = false;
+        let gen_out = aggregate(make(), &[0], &aggs, &gen_ctx).unwrap();
+        let sort = |p: &PData| {
+            let mut rows = all_rows(p);
+            rows.sort_by_key(|r| r[0].as_int());
+            rows
+        };
+        let rows = sort(&vec_out);
+        assert_eq!(rows, sort(&gen_out));
+        assert_eq!(
+            rows,
+            vec![
+                vec![Datum::Null, Datum::Int(20)],
+                vec![Datum::Int(1), Datum::Int(10)],
+            ]
+        );
+    }
+
+    #[test]
     fn inner_join_matches() {
-        let stats = Stats::new();
+        let rig = TestRig::new();
         let l = pdata2(vec![vec![(1, 100), (2, 200)], vec![(3, 300)]], Distribution::Arbitrary);
         let r = pdata2(vec![vec![(1, 11)], vec![(3, 33), (4, 44)]], Distribution::Arbitrary);
-        let out =
-            hash_join(l, r, &[0], &[0], JoinType::Inner, true, &stats, 2).unwrap();
+        let out = hash_join(l, r, &[0], &[0], JoinType::Inner, &rig.ctx()).unwrap();
         let mut rows = all_rows(&out);
         rows.sort_by_key(|r| r[0].as_int());
         assert_eq!(
@@ -846,11 +1074,10 @@ mod tests {
 
     #[test]
     fn left_outer_join_emits_nulls() {
-        let stats = Stats::new();
+        let rig = TestRig::new();
         let l = pdata2(vec![vec![(1, 100), (2, 200)]], Distribution::Arbitrary);
         let r = pdata2(vec![vec![(1, 11)]], Distribution::Arbitrary);
-        let out =
-            hash_join(l, r, &[0], &[0], JoinType::LeftOuter, true, &stats, 2).unwrap();
+        let out = hash_join(l, r, &[0], &[0], JoinType::LeftOuter, &rig.ctx()).unwrap();
         let mut rows = all_rows(&out);
         rows.sort_by_key(|r| r[0].as_int());
         assert_eq!(rows.len(), 2);
@@ -860,18 +1087,45 @@ mod tests {
 
     #[test]
     fn join_duplicate_right_keys_multiply() {
-        let stats = Stats::new();
+        let rig = TestRig::new();
         let l = pdata(vec![vec![7]], Distribution::Arbitrary);
         let r = pdata(vec![vec![7, 7, 7]], Distribution::Arbitrary);
-        let out = hash_join(l, r, &[0], &[0], JoinType::Inner, true, &stats, 2).unwrap();
+        let out = hash_join(l, r, &[0], &[0], JoinType::Inner, &rig.ctx()).unwrap();
         assert_eq!(out.row_count(), 3);
     }
 
     #[test]
+    fn join_tiers_agree_on_null_keys_and_dup_matches() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+        let make = |datums: Vec<Datum>| PData {
+            schema: schema.clone(),
+            parts: vec![
+                Batch::from_columns(vec![Column::from_datums(DataType::Int64, datums)]),
+                Batch::empty(&schema),
+            ],
+            dist: Distribution::Hash(vec![0]),
+        };
+        let l_rows = vec![Datum::Int(7), Datum::Null, Datum::Int(9)];
+        let r_rows = vec![Datum::Int(7), Datum::Int(7), Datum::Null];
+        let rig = TestRig::new();
+        for jt in [JoinType::Inner, JoinType::LeftOuter] {
+            let vec_out =
+                hash_join(make(l_rows.clone()), make(r_rows.clone()), &[0], &[0], jt, &rig.ctx())
+                    .unwrap();
+            let mut gen_ctx = rig.ctx();
+            gen_ctx.vectorized = false;
+            let gen_out =
+                hash_join(make(l_rows.clone()), make(r_rows.clone()), &[0], &[0], jt, &gen_ctx)
+                    .unwrap();
+            assert_eq!(all_rows(&vec_out), all_rows(&gen_out), "{jt:?}");
+        }
+    }
+
+    #[test]
     fn distinct_dedups_across_partitions() {
-        let stats = Stats::new();
+        let rig = TestRig::new();
         let input = pdata(vec![vec![1, 2, 2], vec![1, 3]], Distribution::Arbitrary);
-        let out = distinct(input, true, &stats, 2).unwrap();
+        let out = distinct(input, &rig.ctx()).unwrap();
         let mut vals: Vec<i64> =
             all_rows(&out).iter().map(|r| r[0].as_int().unwrap()).collect();
         vals.sort_unstable();
@@ -880,21 +1134,24 @@ mod tests {
 
     #[test]
     fn union_all_concats() {
+        let rig = TestRig::new();
         let a = pdata(vec![vec![1], vec![2]], Distribution::Arbitrary);
         let b = pdata(vec![vec![3], vec![4]], Distribution::Arbitrary);
-        let out = union_all(a, b).unwrap();
+        let out = union_all(a, b, &rig.ctx()).unwrap();
         assert_eq!(out.row_count(), 4);
     }
 
     #[test]
     fn union_all_arity_mismatch_rejected() {
+        let rig = TestRig::new();
         let a = pdata(vec![vec![1]], Distribution::Arbitrary);
         let b = pdata2(vec![vec![(1, 2)]], Distribution::Arbitrary);
-        assert!(union_all(a, b).is_err());
+        assert!(union_all(a, b, &rig.ctx()).is_err());
     }
 
     #[test]
     fn projection_tracks_distribution() {
+        let rig = TestRig::new();
         let input = pdata2(vec![vec![(1, 10)], vec![(2, 20)]], Distribution::Hash(vec![0]));
         // Project b, a — distribution column 0 (a) moves to position 1.
         let out = project(
@@ -903,6 +1160,7 @@ mod tests {
                 (Expr::Column(1), Field::new("b", DataType::Int64)),
                 (Expr::Column(0), Field::new("a", DataType::Int64)),
             ],
+            &rig.ctx(),
         )
         .unwrap();
         assert!(out.dist.is_hash_on(&[1]));
@@ -911,6 +1169,7 @@ mod tests {
         let out2 = project(
             input2,
             &[(Expr::Column(1), Field::new("b", DataType::Int64))],
+            &rig.ctx(),
         )
         .unwrap();
         assert_eq!(out2.dist, Distribution::Arbitrary);
@@ -919,15 +1178,30 @@ mod tests {
     #[test]
     fn filter_preserves_distribution() {
         use crate::expr::CmpOp;
+        let rig = TestRig::new();
         let input = pdata(vec![vec![1, 5], vec![7, 2]], Distribution::Hash(vec![0]));
         let pred = Expr::Cmp {
             op: CmpOp::Gt,
             left: Box::new(Expr::Column(0)),
             right: Box::new(Expr::LitInt(3)),
         };
-        let out = filter(input, &pred).unwrap();
+        let out = filter(input, &pred, &rig.ctx()).unwrap();
         assert_eq!(out.row_count(), 2);
         assert!(out.dist.is_hash_on(&[0]));
+    }
+
+    #[test]
+    fn cancelled_guard_stops_partition_tasks() {
+        use std::sync::atomic::AtomicBool;
+        let rig = TestRig::new();
+        let mut ctx = rig.ctx();
+        ctx.guard = QueryGuard {
+            cancel: Some(Arc::new(AtomicBool::new(true))),
+            deadline: None,
+        };
+        let input = pdata(vec![vec![1, 2], vec![3]], Distribution::Arbitrary);
+        let err = repartition_hash(input, &[0], &ctx).unwrap_err();
+        assert!(err.is_cancelled());
     }
 
     #[test]

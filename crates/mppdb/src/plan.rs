@@ -103,24 +103,24 @@ fn analyze_node(
         Plan::Scan { .. } | Plan::OneRow => execute(plan, ctx)?,
         Plan::Project { input, exprs } => {
             let child = analyze_node(input, ctx, depth + 1, lines)?;
-            ops::project(child, exprs)?
+            ops::project(child, exprs, &ctx.op_ctx())?
         }
         Plan::Filter { input, pred } => {
             let child = analyze_node(input, ctx, depth + 1, lines)?;
-            ops::filter(child, pred)?
+            ops::filter(child, pred, &ctx.op_ctx())?
         }
         Plan::Join { left, right, l_keys, r_keys, join_type } => {
             let l = analyze_node(left, ctx, depth + 1, lines)?;
             let r = analyze_node(right, ctx, depth + 1, lines)?;
-            ops::hash_join(l, r, l_keys, r_keys, *join_type, ctx.allow_colocated, ctx.stats, ctx.segments)?
+            ops::hash_join(l, r, l_keys, r_keys, *join_type, &ctx.op_ctx())?
         }
         Plan::Aggregate { input, group_cols, aggs } => {
             let child = analyze_node(input, ctx, depth + 1, lines)?;
-            ops::aggregate(child, group_cols, aggs, ctx.allow_colocated, ctx.stats, ctx.segments)?
+            ops::aggregate(child, group_cols, aggs, &ctx.op_ctx())?
         }
         Plan::Distinct { input } => {
             let child = analyze_node(input, ctx, depth + 1, lines)?;
-            ops::distinct(child, ctx.allow_colocated, ctx.stats, ctx.segments)?
+            ops::distinct(child, &ctx.op_ctx())?
         }
         Plan::UnionAll { inputs } => {
             let mut acc: Option<PData> = None;
@@ -128,7 +128,7 @@ fn analyze_node(
                 let next = analyze_node(p, ctx, depth + 1, lines)?;
                 acc = Some(match acc {
                     None => next,
-                    Some(prev) => ops::union_all(prev, next)?,
+                    Some(prev) => ops::union_all(prev, next, &ctx.op_ctx())?,
                 });
             }
             acc.ok_or_else(|| DbError::Plan("empty UNION ALL".into()))?
@@ -221,24 +221,27 @@ fn render(plan: &Plan, depth: usize, out: &mut String) {
 
 /// Interrupt state threaded through the executor: a cooperative cancel
 /// flag and an optional deadline. The executor calls [`QueryGuard::check`]
-/// on entry to every plan node, so a cancelled session or an expired
-/// statement timeout stops a long multi-join round at the next operator
-/// boundary — before any result is stored, keeping the catalog clean.
-#[derive(Default, Clone, Copy)]
-pub struct QueryGuard<'a> {
+/// on entry to every plan node — and each operator re-checks at the
+/// start of every partition task on the segment pool — so a cancelled
+/// session or an expired statement timeout stops a long multi-join
+/// round at the next operator boundary, before any result is stored,
+/// keeping the catalog clean. Owned (the flag is an `Arc`) so it can be
+/// cloned into `'static` pool tasks.
+#[derive(Debug, Default, Clone)]
+pub struct QueryGuard {
     /// When set and true, the statement aborts with
     /// [`DbError::Cancelled`].
-    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     /// When set and in the past, the statement aborts with
     /// [`DbError::Cancelled`].
     pub deadline: Option<std::time::Instant>,
 }
 
-impl QueryGuard<'_> {
+impl QueryGuard {
     /// Returns `Err(DbError::Cancelled)` if the cancel flag is raised
     /// or the deadline has passed; otherwise `Ok(())`.
     pub fn check(&self) -> DbResult<()> {
-        if let Some(flag) = self.cancel {
+        if let Some(flag) = &self.cancel {
             if flag.load(std::sync::atomic::Ordering::Relaxed) {
                 return Err(DbError::Cancelled("query cancelled".into()));
             }
@@ -261,11 +264,31 @@ pub struct ExecContext<'a> {
     pub allow_colocated: bool,
     /// Resource counters.
     pub stats: &'a Stats,
+    /// The cluster's segment worker pool.
+    pub pool: &'a crate::pool::SegmentPool,
     /// Number of segments — every operator produces this many
     /// partitions, keeping partition counts uniform across the plan.
     pub segments: usize,
     /// Cancellation / deadline checkpoints (default: never interrupts).
-    pub guard: QueryGuard<'a>,
+    pub guard: QueryGuard,
+    /// Whether operators may dispatch to the vectorized i64 kernels
+    /// (false forces the generic row-at-a-time path — the parity
+    /// suite's oracle mode).
+    pub vectorized: bool,
+}
+
+impl<'a> ExecContext<'a> {
+    /// The operator-facing slice of this context.
+    pub fn op_ctx(&self) -> ops::OpCtx<'a> {
+        ops::OpCtx {
+            stats: self.stats,
+            pool: self.pool,
+            segments: self.segments,
+            allow_colocated: self.allow_colocated,
+            guard: self.guard.clone(),
+            vectorized: self.vectorized,
+        }
+    }
 }
 
 /// Executes a plan to partitioned data.
@@ -293,33 +316,24 @@ pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> DbResult<PData> {
         }
         Plan::Project { input, exprs } => {
             let data = execute(input, ctx)?;
-            ops::project(data, exprs)
+            ops::project(data, exprs, &ctx.op_ctx())
         }
         Plan::Filter { input, pred } => {
             let data = execute(input, ctx)?;
-            ops::filter(data, pred)
+            ops::filter(data, pred, &ctx.op_ctx())
         }
         Plan::Join { left, right, l_keys, r_keys, join_type } => {
             let l = execute(left, ctx)?;
             let r = execute(right, ctx)?;
-            ops::hash_join(
-                l,
-                r,
-                l_keys,
-                r_keys,
-                *join_type,
-                ctx.allow_colocated,
-                ctx.stats,
-                ctx.segments,
-            )
+            ops::hash_join(l, r, l_keys, r_keys, *join_type, &ctx.op_ctx())
         }
         Plan::Aggregate { input, group_cols, aggs } => {
             let data = execute(input, ctx)?;
-            ops::aggregate(data, group_cols, aggs, ctx.allow_colocated, ctx.stats, ctx.segments)
+            ops::aggregate(data, group_cols, aggs, &ctx.op_ctx())
         }
         Plan::Distinct { input } => {
             let data = execute(input, ctx)?;
-            ops::distinct(data, ctx.allow_colocated, ctx.stats, ctx.segments)
+            ops::distinct(data, &ctx.op_ctx())
         }
         Plan::UnionAll { inputs } => {
             let mut iter = inputs.iter();
@@ -329,7 +343,7 @@ pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> DbResult<PData> {
             let mut acc = execute(first, ctx)?;
             for p in iter {
                 let next = execute(p, ctx)?;
-                acc = ops::union_all(acc, next)?;
+                acc = ops::union_all(acc, next, &ctx.op_ctx())?;
             }
             Ok(acc)
         }
@@ -365,6 +379,7 @@ mod tests {
 
     fn ctx_eval(plan: &Plan) -> DbResult<PData> {
         let stats = Stats::new();
+        let pool = crate::pool::SegmentPool::new(2);
         let lookup = |name: &str| -> DbResult<Table> {
             if name == "t" {
                 Ok(test_table())
@@ -378,8 +393,10 @@ mod tests {
                 lookup: &lookup,
                 allow_colocated: true,
                 stats: &stats,
+                pool: &pool,
                 segments: 2,
                 guard: QueryGuard::default(),
+                vectorized: true,
             },
         )
     }
@@ -387,15 +404,19 @@ mod tests {
     #[test]
     fn guard_cancels_execution() {
         use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
         let stats = Stats::new();
+        let pool = crate::pool::SegmentPool::new(2);
         let lookup = |_: &str| -> DbResult<Table> { Ok(test_table()) };
-        let flag = AtomicBool::new(true);
+        let flag = Arc::new(AtomicBool::new(true));
         let ctx = ExecContext {
             lookup: &lookup,
             allow_colocated: true,
             stats: &stats,
+            pool: &pool,
             segments: 2,
-            guard: QueryGuard { cancel: Some(&flag), deadline: None },
+            guard: QueryGuard { cancel: Some(flag), deadline: None },
+            vectorized: true,
         };
         let err = execute(&Plan::Scan { table: "t".into() }, &ctx).unwrap_err();
         assert!(err.is_cancelled());
@@ -404,14 +425,17 @@ mod tests {
     #[test]
     fn guard_enforces_deadline() {
         let stats = Stats::new();
+        let pool = crate::pool::SegmentPool::new(2);
         let lookup = |_: &str| -> DbResult<Table> { Ok(test_table()) };
         let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
         let ctx = ExecContext {
             lookup: &lookup,
             allow_colocated: true,
             stats: &stats,
+            pool: &pool,
             segments: 2,
             guard: QueryGuard { cancel: None, deadline: Some(past) },
+            vectorized: true,
         };
         let err = execute(&Plan::Scan { table: "t".into() }, &ctx).unwrap_err();
         assert!(err.is_cancelled());

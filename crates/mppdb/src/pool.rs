@@ -1,0 +1,293 @@
+//! The cluster's persistent execution substrate: a fixed set of
+//! segment worker threads shared by every operator invocation.
+//!
+//! The previous executor spawned fresh scoped OS threads for every
+//! operator of every query — per round, per algorithm. This pool is
+//! created once in [`crate::Cluster::new`] (one worker per segment) and
+//! reused for the cluster's whole lifetime; an operator hands it one
+//! closure per partition and gets the results back in input order.
+//!
+//! Two properties shape the design:
+//!
+//! * **No `unsafe`.** The crate forbids it, which rules out the classic
+//!   lifetime-erased scoped pool. Instead every submitted task is fully
+//!   `'static`: [`SegmentPool::run_parts`] moves the partition data and
+//!   an `Arc` of the closure into each task, and collects results
+//!   through a shared [`RunState`].
+//! * **Caller help.** The calling thread drains the same pending queue
+//!   as the workers. A `run_parts` call therefore always finishes even
+//!   when every worker is busy — in particular when the caller *is* a
+//!   pool worker (a service job running a query on the shared pool), so
+//!   sharing the pool between operators and job execution cannot
+//!   deadlock.
+//!
+//! Panic and error semantics match the old scoped executor: the first
+//! panicking partition re-raises on the caller via
+//! [`std::panic::resume_unwind`]; otherwise the first `Err` in
+//! partition order wins.
+
+use crate::error::DbResult;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A detached unit of work for the pool.
+pub type Ticket = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Ticket>>,
+    available: Condvar,
+    stop: AtomicBool,
+}
+
+/// A fixed pool of segment worker threads (see the module docs).
+pub struct SegmentPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    n_workers: usize,
+}
+
+/// Shared bookkeeping for one `run_parts` call: the unclaimed work, the
+/// result slots, and a countdown the caller waits on.
+struct RunState<T, U> {
+    pending: Mutex<VecDeque<(usize, T)>>,
+    results: Mutex<Vec<Option<TaskOutcome<U>>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+/// `Ok(task result)` or the payload of a panic.
+type TaskOutcome<U> = Result<DbResult<U>, Box<dyn Any + Send>>;
+
+impl SegmentPool {
+    /// Starts `workers` threads (at least one), named
+    /// `segment-worker-{i}`.
+    pub fn new(workers: usize) -> SegmentPool {
+        let n_workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let handles = (0..n_workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("segment-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn segment worker")
+            })
+            .collect();
+        SegmentPool { shared, workers: Mutex::new(handles), n_workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Enqueues a detached task, or hands it back if the pool has shut
+    /// down.
+    pub fn spawn(&self, task: Ticket) -> Result<(), Ticket> {
+        if self.shared.stop.load(Ordering::Relaxed) {
+            return Err(task);
+        }
+        self.shared.queue.lock().unwrap().push_back(task);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Runs `f` over the items — one task per partition — on the pool
+    /// workers *and* the calling thread, returning results in input
+    /// order. Single-item and empty inputs run inline with no
+    /// synchronisation at all.
+    pub fn run_parts<T, U, F>(&self, items: Vec<T>, f: F) -> DbResult<Vec<U>>
+    where
+        T: Send + 'static,
+        U: Send + 'static,
+        F: Fn(usize, T) -> DbResult<U> + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n <= 1 {
+            return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let state = Arc::new(RunState {
+            pending: Mutex::new(items.into_iter().enumerate().collect()),
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        });
+        let f: Arc<F> = Arc::new(f);
+        // Wake at most one helper per remaining task; the caller covers
+        // the rest. A failed spawn (pool shutting down) is fine — the
+        // caller drains everything itself.
+        for _ in 0..self.n_workers.min(n - 1) {
+            let state = state.clone();
+            let f = f.clone();
+            let _ = self.spawn(Box::new(move || drain_tasks(&state, &*f)));
+        }
+        drain_tasks(&state, &*f);
+        let mut remaining = state.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = state.done.wait(remaining).unwrap();
+        }
+        drop(remaining);
+        let slots = std::mem::take(&mut *state.results.lock().unwrap());
+        let mut out = Vec::with_capacity(n);
+        let mut first_err = None;
+        for slot in slots {
+            match slot.expect("completed run left an empty result slot") {
+                Ok(Ok(v)) => out.push(v),
+                Ok(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Err(panic) => resume_unwind(panic),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+}
+
+/// Claims and executes tasks from one run until its pending queue is
+/// empty. Runs on workers and on the `run_parts` caller alike.
+fn drain_tasks<T, U>(state: &RunState<T, U>, f: &(dyn Fn(usize, T) -> DbResult<U> + Sync)) {
+    loop {
+        let claimed = state.pending.lock().unwrap().pop_front();
+        let Some((i, item)) = claimed else { return };
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+        state.results.lock().unwrap()[i] = Some(outcome);
+        let mut remaining = state.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            state.done.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let ticket = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(t) = queue.pop_front() {
+                    break t;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        // A run_parts task records its own panics into the run state;
+        // this outer catch keeps the worker alive if a detached ticket
+        // (or the bookkeeping itself) unwinds.
+        let _ = catch_unwind(AssertUnwindSafe(ticket));
+    }
+}
+
+impl Drop for SegmentPool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.available.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        // Unstarted tickets are dropped with the queue; any run_parts
+        // caller drains its own pending work, so nothing is lost.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DbError;
+
+    #[test]
+    fn preserves_input_order() {
+        let pool = SegmentPool::new(4);
+        let out = pool
+            .run_parts((0..64).collect::<Vec<i64>>(), |i, v| Ok(v * 100 + i as i64))
+            .unwrap();
+        assert_eq!(out, (0..64).map(|v| v * 100 + v).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn propagates_first_error_in_partition_order() {
+        let pool = SegmentPool::new(2);
+        let r: DbResult<Vec<i32>> = pool.run_parts(vec![1, 2, 3, 4], |i, v| {
+            if v % 2 == 0 {
+                Err(DbError::Exec(format!("part {i}")))
+            } else {
+                Ok(v)
+            }
+        });
+        match r {
+            Err(DbError::Exec(m)) => assert_eq!(m, "part 1"),
+            other => panic!("expected Exec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let pool = SegmentPool::new(2);
+        let caller = std::thread::current().id();
+        let out = pool
+            .run_parts(vec![7], move |_, v| {
+                assert_eq!(std::thread::current().id(), caller);
+                Ok(v * 2)
+            })
+            .unwrap();
+        assert_eq!(out, vec![14]);
+        assert_eq!(pool.run_parts(Vec::<i32>::new(), |_, v| Ok(v)).unwrap(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn panics_resurface_on_the_caller() {
+        let pool = SegmentPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _ = pool.run_parts(vec![1, 2, 3], |_, v| {
+                if v == 2 {
+                    panic!("partition blew up");
+                }
+                Ok(v)
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool survives the panic and keeps working.
+        assert_eq!(pool.run_parts(vec![1, 2], |_, v| Ok(v)).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn usable_from_inside_a_worker() {
+        // A detached task (like a service job) runs run_parts on the
+        // same pool; caller-help keeps this deadlock-free even with a
+        // single worker.
+        let pool = Arc::new(SegmentPool::new(1));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let inner = pool.clone();
+        pool.spawn(Box::new(move || {
+            let out = inner.run_parts(vec![1, 2, 3, 4], |_, v| Ok(v + 1)).unwrap();
+            tx.send(out).unwrap();
+        }))
+        .ok()
+        .unwrap();
+        let out = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn spawn_after_drop_is_rejected() {
+        let pool = SegmentPool::new(1);
+        pool.shared.stop.store(true, Ordering::Relaxed);
+        assert!(pool.spawn(Box::new(|| {})).is_err());
+    }
+}

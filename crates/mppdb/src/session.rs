@@ -89,8 +89,11 @@ impl SessionCore {
         }
     }
 
-    pub(crate) fn interrupt_flag(&self) -> &AtomicBool {
-        &self.interrupt
+    /// An owned handle to this session's interrupt flag — cloned into
+    /// each statement's [`crate::QueryGuard`] so partition tasks on the
+    /// segment pool can observe cancellation.
+    pub(crate) fn interrupt_handle(&self) -> Arc<AtomicBool> {
+        self.interrupt.clone()
     }
 
     pub(crate) fn timeout(&self) -> Option<Duration> {

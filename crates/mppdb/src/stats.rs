@@ -34,8 +34,115 @@ pub struct Stats {
     /// stay charged too (the space really is still held).
     defer_credits: AtomicBool,
     deferred_bytes: AtomicU64,
+    /// Per-operator wall time and row throughput, one cell per
+    /// [`OpKind`].
+    op_cells: [OpCell; OpKind::COUNT],
     /// Cluster-wide roll-up target (None for the global instance).
     parent: Option<Arc<Stats>>,
+}
+
+/// A physical operator family, for per-operator accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Expression projection.
+    Project,
+    /// Predicate filtering.
+    Filter,
+    /// Hash repartition exchange.
+    Repartition,
+    /// Hash aggregation / group-by.
+    Aggregate,
+    /// Hash equi-join.
+    Join,
+    /// Duplicate elimination.
+    Distinct,
+    /// Bag union.
+    UnionAll,
+}
+
+impl OpKind {
+    /// Number of operator families.
+    pub const COUNT: usize = 7;
+
+    /// All kinds, in cell order.
+    pub const ALL: [OpKind; OpKind::COUNT] = [
+        OpKind::Project,
+        OpKind::Filter,
+        OpKind::Repartition,
+        OpKind::Aggregate,
+        OpKind::Join,
+        OpKind::Distinct,
+        OpKind::UnionAll,
+    ];
+
+    /// Stable lowercase name, used in EXPLAIN ANALYZE-style reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Project => "project",
+            OpKind::Filter => "filter",
+            OpKind::Repartition => "repartition",
+            OpKind::Aggregate => "aggregate",
+            OpKind::Join => "join",
+            OpKind::Distinct => "distinct",
+            OpKind::UnionAll => "union_all",
+        }
+    }
+}
+
+/// Atomic per-operator counters (one instance per [`OpKind`]).
+#[derive(Debug, Default)]
+struct OpCell {
+    calls: AtomicU64,
+    vectorized_parts: AtomicU64,
+    generic_parts: AtomicU64,
+    rows_in: AtomicU64,
+    rows_out: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// One operator invocation's measurements, charged via
+/// [`Stats::charge_op`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpMetrics {
+    /// Partitions handled by a vectorized kernel.
+    pub vectorized_parts: u64,
+    /// Partitions handled by the generic row-at-a-time path.
+    pub generic_parts: u64,
+    /// Input rows across all partitions.
+    pub rows_in: u64,
+    /// Output rows across all partitions.
+    pub rows_out: u64,
+    /// Operator wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// A point-in-time copy of one operator family's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Which operator family.
+    pub kind: OpKind,
+    /// Operator invocations.
+    pub calls: u64,
+    /// Partitions run through a vectorized kernel.
+    pub vectorized_parts: u64,
+    /// Partitions run through the generic path.
+    pub generic_parts: u64,
+    /// Total input rows.
+    pub rows_in: u64,
+    /// Total output rows.
+    pub rows_out: u64,
+    /// Total operator wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+impl OpStats {
+    /// Input rows per second over the accumulated wall time.
+    pub fn rows_per_sec(&self) -> f64 {
+        if self.nanos == 0 {
+            return 0.0;
+        }
+        self.rows_in as f64 / (self.nanos as f64 / 1e9)
+    }
 }
 
 impl Stats {
@@ -131,6 +238,40 @@ impl Stats {
         }
     }
 
+    /// Charges one operator invocation's wall time and row counts,
+    /// rolled up to the parent like every other counter.
+    pub fn charge_op(&self, kind: OpKind, m: OpMetrics) {
+        let cell = &self.op_cells[OpKind::ALL.iter().position(|&k| k == kind).unwrap()];
+        cell.calls.fetch_add(1, Ordering::Relaxed);
+        cell.vectorized_parts.fetch_add(m.vectorized_parts, Ordering::Relaxed);
+        cell.generic_parts.fetch_add(m.generic_parts, Ordering::Relaxed);
+        cell.rows_in.fetch_add(m.rows_in, Ordering::Relaxed);
+        cell.rows_out.fetch_add(m.rows_out, Ordering::Relaxed);
+        cell.nanos.fetch_add(m.nanos, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.charge_op(kind, m);
+        }
+    }
+
+    /// Per-operator counters for every family that has run at least
+    /// once, in [`OpKind::ALL`] order.
+    pub fn op_stats(&self) -> Vec<OpStats> {
+        OpKind::ALL
+            .iter()
+            .zip(&self.op_cells)
+            .map(|(&kind, cell)| OpStats {
+                kind,
+                calls: cell.calls.load(Ordering::Relaxed),
+                vectorized_parts: cell.vectorized_parts.load(Ordering::Relaxed),
+                generic_parts: cell.generic_parts.load(Ordering::Relaxed),
+                rows_in: cell.rows_in.load(Ordering::Relaxed),
+                rows_out: cell.rows_out.load(Ordering::Relaxed),
+                nanos: cell.nanos.load(Ordering::Relaxed),
+            })
+            .filter(|s| s.calls > 0)
+            .collect()
+    }
+
     /// Counts one executed statement.
     pub fn count_query(&self) {
         self.queries.fetch_add(1, Ordering::Relaxed);
@@ -167,6 +308,14 @@ impl Stats {
         self.rows_written.store(0, Ordering::Relaxed);
         self.network_bytes.store(0, Ordering::Relaxed);
         self.queries.store(0, Ordering::Relaxed);
+        for cell in &self.op_cells {
+            cell.calls.store(0, Ordering::Relaxed);
+            cell.vectorized_parts.store(0, Ordering::Relaxed);
+            cell.generic_parts.store(0, Ordering::Relaxed);
+            cell.rows_in.store(0, Ordering::Relaxed);
+            cell.rows_out.store(0, Ordering::Relaxed);
+            cell.nanos.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -254,6 +403,39 @@ mod tests {
         assert_eq!(d.bytes_written, 25);
         assert_eq!(d.rows_written, 2);
         assert_eq!(d.network_bytes, 9);
+    }
+
+    #[test]
+    fn op_stats_accumulate_and_roll_up() {
+        let parent = Arc::new(Stats::new());
+        let session = Stats::with_parent(parent.clone());
+        session.charge_op(
+            OpKind::Join,
+            OpMetrics {
+                vectorized_parts: 8,
+                generic_parts: 0,
+                rows_in: 1000,
+                rows_out: 1500,
+                nanos: 2_000_000,
+            },
+        );
+        session.charge_op(
+            OpKind::Join,
+            OpMetrics { generic_parts: 2, rows_in: 10, nanos: 1_000, ..Default::default() },
+        );
+        let ops = session.op_stats();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind, OpKind::Join);
+        assert_eq!(ops[0].calls, 2);
+        assert_eq!(ops[0].vectorized_parts, 8);
+        assert_eq!(ops[0].generic_parts, 2);
+        assert_eq!(ops[0].rows_in, 1010);
+        assert_eq!(ops[0].rows_out, 1500);
+        assert!(ops[0].rows_per_sec() > 0.0);
+        // Parent saw the same charges.
+        assert_eq!(parent.op_stats()[0].rows_in, 1010);
+        session.reset_run_counters();
+        assert!(session.op_stats().is_empty());
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Regression tests for the cluster-owned segment worker pool: thread
+//! accounting across many queries, result ordering, error and
+//! cancellation propagation out of pool-executed partitions, and pool
+//! reuse after failures.
+
+use incc_mppdb::{Cluster, ClusterConfig, Datum, DbError};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+fn cluster(segments: usize) -> Cluster {
+    Cluster::new(ClusterConfig { segments, ..Default::default() })
+}
+
+/// OS threads in this process right now (Linux).
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").map(|d| d.count()).unwrap_or(0)
+}
+
+#[test]
+fn pool_threads_are_created_once_and_reused_across_queries() {
+    let db = cluster(4);
+    // Warm up: the pool threads exist from Cluster::new, but run one
+    // query so any lazy per-thread state is in place.
+    db.load_pairs("e", "a", "b", &[(1, 2), (2, 3), (3, 4), (4, 1)]).unwrap();
+    db.query("select count(*) as n from e").unwrap();
+    let before = thread_count();
+    assert!(before >= 4, "expected at least the 4 segment workers, saw {before}");
+    for i in 0..10 {
+        let rows = db
+            .query("select e.a, count(*) as n from e, e as f where e.a = f.b group by e.a")
+            .unwrap();
+        assert!(!rows.is_empty(), "query {i} returned nothing");
+    }
+    let after = thread_count();
+    assert_eq!(before, after, "thread count drifted across queries — pool not reused");
+}
+
+#[test]
+fn results_keep_partition_order() {
+    let db = cluster(8);
+    // Values chosen so every segment holds rows; a full scan must
+    // return the same multiset every time regardless of which worker
+    // finishes first.
+    let pairs: Vec<(i64, i64)> = (0..256).map(|i| (i, i * 3)).collect();
+    db.load_pairs("t", "k", "x", &pairs).unwrap();
+    let baseline = db.query("select k, x from t order by k").unwrap();
+    assert_eq!(baseline.len(), 256);
+    for _ in 0..5 {
+        let again = db.query("select k, x from t order by k").unwrap();
+        assert_eq!(baseline, again, "scan order unstable across pool runs");
+    }
+}
+
+#[test]
+fn errors_from_partition_tasks_surface_and_pool_survives() {
+    let db = cluster(4);
+    db.load_pairs("t", "k", "x", &[(1, 0), (2, 5)]).unwrap();
+    // Division by zero inside a projected expression fails the
+    // statement cleanly...
+    let err = db.query("select k / x as q from t").unwrap_err();
+    assert!(!err.to_string().is_empty());
+    // ...and the pool keeps serving queries afterwards.
+    let rows = db.query("select count(*) as n from t").unwrap();
+    assert_eq!(rows, vec![vec![Datum::Int(2)]]);
+}
+
+#[test]
+fn session_cancellation_stops_pool_partitions() {
+    let db = std::sync::Arc::new(cluster(4));
+    let session = db.session();
+    let pairs: Vec<(i64, i64)> = (0..512).map(|i| (i % 50, i)).collect();
+    session.run("create table t (k bigint, x bigint)").unwrap();
+    db.load_pairs("t2", "k", "x", &pairs).unwrap();
+
+    // Raise the flag first: the guard check at the start of every
+    // pool-executed partition must abort the statement.
+    session.cancel();
+    let err = session
+        .run("select a.k, count(*) as n from t2 as a, t2 as b where a.k = b.k group by a.k")
+        .unwrap_err();
+    assert!(matches!(err, DbError::Cancelled(_)), "got {err:?}");
+
+    // The flag is sticky until cleared; afterwards the same session
+    // and the same pool run the statement to completion.
+    session.clear_interrupt();
+    match session.run("select count(*) as n from t2").unwrap() {
+        incc_mppdb::QueryOutput::Rows(rows) => {
+            assert_eq!(rows, vec![vec![Datum::Int(512)]]);
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancellation_mid_query_from_another_thread() {
+    let db = std::sync::Arc::new(cluster(4));
+    let session = db.session();
+    // A skewed self-join big enough to take a while: 5 keys over 8000
+    // rows gives ~12.8M join pairs.
+    let pairs: Vec<(i64, i64)> = (0..8000).map(|i| (i % 5, i)).collect();
+    db.load_pairs("big", "k", "x", &pairs).unwrap();
+    let flag = session.cancel_flag();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(10));
+        flag.store(true, Ordering::Relaxed);
+    });
+    // Either the statement finishes before the flag lands (fast
+    // machine) or it must fail with Cancelled — never anything else.
+    let outcome =
+        session.run("select count(*) as n from big as a, big as b where a.k = b.k");
+    canceller.join().unwrap();
+    if let Err(e) = outcome {
+        assert!(matches!(e, DbError::Cancelled(_)), "got {e:?}");
+    }
+}
+
+#[test]
+fn concurrent_sessions_share_one_pool() {
+    let db = std::sync::Arc::new(cluster(4));
+    db.load_pairs("t", "k", "x", &(0..64).map(|i| (i % 8, i)).collect::<Vec<_>>()).unwrap();
+    db.query("select count(*) as n from t").unwrap();
+    let before = thread_count();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let rows = db
+                        .query("select k, sum(x) as s from t group by k")
+                        .unwrap();
+                    assert_eq!(rows.len(), 8);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let after = thread_count();
+    assert_eq!(before, after, "concurrent queries spawned extra threads");
+}

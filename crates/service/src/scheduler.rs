@@ -1,116 +1,140 @@
-//! The admission controller's moving parts: a bounded worker pool with
-//! a bounded submission queue, and a counting gate that caps how many
-//! SQL statements execute concurrently.
+//! The admission controller's moving parts: a bounded job lane feeding
+//! the cluster's shared segment-worker pool, and a counting gate that
+//! caps how many SQL statements execute concurrently.
 //!
-//! Everything here is plain `std::sync` — `Mutex` + `Condvar` + OS
-//! threads — matching the engine's scoped-thread execution model and
-//! keeping the service free of runtime dependencies.
+//! The service used to own a second thread pool for job execution. Jobs
+//! now run as detached tickets on the *cluster's* [`SegmentPool`] — the
+//! same threads that execute query partitions — so the process has one
+//! set of worker threads total. The pool's caller-help design keeps
+//! this safe: a job occupying a pool worker still makes progress when
+//! its own queries fan out partitions onto the same pool.
+//!
+//! Everything here is plain `std::sync` — `Mutex` + `Condvar` — keeping
+//! the service free of runtime dependencies.
 
+use incc_mppdb::SegmentPool;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
-struct PoolShared {
-    queue: Mutex<VecDeque<Task>>,
-    available: Condvar,
-    stop: AtomicBool,
+struct LaneInner {
+    pending: VecDeque<Task>,
+    in_flight: usize,
+    stopped: bool,
+}
+
+struct LaneShared {
+    inner: Mutex<LaneInner>,
+    /// Signalled when `in_flight` drains to zero.
+    idle: Condvar,
+    /// Maximum tasks waiting for a slot before submissions are rejected.
     depth: usize,
+    /// Maximum tasks executing concurrently on the pool.
+    width: usize,
 }
 
-/// A fixed pool of worker threads draining a bounded FIFO queue.
+/// A bounded lane of jobs multiplexed onto a shared [`SegmentPool`].
 ///
-/// [`WorkerPool::submit`] *rejects* (rather than blocks) when the
-/// queue is at capacity — the service's backpressure signal. Shutdown
-/// stops workers after their current task; queued-but-unstarted tasks
-/// are discarded (the service fails their jobs explicitly).
-pub(crate) struct WorkerPool {
-    shared: Arc<PoolShared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+/// [`JobLane::submit`] *rejects* (rather than blocks) when the pending
+/// queue is at capacity — the service's backpressure signal. At most
+/// `width` tasks run at once, so jobs cannot monopolise the cluster's
+/// segment workers. Shutdown discards pending tasks (the service fails
+/// their jobs explicitly) and waits for in-flight tasks to finish.
+pub(crate) struct JobLane {
+    pool: Arc<SegmentPool>,
+    shared: Arc<LaneShared>,
 }
 
-impl WorkerPool {
-    /// Spawns `workers` threads servicing a queue of at most `depth`
-    /// pending tasks.
-    pub(crate) fn new(workers: usize, depth: usize) -> WorkerPool {
-        let shared = Arc::new(PoolShared {
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-            stop: AtomicBool::new(false),
-            depth,
-        });
-        let handles = (0..workers.max(1))
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("incc-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        WorkerPool {
-            shared,
-            workers: Mutex::new(handles),
+impl JobLane {
+    /// A lane running at most `width` concurrent tasks with at most
+    /// `depth` pending ones, on `pool`.
+    pub(crate) fn new(pool: Arc<SegmentPool>, width: usize, depth: usize) -> JobLane {
+        JobLane {
+            pool,
+            shared: Arc::new(LaneShared {
+                inner: Mutex::new(LaneInner {
+                    pending: VecDeque::new(),
+                    in_flight: 0,
+                    stopped: false,
+                }),
+                idle: Condvar::new(),
+                depth,
+                width: width.max(1),
+            }),
         }
     }
 
-    /// Enqueues a task, or returns it back when the queue is full or
-    /// the pool is shutting down.
+    /// Enqueues a task, or returns it back when the lane is full or
+    /// shutting down.
     pub(crate) fn submit(&self, task: Task) -> Result<(), Task> {
-        if self.shared.stop.load(Ordering::Relaxed) {
-            return Err(task);
+        {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.stopped || inner.pending.len() >= self.shared.depth {
+                return Err(task);
+            }
+            inner.pending.push_back(task);
         }
-        let mut q = self.shared.queue.lock().unwrap();
-        if q.len() >= self.shared.depth {
-            return Err(task);
-        }
-        q.push_back(task);
-        drop(q);
-        self.shared.available.notify_one();
+        // One ticket per submission; a ticket finding the lane at width
+        // exits immediately and the already-running tickets drain the
+        // queue in their loops. The pool outlives the service (the
+        // service holds the cluster), so a failed spawn can only mean
+        // teardown is already under way.
+        let shared = self.shared.clone();
+        let _ = self.pool.spawn(Box::new(move || run_lane(&shared)));
         Ok(())
     }
 
-    /// Tasks waiting for a worker right now.
+    /// Tasks waiting for a slot right now.
     pub(crate) fn queue_len(&self) -> usize {
-        self.shared.queue.lock().unwrap().len()
+        self.shared.inner.lock().unwrap().pending.len()
     }
 
-    /// Stops accepting work, discards the queue, and joins every
-    /// worker after its in-flight task finishes. Idempotent.
+    /// Stops accepting work, discards pending tasks, and waits for
+    /// in-flight tasks to finish. Idempotent.
     pub(crate) fn shutdown(&self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
-        self.shared.queue.lock().unwrap().clear();
-        self.shared.available.notify_all();
-        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
-        for h in handles {
-            let _ = h.join();
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.stopped = true;
+        inner.pending.clear();
+        while inner.in_flight > 0 {
+            inner = self.shared.idle.wait(inner).unwrap();
         }
     }
 }
 
-impl Drop for WorkerPool {
+impl Drop for JobLane {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+/// One ticket's life: claim tasks while a width slot is free, run them,
+/// exit when the lane is stopped, saturated, or empty. The claim and
+/// the `in_flight` increment happen under one lock, so `shutdown` can
+/// never observe a claimed-but-uncounted task.
+fn run_lane(shared: &LaneShared) {
     loop {
         let task = {
-            let mut q = shared.queue.lock().unwrap();
-            loop {
-                if shared.stop.load(Ordering::Relaxed) {
-                    return;
+            let mut inner = shared.inner.lock().unwrap();
+            if inner.stopped || inner.in_flight >= shared.width {
+                return;
+            }
+            match inner.pending.pop_front() {
+                Some(t) => {
+                    inner.in_flight += 1;
+                    t
                 }
-                if let Some(t) = q.pop_front() {
-                    break t;
-                }
-                q = shared.available.wait(q).unwrap();
+                None => return,
             }
         };
-        task();
+        // The pool's worker loop catches panics from tickets, but the
+        // slot must be released on every exit path regardless.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+        let mut inner = shared.inner.lock().unwrap();
+        inner.in_flight -= 1;
+        if inner.in_flight == 0 {
+            shared.idle.notify_all();
+        }
     }
 }
 
@@ -171,16 +195,20 @@ impl Drop for GatePermit<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::time::Duration;
 
+    fn lane(width: usize, depth: usize) -> JobLane {
+        JobLane::new(Arc::new(SegmentPool::new(4)), width, depth)
+    }
+
     #[test]
-    fn pool_runs_submitted_tasks() {
-        let pool = WorkerPool::new(4, 64);
+    fn lane_runs_submitted_tasks() {
+        let lane = lane(4, 64);
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..32 {
             let c = counter.clone();
-            pool.submit(Box::new(move || {
+            lane.submit(Box::new(move || {
                 c.fetch_add(1, Ordering::Relaxed);
             }))
             .ok()
@@ -191,18 +219,45 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "tasks did not drain");
             std::thread::sleep(Duration::from_millis(1));
         }
-        pool.shutdown();
+        lane.shutdown();
+    }
+
+    #[test]
+    fn width_caps_concurrent_tasks() {
+        let lane = lane(2, 64);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let (peak, live, done) = (peak.clone(), live.clone(), done.clone());
+            lane.submit(Box::new(move || {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .ok()
+            .unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while done.load(Ordering::SeqCst) < 16 {
+            assert!(std::time::Instant::now() < deadline, "tasks did not drain");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "width exceeded");
+        lane.shutdown();
     }
 
     #[test]
     fn full_queue_rejects_instead_of_blocking() {
-        let pool = WorkerPool::new(1, 1);
-        // Occupy the single worker until released.
+        let lane = lane(1, 1);
+        // Occupy the single slot until released.
         let release = Arc::new(AtomicBool::new(false));
         let started = Arc::new(AtomicBool::new(false));
         {
             let (release, started) = (release.clone(), started.clone());
-            pool.submit(Box::new(move || {
+            lane.submit(Box::new(move || {
                 started.store(true, Ordering::Relaxed);
                 while !release.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(1));
@@ -215,19 +270,19 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         // One task fits in the queue; the next is rejected, not blocked.
-        pool.submit(Box::new(|| {})).ok().unwrap();
-        assert!(pool.submit(Box::new(|| {})).is_err());
+        lane.submit(Box::new(|| {})).ok().unwrap();
+        assert!(lane.submit(Box::new(|| {})).is_err());
         release.store(true, Ordering::Relaxed);
-        pool.shutdown();
+        lane.shutdown();
     }
 
     #[test]
     fn shutdown_discards_queued_tasks_and_rejects_new_ones() {
-        let pool = WorkerPool::new(1, 8);
+        let lane = lane(1, 8);
         let release = Arc::new(AtomicBool::new(false));
         {
             let release = release.clone();
-            pool.submit(Box::new(move || {
+            lane.submit(Box::new(move || {
                 while !release.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(1));
                 }
@@ -238,13 +293,32 @@ mod tests {
         let ran = Arc::new(AtomicBool::new(false));
         {
             let ran = ran.clone();
-            pool.submit(Box::new(move || ran.store(true, Ordering::Relaxed)))
+            lane.submit(Box::new(move || ran.store(true, Ordering::Relaxed)))
                 .ok()
                 .unwrap();
         }
         release.store(true, Ordering::Relaxed);
-        pool.shutdown();
-        assert!(pool.submit(Box::new(|| {})).is_err());
+        lane.shutdown();
+        assert!(lane.submit(Box::new(|| {})).is_err());
+    }
+
+    #[test]
+    fn lane_survives_a_panicking_task() {
+        let lane = lane(2, 8);
+        lane.submit(Box::new(|| panic!("job blew up"))).ok().unwrap();
+        let ran = Arc::new(AtomicBool::new(false));
+        {
+            let ran = ran.clone();
+            lane.submit(Box::new(move || ran.store(true, Ordering::Relaxed)))
+                .ok()
+                .unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !ran.load(Ordering::Relaxed) {
+            assert!(std::time::Instant::now() < deadline, "task after panic never ran");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        lane.shutdown();
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! asynchronous job API.
 
 use crate::job::{JobHandle, JobResult, JobSpec, JobState};
-use crate::scheduler::{Gate, WorkerPool};
+use crate::scheduler::{Gate, JobLane};
 use incc_core::driver::RunControl;
 use incc_mppdb::{
     Cluster, ClusterConfig, DbError, DbResult, QueryOutput, ScalarUdf, Session, SqlEngine,
@@ -17,8 +17,8 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Maximum SQL statements executing concurrently, across both
-    /// interactive sessions and job workers; also the job worker-pool
-    /// size.
+    /// interactive sessions and job workers; also the maximum jobs
+    /// executing at once on the cluster's shared segment pool.
     pub max_concurrent: usize,
     /// Maximum jobs waiting for a worker before submissions are
     /// rejected.
@@ -162,7 +162,7 @@ impl SqlEngine for GatedEngine<'_> {
 /// ```
 pub struct Service {
     cluster: Arc<Cluster>,
-    pool: WorkerPool,
+    lane: JobLane,
     gate: Arc<Gate>,
     config: ServiceConfig,
     next_job: AtomicU64,
@@ -170,11 +170,17 @@ pub struct Service {
 }
 
 impl Service {
-    /// Wraps an existing cluster.
+    /// Wraps an existing cluster. Jobs execute on the cluster's own
+    /// segment-worker pool — the service spawns no threads of its own.
     pub fn new(cluster: Arc<Cluster>, config: ServiceConfig) -> Arc<Service> {
+        let lane = JobLane::new(
+            cluster.worker_pool().clone(),
+            config.max_concurrent,
+            config.queue_depth,
+        );
         Arc::new(Service {
             cluster,
-            pool: WorkerPool::new(config.max_concurrent, config.queue_depth),
+            lane,
             gate: Arc::new(Gate::new(config.max_concurrent)),
             config,
             next_job: AtomicU64::new(1),
@@ -242,7 +248,7 @@ impl Service {
         let gate = self.gate.clone();
         let timeout = self.config.statement_timeout;
         let task_state = state.clone();
-        let submitted = self.pool.submit(Box::new(move || {
+        let submitted = self.lane.submit(Box::new(move || {
             execute_job(&cluster, &gate, timeout, &task_state);
         }));
         if submitted.is_err() {
@@ -263,19 +269,20 @@ impl Service {
 
     /// Jobs waiting for a worker right now.
     pub fn queued_jobs(&self) -> usize {
-        self.pool.queue_len()
+        self.lane.queue_len()
     }
 
-    /// Cancels all unfinished jobs, waits for the workers to wind
-    /// down, and fails anything still queued. Idempotent.
+    /// Cancels all unfinished jobs, waits for in-flight ones to wind
+    /// down, and fails anything still queued. Idempotent. The shared
+    /// segment pool itself stays up — it belongs to the cluster.
     pub fn shutdown(&self) {
         let jobs: Vec<Arc<JobState>> = self.jobs.lock().unwrap().values().cloned().collect();
         for job in &jobs {
             job.cancel();
         }
-        // Stops new dequeues, discards the queue, joins in-flight
-        // workers (their runs exit promptly via the raised flags).
-        self.pool.shutdown();
+        // Stops new claims, discards the queue, waits for in-flight
+        // tasks (their runs exit promptly via the raised flags).
+        self.lane.shutdown();
         for job in &jobs {
             job.finish_failed("cancelled: service shut down");
         }
