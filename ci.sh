@@ -32,6 +32,16 @@ step cargo test --workspace -q
 step env ENGINE_BENCH_SMOKE=1 cargo bench -p incc-bench --bench engine
 step python3 -c 'import json; json.load(open("results/engine_bench_smoke.json"))'
 
+# Round-telemetry bench smoke: all five algorithms must emit verified
+# per-round trajectories and the JSON record must parse.
+step env ROUNDS_BENCH_SMOKE=1 cargo bench -p incc-bench --bench rounds
+step python3 -c 'import json; d = json.load(open("results/rounds_smoke.json")); assert all(r["trajectory"] for r in d["results"])'
+
+# Observability smoke over TCP: EXPLAIN ANALYZE, profile JSON,
+# profiled-job envelope, and the \metrics families, against a live
+# incc-serve (bounded so a wedged server fails the run).
+step timeout 300 python3 scripts/observability_smoke.py
+
 # The concurrency stress / cancellation / acceptance suites and the
 # 16-client TCP smoke driver, each bounded so a deadlock is a failure.
 step timeout 300 cargo test -p incc-service --test stress -- --nocapture

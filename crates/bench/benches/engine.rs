@@ -57,6 +57,23 @@ const BASELINE: &[(&str, f64)] = &[
     ("hash_to_min_end_to_end", 487.962),
 ];
 
+/// Times committed in `results/engine_bench.json` by the previous PR
+/// (the vectorized engine, before the profiling layer), same container
+/// and sizes. The `vs_prev` ratios this produces are the
+/// tracing-disabled-overhead guard: profiling off must cost only a
+/// branch per operator, so `rc_end_to_end` is expected to stay within
+/// a few percent of 1.00.
+const PREV: &[(&str, f64)] = &[
+    ("shuffle", 3.641),
+    ("join", 14.543),
+    ("group_by", 6.514),
+    ("distinct", 4.182),
+    ("union_all", 4.020),
+    ("join_external", 19.098),
+    ("rc_end_to_end", 76.498),
+    ("hash_to_min_end_to_end", 288.328),
+];
+
 struct Case {
     name: &'static str,
     /// Best-of-iters wall milliseconds.
@@ -197,6 +214,13 @@ fn baseline_ms(name: &str) -> Option<f64> {
         .filter(|ms| ms.is_finite())
 }
 
+fn prev_ms(name: &str) -> Option<f64> {
+    PREV.iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, ms)| ms)
+        .filter(|ms| ms.is_finite())
+}
+
 fn write_json(scale: &Scale, cases: &[Case]) -> std::io::Result<std::path::PathBuf> {
     // Smoke runs land in their own file so CI never clobbers the
     // committed full-scale record.
@@ -222,6 +246,13 @@ fn write_json(scale: &Scale, cases: &[Case]) -> std::io::Result<std::path::PathB
                     base / c.ms
                 ));
                 speedups.push(format!("    \"{}\": {:.2}", c.name, base / c.ms));
+            }
+            if let Some(prev) = prev_ms(c.name) {
+                rec.push_str(&format!(
+                    ", \"prev_ms\": {:.3}, \"vs_prev\": {:.3}",
+                    prev,
+                    c.ms / prev
+                ));
             }
         }
         rec.push('}');
@@ -259,13 +290,23 @@ fn main() {
     );
     let mut cases = micro_benches(&scale);
     cases.extend(end_to_end(&scale));
-    println!("{:>24} {:>12} {:>14} {:>10}", "case", "ms", "rows/sec", "speedup");
+    println!(
+        "{:>24} {:>12} {:>14} {:>10} {:>9}",
+        "case", "ms", "rows/sec", "speedup", "vs_prev"
+    );
     for c in &cases {
         let speedup = baseline_ms(c.name)
             .filter(|_| !scale.smoke)
             .map(|b| format!("{:.2}x", b / c.ms))
             .unwrap_or_else(|| "-".into());
-        println!("{:>24} {:>12.3} {:>14.0} {:>10}", c.name, c.ms, c.rows_per_sec, speedup);
+        let vs_prev = prev_ms(c.name)
+            .filter(|_| !scale.smoke)
+            .map(|p| format!("{:.3}", c.ms / p))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>24} {:>12.3} {:>14.0} {:>10} {:>9}",
+            c.name, c.ms, c.rows_per_sec, speedup, vs_prev
+        );
     }
     match write_json(&scale, &cases) {
         Ok(path) => println!("wrote {}", path.display()),

@@ -1,0 +1,174 @@
+//! Per-round convergence trajectories for all five CC algorithms.
+//!
+//! The paper's central quantity is *rounds*: Theorem 1's O(log |V|)
+//! bound, Fig. 9's convergence plots, and the Table V written-bytes
+//! accounting are all per-round stories. This bench runs every
+//! algorithm on the same graphs and persists the full `RoundReport`
+//! trajectory — working rows, bytes written, exchange bytes, SQL
+//! statements, wall time per round — to `results/rounds.json`, so the
+//! geometric decay (and Hash-to-Min's blow-up shape) is recorded as
+//! data rather than as a summary number.
+//!
+//! Run with `cargo bench -p incc-bench --bench rounds`; set
+//! `ROUNDS_BENCH_SMOKE=1` for a seconds-long CI smoke run (tiny
+//! sizes, separate output file).
+
+use incc_core::bfs::BfsStrategy;
+use incc_core::cracker::Cracker;
+use incc_core::hash_to_min::HashToMin;
+use incc_core::two_phase::TwoPhase;
+use incc_core::{run_on_graph, CcAlgorithm, RandomisedContraction, RunReport};
+use incc_graph::generators::{gnm_random_graph, path_graph, PathNumbering};
+use incc_graph::EdgeList;
+use incc_mppdb::{Cluster, ClusterConfig};
+use std::fmt::Write as _;
+
+struct Scale {
+    smoke: bool,
+    /// Random-graph vertices/edges.
+    n: usize,
+    m: usize,
+    /// Path length for the worst-case trajectory.
+    path: usize,
+}
+
+impl Scale {
+    fn from_env() -> Scale {
+        if std::env::var("ROUNDS_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+            Scale { smoke: true, n: 200, m: 300, path: 128 }
+        } else {
+            Scale { smoke: false, n: 10_000, m: 20_000, path: 4_096 }
+        }
+    }
+}
+
+fn algorithms() -> Vec<Box<dyn CcAlgorithm>> {
+    vec![
+        Box::new(RandomisedContraction::paper()),
+        Box::new(HashToMin::default()),
+        Box::new(TwoPhase::default()),
+        Box::new(Cracker::default()),
+        Box::new(BfsStrategy::default()),
+    ]
+}
+
+/// One algorithm × graph record with its whole round trajectory.
+fn record_json(graph_name: &str, report: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "    {{\"graph\": \"{graph_name}\", \"algorithm\": \"{}\", \"rounds\": {}, \
+         \"total_ms\": {:.3}, \"bytes_written\": {}, \"network_bytes\": {}, \"trajectory\": [",
+        report.algorithm,
+        report.rounds,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.stats.bytes_written,
+        report.stats.network_bytes,
+    );
+    for (i, r) in report.round_reports.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"round\": {}, \"working_rows\": {}, \"bytes_written\": {}, \
+             \"rows_written\": {}, \"network_bytes\": {}, \"statements\": {}, \"ms\": {:.3}}}",
+            r.round,
+            r.working_rows,
+            r.bytes_written,
+            r.rows_written,
+            r.network_bytes,
+            r.statements,
+            r.nanos as f64 / 1e6,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "round telemetry bench (n={}, m={}, path={}, smoke={})",
+        scale.n, scale.m, scale.path, scale.smoke
+    );
+    // On long sequentially numbered paths Hash-to-Min's duplication
+    // explodes quadratically (the paper's Table I worst case) and BFS
+    // needs a round per vertex, so both get capped path inputs at full
+    // scale — the *shape* of their trajectories is the point, and it
+    // is fully visible at the capped sizes.
+    let cap_for = |name: &str| -> usize {
+        if scale.smoke {
+            scale.path
+        } else if name.to_ascii_lowercase().contains("hash") || name == "HM" {
+            scale.path / 4
+        } else if name == "BFS" {
+            scale.path / 8
+        } else {
+            scale.path
+        }
+    };
+    let graphs: Vec<(&str, EdgeList, bool)> = vec![
+        ("gnm_random", gnm_random_graph(scale.n, scale.m, 42), false),
+        (
+            "path_sequential",
+            path_graph(scale.path, PathNumbering::Sequential, 0),
+            true,
+        ),
+    ];
+
+    let mut records = Vec::new();
+    for (graph_name, graph, is_path) in &graphs {
+        for algo in algorithms() {
+            let cap = cap_for(&algo.name());
+            let g_owned;
+            let g = if *is_path && cap < scale.path {
+                g_owned = path_graph(cap, PathNumbering::Sequential, 0);
+                &g_owned
+            } else {
+                graph
+            };
+            let db = Cluster::new(ClusterConfig::default());
+            let report = run_on_graph(algo.as_ref(), &db, g, 42).expect("algorithm run");
+            report.verify_against(g).expect("labelling must be exact");
+            assert!(
+                !report.round_reports.is_empty(),
+                "{} emitted no round telemetry",
+                report.algorithm
+            );
+            println!(
+                "{:>16} {:>18} rounds={:<3} total={:.1}ms",
+                graph_name,
+                report.algorithm,
+                report.rounds,
+                report.elapsed.as_secs_f64() * 1e3
+            );
+            records.push(record_json(graph_name, &report));
+        }
+    }
+
+    let file = if scale.smoke { "rounds_smoke.json" } else { "rounds.json" };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(file);
+    let json = format!(
+        "{{\n  \"bench\": \"round_telemetry\",\n  \"smoke\": {},\n  \
+         \"config\": {{\"n\": {}, \"m\": {}, \"path\": {}, \
+         \"hash_to_min_path\": {}, \"bfs_path\": {}, \"seed\": 42}},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        scale.smoke,
+        scale.n,
+        scale.m,
+        scale.path,
+        cap_for("HashToMin"),
+        cap_for("BFS"),
+        records.join(",\n")
+    );
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

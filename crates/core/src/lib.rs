@@ -45,5 +45,7 @@ pub mod rc;
 pub mod two_phase;
 pub mod udf;
 
-pub use driver::{run_on_graph, AlgoOutcome, CcAlgorithm, RunReport};
+pub use driver::{
+    run_on_graph, AlgoOutcome, CcAlgorithm, RoundRecorder, RoundReport, RunReport,
+};
 pub use rc::{RandomisedContraction, SpaceVariant};

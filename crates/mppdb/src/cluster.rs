@@ -11,6 +11,7 @@ use crate::session::{Session, SessionCore};
 use crate::sql::{self, PlannerCatalog, Statement};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::table::{Distribution, Table};
+use crate::trace::{HistogramSnapshot, LatencyHistogram, QueryProfile};
 use crate::value::{DataType, Datum};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -127,6 +128,10 @@ pub struct Cluster {
     /// mangling, counters shared with the global instance.
     default_core: SessionCore,
     next_session_id: AtomicU64,
+    /// Cluster-wide per-statement latency distribution (every session's
+    /// statements land here, in addition to the session's own
+    /// histogram).
+    latency: LatencyHistogram,
 }
 
 impl Cluster {
@@ -145,6 +150,7 @@ impl Cluster {
             stats,
             pool,
             next_session_id: AtomicU64::new(1),
+            latency: LatencyHistogram::new(),
         }
     }
 
@@ -186,6 +192,28 @@ impl Cluster {
     /// Current resource counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Enables or disables [`QueryProfile`] capture for statements run
+    /// through [`Cluster::run`] (the default session). Off by default.
+    pub fn set_profiling(&self, on: bool) {
+        self.default_core.set_profiling(on);
+    }
+
+    /// The default session's most recently captured profile.
+    pub fn last_profile(&self) -> Option<Arc<QueryProfile>> {
+        self.default_core.last_profile()
+    }
+
+    /// All profiles retained by the default session, oldest first.
+    pub fn profiles(&self) -> Vec<Arc<QueryProfile>> {
+        self.default_core.profiles()
+    }
+
+    /// Cluster-wide per-statement latency distribution, across every
+    /// session.
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
     }
 
     /// Resets run-scoped counters (high-water mark, written bytes,
@@ -242,8 +270,29 @@ impl Cluster {
             cancel: Some(core.interrupt_handle()),
             deadline: core.timeout().map(|t| start + t),
         };
-        let result = self.dispatch(core, stmt, guard);
-        core.note_statement(start.elapsed());
+        // Profile capture: on when the session asks for it, and always
+        // for EXPLAIN ANALYZE. The stats snapshot taken here lets the
+        // finished profile carry the statement's written/exchanged-byte
+        // deltas.
+        let is_explain_analyze = matches!(&stmt, Statement::Explain { analyze: true, .. });
+        let capture = core.profiling() || is_explain_analyze;
+        let before = capture.then(|| core.stats.snapshot());
+        let mut profile: Option<QueryProfile> = None;
+        let mut result = self.dispatch(core, stmt, guard, capture, &mut profile);
+        let elapsed = start.elapsed();
+        core.note_statement(elapsed);
+        self.latency.record(elapsed.as_nanos() as u64);
+        if let (Some(mut p), Some(before)) = (profile, before) {
+            p.statement = sql_text.to_string();
+            p.total_nanos = elapsed.as_nanos() as u64;
+            p.apply_stats_delta(&core.stats.snapshot().delta_since(&before));
+            if is_explain_analyze {
+                if let Ok(QueryOutput::Explain(text)) = &mut result {
+                    *text = p.render();
+                }
+            }
+            core.push_profile(Arc::new(p));
+        }
         result
     }
 
@@ -252,6 +301,8 @@ impl Cluster {
         core: &SessionCore,
         stmt: Statement,
         guard: QueryGuard,
+        capture: bool,
+        profile: &mut Option<QueryProfile>,
     ) -> DbResult<QueryOutput> {
         guard.check()?;
         let stats = &core.stats;
@@ -259,7 +310,7 @@ impl Cluster {
             Statement::Select(q) => {
                 let (plan, schema) = sql::plan_query_with_schema(&q, self)?;
                 let plan = self.maybe_optimize(plan);
-                let data = self.execute_plan(&plan, stats, guard)?;
+                let data = self.execute_plan(&plan, stats, guard, capture, profile)?;
                 let mut rows = gather(&data);
                 if !q.order_by.is_empty() {
                     let keys: Vec<(usize, bool)> = q
@@ -297,18 +348,11 @@ impl Cluster {
             Statement::Explain { query, analyze } => {
                 let plan = self.maybe_optimize(sql::plan_query(&query, self)?);
                 if analyze {
-                    let lookup = |name: &str| self.table(name);
-                    let ctx = ExecContext {
-                        lookup: &lookup,
-                        allow_colocated: self.config.profile == ExecutionProfile::Colocated,
-                        stats,
-                        pool: &self.pool,
-                        segments: self.config.segments,
-                        guard,
-                        vectorized: self.config.vectorized,
-                    };
-                    let (_, annotated) = crate::plan::execute_analyze(&plan, &ctx)?;
-                    Ok(QueryOutput::Explain(annotated))
+                    // Executes for real; `run_in` replaces the empty
+                    // text with the finished profile's rendering once
+                    // the statement-level deltas are folded in.
+                    self.execute_plan(&plan, stats, guard, true, profile)?;
+                    Ok(QueryOutput::Explain(String::new()))
                 } else {
                     Ok(QueryOutput::Explain(crate::plan::explain(&plan)))
                 }
@@ -322,8 +366,15 @@ impl Cluster {
                     ));
                 }
                 let plan = self.maybe_optimize(sql::plan_query(&query, self)?);
-                let data = self.execute_plan(&plan, stats, guard)?;
-                let rows = self.store_with(stats, &name, data, distributed_by.as_deref())?;
+                let data = self.execute_plan(&plan, stats, guard, capture, profile)?;
+                let sink = capture.then(|| Arc::new(crate::trace::SpanSink::default()));
+                let rows =
+                    self.store_traced(stats, &name, data, distributed_by.as_deref(), sink.clone())?;
+                if let (Some(p), Some(sink)) = (profile.as_mut(), sink) {
+                    // The store-side exchange belongs to the root node.
+                    p.root.ops.extend(sink.take());
+                    p.rows_out = rows as u64;
+                }
                 Ok(QueryOutput::Created { table: name, rows })
             }
             Statement::CreateTable { name, columns, distributed_by } => {
@@ -415,11 +466,15 @@ impl Cluster {
         }
     }
 
+    /// Executes a plan; with `capture` set, runs the profiled executor
+    /// and deposits the annotated tree into `profile`.
     fn execute_plan(
         &self,
         plan: &crate::plan::Plan,
         stats: &Stats,
         guard: QueryGuard,
+        capture: bool,
+        profile: &mut Option<QueryProfile>,
     ) -> DbResult<PData> {
         let lookup = |name: &str| self.table(name);
         let ctx = ExecContext {
@@ -431,7 +486,17 @@ impl Cluster {
             guard,
             vectorized: self.config.vectorized,
         };
-        execute(plan, &ctx)
+        if capture {
+            let (data, root) = crate::plan::execute_profiled(plan, &ctx)?;
+            *profile = Some(QueryProfile {
+                rows_out: root.rows_out,
+                root,
+                ..QueryProfile::default()
+            });
+            Ok(data)
+        } else {
+            execute(plan, &ctx)
+        }
     }
 
     /// Materialises partitioned data as a stored table, applying the
@@ -449,6 +514,20 @@ impl Cluster {
         data: PData,
         distributed_by: Option<&str>,
     ) -> DbResult<usize> {
+        self.store_traced(stats, name, data, distributed_by, None)
+    }
+
+    /// [`Cluster::store_with`] plus an optional profiling sink: a
+    /// `DISTRIBUTED BY` clause can force a final exchange here, and a
+    /// profiled CTAS must account for it like every other operator.
+    fn store_traced(
+        &self,
+        stats: &Stats,
+        name: &str,
+        data: PData,
+        distributed_by: Option<&str>,
+        trace: Option<Arc<crate::trace::SpanSink>>,
+    ) -> DbResult<usize> {
         let name = name.to_ascii_lowercase();
         let data = match distributed_by {
             Some(col) => {
@@ -462,6 +541,7 @@ impl Cluster {
                     allow_colocated: self.config.profile == ExecutionProfile::Colocated,
                     guard: QueryGuard::default(),
                     vectorized: self.config.vectorized,
+                    trace,
                 };
                 crate::ops::ensure_distribution(data, &[idx], &octx)?
             }

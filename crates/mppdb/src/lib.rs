@@ -60,6 +60,7 @@ mod session;
 pub mod sql;
 mod stats;
 mod table;
+pub mod trace;
 mod value;
 
 pub use batch::{Batch, Column, SelVec};
@@ -74,4 +75,5 @@ pub use session::Session;
 pub use stats::StatsSnapshot;
 pub use stats::{OpKind, OpMetrics, OpStats};
 pub use table::Distribution;
+pub use trace::{HistogramSnapshot, LatencyHistogram, OpProfile, ProfileNode, QueryProfile};
 pub use value::{DataType, Datum};

@@ -33,6 +33,7 @@ use crate::pool::SegmentPool;
 use crate::schema::{Field, Schema};
 use crate::stats::{OpKind, OpMetrics, Stats};
 use crate::table::Distribution;
+use crate::trace::{OpProfile, SpanSink};
 use crate::value::{DataType, Datum};
 use std::collections::hash_map::Entry;
 use std::collections::HashSet;
@@ -77,6 +78,11 @@ pub struct OpCtx<'a> {
     pub guard: QueryGuard,
     /// Whether the vectorized i64 kernels may be used.
     pub vectorized: bool,
+    /// Profiling sink for the plan node currently executing. `None`
+    /// (the default) keeps the operator path at a single branch of
+    /// overhead; when set, every operator invocation flushes one
+    /// [`OpProfile`] record into it.
+    pub trace: Option<Arc<SpanSink>>,
 }
 
 /// Per-operator timing scope: created on entry, finished with the
@@ -88,6 +94,8 @@ struct OpTimer {
     rows_in: u64,
     vec_parts: Arc<AtomicU64>,
     gen_parts: Arc<AtomicU64>,
+    /// Bytes moved through an exchange (repartition only).
+    exchange_bytes: u64,
 }
 
 impl OpTimer {
@@ -98,20 +106,33 @@ impl OpTimer {
             rows_in,
             vec_parts: Arc::new(AtomicU64::new(0)),
             gen_parts: Arc::new(AtomicU64::new(0)),
+            exchange_bytes: 0,
         }
     }
 
-    fn finish(self, stats: &Stats, rows_out: u64) {
-        stats.charge_op(
-            self.kind,
-            OpMetrics {
-                vectorized_parts: self.vec_parts.load(Ordering::Relaxed),
-                generic_parts: self.gen_parts.load(Ordering::Relaxed),
-                rows_in: self.rows_in,
-                rows_out,
-                nanos: self.started.elapsed().as_nanos() as u64,
-            },
-        );
+    /// Charges the invocation to `ctx.stats` and, when the context
+    /// carries a profiling sink, flushes the identical numbers there —
+    /// the profile and `op_stats()` reconcile by construction.
+    fn finish(self, ctx: &OpCtx<'_>, rows_out: u64) {
+        let metrics = OpMetrics {
+            vectorized_parts: self.vec_parts.load(Ordering::Relaxed),
+            generic_parts: self.gen_parts.load(Ordering::Relaxed),
+            rows_in: self.rows_in,
+            rows_out,
+            nanos: self.started.elapsed().as_nanos() as u64,
+        };
+        ctx.stats.charge_op(self.kind, metrics);
+        if let Some(sink) = &ctx.trace {
+            sink.record(OpProfile {
+                kind: self.kind,
+                vectorized_parts: metrics.vectorized_parts,
+                generic_parts: metrics.generic_parts,
+                rows_in: metrics.rows_in,
+                rows_out: metrics.rows_out,
+                nanos: metrics.nanos,
+                exchange_bytes: self.exchange_bytes,
+            });
+        }
     }
 }
 
@@ -296,7 +317,7 @@ pub fn project(input: PData, exprs: &[(Expr, Field)], ctx: &OpCtx<'_>) -> DbResu
         // A projection of zero columns is impossible through SQL.
         Ok(Batch::from_columns(cols))
     })?;
-    timer.finish(ctx.stats, total_rows(&parts));
+    timer.finish(ctx, total_rows(&parts));
     Ok(PData { schema: out_schema, parts, dist: new_dist })
 }
 
@@ -319,7 +340,7 @@ pub fn filter(input: PData, pred: &Expr, ctx: &OpCtx<'_>) -> DbResult<PData> {
             .collect();
         Ok(batch.take_u32(&sel))
     })?;
-    timer.finish(ctx.stats, total_rows(&parts));
+    timer.finish(ctx, total_rows(&parts));
     Ok(PData { schema: input.schema, parts, dist: input.dist })
 }
 
@@ -333,7 +354,7 @@ pub fn filter(input: PData, pred: &Expr, ctx: &OpCtx<'_>) -> DbResult<PData> {
 /// concatenated by buffer append.
 pub fn repartition_hash(input: PData, key_cols: &[usize], ctx: &OpCtx<'_>) -> DbResult<PData> {
     check_u32_rows(&input)?;
-    let timer = OpTimer::new(OpKind::Repartition, total_rows(&input.parts));
+    let mut timer = OpTimer::new(OpKind::Repartition, total_rows(&input.parts));
     let n = ctx.segments.max(1);
     let PData { schema, parts: in_parts, dist: _ } = input;
     let keys: Arc<Vec<usize>> = Arc::new(key_cols.to_vec());
@@ -376,6 +397,7 @@ pub fn repartition_hash(input: PData, key_cols: &[usize], ctx: &OpCtx<'_>) -> Db
     // full relation size.
     let moved: u64 = bucketed.iter().map(|(m, _)| *m).sum();
     ctx.stats.charge_network(moved);
+    timer.exchange_bytes = moved;
     // Transpose source-major buckets into destination-major groups by
     // moving each batch exactly once.
     let mut per_dest: Vec<Vec<Batch>> = (0..n).map(|_| Vec::with_capacity(bucketed.len())).collect();
@@ -389,7 +411,7 @@ pub fn repartition_hash(input: PData, key_cols: &[usize], ctx: &OpCtx<'_>) -> Db
         guard.check()?;
         Ok(Batch::concat_owned(batches))
     })?;
-    timer.finish(ctx.stats, total_rows(&parts));
+    timer.finish(ctx, total_rows(&parts));
     Ok(PData { schema, parts, dist: Distribution::Hash(key_cols.to_vec()) })
 }
 
@@ -438,7 +460,7 @@ pub fn aggregate(
 
     if group_cols.is_empty() {
         let out = global_aggregate(input, aggs, &agg_types, out_schema, ctx)?;
-        timer.finish(ctx.stats, total_rows(&out.parts));
+        timer.finish(ctx, total_rows(&out.parts));
         return Ok(out);
     }
 
@@ -542,7 +564,7 @@ pub fn aggregate(
         cols.extend(agg_cols);
         Ok(Batch::from_columns(cols))
     })?;
-    timer.finish(ctx.stats, total_rows(&parts));
+    timer.finish(ctx, total_rows(&parts));
     // Group columns keep their hash placement (positions 0..k).
     let dist = Distribution::Hash((0..group_cols.len()).collect());
     Ok(PData { schema: out_schema, parts, dist })
@@ -718,7 +740,7 @@ pub fn hash_join(
         }
         Ok(Batch::from_columns(cols))
     })?;
-    timer.finish(ctx.stats, total_rows(&parts));
+    timer.finish(ctx, total_rows(&parts));
     // The join output keeps the left side's key placement.
     let dist = if left_dist_cols.is_empty() {
         Distribution::Arbitrary
@@ -775,7 +797,7 @@ pub fn distinct(input: PData, ctx: &OpCtx<'_>) -> DbResult<PData> {
         }
         Ok(batch.take_u32(&keep))
     })?;
-    timer.finish(ctx.stats, total_rows(&parts));
+    timer.finish(ctx, total_rows(&parts));
     Ok(PData { schema: data.schema, parts, dist: data.dist })
 }
 
@@ -807,7 +829,7 @@ pub fn union_all(a: PData, b: PData, ctx: &OpCtx<'_>) -> DbResult<PData> {
         parts.push(pa);
     }
     let rows_out = total_rows(&parts);
-    timer.finish(ctx.stats, rows_out);
+    timer.finish(ctx, rows_out);
     Ok(PData { schema, parts, dist })
 }
 
@@ -885,6 +907,7 @@ mod tests {
                 allow_colocated: true,
                 guard: QueryGuard::default(),
                 vectorized: true,
+                trace: None,
             }
         }
     }

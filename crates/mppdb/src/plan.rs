@@ -12,6 +12,7 @@ use crate::ops::{self, AggExpr, JoinType, PData};
 use crate::schema::Field;
 use crate::stats::Stats;
 use crate::table::Table;
+use crate::trace::{ProfileNode, SpanSink};
 
 /// A logical plan node.
 #[derive(Debug, Clone)]
@@ -72,76 +73,77 @@ pub enum Plan {
     },
 }
 
-/// Executes a plan while timing every node, returning the data plus an
-/// annotated tree — the `EXPLAIN ANALYZE` output.
-pub fn execute_analyze(plan: &Plan, ctx: &ExecContext<'_>) -> DbResult<(PData, String)> {
-    let mut lines: Vec<(usize, String)> = Vec::new();
-    let data = analyze_node(plan, ctx, 0, &mut lines)?;
-    let mut out = String::new();
-    for (depth, line) in lines {
-        out.push_str(&"  ".repeat(depth));
-        out.push_str(&line);
-        out.push('\n');
-    }
-    Ok((data, out))
-}
-
-fn analyze_node(
-    plan: &Plan,
-    ctx: &ExecContext<'_>,
-    depth: usize,
-    lines: &mut Vec<(usize, String)>,
-) -> DbResult<PData> {
+/// Executes a plan while profiling every node, returning the data plus
+/// the annotated [`ProfileNode`] tree — the spine of `EXPLAIN ANALYZE`
+/// and of `QueryProfile` capture.
+///
+/// Each plan node gets a fresh [`SpanSink`]; the operators it invokes
+/// (including any internal exchanges a join or aggregate inserts)
+/// flush their [`crate::OpProfile`] records there, and the output's
+/// per-segment row counts are read straight off the produced
+/// partitions, so distribution skew is visible per node. Node wall
+/// times are inclusive of children, like real EXPLAIN ANALYZE's
+/// actual-time figures.
+pub fn execute_profiled(plan: &Plan, ctx: &ExecContext<'_>) -> DbResult<(PData, ProfileNode)> {
     ctx.guard.check()?;
     let label = node_label(plan);
-    let slot = lines.len();
-    lines.push((depth, String::new()));
+    let sink = std::sync::Arc::new(SpanSink::default());
+    let op_ctx = || {
+        let mut c = ctx.op_ctx();
+        c.trace = Some(sink.clone());
+        c
+    };
     let start = std::time::Instant::now();
-    // Children execute within the parent's timing, like real EXPLAIN
-    // ANALYZE's inclusive actual-time figures.
+    let mut children = Vec::new();
+    let mut run_child = |p: &Plan| -> DbResult<PData> {
+        let (data, node) = execute_profiled(p, ctx)?;
+        children.push(node);
+        Ok(data)
+    };
     let data = match plan {
         Plan::Scan { .. } | Plan::OneRow => execute(plan, ctx)?,
         Plan::Project { input, exprs } => {
-            let child = analyze_node(input, ctx, depth + 1, lines)?;
-            ops::project(child, exprs, &ctx.op_ctx())?
+            let child = run_child(input)?;
+            ops::project(child, exprs, &op_ctx())?
         }
         Plan::Filter { input, pred } => {
-            let child = analyze_node(input, ctx, depth + 1, lines)?;
-            ops::filter(child, pred, &ctx.op_ctx())?
+            let child = run_child(input)?;
+            ops::filter(child, pred, &op_ctx())?
         }
         Plan::Join { left, right, l_keys, r_keys, join_type } => {
-            let l = analyze_node(left, ctx, depth + 1, lines)?;
-            let r = analyze_node(right, ctx, depth + 1, lines)?;
-            ops::hash_join(l, r, l_keys, r_keys, *join_type, &ctx.op_ctx())?
+            let l = run_child(left)?;
+            let r = run_child(right)?;
+            ops::hash_join(l, r, l_keys, r_keys, *join_type, &op_ctx())?
         }
         Plan::Aggregate { input, group_cols, aggs } => {
-            let child = analyze_node(input, ctx, depth + 1, lines)?;
-            ops::aggregate(child, group_cols, aggs, &ctx.op_ctx())?
+            let child = run_child(input)?;
+            ops::aggregate(child, group_cols, aggs, &op_ctx())?
         }
         Plan::Distinct { input } => {
-            let child = analyze_node(input, ctx, depth + 1, lines)?;
-            ops::distinct(child, &ctx.op_ctx())?
+            let child = run_child(input)?;
+            ops::distinct(child, &op_ctx())?
         }
         Plan::UnionAll { inputs } => {
             let mut acc: Option<PData> = None;
             for p in inputs {
-                let next = analyze_node(p, ctx, depth + 1, lines)?;
+                let next = run_child(p)?;
                 acc = Some(match acc {
                     None => next,
-                    Some(prev) => ops::union_all(prev, next, &ctx.op_ctx())?,
+                    Some(prev) => ops::union_all(prev, next, &op_ctx())?,
                 });
             }
             acc.ok_or_else(|| DbError::Plan("empty UNION ALL".into()))?
         }
     };
-    let elapsed = start.elapsed();
-    lines[slot].1 = format!(
-        "{label}  (rows={}, partitions={}, time={:.3}ms)",
-        data.row_count(),
-        data.parts.len(),
-        elapsed.as_secs_f64() * 1e3
-    );
-    Ok(data)
+    let node = ProfileNode {
+        label,
+        rows_out: data.row_count() as u64,
+        seg_rows: data.parts.iter().map(|b| b.rows() as u64).collect(),
+        nanos: start.elapsed().as_nanos() as u64,
+        ops: sink.take(),
+        children,
+    };
+    Ok((data, node))
 }
 
 fn node_label(plan: &Plan) -> String {
@@ -287,6 +289,7 @@ impl<'a> ExecContext<'a> {
             allow_colocated: self.allow_colocated,
             guard: self.guard.clone(),
             vectorized: self.vectorized,
+            trace: None,
         }
     }
 }

@@ -26,11 +26,17 @@ use crate::cluster::{Cluster, QueryOutput};
 use crate::error::{DbError, DbResult};
 use crate::sql::{Query, Statement, TableRel};
 use crate::stats::{Stats, StatsSnapshot};
+use crate::trace::{HistogramSnapshot, LatencyHistogram, QueryProfile};
 use crate::value::Datum;
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How many completed [`QueryProfile`]s a session retains (ring
+/// buffer, oldest evicted first).
+pub(crate) const PROFILE_RING_CAPACITY: usize = 256;
 
 /// The id of the cluster's built-in default session, which performs no
 /// name mangling (full backwards compatibility for direct
@@ -57,6 +63,13 @@ pub(crate) struct SessionCore {
     exec_nanos: AtomicU64,
     /// Wall time of the most recent statement.
     last_nanos: AtomicU64,
+    /// When true, every statement captures a [`QueryProfile`]
+    /// (off by default — the executor then pays only a branch).
+    profiling: AtomicBool,
+    /// The most recent captured profiles, newest last.
+    profiles: Mutex<VecDeque<Arc<QueryProfile>>>,
+    /// Per-statement latency distribution for this session.
+    pub(crate) latency: LatencyHistogram,
 }
 
 impl SessionCore {
@@ -72,6 +85,9 @@ impl SessionCore {
             timeout: Mutex::new(None),
             exec_nanos: AtomicU64::new(0),
             last_nanos: AtomicU64::new(0),
+            profiling: AtomicBool::new(false),
+            profiles: Mutex::new(VecDeque::new()),
+            latency: LatencyHistogram::new(),
         }
     }
 
@@ -86,6 +102,9 @@ impl SessionCore {
             timeout: Mutex::new(None),
             exec_nanos: AtomicU64::new(0),
             last_nanos: AtomicU64::new(0),
+            profiling: AtomicBool::new(false),
+            profiles: Mutex::new(VecDeque::new()),
+            latency: LatencyHistogram::new(),
         }
     }
 
@@ -104,6 +123,40 @@ impl SessionCore {
         let nanos = elapsed.as_nanos() as u64;
         self.exec_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.last_nanos.store(nanos, Ordering::Relaxed);
+        self.latency.record(nanos);
+    }
+
+    /// Whether statements should capture a [`QueryProfile`].
+    pub(crate) fn profiling(&self) -> bool {
+        self.profiling.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_profiling(&self, on: bool) {
+        self.profiling.store(on, Ordering::Relaxed);
+    }
+
+    /// Stores a completed profile, evicting the oldest past capacity.
+    pub(crate) fn push_profile(&self, profile: Arc<QueryProfile>) {
+        let mut ring = self.profiles.lock();
+        if ring.len() >= PROFILE_RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(profile);
+    }
+
+    /// The most recently captured profile.
+    pub(crate) fn last_profile(&self) -> Option<Arc<QueryProfile>> {
+        self.profiles.lock().back().cloned()
+    }
+
+    /// All retained profiles, oldest first.
+    pub(crate) fn profiles(&self) -> Vec<Arc<QueryProfile>> {
+        self.profiles.lock().iter().cloned().collect()
+    }
+
+    /// Drains the retained profiles, leaving the ring empty.
+    pub(crate) fn take_profiles(&self) -> Vec<Arc<QueryProfile>> {
+        self.profiles.lock().drain(..).collect()
     }
 
     /// The session-namespace name for `name` (lowercased like every
@@ -308,6 +361,41 @@ impl Session {
     /// statements). These cover only work done through this session.
     pub fn stats(&self) -> StatsSnapshot {
         self.core.stats.snapshot()
+    }
+
+    /// Per-operator execution counters attributed to this session.
+    pub fn op_stats(&self) -> Vec<crate::stats::OpStats> {
+        self.core.stats.op_stats()
+    }
+
+    /// Enables or disables per-statement [`QueryProfile`] capture.
+    /// Off by default; when off, execution pays only a branch.
+    pub fn set_profiling(&self, on: bool) {
+        self.core.set_profiling(on);
+    }
+
+    /// The profile of the most recent statement executed with
+    /// profiling enabled (or via `EXPLAIN ANALYZE`).
+    pub fn last_profile(&self) -> Option<Arc<QueryProfile>> {
+        self.core.last_profile()
+    }
+
+    /// All retained profiles, oldest first (ring buffer of the last
+    /// 256 profiled statements).
+    pub fn profiles(&self) -> Vec<Arc<QueryProfile>> {
+        self.core.profiles()
+    }
+
+    /// Drains the retained profiles, leaving the ring empty — how a
+    /// long-running job collects its statement profiles per round
+    /// without unbounded growth.
+    pub fn take_profiles(&self) -> Vec<Arc<QueryProfile>> {
+        self.core.take_profiles()
+    }
+
+    /// This session's per-statement latency distribution.
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        self.core.latency.snapshot()
     }
 
     /// Total wall time spent executing this session's statements.

@@ -42,22 +42,26 @@ pub struct Stats {
 }
 
 /// A physical operator family, for per-operator accounting.
+///
+/// Discriminants are the cell indices used by [`Stats::charge_op`],
+/// which runs on every operator invocation — keep them dense and in
+/// [`OpKind::ALL`] order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
     /// Expression projection.
-    Project,
+    Project = 0,
     /// Predicate filtering.
-    Filter,
+    Filter = 1,
     /// Hash repartition exchange.
-    Repartition,
+    Repartition = 2,
     /// Hash aggregation / group-by.
-    Aggregate,
+    Aggregate = 3,
     /// Hash equi-join.
-    Join,
+    Join = 4,
     /// Duplicate elimination.
-    Distinct,
+    Distinct = 5,
     /// Bag union.
-    UnionAll,
+    UnionAll = 6,
 }
 
 impl OpKind {
@@ -241,7 +245,7 @@ impl Stats {
     /// Charges one operator invocation's wall time and row counts,
     /// rolled up to the parent like every other counter.
     pub fn charge_op(&self, kind: OpKind, m: OpMetrics) {
-        let cell = &self.op_cells[OpKind::ALL.iter().position(|&k| k == kind).unwrap()];
+        let cell = &self.op_cells[kind as usize];
         cell.calls.fetch_add(1, Ordering::Relaxed);
         cell.vectorized_parts.fetch_add(m.vectorized_parts, Ordering::Relaxed);
         cell.generic_parts.fetch_add(m.generic_parts, Ordering::Relaxed);
@@ -338,15 +342,18 @@ pub struct StatsSnapshot {
 
 impl StatsSnapshot {
     /// Difference against an earlier snapshot (for run-scoped metrics
-    /// without resetting the shared counters).
+    /// without resetting the shared counters). Saturating: a snapshot
+    /// taken before `reset_run_counters()` may record larger cumulative
+    /// values than the current ones, and the delta must clamp to zero
+    /// rather than underflow.
     pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             live_bytes: self.live_bytes,
             max_live_bytes: self.max_live_bytes,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-            rows_written: self.rows_written - earlier.rows_written,
-            network_bytes: self.network_bytes - earlier.network_bytes,
-            queries: self.queries - earlier.queries,
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            rows_written: self.rows_written.saturating_sub(earlier.rows_written),
+            network_bytes: self.network_bytes.saturating_sub(earlier.network_bytes),
+            queries: self.queries.saturating_sub(earlier.queries),
         }
     }
 }
@@ -436,6 +443,97 @@ mod tests {
         assert_eq!(parent.op_stats()[0].rows_in, 1010);
         session.reset_run_counters();
         assert!(session.op_stats().is_empty());
+    }
+
+    #[test]
+    fn delta_since_saturates_across_reset() {
+        let s = Stats::new();
+        s.charge_create(100, 10);
+        s.charge_network(50);
+        s.count_query();
+        let before = s.snapshot();
+        s.reset_run_counters();
+        s.charge_create(5, 1);
+        // The current counters are smaller than the pre-reset snapshot;
+        // the delta must clamp to zero, not underflow.
+        let d = s.snapshot().delta_since(&before);
+        assert_eq!(d.bytes_written, 0);
+        assert_eq!(d.rows_written, 0);
+        assert_eq!(d.network_bytes, 0);
+        assert_eq!(d.queries, 0);
+    }
+
+    #[test]
+    fn concurrent_sessions_roll_up_exactly() {
+        const THREADS: usize = 8;
+        const ITERS: u64 = 500;
+        let parent = Arc::new(Stats::new());
+        let sessions: Vec<Arc<Stats>> =
+            (0..THREADS).map(|_| Arc::new(Stats::with_parent(parent.clone()))).collect();
+        std::thread::scope(|scope| {
+            for (t, session) in sessions.iter().enumerate() {
+                let session = Arc::clone(session);
+                scope.spawn(move || {
+                    for i in 0..ITERS {
+                        session.charge_create(8 * (t as u64 + 1), t as u64 + 1);
+                        session.charge_network(i + 1);
+                        session.count_query();
+                        session.charge_op(
+                            OpKind::ALL[(t + i as usize) % OpKind::COUNT],
+                            OpMetrics {
+                                vectorized_parts: 1,
+                                generic_parts: 2,
+                                rows_in: i,
+                                rows_out: i / 2,
+                                nanos: 10,
+                            },
+                        );
+                        if i % 3 == 0 {
+                            session.credit_drop(8);
+                        }
+                    }
+                });
+            }
+        });
+        // Parent == sum of sessions for every counter family.
+        let mut sum = StatsSnapshot::default();
+        for s in &sessions {
+            let snap = s.snapshot();
+            sum.live_bytes += snap.live_bytes;
+            sum.bytes_written += snap.bytes_written;
+            sum.rows_written += snap.rows_written;
+            sum.network_bytes += snap.network_bytes;
+            sum.queries += snap.queries;
+        }
+        let got = parent.snapshot();
+        assert_eq!(got.live_bytes, sum.live_bytes);
+        assert_eq!(got.bytes_written, sum.bytes_written);
+        assert_eq!(got.rows_written, sum.rows_written);
+        assert_eq!(got.network_bytes, sum.network_bytes);
+        assert_eq!(got.queries, sum.queries);
+        for kind in OpKind::ALL {
+            let total = |stats: &Stats| {
+                stats
+                    .op_stats()
+                    .into_iter()
+                    .find(|o| o.kind == kind)
+                    .map(|o| (o.calls, o.vectorized_parts, o.generic_parts, o.rows_in, o.rows_out, o.nanos))
+                    .unwrap_or_default()
+            };
+            let mut want = (0, 0, 0, 0, 0, 0);
+            for s in &sessions {
+                let t = total(s);
+                want = (
+                    want.0 + t.0,
+                    want.1 + t.1,
+                    want.2 + t.2,
+                    want.3 + t.3,
+                    want.4 + t.4,
+                    want.5 + t.5,
+                );
+            }
+            assert_eq!(total(&parent), want, "op family {:?}", kind);
+        }
     }
 
     #[test]

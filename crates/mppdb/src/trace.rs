@@ -1,0 +1,546 @@
+//! Query profiling and latency telemetry.
+//!
+//! The paper's evaluation is an observability exercise — wall time
+//! (Table III), peak space (Table IV), written bytes (Table V), and
+//! per-round convergence (Fig. 9). This module supplies the per-query
+//! lens those tables need: a [`QueryProfile`] tree annotating every
+//! plan node with operator measurements, and a mergeable log-bucketed
+//! [`LatencyHistogram`] for the service layer's per-statement p50/p95/
+//! p99.
+//!
+//! # Recording model
+//!
+//! Profiling is pay-for-what-you-use. Each operator already owns an
+//! `OpTimer` that charges [`crate::OpKind`] counters into
+//! [`crate::stats::Stats`]; when a [`SpanSink`] is present on the
+//! operator context, `OpTimer::finish` *additionally* pushes one
+//! [`OpProfile`] record into it — when absent (the default), the cost
+//! is a single `Option` branch. Worker threads do not write to the
+//! sink directly: they bump the same `Arc<AtomicU64>` partition-tier
+//! counters they always have, and the operator's coordinating thread
+//! flushes one consolidated record per invocation. Per-*segment* rows
+//! are captured from the operator's output partitions by the plan
+//! executor ([`ProfileNode::seg_rows`]), which is what makes partition
+//! skew visible without instrumenting every worker closure.
+//!
+//! The tree shape is statement → plan node ([`ProfileNode`]) →
+//! operator invocation ([`OpProfile`]) → partition tier counts
+//! (`vectorized_parts`/`generic_parts`, plus `seg_rows` at the node).
+//! A node can carry several operator records: a hash join whose inputs
+//! need redistribution records its internal repartition exchanges in
+//! the same node's sink, mirroring how `Stats::op_stats()` attributes
+//! them.
+
+use crate::stats::{OpKind, StatsSnapshot};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One operator invocation's measurements inside a profiled query.
+///
+/// The same numbers an operator charges to [`crate::stats::Stats`] via
+/// `charge_op`, plus the exchange volume for repartitions — kept
+/// per-invocation here instead of accumulated per-family.
+#[derive(Debug, Clone)]
+pub struct OpProfile {
+    /// Operator family (names via [`OpKind::name`]).
+    pub kind: OpKind,
+    /// Partitions handled by a vectorized kernel.
+    pub vectorized_parts: u64,
+    /// Partitions handled by the generic row-at-a-time path.
+    pub generic_parts: u64,
+    /// Input rows across all partitions.
+    pub rows_in: u64,
+    /// Output rows across all partitions.
+    pub rows_out: u64,
+    /// Operator wall time in nanoseconds.
+    pub nanos: u64,
+    /// Bytes moved between segments (repartition exchanges only).
+    pub exchange_bytes: u64,
+}
+
+/// Collection point for the operator records of one plan node.
+///
+/// Shared between the plan executor (which owns the node) and the
+/// operators it runs; a `Mutex<Vec<_>>` is fine here because it is
+/// locked once per operator *invocation*, not per row or partition.
+#[derive(Debug, Default)]
+pub struct SpanSink {
+    records: Mutex<Vec<OpProfile>>,
+}
+
+impl SpanSink {
+    /// Appends one operator record.
+    pub fn record(&self, op: OpProfile) {
+        self.records.lock().unwrap().push(op);
+    }
+
+    /// Drains the collected records (executor-side, after the node ran).
+    pub fn take(&self) -> Vec<OpProfile> {
+        std::mem::take(&mut *self.records.lock().unwrap())
+    }
+}
+
+/// One plan node's annotations in a [`QueryProfile`] tree.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileNode {
+    /// Plan-node label, e.g. `Join(a.v1 = b.v1)`.
+    pub label: String,
+    /// Rows this node produced.
+    pub rows_out: u64,
+    /// Output rows per segment, in segment order — partition skew is
+    /// visible as imbalance here.
+    pub seg_rows: Vec<u64>,
+    /// Inclusive wall time for this node and its inputs, nanoseconds.
+    pub nanos: u64,
+    /// Operator invocations recorded while this node executed.
+    pub ops: Vec<OpProfile>,
+    /// Input plan nodes.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// Sums `f` over every operator record in this subtree.
+    pub fn fold_ops(&self, f: &mut impl FnMut(&OpProfile)) {
+        for op in &self.ops {
+            f(op);
+        }
+        for child in &self.children {
+            child.fold_ops(f);
+        }
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let _ = writeln!(
+            out,
+            "{pad}-> {}  (rows={} time={:.3}ms segs={})",
+            self.label,
+            self.rows_out,
+            self.nanos as f64 / 1e6,
+            render_seg_rows(&self.seg_rows),
+        );
+        for op in &self.ops {
+            let _ = write!(
+                out,
+                "{pad}     {}: rows_in={} rows_out={} time={:.3}ms parts={}v/{}g",
+                op.kind.name(),
+                op.rows_in,
+                op.rows_out,
+                op.nanos as f64 / 1e6,
+                op.vectorized_parts,
+                op.generic_parts,
+            );
+            if op.exchange_bytes > 0 {
+                let _ = write!(out, " exchange={}B", op.exchange_bytes);
+            }
+            out.push('\n');
+        }
+        for child in &self.children {
+            child.render_into(depth + 1, out);
+        }
+    }
+
+    fn json_into(&self, out: &mut String) {
+        out.push_str("{\"label\": ");
+        push_json_str(out, &self.label);
+        let _ = write!(out, ", \"rows_out\": {}, \"nanos\": {}, \"seg_rows\": [", self.rows_out, self.nanos);
+        for (i, r) in self.seg_rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{r}");
+        }
+        out.push_str("], \"ops\": [");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"op\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \"nanos\": {}, \
+                 \"vectorized_parts\": {}, \"generic_parts\": {}, \"exchange_bytes\": {}}}",
+                op.kind.name(),
+                op.rows_in,
+                op.rows_out,
+                op.nanos,
+                op.vectorized_parts,
+                op.generic_parts,
+                op.exchange_bytes,
+            );
+        }
+        out.push_str("], \"children\": [");
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            child.json_into(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+fn render_seg_rows(seg_rows: &[u64]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in seg_rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{r}");
+    }
+    s.push(']');
+    s
+}
+
+/// JSON string escape for labels and statement text (hand-rolled:
+/// the workspace builds offline, `serde_json` is a stub).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The profile of one executed statement: the annotated plan tree plus
+/// statement-level resource deltas.
+#[derive(Debug, Clone, Default)]
+pub struct QueryProfile {
+    /// The SQL text as executed (after session rewriting).
+    pub statement: String,
+    /// End-to-end statement wall time, nanoseconds.
+    pub total_nanos: u64,
+    /// Rows the statement returned or wrote.
+    pub rows_out: u64,
+    /// Bytes written by the statement (storage layer delta).
+    pub bytes_written: u64,
+    /// Rows written by the statement.
+    pub rows_written: u64,
+    /// Bytes exchanged between segments by the statement.
+    pub network_bytes: u64,
+    /// Root of the annotated plan tree.
+    pub root: ProfileNode,
+}
+
+impl QueryProfile {
+    /// Folds the statement-level stats delta into the profile header.
+    pub fn apply_stats_delta(&mut self, delta: &StatsSnapshot) {
+        self.bytes_written = delta.bytes_written;
+        self.rows_written = delta.rows_written;
+        self.network_bytes = delta.network_bytes;
+    }
+
+    /// The `EXPLAIN ANALYZE` text rendering: one line per plan node,
+    /// indented by depth, followed by its operator measurements.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Statement: {}  (total={:.3}ms rows={} written={}B/{}rows exchanged={}B)",
+            self.statement,
+            self.total_nanos as f64 / 1e6,
+            self.rows_out,
+            self.bytes_written,
+            self.rows_written,
+            self.network_bytes,
+        );
+        self.root.render_into(0, &mut out);
+        out
+    }
+
+    /// The structured form as a JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"statement\": ");
+        push_json_str(&mut out, &self.statement);
+        let _ = write!(
+            out,
+            ", \"total_nanos\": {}, \"rows_out\": {}, \"bytes_written\": {}, \
+             \"rows_written\": {}, \"network_bytes\": {}, \"plan\": ",
+            self.total_nanos, self.rows_out, self.bytes_written, self.rows_written, self.network_bytes,
+        );
+        self.root.json_into(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// Number of buckets in a [`LatencyHistogram`]: one per power of two
+/// of nanoseconds, so bucket 30 ≈ 1.07s and bucket 63 covers u64::MAX.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log2-bucketed latency histogram with atomic buckets.
+///
+/// Bucket `i` counts observations with `floor(log2(nanos)) == i`
+/// (zero maps to bucket 0), i.e. values in `[2^i, 2^(i+1))`. Buckets
+/// are powers of two, so quantile estimates are exact to within one
+/// bucket — a factor-of-two latency resolution, which is the usual
+/// trade for mergeable constant-space histograms.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, nanos: u64) {
+        let bucket = 63 - nanos.max(1).leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for quantiles, merging, and rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`LatencyHistogram`]'s state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`buckets[i]` covers
+    /// `[2^i, 2^(i+1))` nanoseconds).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, nanoseconds.
+    pub sum_nanos: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum_nanos: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of bucket `i` in nanoseconds (inclusive end of its
+    /// value range, saturating at `u64::MAX`).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Merges another snapshot into this one. Merging two histograms
+    /// is exactly equivalent to having recorded both streams into one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
+    /// bucket containing that rank, in nanoseconds. Within one bucket
+    /// (a factor of two) of the exact order statistic; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return HistogramSnapshot::bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket_of(nanos: u64) -> usize {
+        63 - nanos.max(1).leading_zeros() as usize
+    }
+
+    #[test]
+    fn histogram_quantiles_within_one_bucket() {
+        // Known distribution: 1..=1000 microseconds, uniform.
+        let h = LatencyHistogram::new();
+        let values: Vec<u64> = (1..=1000).map(|us| us * 1_000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.sum_nanos, values.iter().sum::<u64>());
+        for &(q, exact_idx) in &[(0.5, 499usize), (0.95, 949), (0.99, 989)] {
+            let est = snap.quantile(q);
+            let exact = values[exact_idx];
+            // The estimate must land in the same power-of-two bucket as
+            // the exact order statistic ("within one bucket").
+            assert_eq!(
+                bucket_of(est),
+                bucket_of(exact),
+                "q={q}: est {est} vs exact {exact}"
+            );
+            // And must never under-report (it is the bucket's upper bound).
+            assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_on_skewed_distribution() {
+        let h = LatencyHistogram::new();
+        // 90 fast (≈10µs), 9 medium (≈1ms), 1 slow (≈1s).
+        for _ in 0..90 {
+            h.record(10_000);
+        }
+        for _ in 0..9 {
+            h.record(1_000_000);
+        }
+        h.record(1_000_000_000);
+        let snap = h.snapshot();
+        assert_eq!(bucket_of(snap.quantile(0.5)), bucket_of(10_000));
+        assert_eq!(bucket_of(snap.quantile(0.95)), bucket_of(1_000_000));
+        assert_eq!(bucket_of(snap.quantile(0.999)), bucket_of(1_000_000_000));
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_stream() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let combined = LatencyHistogram::new();
+        let stream_a: Vec<u64> = (1..500).map(|i| i * 977).collect();
+        let stream_b: Vec<u64> = (1..300).map(|i| i * 13_331).collect();
+        for &v in &stream_a {
+            a.record(v);
+            combined.record(v);
+        }
+        for &v in &stream_b {
+            b.record(v);
+            combined.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let want = combined.snapshot();
+        assert_eq!(merged.buckets, want.buckets);
+        assert_eq!(merged.count, want.count);
+        assert_eq!(merged.sum_nanos, want.sum_nanos);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), want.quantile(q));
+        }
+    }
+
+    #[test]
+    fn histogram_edge_values() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0); // empty
+        h.record(0); // zero maps to bucket 0
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[63], 1);
+        assert_eq!(snap.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn profile_json_is_escaped_and_nested() {
+        let profile = QueryProfile {
+            statement: "select \"x\"\nfrom t".into(),
+            total_nanos: 42,
+            rows_out: 3,
+            bytes_written: 100,
+            rows_written: 3,
+            network_bytes: 8,
+            root: ProfileNode {
+                label: "Project".into(),
+                rows_out: 3,
+                seg_rows: vec![2, 1],
+                nanos: 40,
+                ops: vec![OpProfile {
+                    kind: OpKind::Project,
+                    vectorized_parts: 2,
+                    generic_parts: 0,
+                    rows_in: 3,
+                    rows_out: 3,
+                    nanos: 40,
+                    exchange_bytes: 0,
+                }],
+                children: vec![ProfileNode { label: "Scan t".into(), ..Default::default() }],
+            },
+        };
+        let json = profile.to_json();
+        assert!(json.contains("\\\"x\\\"\\nfrom t"));
+        assert!(json.contains("\"seg_rows\": [2, 1]"));
+        assert!(json.contains("\"op\": \"project\""));
+        assert!(json.contains("\"label\": \"Scan t\""));
+        let text = profile.render();
+        assert!(text.contains("-> Project"));
+        assert!(text.contains("segs=[2,1]"));
+    }
+
+    #[test]
+    fn fold_ops_visits_whole_tree() {
+        let leaf_op = OpProfile {
+            kind: OpKind::Filter,
+            vectorized_parts: 0,
+            generic_parts: 1,
+            rows_in: 10,
+            rows_out: 5,
+            nanos: 1,
+            exchange_bytes: 0,
+        };
+        let root = ProfileNode {
+            ops: vec![leaf_op.clone()],
+            children: vec![ProfileNode { ops: vec![leaf_op.clone(), leaf_op], ..Default::default() }],
+            ..Default::default()
+        };
+        let mut rows = 0;
+        root.fold_ops(&mut |op| rows += op.rows_in);
+        assert_eq!(rows, 30);
+    }
+}

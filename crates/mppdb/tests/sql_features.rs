@@ -313,7 +313,13 @@ fn explain_analyze_reports_rows_and_time() {
     assert!(out.contains("rows=3"), "aggregate output rows: {out}");
     assert!(out.contains("rows=4"), "scan rows: {out}");
     assert!(out.contains("time="), "{out}");
-    assert!(out.contains("partitions=4"), "{out}");
+    assert!(out.starts_with("Statement:"), "{out}");
+    // Per-segment row counts: one bracketed list of 4 per plan node.
+    let segs = out.lines().find_map(|l| l.split("segs=[").nth(1)).unwrap();
+    let seg_list = segs.split(']').next().unwrap();
+    assert_eq!(seg_list.split(',').count(), 4, "{out}");
+    // Operator measurements appear under the nodes.
+    assert!(out.contains("aggregate: rows_in="), "{out}");
 }
 
 #[test]

@@ -11,8 +11,8 @@ use incc_core::bfs::BfsStrategy;
 use incc_core::cracker::Cracker;
 use incc_core::hash_to_min::HashToMin;
 use incc_core::two_phase::TwoPhase;
-use incc_core::{CcAlgorithm, RandomisedContraction};
-use incc_mppdb::StatsSnapshot;
+use incc_core::{CcAlgorithm, RandomisedContraction, RoundReport};
+use incc_mppdb::{QueryProfile, StatsSnapshot};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -80,6 +80,10 @@ pub struct JobSpec {
     pub input: String,
     /// Seed for the algorithm's randomness.
     pub seed: u64,
+    /// Capture per-statement [`QueryProfile`]s while the job runs
+    /// (costs one stats snapshot + profile tree per statement; off by
+    /// default).
+    pub profile: bool,
 }
 
 /// Lifecycle of a job, as observed through [`JobHandle::status`].
@@ -130,6 +134,12 @@ pub struct JobResult {
     pub elapsed: Duration,
     /// Session-scoped counters accumulated by the run.
     pub stats: StatsSnapshot,
+    /// Per-round telemetry (bytes written / moved, statements, wall
+    /// time), measured at the algorithm's own round boundaries.
+    pub round_reports: Vec<RoundReport>,
+    /// Per-statement query profiles, captured only when
+    /// [`JobSpec::profile`] was set (most recent 256 statements).
+    pub profiles: Vec<Arc<QueryProfile>>,
 }
 
 /// Shared mutable state of one job. The service's registry, the
@@ -307,6 +317,7 @@ mod tests {
             algo: AlgoKind::Rc,
             input: "e".into(),
             seed: 0,
+            profile: false,
         };
         let job = JobState::new(1, spec);
         job.set_running(2);
@@ -324,6 +335,7 @@ mod tests {
             algo: AlgoKind::Bfs,
             input: "e".into(),
             seed: 0,
+            profile: false,
         };
         let job = JobState::new(7, spec);
         let flag = Arc::new(AtomicBool::new(false));
@@ -337,6 +349,7 @@ mod tests {
                 algo: AlgoKind::Bfs,
                 input: "e".into(),
                 seed: 0,
+                profile: false,
             },
         );
         job2.cancel();

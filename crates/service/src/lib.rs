@@ -26,6 +26,12 @@
 //!   plus `\`-prefixed service commands over TCP, with CSV or JSON row
 //!   output; the `incc-serve`, `incc-cli` and `incc-smoke` binaries
 //!   wrap it.
+//! * **Observability** — [`Service::metrics_text`] exposes cluster
+//!   counters, per-operator statistics and statement latency
+//!   histograms in Prometheus text format (the `\metrics` command);
+//!   jobs submitted with [`JobSpec::profile`] carry per-statement
+//!   [`incc_mppdb::QueryProfile`]s and per-round telemetry back on
+//!   their [`JobResult`] (the `\profile <id>` command).
 //!
 //! ```
 //! use incc_service::{AlgoKind, JobSpec, JobStatus, Service, ServiceConfig};
@@ -40,7 +46,7 @@
 //!
 //! // A whole CC computation as an asynchronous job.
 //! let job = service
-//!     .submit(JobSpec { algo: AlgoKind::Rc, input: "g".into(), seed: 1 })
+//!     .submit(JobSpec { algo: AlgoKind::Rc, input: "g".into(), seed: 1, profile: false })
 //!     .unwrap();
 //! assert_eq!(job.wait(), JobStatus::Done);
 //! assert_eq!(job.result().unwrap().labels.len(), 3);

@@ -23,12 +23,13 @@
 //! <- OK 3
 //! ```
 //!
-//! Commands: `\job <algo> <table> [seed]`, `\status <id>`,
+//! Commands: `\job <algo> <table> [seed] [profile]`, `\status <id>`,
 //! `\wait <id>`, `\cancel <id>`, `\result <id>`, `\stats [global]`,
-//! `\mode csv|json`, `\timeout <ms>|off`, `\shared on|off`, `\quit`.
+//! `\metrics`, `\profile on|off|last|<id>`, `\mode csv|json`,
+//! `\timeout <ms>|off`, `\shared on|off`, `\quit`.
 
 use crate::service::Service;
-use crate::{AlgoKind, JobSpec, JobStatus};
+use crate::{AlgoKind, JobResult, JobSpec, JobStatus};
 use incc_mppdb::{Datum, QueryOutput, Session};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -167,6 +168,12 @@ fn execute_command(
                 writeln!(w, "ERR unknown algorithm (rc|hm|tp|cr|bfs)")?;
                 return Ok(false);
             };
+            // A trailing literal `profile` turns on per-statement
+            // query profiling for the job's session.
+            let (rest, profile) = match rest {
+                [head @ .., last] if last.eq_ignore_ascii_case("profile") => (head, true),
+                _ => (rest, false),
+            };
             let seed = match rest {
                 [] => 0,
                 [s] => match s.parse::<u64>() {
@@ -177,7 +184,7 @@ fn execute_command(
                     }
                 },
                 _ => {
-                    writeln!(w, "ERR usage: \\job <algo> <table> [seed]")?;
+                    writeln!(w, "ERR usage: \\job <algo> <table> [seed] [profile]")?;
                     return Ok(false);
                 }
             };
@@ -185,6 +192,7 @@ fn execute_command(
                 algo,
                 input: table.to_string(),
                 seed,
+                profile,
             };
             match service.submit(spec) {
                 Ok(job) => writeln!(w, "OK job {}", job.id())?,
@@ -219,10 +227,13 @@ fn execute_command(
             }
         }
         ("stats", args @ ([] | ["global"])) => {
-            let s = if args.is_empty() {
-                session.stats()
+            let (s, latency) = if args.is_empty() {
+                (session.stats(), session.latency_histogram())
             } else {
-                service.cluster().stats()
+                (
+                    service.cluster().stats(),
+                    service.cluster().latency_histogram(),
+                )
             };
             writeln!(w, "live_bytes {}", s.live_bytes)?;
             writeln!(w, "max_live_bytes {}", s.max_live_bytes)?;
@@ -230,6 +241,11 @@ fn execute_command(
             writeln!(w, "rows_written {}", s.rows_written)?;
             writeln!(w, "network_bytes {}", s.network_bytes)?;
             writeln!(w, "queries {}", s.queries)?;
+            // Statement latency quantiles (upper bucket bounds of the
+            // log-scaled histogram, so within 2x of the exact value).
+            writeln!(w, "p50_micros {}", latency.quantile(0.50) / 1_000)?;
+            writeln!(w, "p95_micros {}", latency.quantile(0.95) / 1_000)?;
+            writeln!(w, "p99_micros {}", latency.quantile(0.99) / 1_000)?;
             if args.is_empty() {
                 writeln!(w, "exec_micros {}", session.exec_time().as_micros())?;
                 writeln!(
@@ -237,9 +253,51 @@ fn execute_command(
                     "last_statement_micros {}",
                     session.last_statement_time().as_micros()
                 )?;
-                writeln!(w, "OK 8")?;
+                writeln!(w, "OK 11")?;
             } else {
-                writeln!(w, "OK 6")?;
+                writeln!(w, "OK 9")?;
+            }
+        }
+        ("metrics", []) => {
+            let text = service.metrics_text();
+            let mut n = 0;
+            for line in text.lines() {
+                writeln!(w, "{line}")?;
+                n += 1;
+            }
+            writeln!(w, "OK {n}")?;
+        }
+        ("profile", [flag @ ("on" | "off")]) => {
+            // Toggle per-statement profile capture for this session's
+            // own statements (EXPLAIN ANALYZE always captures).
+            session.set_profiling(*flag == "on");
+            writeln!(w, "OK profile {flag}")?;
+        }
+        ("profile", ["last"]) => match session.last_profile() {
+            Some(p) => {
+                writeln!(w, "{}", p.to_json())?;
+                writeln!(w, "OK 1")?;
+            }
+            None => writeln!(
+                w,
+                "ERR no profile captured (use explain analyze or \\profile on)"
+            )?,
+        },
+        ("profile", [id]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                writeln!(w, "ERR job id must be an unsigned integer")?;
+                return Ok(false);
+            };
+            let Some(job) = service.job(id) else {
+                writeln!(w, "ERR no such job {id}")?;
+                return Ok(false);
+            };
+            match (job.status(), job.result()) {
+                (JobStatus::Done, Some(result)) => {
+                    writeln!(w, "{}", job_profile_json(id, job.spec(), &result))?;
+                    writeln!(w, "OK 1")?;
+                }
+                (status, _) => writeln!(w, "ERR job {id} is {}", status.render())?,
             }
         }
         _ => writeln!(w, "ERR unknown command \\{cmd}")?,
@@ -290,6 +348,46 @@ fn execute_sql(
         }
         Err(e) => writeln!(w, "ERR {e}"),
     }
+}
+
+/// One-line JSON envelope for `\profile <id>`: the job's identity,
+/// per-round telemetry, and (when the job was submitted with
+/// `profile`) every captured statement profile. Hand-rolled — the
+/// whole workspace renders JSON without a serializer.
+fn job_profile_json(id: u64, spec: &JobSpec, result: &JobResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"job\": {id}, \"algo\": \"{}\", \"input\": \"{}\", \"seed\": {}, \
+         \"rounds\": {}, \"elapsed_nanos\": {}, \"round_reports\": [",
+        spec.algo.as_str(),
+        spec.input.replace('\\', "\\\\").replace('"', "\\\""),
+        spec.seed,
+        result.rounds,
+        result.elapsed.as_nanos(),
+    );
+    for (i, r) in result.round_reports.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"round\": {}, \"working_rows\": {}, \"bytes_written\": {}, \
+             \"rows_written\": {}, \"network_bytes\": {}, \"statements\": {}, \"nanos\": {}}}",
+            r.round, r.working_rows, r.bytes_written, r.rows_written, r.network_bytes,
+            r.statements, r.nanos,
+        );
+    }
+    out.push_str("], \"profiles\": [");
+    for (i, p) in result.profiles.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&p.to_json());
+    }
+    out.push_str("]}");
+    out
 }
 
 fn write_row(w: &mut impl Write, mode: Mode, row: &[Datum]) -> io::Result<()> {

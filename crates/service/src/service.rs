@@ -1,12 +1,12 @@
 //! The service proper: admission control, session handout, and the
 //! asynchronous job API.
 
-use crate::job::{JobHandle, JobResult, JobSpec, JobState};
+use crate::job::{JobHandle, JobResult, JobSpec, JobState, JobStatus};
 use crate::scheduler::{Gate, JobLane};
-use incc_core::driver::RunControl;
+use incc_core::driver::{RoundRecorder, RunControl};
 use incc_mppdb::{
-    Cluster, ClusterConfig, DbError, DbResult, QueryOutput, ScalarUdf, Session, SqlEngine,
-    StatsSnapshot,
+    Cluster, ClusterConfig, DbError, DbResult, HistogramSnapshot, OpStats, QueryOutput, ScalarUdf,
+    Session, SqlEngine, StatsSnapshot,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -153,7 +153,7 @@ impl SqlEngine for GatedEngine<'_> {
 ///     .load_pairs("edges", "v1", "v2", &[(1, 2), (2, 3), (3, 1), (9, 9)])
 ///     .unwrap();
 /// let job = service
-///     .submit(JobSpec { algo: AlgoKind::Rc, input: "edges".into(), seed: 7 })
+///     .submit(JobSpec { algo: AlgoKind::Rc, input: "edges".into(), seed: 7, profile: false })
 ///     .unwrap();
 /// assert_eq!(job.wait(), JobStatus::Done);
 /// let result = job.result().unwrap();
@@ -272,6 +272,148 @@ impl Service {
         self.lane.queue_len()
     }
 
+    /// Prometheus-style text exposition of the cluster's counters,
+    /// per-operator execution statistics, the cluster-wide statement
+    /// latency histogram, and job states. This is what the wire
+    /// protocol's `\metrics` command serves.
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut simple = |name: &str, ty: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {ty}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        let s = self.cluster.stats();
+        simple(
+            "incc_live_bytes",
+            "gauge",
+            "Bytes of live table data on the cluster.",
+            s.live_bytes,
+        );
+        simple(
+            "incc_max_live_bytes",
+            "gauge",
+            "High-water mark of live bytes.",
+            s.max_live_bytes,
+        );
+        simple(
+            "incc_bytes_written_total",
+            "counter",
+            "Cumulative bytes written to storage.",
+            s.bytes_written,
+        );
+        simple(
+            "incc_rows_written_total",
+            "counter",
+            "Cumulative rows written to storage.",
+            s.rows_written,
+        );
+        simple(
+            "incc_network_bytes_total",
+            "counter",
+            "Bytes exchanged between segments.",
+            s.network_bytes,
+        );
+        simple(
+            "incc_queries_total",
+            "counter",
+            "SQL statements executed.",
+            s.queries,
+        );
+        simple(
+            "incc_jobs_queued",
+            "gauge",
+            "Jobs waiting for a worker.",
+            self.lane.queue_len() as u64,
+        );
+        // Job states, from the registry (counts jobs the service still
+        // remembers, i.e. everything submitted since start).
+        let (mut queued, mut running, mut done, mut failed) = (0u64, 0u64, 0u64, 0u64);
+        for job in self.jobs.lock().unwrap().values() {
+            match (JobHandle { state: job.clone() }).status() {
+                JobStatus::Queued => queued += 1,
+                JobStatus::Running { .. } => running += 1,
+                JobStatus::Done => done += 1,
+                JobStatus::Failed(_) => failed += 1,
+            }
+        }
+        let _ = writeln!(out, "# HELP incc_jobs Jobs by lifecycle state.");
+        let _ = writeln!(out, "# TYPE incc_jobs gauge");
+        for (state, n) in [
+            ("queued", queued),
+            ("running", running),
+            ("done", done),
+            ("failed", failed),
+        ] {
+            let _ = writeln!(out, "incc_jobs{{state=\"{state}\"}} {n}");
+        }
+        // Per-operator execution families, labelled by operator kind.
+        let ops = self.cluster.op_stats();
+        let mut op_family = |name: &str, help: &str, value: &dyn Fn(&OpStats) -> u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for o in &ops {
+                let _ = writeln!(out, "{name}{{op=\"{}\"}} {}", o.kind.name(), value(o));
+            }
+        };
+        op_family("incc_op_calls_total", "Operator invocations.", &|o| o.calls);
+        op_family("incc_op_rows_in_total", "Operator input rows.", &|o| {
+            o.rows_in
+        });
+        op_family("incc_op_rows_out_total", "Operator output rows.", &|o| {
+            o.rows_out
+        });
+        op_family("incc_op_nanos_total", "Operator wall time, nanoseconds.", &|o| {
+            o.nanos
+        });
+        op_family(
+            "incc_op_vectorized_partitions_total",
+            "Partitions handled by vectorized kernels.",
+            &|o| o.vectorized_parts,
+        );
+        op_family(
+            "incc_op_generic_partitions_total",
+            "Partitions handled by the generic row path.",
+            &|o| o.generic_parts,
+        );
+        // Cluster-wide statement latency histogram, in seconds with
+        // cumulative buckets as Prometheus expects. Empty power-of-two
+        // buckets are elided; `+Inf` always closes the series.
+        let h = self.cluster.latency_histogram();
+        let _ = writeln!(
+            out,
+            "# HELP incc_statement_latency_seconds Statement wall time."
+        );
+        let _ = writeln!(out, "# TYPE incc_statement_latency_seconds histogram");
+        let mut cumulative = 0u64;
+        for (i, &n) in h.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            if i < 63 {
+                let le = HistogramSnapshot::bucket_upper(i) as f64 / 1e9;
+                let _ = writeln!(
+                    out,
+                    "incc_statement_latency_seconds_bucket{{le=\"{le}\"}} {cumulative}"
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "incc_statement_latency_seconds_bucket{{le=\"+Inf\"}} {}",
+            h.count
+        );
+        let _ = writeln!(
+            out,
+            "incc_statement_latency_seconds_sum {}",
+            h.sum_nanos as f64 / 1e9
+        );
+        let _ = writeln!(out, "incc_statement_latency_seconds_count {}", h.count);
+        out
+    }
+
     /// Cancels all unfinished jobs, waits for in-flight ones to wind
     /// down, and fails anything still queued. Idempotent. The shared
     /// segment pool itself stays up — it belongs to the cluster.
@@ -304,11 +446,19 @@ fn execute_job(
     session.set_timeout(timeout);
     job.attach_session_flag(session.cancel_flag());
     let spec = job.spec().clone();
+    if spec.profile {
+        session.set_profiling(true);
+    }
     let algo = spec.algo.instance();
     let on_round = |round: usize, _rows: usize| job.set_running(round);
+    // Round telemetry: difference the session's counters at every
+    // round boundary the algorithm reports.
+    let stats_fn = || session.stats();
+    let recorder = RoundRecorder::new(&stats_fn);
     let ctrl = RunControl {
         cancel: Some(job.cancel_flag()),
         on_round: Some(&on_round),
+        rounds: Some(&recorder),
     };
     let engine = GatedEngine {
         inner: &session,
@@ -329,6 +479,8 @@ fn execute_job(
                     round_sizes: o.round_sizes,
                     elapsed,
                     stats,
+                    round_reports: recorder.take(),
+                    profiles: session.take_profiles(),
                 })
             }
             Err(e) => Err(e.to_string()),
@@ -371,6 +523,7 @@ mod tests {
                 algo: AlgoKind::Rc,
                 input: "edges".into(),
                 seed: 11,
+                profile: false,
             })
             .unwrap();
         assert_eq!(job.wait(), JobStatus::Done);
@@ -388,6 +541,113 @@ mod tests {
         // The job's session cleaned up after itself: only the shared
         // input remains, and its space is the only live space.
         assert_eq!(service.cluster().table_names(), vec!["edges".to_string()]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn profiled_job_carries_round_reports_and_statement_profiles() {
+        let service = Service::start(ServiceConfig::default());
+        load_edges(&service, "edges", &[(1, 2), (2, 3), (3, 1), (4, 5), (9, 9)]);
+        let job = service
+            .submit(JobSpec {
+                algo: AlgoKind::Rc,
+                input: "edges".into(),
+                seed: 11,
+                profile: true,
+            })
+            .unwrap();
+        assert_eq!(job.wait(), JobStatus::Done);
+        let result = job.result().unwrap();
+        // One report per algorithm round, and the per-round statement
+        // counts sum to the session's whole-run statement count.
+        assert_eq!(result.round_reports.len(), result.rounds);
+        for (i, r) in result.round_reports.iter().enumerate() {
+            assert_eq!(r.round, i + 1);
+            assert!(r.statements > 0, "round {} ran no statements", r.round);
+        }
+        let per_round: u64 = result.round_reports.iter().map(|r| r.statements).sum();
+        assert!(per_round <= result.stats.queries);
+        // Statement profiles were captured and carry operator detail.
+        assert!(!result.profiles.is_empty());
+        assert!(result
+            .profiles
+            .iter()
+            .any(|p| !p.root.ops.is_empty() || !p.root.children.is_empty()));
+        // An unprofiled job carries round reports but no profiles.
+        let job = service
+            .submit(JobSpec {
+                algo: AlgoKind::Rc,
+                input: "edges".into(),
+                seed: 12,
+                profile: false,
+            })
+            .unwrap();
+        assert_eq!(job.wait(), JobStatus::Done);
+        let result = job.result().unwrap();
+        assert_eq!(result.round_reports.len(), result.rounds);
+        assert!(result.profiles.is_empty());
+        service.shutdown();
+    }
+
+    #[test]
+    fn metrics_text_exposes_all_families() {
+        let service = Service::start(ServiceConfig::default());
+        load_edges(&service, "edges", &[(1, 2), (2, 3)]);
+        let session = service.session();
+        service
+            .run_sql(&session, "select v1, count(*) as d from edges group by v1")
+            .unwrap();
+        let job = service
+            .submit(JobSpec {
+                algo: AlgoKind::Bfs,
+                input: "edges".into(),
+                seed: 0,
+                profile: false,
+            })
+            .unwrap();
+        assert_eq!(job.wait(), JobStatus::Done);
+        let text = service.metrics_text();
+        for family in [
+            "incc_live_bytes",
+            "incc_max_live_bytes",
+            "incc_bytes_written_total",
+            "incc_rows_written_total",
+            "incc_network_bytes_total",
+            "incc_queries_total",
+            "incc_jobs_queued",
+            "incc_jobs{state=\"done\"} 1",
+            "incc_op_calls_total{op=\"aggregate\"}",
+            "incc_op_rows_in_total",
+            "incc_op_rows_out_total",
+            "incc_op_nanos_total",
+            "incc_op_vectorized_partitions_total",
+            "incc_op_generic_partitions_total",
+            "incc_statement_latency_seconds_bucket{le=\"+Inf\"}",
+            "incc_statement_latency_seconds_sum",
+            "incc_statement_latency_seconds_count",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        // Histogram invariants: +Inf bucket equals the total count and
+        // every HELP line has a TYPE line.
+        let count: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("incc_statement_latency_seconds_count "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(count > 0);
+        let inf: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("incc_statement_latency_seconds_bucket{le=\"+Inf\"} "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(inf, count);
+        assert_eq!(
+            text.matches("# HELP ").count(),
+            text.matches("# TYPE ").count()
+        );
         service.shutdown();
     }
 
@@ -410,6 +670,7 @@ mod tests {
                     algo,
                     input: "edges".into(),
                     seed: 3,
+                    profile: false,
                 })
                 .unwrap();
             assert_eq!(job.wait(), JobStatus::Done, "{algo:?}");
@@ -438,6 +699,7 @@ mod tests {
                 algo: AlgoKind::Rc,
                 input: "edges".into(),
                 seed: 0,
+                profile: false,
             })
             .unwrap_err();
         assert!(matches!(err, AdmissionError::SpaceBudget { .. }));
@@ -457,6 +719,7 @@ mod tests {
                 algo: AlgoKind::TwoPhase,
                 input: "no_such".into(),
                 seed: 0,
+                profile: false,
             })
             .unwrap();
         let found = service.job(job.id()).unwrap();
@@ -487,6 +750,7 @@ mod tests {
                         algo: AlgoKind::Bfs,
                         input: "edges".into(),
                         seed: s,
+                        profile: false,
                     })
                     .unwrap()
             })

@@ -63,6 +63,7 @@ fn sixteen_concurrent_clients_compute_correct_components() {
                         algo: AlgoKind::Rc,
                         input: "edges".into(),
                         seed: client as u64 + 1,
+                        profile: false,
                     })
                     .unwrap();
                 if client % 3 == 0 {
@@ -71,6 +72,7 @@ fn sixteen_concurrent_clients_compute_correct_components() {
                             algo: AlgoKind::TwoPhase,
                             input: "edges".into(),
                             seed: client as u64,
+                            profile: false,
                         })
                         .unwrap();
                     assert_eq!(extra.wait(), JobStatus::Done, "client {client} TP");

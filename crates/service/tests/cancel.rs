@@ -30,6 +30,7 @@ fn cancelling_a_running_job_frees_its_space() {
             algo: AlgoKind::HashToMin,
             input: "hmpath".into(),
             seed: 0,
+            profile: false,
         })
         .unwrap();
 
@@ -80,6 +81,7 @@ fn statement_timeout_fails_the_job_and_frees_its_space() {
             algo: AlgoKind::HashToMin,
             input: "hmpath".into(),
             seed: 0,
+            profile: false,
         })
         .unwrap();
     match job.wait() {

@@ -148,6 +148,56 @@ fn job_lifecycle_over_the_wire() {
 }
 
 #[test]
+fn observability_commands_over_the_wire() {
+    let (service, addr) = server();
+    service
+        .cluster()
+        .load_pairs("edges", "v1", "v2", &[(1, 2), (2, 3), (3, 1), (9, 9)])
+        .unwrap();
+    let mut c = Client::connect(addr);
+
+    // EXPLAIN ANALYZE renders the annotated tree and leaves a profile
+    // behind for `\profile last`.
+    let (_, err) = c.request("\\profile last");
+    assert!(err.starts_with("ERR no profile captured"), "{err}");
+    let (lines, ok) = c.request("explain analyze select v1, count(*) as d from edges group by v1");
+    assert!(ok.starts_with("OK "), "{ok}");
+    assert!(lines[0].starts_with("Statement:"), "{}", lines[0]);
+    assert!(lines.iter().any(|l| l.contains("time=")), "{lines:?}");
+    let (lines, ok) = c.request("\\profile last");
+    assert_eq!(ok, "OK 1");
+    assert!(lines[0].starts_with("{\"statement\": "), "{}", lines[0]);
+    assert!(lines[0].ends_with('}'), "{}", lines[0]);
+
+    // A profiled job exposes its envelope through `\profile <id>`.
+    let (_, ok) = c.request("\\job rc edges 5 profile");
+    let id: u64 = ok.strip_prefix("OK job ").unwrap().parse().unwrap();
+    let (_, done) = c.request(&format!("\\wait {id}"));
+    assert_eq!(done, "OK done");
+    let (lines, ok) = c.request(&format!("\\profile {id}"));
+    assert_eq!(ok, "OK 1");
+    let envelope = &lines[0];
+    assert!(envelope.starts_with(&format!("{{\"job\": {id}, \"algo\": \"rc\"")));
+    assert!(envelope.contains("\"round_reports\": [{\"round\": 1,"));
+    assert!(envelope.contains("\"profiles\": [{\"statement\": "));
+    let (_, err) = c.request("\\profile 999");
+    assert!(err.starts_with("ERR no such job"), "{err}");
+
+    // `\metrics` speaks Prometheus text format.
+    let (lines, ok) = c.request("\\metrics");
+    assert!(ok.starts_with("OK "), "{ok}");
+    assert!(lines.iter().any(|l| l.starts_with("incc_queries_total ")));
+    assert!(lines
+        .iter()
+        .any(|l| l.starts_with("incc_op_calls_total{op=\"aggregate\"} ")));
+    assert!(lines
+        .iter()
+        .any(|l| l.starts_with("incc_statement_latency_seconds_bucket{le=\"+Inf\"} ")));
+    assert!(lines.iter().any(|l| l == "incc_jobs{state=\"done\"} 1"));
+    c.request("\\quit");
+}
+
+#[test]
 fn stats_and_shared_tables_over_the_wire() {
     let (service, addr) = server();
     let mut c = Client::connect(addr);
@@ -160,12 +210,13 @@ fn stats_and_shared_tables_over_the_wire() {
     assert_eq!(ok, "OK shared off");
 
     let (lines, ok) = c.request("\\stats");
-    assert_eq!(ok, "OK 8");
+    assert_eq!(ok, "OK 11");
     assert!(lines.iter().any(|l| l.starts_with("bytes_written ")));
     assert!(lines.iter().any(|l| l.starts_with("queries ")));
+    assert!(lines.iter().any(|l| l.starts_with("p95_micros ")));
 
     let (lines, ok) = c.request("\\stats global");
-    assert_eq!(ok, "OK 6");
+    assert_eq!(ok, "OK 9");
     let live = lines
         .iter()
         .find_map(|l| l.strip_prefix("live_bytes "))

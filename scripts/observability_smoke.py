@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""CI smoke for the observability surface, over the real TCP protocol.
+
+Boots `incc-serve` on an ephemeral port and drives one session through
+the whole observability story:
+
+  EXPLAIN ANALYZE  -> annotated tree with per-operator time
+  \\profile last    -> QueryProfile JSON (must parse)
+  \\job ... profile -> \\profile <id> job envelope JSON (must parse,
+                      must carry round_reports and statement profiles)
+  \\metrics         -> Prometheus text with the expected families
+
+Exits non-zero on any missing piece, so a profile-layer regression
+fails the CI gate rather than only the unit suites.
+"""
+
+import json
+import socket
+import subprocess
+import sys
+import time
+
+SERVE = "target/release/incc-serve"
+
+EXPECTED_METRIC_FAMILIES = [
+    "incc_live_bytes",
+    "incc_bytes_written_total",
+    "incc_rows_written_total",
+    "incc_network_bytes_total",
+    "incc_queries_total",
+    "incc_jobs_queued",
+    'incc_jobs{state="done"}',
+    'incc_op_calls_total{op="',
+    'incc_op_nanos_total{op="',
+    'incc_statement_latency_seconds_bucket{le="+Inf"}',
+    "incc_statement_latency_seconds_sum",
+    "incc_statement_latency_seconds_count",
+]
+
+
+class Client:
+    def __init__(self, addr):
+        host, port = addr.rsplit(":", 1)
+        self.sock = socket.create_connection((host, int(port)), timeout=30)
+        self.rfile = self.sock.makefile("r", encoding="utf-8")
+        _, greeting = self._read()
+        assert greeting.startswith("OK incc session"), greeting
+
+    def _read(self):
+        data = []
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                raise RuntimeError("server hung up")
+            line = line.rstrip("\r\n")
+            if line.startswith("OK") or line.startswith("ERR"):
+                return data, line
+            data.append(line)
+
+    def request(self, req, want_ok=True):
+        self.sock.sendall((req + "\n").encode("utf-8"))
+        data, status = self._read()
+        if want_ok and not status.startswith("OK"):
+            raise RuntimeError(f"{req!r} -> {status}")
+        return data, status
+
+
+def main():
+    proc = subprocess.Popen(
+        [SERVE, "127.0.0.1:0"],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = proc.stderr.readline()
+        # "incc-serve: listening on 127.0.0.1:PORT (...)"
+        addr = banner.split("listening on ")[1].split()[0]
+        c = Client(addr)
+
+        # A small two-component graph, shared so jobs can see it.
+        c.request("\\shared on")
+        c.request(
+            "create table edges as "
+            "select 1 as v1, 2 as v2 union all select 2 as v1, 3 as v2 "
+            "union all select 3 as v1, 1 as v2 union all "
+            "select 10 as v1, 11 as v2 union all select 11 as v1, 12 as v2"
+        )
+        c.request("\\shared off")
+
+        # EXPLAIN ANALYZE executes and renders the annotated tree.
+        lines, _ = c.request(
+            "explain analyze select v1, least(v1, min(v2)) as r "
+            "from edges group by v1"
+        )
+        assert lines and lines[0].startswith("Statement:"), lines[:1]
+        assert any("time=" in l for l in lines), lines
+        assert any("rows=" in l for l in lines), lines
+
+        # The profile it captured must round-trip as JSON.
+        lines, _ = c.request("\\profile last")
+        profile = json.loads("\n".join(lines))
+        assert "select" in profile["statement"].lower(), profile
+        assert profile["plan"]["ops"], "profile carries no operators"
+
+        # A profiled job: round telemetry + per-statement profiles.
+        _, ok = c.request("\\job rc edges 7 profile")
+        job_id = ok.split()[-1]
+        c.request(f"\\wait {job_id}")
+        lines, _ = c.request(f"\\profile {job_id}")
+        envelope = json.loads("\n".join(lines))
+        assert envelope["algo"] == "rc", envelope
+        assert envelope["round_reports"], "job envelope has no round reports"
+        assert envelope["round_reports"][0]["round"] == 1
+        assert all(r["statements"] > 0 for r in envelope["round_reports"])
+        assert envelope["profiles"], "job envelope has no statement profiles"
+
+        # Metrics exposition carries every expected family.
+        lines, _ = c.request("\\metrics")
+        text = "\n".join(lines) + "\n"
+        missing = [f for f in EXPECTED_METRIC_FAMILIES if f not in text]
+        assert not missing, f"metric families missing: {missing}"
+        # Histogram sanity: +Inf bucket equals the total count.
+        inf = count = None
+        for line in lines:
+            if line.startswith('incc_statement_latency_seconds_bucket{le="+Inf"} '):
+                inf = int(line.split()[-1])
+            if line.startswith("incc_statement_latency_seconds_count "):
+                count = int(line.split()[-1])
+        assert inf is not None and inf == count, (inf, count)
+        assert count > 0, "no statement latencies recorded"
+
+        c.request("\\quit")
+        print(
+            f"observability smoke OK: explain-analyze tree, profile JSON, "
+            f"job {job_id} envelope ({len(envelope['round_reports'])} rounds, "
+            f"{len(envelope['profiles'])} statement profiles), "
+            f"{count} latencies in \\metrics"
+        )
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

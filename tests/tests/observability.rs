@@ -1,0 +1,145 @@
+//! Observability acceptance tests: query profiles must reconcile with
+//! the engine's operator statistics, and every algorithm must emit
+//! per-round telemetry with the paper's O(log |V|) round bound
+//! visible in it.
+
+use incc_core::bfs::BfsStrategy;
+use incc_core::cracker::Cracker;
+use incc_core::hash_to_min::HashToMin;
+use incc_core::two_phase::TwoPhase;
+use incc_core::{run_on_graph, CcAlgorithm, RandomisedContraction};
+use incc_graph::generators::{gnm_random_graph, path_graph, PathNumbering};
+use incc_mppdb::{Cluster, ClusterConfig, OpKind};
+
+/// Per-kind operator totals summed out of profile trees, indexed by
+/// `OpKind as usize` (the same cell index `Stats::charge_op` uses).
+type OpTotals = [[u64; 6]; OpKind::COUNT];
+
+/// The acceptance criterion for the profiling layer: the per-operator
+/// sums of every captured `QueryProfile` tree equal what
+/// `Stats::op_stats()` accumulated, and the statement-level resource
+/// deltas sum to the run's `StatsSnapshot` counters. `OpTimer::finish`
+/// charges both sides from one `OpMetrics` value, so any drift here
+/// means an operator bypassed the sink (as the CTAS store exchange
+/// once did).
+#[test]
+fn query_profiles_reconcile_with_op_stats() {
+    let db = Cluster::new(ClusterConfig::default());
+    db.set_profiling(true);
+    let graph = gnm_random_graph(60, 80, 5);
+    let report = run_on_graph(&RandomisedContraction::paper(), &db, &graph, 7).unwrap();
+    report.verify_against(&graph).unwrap();
+
+    // `run_on_graph` resets the run counters after loading the input,
+    // so op_stats reflect exactly the algorithm's statements — which
+    // are also exactly the statements whose profiles were captured.
+    let profiles = db.profiles();
+    assert!(!profiles.is_empty());
+    assert!(profiles.len() <= 256, "profile ring must stay bounded");
+
+    let mut totals: OpTotals = [[0; 6]; OpKind::COUNT];
+    let (mut bytes, mut rows, mut network) = (0u64, 0u64, 0u64);
+    for p in &profiles {
+        p.root.fold_ops(&mut |op| {
+            let t = &mut totals[op.kind as usize];
+            t[0] += 1;
+            t[1] += op.vectorized_parts;
+            t[2] += op.generic_parts;
+            t[3] += op.rows_in;
+            t[4] += op.rows_out;
+            t[5] += op.nanos;
+        });
+        bytes += p.bytes_written;
+        rows += p.rows_written;
+        network += p.network_bytes;
+    }
+
+    let ops = db.op_stats();
+    assert!(!ops.is_empty());
+    for o in &ops {
+        let t = totals[o.kind as usize];
+        let name = o.kind.name();
+        assert_eq!(t[0], o.calls, "{name} calls");
+        assert_eq!(t[1], o.vectorized_parts, "{name} vectorized parts");
+        assert_eq!(t[2], o.generic_parts, "{name} generic parts");
+        assert_eq!(t[3], o.rows_in, "{name} rows in");
+        assert_eq!(t[4], o.rows_out, "{name} rows out");
+        assert_eq!(t[5], o.nanos, "{name} nanos");
+    }
+    // No profiled operator family is missing from op_stats either.
+    for (i, t) in totals.iter().enumerate() {
+        if t[0] > 0 {
+            assert!(
+                ops.iter().any(|o| o.kind as usize == i),
+                "profiled op family {i} absent from op_stats"
+            );
+        }
+    }
+
+    // Statement-level deltas (bytes/rows written, exchange volume)
+    // tile the whole run: nothing outside a captured statement wrote.
+    let stats = db.stats();
+    assert_eq!(bytes, stats.bytes_written);
+    assert_eq!(rows, stats.rows_written);
+    assert_eq!(network, stats.network_bytes);
+}
+
+/// Theorem 1 made observable: RC's round trajectory is logarithmic in
+/// |V|, and the telemetry carries one report per algorithm round with
+/// the same working-set sizes the algorithm itself tracked.
+#[test]
+fn rc_round_telemetry_is_logarithmic() {
+    let db = Cluster::new(ClusterConfig::default());
+    let n = 512usize;
+    let graph = path_graph(n, PathNumbering::Sequential, 0);
+    let report = run_on_graph(&RandomisedContraction::paper(), &db, &graph, 42).unwrap();
+    report.verify_against(&graph).unwrap();
+
+    assert_eq!(report.round_reports.len(), report.rounds);
+    for (i, r) in report.round_reports.iter().enumerate() {
+        assert_eq!(r.round, i + 1);
+        assert!(r.statements > 0, "round {} ran no statements", r.round);
+        assert!(r.nanos > 0);
+    }
+    let sizes: Vec<usize> = report.round_reports.iter().map(|r| r.working_rows).collect();
+    assert_eq!(sizes, report.round_sizes);
+
+    // γ ≤ 3/4 per round gives E[rounds] ≈ log_{4/3} |V| ≈ 2.41·log2;
+    // allow generous slack for an unlucky seed.
+    let bound = 5.0 * (n as f64).log2();
+    assert!(
+        (report.rounds as f64) <= bound,
+        "RC took {} rounds on n={n} (bound {bound:.1})",
+        report.rounds
+    );
+}
+
+/// All five algorithms emit round telemetry through the same
+/// `RunControl::report_round` they already used for progress.
+#[test]
+fn every_algorithm_emits_round_reports() {
+    let algos: Vec<Box<dyn CcAlgorithm>> = vec![
+        Box::new(RandomisedContraction::paper()),
+        Box::new(HashToMin::default()),
+        Box::new(TwoPhase::default()),
+        Box::new(Cracker::default()),
+        Box::new(BfsStrategy::default()),
+    ];
+    let graph = gnm_random_graph(40, 50, 9);
+    for algo in &algos {
+        let db = Cluster::new(ClusterConfig::default());
+        let report = run_on_graph(algo.as_ref(), &db, &graph, 3).unwrap();
+        report.verify_against(&graph).unwrap();
+        assert!(
+            !report.round_reports.is_empty(),
+            "{} emitted no round reports",
+            report.algorithm
+        );
+        let mut last_round = 0;
+        for r in &report.round_reports {
+            assert!(r.round > last_round, "{} rounds not increasing", report.algorithm);
+            last_round = r.round;
+            assert!(r.statements > 0, "{} round {} ran no statements", report.algorithm, r.round);
+        }
+    }
+}
