@@ -42,6 +42,13 @@ step python3 -c 'import json; d = json.load(open("results/rounds_smoke.json")); 
 # incc-serve (bounded so a wedged server fails the run).
 step timeout 300 python3 scripts/observability_smoke.py
 
+# Chaos: all five algorithms must produce labels byte-identical to a
+# fault-free run under seeded panic/error/stall fault plans, both
+# in-process (harness) and over TCP against a live incc-serve with
+# INCC_FAULT_PLAN armed. Bounded: a retry loop that hangs is a failure.
+step timeout 300 cargo test -p integration-tests --test chaos
+step timeout 300 python3 scripts/chaos_smoke.py
+
 # The concurrency stress / cancellation / acceptance suites and the
 # 16-client TCP smoke driver, each bounded so a deadlock is a failure.
 step timeout 300 cargo test -p incc-service --test stress -- --nocapture

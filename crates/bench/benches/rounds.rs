@@ -72,13 +72,15 @@ fn record_json(graph_name: &str, report: &RunReport) -> String {
         let _ = write!(
             out,
             "{{\"round\": {}, \"working_rows\": {}, \"bytes_written\": {}, \
-             \"rows_written\": {}, \"network_bytes\": {}, \"statements\": {}, \"ms\": {:.3}}}",
+             \"rows_written\": {}, \"network_bytes\": {}, \"statements\": {}, \
+             \"retries\": {}, \"ms\": {:.3}}}",
             r.round,
             r.working_rows,
             r.bytes_written,
             r.rows_written,
             r.network_bytes,
             r.statements,
+            r.retries,
             r.nanos as f64 / 1e6,
         );
     }

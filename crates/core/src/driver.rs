@@ -29,6 +29,8 @@ pub struct RoundReport {
     pub network_bytes: u64,
     /// SQL statements the round executed.
     pub statements: u64,
+    /// Statement retries a recovery layer performed during the round.
+    pub retries: u64,
     /// Round wall time in nanoseconds (boundary to boundary).
     pub nanos: u64,
 }
@@ -88,6 +90,7 @@ impl<'a> RoundRecorder<'a> {
             rows_written: delta.rows_written,
             network_bytes: delta.network_bytes,
             statements: delta.queries,
+            retries: delta.retries,
             nanos,
         });
         st.last = snap;

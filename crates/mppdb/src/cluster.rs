@@ -57,6 +57,10 @@ pub struct ClusterConfig {
     /// parity test suite disables it to force the generic
     /// row-at-a-time path as a correctness oracle.
     pub vectorized: bool,
+    /// Deterministic fault injection plan (None = no faults, the
+    /// default). See [`crate::fault::FaultPlan`]; the chaos harness and
+    /// `INCC_FAULT_PLAN` drive this.
+    pub faults: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -68,6 +72,7 @@ impl Default for ClusterConfig {
             space_limit: 0,
             optimize: true,
             vectorized: true,
+            faults: None,
         }
     }
 }
@@ -132,6 +137,8 @@ pub struct Cluster {
     /// statements land here, in addition to the session's own
     /// histogram).
     latency: LatencyHistogram,
+    /// Fault injector built from `config.faults` (None = clean runs).
+    faults: Option<Arc<crate::fault::FaultInjector>>,
 }
 
 impl Cluster {
@@ -141,8 +148,10 @@ impl Cluster {
         let stats = Arc::new(Stats::new());
         stats.set_space_limit(config.space_limit);
         let pool = Arc::new(SegmentPool::new(config.segments));
+        let faults = config.faults.map(crate::fault::FaultInjector::new);
         Cluster {
             random_seq: AtomicU64::new(config.seed),
+            faults,
             config,
             catalog: RwLock::new(HashMap::new()),
             udfs: RwLock::new(HashMap::new()),
@@ -172,6 +181,18 @@ impl Cluster {
     pub fn session(self: &Arc<Self>) -> Session {
         let id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
         Session::new(self.clone(), SessionCore::fresh(id, self.stats.clone()))
+    }
+
+    /// The fault injector, when the cluster was configured with a
+    /// fault plan (exposes the injected-fault count for smoke checks).
+    pub fn fault_injector(&self) -> Option<&Arc<crate::fault::FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Charges one statement retry and its backoff pause to the
+    /// cluster-wide counters.
+    pub fn note_retry(&self, backoff: std::time::Duration) {
+        self.stats.count_retry(backoff);
     }
 
     /// The configuration this cluster was built with.
@@ -270,6 +291,10 @@ impl Cluster {
             cancel: Some(core.interrupt_handle()),
             deadline: core.timeout().map(|t| start + t),
         };
+        // Each statement execution claims a fresh fault-plan ordinal —
+        // a *retry* of a failed statement is a new execution, so its
+        // fault sites re-key and the retry can succeed.
+        let faults = self.faults.as_ref().map(|i| i.begin_statement());
         // Profile capture: on when the session asks for it, and always
         // for EXPLAIN ANALYZE. The stats snapshot taken here lets the
         // finished profile carry the statement's written/exchanged-byte
@@ -278,7 +303,7 @@ impl Cluster {
         let capture = core.profiling() || is_explain_analyze;
         let before = capture.then(|| core.stats.snapshot());
         let mut profile: Option<QueryProfile> = None;
-        let mut result = self.dispatch(core, stmt, guard, capture, &mut profile);
+        let mut result = self.dispatch(core, stmt, guard, faults, capture, &mut profile);
         let elapsed = start.elapsed();
         core.note_statement(elapsed);
         self.latency.record(elapsed.as_nanos() as u64);
@@ -301,6 +326,7 @@ impl Cluster {
         core: &SessionCore,
         stmt: Statement,
         guard: QueryGuard,
+        faults: Option<crate::fault::FaultContext>,
         capture: bool,
         profile: &mut Option<QueryProfile>,
     ) -> DbResult<QueryOutput> {
@@ -310,7 +336,7 @@ impl Cluster {
             Statement::Select(q) => {
                 let (plan, schema) = sql::plan_query_with_schema(&q, self)?;
                 let plan = self.maybe_optimize(plan);
-                let data = self.execute_plan(&plan, stats, guard, capture, profile)?;
+                let data = self.execute_plan(&plan, stats, guard, faults, capture, profile)?;
                 let mut rows = gather(&data);
                 if !q.order_by.is_empty() {
                     let keys: Vec<(usize, bool)> = q
@@ -351,7 +377,7 @@ impl Cluster {
                     // Executes for real; `run_in` replaces the empty
                     // text with the finished profile's rendering once
                     // the statement-level deltas are folded in.
-                    self.execute_plan(&plan, stats, guard, true, profile)?;
+                    self.execute_plan(&plan, stats, guard, faults, true, profile)?;
                     Ok(QueryOutput::Explain(String::new()))
                 } else {
                     Ok(QueryOutput::Explain(crate::plan::explain(&plan)))
@@ -366,10 +392,17 @@ impl Cluster {
                     ));
                 }
                 let plan = self.maybe_optimize(sql::plan_query(&query, self)?);
-                let data = self.execute_plan(&plan, stats, guard, capture, profile)?;
+                let data =
+                    self.execute_plan(&plan, stats, guard, faults.clone(), capture, profile)?;
                 let sink = capture.then(|| Arc::new(crate::trace::SpanSink::default()));
-                let rows =
-                    self.store_traced(stats, &name, data, distributed_by.as_deref(), sink.clone())?;
+                let rows = self.store_traced(
+                    stats,
+                    &name,
+                    data,
+                    distributed_by.as_deref(),
+                    sink.clone(),
+                    faults,
+                )?;
                 if let (Some(p), Some(sink)) = (profile.as_mut(), sink) {
                     // The store-side exchange belongs to the root node.
                     p.root.ops.extend(sink.take());
@@ -473,6 +506,7 @@ impl Cluster {
         plan: &crate::plan::Plan,
         stats: &Stats,
         guard: QueryGuard,
+        faults: Option<crate::fault::FaultContext>,
         capture: bool,
         profile: &mut Option<QueryProfile>,
     ) -> DbResult<PData> {
@@ -485,6 +519,7 @@ impl Cluster {
             segments: self.config.segments,
             guard,
             vectorized: self.config.vectorized,
+            faults,
         };
         if capture {
             let (data, root) = crate::plan::execute_profiled(plan, &ctx)?;
@@ -514,7 +549,7 @@ impl Cluster {
         data: PData,
         distributed_by: Option<&str>,
     ) -> DbResult<usize> {
-        self.store_traced(stats, name, data, distributed_by, None)
+        self.store_traced(stats, name, data, distributed_by, None, None)
     }
 
     /// [`Cluster::store_with`] plus an optional profiling sink: a
@@ -527,6 +562,7 @@ impl Cluster {
         data: PData,
         distributed_by: Option<&str>,
         trace: Option<Arc<crate::trace::SpanSink>>,
+        faults: Option<crate::fault::FaultContext>,
     ) -> DbResult<usize> {
         let name = name.to_ascii_lowercase();
         let data = match distributed_by {
@@ -542,6 +578,7 @@ impl Cluster {
                     guard: QueryGuard::default(),
                     vectorized: self.config.vectorized,
                     trace,
+                    faults,
                 };
                 crate::ops::ensure_distribution(data, &[idx], &octx)?
             }

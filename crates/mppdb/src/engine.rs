@@ -57,6 +57,11 @@ pub trait SqlEngine: Sync {
     /// [`Cluster`], session-scoped for a [`Session`].
     fn stats(&self) -> StatsSnapshot;
 
+    /// Notes one statement retry (and the backoff pause that preceded
+    /// it) on this engine's counters — called by recovery layers such
+    /// as the service's retry loop. Default: no accounting.
+    fn note_retry(&self, _backoff: std::time::Duration) {}
+
     /// Executes a `SELECT` and returns its rows.
     fn query(&self, sql_text: &str) -> DbResult<Vec<Vec<Datum>>> {
         match self.run(sql_text)? {
@@ -117,6 +122,10 @@ impl SqlEngine for Cluster {
     fn stats(&self) -> StatsSnapshot {
         Cluster::stats(self)
     }
+
+    fn note_retry(&self, backoff: std::time::Duration) {
+        Cluster::note_retry(self, backoff)
+    }
 }
 
 impl SqlEngine for Session {
@@ -160,6 +169,10 @@ impl SqlEngine for Session {
 
     fn stats(&self) -> StatsSnapshot {
         Session::stats(self)
+    }
+
+    fn note_retry(&self, backoff: std::time::Duration) {
+        Session::note_retry(self, backoff)
     }
 }
 

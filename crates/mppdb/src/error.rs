@@ -1,9 +1,44 @@
-//! Engine error type.
+//! Engine error type and the structured failure taxonomy.
+//!
+//! Every error classifies into one of four [`ErrorClass`]es, which is
+//! what retry/recovery layers act on: the service retries `Retryable`
+//! statements with backoff, surfaces `Fatal` ones immediately, and
+//! treats `Cancelled`/`Timeout` as deliberate interruption (never
+//! retried — the user or the deadline asked for it).
 
 use std::fmt;
 
 /// Result alias for all engine operations.
 pub type DbResult<T> = Result<T, DbError>;
+
+/// How a failure should be handled by layers above the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Transient: the same statement may succeed if re-run (a segment
+    /// worker panicked, an injected transient fault fired). Catalog
+    /// mutations are atomic under one write lock, so a failed statement
+    /// leaves no partial state and re-running is safe.
+    Retryable,
+    /// Deterministic: re-running the identical statement will fail the
+    /// same way (parse/plan/catalog errors, space limit).
+    Fatal,
+    /// The session's cancel flag was raised; stop, don't retry.
+    Cancelled,
+    /// The statement deadline passed; stop, don't retry.
+    Timeout,
+}
+
+impl ErrorClass {
+    /// Short lowercase name, used in job status lines and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorClass::Retryable => "retryable",
+            ErrorClass::Fatal => "fatal",
+            ErrorClass::Cancelled => "cancelled",
+            ErrorClass::Timeout => "timeout",
+        }
+    }
+}
 
 /// Errors produced by the catalog, SQL front end, planner or executor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,11 +61,30 @@ pub enum DbError {
         /// The configured limit.
         limit: u64,
     },
-    /// The statement was interrupted: its session was cancelled or its
-    /// deadline passed. The executor checks between operators, so a
+    /// The statement was interrupted: its session was cancelled. The
+    /// executor checks between operators and between partitions, so a
     /// long multi-join round stops promptly without corrupting the
     /// catalog (no partial table is ever stored).
     Cancelled(String),
+    /// The statement's deadline passed. Classified separately from
+    /// [`DbError::Cancelled`] so the service can report timeouts
+    /// distinctly, but [`DbError::is_cancelled`] covers both — to the
+    /// executor they are the same interrupt.
+    Timeout(String),
+    /// A partition task panicked on a segment worker. The pool catches
+    /// the unwind, converts it into this error, and stays usable — a
+    /// worker panic never deadlocks `run_parts` or poisons the queue.
+    SegmentPanic {
+        /// The partition (segment) whose task panicked.
+        segment: usize,
+        /// The operator kind that was executing (e.g. `"hash_join"`).
+        op: &'static str,
+        /// The panic payload, downcast to a string when possible.
+        payload: String,
+    },
+    /// A transient failure injected by the cluster's fault plan (or any
+    /// future source of genuinely transient faults). Retryable.
+    TransientFailure(String),
 }
 
 impl fmt::Display for DbError {
@@ -45,6 +99,12 @@ impl fmt::Display for DbError {
                 "space limit exceeded: needed {needed} bytes, limit {limit} bytes"
             ),
             DbError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            DbError::Timeout(m) => write!(f, "timeout: {m}"),
+            DbError::SegmentPanic { segment, op, payload } => write!(
+                f,
+                "segment panic: segment {segment} panicked in {op}: {payload}"
+            ),
+            DbError::TransientFailure(m) => write!(f, "transient failure: {m}"),
         }
     }
 }
@@ -60,7 +120,26 @@ impl DbError {
 
     /// True when the error is a cancellation or timeout interrupt.
     pub fn is_cancelled(&self) -> bool {
-        matches!(self, DbError::Cancelled(_))
+        matches!(self, DbError::Cancelled(_) | DbError::Timeout(_))
+    }
+
+    /// This error's failure class — what a recovery layer should do.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            DbError::SegmentPanic { .. } | DbError::TransientFailure(_) => ErrorClass::Retryable,
+            DbError::Cancelled(_) => ErrorClass::Cancelled,
+            DbError::Timeout(_) => ErrorClass::Timeout,
+            DbError::Catalog(_)
+            | DbError::Parse(_)
+            | DbError::Plan(_)
+            | DbError::Exec(_)
+            | DbError::SpaceLimitExceeded { .. } => ErrorClass::Fatal,
+        }
+    }
+
+    /// True when a re-run of the same statement may succeed.
+    pub fn is_retryable(&self) -> bool {
+        self.class() == ErrorClass::Retryable
     }
 }
 
@@ -76,5 +155,43 @@ mod tests {
         assert!(e.to_string().contains("10"));
         assert!(e.is_space_limit());
         assert!(!DbError::Exec("x".into()).is_space_limit());
+        let p = DbError::SegmentPanic {
+            segment: 3,
+            op: "hash_join",
+            payload: "boom".into(),
+        };
+        assert!(p.to_string().contains("segment 3"));
+        assert!(p.to_string().contains("hash_join"));
+    }
+
+    #[test]
+    fn taxonomy_classifies_every_variant() {
+        assert_eq!(DbError::Catalog("x".into()).class(), ErrorClass::Fatal);
+        assert_eq!(DbError::Parse("x".into()).class(), ErrorClass::Fatal);
+        assert_eq!(DbError::Plan("x".into()).class(), ErrorClass::Fatal);
+        assert_eq!(DbError::Exec("x".into()).class(), ErrorClass::Fatal);
+        assert_eq!(
+            DbError::SpaceLimitExceeded { needed: 1, limit: 0 }.class(),
+            ErrorClass::Fatal
+        );
+        assert_eq!(DbError::Cancelled("x".into()).class(), ErrorClass::Cancelled);
+        assert_eq!(DbError::Timeout("x".into()).class(), ErrorClass::Timeout);
+        let panic = DbError::SegmentPanic {
+            segment: 0,
+            op: "filter",
+            payload: "p".into(),
+        };
+        assert_eq!(panic.class(), ErrorClass::Retryable);
+        assert!(panic.is_retryable());
+        assert!(DbError::TransientFailure("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn timeout_still_counts_as_cancelled_interrupt() {
+        // Back-compat: the executor and session treat a deadline trip
+        // as a cancellation interrupt even though its class differs.
+        assert!(DbError::Timeout("deadline".into()).is_cancelled());
+        assert!(DbError::Cancelled("flag".into()).is_cancelled());
+        assert!(!DbError::Timeout("deadline".into()).is_retryable());
     }
 }

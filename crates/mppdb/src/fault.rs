@@ -1,0 +1,346 @@
+//! Deterministic, seedable fault injection for the executor.
+//!
+//! A [`FaultPlan`] (installed via `ClusterConfig::faults`) makes any
+//! operator on any segment panic, return a transient error, or stall
+//! for a fixed number of milliseconds. Decisions are keyed by
+//! `(query ordinal, op kind, segment id)` through a splitmix64-style
+//! hash of the plan's seed, so a given plan injects exactly the same
+//! faults at the same sites on every run — failures found by the chaos
+//! harness are reproducible by re-running with the same seed.
+//!
+//! Termination under retry is guaranteed two ways: each retry executes
+//! under a fresh query ordinal (so the same site is re-keyed), and the
+//! plan carries a `max_faults` budget after which injection stops
+//! entirely. With the budget exhausted every statement runs clean.
+//!
+//! When no plan is configured the per-partition hook is a single
+//! `Option` branch — the disabled cost the benchmarks hold to.
+
+use crate::error::{DbError, DbResult};
+use crate::stats::OpKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What an injected fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic the partition task (exercises the pool's unwind path).
+    Panic,
+    /// Return [`DbError::TransientFailure`] from the partition task.
+    Error,
+    /// Sleep for the plan's `stall_ms` before proceeding normally.
+    Stall,
+}
+
+/// A deterministic plan of injected faults.
+///
+/// Probabilities are per mille (0–1000) and are evaluated per fault
+/// site — one (query ordinal, op kind, segment) triple. They are
+/// checked in order panic → error → stall over one hash draw, so the
+/// three must sum to ≤ 1000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the site hash; same seed ⇒ same fault schedule.
+    pub seed: u64,
+    /// Per-mille probability a site panics.
+    pub panic_per_mille: u32,
+    /// Per-mille probability a site returns a transient error.
+    pub error_per_mille: u32,
+    /// Per-mille probability a site stalls for `stall_ms`.
+    pub stall_per_mille: u32,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// Total faults injected before the plan goes quiet. Bounds the
+    /// damage so retried work always terminates.
+    pub max_faults: u64,
+}
+
+impl FaultPlan {
+    /// A plan injecting only panics.
+    pub fn panics(seed: u64, per_mille: u32, max_faults: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic_per_mille: per_mille,
+            error_per_mille: 0,
+            stall_per_mille: 0,
+            stall_ms: 0,
+            max_faults,
+        }
+    }
+
+    /// A plan injecting only transient errors.
+    pub fn errors(seed: u64, per_mille: u32, max_faults: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic_per_mille: 0,
+            error_per_mille: per_mille,
+            stall_per_mille: 0,
+            stall_ms: 0,
+            max_faults,
+        }
+    }
+
+    /// A plan injecting only stalls of `stall_ms` milliseconds.
+    pub fn stalls(seed: u64, per_mille: u32, stall_ms: u64, max_faults: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic_per_mille: 0,
+            error_per_mille: 0,
+            stall_per_mille: per_mille,
+            stall_ms,
+            max_faults,
+        }
+    }
+
+    /// Parses the `INCC_FAULT_PLAN` spec string: comma-separated
+    /// `key=value` pairs with keys `seed`, `panic`, `error`, `stall`
+    /// (per-mille probabilities), `stall_ms`, and `max` (fault budget).
+    ///
+    /// ```
+    /// use incc_mppdb::fault::FaultPlan;
+    /// let p = FaultPlan::parse("seed=7,panic=20,error=30,max=10").unwrap();
+    /// assert_eq!(p.seed, 7);
+    /// assert_eq!(p.panic_per_mille, 20);
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan {
+            seed: 0,
+            panic_per_mille: 0,
+            error_per_mille: 0,
+            stall_per_mille: 0,
+            stall_ms: 1,
+            max_faults: u64::MAX,
+        };
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan: expected key=value, got {part:?}"))?;
+            let parse_u64 =
+                |v: &str| v.trim().parse::<u64>().map_err(|_| format!("fault plan: bad number in {part:?}"));
+            match key.trim() {
+                "seed" => plan.seed = parse_u64(value)?,
+                "panic" => plan.panic_per_mille = parse_u64(value)? as u32,
+                "error" => plan.error_per_mille = parse_u64(value)? as u32,
+                "stall" => plan.stall_per_mille = parse_u64(value)? as u32,
+                "stall_ms" => plan.stall_ms = parse_u64(value)?,
+                "max" => plan.max_faults = parse_u64(value)?,
+                other => return Err(format!("fault plan: unknown key {other:?}")),
+            }
+        }
+        if plan.panic_per_mille + plan.error_per_mille + plan.stall_per_mille > 1000 {
+            return Err("fault plan: probabilities sum over 1000 per mille".into());
+        }
+        Ok(plan)
+    }
+}
+
+/// The shared, run-scoped side of a plan: the per-statement ordinal
+/// and the remaining fault budget. One per cluster.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    query_seq: AtomicU64,
+    injected: AtomicU64,
+}
+
+/// splitmix64 finalizer — a cheap, well-mixed 64-bit hash.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// Wraps a plan for injection.
+    pub fn new(plan: FaultPlan) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            plan,
+            query_seq: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Claims the next statement ordinal. Called once per executed
+    /// statement (retries claim fresh ordinals, re-keying their sites).
+    pub fn begin_statement(self: &Arc<Self>) -> FaultContext {
+        FaultContext {
+            injector: self.clone(),
+            query: self.query_seq.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// The deterministic decision for one site, honouring the budget.
+    fn decide(&self, query: u64, op: OpKind, segment: usize) -> Option<FaultAction> {
+        let p = &self.plan;
+        let total = p.panic_per_mille + p.error_per_mille + p.stall_per_mille;
+        if total == 0 {
+            return None;
+        }
+        let h = mix(
+            p.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(mix(query))
+                .wrapping_add(mix(((op as u64) << 32) | segment as u64)),
+        );
+        let draw = (h % 1000) as u32;
+        let action = if draw < p.panic_per_mille {
+            FaultAction::Panic
+        } else if draw < p.panic_per_mille + p.error_per_mille {
+            FaultAction::Error
+        } else if draw < total {
+            FaultAction::Stall
+        } else {
+            return None;
+        };
+        // Claim a unit of budget; sites past the budget run clean, so
+        // retried statements eventually complete no matter the odds.
+        let claimed = self
+            .injected
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < p.max_faults).then_some(n + 1)
+            })
+            .is_ok();
+        claimed.then_some(action)
+    }
+}
+
+/// One statement's view of the injector, cloned into `'static`
+/// partition closures. [`FaultContext::check`] is called at the top of
+/// every partition task, right after the cancellation guard.
+#[derive(Debug, Clone)]
+pub struct FaultContext {
+    injector: Arc<FaultInjector>,
+    query: u64,
+}
+
+impl FaultContext {
+    /// Fires the planned fault for this site, if any: returns a
+    /// transient error, panics, or stalls then returns `Ok`.
+    pub fn check(&self, op: OpKind, segment: usize) -> DbResult<()> {
+        match self.injector.decide(self.query, op, segment) {
+            None => Ok(()),
+            Some(FaultAction::Stall) => {
+                std::thread::sleep(std::time::Duration::from_millis(self.injector.plan.stall_ms));
+                Ok(())
+            }
+            Some(FaultAction::Error) => Err(DbError::TransientFailure(format!(
+                "injected fault at query {} op {} segment {segment}",
+                self.query,
+                op.name()
+            ))),
+            Some(FaultAction::Panic) => panic!(
+                "injected fault at query {} op {} segment {segment}",
+                self.query,
+                op.name()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_site() {
+        let a = FaultInjector::new(FaultPlan::errors(42, 500, u64::MAX));
+        let b = FaultInjector::new(FaultPlan::errors(42, 500, u64::MAX));
+        for query in 0..8 {
+            for seg in 0..8 {
+                assert_eq!(
+                    a.decide(query, OpKind::Join, seg),
+                    b.decide(query, OpKind::Join, seg),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultInjector::new(FaultPlan::errors(1, 500, u64::MAX));
+        let b = FaultInjector::new(FaultPlan::errors(2, 500, u64::MAX));
+        let schedule = |inj: &FaultInjector| -> Vec<bool> {
+            (0..64)
+                .map(|q| inj.decide(q, OpKind::Filter, (q % 8) as usize).is_some())
+                .collect()
+        };
+        assert_ne!(schedule(&a), schedule(&b));
+    }
+
+    #[test]
+    fn budget_caps_total_injections() {
+        let inj = FaultInjector::new(FaultPlan::errors(7, 1000, 3));
+        let mut fired = 0;
+        for q in 0..100 {
+            if inj.decide(q, OpKind::Project, 0).is_some() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 3);
+        assert_eq!(inj.injected(), 3);
+    }
+
+    #[test]
+    fn probabilities_partition_the_draw() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 9,
+            panic_per_mille: 300,
+            error_per_mille: 300,
+            stall_per_mille: 300,
+            stall_ms: 1,
+            max_faults: u64::MAX,
+        });
+        let mut counts = [0usize; 4];
+        for q in 0..2000 {
+            match inj.decide(q, OpKind::Distinct, 3) {
+                Some(FaultAction::Panic) => counts[0] += 1,
+                Some(FaultAction::Error) => counts[1] += 1,
+                Some(FaultAction::Stall) => counts[2] += 1,
+                None => counts[3] += 1,
+            }
+        }
+        // ~30% each with a well-mixed hash; just require all occur.
+        assert!(counts.iter().all(|&c| c > 0), "counts {counts:?}");
+    }
+
+    #[test]
+    fn spec_string_round_trips() {
+        let p = FaultPlan::parse("seed=11, panic=5, error=10, stall=15, stall_ms=2, max=8").unwrap();
+        assert_eq!(
+            p,
+            FaultPlan {
+                seed: 11,
+                panic_per_mille: 5,
+                error_per_mille: 10,
+                stall_per_mille: 15,
+                stall_ms: 2,
+                max_faults: 8,
+            }
+        );
+        assert!(FaultPlan::parse("bogus").is_err());
+        assert!(FaultPlan::parse("seed=x").is_err());
+        assert!(FaultPlan::parse("panic=600,error=600").is_err());
+    }
+
+    #[test]
+    fn check_returns_transient_error() {
+        let inj = FaultInjector::new(FaultPlan::errors(3, 1000, u64::MAX));
+        let ctx = inj.begin_statement();
+        let err = ctx.check(OpKind::Repartition, 0).unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+    }
+}

@@ -50,11 +50,13 @@ mod engine;
 mod error;
 mod exec;
 mod expr;
+pub mod fault;
 pub mod kernels;
 mod ops;
 pub mod optimizer;
 mod plan;
 pub mod pool;
+pub mod retry;
 mod schema;
 mod session;
 pub mod sql;
@@ -66,10 +68,12 @@ mod value;
 pub use batch::{Batch, Column, SelVec};
 pub use cluster::{Cluster, ClusterConfig, ExecutionProfile, QueryOutput, ScalarUdf};
 pub use engine::SqlEngine;
-pub use error::{DbError, DbResult};
+pub use error::{DbError, DbResult, ErrorClass};
+pub use fault::{FaultContext, FaultInjector, FaultPlan};
 pub use expr::Expr;
 pub use plan::QueryGuard;
 pub use pool::SegmentPool;
+pub use retry::RetryPolicy;
 pub use schema::{Field, Schema};
 pub use session::Session;
 pub use stats::StatsSnapshot;

@@ -83,6 +83,18 @@ pub struct OpCtx<'a> {
     /// overhead; when set, every operator invocation flushes one
     /// [`OpProfile`] record into it.
     pub trace: Option<Arc<SpanSink>>,
+    /// Fault injection for this statement. `None` (the default) costs
+    /// one branch per partition task; when set, every partition task
+    /// consults the plan right after its cancellation check.
+    pub faults: Option<crate::fault::FaultContext>,
+}
+
+/// One-branch fault hook for partition tasks.
+fn inject(faults: &Option<crate::fault::FaultContext>, op: OpKind, segment: usize) -> DbResult<()> {
+    match faults {
+        Some(f) => f.check(op, segment),
+        None => Ok(()),
+    }
 }
 
 /// Per-operator timing scope: created on entry, finished with the
@@ -306,9 +318,11 @@ pub fn project(input: PData, exprs: &[(Expr, Field)], ctx: &OpCtx<'_>) -> DbResu
     };
     let exprs: Arc<Vec<(Expr, Field)>> = Arc::new(exprs.to_vec());
     let guard = ctx.guard.clone();
+    let faults = ctx.faults.clone();
     let gen_parts = timer.gen_parts.clone();
-    let parts = ctx.pool.run_parts(input.parts, move |part_id, batch| {
+    let parts = ctx.pool.run_parts_labeled("project", input.parts, move |part_id, batch| {
         guard.check()?;
+        inject(&faults, OpKind::Project, part_id)?;
         gen_parts.fetch_add(1, Ordering::Relaxed);
         let mut cols = Vec::with_capacity(exprs.len());
         for (e, _) in exprs.iter() {
@@ -328,9 +342,11 @@ pub fn filter(input: PData, pred: &Expr, ctx: &OpCtx<'_>) -> DbResult<PData> {
     let timer = OpTimer::new(OpKind::Filter, total_rows(&input.parts));
     let pred = pred.clone();
     let guard = ctx.guard.clone();
+    let faults = ctx.faults.clone();
     let vec_parts = timer.vec_parts.clone();
-    let parts = ctx.pool.run_parts(input.parts, move |part_id, batch| {
+    let parts = ctx.pool.run_parts_labeled("filter", input.parts, move |part_id, batch| {
         guard.check()?;
+        inject(&faults, OpKind::Filter, part_id)?;
         vec_parts.fetch_add(1, Ordering::Relaxed);
         let mask = pred.eval_predicate(&batch, part_id)?;
         let sel: SelVec = mask
@@ -359,11 +375,14 @@ pub fn repartition_hash(input: PData, key_cols: &[usize], ctx: &OpCtx<'_>) -> Db
     let PData { schema, parts: in_parts, dist: _ } = input;
     let keys: Arc<Vec<usize>> = Arc::new(key_cols.to_vec());
     let guard = ctx.guard.clone();
+    let faults = ctx.faults.clone();
     let vectorized = ctx.vectorized;
     let vec_parts = timer.vec_parts.clone();
     let gen_parts = timer.gen_parts.clone();
-    let bucketed: Vec<(u64, Vec<Batch>)> = ctx.pool.run_parts(in_parts, move |_, batch| {
+    let bucketed: Vec<(u64, Vec<Batch>)> =
+        ctx.pool.run_parts_labeled("repartition", in_parts, move |part_id, batch| {
         guard.check()?;
+        inject(&faults, OpKind::Repartition, part_id)?;
         let int_keys = if vectorized {
             keys.iter().map(|&c| batch.column(c).as_int_parts()).collect::<Option<Vec<_>>>()
         } else {
@@ -407,7 +426,7 @@ pub fn repartition_hash(input: PData, key_cols: &[usize], ctx: &OpCtx<'_>) -> Db
         }
     }
     let guard = ctx.guard.clone();
-    let parts = ctx.pool.run_parts(per_dest, move |_, batches| {
+    let parts = ctx.pool.run_parts_labeled("repartition", per_dest, move |_, batches| {
         guard.check()?;
         Ok(Batch::concat_owned(batches))
     })?;
@@ -469,11 +488,13 @@ pub fn aggregate(
     let agg_types_arc: Arc<Vec<DataType>> = Arc::new(agg_types);
     let group: Arc<Vec<usize>> = Arc::new(group_cols.to_vec());
     let guard = ctx.guard.clone();
+    let faults = ctx.faults.clone();
     let vectorized = ctx.vectorized;
     let vec_parts = timer.vec_parts.clone();
     let gen_parts = timer.gen_parts.clone();
-    let parts = ctx.pool.run_parts(data.parts, move |part_id, batch| {
+    let parts = ctx.pool.run_parts_labeled("aggregate", data.parts, move |part_id, batch| {
         guard.check()?;
+        inject(&faults, OpKind::Aggregate, part_id)?;
         // Evaluate agg inputs once per partition.
         let mut agg_inputs = Vec::with_capacity(aggs.len());
         for a in aggs.iter() {
@@ -581,8 +602,11 @@ fn global_aggregate(
     let aggs_arc: Arc<Vec<AggExpr>> = Arc::new(aggs.to_vec());
     let types_arc: Arc<Vec<DataType>> = Arc::new(agg_types.to_vec());
     let guard = ctx.guard.clone();
-    let partials: Vec<Vec<AggState>> = ctx.pool.run_parts(input.parts, move |part_id, batch| {
+    let faults = ctx.faults.clone();
+    let partials: Vec<Vec<AggState>> =
+        ctx.pool.run_parts_labeled("aggregate", input.parts, move |part_id, batch| {
         guard.check()?;
+        inject(&faults, OpKind::Aggregate, part_id)?;
         let mut states: Vec<AggState> = aggs_arc
             .iter()
             .zip(types_arc.iter())
@@ -657,11 +681,13 @@ pub fn hash_join(
     let l_keys_arc: Arc<Vec<usize>> = Arc::new(l_keys.to_vec());
     let r_keys_arc: Arc<Vec<usize>> = Arc::new(r_keys.to_vec());
     let guard = ctx.guard.clone();
+    let faults = ctx.faults.clone();
     let vectorized = ctx.vectorized;
     let vec_parts = timer.vec_parts.clone();
     let gen_parts = timer.gen_parts.clone();
-    let parts = ctx.pool.run_parts(pairs, move |_, (lb, rb)| {
+    let parts = ctx.pool.run_parts_labeled("join", pairs, move |part_id, (lb, rb)| {
         guard.check()?;
+        inject(&faults, OpKind::Join, part_id)?;
         let left_outer = matches!(join_type, JoinType::LeftOuter);
         // Vectorized tier: a single Int64 key on both sides. Build and
         // probe run over raw slices; matches land in two `u32`
@@ -759,11 +785,13 @@ pub fn distinct(input: PData, ctx: &OpCtx<'_>) -> DbResult<PData> {
     let data = ensure_distribution(input, &all_cols, ctx)?;
     let all_arc: Arc<Vec<usize>> = Arc::new(all_cols);
     let guard = ctx.guard.clone();
+    let faults = ctx.faults.clone();
     let vectorized = ctx.vectorized;
     let vec_parts = timer.vec_parts.clone();
     let gen_parts = timer.gen_parts.clone();
-    let parts = ctx.pool.run_parts(data.parts, move |_, batch| {
+    let parts = ctx.pool.run_parts_labeled("distinct", data.parts, move |part_id, batch| {
         guard.check()?;
+        inject(&faults, OpKind::Distinct, part_id)?;
         // Vectorized tier: one or two Int64 columns — the vertex and
         // edge table shapes every contraction round deduplicates.
         let sel = if vectorized {
@@ -815,6 +843,9 @@ pub fn union_all(a: PData, b: PData, ctx: &OpCtx<'_>) -> DbResult<PData> {
         OpKind::UnionAll,
         total_rows(&a.parts) + total_rows(&b.parts),
     );
+    // No pool fan-out here, but keep union_all a fault site too (panics
+    // are caught one level up, at the statement boundary).
+    inject(&ctx.faults, OpKind::UnionAll, 0)?;
     let dist = if a.dist == b.dist { a.dist.clone() } else { Distribution::Arbitrary };
     let schema = a.schema;
     let n = a.parts.len().max(b.parts.len());
@@ -908,6 +939,7 @@ mod tests {
                 guard: QueryGuard::default(),
                 vectorized: true,
                 trace: None,
+                faults: None,
             }
         }
     }

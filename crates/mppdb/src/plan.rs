@@ -250,7 +250,7 @@ impl QueryGuard {
         }
         if let Some(deadline) = self.deadline {
             if std::time::Instant::now() >= deadline {
-                return Err(DbError::Cancelled("statement deadline exceeded".into()));
+                return Err(DbError::Timeout("statement deadline exceeded".into()));
             }
         }
         Ok(())
@@ -277,6 +277,9 @@ pub struct ExecContext<'a> {
     /// (false forces the generic row-at-a-time path — the parity
     /// suite's oracle mode).
     pub vectorized: bool,
+    /// Fault injection for this statement (None ⇒ no faults — the
+    /// common path costs one branch per partition).
+    pub faults: Option<crate::fault::FaultContext>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -290,6 +293,7 @@ impl<'a> ExecContext<'a> {
             guard: self.guard.clone(),
             vectorized: self.vectorized,
             trace: None,
+            faults: self.faults.clone(),
         }
     }
 }
@@ -400,6 +404,7 @@ mod tests {
                 segments: 2,
                 guard: QueryGuard::default(),
                 vectorized: true,
+                faults: None,
             },
         )
     }
@@ -420,6 +425,7 @@ mod tests {
             segments: 2,
             guard: QueryGuard { cancel: Some(flag), deadline: None },
             vectorized: true,
+            faults: None,
         };
         let err = execute(&Plan::Scan { table: "t".into() }, &ctx).unwrap_err();
         assert!(err.is_cancelled());
@@ -439,6 +445,7 @@ mod tests {
             segments: 2,
             guard: QueryGuard { cancel: None, deadline: Some(past) },
             vectorized: true,
+            faults: None,
         };
         let err = execute(&Plan::Scan { table: "t".into() }, &ctx).unwrap_err();
         assert!(err.is_cancelled());

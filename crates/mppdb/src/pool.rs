@@ -7,7 +7,7 @@
 //! reused for the cluster's whole lifetime; an operator hands it one
 //! closure per partition and gets the results back in input order.
 //!
-//! Two properties shape the design:
+//! Three properties shape the design:
 //!
 //! * **No `unsafe`.** The crate forbids it, which rules out the classic
 //!   lifetime-erased scoped pool. Instead every submitted task is fully
@@ -20,22 +20,49 @@
 //!   pool worker (a service job running a query on the shared pool), so
 //!   sharing the pool between operators and job execution cannot
 //!   deadlock.
+//! * **Panic safety.** A panicking partition task is caught, its
+//!   `remaining` count still decremented and the caller's condvar still
+//!   woken, and the panic surfaces as
+//!   [`DbError::SegmentPanic`] — an ordinary, *retryable* error —
+//!   rather than unwinding through the caller. Every lock acquisition
+//!   recovers from mutex poisoning (the protected state is only ever
+//!   mutated to completion-or-slot-filled, so a poisoned lock carries
+//!   no torn data), and [`SegmentPool::respawn_dead`] replaces any
+//!   worker thread that has died, so one bad task can never wedge or
+//!   shrink the pool for unrelated sessions.
 //!
-//! Panic and error semantics match the old scoped executor: the first
-//! panicking partition re-raises on the caller via
-//! [`std::panic::resume_unwind`]; otherwise the first `Err` in
-//! partition order wins.
+//! Error precedence within one `run_parts`: the first failing partition
+//! in *partition order* wins, whether it failed with `Err` or a panic.
 
-use crate::error::DbResult;
+use crate::error::{DbError, DbResult};
 use std::any::Any;
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// A detached unit of work for the pool.
 pub type Ticket = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// Everything the pool protects is valid at every lock release point
+/// (slot writes and counter decrements are single statements), so the
+/// poison flag carries no information here — recovery is always safe.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Renders a panic payload for [`DbError::SegmentPanic`].
+fn panic_payload(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 struct PoolShared {
     queue: Mutex<VecDeque<Ticket>>,
@@ -72,15 +99,7 @@ impl SegmentPool {
             available: Condvar::new(),
             stop: AtomicBool::new(false),
         });
-        let handles = (0..n_workers)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("segment-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn segment worker")
-            })
-            .collect();
+        let handles = (0..n_workers).map(|i| spawn_worker(&shared, i)).collect();
         SegmentPool { shared, workers: Mutex::new(handles), n_workers }
     }
 
@@ -89,22 +108,63 @@ impl SegmentPool {
         self.n_workers
     }
 
+    /// Self-check: replaces any worker thread that has exited (a panic
+    /// escaping `worker_loop`'s own bookkeeping — tasks themselves are
+    /// caught). Returns how many workers were respawned. Called from
+    /// [`SegmentPool::spawn`] and [`SegmentPool::run_parts`], so the
+    /// pool heals itself on the next use rather than silently shrinking.
+    pub fn respawn_dead(&self) -> usize {
+        if self.shared.stop.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let mut workers = lock_ok(&self.workers);
+        let mut respawned = 0;
+        for (i, slot) in workers.iter_mut().enumerate() {
+            if slot.is_finished() {
+                let fresh = spawn_worker(&self.shared, i);
+                let dead = std::mem::replace(slot, fresh);
+                let _ = dead.join();
+                respawned += 1;
+            }
+        }
+        respawned
+    }
+
     /// Enqueues a detached task, or hands it back if the pool has shut
     /// down.
     pub fn spawn(&self, task: Ticket) -> Result<(), Ticket> {
         if self.shared.stop.load(Ordering::Relaxed) {
             return Err(task);
         }
-        self.shared.queue.lock().unwrap().push_back(task);
+        self.respawn_dead();
+        lock_ok(&self.shared.queue).push_back(task);
         self.shared.available.notify_one();
         Ok(())
+    }
+
+    /// [`SegmentPool::run_parts_labeled`] with the generic label
+    /// `"task"` — for callers outside the operator layer.
+    pub fn run_parts<T, U, F>(&self, items: Vec<T>, f: F) -> DbResult<Vec<U>>
+    where
+        T: Send + 'static,
+        U: Send + 'static,
+        F: Fn(usize, T) -> DbResult<U> + Send + Sync + 'static,
+    {
+        self.run_parts_labeled("task", items, f)
     }
 
     /// Runs `f` over the items — one task per partition — on the pool
     /// workers *and* the calling thread, returning results in input
     /// order. Single-item and empty inputs run inline with no
-    /// synchronisation at all.
-    pub fn run_parts<T, U, F>(&self, items: Vec<T>, f: F) -> DbResult<Vec<U>>
+    /// synchronisation at all. A panicking partition yields
+    /// `Err(DbError::SegmentPanic { op, .. })` with this call's `op`
+    /// label; the first failing partition in partition order wins.
+    pub fn run_parts_labeled<T, U, F>(
+        &self,
+        op: &'static str,
+        items: Vec<T>,
+        f: F,
+    ) -> DbResult<Vec<U>>
     where
         T: Send + 'static,
         U: Send + 'static,
@@ -112,8 +172,20 @@ impl SegmentPool {
     {
         let n = items.len();
         if n <= 1 {
-            return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                    Ok(r) => r,
+                    Err(p) => Err(DbError::SegmentPanic {
+                        segment: i,
+                        op,
+                        payload: panic_payload(&*p),
+                    }),
+                })
+                .collect();
         }
+        self.respawn_dead();
         let state = Arc::new(RunState {
             pending: Mutex::new(items.into_iter().enumerate().collect()),
             results: Mutex::new((0..n).map(|_| None).collect()),
@@ -130,15 +202,18 @@ impl SegmentPool {
             let _ = self.spawn(Box::new(move || drain_tasks(&state, &*f)));
         }
         drain_tasks(&state, &*f);
-        let mut remaining = state.remaining.lock().unwrap();
+        let mut remaining = lock_ok(&state.remaining);
         while *remaining > 0 {
-            remaining = state.done.wait(remaining).unwrap();
+            remaining = state
+                .done
+                .wait(remaining)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         drop(remaining);
-        let slots = std::mem::take(&mut *state.results.lock().unwrap());
+        let slots = std::mem::take(&mut *lock_ok(&state.results));
         let mut out = Vec::with_capacity(n);
         let mut first_err = None;
-        for slot in slots {
+        for (i, slot) in slots.into_iter().enumerate() {
             match slot.expect("completed run left an empty result slot") {
                 Ok(Ok(v)) => out.push(v),
                 Ok(Err(e)) => {
@@ -146,7 +221,15 @@ impl SegmentPool {
                         first_err = Some(e);
                     }
                 }
-                Err(panic) => resume_unwind(panic),
+                Err(panic) => {
+                    if first_err.is_none() {
+                        first_err = Some(DbError::SegmentPanic {
+                            segment: i,
+                            op,
+                            payload: panic_payload(&*panic),
+                        });
+                    }
+                }
             }
         }
         match first_err {
@@ -156,15 +239,26 @@ impl SegmentPool {
     }
 }
 
+fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> JoinHandle<()> {
+    let shared = shared.clone();
+    std::thread::Builder::new()
+        .name(format!("segment-worker-{i}"))
+        .spawn(move || worker_loop(&shared))
+        .expect("spawn segment worker")
+}
+
 /// Claims and executes tasks from one run until its pending queue is
-/// empty. Runs on workers and on the `run_parts` caller alike.
+/// empty. Runs on workers and on the `run_parts` caller alike. Panics
+/// are caught per task and recorded in the task's slot; `remaining` is
+/// decremented and the caller woken on every path, so a panicking
+/// partition can never leave `run_parts` waiting forever.
 fn drain_tasks<T, U>(state: &RunState<T, U>, f: &(dyn Fn(usize, T) -> DbResult<U> + Sync)) {
     loop {
-        let claimed = state.pending.lock().unwrap().pop_front();
+        let claimed = lock_ok(&state.pending).pop_front();
         let Some((i, item)) = claimed else { return };
         let outcome = catch_unwind(AssertUnwindSafe(|| f(i, item)));
-        state.results.lock().unwrap()[i] = Some(outcome);
-        let mut remaining = state.remaining.lock().unwrap();
+        lock_ok(&state.results)[i] = Some(outcome);
+        let mut remaining = lock_ok(&state.remaining);
         *remaining -= 1;
         if *remaining == 0 {
             state.done.notify_all();
@@ -175,7 +269,7 @@ fn drain_tasks<T, U>(state: &RunState<T, U>, f: &(dyn Fn(usize, T) -> DbResult<U
 fn worker_loop(shared: &PoolShared) {
     loop {
         let ticket = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = lock_ok(&shared.queue);
             loop {
                 if shared.stop.load(Ordering::Relaxed) {
                     return;
@@ -183,7 +277,10 @@ fn worker_loop(shared: &PoolShared) {
                 if let Some(t) = queue.pop_front() {
                     break t;
                 }
-                queue = shared.available.wait(queue).unwrap();
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
         };
         // A run_parts task records its own panics into the run state;
@@ -197,7 +294,7 @@ impl Drop for SegmentPool {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
         self.shared.available.notify_all();
-        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        let handles = std::mem::take(&mut *lock_ok(&self.workers));
         for h in handles {
             let _ = h.join();
         }
@@ -251,19 +348,103 @@ mod tests {
     }
 
     #[test]
-    fn panics_resurface_on_the_caller() {
+    fn panic_returns_segment_panic_error_instead_of_hanging() {
+        // Regression: a panicking partition used to re-raise on the
+        // caller (and, before that, wedge `run_parts` forever). It now
+        // surfaces as a retryable SegmentPanic naming the op and
+        // segment, and the pool keeps working.
         let pool = SegmentPool::new(2);
-        let caught = catch_unwind(AssertUnwindSafe(|| {
-            let _ = pool.run_parts(vec![1, 2, 3], |_, v| {
-                if v == 2 {
-                    panic!("partition blew up");
+        let r: DbResult<Vec<i32>> = pool.run_parts_labeled("hash_join", vec![1, 2, 3], |_, v| {
+            if v == 2 {
+                panic!("partition blew up");
+            }
+            Ok(v)
+        });
+        match r {
+            Err(DbError::SegmentPanic { segment, op, payload }) => {
+                assert_eq!(segment, 1);
+                assert_eq!(op, "hash_join");
+                assert!(payload.contains("partition blew up"));
+            }
+            other => panic!("expected SegmentPanic, got {other:?}"),
+        }
+        // The pool survives the panic and keeps working.
+        assert_eq!(pool.run_parts(vec![1, 2], |_, v| Ok(v)).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn inline_single_item_panic_is_also_an_error() {
+        let pool = SegmentPool::new(2);
+        let r: DbResult<Vec<i32>> =
+            pool.run_parts_labeled("filter", vec![1], |_, _| panic!("solo"));
+        match r {
+            Err(DbError::SegmentPanic { segment: 0, op: "filter", payload }) => {
+                assert!(payload.contains("solo"));
+            }
+            other => panic!("expected SegmentPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_in_earliest_partition_wins_over_later_error() {
+        let pool = SegmentPool::new(2);
+        let r: DbResult<Vec<i32>> = pool.run_parts_labeled("agg", vec![0, 1, 2, 3], |i, v| {
+            match i {
+                1 => panic!("partition one"),
+                2 => Err(DbError::Exec("partition two".into())),
+                _ => Ok(v),
+            }
+        });
+        match r {
+            Err(DbError::SegmentPanic { segment: 1, .. }) => {}
+            other => panic!("expected partition 1's panic to win, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pool_stays_usable_after_a_poisoned_task() {
+        // Poison the run-state mutexes deliberately: a panic *while the
+        // closure holds no pool lock* is the common case, but poisoning
+        // the shared queue itself must not kill later submissions
+        // either. We simulate the worst case by panicking inside a
+        // detached ticket (which runs under no pool lock) and inside
+        // run_parts closures, then verifying every pool entry point
+        // still works.
+        let pool = SegmentPool::new(2);
+        pool.spawn(Box::new(|| panic!("detached ticket panic"))).ok().unwrap();
+        for _ in 0..4 {
+            let _ = pool.run_parts_labeled("chaos", vec![1, 2, 3, 4], |i, v| {
+                if i % 2 == 0 {
+                    panic!("poison attempt");
                 }
                 Ok(v)
             });
-        }));
-        assert!(caught.is_err());
-        // The pool survives the panic and keeps working.
-        assert_eq!(pool.run_parts(vec![1, 2], |_, v| Ok(v)).unwrap(), vec![1, 2]);
+        }
+        // All entry points still function.
+        assert_eq!(pool.run_parts(vec![5, 6, 7], |_, v| Ok(v)).unwrap(), vec![5, 6, 7]);
+        assert!(pool.spawn(Box::new(|| {})).is_ok());
+    }
+
+    #[test]
+    fn respawn_dead_replaces_finished_workers() {
+        let pool = SegmentPool::new(2);
+        // Healthy pool: nothing to respawn.
+        assert_eq!(pool.respawn_dead(), 0);
+        // Forge a dead worker by swapping in a handle to a thread that
+        // exits immediately.
+        {
+            let mut workers = lock_ok(&pool.workers);
+            let dead = std::thread::spawn(|| {});
+            while !dead.is_finished() {
+                std::thread::yield_now();
+            }
+            // The displaced real worker detaches; it exits at shutdown
+            // when `stop` is raised and the condvar is notified.
+            let _ = std::mem::replace(&mut workers[0], dead);
+        }
+        assert_eq!(pool.respawn_dead(), 1);
+        assert_eq!(pool.respawn_dead(), 0);
+        assert_eq!(pool.run_parts(vec![1, 2, 3, 4], |_, v| Ok(v * 2)).unwrap(), vec![2, 4, 6, 8]);
     }
 
     #[test]

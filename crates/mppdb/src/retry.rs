@@ -1,0 +1,176 @@
+//! Capped-exponential-backoff retry for retryable statement failures.
+//!
+//! The taxonomy in [`crate::error`] marks segment panics and injected
+//! transient faults as [`crate::ErrorClass::Retryable`]: catalog
+//! mutations are atomic under one write lock, so a failed statement
+//! leaves no partial state and re-running it is always safe. This
+//! module supplies the policy — how many times, how long to wait — and
+//! a driver loop; the service layer applies it around every statement.
+//!
+//! Jitter is deterministic (a splitmix64 hash of the caller's salt and
+//! the attempt number), keeping retried chaos runs reproducible while
+//! still decorrelating concurrent sessions' backoff schedules.
+
+use crate::error::DbResult;
+use std::time::Duration;
+
+/// Retry policy: attempts and backoff shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt (0 disables retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff pause.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries, 2 ms base, 100 ms cap — bounded well under a
+    /// statement timeout while riding out a burst of injected faults.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(100),
+        }
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn disabled() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+
+    /// The pause before retry `attempt` (1-based): capped exponential
+    /// with deterministic jitter in the upper half of the window.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        let exp = self.base.saturating_mul(1u32 << shift).min(self.cap);
+        // Jitter in [exp/2, exp]: halve, then add a hashed fraction.
+        let half = exp / 2;
+        let nanos = half.as_nanos() as u64;
+        let jitter = if nanos == 0 {
+            0
+        } else {
+            mix(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(attempt as u64)) % nanos
+        };
+        half + Duration::from_nanos(jitter)
+    }
+
+    /// Runs `f`, retrying retryable failures up to `max_retries` times
+    /// with backoff. `note` observes each pause *before* sleeping (the
+    /// hook the service uses to charge retry counters). Fatal,
+    /// cancelled and timeout errors return immediately.
+    pub fn run<T>(
+        &self,
+        salt: u64,
+        mut note: impl FnMut(Duration),
+        mut f: impl FnMut() -> DbResult<T>,
+    ) -> DbResult<T> {
+        let mut attempt = 0u32;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < self.max_retries => {
+                    attempt += 1;
+                    let pause = self.backoff(attempt, salt);
+                    note(pause);
+                    std::thread::sleep(pause);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DbError;
+    use std::cell::Cell;
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let policy = RetryPolicy { base: Duration::from_micros(10), ..RetryPolicy::default() };
+        let attempts = Cell::new(0);
+        let pauses = Cell::new(0);
+        let out = policy.run(
+            1,
+            |_| pauses.set(pauses.get() + 1),
+            || {
+                attempts.set(attempts.get() + 1);
+                if attempts.get() < 3 {
+                    Err(DbError::TransientFailure("flaky".into()))
+                } else {
+                    Ok(attempts.get())
+                }
+            },
+        );
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(pauses.get(), 2);
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+        };
+        let attempts = Cell::new(0);
+        let out: DbResult<()> = policy.run(0, |_| {}, || {
+            attempts.set(attempts.get() + 1);
+            Err(DbError::TransientFailure("always".into()))
+        });
+        assert!(out.unwrap_err().is_retryable());
+        assert_eq!(attempts.get(), 3); // 1 try + 2 retries
+    }
+
+    #[test]
+    fn fatal_and_cancelled_never_retry() {
+        let policy = RetryPolicy::default();
+        for err in [DbError::Plan("bad".into()), DbError::Cancelled("stop".into())] {
+            let attempts = Cell::new(0);
+            let e = err.clone();
+            let out: DbResult<()> = policy.run(0, |_| {}, || {
+                attempts.set(attempts.get() + 1);
+                Err(e.clone())
+            });
+            assert_eq!(out.unwrap_err(), err);
+            assert_eq!(attempts.get(), 1);
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped_deterministic_and_jittered() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(16),
+        };
+        for attempt in 1..=10 {
+            let a = policy.backoff(attempt, 7);
+            assert_eq!(a, policy.backoff(attempt, 7), "deterministic for one salt");
+            assert!(a <= policy.cap);
+            assert!(a >= policy.base / 2, "attempt {attempt} pause {a:?}");
+        }
+        // Different salts decorrelate.
+        assert_ne!(policy.backoff(3, 1), policy.backoff(3, 2));
+    }
+
+    #[test]
+    fn disabled_policy_fails_fast() {
+        let out: DbResult<()> = RetryPolicy::disabled().run(0, |_| {}, || {
+            Err(DbError::TransientFailure("x".into()))
+        });
+        assert!(out.is_err());
+    }
+}

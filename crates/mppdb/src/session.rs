@@ -286,8 +286,35 @@ impl Session {
     }
 
     /// Executes one SQL statement in this session's namespace.
+    ///
+    /// If the statement is interrupted (cancel flag or timeout) while
+    /// the session is mid-transaction, the transaction is aborted:
+    /// namespace temp tables are dropped and deferred space credits
+    /// reclaimed, instead of leaking in the catalog until the session
+    /// closes. Ordinary errors leave tables alone — statements are
+    /// atomic, and a recovery layer may retry them.
     pub fn run(&self, sql_text: &str) -> DbResult<QueryOutput> {
-        self.cluster.run_in(&self.core, sql_text)
+        let result = self.cluster.run_in(&self.core, sql_text);
+        if let Err(e) = &result {
+            if e.is_cancelled() && self.core.stats.is_transactional() {
+                self.abort_transaction();
+            }
+        }
+        result
+    }
+
+    /// Aborts an open transaction after an interrupt: drops this
+    /// session's namespace temps, reclaims deferred space, and leaves
+    /// transaction mode. The session stays usable.
+    fn abort_transaction(&self) {
+        self.core.stats.set_transactional(false);
+        self.core.stats.commit();
+        let prefix = self.core.ns_prefix();
+        for name in self.cluster.table_names() {
+            if name.starts_with(&prefix) {
+                let _ = self.cluster.drop_table_with(&self.core.stats, &name);
+            }
+        }
     }
 
     /// Executes a `SELECT` and returns its rows.
@@ -361,6 +388,12 @@ impl Session {
     /// statements). These cover only work done through this session.
     pub fn stats(&self) -> StatsSnapshot {
         self.core.stats.snapshot()
+    }
+
+    /// Charges one statement retry and its backoff pause to this
+    /// session's counters (rolled up into the cluster's).
+    pub fn note_retry(&self, backoff: Duration) {
+        self.core.stats.count_retry(backoff);
     }
 
     /// Per-operator execution counters attributed to this session.
@@ -602,6 +635,51 @@ mod tests {
             s.query_scalar_i64("select count(*) as n from t").unwrap(),
             1
         );
+    }
+
+    #[test]
+    fn cancelled_ctas_mid_transaction_drops_namespace_temps() {
+        let c = cluster();
+        let s = c.session();
+        c.load_pairs("edges", "a", "b", &[(1, 2), (2, 3), (4, 5)])
+            .unwrap();
+        let shared = c.stats().live_bytes;
+        s.begin_transaction();
+        s.run("create table work as select a, b from edges").unwrap();
+        assert!(c.has_table(&s.temp_table_name("work")));
+        // A cancellation lands mid-transaction; the next statement (a
+        // CTAS over the temp) fails, and the aborted transaction must
+        // not leak `__sess…__` temps or their space in the catalog.
+        s.cancel();
+        let err = s
+            .run("create table work2 as select a from work")
+            .unwrap_err();
+        assert!(err.is_cancelled());
+        assert!(!c.has_table(&s.temp_table_name("work")));
+        assert!(!c.has_table(&s.temp_table_name("work2")));
+        assert_eq!(c.stats().live_bytes, shared);
+        assert_eq!(s.stats().live_bytes, 0);
+        // The session itself stays usable once the flag clears.
+        s.clear_interrupt();
+        assert_eq!(
+            s.query_scalar_i64("select count(*) as n from edges")
+                .unwrap(),
+            3
+        );
+        s.run("create table work as select a from edges").unwrap();
+        assert_eq!(s.row_count("work").unwrap(), 3);
+    }
+
+    #[test]
+    fn ordinary_errors_leave_session_temps_alone() {
+        let c = cluster();
+        let s = c.session();
+        s.run("create table keep as select 1 as v").unwrap();
+        // A fatal statement error (unknown table) must not trigger
+        // transaction-abort cleanup — statements are atomic and a
+        // recovery layer may retry them.
+        assert!(s.run("select v from nowhere").is_err());
+        assert_eq!(s.row_count("keep").unwrap(), 1);
     }
 
     #[test]

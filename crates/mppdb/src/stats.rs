@@ -25,6 +25,10 @@ pub struct Stats {
     rows_written: AtomicU64,
     network_bytes: AtomicU64,
     queries: AtomicU64,
+    /// Statement retries performed by a recovery layer (the service's
+    /// backoff loop), and total nanoseconds slept backing off.
+    retries: AtomicU64,
+    backoff_nanos: AtomicU64,
     space_limit: AtomicU64, // 0 = unlimited
     /// Transaction mode: dropped tables' space is not reclaimed until
     /// commit — the paper's Table V argument ("most databases delete
@@ -224,6 +228,11 @@ impl Stats {
         self.defer_credits.store(on, Ordering::Relaxed);
     }
 
+    /// Whether this instance is currently deferring drop credits.
+    pub fn is_transactional(&self) -> bool {
+        self.defer_credits.load(Ordering::Relaxed)
+    }
+
     /// Commits a transaction: reclaims all deferred space at once,
     /// here and in the parent roll-up.
     pub fn commit(&self) {
@@ -284,6 +293,16 @@ impl Stats {
         }
     }
 
+    /// Counts one statement retry and the backoff slept before it,
+    /// rolled up to the parent like every other counter.
+    pub fn count_retry(&self, backoff: std::time::Duration) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.backoff_nanos.fetch_add(backoff.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.count_retry(backoff);
+        }
+    }
+
     /// Current live bytes.
     pub fn live_bytes(&self) -> u64 {
         self.live_bytes.load(Ordering::Relaxed)
@@ -298,6 +317,8 @@ impl Stats {
             rows_written: self.rows_written.load(Ordering::Relaxed),
             network_bytes: self.network_bytes.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            backoff_nanos: self.backoff_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -312,6 +333,8 @@ impl Stats {
         self.rows_written.store(0, Ordering::Relaxed);
         self.network_bytes.store(0, Ordering::Relaxed);
         self.queries.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.backoff_nanos.store(0, Ordering::Relaxed);
         for cell in &self.op_cells {
             cell.calls.store(0, Ordering::Relaxed);
             cell.vectorized_parts.store(0, Ordering::Relaxed);
@@ -338,6 +361,10 @@ pub struct StatsSnapshot {
     pub network_bytes: u64,
     /// Statements executed.
     pub queries: u64,
+    /// Statement retries performed by a recovery layer.
+    pub retries: u64,
+    /// Total nanoseconds slept in retry backoff.
+    pub backoff_nanos: u64,
 }
 
 impl StatsSnapshot {
@@ -354,6 +381,8 @@ impl StatsSnapshot {
             rows_written: self.rows_written.saturating_sub(earlier.rows_written),
             network_bytes: self.network_bytes.saturating_sub(earlier.network_bytes),
             queries: self.queries.saturating_sub(earlier.queries),
+            retries: self.retries.saturating_sub(earlier.retries),
+            backoff_nanos: self.backoff_nanos.saturating_sub(earlier.backoff_nanos),
         }
     }
 }

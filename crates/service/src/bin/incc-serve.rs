@@ -2,20 +2,29 @@
 //!
 //! ```text
 //! incc-serve [addr] [--workers N] [--queue N] [--timeout-ms N] [--space-budget BYTES]
+//!            [--retries N]
 //! ```
 //!
 //! Listens on `addr` (default `127.0.0.1:7878`) and speaks the
 //! newline-delimited protocol of [`incc_service::server`]. Each
 //! connection gets its own isolated session; `\job` submissions share
 //! the service-wide worker pool.
+//!
+//! Chaos testing: when the `INCC_FAULT_PLAN` environment variable is
+//! set (e.g. `seed=7,panic=20,error=30,stall=10,stall_ms=2,max=25`),
+//! the cluster injects deterministic operator faults per
+//! [`incc_mppdb::FaultPlan`], and the service's retry layer has to
+//! absorb them. `scripts/chaos_smoke.py` drives this.
 
+use incc_mppdb::{Cluster, ClusterConfig, FaultPlan};
 use incc_service::{Server, Service, ServiceConfig};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: incc-serve [addr] [--workers N] [--queue N] \
-         [--timeout-ms N] [--space-budget BYTES]"
+         [--timeout-ms N] [--space-budget BYTES] [--retries N]"
     );
     std::process::exit(2);
 }
@@ -38,12 +47,26 @@ fn main() {
                 config.statement_timeout = Some(Duration::from_millis(parsed::<u64>(args.next())));
             }
             "--space-budget" => config.space_budget = parsed(args.next()),
+            "--retries" => config.retry.max_retries = parsed(args.next()),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => addr = other.to_string(),
             _ => usage(),
         }
     }
-    let service = Service::start(config.clone());
+    let mut cluster_config = ClusterConfig::default();
+    if let Ok(spec) = std::env::var("INCC_FAULT_PLAN") {
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => {
+                eprintln!("incc-serve: fault injection armed: {spec}");
+                cluster_config.faults = Some(plan);
+            }
+            Err(e) => {
+                eprintln!("incc-serve: bad INCC_FAULT_PLAN: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let service = Service::new(Arc::new(Cluster::new(cluster_config)), config.clone());
     let server = match Server::bind(service, &addr) {
         Ok(s) => s,
         Err(e) => {

@@ -12,7 +12,7 @@ use incc_core::cracker::Cracker;
 use incc_core::hash_to_min::HashToMin;
 use incc_core::two_phase::TwoPhase;
 use incc_core::{CcAlgorithm, RandomisedContraction, RoundReport};
-use incc_mppdb::{QueryProfile, StatsSnapshot};
+use incc_mppdb::{ErrorClass, QueryProfile, StatsSnapshot};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -154,6 +154,10 @@ pub(crate) struct JobState {
     /// a cancel also stops the statement currently executing.
     session_flag: Mutex<Option<Arc<AtomicBool>>>,
     status: Mutex<JobStatus>,
+    /// Taxonomy class of the terminal failure, when there was one —
+    /// lets clients distinguish a cancellation from a fatal error
+    /// without parsing the message.
+    failure_class: Mutex<Option<ErrorClass>>,
     result: Mutex<Option<Arc<JobResult>>>,
     done: Condvar,
 }
@@ -166,6 +170,7 @@ impl JobState {
             cancel: AtomicBool::new(false),
             session_flag: Mutex::new(None),
             status: Mutex::new(JobStatus::Queued),
+            failure_class: Mutex::new(None),
             result: Mutex::new(None),
             done: Condvar::new(),
         })
@@ -224,10 +229,11 @@ impl JobState {
         self.done.notify_all();
     }
 
-    pub(crate) fn finish_failed(&self, message: &str) {
+    pub(crate) fn finish_failed(&self, class: ErrorClass, message: &str) {
         let mut st = self.status.lock().unwrap();
         if !st.is_terminal() {
             *st = JobStatus::Failed(message.to_string());
+            *self.failure_class.lock().unwrap() = Some(class);
         }
         self.done.notify_all();
     }
@@ -283,6 +289,14 @@ impl JobHandle {
     pub fn result(&self) -> Option<Arc<JobResult>> {
         self.state.result.lock().unwrap().clone()
     }
+
+    /// Taxonomy class of a `Failed` job's terminal error (`None` while
+    /// the job is not failed): `Cancelled` for cancellations and
+    /// timeouts, `Retryable` when the retry budget was exhausted on a
+    /// transient fault, `Fatal` otherwise.
+    pub fn failure_class(&self) -> Option<ErrorClass> {
+        *self.state.failure_class.lock().unwrap()
+    }
 }
 
 impl std::fmt::Debug for JobHandle {
@@ -322,7 +336,7 @@ mod tests {
         let job = JobState::new(1, spec);
         job.set_running(2);
         assert_eq!(job.status(), JobStatus::Running { round: 2 });
-        job.finish_failed("cancelled: test");
+        job.finish_failed(ErrorClass::Cancelled, "cancelled: test");
         // A straggling round callback cannot overwrite the terminal state.
         job.set_running(3);
         assert_eq!(job.status(), JobStatus::Failed("cancelled: test".into()));

@@ -27,6 +27,10 @@
 //! `\wait <id>`, `\cancel <id>`, `\result <id>`, `\stats [global]`,
 //! `\metrics`, `\profile on|off|last|<id>`, `\mode csv|json`,
 //! `\timeout <ms>|off`, `\shared on|off`, `\quit`.
+//!
+//! A connection that drops without `\quit` (EOF or a socket error) is
+//! treated as an abandoned client: the session's in-flight statement is
+//! interrupted and the jobs this connection submitted are cancelled.
 
 use crate::service::Service;
 use crate::{AlgoKind, JobResult, JobSpec, JobStatus};
@@ -95,6 +99,38 @@ impl Server {
 
 fn handle_connection(service: &Arc<Service>, stream: TcpStream) -> io::Result<()> {
     let session = service.session();
+    let mut jobs = Vec::new();
+    let outcome = serve_requests(service, &session, &mut jobs, stream);
+    let clean_quit = matches!(outcome, Ok(true));
+    if !clean_quit {
+        // The client vanished mid-conversation (read/write error, or
+        // EOF without `\quit`). Interrupt whatever the session is
+        // executing and cancel this connection's unfinished jobs so
+        // they stop burning pool lanes for a reader that is gone. A
+        // clean `\quit` leaves submitted jobs running — they stay
+        // addressable by id from other connections.
+        session.cancel();
+        for id in jobs {
+            if let Some(job) = service.job(id) {
+                if !job.status().is_terminal() {
+                    job.cancel();
+                }
+            }
+        }
+    }
+    // Session cleanup (temp tables, space) happens on drop.
+    outcome.map(|_| ())
+}
+
+/// The request loop of one connection. Returns `Ok(true)` on a clean
+/// `\quit`, `Ok(false)` on EOF, `Err` on a read/write failure; job ids
+/// submitted by this connection accumulate in `jobs` either way.
+fn serve_requests(
+    service: &Arc<Service>,
+    session: &Session,
+    jobs: &mut Vec<u64>,
+    stream: TcpStream,
+) -> io::Result<bool> {
     let reader = BufReader::new(stream.try_clone()?);
     let mut w = BufWriter::new(stream);
     let mut mode = Mode::Csv;
@@ -107,18 +143,17 @@ fn handle_connection(service: &Arc<Service>, stream: TcpStream) -> io::Result<()
             continue;
         }
         let quit = if let Some(cmd) = request.strip_prefix('\\') {
-            execute_command(service, &session, &mut mode, cmd, &mut w)?
+            execute_command(service, session, &mut mode, cmd, jobs, &mut w)?
         } else {
-            execute_sql(service, &session, mode, request, &mut w)?;
+            execute_sql(service, session, mode, request, &mut w)?;
             false
         };
         w.flush()?;
         if quit {
-            break;
+            return Ok(true);
         }
     }
-    // Session cleanup (temp tables, space) happens on drop.
-    Ok(())
+    Ok(false)
 }
 
 /// Handles one `\` command; returns true when the connection should
@@ -128,6 +163,7 @@ fn execute_command(
     session: &Session,
     mode: &mut Mode,
     cmd: &str,
+    jobs: &mut Vec<u64>,
     w: &mut impl Write,
 ) -> io::Result<bool> {
     let mut parts = cmd.split_whitespace();
@@ -195,7 +231,10 @@ fn execute_command(
                 profile,
             };
             match service.submit(spec) {
-                Ok(job) => writeln!(w, "OK job {}", job.id())?,
+                Ok(job) => {
+                    jobs.push(job.id());
+                    writeln!(w, "OK job {}", job.id())?;
+                }
                 Err(e) => writeln!(w, "ERR {e}")?,
             }
         }
@@ -241,6 +280,8 @@ fn execute_command(
             writeln!(w, "rows_written {}", s.rows_written)?;
             writeln!(w, "network_bytes {}", s.network_bytes)?;
             writeln!(w, "queries {}", s.queries)?;
+            writeln!(w, "retries {}", s.retries)?;
+            writeln!(w, "backoff_micros {}", s.backoff_nanos / 1_000)?;
             // Statement latency quantiles (upper bucket bounds of the
             // log-scaled histogram, so within 2x of the exact value).
             writeln!(w, "p50_micros {}", latency.quantile(0.50) / 1_000)?;
@@ -253,9 +294,9 @@ fn execute_command(
                     "last_statement_micros {}",
                     session.last_statement_time().as_micros()
                 )?;
-                writeln!(w, "OK 11")?;
+                writeln!(w, "OK 13")?;
             } else {
-                writeln!(w, "OK 9")?;
+                writeln!(w, "OK 11")?;
             }
         }
         ("metrics", []) => {
@@ -374,9 +415,10 @@ fn job_profile_json(id: u64, spec: &JobSpec, result: &JobResult) -> String {
         let _ = write!(
             out,
             "{{\"round\": {}, \"working_rows\": {}, \"bytes_written\": {}, \
-             \"rows_written\": {}, \"network_bytes\": {}, \"statements\": {}, \"nanos\": {}}}",
+             \"rows_written\": {}, \"network_bytes\": {}, \"statements\": {}, \
+             \"retries\": {}, \"nanos\": {}}}",
             r.round, r.working_rows, r.bytes_written, r.rows_written, r.network_bytes,
-            r.statements, r.nanos,
+            r.statements, r.retries, r.nanos,
         );
     }
     out.push_str("], \"profiles\": [");

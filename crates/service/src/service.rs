@@ -5,8 +5,8 @@ use crate::job::{JobHandle, JobResult, JobSpec, JobState, JobStatus};
 use crate::scheduler::{Gate, JobLane};
 use incc_core::driver::{RoundRecorder, RunControl};
 use incc_mppdb::{
-    Cluster, ClusterConfig, DbError, DbResult, HistogramSnapshot, OpStats, QueryOutput, ScalarUdf,
-    Session, SqlEngine, StatsSnapshot,
+    Cluster, ClusterConfig, DbError, DbResult, ErrorClass, HistogramSnapshot, OpStats, QueryOutput,
+    RetryPolicy, ScalarUdf, Session, SqlEngine, StatsSnapshot,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,6 +32,11 @@ pub struct ServiceConfig {
     /// the cluster's own hard `space_limit`, which fails the allocating
     /// statement itself.
     pub space_budget: u64,
+    /// Per-statement retry policy for [`ErrorClass::Retryable`]
+    /// failures (segment panics, injected transient faults). Applies to
+    /// both interactive statements and every statement of a job's
+    /// algorithm run. Use [`RetryPolicy::disabled`] to fail fast.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -41,6 +46,7 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             statement_timeout: None,
             space_budget: 0,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -88,12 +94,25 @@ impl std::error::Error for AdmissionError {}
 struct GatedEngine<'a> {
     inner: &'a Session,
     gate: &'a Gate,
+    retry: &'a RetryPolicy,
+    /// Jitter salt for this engine's backoff schedule (session id, so
+    /// concurrent retriers don't sleep in lockstep).
+    salt: u64,
 }
 
 impl SqlEngine for GatedEngine<'_> {
     fn run(&self, sql_text: &str) -> DbResult<QueryOutput> {
-        let _permit = self.gate.acquire();
-        self.inner.run(sql_text)
+        // The gate permit is taken *inside* the retried closure: a
+        // statement sleeping out its backoff must not hold a
+        // concurrency slot other sessions could use.
+        self.retry.run(
+            self.salt,
+            |pause| self.inner.note_retry(pause),
+            || {
+                let _permit = self.gate.acquire();
+                self.inner.run(sql_text)
+            },
+        )
     }
 
     fn row_count(&self, name: &str) -> DbResult<usize> {
@@ -132,6 +151,10 @@ impl SqlEngine for GatedEngine<'_> {
 
     fn stats(&self) -> StatsSnapshot {
         self.inner.stats()
+    }
+
+    fn note_retry(&self, backoff: Duration) {
+        self.inner.note_retry(backoff)
     }
 }
 
@@ -227,13 +250,20 @@ impl Service {
     }
 
     /// Executes one interactive statement in `session`, subject to
-    /// admission (space budget) and the global concurrency gate.
+    /// admission (space budget), the global concurrency gate, and the
+    /// service's retry policy for [`ErrorClass::Retryable`] failures.
     pub fn run_sql(&self, session: &Session, sql: &str) -> DbResult<QueryOutput> {
         if let Err(e) = self.admit() {
             return Err(DbError::Exec(e.to_string()));
         }
-        let _permit = self.gate.acquire();
-        session.run(sql)
+        self.config.retry.run(
+            session.id(),
+            |pause| session.note_retry(pause),
+            || {
+                let _permit = self.gate.acquire();
+                session.run(sql)
+            },
+        )
     }
 
     /// Submits a CC computation as an asynchronous job. Returns
@@ -247,9 +277,10 @@ impl Service {
         let cluster = self.cluster.clone();
         let gate = self.gate.clone();
         let timeout = self.config.statement_timeout;
+        let retry = self.config.retry;
         let task_state = state.clone();
         let submitted = self.lane.submit(Box::new(move || {
-            execute_job(&cluster, &gate, timeout, &task_state);
+            execute_job(&cluster, &gate, timeout, retry, &task_state);
         }));
         if submitted.is_err() {
             self.jobs.lock().unwrap().remove(&id);
@@ -320,6 +351,18 @@ impl Service {
             "counter",
             "SQL statements executed.",
             s.queries,
+        );
+        simple(
+            "incc_statement_retries_total",
+            "counter",
+            "Statement retries performed after retryable failures.",
+            s.retries,
+        );
+        simple(
+            "incc_retry_backoff_nanos_total",
+            "counter",
+            "Nanoseconds slept in retry backoff.",
+            s.backoff_nanos,
         );
         simple(
             "incc_jobs_queued",
@@ -426,7 +469,7 @@ impl Service {
         // tasks (their runs exit promptly via the raised flags).
         self.lane.shutdown();
         for job in &jobs {
-            job.finish_failed("cancelled: service shut down");
+            job.finish_failed(ErrorClass::Cancelled, "cancelled: service shut down");
         }
     }
 }
@@ -435,10 +478,11 @@ fn execute_job(
     cluster: &Arc<Cluster>,
     gate: &Gate,
     timeout: Option<Duration>,
+    retry: RetryPolicy,
     job: &Arc<JobState>,
 ) {
     if job.is_cancelled() {
-        job.finish_failed("cancelled: before start");
+        job.finish_failed(ErrorClass::Cancelled, "cancelled: before start");
         return;
     }
     job.set_running(0);
@@ -463,6 +507,8 @@ fn execute_job(
     let engine = GatedEngine {
         inner: &session,
         gate,
+        retry: &retry,
+        salt: session.id(),
     };
     let before = session.stats();
     let start = Instant::now();
@@ -483,9 +529,9 @@ fn execute_job(
                     profiles: session.take_profiles(),
                 })
             }
-            Err(e) => Err(e.to_string()),
+            Err(e) => Err((e.class(), e.to_string())),
         },
-        Err(e) => Err(e.to_string()),
+        Err(e) => Err((e.class(), e.to_string())),
     };
     job.detach_session_flag();
     // Closing the session releases every working table the run left
@@ -495,7 +541,7 @@ fn execute_job(
     session.close();
     match verdict {
         Ok(result) => job.finish_ok(result),
-        Err(message) => job.finish_failed(&message),
+        Err((class, message)) => job.finish_failed(class, &message),
     }
 }
 
@@ -614,6 +660,8 @@ mod tests {
             "incc_rows_written_total",
             "incc_network_bytes_total",
             "incc_queries_total",
+            "incc_statement_retries_total",
+            "incc_retry_backoff_nanos_total",
             "incc_jobs_queued",
             "incc_jobs{state=\"done\"} 1",
             "incc_op_calls_total{op=\"aggregate\"}",

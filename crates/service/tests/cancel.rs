@@ -85,9 +85,16 @@ fn statement_timeout_fails_the_job_and_frees_its_space() {
         })
         .unwrap();
     match job.wait() {
-        JobStatus::Failed(m) => assert!(m.contains("cancelled"), "unexpected failure: {m}"),
+        // Timeouts are their own taxonomy class now, distinct from
+        // explicit cancellation.
+        JobStatus::Failed(m) => assert!(m.contains("timeout"), "unexpected failure: {m}"),
         other => panic!("expected timeout failure, got {other:?}"),
     }
+    assert_eq!(
+        job.failure_class(),
+        Some(incc_mppdb::ErrorClass::Timeout),
+        "timeout should classify as Timeout"
+    );
     assert_eq!(service.cluster().table_names(), vec!["hmpath".to_string()]);
     assert_eq!(service.cluster().stats().live_bytes, baseline);
     service.shutdown();

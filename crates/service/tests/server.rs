@@ -1,6 +1,6 @@
 //! Wire-protocol tests against a live TCP server.
 
-use incc_service::{Server, Service, ServiceConfig};
+use incc_service::{JobStatus, Server, Service, ServiceConfig};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 
@@ -210,13 +210,15 @@ fn stats_and_shared_tables_over_the_wire() {
     assert_eq!(ok, "OK shared off");
 
     let (lines, ok) = c.request("\\stats");
-    assert_eq!(ok, "OK 11");
+    assert_eq!(ok, "OK 13");
     assert!(lines.iter().any(|l| l.starts_with("bytes_written ")));
     assert!(lines.iter().any(|l| l.starts_with("queries ")));
+    assert!(lines.iter().any(|l| l.starts_with("retries ")));
+    assert!(lines.iter().any(|l| l.starts_with("backoff_micros ")));
     assert!(lines.iter().any(|l| l.starts_with("p95_micros ")));
 
     let (lines, ok) = c.request("\\stats global");
-    assert_eq!(ok, "OK 9");
+    assert_eq!(ok, "OK 11");
     let live = lines
         .iter()
         .find_map(|l| l.strip_prefix("live_bytes "))
@@ -231,6 +233,39 @@ fn stats_and_shared_tables_over_the_wire() {
         assert!(
             std::time::Instant::now() < deadline,
             "shared table vanished or residue left"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn abrupt_disconnect_cancels_in_flight_jobs() {
+    let (service, addr) = server();
+    // A long path keeps naive min-propagation busy for many rounds —
+    // plenty of time for the disconnect to land mid-run.
+    let path: Vec<(i64, i64)> = (0..400).map(|i| (i, i + 1)).collect();
+    service
+        .cluster()
+        .load_pairs("edges", "v1", "v2", &path)
+        .unwrap();
+    let mut c = Client::connect(addr);
+    let (_, ok) = c.request("\\job bfs edges 1");
+    let id: u64 = ok.strip_prefix("OK job ").unwrap().parse().unwrap();
+    // Vanish without `\quit`: the server must treat this as an
+    // abandoned client and cancel the job, not leave it running.
+    drop(c);
+    let job = service.job(id).unwrap();
+    match job.wait() {
+        JobStatus::Failed(m) => assert!(m.contains("cancelled"), "{m}"),
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    assert_eq!(job.failure_class(), Some(incc_mppdb::ErrorClass::Cancelled));
+    // The cancelled job's session released its working tables.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while service.cluster().table_names() != vec!["edges".to_string()] {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "cancelled job left tables behind"
         );
         std::thread::sleep(std::time::Duration::from_millis(5));
     }

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""CI chaos smoke: incc-serve must survive injected operator faults.
+
+Boots `incc-serve` twice on ephemeral ports — once clean, once with a
+deterministic fault plan in `INCC_FAULT_PLAN` (budgeted panics +
+transient errors + stalls) — and runs every CC algorithm as a job on
+both. Asserts:
+
+  * every job completes (the retry layer absorbs the injected faults),
+  * labels are byte-identical between the clean and the faulted run,
+  * the faulted server reports retries in `\\stats global` and
+    `incc_statement_retries_total` in `\\metrics`,
+  * the clean server reports zero retries.
+
+Exits non-zero on any divergence, so a recovery-layer regression fails
+the CI gate rather than only the unit suites.
+"""
+
+import os
+import subprocess
+import sys
+
+SERVE = "target/release/incc-serve"
+# Overridable so CI can sweep seeds; the default exercises all three
+# fault kinds under a budget the retry layer must fully absorb.
+FAULT_PLAN = os.environ.get(
+    "INCC_FAULT_PLAN", "seed=11,panic=30,error=40,stall=20,stall_ms=1,max=30"
+)
+ALGOS = ["rc", "hm", "tp", "cr", "bfs"]
+
+EDGES_SQL = (
+    "create table edges as "
+    + " union all ".join(
+        f"select {a} as v1, {b} as v2"
+        for a, b in [(1, 2), (2, 3), (3, 1), (4, 5), (5, 6), (10, 11), (11, 12), (12, 10), (20, 20)]
+    )
+)
+
+
+class Client:
+    def __init__(self, addr):
+        import socket
+
+        host, port = addr.rsplit(":", 1)
+        self.sock = socket.create_connection((host, int(port)), timeout=30)
+        self.rfile = self.sock.makefile("r", encoding="utf-8")
+        _, greeting = self._read()
+        assert greeting.startswith("OK incc session"), greeting
+
+    def _read(self):
+        data = []
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                raise RuntimeError("server hung up")
+            line = line.rstrip("\r\n")
+            if line.startswith("OK") or line.startswith("ERR"):
+                return data, line
+            data.append(line)
+
+    def request(self, req, want_ok=True):
+        self.sock.sendall((req + "\n").encode("utf-8"))
+        data, status = self._read()
+        if want_ok and not status.startswith("OK"):
+            raise RuntimeError(f"{req!r} -> {status}")
+        return data, status
+
+
+def boot(fault_plan=None):
+    env = dict(os.environ)
+    env.pop("INCC_FAULT_PLAN", None)
+    if fault_plan:
+        env["INCC_FAULT_PLAN"] = fault_plan
+    # max_retries above the plan's fault budget (`max=30`): a budgeted
+    # plan then cannot exhaust any statement's retries, so completion
+    # is guaranteed (each retry re-keys fault sites, and the plan goes
+    # quiet once its budget is spent).
+    proc = subprocess.Popen(
+        [SERVE, "127.0.0.1:0", "--retries", "64"],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = proc.stderr.readline()
+    if fault_plan and "fault injection armed" in banner:
+        banner = proc.stderr.readline()
+    addr = banner.split("listening on ")[1].split()[0]
+    return proc, Client(addr)
+
+
+def run_jobs(client):
+    """Runs every algorithm as a job; returns {algo: sorted label lines}."""
+    client.request("\\shared on")
+    client.request(EDGES_SQL)
+    client.request("\\shared off")
+    labels = {}
+    for algo in ALGOS:
+        _, ok = client.request(f"\\job {algo} edges 42")
+        job_id = ok.split()[-1]
+        _, status = client.request(f"\\wait {job_id}")
+        assert status == "OK done", f"{algo} job: {status}"
+        rows, _ = client.request(f"\\result {job_id}")
+        labels[algo] = sorted(rows)
+    return labels
+
+
+def retries_of(client):
+    lines, _ = client.request("\\stats global")
+    for line in lines:
+        if line.startswith("retries "):
+            return int(line.split()[1])
+    raise RuntimeError("no retries line in \\stats global")
+
+
+def main():
+    procs = []
+    try:
+        clean_proc, clean = boot()
+        procs.append(clean_proc)
+        faulted_proc, faulted = boot(FAULT_PLAN)
+        procs.append(faulted_proc)
+
+        clean_labels = run_jobs(clean)
+        assert retries_of(clean) == 0, "clean run performed retries"
+
+        faulted_labels = run_jobs(faulted)
+        for algo in ALGOS:
+            assert clean_labels[algo] == faulted_labels[algo], (
+                f"{algo}: labels diverged under fault plan {FAULT_PLAN}"
+            )
+
+        retries = retries_of(faulted)
+        assert retries > 0, "fault plan injected nothing retryable"
+        lines, _ = faulted.request("\\metrics")
+        metric = next(
+            (l for l in lines if l.startswith("incc_statement_retries_total ")), None
+        )
+        assert metric is not None, "\\metrics lacks incc_statement_retries_total"
+        assert int(metric.split()[-1]) == retries, (metric, retries)
+
+        clean.request("\\quit")
+        faulted.request("\\quit")
+        print(
+            f"chaos smoke OK: {len(ALGOS)} algorithms byte-identical under "
+            f"'{FAULT_PLAN}', {retries} retries absorbed"
+        )
+    finally:
+        for proc in procs:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

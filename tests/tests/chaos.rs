@@ -1,0 +1,121 @@
+//! Chaos harness: all five CC algorithms must complete — with labels
+//! byte-identical to a fault-free run — while the cluster injects
+//! deterministic operator faults (panics, transient errors, stalls)
+//! that the service's retry layer has to absorb.
+//!
+//! The fault plans are seeded and budgeted ([`FaultPlan::max_faults`]),
+//! so every schedule is reproducible and every run terminates: each
+//! retry re-keys the statement's fault sites under a fresh query
+//! ordinal, and once the budget is spent the plan goes quiet. The
+//! retry policy's `max_retries` is set above the fault budget so no
+//! single statement can exhaust its retries before the plan runs dry.
+
+use incc_graph::generators::gnm_random_graph;
+use incc_graph::union_find::{connected_components, labellings_equivalent};
+use incc_mppdb::{Cluster, ClusterConfig, FaultPlan, RetryPolicy};
+use incc_service::{AlgoKind, JobSpec, JobStatus, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ALGOS: [AlgoKind; 5] = [
+    AlgoKind::Rc,
+    AlgoKind::HashToMin,
+    AlgoKind::TwoPhase,
+    AlgoKind::Cracker,
+    AlgoKind::Bfs,
+];
+
+/// Runs every algorithm as a service job on a cluster with the given
+/// fault plan; returns each sorted labelling plus the cluster's retry
+/// count. Panics if any job fails — under a budgeted plan plus
+/// retries, all must complete.
+fn run_all(faults: Option<FaultPlan>) -> (Vec<Vec<(i64, i64)>>, u64) {
+    let cluster = Arc::new(Cluster::new(ClusterConfig {
+        faults,
+        ..Default::default()
+    }));
+    let service = Service::new(
+        cluster,
+        ServiceConfig {
+            // max_retries exceeds any plan's fault budget, so retry
+            // exhaustion is impossible; tight backoff keeps runs fast.
+            retry: RetryPolicy {
+                max_retries: 64,
+                base: Duration::from_micros(100),
+                cap: Duration::from_millis(2),
+            },
+            ..Default::default()
+        },
+    );
+    let graph = gnm_random_graph(120, 130, 1234);
+    service
+        .cluster()
+        .load_pairs("edges", "v1", "v2", &graph.to_i64_pairs())
+        .unwrap();
+    let mut out = Vec::new();
+    for algo in ALGOS {
+        let job = service
+            .submit(JobSpec {
+                algo,
+                input: "edges".into(),
+                seed: 42,
+                profile: false,
+            })
+            .unwrap();
+        assert_eq!(job.wait(), JobStatus::Done, "{algo:?} failed under faults");
+        let mut labels = job.result().unwrap().labels.clone();
+        labels.sort_unstable();
+        // Sanity: the labelling is a correct CC labelling, not just a
+        // stable wrong answer.
+        let got: std::collections::HashMap<u64, u64> = labels
+            .iter()
+            .map(|&(v, r)| (v as u64, r as u64))
+            .collect();
+        let truth = connected_components(&graph.edges);
+        assert!(labellings_equivalent(&got, &truth), "{algo:?} wrong labels");
+        out.push(labels);
+    }
+    let retries = service.cluster().stats().retries;
+    service.shutdown();
+    (out, retries)
+}
+
+fn assert_identical_under(plan: FaultPlan, expect_retries: bool) {
+    let (baseline, clean_retries) = run_all(None);
+    assert_eq!(clean_retries, 0, "fault-free run should never retry");
+    let (faulted, retries) = run_all(Some(plan));
+    assert_eq!(
+        baseline, faulted,
+        "labels diverged under fault plan {plan:?}"
+    );
+    if expect_retries {
+        assert!(
+            retries > 0,
+            "plan {plan:?} injected no retryable faults — not a chaos run"
+        );
+    }
+}
+
+#[test]
+fn labels_survive_a_panic_heavy_plan() {
+    assert_identical_under(FaultPlan::panics(1, 80, 20), true);
+}
+
+#[test]
+fn labels_survive_an_error_heavy_plan() {
+    assert_identical_under(FaultPlan::errors(2, 120, 25), true);
+}
+
+#[test]
+fn labels_survive_a_stall_plan() {
+    // Stalls delay operators without failing them: no retries expected,
+    // but the schedule perturbation must not change any labelling.
+    assert_identical_under(FaultPlan::stalls(3, 200, 1, 40), false);
+}
+
+#[test]
+fn labels_survive_a_mixed_plan_parsed_from_spec() {
+    // The spec-string form `incc-serve` reads from INCC_FAULT_PLAN.
+    let plan = FaultPlan::parse("seed=7,panic=30,error=40,stall=30,stall_ms=1,max=30").unwrap();
+    assert_identical_under(plan, true);
+}

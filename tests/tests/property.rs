@@ -153,3 +153,104 @@ fn rc_handles_adversarial_equal_ids_graph() {
     let report = run_on_graph(&RandomisedContraction::paper(), &db, &g, 0).unwrap();
     assert_eq!(report.labels.len(), 1);
 }
+
+/// Everything `t1 join t2 on k`, `group by k`, and `distinct v` should
+/// produce on small random inputs, computed in memory.
+fn expected_counts(t1: &[(i64, i64)], t2: &[(i64, i64)]) -> (usize, usize, usize) {
+    use std::collections::{HashMap, HashSet};
+    let mut c1: HashMap<i64, usize> = HashMap::new();
+    for &(k, _) in t1 {
+        *c1.entry(k).or_default() += 1;
+    }
+    let mut c2: HashMap<i64, usize> = HashMap::new();
+    for &(k, _) in t2 {
+        *c2.entry(k).or_default() += 1;
+    }
+    let join: usize = c1
+        .iter()
+        .map(|(k, n)| n * c2.get(k).copied().unwrap_or(0))
+        .sum();
+    let groups = c1.len();
+    let distinct = t1.iter().map(|&(_, v)| v).collect::<HashSet<_>>().len();
+    (join, groups, distinct)
+}
+
+/// One cancellation trial: raise the session's cancel flag from
+/// another thread after `delay_us`, run one statement, and check the
+/// all-or-nothing property — either the statement completed with
+/// exactly the full result, or it failed with `ErrorClass::Cancelled`
+/// and left nothing behind.
+fn cancel_trial(vectorized: bool, t1: &[(i64, i64)], t2: &[(i64, i64)], delay_us: u64) {
+    use incc_mppdb::{ErrorClass, QueryOutput};
+    let db = std::sync::Arc::new(Cluster::new(ClusterConfig {
+        segments: 4,
+        vectorized,
+        ..Default::default()
+    }));
+    let s = db.session();
+    s.load_pairs("t1", "k", "v", t1).unwrap();
+    s.load_pairs("t2", "k", "v", t2).unwrap();
+    let (join_rows, group_rows, distinct_rows) = expected_counts(t1, t2);
+    let cases: [(&str, usize, bool); 3] = [
+        (
+            "create table j as select a.k as k, b.v as v from t1 a, t2 b where a.k = b.k",
+            join_rows,
+            true,
+        ),
+        ("select k, count(*) as n from t1 group by k", group_rows, false),
+        ("select distinct v from t1", distinct_rows, false),
+    ];
+    for (sql, expected, is_ctas) in cases {
+        let flag = s.cancel_flag();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_micros(delay_us));
+            flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        let res = s.run(sql);
+        canceller.join().unwrap();
+        s.clear_interrupt();
+        match res {
+            Ok(QueryOutput::Rows(rows)) => assert_eq!(rows.len(), expected, "partial {sql}"),
+            Ok(QueryOutput::Created { rows, .. }) => {
+                assert_eq!(rows, expected, "partial {sql}");
+                assert_eq!(s.row_count("j").unwrap(), expected);
+            }
+            Ok(other) => panic!("unexpected output {other:?} for {sql}"),
+            Err(e) => {
+                assert_eq!(e.class(), ErrorClass::Cancelled, "{sql}: {e}");
+                if is_ctas {
+                    // A cancelled CTAS is atomic: no partial table.
+                    assert!(
+                        !db.table_names().contains(&s.temp_table_name("j")),
+                        "cancelled CTAS left a partial table"
+                    );
+                }
+            }
+        }
+        if is_ctas {
+            let _ = s.drop_table("j");
+        }
+    }
+    // Cancel raised *before* the statement must always interrupt.
+    s.cancel();
+    let err = s.run("select distinct v from t1").unwrap_err();
+    assert_eq!(err.class(), incc_mppdb::ErrorClass::Cancelled);
+    s.clear_interrupt();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cancellation observed mid-`run_parts` is all-or-nothing for
+    /// join, group-by, and distinct, on both the vectorized and the
+    /// generic operator paths.
+    #[test]
+    fn cancel_mid_run_parts_is_all_or_nothing(
+        t1 in proptest::collection::vec((0i64..40, 0i64..40), 1..200),
+        t2 in proptest::collection::vec((0i64..40, 0i64..40), 1..200),
+        delay_us in 0u64..400,
+    ) {
+        cancel_trial(true, &t1, &t2, delay_us);
+        cancel_trial(false, &t1, &t2, delay_us);
+    }
+}
