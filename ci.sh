@@ -37,6 +37,18 @@ step python3 -c 'import json; json.load(open("results/engine_bench_smoke.json"))
 step env ROUNDS_BENCH_SMOKE=1 cargo bench -p incc-bench --bench rounds
 step python3 -c 'import json; d = json.load(open("results/rounds_smoke.json")); assert all(r["trajectory"] for r in d["results"])'
 
+# Stream bench smoke: incremental maintenance vs naive rerun on a tiny
+# workload; the run must complete, the two labellings must agree, and
+# the JSON artifact must parse with a positive speedup.
+step env STREAM_BENCH_SMOKE=1 cargo bench -p incc-bench --bench stream
+step python3 -c 'import json; d = json.load(open("results/stream_bench_smoke.json")); assert d["speedup"] > 0 and d["labellings_equivalent"]'
+
+# Incremental-CC correctness: the equivalence/staleness/epoch-safety
+# property suite, then the `\stream` verbs end-to-end over TCP against
+# a live incc-serve. Bounded so a stuck rebuild latch is a failure.
+step timeout 300 cargo test -p incc-stream
+step timeout 300 python3 scripts/stream_smoke.py
+
 # Observability smoke over TCP: EXPLAIN ANALYZE, profile JSON,
 # profiled-job envelope, and the \metrics families, against a live
 # incc-serve (bounded so a wedged server fails the run).

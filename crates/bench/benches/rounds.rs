@@ -15,6 +15,7 @@
 
 use incc_core::bfs::BfsStrategy;
 use incc_core::cracker::Cracker;
+use incc_core::driver::{RoundRecorder, RunControl};
 use incc_core::hash_to_min::HashToMin;
 use incc_core::two_phase::TwoPhase;
 use incc_core::{run_on_graph, CcAlgorithm, RandomisedContraction, RunReport};
@@ -147,6 +148,55 @@ fn main() {
             );
             records.push(record_json(graph_name, &report));
         }
+    }
+
+    // The incremental subsystem's rebuilds are ordinary RC runs through
+    // the same engine, so their round trajectories belong in this file
+    // too: feed the random graph through a stream, rebuild once with a
+    // recorder attached, and record it alongside the batch algorithms.
+    {
+        use incc_stream::{EdgeOp, IncrementalCc, StreamConfig};
+        let graph = &graphs[0].1;
+        let cc = IncrementalCc::new("rounds", StreamConfig::default());
+        let adds: Vec<EdgeOp> =
+            graph.edges.iter().map(|&(u, v)| EdgeOp::Add(u, v)).collect();
+        for batch in adds.chunks(512) {
+            cc.feed(batch);
+        }
+        let db = Cluster::new(ClusterConfig::default());
+        let before = db.stats();
+        let stats_fn = || db.stats();
+        let recorder = RoundRecorder::new(&stats_fn);
+        let started = std::time::Instant::now();
+        let rebuild = cc
+            .rebuild(
+                &db,
+                &RunControl { rounds: Some(&recorder), ..RunControl::default() },
+            )
+            .expect("stream rebuild");
+        let report = RunReport {
+            algorithm: "RC (stream rebuild)".into(),
+            labels: cc.labelling(),
+            rounds: rebuild.rounds,
+            round_sizes: rebuild.round_sizes.clone(),
+            round_reports: recorder.take(),
+            elapsed: started.elapsed(),
+            stats: db.stats().delta_since(&before),
+            input_bytes: 0,
+        };
+        report.verify_against(graph).expect("stream labelling must be exact");
+        assert!(
+            !report.round_reports.is_empty(),
+            "stream rebuild emitted no round telemetry"
+        );
+        println!(
+            "{:>16} {:>18} rounds={:<3} total={:.1}ms",
+            "gnm_random",
+            report.algorithm,
+            report.rounds,
+            report.elapsed.as_secs_f64() * 1e3
+        );
+        records.push(record_json("gnm_random", &report));
     }
 
     let file = if scale.smoke { "rounds_smoke.json" } else { "rounds.json" };

@@ -1,0 +1,219 @@
+//! Sustained update throughput: incremental maintenance vs naive rerun.
+//!
+//! The incremental subsystem's claim is that a bounded staleness budget
+//! buys orders of magnitude in update throughput: inserts collapse to a
+//! CAS in the concurrent union–find, and only the deferred deletions
+//! force a Randomised Contraction run — one engine run per budget
+//! window instead of one per batch. This bench drives an identical
+//! randomized add/delete workload through [`IncrementalCc`] (staleness
+//! budget 250 ms, rebuilds when triggered, plus a final rebuild so it
+//! finishes exact) and [`NaiveRerun`] (full contraction after every
+//! batch — never stale, which trivially satisfies the same bound), and
+//! persists updates/sec for both to `results/stream_bench.json`.
+//!
+//! Run with `cargo bench -p incc-bench --bench stream`; set
+//! `STREAM_BENCH_SMOKE=1` for a seconds-long CI smoke run (tiny
+//! workload, separate output file, no speedup floor).
+
+use incc_core::driver::RunControl;
+use incc_graph::union_find::labellings_equivalent;
+use incc_mppdb::{Cluster, ClusterConfig};
+use incc_stream::{EdgeOp, IncrementalCc, NaiveRerun, StreamConfig};
+use std::time::{Duration, Instant};
+
+struct Scale {
+    smoke: bool,
+    /// Vertex id space.
+    vertices: u64,
+    /// Total edge updates in the workload.
+    ops: usize,
+    /// Updates per feed batch.
+    batch: usize,
+}
+
+impl Scale {
+    fn from_env() -> Scale {
+        if std::env::var("STREAM_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+            Scale { smoke: true, vertices: 48, ops: 400, batch: 16 }
+        } else {
+            Scale { smoke: false, vertices: 2_000, ops: 20_000, batch: 64 }
+        }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic mixed workload: ~80% inserts over a bounded vertex
+/// space (so components keep merging), ~20% deletions of an edge that
+/// was actually inserted earlier (so tombstones are real work, not
+/// no-ops on absent edges).
+fn workload(scale: &Scale, seed: u64) -> Vec<EdgeOp> {
+    let mut rng = seed;
+    let mut inserted: Vec<(u64, u64)> = Vec::new();
+    let mut ops = Vec::with_capacity(scale.ops);
+    for _ in 0..scale.ops {
+        if !inserted.is_empty() && splitmix(&mut rng) % 100 < 20 {
+            let idx = (splitmix(&mut rng) as usize) % inserted.len();
+            let (u, v) = inserted.swap_remove(idx);
+            ops.push(EdgeOp::Del(u, v));
+        } else {
+            let u = splitmix(&mut rng) % scale.vertices;
+            let v = splitmix(&mut rng) % scale.vertices;
+            inserted.push(if u <= v { (u, v) } else { (v, u) });
+            ops.push(EdgeOp::Add(u, v));
+        }
+    }
+    ops
+}
+
+struct Side {
+    total: Duration,
+    engine_runs: u64,
+    updates_per_sec: f64,
+}
+
+fn per_sec(ops: usize, elapsed: Duration) -> f64 {
+    ops as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42u64;
+    println!(
+        "stream throughput bench (vertices={}, ops={}, batch={}, smoke={})",
+        scale.vertices, scale.ops, scale.batch, scale.smoke
+    );
+    let ops = workload(&scale, seed);
+    let staleness = Duration::from_millis(250);
+
+    // Incremental side: feeds are in-memory, the engine only runs when
+    // a trigger fires. `max_tombstones` is lifted out of the way so the
+    // 250 ms staleness budget is the binding trigger — the same bound
+    // the baseline (staleness zero) trivially satisfies.
+    let db = Cluster::new(ClusterConfig::default());
+    let cc = IncrementalCc::new(
+        "bench",
+        StreamConfig {
+            staleness_budget: staleness,
+            max_tombstones: usize::MAX,
+            seed,
+            ..StreamConfig::default()
+        },
+    );
+    let t0 = Instant::now();
+    let mut rebuilds = 0u64;
+    for batch in ops.chunks(scale.batch) {
+        let summary = cc.feed(batch);
+        if summary.needs_rebuild {
+            cc.rebuild(&db, &RunControl::default()).expect("stream rebuild");
+            rebuilds += 1;
+        }
+    }
+    // Finish exact: one last rebuild flushes the remaining tombstones.
+    cc.rebuild(&db, &RunControl::default()).expect("final rebuild");
+    rebuilds += 1;
+    let inc = Side {
+        total: t0.elapsed(),
+        engine_runs: rebuilds,
+        updates_per_sec: per_sec(ops.len(), t0.elapsed()),
+    };
+
+    // Lock-free read path: component lookups against the live epoch.
+    let lookups = 100_000u64;
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..lookups {
+        if let Some((label, _)) = cc.component(i % scale.vertices) {
+            acc = acc.wrapping_add(label);
+        }
+    }
+    let lookup_elapsed = t0.elapsed();
+    std::hint::black_box(acc);
+
+    // Baseline: identical batches, full contraction per batch.
+    let db2 = Cluster::new(ClusterConfig::default());
+    let mut naive = NaiveRerun::new("bench_naive", seed);
+    let t0 = Instant::now();
+    for batch in ops.chunks(scale.batch) {
+        naive.feed(&db2, batch).expect("naive rerun");
+    }
+    let base = Side {
+        total: t0.elapsed(),
+        engine_runs: naive.reruns(),
+        updates_per_sec: per_sec(ops.len(), t0.elapsed()),
+    };
+
+    // Both sides must agree on the final partition.
+    assert!(
+        labellings_equivalent(&cc.labelling(), naive.labelling()),
+        "incremental and naive labellings diverged on the same workload"
+    );
+
+    let speedup = inc.updates_per_sec / base.updates_per_sec;
+    println!(
+        "incremental: {:>10.0} updates/s ({} engine runs, {:.1}ms total)",
+        inc.updates_per_sec,
+        inc.engine_runs,
+        inc.total.as_secs_f64() * 1e3
+    );
+    println!(
+        "      naive: {:>10.0} updates/s ({} engine runs, {:.1}ms total)",
+        base.updates_per_sec,
+        base.engine_runs,
+        base.total.as_secs_f64() * 1e3
+    );
+    println!(
+        "    speedup: {speedup:.1}x   lookups: {:.0}/s",
+        per_sec(lookups as usize, lookup_elapsed)
+    );
+
+    let file = if scale.smoke { "stream_bench_smoke.json" } else { "stream_bench.json" };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(file);
+    let json = format!(
+        "{{\n  \"bench\": \"stream_throughput\",\n  \"smoke\": {},\n  \
+         \"config\": {{\"vertices\": {}, \"ops\": {}, \"batch\": {}, \
+         \"staleness_budget_ms\": {}, \"delete_share\": 0.2, \"seed\": {}}},\n  \
+         \"incremental\": {{\"updates_per_sec\": {:.1}, \"total_ms\": {:.3}, \
+         \"engine_runs\": {}, \"final_epoch\": {}, \
+         \"lookups_per_sec\": {:.0}}},\n  \
+         \"baseline\": {{\"updates_per_sec\": {:.1}, \"total_ms\": {:.3}, \
+         \"engine_runs\": {}}},\n  \"speedup\": {:.2},\n  \
+         \"labellings_equivalent\": true\n}}\n",
+        scale.smoke,
+        scale.vertices,
+        scale.ops,
+        scale.batch,
+        staleness.as_millis(),
+        seed,
+        inc.updates_per_sec,
+        inc.total.as_secs_f64() * 1e3,
+        inc.engine_runs,
+        cc.epoch(),
+        per_sec(lookups as usize, lookup_elapsed),
+        base.updates_per_sec,
+        base.total.as_secs_f64() * 1e3,
+        base.engine_runs,
+        speedup,
+    );
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if !scale.smoke {
+        assert!(
+            speedup >= 10.0,
+            "acceptance floor: expected >= 10x updates/sec over naive rerun, got {speedup:.1}x"
+        );
+    }
+}

@@ -9,18 +9,25 @@
 
 use std::collections::HashMap;
 
-/// Disjoint-set forest with union by rank and path halving.
+/// Disjoint-set forest with union by rank, path halving, and set-size
+/// tracking.
 #[derive(Debug, Clone)]
 pub struct UnionFind {
     parent: Vec<u32>,
     rank: Vec<u8>,
+    /// Set size, valid at roots only.
+    size: Vec<u32>,
 }
 
 impl UnionFind {
     /// `n` singleton sets, elements `0..n`.
     pub fn new(n: usize) -> UnionFind {
         assert!(n <= u32::MAX as usize, "UnionFind supports up to 2^32 elements");
-        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            size: vec![1; n],
+        }
     }
 
     /// Number of elements.
@@ -50,20 +57,62 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
-            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
-            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+        let merged = self.size[ra as usize] + self.size[rb as usize];
+        let root = match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => {
+                self.parent[ra as usize] = rb;
+                rb
+            }
+            std::cmp::Ordering::Greater => {
+                self.parent[rb as usize] = ra;
+                ra
+            }
             std::cmp::Ordering::Equal => {
                 self.parent[rb as usize] = ra;
                 self.rank[ra as usize] += 1;
+                ra
             }
-        }
+        };
+        self.size[root as usize] = merged;
         true
     }
 
     /// True when `a` and `b` are in the same set.
     pub fn connected(&mut self, a: u32, b: u32) -> bool {
         self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s set.
+    pub fn size_of(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+
+    /// Rank of `x`'s root — the forest-depth bound union-by-rank
+    /// maintains (`rank ≤ log₂(set size)`).
+    pub fn rank_of(&mut self, x: u32) -> u8 {
+        let r = self.find(x);
+        self.rank[r as usize]
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| p == i as u32)
+            .count()
+    }
+
+    /// Full path compression: after this pass every element points
+    /// directly at its root, so subsequent `find`s are O(1) and the
+    /// parent vector doubles as a label table. This is the compaction
+    /// step incremental maintenance runs between rebuilds.
+    pub fn compress_all(&mut self) {
+        for x in 0..self.parent.len() as u32 {
+            let root = self.find(x);
+            self.parent[x as usize] = root;
+        }
     }
 }
 
@@ -158,6 +207,90 @@ mod tests {
         uf.union(1, 3);
         assert!(uf.connected(0, 4));
         assert_eq!(uf.len(), 5);
+    }
+
+    /// Deterministic pseudo-random unions for the invariant tests.
+    fn scrambled_unions(n: usize, unions: usize, seed: u64) -> UnionFind {
+        let mut uf = UnionFind::new(n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            // splitmix64-ish scramble, good enough for test inputs.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..unions {
+            let a = (next() % n) as u32;
+            let b = (next() % n) as u32;
+            uf.union(a, b);
+        }
+        uf
+    }
+
+    #[test]
+    fn size_invariants_hold_under_random_unions() {
+        let n = 500;
+        let mut uf = scrambled_unions(n, 700, 0xDECAF);
+        // Root sizes partition the universe: they sum to n …
+        let roots: Vec<u32> = (0..n as u32).filter(|&x| uf.parent[x as usize] == x).collect();
+        let root_size_sum: u64 = roots.iter().map(|&x| uf.size_of(x) as u64).sum();
+        assert_eq!(root_size_sum, n as u64);
+        // … and every element's set size counts exactly its co-members.
+        for x in 0..n as u32 {
+            let root = uf.find(x);
+            let members = (0..n as u32).filter(|&y| uf.find(y) == root).count();
+            assert_eq!(uf.size_of(x) as usize, members, "element {x}");
+        }
+        assert_eq!(uf.set_count(), {
+            let mut roots: Vec<u32> = (0..n as u32).map(|x| uf.find(x)).collect();
+            roots.sort_unstable();
+            roots.dedup();
+            roots.len()
+        });
+    }
+
+    #[test]
+    fn rank_is_bounded_by_log_of_size() {
+        let mut uf = scrambled_unions(1000, 1500, 7);
+        for x in 0..1000u32 {
+            let rank = uf.rank_of(x) as u32;
+            let size = uf.size_of(x);
+            assert!(
+                2u32.checked_pow(rank).is_some_and(|p| p <= size),
+                "rank {rank} too high for set of {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn compress_all_flattens_the_forest() {
+        let mut uf = scrambled_unions(300, 420, 99);
+        let labels_before: Vec<u32> = (0..300u32).map(|x| uf.find(x)).collect();
+        uf.compress_all();
+        for x in 0..300usize {
+            // Every parent is a root (parent(parent(x)) == parent(x))
+            // and the partition is unchanged.
+            let p = uf.parent[x];
+            assert_eq!(uf.parent[p as usize], p, "element {x} not flattened");
+            assert_eq!(uf.find(x as u32), labels_before[x]);
+        }
+        // Sizes and counts survive compression.
+        assert_eq!(uf.set_count(), {
+            let mut roots = labels_before.clone();
+            roots.sort_unstable();
+            roots.dedup();
+            roots.len()
+        });
+    }
+
+    #[test]
+    fn singleton_accessors() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.size_of(1), 1);
+        assert_eq!(uf.rank_of(1), 0);
+        assert_eq!(uf.set_count(), 3);
+        uf.union(0, 2);
+        assert_eq!(uf.size_of(2), 2);
+        assert_eq!(uf.set_count(), 2);
     }
 
     #[test]

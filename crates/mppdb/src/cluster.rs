@@ -727,6 +727,30 @@ impl Cluster {
         }
     }
 
+    /// Atomically replaces table `to` with table `from`: `from` is
+    /// renamed to `to`, and any previous `to` is dropped, all under one
+    /// catalog lock. Readers therefore never observe a state where `to`
+    /// is missing — the swap primitive the incremental-CC subsystem
+    /// uses to publish a rebuilt label table under a live query load.
+    pub fn replace_table(&self, from: &str, to: &str) -> DbResult<()> {
+        self.replace_table_with(&self.stats, from, to)
+    }
+
+    /// [`Cluster::replace_table`] with explicit (session) stat
+    /// attribution for the displaced table's space credit.
+    pub(crate) fn replace_table_with(&self, stats: &Stats, from: &str, to: &str) -> DbResult<()> {
+        let from = from.to_ascii_lowercase();
+        let to = to.to_ascii_lowercase();
+        let mut cat = self.catalog.write();
+        let table = cat
+            .remove(&from)
+            .ok_or_else(|| DbError::Catalog(format!("table {from:?} does not exist")))?;
+        if let Some(old) = cat.insert(to, table) {
+            stats.credit_drop(old.byte_size());
+        }
+        Ok(())
+    }
+
     /// Bulk-loads a two-column bigint table (the edge-list shape every
     /// algorithm consumes), hash-distributing on the first column.
     ///

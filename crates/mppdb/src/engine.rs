@@ -35,6 +35,17 @@ pub trait SqlEngine: Sync {
     /// Renames a table.
     fn rename_table(&self, from: &str, to: &str) -> DbResult<()>;
 
+    /// Replaces table `to` with table `from`, dropping any previous
+    /// `to`. [`Cluster`] and [`Session`] perform the swap atomically
+    /// under one catalog lock, so concurrent readers of `to` never see
+    /// it missing — the publication primitive for rebuilt label
+    /// tables. The default is the non-atomic drop-then-rename
+    /// fallback for engines without a swap primitive.
+    fn replace_table(&self, from: &str, to: &str) -> DbResult<()> {
+        let _ = self.drop_table(to);
+        self.rename_table(from, to)
+    }
+
     /// Registers (or replaces) a scalar UDF callable from SQL.
     fn register_udf(&self, name: &str, udf: Arc<dyn ScalarUdf>);
 
@@ -97,6 +108,10 @@ impl SqlEngine for Cluster {
         Cluster::rename_table(self, from, to)
     }
 
+    fn replace_table(&self, from: &str, to: &str) -> DbResult<()> {
+        Cluster::replace_table(self, from, to)
+    }
+
     fn register_udf(&self, name: &str, udf: Arc<dyn ScalarUdf>) {
         Cluster::register_udf(self, name, udf)
     }
@@ -143,6 +158,10 @@ impl SqlEngine for Session {
 
     fn rename_table(&self, from: &str, to: &str) -> DbResult<()> {
         Session::rename_table(self, from, to)
+    }
+
+    fn replace_table(&self, from: &str, to: &str) -> DbResult<()> {
+        Session::replace_table(self, from, to)
     }
 
     fn register_udf(&self, name: &str, udf: Arc<dyn ScalarUdf>) {
@@ -192,6 +211,38 @@ mod tests {
         );
         db.drop_table("g").unwrap();
         db.drop_table("e").unwrap();
+    }
+
+    #[test]
+    fn replace_table_swaps_atomically_and_credits_space() {
+        let c = Arc::new(Cluster::new(ClusterConfig::default()));
+        c.load_pairs("a", "v", "w", &[(1, 2)]).unwrap();
+        c.load_pairs("b", "v", "w", &[(3, 4), (5, 6)]).unwrap();
+        let live = c.stats().live_bytes;
+        c.replace_table("a", "b").unwrap();
+        // The displaced table's space is credited back and the new
+        // contents answer under the published name.
+        assert!(c.stats().live_bytes < live);
+        assert_eq!(c.scan_pairs("b").unwrap(), vec![(1, 2)]);
+        assert!(c.row_count("a").is_err());
+        assert!(c.replace_table("missing", "b").is_err());
+        // Replace also works when the target does not exist yet.
+        c.load_pairs("fresh", "v", "w", &[(9, 9)]).unwrap();
+        c.replace_table("fresh", "published").unwrap();
+        assert_eq!(c.scan_pairs("published").unwrap(), vec![(9, 9)]);
+    }
+
+    #[test]
+    fn session_replace_table_resolves_the_namespace() {
+        let c = Arc::new(Cluster::new(ClusterConfig::default()));
+        let s = c.session();
+        s.load_pairs("next", "v", "w", &[(1, 2)]).unwrap();
+        s.load_pairs("cur", "v", "w", &[(7, 8)]).unwrap();
+        SqlEngine::replace_table(&s, "next", "cur").unwrap();
+        assert_eq!(s.scan_pairs("cur").unwrap(), vec![(1, 2)]);
+        assert!(s.row_count("next").is_err());
+        drop(s);
+        assert!(c.table_names().is_empty());
     }
 
     #[test]

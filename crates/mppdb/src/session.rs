@@ -483,6 +483,16 @@ impl Session {
         self.cluster.rename_table(&from, &to)
     }
 
+    /// Atomically replaces table `to` with table `from` (both resolved
+    /// through the session namespace), dropping any previous `to` under
+    /// the same catalog lock — see [`Cluster::replace_table`].
+    pub fn replace_table(&self, from: &str, to: &str) -> DbResult<()> {
+        let from = self.core.resolve(&self.cluster, from);
+        let to = self.core.create_name(to);
+        self.cluster
+            .replace_table_with(&self.core.stats, &from, &to)
+    }
+
     /// Drops every temporary table this session created and releases
     /// their space. Idempotent; also runs on drop.
     pub fn close(&self) {

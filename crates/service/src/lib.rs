@@ -22,6 +22,11 @@
 //!   [`JobHandle`] polls `Queued → Running { round } → Done | Failed`,
 //!   blocks on completion, and cancels mid-round (working tables and
 //!   their space are released).
+//! * **Streams** — named incremental CC maintainers
+//!   ([`Service::open_stream`], the `\stream` verbs): edge updates feed
+//!   through admission control into a live labelling, and staleness-
+//!   triggered rebuilds run the paper's contraction as ordinary jobs
+//!   that publish a `{name}_labels` SQL table (see `incc-stream`).
 //! * **A wire protocol** — [`Server`] speaks newline-delimited SQL
 //!   plus `\`-prefixed service commands over TCP, with CSV or JSON row
 //!   output; the `incc-serve`, `incc-cli` and `incc-smoke` binaries
@@ -60,7 +65,13 @@ mod job;
 mod scheduler;
 pub mod server;
 mod service;
+mod streams;
 
 pub use job::{AlgoKind, JobHandle, JobResult, JobSpec, JobStatus};
 pub use server::Server;
 pub use service::{AdmissionError, Service, ServiceConfig};
+// The incremental-CC stream surface (`\stream` verbs, `Service::open_stream`
+// and friends) re-exported so service clients need only this crate.
+pub use incc_stream::{
+    EdgeOp, FeedSummary, IncrementalCc, RebuildReport, StreamConfig, StreamStatus,
+};

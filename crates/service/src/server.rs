@@ -26,14 +26,19 @@
 //! Commands: `\job <algo> <table> [seed] [profile]`, `\status <id>`,
 //! `\wait <id>`, `\cancel <id>`, `\result <id>`, `\stats [global]`,
 //! `\metrics`, `\profile on|off|last|<id>`, `\mode csv|json`,
-//! `\timeout <ms>|off`, `\shared on|off`, `\quit`.
+//! `\timeout <ms>|off`, `\shared on|off`, `\quit`, and the incremental
+//! CC stream verbs: `\stream open <name> [max_tombstones]
+//! [staleness_ms]`, `\stream feed <name> +u:v|-u:v|+v ...`,
+//! `\stream component <name> <v>`, `\stream stats <name>`,
+//! `\stream rebuild <name>`, `\stream list`.
 //!
 //! A connection that drops without `\quit` (EOF or a socket error) is
 //! treated as an abandoned client: the session's in-flight statement is
 //! interrupted and the jobs this connection submitted are cancelled.
 
 use crate::service::Service;
-use crate::{AlgoKind, JobResult, JobSpec, JobStatus};
+use crate::streams::parse_stream_ops;
+use crate::{AlgoKind, JobResult, JobSpec, JobStatus, StreamConfig};
 use incc_mppdb::{Datum, QueryOutput, Session};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -341,6 +346,118 @@ fn execute_command(
                 (status, _) => writeln!(w, "ERR job {id} is {}", status.render())?,
             }
         }
+        ("stream", ["list"]) => {
+            let names = service.stream_names();
+            for name in &names {
+                writeln!(w, "{name}")?;
+            }
+            writeln!(w, "OK {}", names.len())?;
+        }
+        ("stream", ["open", name, rest @ ..]) => {
+            let mut config = StreamConfig::default();
+            let ok = match rest {
+                [] => true,
+                [max] => max.parse().map(|m| config.max_tombstones = m).is_ok(),
+                [max, ms] => {
+                    max.parse().map(|m| config.max_tombstones = m).is_ok()
+                        && ms
+                            .parse::<u64>()
+                            .map(|ms| {
+                                config.staleness_budget = Duration::from_millis(ms);
+                            })
+                            .is_ok()
+                }
+                _ => false,
+            };
+            if !ok {
+                writeln!(
+                    w,
+                    "ERR usage: \\stream open <name> [max_tombstones] [staleness_ms]"
+                )?;
+                return Ok(false);
+            }
+            match service.open_stream(name, config) {
+                Ok(cc) => writeln!(w, "OK stream {name} epoch {}", cc.epoch())?,
+                Err(e) => writeln!(w, "ERR {e}")?,
+            }
+        }
+        ("stream", ["feed", name, ops @ ..]) => {
+            let ops = match parse_stream_ops(ops) {
+                Ok(ops) if !ops.is_empty() => ops,
+                Ok(_) => {
+                    writeln!(w, "ERR usage: \\stream feed <name> +u:v|-u:v|+v ...")?;
+                    return Ok(false);
+                }
+                Err(e) => {
+                    writeln!(w, "ERR {e}")?;
+                    return Ok(false);
+                }
+            };
+            match service.feed_stream(name, &ops) {
+                Ok((summary, scheduled)) => {
+                    if let Some(job) = scheduled {
+                        writeln!(w, "rebuild job {job}")?;
+                    }
+                    writeln!(w, "OK fed {} epoch {}", summary.applied, summary.epoch)?;
+                }
+                Err(e) => writeln!(w, "ERR {e}")?,
+            }
+        }
+        ("stream", ["component", name, v]) => {
+            let Ok(v) = v.parse::<u64>() else {
+                writeln!(w, "ERR vertex must be an unsigned integer")?;
+                return Ok(false);
+            };
+            let Some(cc) = service.stream(name) else {
+                writeln!(w, "ERR no such stream {name}")?;
+                return Ok(false);
+            };
+            match cc.component(v) {
+                Some((label, epoch)) => {
+                    write_row(
+                        w,
+                        *mode,
+                        &[
+                            Datum::Int(v as i64),
+                            Datum::Int(label as i64),
+                            Datum::Int(epoch as i64),
+                        ],
+                    )?;
+                    writeln!(w, "OK 1")?;
+                }
+                None => writeln!(w, "ERR vertex {v} not in stream {name}")?,
+            }
+        }
+        ("stream", ["stats", name]) => {
+            let Some(cc) = service.stream(name) else {
+                writeln!(w, "ERR no such stream {name}")?;
+                return Ok(false);
+            };
+            let st = cc.status();
+            writeln!(w, "epoch {}", st.epoch)?;
+            writeln!(w, "vertices {}", st.vertices)?;
+            writeln!(w, "live_edges {}", st.live_edges)?;
+            writeln!(w, "tombstones {}", st.tombstones)?;
+            writeln!(w, "staleness_micros {}", st.staleness.as_micros())?;
+            writeln!(w, "components {}", st.components)?;
+            writeln!(w, "max_rank {}", st.max_rank)?;
+            writeln!(w, "updates {}", st.updates_total)?;
+            writeln!(w, "batches {}", st.batches_total)?;
+            writeln!(w, "rebuilds {}", st.rebuilds_total)?;
+            writeln!(w, "last_rebuild_rounds {}", st.last_rebuild_rounds)?;
+            writeln!(w, "needs_rebuild {}", st.needs_rebuild)?;
+            writeln!(w, "rebuilding {}", st.rebuilding)?;
+            writeln!(
+                w,
+                "batch_p95_micros {}",
+                st.batch_latency.quantile(0.95) / 1_000
+            )?;
+            writeln!(w, "OK 14")?;
+        }
+        ("stream", ["rebuild", name]) => match service.rebuild_stream(name) {
+            Ok(job) => writeln!(w, "OK job {}", job.id())?,
+            Err(e) => writeln!(w, "ERR {e}")?,
+        },
         _ => writeln!(w, "ERR unknown command \\{cmd}")?,
     }
     Ok(false)

@@ -3,11 +3,13 @@
 
 use crate::job::{JobHandle, JobResult, JobSpec, JobState, JobStatus};
 use crate::scheduler::{Gate, JobLane};
+use crate::streams::{valid_stream_name, StreamEntry};
 use incc_core::driver::{RoundRecorder, RunControl};
 use incc_mppdb::{
     Cluster, ClusterConfig, DbError, DbResult, ErrorClass, HistogramSnapshot, OpStats, QueryOutput,
     RetryPolicy, ScalarUdf, Session, SqlEngine, StatsSnapshot,
 };
+use incc_stream::{EdgeOp, FeedSummary, IncrementalCc, StreamConfig, StreamStatus};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -127,6 +129,12 @@ impl SqlEngine for GatedEngine<'_> {
         self.inner.rename_table(from, to)
     }
 
+    fn replace_table(&self, from: &str, to: &str) -> DbResult<()> {
+        // Delegate to the session's single-lock swap rather than the
+        // trait's drop-then-rename fallback.
+        self.inner.replace_table(from, to)
+    }
+
     fn register_udf(&self, name: &str, udf: Arc<dyn ScalarUdf>) {
         self.inner.register_udf(name, udf)
     }
@@ -190,6 +198,7 @@ pub struct Service {
     config: ServiceConfig,
     next_job: AtomicU64,
     jobs: Mutex<HashMap<u64, Arc<JobState>>>,
+    streams: Mutex<HashMap<String, StreamEntry>>,
 }
 
 impl Service {
@@ -208,6 +217,7 @@ impl Service {
             config,
             next_job: AtomicU64::new(1),
             jobs: Mutex::new(HashMap::new()),
+            streams: Mutex::new(HashMap::new()),
         })
     }
 
@@ -303,6 +313,148 @@ impl Service {
         self.lane.queue_len()
     }
 
+    /// Opens (or reopens) a named incremental CC stream. Opening an
+    /// existing stream returns it unchanged — `config` only applies to
+    /// a stream created by this call. Subject to admission; stream
+    /// names must be identifier-shaped because they prefix the
+    /// published `{name}_labels` SQL table.
+    pub fn open_stream(
+        &self,
+        name: &str,
+        config: StreamConfig,
+    ) -> DbResult<Arc<IncrementalCc>> {
+        if !valid_stream_name(name) {
+            return Err(DbError::Exec(format!(
+                "invalid stream name {name:?} (want [a-z][a-z0-9_]*, <= 64 chars)"
+            )));
+        }
+        if let Err(e) = self.admit() {
+            return Err(DbError::Exec(e.to_string()));
+        }
+        let mut streams = self.streams.lock().unwrap();
+        let entry = streams
+            .entry(name.to_string())
+            .or_insert_with(|| StreamEntry::new(Arc::new(IncrementalCc::new(name, config))));
+        Ok(entry.cc.clone())
+    }
+
+    /// Looks up an open stream by name.
+    pub fn stream(&self, name: &str) -> Option<Arc<IncrementalCc>> {
+        self.streams.lock().unwrap().get(name).map(|e| e.cc.clone())
+    }
+
+    /// Names of all open streams, sorted.
+    pub fn stream_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.streams.lock().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Status snapshots of all open streams, sorted by name (what the
+    /// metrics exposition renders).
+    pub fn stream_statuses(&self) -> Vec<StreamStatus> {
+        let mut statuses: Vec<StreamStatus> = self
+            .streams
+            .lock()
+            .unwrap()
+            .values()
+            .map(|e| e.cc.status())
+            .collect();
+        statuses.sort_by(|a, b| a.name.cmp(&b.name));
+        statuses
+    }
+
+    /// Feeds one batch of edge updates into a stream, subject to
+    /// admission control like any other ingress. When the batch trips
+    /// a rebuild trigger and no rebuild is already queued or running,
+    /// a rebuild job is scheduled automatically through the jobs API;
+    /// its id is returned alongside the feed summary.
+    pub fn feed_stream(
+        &self,
+        name: &str,
+        ops: &[EdgeOp],
+    ) -> DbResult<(FeedSummary, Option<u64>)> {
+        if let Err(e) = self.admit() {
+            return Err(DbError::Exec(e.to_string()));
+        }
+        let cc = self
+            .stream(name)
+            .ok_or_else(|| DbError::Exec(format!("no such stream {name:?}")))?;
+        let summary = cc.feed(ops);
+        let mut scheduled = None;
+        if summary.needs_rebuild {
+            // Best effort: a full queue just means a later feed (or a
+            // manual `\stream rebuild`) tries again.
+            if let Ok(job) = self.rebuild_stream(name) {
+                scheduled = Some(job.id());
+            }
+        }
+        Ok((summary, scheduled))
+    }
+
+    /// Schedules a rebuild of `name` as an asynchronous job on the
+    /// shared worker pool — the same admission queue, concurrency gate,
+    /// retry policy and round telemetry as every other CC job. When a
+    /// rebuild for this stream is already queued or running, the
+    /// existing job's handle is returned instead of a new one.
+    pub fn rebuild_stream(&self, name: &str) -> DbResult<JobHandle> {
+        let (cc, pending, last_job) = {
+            let streams = self.streams.lock().unwrap();
+            let entry = streams
+                .get(name)
+                .ok_or_else(|| DbError::Exec(format!("no such stream {name:?}")))?;
+            (
+                entry.cc.clone(),
+                entry.rebuild_pending.clone(),
+                entry.last_rebuild_job.clone(),
+            )
+        };
+        if pending.swap(true, Ordering::AcqRel) {
+            // Already scheduled: hand back the in-flight job.
+            let id = last_job.load(Ordering::Acquire);
+            if let Some(job) = self.job(id) {
+                return Ok(job);
+            }
+            // The registry forgot the job (shouldn't happen); fall
+            // through and schedule a fresh one.
+        }
+        if let Err(e) = self.admit() {
+            pending.store(false, Ordering::Release);
+            return Err(DbError::Exec(e.to_string()));
+        }
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        // Rebuilds are first-class jobs: they reuse the job registry
+        // and lifecycle, spelled `rc` over the pseudo-input
+        // `stream:{name}`.
+        let spec = JobSpec {
+            algo: crate::AlgoKind::Rc,
+            input: format!("stream:{name}"),
+            seed: cc.config().seed,
+            profile: false,
+        };
+        let state = JobState::new(id, spec);
+        self.jobs.lock().unwrap().insert(id, state.clone());
+        let cluster = self.cluster.clone();
+        let gate = self.gate.clone();
+        let timeout = self.config.statement_timeout;
+        let retry = self.config.retry;
+        let task_state = state.clone();
+        let task_pending = pending.clone();
+        let submitted = self.lane.submit(Box::new(move || {
+            execute_stream_rebuild(&cluster, &gate, timeout, retry, &task_state, &cc);
+            task_pending.store(false, Ordering::Release);
+        }));
+        if submitted.is_err() {
+            self.jobs.lock().unwrap().remove(&id);
+            pending.store(false, Ordering::Release);
+            return Err(DbError::Exec(
+                AdmissionError::QueueFull { depth: self.config.queue_depth }.to_string(),
+            ));
+        }
+        last_job.store(id, Ordering::Release);
+        Ok(JobHandle { state })
+    }
+
     /// Prometheus-style text exposition of the cluster's counters,
     /// per-operator execution statistics, the cluster-wide statement
     /// latency histogram, and job states. This is what the wire
@@ -391,6 +543,118 @@ impl Service {
         ] {
             let _ = writeln!(out, "incc_jobs{{state=\"{state}\"}} {n}");
         }
+        // Per-stream incremental-CC families, labelled by stream name.
+        let streams = self.stream_statuses();
+        if !streams.is_empty() {
+            let mut stream_family =
+                |name: &str, ty: &str, help: &str, value: &dyn Fn(&StreamStatus) -> u64| {
+                    let _ = writeln!(out, "# HELP {name} {help}");
+                    let _ = writeln!(out, "# TYPE {name} {ty}");
+                    for st in &streams {
+                        let _ = writeln!(out, "{name}{{stream=\"{}\"}} {}", st.name, value(st));
+                    }
+                };
+            stream_family("incc_stream_epoch", "gauge", "Current label epoch.", &|s| {
+                s.epoch
+            });
+            stream_family(
+                "incc_stream_vertices",
+                "gauge",
+                "Vertices ever streamed.",
+                &|s| s.vertices as u64,
+            );
+            stream_family(
+                "incc_stream_live_edges",
+                "gauge",
+                "Currently live edges.",
+                &|s| s.live_edges as u64,
+            );
+            stream_family(
+                "incc_stream_tombstones",
+                "gauge",
+                "Deletions awaiting a rebuild.",
+                &|s| s.tombstones as u64,
+            );
+            stream_family(
+                "incc_stream_updates_total",
+                "counter",
+                "Edge updates applied.",
+                &|s| s.updates_total,
+            );
+            stream_family(
+                "incc_stream_batches_total",
+                "counter",
+                "Feed batches absorbed.",
+                &|s| s.batches_total,
+            );
+            stream_family(
+                "incc_stream_rebuilds_total",
+                "counter",
+                "Label rebuilds published.",
+                &|s| s.rebuilds_total,
+            );
+            stream_family(
+                "incc_stream_rebuild_due",
+                "gauge",
+                "1 when a rebuild trigger has been crossed.",
+                &|s| s.needs_rebuild as u64,
+            );
+            // Staleness is fractional seconds; not a u64 family.
+            let _ = writeln!(
+                out,
+                "# HELP incc_stream_staleness_seconds Age of the oldest pending deletion."
+            );
+            let _ = writeln!(out, "# TYPE incc_stream_staleness_seconds gauge");
+            for st in &streams {
+                let _ = writeln!(
+                    out,
+                    "incc_stream_staleness_seconds{{stream=\"{}\"}} {}",
+                    st.name,
+                    st.staleness.as_secs_f64()
+                );
+            }
+            // Per-stream feed-batch latency histograms, same cumulative
+            // rendering as the statement histogram below.
+            let _ = writeln!(
+                out,
+                "# HELP incc_stream_batch_seconds Feed batch wall time."
+            );
+            let _ = writeln!(out, "# TYPE incc_stream_batch_seconds histogram");
+            for st in &streams {
+                let h = &st.batch_latency;
+                let mut cumulative = 0u64;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cumulative += n;
+                    if i < 63 {
+                        let le = HistogramSnapshot::bucket_upper(i) as f64 / 1e9;
+                        let _ = writeln!(
+                            out,
+                            "incc_stream_batch_seconds_bucket{{stream=\"{}\",le=\"{le}\"}} {cumulative}",
+                            st.name
+                        );
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "incc_stream_batch_seconds_bucket{{stream=\"{}\",le=\"+Inf\"}} {}",
+                    st.name, h.count
+                );
+                let _ = writeln!(
+                    out,
+                    "incc_stream_batch_seconds_sum{{stream=\"{}\"}} {}",
+                    st.name,
+                    h.sum_nanos as f64 / 1e9
+                );
+                let _ = writeln!(
+                    out,
+                    "incc_stream_batch_seconds_count{{stream=\"{}\"}} {}",
+                    st.name, h.count
+                );
+            }
+        }
         // Per-operator execution families, labelled by operator kind.
         let ops = self.cluster.op_stats();
         let mut op_family = |name: &str, help: &str, value: &dyn Fn(&OpStats) -> u64| {
@@ -471,6 +735,11 @@ impl Service {
         for job in &jobs {
             job.finish_failed(ErrorClass::Cancelled, "cancelled: service shut down");
         }
+        // Queued rebuild tasks were discarded with the lane's queue, so
+        // their scheduling latches must not stay stuck.
+        for entry in self.streams.lock().unwrap().values() {
+            entry.rebuild_pending.store(false, Ordering::Release);
+        }
     }
 }
 
@@ -538,6 +807,87 @@ fn execute_job(
     // behind (crucial after cancellation or failure). This must happen
     // *before* the terminal status is published: a waiter that observes
     // Done/Failed must also observe the space released.
+    session.close();
+    match verdict {
+        Ok(result) => job.finish_ok(result),
+        Err((class, message)) => job.finish_failed(class, &message),
+    }
+}
+
+/// The job body of a stream rebuild: [`execute_job`]'s shape — own
+/// session, gated + retried statements, round telemetry — but driving
+/// [`IncrementalCc::rebuild`] instead of a fresh algorithm run, and
+/// finishing by moving the published label table out of the job
+/// session's namespace into the shared catalog so it outlives the
+/// session.
+fn execute_stream_rebuild(
+    cluster: &Arc<Cluster>,
+    gate: &Gate,
+    timeout: Option<Duration>,
+    retry: RetryPolicy,
+    job: &Arc<JobState>,
+    stream: &Arc<IncrementalCc>,
+) {
+    if job.is_cancelled() {
+        job.finish_failed(ErrorClass::Cancelled, "cancelled: before start");
+        return;
+    }
+    job.set_running(0);
+    let session = cluster.session();
+    session.set_timeout(timeout);
+    job.attach_session_flag(session.cancel_flag());
+    let on_round = |round: usize, _rows: usize| job.set_running(round);
+    let stats_fn = || session.stats();
+    let recorder = RoundRecorder::new(&stats_fn);
+    let ctrl = RunControl {
+        cancel: Some(job.cancel_flag()),
+        on_round: Some(&on_round),
+        rounds: Some(&recorder),
+    };
+    let engine = GatedEngine {
+        inner: &session,
+        gate,
+        retry: &retry,
+        salt: session.id(),
+    };
+    let before = session.stats();
+    let start = Instant::now();
+    let outcome = stream.rebuild(&engine, &ctrl);
+    let elapsed = start.elapsed();
+    let verdict = match outcome {
+        Ok(report) => {
+            // The rebuild published `{name}_labels` inside this
+            // session's namespace; promote it to the shared catalog
+            // (atomic swap) so clients can query it after the job.
+            let published = report
+                .label_table
+                .as_ref()
+                .map(|t| cluster.replace_table(&session.temp_table_name(t), t))
+                .transpose();
+            match published {
+                Ok(_) => {
+                    let labels = report
+                        .label_table
+                        .as_ref()
+                        .and_then(|t| cluster.scan_pairs(t).ok())
+                        .unwrap_or_default();
+                    let stats = session.stats().delta_since(&before);
+                    Ok(JobResult {
+                        labels,
+                        rounds: report.rounds,
+                        round_sizes: report.round_sizes,
+                        elapsed,
+                        stats,
+                        round_reports: recorder.take(),
+                        profiles: session.take_profiles(),
+                    })
+                }
+                Err(e) => Err((e.class(), e.to_string())),
+            }
+        }
+        Err(e) => Err((e.class(), e.to_string())),
+    };
+    job.detach_session_flag();
     session.close();
     match verdict {
         Ok(result) => job.finish_ok(result),
@@ -731,6 +1081,147 @@ mod tests {
                 .collect();
             assert!(labellings_equivalent(&labels, &truth), "{algo:?}");
         }
+        service.shutdown();
+    }
+
+    #[test]
+    fn stream_feed_triggers_a_rebuild_job_that_publishes_labels() {
+        let service = Service::start(ServiceConfig::default());
+        service
+            .open_stream("s", StreamConfig { max_tombstones: 1, ..StreamConfig::default() })
+            .unwrap();
+        let (summary, scheduled) = service
+            .feed_stream(
+                "s",
+                &[EdgeOp::Add(1, 2), EdgeOp::Add(2, 3), EdgeOp::Add(8, 9)],
+            )
+            .unwrap();
+        assert_eq!(summary.applied, 3);
+        assert!(scheduled.is_none(), "no trigger crossed yet");
+        // Deleting trips the tombstone trigger and auto-schedules.
+        let (summary, scheduled) = service.feed_stream("s", &[EdgeOp::Del(2, 3)]).unwrap();
+        assert!(summary.needs_rebuild);
+        let job = service.job(scheduled.expect("rebuild scheduled")).unwrap();
+        assert_eq!(job.spec().input, "stream:s");
+        assert_eq!(job.wait(), JobStatus::Done);
+        let result = job.result().unwrap();
+        assert!(result.rounds >= 1);
+        assert_eq!(result.round_reports.len(), result.rounds);
+        assert_eq!(result.labels.len(), 5, "one label row per vertex");
+        // The label table survives the job session in the shared
+        // catalog and matches the maintainer's answers.
+        let labels = service.cluster().scan_pairs("s_labels").unwrap();
+        assert_eq!(labels.len(), 5);
+        let cc = service.stream("s").unwrap();
+        assert_eq!(cc.epoch(), 1);
+        assert_ne!(cc.component(1).unwrap().0, cc.component(3).unwrap().0);
+        assert_eq!(cc.component(8).unwrap().0, cc.component(9).unwrap().0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn stream_rebuild_rides_the_retry_machinery_and_reports_retries() {
+        use incc_mppdb::FaultPlan;
+        // Inject transient errors into every statement site family; the
+        // gated engine's retry policy must absorb them and the round
+        // telemetry must account each retry (the same path rounds.json
+        // records for batch RC runs).
+        let cluster = Arc::new(Cluster::new(ClusterConfig {
+            faults: Some(FaultPlan::errors(11, 120, 40)),
+            ..ClusterConfig::default()
+        }));
+        // max_retries above the fault budget so no retry budget can be
+        // exhausted by the plan (the chaos suite's convention).
+        let service = Service::new(
+            cluster,
+            ServiceConfig {
+                retry: RetryPolicy {
+                    max_retries: 64,
+                    base: Duration::from_millis(1),
+                    cap: Duration::from_millis(4),
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        service.open_stream("f", StreamConfig::default()).unwrap();
+        service
+            .feed_stream("f", &[EdgeOp::Add(1, 2), EdgeOp::Add(3, 4), EdgeOp::Add(2, 3)])
+            .unwrap();
+        let job = service.rebuild_stream("f").unwrap();
+        assert_eq!(job.wait(), JobStatus::Done);
+        let result = job.result().unwrap();
+        let retried: u64 = result.round_reports.iter().map(|r| r.retries).sum();
+        assert!(
+            retried > 0,
+            "fault plan injected no retryable failures into {} rounds",
+            result.rounds
+        );
+        // Retries outside round boundaries (input load, label scan)
+        // are in the session total but not in any round report.
+        assert!(result.stats.retries >= retried);
+        service.shutdown();
+    }
+
+    #[test]
+    fn duplicate_rebuild_requests_coalesce_onto_one_job() {
+        let service = Service::start(ServiceConfig::default());
+        service.open_stream("s", StreamConfig::default()).unwrap();
+        service.feed_stream("s", &[EdgeOp::Add(1, 2)]).unwrap();
+        let a = service.rebuild_stream("s").unwrap();
+        let b = service.rebuild_stream("s").unwrap();
+        // Either the same job, or (if a finished already) a fresh one —
+        // never an error.
+        assert!(b.id() >= a.id());
+        assert_eq!(a.wait(), JobStatus::Done);
+        assert_eq!(b.wait(), JobStatus::Done);
+        service.shutdown();
+    }
+
+    #[test]
+    fn stream_registry_validates_names_and_lookup() {
+        let service = Service::start(ServiceConfig::default());
+        assert!(service.open_stream("2bad", StreamConfig::default()).is_err());
+        assert!(service.open_stream("Bad", StreamConfig::default()).is_err());
+        assert!(service.stream("missing").is_none());
+        assert!(service.feed_stream("missing", &[EdgeOp::Add(1, 2)]).is_err());
+        assert!(service.rebuild_stream("missing").is_err());
+        service.open_stream("ok_1", StreamConfig::default()).unwrap();
+        // Reopening returns the same maintainer.
+        let a = service.open_stream("ok_1", StreamConfig::default()).unwrap();
+        a.feed(&[EdgeOp::Add(5, 6)]);
+        let b = service.stream("ok_1").unwrap();
+        assert!(b.component(5).is_some());
+        assert_eq!(service.stream_names(), vec!["ok_1".to_string()]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn metrics_text_exposes_stream_families() {
+        let service = Service::start(ServiceConfig::default());
+        service.open_stream("m", StreamConfig::default()).unwrap();
+        service
+            .feed_stream("m", &[EdgeOp::Add(1, 2), EdgeOp::Del(1, 2)])
+            .unwrap();
+        let text = service.metrics_text();
+        for family in [
+            "incc_stream_epoch{stream=\"m\"} 0",
+            "incc_stream_vertices{stream=\"m\"} 2",
+            "incc_stream_live_edges{stream=\"m\"} 0",
+            "incc_stream_tombstones{stream=\"m\"} 1",
+            "incc_stream_updates_total{stream=\"m\"} 2",
+            "incc_stream_batches_total{stream=\"m\"} 1",
+            "incc_stream_rebuilds_total{stream=\"m\"} 0",
+            "incc_stream_rebuild_due{stream=\"m\"}",
+            "incc_stream_staleness_seconds{stream=\"m\"}",
+            "incc_stream_batch_seconds_bucket{stream=\"m\",le=\"+Inf\"} 1",
+            "incc_stream_batch_seconds_count{stream=\"m\"} 1",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        assert_eq!(
+            text.matches("# HELP ").count(),
+            text.matches("# TYPE ").count()
+        );
         service.shutdown();
     }
 

@@ -1,0 +1,102 @@
+//! Service-side plumbing for incremental CC streams.
+//!
+//! The maintainer itself lives in `incc-stream`; this module holds
+//! what the *service* adds around it: the named-stream registry entry
+//! (with the rebuild-scheduling latch that stops a chatty feeder from
+//! queueing the same rebuild twice) and the wire-protocol spelling of
+//! edge updates. Scheduling and execution are in
+//! [`crate::Service`](crate::service::Service), which runs rebuilds as
+//! ordinary jobs.
+
+use incc_stream::{EdgeOp, IncrementalCc};
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::Arc;
+
+/// One registered stream: the maintainer plus the service's
+/// scheduling state.
+pub(crate) struct StreamEntry {
+    /// The maintainer.
+    pub cc: Arc<IncrementalCc>,
+    /// True while a rebuild job is queued or running for this stream —
+    /// the latch `Service::feed_stream` checks before auto-scheduling.
+    pub rebuild_pending: Arc<AtomicBool>,
+    /// Id of the most recently scheduled rebuild job (0 = none yet).
+    pub last_rebuild_job: Arc<AtomicU64>,
+}
+
+impl StreamEntry {
+    pub(crate) fn new(cc: Arc<IncrementalCc>) -> StreamEntry {
+        StreamEntry {
+            cc,
+            rebuild_pending: Arc::new(AtomicBool::new(false)),
+            last_rebuild_job: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Stream names become SQL table prefixes (`{name}_labels`), so they
+/// are restricted to identifier shape: lowercase ASCII letter first,
+/// then letters, digits and underscores, at most 64 chars.
+pub(crate) fn valid_stream_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_lowercase())
+        && name.len() <= 64
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Parses the wire spelling of a feed batch: `+u:v` inserts the edge
+/// `(u, v)`, `-u:v` deletes it, and a bare `+v` registers the isolated
+/// vertex `v` (a loop edge, the paper's convention).
+pub(crate) fn parse_stream_ops(tokens: &[&str]) -> Result<Vec<EdgeOp>, String> {
+    let mut ops = Vec::with_capacity(tokens.len());
+    for tok in tokens {
+        let (add, body) = match tok.as_bytes().first() {
+            Some(b'+') => (true, &tok[1..]),
+            Some(b'-') => (false, &tok[1..]),
+            _ => return Err(format!("op {tok:?} must start with + or -")),
+        };
+        let (u, v) = match body.split_once(':') {
+            Some((u, v)) => {
+                let u = u.parse::<u64>().map_err(|_| format!("bad vertex in {tok:?}"))?;
+                let v = v.parse::<u64>().map_err(|_| format!("bad vertex in {tok:?}"))?;
+                (u, v)
+            }
+            None if add => {
+                let v = body.parse::<u64>().map_err(|_| format!("bad vertex in {tok:?}"))?;
+                (v, v)
+            }
+            None => return Err(format!("delete op {tok:?} wants -u:v")),
+        };
+        ops.push(if add { EdgeOp::Add(u, v) } else { EdgeOp::Del(u, v) });
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_names_are_identifier_shaped() {
+        assert!(valid_stream_name("s"));
+        assert!(valid_stream_name("graph_2024"));
+        assert!(!valid_stream_name(""));
+        assert!(!valid_stream_name("2g"));
+        assert!(!valid_stream_name("Has_Upper"));
+        assert!(!valid_stream_name("a b"));
+        assert!(!valid_stream_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn op_tokens_parse_both_directions() {
+        let ops = parse_stream_ops(&["+1:2", "-3:4", "+9"]).unwrap();
+        assert_eq!(
+            ops,
+            vec![EdgeOp::Add(1, 2), EdgeOp::Del(3, 4), EdgeOp::Add(9, 9)]
+        );
+        assert!(parse_stream_ops(&["1:2"]).is_err());
+        assert!(parse_stream_ops(&["-9"]).is_err());
+        assert!(parse_stream_ops(&["+a:b"]).is_err());
+        assert!(parse_stream_ops(&["+1:"]).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Incremental connected-components maintenance under streaming edge
+//! updates.
+//!
+//! The paper computes connected components as a *batch* job: load an
+//! edge table, run Randomised Contraction, read the labels. This crate
+//! adds the subsystem the paper's Section VII sketches as future work
+//! — keeping those labels **live** while edges stream in and out —
+//! without giving up the in-database batch algorithm as the source of
+//! truth:
+//!
+//! * [`IncrementalCc`] absorbs `Add`/`Del` batches. Insertions apply
+//!   immediately as CAS unions in a concurrent union–find
+//!   ([`AtomicUf`]); deletions are tombstoned and deferred. Labels are
+//!   at most a configured *staleness budget* behind the truth.
+//! * When the budget trips, a **rebuild** reruns the paper's
+//!   contraction through any [`incc_mppdb::SqlEngine`] over the
+//!   surviving edges, publishes the `(v, r)` labels as a SQL table via
+//!   the engine's atomic `replace_table` swap, and swings an epoch
+//!   pointer — readers of the old epoch are never blocked and a failed
+//!   rebuild changes nothing.
+//! * [`NaiveRerun`] is the baseline the bench compares against: a full
+//!   engine rerun per batch.
+//!
+//! The service layer wires this up as `\stream open|feed|component|
+//! stats` verbs with rebuilds scheduled as ordinary jobs; see the
+//! `incc-service` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inc;
+mod naive;
+mod uf;
+
+pub use inc::{
+    EdgeOp, FeedSummary, IncrementalCc, RebuildReport, StreamConfig, StreamStatus,
+};
+pub use naive::NaiveRerun;
+pub use uf::AtomicUf;

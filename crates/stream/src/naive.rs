@@ -1,0 +1,136 @@
+//! The strawman the bench compares against: rerun the paper's
+//! Randomised Contraction through the engine after **every** batch.
+//!
+//! This is what "streaming CC" looks like without the incremental
+//! subsystem — always exact, but each batch pays a full O(log n)-round
+//! SQL run over the whole edge set, so sustained update throughput is
+//! bounded by engine latency rather than by a CAS. The bench
+//! (`benches/stream.rs`) holds the *staleness bound* equal on both
+//! sides — this baseline's labels are never stale, the incremental
+//! side's are stale at most its configured budget — and measures
+//! updates/sec.
+
+use crate::inc::EdgeOp;
+use incc_core::driver::{drop_if_exists, CcAlgorithm, RunControl};
+use incc_core::RandomisedContraction;
+use incc_mppdb::{DbResult, SqlEngine};
+use std::collections::{HashMap, HashSet};
+
+/// Exact-but-slow streaming CC: full contraction rerun per batch.
+#[derive(Debug)]
+pub struct NaiveRerun {
+    name: String,
+    seed: u64,
+    live: HashSet<(u64, u64)>,
+    vertices: HashSet<u64>,
+    labels: HashMap<u64, u64>,
+    reruns: u64,
+}
+
+impl NaiveRerun {
+    /// A fresh, empty baseline stream.
+    pub fn new(name: impl Into<String>, seed: u64) -> NaiveRerun {
+        NaiveRerun {
+            name: name.into(),
+            seed,
+            live: HashSet::new(),
+            vertices: HashSet::new(),
+            labels: HashMap::new(),
+            reruns: 0,
+        }
+    }
+
+    /// Applies one batch and reruns the contraction over the full
+    /// current edge set. Returns the number of state-changing updates.
+    pub fn feed(&mut self, db: &dyn SqlEngine, ops: &[EdgeOp]) -> DbResult<usize> {
+        let mut applied = 0usize;
+        for &op in ops {
+            match op {
+                EdgeOp::Add(u, v) => {
+                    let key = if u <= v { (u, v) } else { (v, u) };
+                    if self.live.insert(key) {
+                        applied += 1;
+                    }
+                    self.vertices.insert(u);
+                    self.vertices.insert(v);
+                }
+                EdgeOp::Del(u, v) => {
+                    let key = if u <= v { (u, v) } else { (v, u) };
+                    if self.live.remove(&key) {
+                        applied += 1;
+                    }
+                }
+            }
+        }
+        self.rerun(db)?;
+        Ok(applied)
+    }
+
+    fn rerun(&mut self, db: &dyn SqlEngine) -> DbResult<()> {
+        self.reruns += 1;
+        if self.vertices.is_empty() {
+            self.labels.clear();
+            return Ok(());
+        }
+        let input = format!("{}_naive_in", self.name);
+        drop_if_exists(db, &[&input]);
+        let mut rows: Vec<(i64, i64)> = self
+            .live
+            .iter()
+            .map(|&(u, v)| (u as i64, v as i64))
+            .collect();
+        rows.extend(self.vertices.iter().map(|&v| (v as i64, v as i64)));
+        db.load_pairs(&input, "v1", "v2", &rows)?;
+        let seed = self.seed.wrapping_add(self.reruns);
+        let outcome = RandomisedContraction::paper().run_controlled(
+            db,
+            &input,
+            seed,
+            &RunControl::default(),
+        )?;
+        let labels = db.scan_pairs(&outcome.result_table)?;
+        let _ = db.drop_table(&outcome.result_table);
+        let _ = db.drop_table(&input);
+        self.labels = labels
+            .into_iter()
+            .map(|(v, r)| (v as u64, r as u64))
+            .collect();
+        Ok(())
+    }
+
+    /// Component label of `v` from the labels of the last rerun.
+    pub fn component(&self, v: u64) -> Option<u64> {
+        self.labels.get(&v).copied()
+    }
+
+    /// The full labelling as of the last rerun.
+    pub fn labelling(&self) -> &HashMap<u64, u64> {
+        &self.labels
+    }
+
+    /// Engine runs performed so far.
+    pub fn reruns(&self) -> u64 {
+        self.reruns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incc_mppdb::{Cluster, ClusterConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn naive_stays_exact_through_adds_and_deletes() {
+        let db = Arc::new(Cluster::new(ClusterConfig::default()));
+        let mut naive = NaiveRerun::new("n", 7);
+        naive
+            .feed(db.as_ref(), &[EdgeOp::Add(1, 2), EdgeOp::Add(2, 3)])
+            .unwrap();
+        assert_eq!(naive.component(1), naive.component(3));
+        naive.feed(db.as_ref(), &[EdgeOp::Del(2, 3)]).unwrap();
+        assert_ne!(naive.component(1), naive.component(3));
+        assert!(naive.component(3).is_some(), "vertex survives, isolated");
+        assert_eq!(naive.reruns(), 2);
+    }
+}

@@ -1,0 +1,324 @@
+//! A concurrent, lock-free union–find over dense `u32` ids.
+//!
+//! This is the in-memory half of the incremental maintainer: edge
+//! insertions become CAS unions, and `component` point lookups become
+//! wait-free-in-practice finds with path halving, so readers never
+//! block behind a feeder thread. The structure is grow-only — ids are
+//! appended, never removed — because deletions are handled one level
+//! up by the tombstone log and epoch rebuilds ([`crate::inc`]).
+//!
+//! Storage is chunked: a fixed array of lazily initialised chunks of
+//! `CHUNK` slots each. Appending a chunk never moves existing slots,
+//! so concurrent `find`/`union` calls on already-published ids stay
+//! valid while the structure grows — the standard trick for lock-free
+//! growable arrays, done here with [`OnceLock`] to stay inside safe
+//! Rust.
+//!
+//! The union is union-by-rank with the rank bump applied after a
+//! successful link (`fetch_max`), as in wait-free union–find designs:
+//! ranks may lag by a race, which costs at most a constant in path
+//! length and never affects which vertices end up connected.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// log2 of the slots per chunk.
+const CHUNK_BITS: usize = 12;
+/// Slots per storage chunk.
+const CHUNK: usize = 1 << CHUNK_BITS;
+
+/// One vertex: its parent pointer and its (root) rank.
+#[derive(Debug)]
+struct Slot {
+    parent: AtomicU32,
+    rank: AtomicU32,
+}
+
+/// A concurrent union–find: CAS union-by-rank, path-halving finds,
+/// lock-free appends. See the module docs for the design.
+#[derive(Debug)]
+pub struct AtomicUf {
+    chunks: Box<[OnceLock<Box<[Slot]>>]>,
+    len: AtomicU32,
+    max_rank: AtomicU32,
+}
+
+impl AtomicUf {
+    /// An empty structure able to hold up to [`AtomicUf::capacity`]
+    /// vertices (default: 2^22, ~4M — capacity costs one `OnceLock`
+    /// per 4096 ids, not per id).
+    pub fn new() -> AtomicUf {
+        AtomicUf::with_capacity(1 << 22)
+    }
+
+    /// An empty structure with room for at least `cap` vertices.
+    pub fn with_capacity(cap: usize) -> AtomicUf {
+        let chunks = cap.div_ceil(CHUNK).max(1);
+        let chunks = (0..chunks).map(|_| OnceLock::new()).collect();
+        AtomicUf { chunks, len: AtomicU32::new(0), max_rank: AtomicU32::new(0) }
+    }
+
+    /// Maximum number of vertices this structure can hold.
+    pub fn capacity(&self) -> usize {
+        self.chunks.len() * CHUNK
+    }
+
+    /// Number of vertices appended so far.
+    pub fn len(&self) -> u32 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no vertex has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn slot(&self, x: u32) -> &Slot {
+        let chunk = (x as usize) >> CHUNK_BITS;
+        let within = (x as usize) & (CHUNK - 1);
+        let chunk = self.chunks[chunk].get_or_init(|| {
+            let base = (chunk as u32) << CHUNK_BITS;
+            (0..CHUNK as u32)
+                .map(|i| Slot {
+                    parent: AtomicU32::new(base + i),
+                    rank: AtomicU32::new(0),
+                })
+                .collect()
+        });
+        &chunk[within]
+    }
+
+    /// Appends one singleton vertex and returns its id.
+    ///
+    /// Slots are pre-initialised to singletons when their chunk is
+    /// created, so the append is a single `fetch_add`; ids at or above
+    /// [`AtomicUf::len`] are simply not handed out yet. Panics when
+    /// capacity is exhausted.
+    pub fn push(&self) -> u32 {
+        let id = self.len.fetch_add(1, Ordering::AcqRel);
+        assert!(
+            (id as usize) < self.capacity(),
+            "AtomicUf capacity {} exhausted",
+            self.capacity()
+        );
+        // Touch the slot so the chunk exists before the id escapes.
+        let _ = self.slot(id);
+        id
+    }
+
+    /// The representative of `x`'s set, halving the path as it walks:
+    /// each step tries to swing `x`'s parent pointer to its
+    /// grandparent with a CAS, which keeps trees flat under concurrent
+    /// use without ever taking a lock.
+    pub fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.slot(x).parent.load(Ordering::Acquire);
+            if p == x {
+                return x;
+            }
+            let gp = self.slot(p).parent.load(Ordering::Acquire);
+            if p == gp {
+                return p;
+            }
+            let _ = self.slot(x).parent.compare_exchange_weak(
+                p,
+                gp,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            x = gp;
+        }
+    }
+
+    /// Current rank of `x`'s slot (meaningful at roots).
+    fn rank(&self, x: u32) -> u32 {
+        self.slot(x).rank.load(Ordering::Acquire)
+    }
+
+    /// Unions the sets of `a` and `b`; returns `true` when they were
+    /// previously disjoint. Lock-free: the link is a single CAS on the
+    /// loser root's parent pointer, retried from fresh finds when a
+    /// concurrent union got there first.
+    pub fn union(&self, a: u32, b: u32) -> bool {
+        loop {
+            let mut x = self.find(a);
+            let mut y = self.find(b);
+            if x == y {
+                return false;
+            }
+            let mut rx = self.rank(x);
+            let mut ry = self.rank(y);
+            // Link the lower-ranked root under the higher; break rank
+            // ties by id so concurrent unions agree on a direction.
+            if rx > ry || (rx == ry && x < y) {
+                std::mem::swap(&mut x, &mut y);
+                std::mem::swap(&mut rx, &mut ry);
+            }
+            if self
+                .slot(x)
+                .parent
+                .compare_exchange(x, y, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                if rx == ry {
+                    let bumped = rx + 1;
+                    self.slot(y).rank.fetch_max(bumped, Ordering::AcqRel);
+                    self.max_rank.fetch_max(bumped, Ordering::AcqRel);
+                }
+                return true;
+            }
+        }
+    }
+
+    /// True when `a` and `b` are currently in the same set. Uses the
+    /// standard concurrent check: two finds agree, or the first root
+    /// is confirmed still a root (in which case the sets really were
+    /// distinct at that instant).
+    pub fn same(&self, a: u32, b: u32) -> bool {
+        loop {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                return true;
+            }
+            if self.slot(ra).parent.load(Ordering::Acquire) == ra {
+                return false;
+            }
+        }
+    }
+
+    /// Highest rank ever produced — a cheap proxy for tree depth that
+    /// the maintainer uses as one of its rebuild triggers.
+    pub fn max_rank(&self) -> u32 {
+        self.max_rank.load(Ordering::Acquire)
+    }
+
+    /// Number of disjoint sets among the appended ids. A full scan —
+    /// meant for stats and tests, not hot paths.
+    pub fn set_count(&self) -> usize {
+        let n = self.len();
+        (0..n)
+            .filter(|&x| self.slot(x).parent.load(Ordering::Acquire) == x)
+            .count()
+    }
+
+    /// The representative of every appended id, in id order. A
+    /// consistent labelling only when unions are quiescent.
+    pub fn labels(&self) -> Vec<u32> {
+        (0..self.len()).map(|x| self.find(x)).collect()
+    }
+}
+
+impl Default for AtomicUf {
+    fn default() -> AtomicUf {
+        AtomicUf::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn singletons_and_basic_unions() {
+        let uf = AtomicUf::with_capacity(8);
+        let a = uf.push();
+        let b = uf.push();
+        let c = uf.push();
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.same(a, b));
+        assert!(uf.union(a, b));
+        assert!(!uf.union(a, b));
+        assert!(uf.same(a, b));
+        assert!(!uf.same(a, c));
+        assert!(uf.union(b, c));
+        assert!(uf.same(a, c));
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn capacity_grows_in_chunks_without_moving_ids() {
+        let uf = AtomicUf::with_capacity(3 * CHUNK);
+        assert_eq!(uf.capacity(), 3 * CHUNK);
+        for _ in 0..(CHUNK + 2) {
+            uf.push();
+        }
+        // Ids straddling the chunk boundary still union fine.
+        assert!(uf.union(0, CHUNK as u32 + 1));
+        assert!(uf.same(0, CHUNK as u32 + 1));
+    }
+
+    #[test]
+    fn ranks_stay_logarithmic_under_pairwise_merging() {
+        let uf = AtomicUf::with_capacity(1024);
+        for _ in 0..1024 {
+            uf.push();
+        }
+        // Binary-tournament merge: the worst case for rank growth.
+        let mut stride = 1u32;
+        while stride < 1024 {
+            for base in (0..1024).step_by(2 * stride as usize) {
+                uf.union(base, base + stride);
+            }
+            stride *= 2;
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.max_rank() <= 10, "rank {} > log2(n)", uf.max_rank());
+    }
+
+    #[test]
+    fn concurrent_unions_agree_with_sequential_result() {
+        // 4 threads union a ring of 4096 vertices in interleaved
+        // slices; afterwards everything must be one component and the
+        // structure internally consistent.
+        let uf = Arc::new(AtomicUf::with_capacity(4096));
+        for _ in 0..4096 {
+            uf.push();
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let uf = Arc::clone(&uf);
+                s.spawn(move || {
+                    let mut i = t;
+                    while i < 4096 {
+                        uf.union(i, (i + 1) % 4096);
+                        i += 4;
+                    }
+                });
+            }
+        });
+        assert_eq!(uf.set_count(), 1);
+        let root = uf.find(0);
+        for x in 0..4096 {
+            assert_eq!(uf.find(x), root);
+        }
+    }
+
+    #[test]
+    fn concurrent_finds_during_unions_return_valid_roots() {
+        let uf = Arc::new(AtomicUf::with_capacity(2048));
+        for _ in 0..2048 {
+            uf.push();
+        }
+        std::thread::scope(|s| {
+            let w = Arc::clone(&uf);
+            s.spawn(move || {
+                for i in 0..2047u32 {
+                    w.union(i, i + 1);
+                }
+            });
+            for _ in 0..2 {
+                let r = Arc::clone(&uf);
+                s.spawn(move || {
+                    for i in 0..2048u32 {
+                        let root = r.find(i);
+                        // A returned root is always a live id.
+                        assert!(root < 2048);
+                    }
+                });
+            }
+        });
+        assert_eq!(uf.set_count(), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! The incremental maintainer's correctness contract, property-tested:
+//!
+//! 1. **Equivalence** — after any interleaving of inserts, deletes and
+//!    rebuilds, a final rebuild leaves labels partition-equivalent to
+//!    from-scratch connected components over the surviving edge set
+//!    (live edges plus a loop per ever-seen vertex).
+//! 2. **Monotone staleness** — *between* rebuilds labels are only ever
+//!    over-merged: every edge currently live has same-labelled
+//!    endpoints, because inserts apply eagerly and deletes defer.
+//! 3. **Epoch safety under faults** — a rebuild that dies on injected
+//!    segment panics publishes nothing: the old epoch keeps answering
+//!    with its exact pre-failure labels, and a later rebuild (fault
+//!    budget exhausted) succeeds and advances the epoch.
+
+use incc_core::driver::RunControl;
+use incc_graph::union_find::{connected_components, labellings_equivalent};
+use incc_mppdb::{Cluster, ClusterConfig, FaultPlan};
+use incc_stream::{EdgeOp, IncrementalCc, StreamConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn norm(u: u64, v: u64) -> (u64, u64) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// The reference state: the edge set the stream should describe.
+#[derive(Default)]
+struct Model {
+    live: HashSet<(u64, u64)>,
+    vertices: HashSet<u64>,
+}
+
+impl Model {
+    fn apply(&mut self, op: EdgeOp) {
+        match op {
+            EdgeOp::Add(u, v) => {
+                self.live.insert(norm(u, v));
+                self.vertices.insert(u);
+                self.vertices.insert(v);
+            }
+            EdgeOp::Del(u, v) => {
+                self.live.remove(&norm(u, v));
+            }
+        }
+    }
+
+    /// From-scratch truth: CC over live edges + loops for every
+    /// ever-seen vertex (the paper's isolated-vertex convention, and
+    /// exactly what a rebuild feeds the engine).
+    fn truth(&self) -> std::collections::HashMap<u64, u64> {
+        let mut edges: Vec<(u64, u64)> = self.live.iter().copied().collect();
+        edges.extend(self.vertices.iter().map(|&v| (v, v)));
+        connected_components(&edges)
+    }
+}
+
+/// One scripted step: an edge op, or a rebuild through the engine.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Op(EdgeOp),
+    Rebuild,
+}
+
+/// Random interleavings over a small vertex space: mostly adds, a
+/// healthy share of deletes (often of actually-live edges, because the
+/// space is small), and occasional rebuilds.
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec((0u8..8, 0u64..24, 0u64..24), 1..60).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, u, v)| match kind {
+                0..=3 => Step::Op(EdgeOp::Add(u, v)),
+                4..=6 => Step::Op(EdgeOp::Del(u, v)),
+                _ => Step::Rebuild,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn final_rebuild_matches_from_scratch_cc(steps in arb_steps(), seed: u64) {
+        let db = Arc::new(Cluster::new(ClusterConfig::default()));
+        let cc = IncrementalCc::new(
+            "eq",
+            StreamConfig { seed, ..StreamConfig::default() },
+        );
+        let mut model = Model::default();
+        for step in steps {
+            match step {
+                Step::Op(op) => {
+                    model.apply(op);
+                    cc.feed(&[op]);
+                }
+                Step::Rebuild => {
+                    cc.rebuild(db.as_ref(), &RunControl::default()).unwrap();
+                }
+            }
+            // Invariant at every point, rebuilt or stale: live edges
+            // always have same-labelled endpoints (inserts are eager,
+            // deletes only defer — labels over-merge, never split).
+            for &(u, v) in &model.live {
+                prop_assert_eq!(
+                    cc.component(u).map(|(l, _)| l),
+                    cc.component(v).map(|(l, _)| l),
+                    "live edge ({}, {}) split across components", u, v
+                );
+            }
+        }
+        cc.rebuild(db.as_ref(), &RunControl::default()).unwrap();
+        prop_assert!(
+            labellings_equivalent(&cc.labelling(), &model.truth()),
+            "rebuilt labelling is not the from-scratch partition"
+        );
+        // After the rebuild, the tombstone log is fully compacted.
+        prop_assert_eq!(cc.status().tombstones, 0);
+    }
+}
+
+#[test]
+fn failed_rebuild_keeps_the_old_epoch_queryable() {
+    // Aggressive panic injection with a finite budget, and *no* retry
+    // layer (the maintainer is driven on the raw cluster): the first
+    // rebuild attempts must die, and each failure must be invisible to
+    // readers.
+    let db = Arc::new(Cluster::new(ClusterConfig {
+        faults: Some(FaultPlan::panics(9, 400, 12)),
+        ..ClusterConfig::default()
+    }));
+    let cc = IncrementalCc::new("chaos", StreamConfig::default());
+    cc.feed(&[
+        EdgeOp::Add(1, 2),
+        EdgeOp::Add(2, 3),
+        EdgeOp::Add(10, 11),
+    ]);
+    cc.feed(&[EdgeOp::Del(2, 3)]);
+    let before = cc.labelling();
+    assert_eq!(cc.epoch(), 0);
+
+    let mut failures = 0u32;
+    loop {
+        match cc.rebuild(db.as_ref(), &RunControl::default()) {
+            Err(_) => {
+                failures += 1;
+                // Old epoch still fully queryable, labels untouched,
+                // tombstone preserved for the next attempt.
+                assert_eq!(cc.epoch(), 0, "failed rebuild must not publish");
+                assert_eq!(cc.labelling(), before);
+                assert_eq!(cc.status().tombstones, 1);
+                assert!(!cc.status().rebuilding, "latch must reset on failure");
+                assert!(failures < 64, "fault budget never exhausted");
+            }
+            Ok(report) => {
+                // Budget ran dry; the rebuild went through atomically.
+                assert_eq!(report.epoch, 1);
+                break;
+            }
+        }
+    }
+    assert!(failures > 0, "plan injected no faults before succeeding");
+    assert_eq!(cc.epoch(), 1);
+    assert_eq!(cc.status().tombstones, 0);
+    // The deletion finally took effect; the untouched component and
+    // the deferred split are both correct now.
+    assert_ne!(
+        cc.component(1).unwrap().0,
+        cc.component(3).unwrap().0,
+        "tombstoned edge survived the rebuild"
+    );
+    assert_eq!(cc.component(10).unwrap().0, cc.component(11).unwrap().0);
+}
+
+#[test]
+fn labels_stay_consistent_under_concurrent_feeds_and_rebuilds() {
+    // Thread soup: two feeders and a rebuild loop race; afterwards a
+    // final rebuild must still equal the from-scratch partition of
+    // whatever edge set won. Deletions target distinct edges per
+    // feeder so the final edge set is deterministic.
+    let db = Arc::new(Cluster::new(ClusterConfig::default()));
+    let cc = Arc::new(IncrementalCc::new("race", StreamConfig::default()));
+    std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let cc = Arc::clone(&cc);
+            s.spawn(move || {
+                let base = 1000 * (t + 1);
+                for i in 0..40 {
+                    cc.feed(&[EdgeOp::Add(base + i, base + i + 1)]);
+                }
+                for i in (0..40).step_by(2) {
+                    cc.feed(&[EdgeOp::Del(base + i, base + i + 1)]);
+                }
+            });
+        }
+        let cc = Arc::clone(&cc);
+        let db = Arc::clone(&db);
+        s.spawn(move || {
+            for _ in 0..3 {
+                let _ = cc.rebuild(db.as_ref(), &RunControl::default());
+            }
+        });
+    });
+    cc.rebuild(db.as_ref(), &RunControl::default()).unwrap();
+    let mut model = Model::default();
+    for t in 0..2u64 {
+        let base = 1000 * (t + 1);
+        for i in 0..40 {
+            model.apply(EdgeOp::Add(base + i, base + i + 1));
+        }
+        for i in (0..40).step_by(2) {
+            model.apply(EdgeOp::Del(base + i, base + i + 1));
+        }
+    }
+    assert!(
+        labellings_equivalent(&cc.labelling(), &model.truth()),
+        "post-race rebuild diverged from the from-scratch partition"
+    );
+}

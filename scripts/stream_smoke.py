@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""CI stream smoke: the `\\stream` verbs end-to-end over TCP.
+
+Boots `incc-serve` on an ephemeral port and drives the incremental-CC
+surface the way a client would:
+
+  * `\\stream open` with an explicit tombstone budget, `\\stream list`,
+  * `\\stream feed` with `+u:v` / `-u:v` / `+v` ops — merges visible
+    immediately via `\\stream component`,
+  * deletions crossing the tombstone budget auto-schedule a rebuild
+    *job* (the `rebuild job <id>` data line), which `\\wait` completes
+    and which advances the epoch and splits the deleted components,
+  * `\\stream rebuild` + `\\stream stats` for the manual path,
+  * per-stream `incc_stream_*` families in `\\metrics`,
+  * malformed names / ops / unknown vertices answer ERR, not hangs.
+
+Exits non-zero on any divergence so a stream-layer regression fails
+the CI gate rather than only the unit suites.
+"""
+
+import subprocess
+import sys
+
+SERVE = "target/release/incc-serve"
+
+
+class Client:
+    def __init__(self, addr):
+        import socket
+
+        host, port = addr.rsplit(":", 1)
+        self.sock = socket.create_connection((host, int(port)), timeout=30)
+        self.rfile = self.sock.makefile("r", encoding="utf-8")
+        _, greeting = self._read()
+        assert greeting.startswith("OK incc session"), greeting
+
+    def _read(self):
+        data = []
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                raise RuntimeError("server hung up")
+            line = line.rstrip("\r\n")
+            if line.startswith("OK") or line.startswith("ERR"):
+                return data, line
+            data.append(line)
+
+    def request(self, req, want_ok=True):
+        self.sock.sendall((req + "\n").encode("utf-8"))
+        data, status = self._read()
+        if want_ok and not status.startswith("OK"):
+            raise RuntimeError(f"{req!r} -> {status}")
+        return data, status
+
+
+def boot():
+    proc = subprocess.Popen(
+        [SERVE, "127.0.0.1:0"],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    banner = proc.stderr.readline()
+    addr = banner.split("listening on ")[1].split()[0]
+    return proc, Client(addr)
+
+
+def component(client, stream, v):
+    rows, _ = client.request(f"\\stream component {stream} {v}")
+    vertex, label, epoch = (int(x) for x in rows[0].split(","))
+    assert vertex == v, rows
+    return label, epoch
+
+
+def stats(client, stream):
+    rows, status = client.request(f"\\stream stats {stream}")
+    assert status == "OK 14", status
+    return {k: v for k, v in (line.split(" ", 1) for line in rows)}
+
+
+def main():
+    proc, c = boot()
+    try:
+        # Open with a tombstone budget of 4 and a staleness budget far
+        # in the future, so the *deletions* below are what trigger the
+        # rebuild — deterministically, not on a timer.
+        c.request("\\stream open s 4 60000")
+        names, status = c.request("\\stream list")
+        assert names == ["s"] and status == "OK 1", (names, status)
+
+        # Inserts merge immediately: triangle, a pair, an isolated
+        # vertex via the bare `+v` form.
+        data, status = c.request("\\stream feed s +1:2 +2:3 +3:1 +10:11 +20")
+        assert status == "OK fed 5 epoch 0", status
+        assert data == [], f"no rebuild should be scheduled yet: {data}"
+        assert component(c, "s", 1) == component(c, "s", 3)
+        assert component(c, "s", 10) == component(c, "s", 11)
+        assert component(c, "s", 1) != component(c, "s", 10)
+        assert component(c, "s", 20) != component(c, "s", 1)
+
+        # Deletions defer: labels stay over-merged until the tombstone
+        # budget (4) is crossed, which auto-schedules a rebuild job.
+        data, status = c.request("\\stream feed s -1:2 -2:3 -3:1 -10:11")
+        assert status == "OK fed 4 epoch 0", status
+        rebuild_lines = [l for l in data if l.startswith("rebuild job ")]
+        assert rebuild_lines, f"tombstone budget crossed but no job: {data}"
+        job = rebuild_lines[0].split()[-1]
+        _, status = c.request(f"\\wait {job}")
+        assert status == "OK done", status
+
+        # The rebuild published a new epoch in which the deletions took
+        # effect: the triangle is three singletons, the pair split.
+        l1, e1 = component(c, "s", 1)
+        l3, e3 = component(c, "s", 3)
+        assert e1 == e3 == 1, f"epoch must advance to 1: {e1}, {e3}"
+        assert l1 != l3, "deleted triangle still merged after rebuild"
+        assert component(c, "s", 10) != component(c, "s", 11)
+        st = stats(c, "s")
+        assert st["epoch"] == "1", st
+        assert st["tombstones"] == "0", st
+        assert st["rebuilds"] == "1", st
+        assert st["components"] == "6", st
+
+        # Manual rebuild verb: runs as an ordinary job, advances epoch.
+        _, status = c.request("\\stream rebuild s")
+        job = status.split()[-1]
+        _, status = c.request(f"\\wait {job}")
+        assert status == "OK done", status
+        st = stats(c, "s")
+        assert st["epoch"] == "2" and st["rebuilds"] == "2", st
+
+        # Per-stream observability in the shared metrics endpoint.
+        lines, _ = c.request("\\metrics")
+        want = {
+            'incc_stream_epoch{stream="s"} 2',
+            'incc_stream_tombstones{stream="s"} 0',
+            'incc_stream_rebuilds_total{stream="s"} 2',
+            'incc_stream_updates_total{stream="s"} 9',
+            'incc_stream_batches_total{stream="s"} 2',
+        }
+        missing = want - set(lines)
+        assert not missing, f"\\metrics lacks stream families: {missing}"
+        assert any(
+            l.startswith('incc_stream_batch_seconds_bucket{stream="s"')
+            for l in lines
+        ), "\\metrics lacks the per-stream batch latency histogram"
+
+        # Error surface: bad names, bad ops, unknown vertices — all
+        # answer ERR on the same connection, which keeps serving.
+        _, status = c.request("\\stream open BAD!", want_ok=False)
+        assert status.startswith("ERR"), status
+        _, status = c.request("\\stream feed s 1:2", want_ok=False)
+        assert status.startswith("ERR"), status
+        _, status = c.request("\\stream component s 999", want_ok=False)
+        assert status.startswith("ERR"), status
+        _, status = c.request("\\stream component ghost 1", want_ok=False)
+        assert status.startswith("ERR"), status
+
+        c.request("\\quit")
+        print("stream smoke OK: feed/rebuild/stats/metrics round-trip over TCP")
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
