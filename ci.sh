@@ -27,10 +27,12 @@ step cargo clippy --workspace --all-targets
 step cargo build --release --workspace
 step cargo test --workspace -q
 
-# Kernel bench smoke: tiny scale, but the run must complete and the
-# JSON artifact it writes must parse — malformed output fails the gate.
+# Kernel bench smoke: tiny scale, but the run must complete, the JSON
+# artifact it writes must parse, and no kernel may regress past 1.25x
+# its smoke-scale reference time — perf drifts fail CI here instead of
+# surfacing later in the committed full-scale results file.
 step env ENGINE_BENCH_SMOKE=1 cargo bench -p incc-bench --bench engine
-step python3 -c 'import json; json.load(open("results/engine_bench_smoke.json"))'
+step python3 scripts/bench_gate.py results/engine_bench_smoke.json
 
 # Round-telemetry bench smoke: all five algorithms must emit verified
 # per-round trajectories and the JSON record must parse.

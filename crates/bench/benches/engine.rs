@@ -58,20 +58,37 @@ const BASELINE: &[(&str, f64)] = &[
 ];
 
 /// Times committed in `results/engine_bench.json` by the previous PR
-/// (the profiling layer, before fault injection), same container and
-/// sizes. The `vs_prev` ratios this produces are the
-/// disabled-overhead guard: with no fault plan configured, injection
-/// must cost only one `Option` branch per partition task, so
-/// `rc_end_to_end` is expected to stay within a few percent of 1.00.
+/// (fault injection, still on the materializing per-operator
+/// executor), same container and sizes. The `vs_prev` ratios this
+/// produces measure the pipelined executor against that barrier-per-
+/// operator baseline: the end-to-end cases are expected below 1.00
+/// because each round now runs one fused dispatch per pipeline
+/// instead of one materialization per operator.
 const PREV: &[(&str, f64)] = &[
-    ("shuffle", 3.275),
-    ("join", 14.741),
-    ("group_by", 6.707),
-    ("distinct", 3.935),
-    ("union_all", 4.266),
-    ("join_external", 20.272),
-    ("rc_end_to_end", 73.034),
-    ("hash_to_min_end_to_end", 318.397),
+    ("shuffle", 2.445),
+    ("join", 14.268),
+    ("group_by", 6.961),
+    ("distinct", 4.010),
+    ("union_all", 4.783),
+    ("join_external", 16.411),
+    ("rc_end_to_end", 73.794),
+    ("hash_to_min_end_to_end", 289.641),
+];
+
+/// Smoke-scale reference times for the CI regression gate. Measured
+/// on this container at the smoke sizes with the pipelined executor,
+/// set at the high end of observed jitter (tiny inputs are noisy —
+/// `join_external` alone spans almost 2x between runs) so the 1.25x
+/// gate in `ci.sh` trips on real regressions, not scheduler noise.
+const SMOKE_PREV: &[(&str, f64)] = &[
+    ("shuffle", 0.14),
+    ("join", 0.22),
+    ("group_by", 0.16),
+    ("distinct", 0.30),
+    ("union_all", 0.20),
+    ("join_external", 1.60),
+    ("rc_end_to_end", 6.50),
+    ("hash_to_min_end_to_end", 8.50),
 ];
 
 struct Case {
@@ -174,35 +191,34 @@ fn end_to_end(scale: &Scale) -> Vec<Case> {
     let g = gnm_random_graph(scale.e2e_n, scale.e2e_m, 7);
     let mut cases = Vec::new();
 
-    let db = Cluster::new(ClusterConfig::default());
-    let report = run_on_graph(&RandomisedContraction::paper(), &db, &g, 42).unwrap();
-    report.verify_against(&g).unwrap();
-    let ms = report.elapsed.as_secs_f64() * 1e3;
-    cases.push(Case {
-        name: "rc_end_to_end",
-        ms,
-        rows_per_sec: scale.e2e_m as f64 / (ms / 1e3),
-        extra: Some(format!(
-            "\"rounds\": {}, \"ms_per_round\": {:.3}",
-            report.rounds,
-            ms / report.rounds.max(1) as f64
-        )),
-    });
-
-    let db = Cluster::new(ClusterConfig::default());
-    let report = run_on_graph(&HashToMin::default(), &db, &g, 42).unwrap();
-    report.verify_against(&g).unwrap();
-    let ms = report.elapsed.as_secs_f64() * 1e3;
-    cases.push(Case {
-        name: "hash_to_min_end_to_end",
-        ms,
-        rows_per_sec: scale.e2e_m as f64 / (ms / 1e3),
-        extra: Some(format!(
-            "\"rounds\": {}, \"ms_per_round\": {:.3}",
-            report.rounds,
-            ms / report.rounds.max(1) as f64
-        )),
-    });
+    // Best-of-3 like the microbenches: a full algorithm run is long
+    // enough that a single sample carries scheduler noise.
+    let e2e_iters = if scale.smoke { 1 } else { 3 };
+    let mut run_e2e = |name: &'static str, algo: &dyn incc_core::CcAlgorithm| {
+        let mut best: Option<(f64, usize)> = None;
+        for _ in 0..e2e_iters {
+            let db = Cluster::new(ClusterConfig::default());
+            let report = run_on_graph(algo, &db, &g, 42).unwrap();
+            report.verify_against(&g).unwrap();
+            let ms = report.elapsed.as_secs_f64() * 1e3;
+            if best.is_none_or(|(b, _)| ms < b) {
+                best = Some((ms, report.rounds));
+            }
+        }
+        let (ms, rounds) = best.unwrap();
+        cases.push(Case {
+            name,
+            ms,
+            rows_per_sec: scale.e2e_m as f64 / (ms / 1e3),
+            extra: Some(format!(
+                "\"rounds\": {}, \"ms_per_round\": {:.3}",
+                rounds,
+                ms / rounds.max(1) as f64
+            )),
+        });
+    };
+    run_e2e("rc_end_to_end", &RandomisedContraction::paper());
+    run_e2e("hash_to_min_end_to_end", &HashToMin::default());
     cases
 }
 
@@ -214,8 +230,10 @@ fn baseline_ms(name: &str) -> Option<f64> {
         .filter(|ms| ms.is_finite())
 }
 
-fn prev_ms(name: &str) -> Option<f64> {
-    PREV.iter()
+fn prev_ms(smoke: bool, name: &str) -> Option<f64> {
+    let table = if smoke { SMOKE_PREV } else { PREV };
+    table
+        .iter()
         .find(|(n, _)| *n == name)
         .map(|&(_, ms)| ms)
         .filter(|ms| ms.is_finite())
@@ -247,13 +265,15 @@ fn write_json(scale: &Scale, cases: &[Case]) -> std::io::Result<std::path::PathB
                 ));
                 speedups.push(format!("    \"{}\": {:.2}", c.name, base / c.ms));
             }
-            if let Some(prev) = prev_ms(c.name) {
-                rec.push_str(&format!(
-                    ", \"prev_ms\": {:.3}, \"vs_prev\": {:.3}",
-                    prev,
-                    c.ms / prev
-                ));
-            }
+        }
+        // vs_prev is emitted in smoke mode too (against SMOKE_PREV)
+        // so ci.sh can gate on it.
+        if let Some(prev) = prev_ms(scale.smoke, c.name) {
+            rec.push_str(&format!(
+                ", \"prev_ms\": {:.3}, \"vs_prev\": {:.3}",
+                prev,
+                c.ms / prev
+            ));
         }
         rec.push('}');
         records.push(rec);
@@ -299,8 +319,7 @@ fn main() {
             .filter(|_| !scale.smoke)
             .map(|b| format!("{:.2}x", b / c.ms))
             .unwrap_or_else(|| "-".into());
-        let vs_prev = prev_ms(c.name)
-            .filter(|_| !scale.smoke)
+        let vs_prev = prev_ms(scale.smoke, c.name)
             .map(|p| format!("{:.3}", c.ms / p))
             .unwrap_or_else(|| "-".into());
         println!(

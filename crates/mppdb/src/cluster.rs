@@ -57,6 +57,11 @@ pub struct ClusterConfig {
     /// parity test suite disables it to force the generic
     /// row-at-a-time path as a correctness oracle.
     pub vectorized: bool,
+    /// Use the push-based pipelined executor. On by default; disabling
+    /// it falls back to the materializing executor, which the executor
+    /// parity suite uses as its correctness oracle (the same pattern
+    /// `vectorized: false` provides for the kernels).
+    pub pipelined: bool,
     /// Deterministic fault injection plan (None = no faults, the
     /// default). See [`crate::fault::FaultPlan`]; the chaos harness and
     /// `INCC_FAULT_PLAN` drive this.
@@ -72,6 +77,7 @@ impl Default for ClusterConfig {
             space_limit: 0,
             optimize: true,
             vectorized: true,
+            pipelined: true,
             faults: None,
         }
     }
@@ -522,13 +528,19 @@ impl Cluster {
             faults,
         };
         if capture {
-            let (data, root) = crate::plan::execute_profiled(plan, &ctx)?;
+            let (data, root) = if self.config.pipelined {
+                crate::pipeline::execute_profiled(plan, &ctx)?
+            } else {
+                crate::plan::execute_profiled(plan, &ctx)?
+            };
             *profile = Some(QueryProfile {
                 rows_out: root.rows_out,
                 root,
                 ..QueryProfile::default()
             });
             Ok(data)
+        } else if self.config.pipelined {
+            crate::pipeline::execute(plan, &ctx)
         } else {
             execute(plan, &ctx)
         }

@@ -168,17 +168,33 @@ impl Expr {
 
     /// Evaluates one row to a datum.
     pub fn eval_row(&self, batch: &Batch, row: usize, part: usize) -> DbResult<Datum> {
+        self.eval_row_at(batch, row, part, 0)
+    }
+
+    /// Evaluates one row to a datum, treating the batch as starting at
+    /// partition-row offset `base`. `random()` hashes `base + row`, so
+    /// a partition evaluated as several morsels yields exactly the
+    /// values a single whole-partition evaluation would.
+    pub fn eval_row_at(
+        &self,
+        batch: &Batch,
+        row: usize,
+        part: usize,
+        base: usize,
+    ) -> DbResult<Datum> {
         Ok(match self {
             Expr::Column(i) => batch.column(*i).datum(row),
             Expr::LitInt(v) => Datum::Int(*v),
             Expr::LitDouble(v) => Datum::Double(*v),
             Expr::Null => Datum::Null,
-            Expr::Least(args) => fold_extreme(args, batch, row, part, Ordering::Less)?,
-            Expr::Greatest(args) => fold_extreme(args, batch, row, part, Ordering::Greater)?,
+            Expr::Least(args) => fold_extreme(args, batch, row, part, base, Ordering::Less)?,
+            Expr::Greatest(args) => {
+                fold_extreme(args, batch, row, part, base, Ordering::Greater)?
+            }
             Expr::Coalesce(args) => {
                 let mut out = Datum::Null;
                 for a in args {
-                    let d = a.eval_row(batch, row, part)?;
+                    let d = a.eval_row_at(batch, row, part, base)?;
                     if !d.is_null() {
                         out = d;
                         break;
@@ -189,12 +205,12 @@ impl Expr {
             Expr::Udf { func, args, .. } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
-                    vals.push(a.eval_row(batch, row, part)?);
+                    vals.push(a.eval_row_at(batch, row, part, base)?);
                 }
                 func.eval(&vals)
             }
             Expr::Random { seed } => {
-                let bits = mix64(seed ^ (part as u64).rotate_left(40) ^ row as u64);
+                let bits = mix64(seed ^ (part as u64).rotate_left(40) ^ (base + row) as u64);
                 Datum::Double((bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64))
             }
             Expr::Cmp { .. } | Expr::And(..) | Expr::IsNull { .. } => {
@@ -205,6 +221,12 @@ impl Expr {
 
     /// Evaluates the expression over a whole batch into a column.
     pub fn eval(&self, batch: &Batch, part: usize) -> DbResult<Column> {
+        self.eval_at(batch, part, 0)
+    }
+
+    /// Evaluates over a batch that starts at partition-row offset
+    /// `base` (see [`Expr::eval_row_at`]).
+    pub fn eval_at(&self, batch: &Batch, part: usize, base: usize) -> DbResult<Column> {
         // Fast path: bare column reference.
         if let Expr::Column(i) = self {
             return Ok(batch.column(*i).clone());
@@ -213,7 +235,7 @@ impl Expr {
         let dtype = self.output_type(&types)?;
         let mut out = Column::empty(dtype);
         for row in 0..batch.rows() {
-            let d = self.eval_row(batch, row, part)?;
+            let d = self.eval_row_at(batch, row, part, base)?;
             // NULLs of any type are fine; non-null values must match.
             match (dtype, d) {
                 (DataType::Float64, Datum::Int(v)) => out.push(Datum::Double(v as f64)),
@@ -225,10 +247,21 @@ impl Expr {
 
     /// Evaluates a predicate expression to a row-selection mask.
     pub fn eval_predicate(&self, batch: &Batch, part: usize) -> DbResult<Vec<bool>> {
+        self.eval_predicate_at(batch, part, 0)
+    }
+
+    /// Evaluates a predicate over a batch that starts at partition-row
+    /// offset `base` (see [`Expr::eval_row_at`]).
+    pub fn eval_predicate_at(
+        &self,
+        batch: &Batch,
+        part: usize,
+        base: usize,
+    ) -> DbResult<Vec<bool>> {
         match self {
             Expr::And(l, r) => {
-                let mut a = l.eval_predicate(batch, part)?;
-                let b = r.eval_predicate(batch, part)?;
+                let mut a = l.eval_predicate_at(batch, part, base)?;
+                let b = r.eval_predicate_at(batch, part, base)?;
                 for (x, y) in a.iter_mut().zip(b) {
                     *x &= y;
                 }
@@ -237,8 +270,8 @@ impl Expr {
             Expr::Cmp { op, left, right } => {
                 let mut mask = Vec::with_capacity(batch.rows());
                 for row in 0..batch.rows() {
-                    let l = left.eval_row(batch, row, part)?;
-                    let r = right.eval_row(batch, row, part)?;
+                    let l = left.eval_row_at(batch, row, part, base)?;
+                    let r = right.eval_row_at(batch, row, part, base)?;
                     mask.push(op.apply(l.sql_cmp(&r)));
                 }
                 Ok(mask)
@@ -246,7 +279,7 @@ impl Expr {
             Expr::IsNull { expr, negated } => {
                 let mut mask = Vec::with_capacity(batch.rows());
                 for row in 0..batch.rows() {
-                    let is_null = expr.eval_row(batch, row, part)?.is_null();
+                    let is_null = expr.eval_row_at(batch, row, part, base)?.is_null();
                     mask.push(is_null != *negated);
                 }
                 Ok(mask)
@@ -326,13 +359,14 @@ fn fold_extreme(
     batch: &Batch,
     row: usize,
     part: usize,
+    base: usize,
     keep: Ordering,
 ) -> DbResult<Datum> {
     // PostgreSQL least/greatest: NULL arguments are ignored; the result
     // is NULL only when every argument is NULL.
     let mut best = Datum::Null;
     for a in args {
-        let d = a.eval_row(batch, row, part)?;
+        let d = a.eval_row_at(batch, row, part, base)?;
         if d.is_null() {
             continue;
         }
@@ -415,6 +449,21 @@ mod tests {
         // Different partition -> different stream.
         let c3 = e.eval(&batch(), 4).unwrap();
         assert_ne!(c1, c3);
+    }
+
+    #[test]
+    fn random_is_stable_under_morsel_offsets() {
+        // Evaluating a partition as several offset morsels must yield
+        // exactly the whole-partition values.
+        let e = Expr::Random { seed: 42 };
+        let whole = e.eval(&batch(), 3).unwrap();
+        let head = Batch::from_columns(vec![Column::from_ints(vec![10])]);
+        let tail = Batch::from_columns(vec![Column::from_ints(vec![20, 30])]);
+        let h = e.eval_at(&head, 3, 0).unwrap();
+        let t = e.eval_at(&tail, 3, 1).unwrap();
+        assert_eq!(whole.datum(0), h.datum(0));
+        assert_eq!(whole.datum(1), t.datum(0));
+        assert_eq!(whole.datum(2), t.datum(1));
     }
 
     #[test]

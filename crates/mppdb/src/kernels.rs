@@ -232,63 +232,229 @@ pub fn group_ids(keys: &[i64], validity: Option<&[bool]>) -> GroupIds {
 /// First-occurrence indices over one integer column, NULL counting as a
 /// single distinct value — `SELECT DISTINCT` on a one-column relation.
 pub fn distinct_ints(keys: &[i64], validity: Option<&[bool]>) -> SelVec {
-    let mut map = I64Map::for_rows(keys.len());
-    let mut keep = Vec::new();
-    let mut seen_null = false;
-    for (row, &key) in keys.iter().enumerate() {
-        if !is_valid(validity, row) {
-            if !seen_null {
-                seen_null = true;
-                keep.push(row as u32);
-            }
-        } else if map.get_or_insert(key, row as u32).is_none() {
-            keep.push(row as u32);
-        }
-    }
-    keep
+    DistinctInts::for_rows(keys.len()).filter(keys, validity)
 }
 
 /// First-occurrence indices over an integer pair — the edge-table shape
-/// every contraction round deduplicates. An open-addressing set keyed
-/// on `(a, b, null-bits)`; NULL slots are normalised to 0 before
-/// hashing so unspecified storage under an invalid bit cannot split a
-/// logical duplicate.
+/// every contraction round deduplicates.
 pub fn distinct_pairs(
     a: &[i64],
     a_validity: Option<&[bool]>,
     b: &[i64],
     b_validity: Option<&[bool]>,
 ) -> SelVec {
-    let rows = a.len();
-    let cap = (rows.max(4) * 2).next_power_of_two();
-    let mask = cap as u64 - 1;
-    let mut set_a = vec![0i64; cap];
-    let mut set_b = vec![0i64; cap];
-    let mut set_bits = vec![0u8; cap];
-    let mut used = vec![false; cap];
-    let mut keep = Vec::new();
-    for row in 0..rows {
-        let a_ok = is_valid(a_validity, row);
-        let b_ok = is_valid(b_validity, row);
-        let va = if a_ok { a[row] } else { 0 };
-        let vb = if b_ok { b[row] } else { 0 };
-        let bits = u8::from(!a_ok) | (u8::from(!b_ok) << 1);
-        let h = mix64(mix64(va as u64 ^ KEY_FOLD_SEED) ^ (vb as u64) ^ ((bits as u64) << 56));
-        let mut slot = (h & mask) as usize;
-        while used[slot]
-            && !(set_a[slot] == va && set_b[slot] == vb && set_bits[slot] == bits)
-        {
-            slot = ((slot as u64 + 1) & mask) as usize;
-        }
-        if !used[slot] {
-            used[slot] = true;
-            set_a[slot] = va;
-            set_b[slot] = vb;
-            set_bits[slot] = bits;
-            keep.push(row as u32);
+    DistinctPairs::for_rows(a.len()).filter(a, a_validity, b, b_validity)
+}
+
+/// A growable distinct-set over one integer column, NULL counting as a
+/// single distinct value. Keeps state across calls so the pipelined
+/// executor's dedup stage can filter a partition morsel-by-morsel; the
+/// table doubles at a 0.5 load factor.
+pub struct DistinctInts {
+    keys: Vec<i64>,
+    used: Vec<bool>,
+    mask: u64,
+    len: usize,
+    seen_null: bool,
+}
+
+impl DistinctInts {
+    /// A set pre-sized so `rows` inserts never trigger a rehash.
+    pub fn for_rows(rows: usize) -> DistinctInts {
+        let cap = (rows.max(4) * 2).next_power_of_two();
+        DistinctInts {
+            keys: vec![0; cap],
+            used: vec![false; cap],
+            mask: cap as u64 - 1,
+            len: 0,
+            seen_null: false,
         }
     }
-    keep
+
+    #[inline]
+    fn slot_of(keys: &[i64], used: &[bool], mask: u64, key: i64) -> usize {
+        let mut slot = (mix64(key as u64) & mask) as usize;
+        while used[slot] && keys[slot] != key {
+            slot = ((slot as u64 + 1) & mask) as usize;
+        }
+        slot
+    }
+
+    fn grow(&mut self) {
+        self.grow_to(self.keys.len() * 2);
+    }
+
+    fn grow_to(&mut self, cap: usize) {
+        let mask = cap as u64 - 1;
+        let mut keys = vec![0i64; cap];
+        let mut used = vec![false; cap];
+        for slot in 0..self.keys.len() {
+            if self.used[slot] {
+                let dst = Self::slot_of(&keys, &used, mask, self.keys[slot]);
+                keys[dst] = self.keys[slot];
+                used[dst] = true;
+            }
+        }
+        self.keys = keys;
+        self.used = used;
+        self.mask = mask;
+    }
+
+    /// Grows once so `additional` further inserts cannot rehash —
+    /// called per morsel so batched inserts pay at most one resize
+    /// instead of a doubling cascade from the initial capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        let need = ((self.len + additional).max(4) * 2).next_power_of_two();
+        if need > self.keys.len() {
+            self.grow_to(need);
+        }
+    }
+
+    /// Inserts `key`, returning true when it was not yet present.
+    #[inline]
+    fn insert(&mut self, key: i64) -> bool {
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let slot = Self::slot_of(&self.keys, &self.used, self.mask, key);
+        if self.used[slot] {
+            false
+        } else {
+            self.used[slot] = true;
+            self.keys[slot] = key;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Appends to the set and returns the indices (within this call's
+    /// slice) of rows seen for the first time across all calls.
+    pub fn filter(&mut self, keys: &[i64], validity: Option<&[bool]>) -> SelVec {
+        let mut keep = Vec::new();
+        for (row, &key) in keys.iter().enumerate() {
+            if !is_valid(validity, row) {
+                if !self.seen_null {
+                    self.seen_null = true;
+                    keep.push(row as u32);
+                }
+            } else if self.insert(key) {
+                keep.push(row as u32);
+            }
+        }
+        keep
+    }
+}
+
+/// A growable distinct-set over an integer pair, keyed on
+/// `(a, b, null-bits)` with NULL slots normalised to 0 before hashing
+/// so unspecified storage under an invalid bit cannot split a logical
+/// duplicate. Stateful like [`DistinctInts`], for morsel-at-a-time
+/// dedup of the edge-table shape every contraction round produces.
+pub struct DistinctPairs {
+    a: Vec<i64>,
+    b: Vec<i64>,
+    bits: Vec<u8>,
+    used: Vec<bool>,
+    mask: u64,
+    len: usize,
+}
+
+impl DistinctPairs {
+    /// A set pre-sized so `rows` inserts never trigger a rehash.
+    pub fn for_rows(rows: usize) -> DistinctPairs {
+        let cap = (rows.max(4) * 2).next_power_of_two();
+        DistinctPairs {
+            a: vec![0; cap],
+            b: vec![0; cap],
+            bits: vec![0; cap],
+            used: vec![false; cap],
+            mask: cap as u64 - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn hash(va: i64, vb: i64, bits: u8) -> u64 {
+        mix64(mix64(va as u64 ^ KEY_FOLD_SEED) ^ (vb as u64) ^ ((bits as u64) << 56))
+    }
+
+    fn grow(&mut self) {
+        self.grow_to(self.a.len() * 2);
+    }
+
+    fn grow_to(&mut self, cap: usize) {
+        let mut next = DistinctPairs {
+            a: vec![0; cap],
+            b: vec![0; cap],
+            bits: vec![0; cap],
+            used: vec![false; cap],
+            mask: cap as u64 - 1,
+            len: self.len,
+        };
+        for slot in 0..self.a.len() {
+            if self.used[slot] {
+                let dst = next.slot_of(self.a[slot], self.b[slot], self.bits[slot]);
+                next.a[dst] = self.a[slot];
+                next.b[dst] = self.b[slot];
+                next.bits[dst] = self.bits[slot];
+                next.used[dst] = true;
+            }
+        }
+        *self = next;
+    }
+
+    /// Grows once so `additional` further inserts cannot rehash —
+    /// called per morsel so batched inserts pay at most one resize
+    /// instead of a doubling cascade from the initial capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        let need = ((self.len + additional).max(4) * 2).next_power_of_two();
+        if need > self.a.len() {
+            self.grow_to(need);
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, va: i64, vb: i64, bits: u8) -> usize {
+        let mut slot = (Self::hash(va, vb, bits) & self.mask) as usize;
+        while self.used[slot]
+            && !(self.a[slot] == va && self.b[slot] == vb && self.bits[slot] == bits)
+        {
+            slot = ((slot as u64 + 1) & self.mask) as usize;
+        }
+        slot
+    }
+
+    /// Appends to the set and returns the indices (within this call's
+    /// slice) of pairs seen for the first time across all calls.
+    pub fn filter(
+        &mut self,
+        a: &[i64],
+        a_validity: Option<&[bool]>,
+        b: &[i64],
+        b_validity: Option<&[bool]>,
+    ) -> SelVec {
+        let mut keep = Vec::new();
+        for row in 0..a.len() {
+            if (self.len + 1) * 2 > self.a.len() {
+                self.grow();
+            }
+            let a_ok = is_valid(a_validity, row);
+            let b_ok = is_valid(b_validity, row);
+            let va = if a_ok { a[row] } else { 0 };
+            let vb = if b_ok { b[row] } else { 0 };
+            let bits = u8::from(!a_ok) | (u8::from(!b_ok) << 1);
+            let slot = self.slot_of(va, vb, bits);
+            if !self.used[slot] {
+                self.used[slot] = true;
+                self.a[slot] = va;
+                self.b[slot] = vb;
+                self.bits[slot] = bits;
+                self.len += 1;
+                keep.push(row as u32);
+            }
+        }
+        keep
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +534,37 @@ mod tests {
     fn distinct_ints_keeps_first_occurrences() {
         let validity = vec![true, false, true, false, true];
         assert_eq!(distinct_ints(&[5, 0, 5, 0, 6], Some(&validity)), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn stateful_dedup_grows_and_spans_calls() {
+        // Incremental filtering across many small slices must equal one
+        // stateless pass over the concatenation, growth included.
+        let keys: Vec<i64> = (0..200).map(|i| (i * 37) % 50).collect();
+        let whole = distinct_ints(&keys, None);
+        let mut set = DistinctInts::for_rows(2);
+        let mut got = Vec::new();
+        for (chunk_idx, chunk) in keys.chunks(7).enumerate() {
+            for &local in &set.filter(chunk, None) {
+                got.push(chunk_idx as u32 * 7 + local);
+            }
+        }
+        assert_eq!(got, whole);
+
+        let a: Vec<i64> = (0..200).map(|i| i % 9).collect();
+        let b: Vec<i64> = (0..200).map(|i| i % 11).collect();
+        let b_validity: Vec<bool> = (0..200).map(|i| i % 4 != 0).collect();
+        let whole = distinct_pairs(&a, None, &b, Some(&b_validity));
+        let mut set = DistinctPairs::for_rows(2);
+        let mut got = Vec::new();
+        for start in (0..200).step_by(13) {
+            let end = (start + 13).min(200);
+            let keep = set.filter(&a[start..end], None, &b[start..end], Some(&b_validity[start..end]));
+            for &local in &keep {
+                got.push(start as u32 + local);
+            }
+        }
+        assert_eq!(got, whole);
     }
 
     #[test]

@@ -52,8 +52,10 @@ mod exec;
 mod expr;
 pub mod fault;
 pub mod kernels;
+mod operators;
 mod ops;
 pub mod optimizer;
+mod pipeline;
 mod plan;
 pub mod pool;
 pub mod retry;

@@ -1,0 +1,580 @@
+//! Per-partition operator compute, shared between the materializing
+//! oracle ([`crate::ops`]) and the push-based pipeline stages
+//! ([`crate::operators::stages`]).
+//!
+//! Both executors call these exact functions for the actual row work —
+//! tier dispatch (vectorized i64 kernels vs the generic row-at-a-time
+//! path), hashing, grouping, dedup, build/probe — so the pipelined
+//! path is byte-identical to the oracle by construction: the only
+//! differences between the two executors are scheduling and where the
+//! intermediate batches live.
+
+use crate::batch::{Batch, Column, SelVec};
+use crate::error::{DbError, DbResult};
+use crate::exec::{hash_key, key_has_null, row_key, FastMap, FastSet, KeyPart};
+use crate::expr::Expr;
+use crate::kernels;
+use crate::ops::{AggExpr, AggFunc};
+use crate::schema::{Field, Schema};
+use crate::table::Distribution;
+use crate::value::{DataType, Datum};
+use std::collections::hash_map::Entry;
+
+/// Accumulator for one aggregate within one group.
+#[derive(Debug, Clone)]
+pub(crate) enum AggState {
+    /// Running min/max (`keep_less` = min).
+    MinMax {
+        /// Best value so far (NULL until a non-NULL arrives).
+        best: Datum,
+        /// True for min, false for max.
+        keep_less: bool,
+    },
+    /// Non-null count.
+    Count(i64),
+    /// Integer sum plus a "saw any value" flag (empty sum is NULL).
+    SumInt(i64, bool),
+    /// Float sum plus a "saw any value" flag.
+    SumFloat(f64, bool),
+}
+
+impl AggState {
+    pub(crate) fn new(func: AggFunc, dtype: DataType) -> AggState {
+        match func {
+            AggFunc::Min => AggState::MinMax { best: Datum::Null, keep_less: true },
+            AggFunc::Max => AggState::MinMax { best: Datum::Null, keep_less: false },
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => match dtype {
+                DataType::Int64 => AggState::SumInt(0, false),
+                DataType::Float64 => AggState::SumFloat(0.0, false),
+            },
+        }
+    }
+
+    pub(crate) fn update(&mut self, d: Datum) {
+        match self {
+            AggState::MinMax { best, keep_less } => {
+                if d.is_null() {
+                    return;
+                }
+                let replace = match best.sql_cmp(&d) {
+                    None => true, // best is NULL
+                    Some(ord) => {
+                        if *keep_less {
+                            ord == std::cmp::Ordering::Greater
+                        } else {
+                            ord == std::cmp::Ordering::Less
+                        }
+                    }
+                };
+                if replace {
+                    *best = d;
+                }
+            }
+            AggState::Count(n) => {
+                if !d.is_null() {
+                    *n += 1;
+                }
+            }
+            AggState::SumInt(s, any) => {
+                if let Datum::Int(v) = d {
+                    *s = s.wrapping_add(v);
+                    *any = true;
+                }
+            }
+            AggState::SumFloat(s, any) => {
+                if let Some(v) = d.as_double() {
+                    *s += v;
+                    *any = true;
+                }
+            }
+        }
+    }
+
+    /// Merges another state of the same shape (for global aggregates).
+    pub(crate) fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (s @ AggState::MinMax { .. }, AggState::MinMax { best, .. }) => s.update(*best),
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::SumInt(a, aa), AggState::SumInt(b, ba)) => {
+                *a = a.wrapping_add(*b);
+                *aa |= ba;
+            }
+            (AggState::SumFloat(a, aa), AggState::SumFloat(b, ba)) => {
+                *a += b;
+                *aa |= ba;
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
+    pub(crate) fn finish(&self) -> Datum {
+        match self {
+            AggState::MinMax { best, .. } => *best,
+            AggState::Count(n) => Datum::Int(*n),
+            AggState::SumInt(s, any) => {
+                if *any {
+                    Datum::Int(*s)
+                } else {
+                    Datum::Null
+                }
+            }
+            AggState::SumFloat(s, any) => {
+                if *any {
+                    Datum::Double(*s)
+                } else {
+                    Datum::Null
+                }
+            }
+        }
+    }
+}
+
+/// Filters one batch by the predicate, with `base` the batch's row
+/// offset within its partition (for `random()` reproducibility under
+/// morsel splitting).
+pub(crate) fn filter_part(
+    batch: &Batch,
+    pred: &Expr,
+    part: usize,
+    base: usize,
+) -> DbResult<Batch> {
+    let mask = pred.eval_predicate_at(batch, part, base)?;
+    let sel: SelVec = mask
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &keep)| keep.then_some(i as u32))
+        .collect();
+    Ok(batch.take_u32(&sel))
+}
+
+/// Projects one batch through the expressions.
+pub(crate) fn project_part(
+    batch: &Batch,
+    exprs: &[(Expr, Field)],
+    part: usize,
+    base: usize,
+) -> DbResult<Batch> {
+    let mut cols = Vec::with_capacity(exprs.len());
+    for (e, _) in exprs {
+        cols.push(e.eval_at(batch, part, base)?);
+    }
+    // A projection of zero columns is impossible through SQL.
+    Ok(Batch::from_columns(cols))
+}
+
+/// Whether a hash distribution survives a projection: every
+/// distribution column must pass through as a bare column reference.
+pub(crate) fn projected_dist(exprs: &[(Expr, Field)], dist: &Distribution) -> Distribution {
+    match dist {
+        Distribution::Hash(cols) => {
+            let mapped: Option<Vec<usize>> = cols
+                .iter()
+                .map(|&c| {
+                    exprs.iter().position(|(e, _)| matches!(e, Expr::Column(i) if *i == c))
+                })
+                .collect();
+            match mapped {
+                Some(m) => Distribution::Hash(m),
+                None => Distribution::Arbitrary,
+            }
+        }
+        Distribution::Arbitrary => Distribution::Arbitrary,
+    }
+}
+
+/// Buckets one batch's rows by key hash into `n` destination batches.
+/// Returns the moved byte volume, the per-destination batches, and
+/// whether the vectorized tier ran.
+pub(crate) fn bucket_part(
+    batch: &Batch,
+    keys: &[usize],
+    n: usize,
+    vectorized: bool,
+) -> DbResult<(u64, Vec<Batch>, bool)> {
+    let int_keys = if vectorized {
+        keys.iter().map(|&c| batch.column(c).as_int_parts()).collect::<Option<Vec<_>>>()
+    } else {
+        None
+    };
+    let was_vec = int_keys.is_some();
+    let dests: SelVec = match int_keys {
+        Some(cols) => kernels::bucket_rows(&cols, n as u64),
+        None => (0..batch.rows())
+            .map(|row| (hash_key(batch, row, keys) % n as u64) as u32)
+            .collect(),
+    };
+    let mut sels: Vec<SelVec> = vec![Vec::new(); n];
+    for (row, &d) in dests.iter().enumerate() {
+        sels[d as usize].push(row as u32);
+    }
+    let out: Vec<Batch> = sels.iter().map(|sel| batch.take_u32(sel)).collect();
+    let moved: u64 = out.iter().map(Batch::byte_size).sum();
+    Ok((moved, out, was_vec))
+}
+
+/// A hash-join build side for one partition: the buffered build batch
+/// plus its hash table (tier chosen by `use_vec`).
+pub(crate) struct JoinBuildPart {
+    /// The build-side partition rows.
+    pub batch: Batch,
+    /// The table built over them.
+    pub built: BuiltJoin,
+}
+
+/// The two build-table tiers.
+pub(crate) enum BuiltJoin {
+    /// Vectorized single-i64-key build.
+    Vec(kernels::JoinBuild),
+    /// Generic row-at-a-time build: key → matching row indices.
+    Gen(FastMap<Vec<KeyPart>, Vec<usize>>),
+}
+
+/// Builds the join table over one build-side partition. `use_vec` must
+/// only be true for a single `Int64` key (the caller decides from the
+/// schema or the batch, identically on both executors).
+pub(crate) fn build_join_part(batch: Batch, keys: &[usize], use_vec: bool) -> JoinBuildPart {
+    let built = if use_vec {
+        match batch.column(keys[0]).as_int_parts() {
+            Some((vals, valid)) => BuiltJoin::Vec(kernels::build_join(vals, valid)),
+            None => BuiltJoin::Gen(generic_build(&batch, keys)),
+        }
+    } else {
+        BuiltJoin::Gen(generic_build(&batch, keys))
+    };
+    JoinBuildPart { batch, built }
+}
+
+fn generic_build(batch: &Batch, keys: &[usize]) -> FastMap<Vec<KeyPart>, Vec<usize>> {
+    let mut table: FastMap<Vec<KeyPart>, Vec<usize>> = FastMap::default();
+    for row in 0..batch.rows() {
+        if key_has_null(batch, row, keys) {
+            continue;
+        }
+        table.entry(row_key(batch, row, keys)).or_default().push(row);
+    }
+    table
+}
+
+/// Probes one build table with one probe-side batch, producing joined
+/// output (left columns then `right_width` right columns, NULL-padded
+/// for unmatched left-outer rows).
+pub(crate) fn probe_part(
+    build: &JoinBuildPart,
+    lb: &Batch,
+    l_keys: &[usize],
+    left_outer: bool,
+    right_width: usize,
+) -> DbResult<Batch> {
+    let rb = &build.batch;
+    match &build.built {
+        BuiltJoin::Vec(jb) => {
+            let (l_vals, l_valid) = lb.column(l_keys[0]).as_int_parts().ok_or_else(|| {
+                DbError::Exec("vectorized join probe over non-integer key".into())
+            })?;
+            let mut l_sel: SelVec = Vec::new();
+            let mut r_sel: SelVec = Vec::new();
+            kernels::probe_join(jb, l_vals, l_valid, left_outer, &mut l_sel, &mut r_sel);
+            let mut cols: Vec<Column> = Vec::with_capacity(lb.width() + right_width);
+            for c in lb.columns() {
+                cols.push(c.take_u32(&l_sel));
+            }
+            for ci in 0..right_width {
+                cols.push(rb.column(ci).take_u32_padded(&r_sel));
+            }
+            Ok(Batch::from_columns(cols))
+        }
+        BuiltJoin::Gen(table) => {
+            let mut l_idx: Vec<usize> = Vec::new();
+            let mut r_idx: Vec<Option<usize>> = Vec::new();
+            for row in 0..lb.rows() {
+                let matched = if key_has_null(lb, row, l_keys) {
+                    None
+                } else {
+                    table.get(&row_key(lb, row, l_keys))
+                };
+                match matched {
+                    Some(rows) => {
+                        for &r in rows {
+                            l_idx.push(row);
+                            r_idx.push(Some(r));
+                        }
+                    }
+                    None => {
+                        if left_outer {
+                            l_idx.push(row);
+                            r_idx.push(None);
+                        }
+                    }
+                }
+            }
+            let mut cols: Vec<Column> = Vec::with_capacity(lb.width() + right_width);
+            for c in lb.columns() {
+                cols.push(c.take(&l_idx));
+            }
+            for ci in 0..right_width {
+                let src = rb.column(ci);
+                let mut out = Column::empty(src.data_type());
+                for r in &r_idx {
+                    match r {
+                        Some(row) => out.push_from(src, *row),
+                        None => out.push(Datum::Null),
+                    }
+                }
+                cols.push(out);
+            }
+            Ok(Batch::from_columns(cols))
+        }
+    }
+}
+
+/// The output schema and per-aggregate output types of an aggregation
+/// over `schema`.
+pub(crate) fn agg_output(
+    schema: &Schema,
+    group_cols: &[usize],
+    aggs: &[AggExpr],
+) -> DbResult<(Schema, Vec<DataType>)> {
+    let in_types: Vec<DataType> = schema.fields().iter().map(|f| f.dtype).collect();
+    let agg_types: Vec<DataType> = aggs
+        .iter()
+        .map(|a| Ok(a.func.output_type(a.input.output_type(&in_types)?)))
+        .collect::<DbResult<_>>()?;
+    let mut out_fields: Vec<Field> =
+        group_cols.iter().map(|&c| schema.field(c).clone()).collect();
+    for (i, (a, ty)) in aggs.iter().zip(&agg_types).enumerate() {
+        let name = format!("agg{i}");
+        let mut f = Field::new(name, *ty);
+        f.nullable = !matches!(a.func, AggFunc::Count);
+        out_fields.push(f);
+    }
+    Ok((crate::ops::build_schema_allow_dups(out_fields), agg_types))
+}
+
+/// Grouped aggregation over one (already co-located) partition,
+/// emitting groups in first-seen order. Returns the output batch and
+/// whether the vectorized tier ran.
+pub(crate) fn agg_partition(
+    batch: &Batch,
+    part: usize,
+    group: &[usize],
+    aggs: &[AggExpr],
+    agg_types: &[DataType],
+    vectorized: bool,
+) -> DbResult<(Batch, bool)> {
+    // Evaluate agg inputs once per partition.
+    let mut agg_inputs = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        agg_inputs.push(a.input.eval(batch, part)?);
+    }
+    let new_states = || -> Vec<AggState> {
+        aggs.iter()
+            .zip(agg_types.iter())
+            .map(|(a, ty)| AggState::new(a.func, *ty))
+            .collect()
+    };
+    // Vectorized tier: a single Int64 group key (NULLs included) goes
+    // through the group_ids kernel — one slice pass, no per-row key
+    // vectors.
+    let int_key = if vectorized {
+        if let &[g] = group {
+            batch.column(g).as_int_parts()
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    if let Some((keys, validity)) = int_key {
+        let gi = kernels::group_ids(keys, validity);
+        let mut states: Vec<Vec<AggState>> = (0..gi.keys.len()).map(|_| new_states()).collect();
+        for (row, &g) in gi.row_groups.iter().enumerate() {
+            for (st, col) in states[g as usize].iter_mut().zip(&agg_inputs) {
+                st.update(col.datum(row));
+            }
+        }
+        let mut gcol = Column::empty(DataType::Int64);
+        for (i, &k) in gi.keys.iter().enumerate() {
+            if gi.null_group == Some(i as u32) {
+                gcol.push(Datum::Null);
+            } else {
+                gcol.push(Datum::Int(k));
+            }
+        }
+        let mut cols = Vec::with_capacity(1 + agg_types.len());
+        cols.push(gcol);
+        let mut agg_cols: Vec<Column> = agg_types.iter().map(|&t| Column::empty(t)).collect();
+        for group_states in states {
+            for (c, st) in agg_cols.iter_mut().zip(&group_states) {
+                c.push(st.finish());
+            }
+        }
+        cols.extend(agg_cols);
+        return Ok((Batch::from_columns(cols), true));
+    }
+    // Generic tier: multi-column or non-integer keys.
+    let mut order: Vec<Vec<Datum>> = Vec::new();
+    let mut groups: FastMap<Vec<KeyPart>, (usize, Vec<AggState>)> = FastMap::default();
+    for row in 0..batch.rows() {
+        let key = row_key(batch, row, group);
+        let entry = match groups.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                order.push(group.iter().map(|&c| batch.column(c).datum(row)).collect());
+                e.insert((order.len() - 1, new_states()))
+            }
+        };
+        for (st, col) in entry.1.iter_mut().zip(&agg_inputs) {
+            st.update(col.datum(row));
+        }
+    }
+    // Emit groups in first-seen order for determinism.
+    let mut finished: Vec<(usize, Vec<AggState>)> = groups.into_values().collect();
+    finished.sort_by_key(|(ord, _)| *ord);
+    let mut cols: Vec<Column> =
+        group.iter().map(|&c| Column::empty(batch.column(c).data_type())).collect();
+    let mut agg_cols: Vec<Column> = agg_types.iter().map(|&t| Column::empty(t)).collect();
+    for (ord, states) in finished {
+        for (c, d) in cols.iter_mut().zip(&order[ord]) {
+            c.push(*d);
+        }
+        for (c, st) in agg_cols.iter_mut().zip(&states) {
+            c.push(st.finish());
+        }
+    }
+    cols.extend(agg_cols);
+    Ok((Batch::from_columns(cols), false))
+}
+
+/// One partition's partial states for a global (ungrouped) aggregate.
+pub(crate) fn global_agg_partial(
+    batch: &Batch,
+    part: usize,
+    aggs: &[AggExpr],
+    agg_types: &[DataType],
+) -> DbResult<Vec<AggState>> {
+    let mut states: Vec<AggState> = aggs
+        .iter()
+        .zip(agg_types.iter())
+        .map(|(a, ty)| AggState::new(a.func, *ty))
+        .collect();
+    for (a, st) in aggs.iter().zip(states.iter_mut()) {
+        let col = a.input.eval(batch, part)?;
+        for row in 0..batch.rows() {
+            st.update(col.datum(row));
+        }
+    }
+    Ok(states)
+}
+
+/// Merges per-partition partials into the single global output row.
+pub(crate) fn merge_partials(
+    partials: &[Vec<AggState>],
+    aggs: &[AggExpr],
+    agg_types: &[DataType],
+) -> Batch {
+    let mut merged: Vec<AggState> = aggs
+        .iter()
+        .zip(agg_types)
+        .map(|(a, ty)| AggState::new(a.func, *ty))
+        .collect();
+    for p in partials {
+        for (m, s) in merged.iter_mut().zip(p) {
+            m.merge(s);
+        }
+    }
+    let mut cols: Vec<Column> = agg_types.iter().map(|&t| Column::empty(t)).collect();
+    for (c, st) in cols.iter_mut().zip(&merged) {
+        c.push(st.finish());
+    }
+    Batch::from_columns(cols)
+}
+
+/// Stateful per-partition duplicate elimination, usable one morsel at a
+/// time: survivors are exactly the first occurrences across all pushes,
+/// so incremental dedup equals concat-then-dedup.
+pub(crate) enum DedupState {
+    /// Vectorized single Int64 column.
+    Ints(kernels::DistinctInts),
+    /// Vectorized Int64 pair — the contraction rounds' edge shape.
+    Pairs(kernels::DistinctPairs),
+    /// Generic row keys over all columns.
+    Gen {
+        /// Keys seen so far.
+        seen: FastSet<Vec<KeyPart>>,
+        /// All column indices (dedup keys on the whole row).
+        cols: Vec<usize>,
+    },
+}
+
+impl DedupState {
+    /// Picks the tier for a relation shape. The decision depends only
+    /// on column count and dtypes, so the oracle (deciding per batch)
+    /// and the pipeline compiler (deciding per schema) always agree.
+    /// `rows` is an upper bound on total inserts (the partition's
+    /// queued row count, or the batch size on the oracle path) so the
+    /// table is sized once up front instead of rehashing as it grows.
+    pub(crate) fn for_shape(dtypes: &[DataType], vectorized: bool, rows: usize) -> DedupState {
+        let rows = rows.max(16);
+        if vectorized {
+            match dtypes {
+                [DataType::Int64] => {
+                    return DedupState::Ints(kernels::DistinctInts::for_rows(rows))
+                }
+                [DataType::Int64, DataType::Int64] => {
+                    return DedupState::Pairs(kernels::DistinctPairs::for_rows(rows))
+                }
+                _ => {}
+            }
+        }
+        DedupState::Gen { seen: FastSet::default(), cols: (0..dtypes.len()).collect() }
+    }
+
+    /// True when this state runs the vectorized tier.
+    pub(crate) fn is_vectorized(&self) -> bool {
+        !matches!(self, DedupState::Gen { .. })
+    }
+
+    /// Registers one batch and returns the selection of its
+    /// globally-first-seen rows — `None` when every row survives, so
+    /// callers that own the batch can pass it through without a copy
+    /// (the common case: post-exchange morsels rarely carry dups).
+    pub(crate) fn keep(&mut self, batch: &Batch) -> Option<SelVec> {
+        let keep: SelVec = match self {
+            DedupState::Ints(set) => {
+                let (v, m) = batch.column(0).as_int_parts().expect("Ints tier needs i64");
+                set.reserve(v.len());
+                set.filter(v, m)
+            }
+            DedupState::Pairs(set) => {
+                let (a, am) = batch.column(0).as_int_parts().expect("Pairs tier needs i64");
+                let (b, bm) = batch.column(1).as_int_parts().expect("Pairs tier needs i64");
+                set.reserve(a.len());
+                set.filter(a, am, b, bm)
+            }
+            DedupState::Gen { seen, cols } => {
+                let mut keep: SelVec = Vec::new();
+                seen.reserve(batch.rows());
+                for row in 0..batch.rows() {
+                    if seen.insert(row_key(batch, row, cols)) {
+                        keep.push(row as u32);
+                    }
+                }
+                keep
+            }
+        };
+        if keep.len() == batch.rows() {
+            None
+        } else {
+            Some(keep)
+        }
+    }
+
+    /// Filters one batch down to its globally-first-seen rows.
+    pub(crate) fn push(&mut self, batch: Batch) -> Batch {
+        match self.keep(&batch) {
+            None => batch,
+            Some(sel) => batch.take_u32(&sel),
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Push-based physical operators.
+//!
+//! A pipeline is a chain of [`PushOperator`]s ending in a sink.
+//! Morsels (batches, or zero-copy references into a scanned table)
+//! are pushed through the chain one partition at a time via
+//! [`PushOperator::poll_push`]; when a partition's input is exhausted
+//! the driver walks the chain with [`PushOperator::poll_finalize`].
+//! Streaming stages (filter, project, join probe, dedup) transform and
+//! forward; pipeline breakers (join build, aggregate, exchange, result
+//! buffer) accumulate into a [`SinkPart`] that the pipeline's
+//! [`PushOperator::complete`] hands to the next pipeline.
+//!
+//! Backpressure: every push spends fuel from [`PushCx`]. When fuel
+//! runs out an operator answers [`PollPush::Pending`], the partition
+//! driver parks its position, and the cooperative scheduler
+//! ([`crate::pool::SegmentPool::run_coop`]) rotates to another
+//! partition or another statement before resuming.
+
+pub(crate) mod compute;
+pub(crate) mod stages;
+
+use crate::batch::Batch;
+use crate::error::DbResult;
+use crate::fault::FaultContext;
+use crate::plan::QueryGuard;
+use crate::stats::{OpKind, OpMetrics, Stats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One unit of data flowing through a pipeline: either an owned batch
+/// or a zero-copy reference into a shared (scanned) partition list.
+pub(crate) enum Morsel {
+    /// An owned batch produced by an upstream stage.
+    Owned(Batch),
+    /// A borrowed view of partition `index` in a shared table.
+    Shared {
+        /// The table's partitions, shared with the catalog.
+        parts: Arc<Vec<Batch>>,
+        /// Which partition this morsel is.
+        index: usize,
+    },
+}
+
+impl Morsel {
+    /// Borrows the underlying batch.
+    pub(crate) fn as_batch(&self) -> &Batch {
+        match self {
+            Morsel::Owned(b) => b,
+            Morsel::Shared { parts, index } => &parts[*index],
+        }
+    }
+
+    /// Takes the batch, cloning only when it is shared.
+    pub(crate) fn into_batch(self) -> Batch {
+        match self {
+            Morsel::Owned(b) => b,
+            Morsel::Shared { parts, index } => parts[index].clone(),
+        }
+    }
+
+    /// Row count.
+    pub(crate) fn rows(&self) -> usize {
+        self.as_batch().rows()
+    }
+}
+
+/// Result of pushing one morsel into an operator.
+pub(crate) enum PollPush {
+    /// The morsel was consumed; streaming stages yield their output
+    /// batch, sinks yield `None`.
+    Pushed(Option<Batch>),
+    /// Out of fuel — the morsel is handed back untouched and the
+    /// partition driver must yield and retry later.
+    Pending(Morsel),
+}
+
+/// Result of finalizing one partition of an operator.
+pub(crate) enum Finalize {
+    /// Streaming stage: optionally flush a final batch downstream.
+    Stream(Option<Batch>),
+    /// Sink: the partition's accumulated output for `complete`.
+    Sink(SinkPart),
+}
+
+/// One partition's worth of sink output.
+pub(crate) enum SinkPart {
+    /// Buffered batches (result / union / aggregate output).
+    Batches(Vec<Batch>),
+    /// A hash-join build side.
+    Build(compute::JoinBuildPart),
+    /// Partial states of a global aggregate.
+    Partials(Vec<compute::AggState>),
+    /// Exchange output: for each destination partition, this source's
+    /// bucketed batches in arrival order, plus moved byte volume.
+    Buckets {
+        /// `per_dest[d]` = batches bound for destination `d`.
+        per_dest: Vec<Vec<Batch>>,
+        /// Total bytes leaving this source partition.
+        moved: u64,
+    },
+}
+
+impl SinkPart {
+    /// Output row count attributed to the owning stage.
+    pub(crate) fn rows(&self) -> u64 {
+        match self {
+            SinkPart::Batches(bs) => bs.iter().map(|b| b.rows() as u64).sum(),
+            // Build rows are charged by the probe stage; global-agg
+            // output (one row) is charged at merge time in `complete`.
+            SinkPart::Build(_) | SinkPart::Partials(_) => 0,
+            SinkPart::Buckets { per_dest, .. } => {
+                per_dest.iter().flatten().map(|b| b.rows() as u64).sum()
+            }
+        }
+    }
+}
+
+/// Per-(operator, partition) mutable state.
+pub(crate) struct PartState {
+    /// Whether this operator already hit its fault-injection site for
+    /// this partition (faults fire once per operator per partition,
+    /// mirroring the materializing executor).
+    pub fired: bool,
+    /// Cumulative input rows seen — the row-offset base that keeps
+    /// `random()` stable under morsel splitting.
+    pub seen: usize,
+    /// Operator-specific accumulation.
+    pub inner: StateInner,
+}
+
+impl PartState {
+    pub(crate) fn new(inner: StateInner) -> PartState {
+        PartState { fired: false, seen: 0, inner }
+    }
+}
+
+/// Operator-specific partition state.
+pub(crate) enum StateInner {
+    /// Stateless streaming stage.
+    None,
+    /// Buffered input batches (breakers that need the whole partition).
+    Acc(Vec<Batch>),
+    /// Streaming dedup survivors-so-far.
+    Dedup(compute::DedupState),
+    /// Exchange buckets accumulated per destination.
+    Buckets {
+        /// `per_dest[d]` = batches bound for destination `d` so far.
+        per_dest: Vec<Vec<Batch>>,
+        /// Bytes bucketed so far.
+        moved: u64,
+    },
+}
+
+/// Immutable per-query execution environment shared by all pipelines.
+pub(crate) struct ExecEnv {
+    /// Cancellation / deadline guard, checked every scheduler slice.
+    pub guard: QueryGuard,
+    /// Optional fault-injection context (chaos testing).
+    pub faults: Option<FaultContext>,
+}
+
+/// Per-slice push context: partition id, environment, and the fuel
+/// budget realizing `PollPush::Pending` backpressure.
+pub(crate) struct PushCx<'a> {
+    /// Partition being driven.
+    pub part: usize,
+    /// Query environment.
+    pub env: &'a ExecEnv,
+    /// Morsels this slice may still process before yielding.
+    pub fuel: u32,
+}
+
+impl PushCx<'_> {
+    /// Gatekeeper called by every `poll_push`: spends one fuel unit and
+    /// runs the operator's fault-injection site once per partition.
+    /// Returns `false` (yield) when fuel is exhausted.
+    pub(crate) fn admit(&mut self, kind: Option<OpKind>, state: &mut PartState) -> DbResult<bool> {
+        if self.fuel == 0 {
+            return Ok(false);
+        }
+        self.fuel -= 1;
+        self.fire_fault(kind, state)?;
+        Ok(true)
+    }
+
+    /// Runs the fault site if it has not fired for this partition yet.
+    /// Also used by `poll_finalize` so empty partitions still pass
+    /// through injection, like the materializing executor.
+    pub(crate) fn fire_fault(&self, kind: Option<OpKind>, state: &mut PartState) -> DbResult<()> {
+        if !state.fired {
+            state.fired = true;
+            if let (Some(k), Some(f)) = (kind, &self.env.faults) {
+                f.check(k, self.part)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lock-free metric accumulator for one pipeline stage. The driver
+/// folds it into exactly one [`OpMetrics`], which is charged to
+/// [`Stats`] and recorded in the profile — the same numbers in both
+/// places, so profile/op-stats reconciliation holds by construction.
+#[derive(Default)]
+pub(crate) struct OpAccum {
+    rows_in: AtomicU64,
+    rows_out: AtomicU64,
+    nanos: AtomicU64,
+    vec_parts: AtomicU64,
+    gen_parts: AtomicU64,
+    exchange_bytes: AtomicU64,
+}
+
+impl OpAccum {
+    pub(crate) fn add_rows_in(&self, n: u64) {
+        self.rows_in.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_rows_out(&self, n: u64) {
+        self.rows_out.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_nanos(&self, n: u64) {
+        self.nanos.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Counts one partition against the vectorized or generic tier.
+    pub(crate) fn add_part(&self, vectorized: bool) {
+        if vectorized {
+            self.vec_parts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.gen_parts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    pub(crate) fn add_exchange_bytes(&self, n: u64) {
+        self.exchange_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn exchange_bytes(&self) -> u64 {
+        self.exchange_bytes.load(Ordering::Relaxed)
+    }
+    /// Snapshot as the metrics struct charged to [`Stats`].
+    pub(crate) fn metrics(&self) -> OpMetrics {
+        OpMetrics {
+            vectorized_parts: self.vec_parts.load(Ordering::Relaxed),
+            generic_parts: self.gen_parts.load(Ordering::Relaxed),
+            rows_in: self.rows_in.load(Ordering::Relaxed),
+            rows_out: self.rows_out.load(Ordering::Relaxed),
+            nanos: self.nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A push-based physical operator. One instance serves every partition
+/// of its pipeline; per-partition mutation lives in [`PartState`],
+/// which the driver guarantees is touched by one thread at a time.
+pub(crate) trait PushOperator: Send + Sync {
+    /// Which op-stats family this stage charges, if any.
+    fn kind(&self) -> Option<OpKind>;
+    /// The stage's metric accumulator.
+    fn accum(&self) -> &OpAccum;
+    /// Fresh state for one partition. `rows_hint` is the total row
+    /// count queued for the partition at pipeline start — an upper
+    /// bound on what this stage will see, letting stateful stages
+    /// (dedup) size hash tables once instead of growing per morsel.
+    fn init_state(&self, rows_hint: usize) -> StateInner {
+        let _ = rows_hint;
+        StateInner::None
+    }
+    /// Pushes one morsel into this operator for `cx.part`.
+    fn poll_push(
+        &self,
+        morsel: Morsel,
+        state: &mut PartState,
+        cx: &mut PushCx<'_>,
+    ) -> DbResult<PollPush>;
+    /// Called once per partition after its last push.
+    fn poll_finalize(&self, state: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<Finalize>;
+    /// Called once per pipeline (sinks only), with every partition's
+    /// [`SinkPart`] in partition order, after all partitions finish.
+    fn complete(&self, parts: Vec<SinkPart>, stats: &Stats) -> DbResult<()> {
+        let _ = (parts, stats);
+        Ok(())
+    }
+}

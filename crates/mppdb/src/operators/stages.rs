@@ -1,0 +1,513 @@
+//! Concrete push operators: streaming stages (filter, project, join
+//! probe, dedup) and pipeline-breaker sinks (join build, aggregate,
+//! exchange, buffer). All row work delegates to
+//! [`crate::operators::compute`], which the materializing oracle also
+//! uses — the stages only add state handling and metric accounting.
+
+use super::compute::{self, AggState, DedupState, JoinBuildPart};
+use super::{Finalize, Morsel, OpAccum, PartState, PollPush, PushCx, PushOperator, SinkPart, StateInner};
+use crate::batch::Batch;
+use crate::error::DbResult;
+use crate::expr::Expr;
+use crate::ops::AggExpr;
+use crate::schema::{Field, Schema};
+use crate::stats::{OpKind, Stats};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A materialization cell handing one pipeline's output to the next:
+/// per destination partition, the batches produced for it, in a
+/// deterministic order (source-partition order for exchanges, branch
+/// order for unions).
+#[derive(Default)]
+pub(crate) struct BufCell {
+    parts: Mutex<Vec<Vec<Batch>>>,
+}
+
+impl BufCell {
+    /// Grows the cell to at least `n` partitions.
+    pub(crate) fn ensure(&self, n: usize) {
+        let mut g = lock_ok(&self.parts);
+        if g.len() < n {
+            g.resize_with(n, Vec::new);
+        }
+    }
+
+    /// Appends batches to partition `p`.
+    pub(crate) fn push_part(&self, p: usize, batches: Vec<Batch>) {
+        let mut g = lock_ok(&self.parts);
+        if g.len() <= p {
+            g.resize_with(p + 1, Vec::new);
+        }
+        g[p].extend(batches);
+    }
+
+    /// Takes partition `p`'s batches (empty if none were produced).
+    pub(crate) fn take_part(&self, p: usize) -> Vec<Batch> {
+        let mut g = lock_ok(&self.parts);
+        if p < g.len() {
+            std::mem::take(&mut g[p])
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// The hand-off cell for a hash-join build side.
+#[derive(Default)]
+pub(crate) struct BuildCell {
+    inner: Mutex<Option<Arc<Vec<JoinBuildPart>>>>,
+}
+
+impl BuildCell {
+    fn set(&self, parts: Vec<JoinBuildPart>) {
+        *lock_ok(&self.inner) = Some(Arc::new(parts));
+    }
+
+    fn get(&self) -> Arc<Vec<JoinBuildPart>> {
+        lock_ok(&self.inner).clone().expect("join build pipeline did not complete")
+    }
+}
+
+/// Streaming predicate filter.
+pub(crate) struct FilterOp {
+    pub(crate) pred: Expr,
+    pub(crate) accum: OpAccum,
+}
+
+impl PushOperator for FilterOp {
+    fn kind(&self) -> Option<OpKind> {
+        Some(OpKind::Filter)
+    }
+    fn accum(&self) -> &OpAccum {
+        &self.accum
+    }
+    fn poll_push(&self, m: Morsel, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<PollPush> {
+        if !cx.admit(self.kind(), st)? {
+            return Ok(PollPush::Pending(m));
+        }
+        let base = st.seen;
+        st.seen += m.rows();
+        let out = compute::filter_part(m.as_batch(), &self.pred, cx.part, base)?;
+        Ok(PollPush::Pushed(Some(out)))
+    }
+    fn poll_finalize(&self, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<Finalize> {
+        cx.fire_fault(self.kind(), st)?;
+        // The selection-vector tier always runs for filters.
+        self.accum.add_part(true);
+        Ok(Finalize::Stream(None))
+    }
+}
+
+/// Streaming projection.
+pub(crate) struct ProjectOp {
+    pub(crate) exprs: Vec<(Expr, Field)>,
+    pub(crate) accum: OpAccum,
+}
+
+impl PushOperator for ProjectOp {
+    fn kind(&self) -> Option<OpKind> {
+        Some(OpKind::Project)
+    }
+    fn accum(&self) -> &OpAccum {
+        &self.accum
+    }
+    fn poll_push(&self, m: Morsel, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<PollPush> {
+        if !cx.admit(self.kind(), st)? {
+            return Ok(PollPush::Pending(m));
+        }
+        let base = st.seen;
+        st.seen += m.rows();
+        let out = compute::project_part(m.as_batch(), &self.exprs, cx.part, base)?;
+        Ok(PollPush::Pushed(Some(out)))
+    }
+    fn poll_finalize(&self, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<Finalize> {
+        cx.fire_fault(self.kind(), st)?;
+        self.accum.add_part(false);
+        Ok(Finalize::Stream(None))
+    }
+}
+
+/// Streaming hash-join probe against a completed [`BuildCell`].
+pub(crate) struct ProbeOp {
+    pub(crate) l_keys: Vec<usize>,
+    pub(crate) left_outer: bool,
+    pub(crate) right_width: usize,
+    /// Compile-time tier decision (single `Int64` key on both sides).
+    pub(crate) use_vec: bool,
+    pub(crate) build: Arc<BuildCell>,
+    pub(crate) accum: OpAccum,
+}
+
+impl PushOperator for ProbeOp {
+    fn kind(&self) -> Option<OpKind> {
+        Some(OpKind::Join)
+    }
+    fn accum(&self) -> &OpAccum {
+        &self.accum
+    }
+    fn poll_push(&self, m: Morsel, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<PollPush> {
+        if !cx.admit(self.kind(), st)? {
+            return Ok(PollPush::Pending(m));
+        }
+        st.seen += m.rows();
+        let builds = self.build.get();
+        let out = compute::probe_part(
+            &builds[cx.part],
+            m.as_batch(),
+            &self.l_keys,
+            self.left_outer,
+            self.right_width,
+        )?;
+        Ok(PollPush::Pushed(Some(out)))
+    }
+    fn poll_finalize(&self, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<Finalize> {
+        cx.fire_fault(self.kind(), st)?;
+        self.accum.add_part(self.use_vec);
+        Ok(Finalize::Stream(None))
+    }
+}
+
+/// Streaming duplicate elimination (stateful, emits first occurrences
+/// incrementally — identical survivors to concat-then-dedup).
+pub(crate) struct DedupOp {
+    pub(crate) dtypes: Vec<crate::value::DataType>,
+    pub(crate) vectorized: bool,
+    pub(crate) accum: OpAccum,
+}
+
+impl PushOperator for DedupOp {
+    fn kind(&self) -> Option<OpKind> {
+        Some(OpKind::Distinct)
+    }
+    fn accum(&self) -> &OpAccum {
+        &self.accum
+    }
+    fn init_state(&self, rows_hint: usize) -> StateInner {
+        StateInner::Dedup(DedupState::for_shape(&self.dtypes, self.vectorized, rows_hint))
+    }
+    fn poll_push(&self, m: Morsel, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<PollPush> {
+        if !cx.admit(self.kind(), st)? {
+            return Ok(PollPush::Pending(m));
+        }
+        st.seen += m.rows();
+        let sel = match &mut st.inner {
+            StateInner::Dedup(d) => d.keep(m.as_batch()),
+            _ => unreachable!("dedup stage with non-dedup state"),
+        };
+        // No duplicates in the morsel: pass it through — owned morsels
+        // move without a copy.
+        let out = match sel {
+            None => m.into_batch(),
+            Some(sel) => m.as_batch().take_u32(&sel),
+        };
+        Ok(PollPush::Pushed(Some(out)))
+    }
+    fn poll_finalize(&self, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<Finalize> {
+        cx.fire_fault(self.kind(), st)?;
+        let vec_tier = match &st.inner {
+            StateInner::Dedup(d) => d.is_vectorized(),
+            _ => false,
+        };
+        self.accum.add_part(vec_tier);
+        Ok(Finalize::Stream(None))
+    }
+}
+
+fn acc_push(st: &mut PartState, m: Morsel) {
+    match &mut st.inner {
+        StateInner::Acc(v) => v.push(m.into_batch()),
+        _ => unreachable!("accumulating sink with non-acc state"),
+    }
+}
+
+fn acc_take(st: &mut PartState, schema: &Schema) -> Batch {
+    match &mut st.inner {
+        StateInner::Acc(v) => {
+            let batches = std::mem::take(v);
+            if batches.is_empty() {
+                Batch::empty(schema)
+            } else {
+                Batch::concat_owned(batches)
+            }
+        }
+        _ => unreachable!("accumulating sink with non-acc state"),
+    }
+}
+
+/// Join build-side sink: buffers its partition, builds the hash table
+/// at finalize, and publishes all partitions through a [`BuildCell`].
+pub(crate) struct BuildSink {
+    pub(crate) keys: Vec<usize>,
+    /// Compile-time tier decision, shared with the probe stage.
+    pub(crate) use_vec: bool,
+    pub(crate) in_schema: Schema,
+    pub(crate) cell: Arc<BuildCell>,
+    pub(crate) accum: OpAccum,
+}
+
+impl PushOperator for BuildSink {
+    fn kind(&self) -> Option<OpKind> {
+        Some(OpKind::Join)
+    }
+    fn accum(&self) -> &OpAccum {
+        &self.accum
+    }
+    fn init_state(&self, _rows_hint: usize) -> StateInner {
+        StateInner::Acc(Vec::new())
+    }
+    fn poll_push(&self, m: Morsel, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<PollPush> {
+        if !cx.admit(self.kind(), st)? {
+            return Ok(PollPush::Pending(m));
+        }
+        st.seen += m.rows();
+        acc_push(st, m);
+        Ok(PollPush::Pushed(None))
+    }
+    fn poll_finalize(&self, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<Finalize> {
+        cx.fire_fault(self.kind(), st)?;
+        self.accum.add_part(self.use_vec);
+        let batch = acc_take(st, &self.in_schema);
+        let built = compute::build_join_part(batch, &self.keys, self.use_vec);
+        Ok(Finalize::Sink(SinkPart::Build(built)))
+    }
+    fn complete(&self, parts: Vec<SinkPart>, _stats: &Stats) -> DbResult<()> {
+        let builds: Vec<JoinBuildPart> = parts
+            .into_iter()
+            .map(|p| match p {
+                SinkPart::Build(b) => b,
+                _ => unreachable!("build sink produced non-build part"),
+            })
+            .collect();
+        self.cell.set(builds);
+        Ok(())
+    }
+}
+
+/// Grouped-aggregate sink: buffers the (co-located) partition, runs
+/// the aggregation at finalize, and hands the output to a [`BufCell`].
+pub(crate) struct AggSink {
+    pub(crate) group: Vec<usize>,
+    pub(crate) aggs: Vec<AggExpr>,
+    pub(crate) agg_types: Vec<crate::value::DataType>,
+    pub(crate) in_schema: Schema,
+    pub(crate) vectorized: bool,
+    pub(crate) cell: Arc<BufCell>,
+    pub(crate) accum: OpAccum,
+}
+
+impl PushOperator for AggSink {
+    fn kind(&self) -> Option<OpKind> {
+        Some(OpKind::Aggregate)
+    }
+    fn accum(&self) -> &OpAccum {
+        &self.accum
+    }
+    fn init_state(&self, _rows_hint: usize) -> StateInner {
+        StateInner::Acc(Vec::new())
+    }
+    fn poll_push(&self, m: Morsel, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<PollPush> {
+        if !cx.admit(self.kind(), st)? {
+            return Ok(PollPush::Pending(m));
+        }
+        st.seen += m.rows();
+        acc_push(st, m);
+        Ok(PollPush::Pushed(None))
+    }
+    fn poll_finalize(&self, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<Finalize> {
+        cx.fire_fault(self.kind(), st)?;
+        let batch = acc_take(st, &self.in_schema);
+        let (out, used_vec) = compute::agg_partition(
+            &batch,
+            cx.part,
+            &self.group,
+            &self.aggs,
+            &self.agg_types,
+            self.vectorized,
+        )?;
+        self.accum.add_part(used_vec);
+        Ok(Finalize::Sink(SinkPart::Batches(vec![out])))
+    }
+    fn complete(&self, parts: Vec<SinkPart>, _stats: &Stats) -> DbResult<()> {
+        for (p, part) in parts.into_iter().enumerate() {
+            if let SinkPart::Batches(bs) = part {
+                self.cell.push_part(p, bs);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Global (ungrouped) aggregate sink: per-partition partial states,
+/// merged once at `complete` into a single row in partition 0.
+pub(crate) struct GlobalAggSink {
+    pub(crate) aggs: Vec<AggExpr>,
+    pub(crate) agg_types: Vec<crate::value::DataType>,
+    pub(crate) in_schema: Schema,
+    pub(crate) cell: Arc<BufCell>,
+    pub(crate) accum: OpAccum,
+}
+
+impl PushOperator for GlobalAggSink {
+    fn kind(&self) -> Option<OpKind> {
+        Some(OpKind::Aggregate)
+    }
+    fn accum(&self) -> &OpAccum {
+        &self.accum
+    }
+    fn init_state(&self, _rows_hint: usize) -> StateInner {
+        StateInner::Acc(Vec::new())
+    }
+    fn poll_push(&self, m: Morsel, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<PollPush> {
+        if !cx.admit(self.kind(), st)? {
+            return Ok(PollPush::Pending(m));
+        }
+        st.seen += m.rows();
+        acc_push(st, m);
+        Ok(PollPush::Pushed(None))
+    }
+    fn poll_finalize(&self, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<Finalize> {
+        cx.fire_fault(self.kind(), st)?;
+        self.accum.add_part(false);
+        let batch = acc_take(st, &self.in_schema);
+        let partials = compute::global_agg_partial(&batch, cx.part, &self.aggs, &self.agg_types)?;
+        Ok(Finalize::Sink(SinkPart::Partials(partials)))
+    }
+    fn complete(&self, parts: Vec<SinkPart>, _stats: &Stats) -> DbResult<()> {
+        let partials: Vec<Vec<AggState>> = parts
+            .into_iter()
+            .map(|p| match p {
+                SinkPart::Partials(s) => s,
+                _ => unreachable!("global agg sink produced non-partial part"),
+            })
+            .collect();
+        let out = compute::merge_partials(&partials, &self.aggs, &self.agg_types);
+        self.accum.add_rows_out(out.rows() as u64);
+        self.cell.push_part(0, vec![out]);
+        Ok(())
+    }
+}
+
+/// Hash-exchange sink: buckets every morsel as it arrives, keeps the
+/// buckets per destination, and at `complete` routes each source's
+/// buckets — never concatenated — to the destination partitions.
+pub(crate) struct ExchangeSink {
+    pub(crate) keys: Vec<usize>,
+    pub(crate) n_dest: usize,
+    /// Compile-time tier decision (all key columns `Int64`).
+    pub(crate) use_vec: bool,
+    pub(crate) cell: Arc<BufCell>,
+    pub(crate) accum: OpAccum,
+}
+
+impl PushOperator for ExchangeSink {
+    fn kind(&self) -> Option<OpKind> {
+        Some(OpKind::Repartition)
+    }
+    fn accum(&self) -> &OpAccum {
+        &self.accum
+    }
+    fn init_state(&self, _rows_hint: usize) -> StateInner {
+        StateInner::Buckets { per_dest: (0..self.n_dest).map(|_| Vec::new()).collect(), moved: 0 }
+    }
+    fn poll_push(&self, m: Morsel, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<PollPush> {
+        if !cx.admit(self.kind(), st)? {
+            return Ok(PollPush::Pending(m));
+        }
+        st.seen += m.rows();
+        let (bytes, buckets, _) =
+            compute::bucket_part(m.as_batch(), &self.keys, self.n_dest, self.use_vec)?;
+        match &mut st.inner {
+            StateInner::Buckets { per_dest, moved } => {
+                *moved += bytes;
+                for (d, b) in buckets.into_iter().enumerate() {
+                    if b.rows() > 0 {
+                        per_dest[d].push(b);
+                    }
+                }
+            }
+            _ => unreachable!("exchange sink with non-bucket state"),
+        }
+        Ok(PollPush::Pushed(None))
+    }
+    fn poll_finalize(&self, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<Finalize> {
+        cx.fire_fault(self.kind(), st)?;
+        self.accum.add_part(self.use_vec);
+        match std::mem::replace(&mut st.inner, StateInner::None) {
+            StateInner::Buckets { per_dest, moved } => {
+                Ok(Finalize::Sink(SinkPart::Buckets { per_dest, moved }))
+            }
+            _ => unreachable!("exchange sink with non-bucket state"),
+        }
+    }
+    fn complete(&self, parts: Vec<SinkPart>, stats: &Stats) -> DbResult<()> {
+        self.cell.ensure(self.n_dest);
+        let mut total: u64 = 0;
+        // Source-partition order keeps destination row order
+        // deterministic and identical to the materializing executor.
+        for part in parts {
+            if let SinkPart::Buckets { per_dest, moved } = part {
+                total += moved;
+                for (d, batches) in per_dest.into_iter().enumerate() {
+                    if !batches.is_empty() {
+                        self.cell.push_part(d, batches);
+                    }
+                }
+            }
+        }
+        stats.charge_network(total);
+        self.accum.add_exchange_bytes(total);
+        Ok(())
+    }
+}
+
+/// Buffering sink for pipeline results and union branches.
+pub(crate) struct BufferSink {
+    /// `Some(UnionAll)` for union branches (fault site + op charge),
+    /// `None` for the statement's final result buffer.
+    pub(crate) op: Option<OpKind>,
+    pub(crate) cell: Arc<BufCell>,
+    pub(crate) accum: OpAccum,
+}
+
+impl PushOperator for BufferSink {
+    fn kind(&self) -> Option<OpKind> {
+        self.op
+    }
+    fn accum(&self) -> &OpAccum {
+        &self.accum
+    }
+    fn init_state(&self, _rows_hint: usize) -> StateInner {
+        StateInner::Acc(Vec::new())
+    }
+    fn poll_push(&self, m: Morsel, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<PollPush> {
+        if !cx.admit(self.kind(), st)? {
+            return Ok(PollPush::Pending(m));
+        }
+        st.seen += m.rows();
+        acc_push(st, m);
+        Ok(PollPush::Pushed(None))
+    }
+    fn poll_finalize(&self, st: &mut PartState, cx: &mut PushCx<'_>) -> DbResult<Finalize> {
+        cx.fire_fault(self.kind(), st)?;
+        self.accum.add_part(false);
+        let batches = match &mut st.inner {
+            StateInner::Acc(v) => std::mem::take(v),
+            _ => unreachable!("buffer sink with non-acc state"),
+        };
+        Ok(Finalize::Sink(SinkPart::Batches(batches)))
+    }
+    fn complete(&self, parts: Vec<SinkPart>, _stats: &Stats) -> DbResult<()> {
+        for (p, part) in parts.into_iter().enumerate() {
+            if let SinkPart::Batches(bs) = part {
+                if !bs.is_empty() {
+                    self.cell.push_part(p, bs);
+                }
+            }
+        }
+        Ok(())
+    }
+}

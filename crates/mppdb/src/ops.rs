@@ -23,19 +23,17 @@
 //! Every invocation's wall time, row counts, and per-tier partition
 //! counts are charged to [`Stats::charge_op`].
 
-use crate::batch::{Batch, Column, SelVec};
+use crate::batch::Batch;
 use crate::error::{DbError, DbResult};
-use crate::exec::{hash_key, key_has_null, row_key, FastMap, FastSet, KeyPart};
 use crate::expr::Expr;
-use crate::kernels;
+use crate::operators::compute;
 use crate::plan::QueryGuard;
 use crate::pool::SegmentPool;
 use crate::schema::{Field, Schema};
 use crate::stats::{OpKind, OpMetrics, Stats};
 use crate::table::Distribution;
 use crate::trace::{OpProfile, SpanSink};
-use crate::value::{DataType, Datum};
-use std::collections::hash_map::Entry;
+use crate::value::DataType;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -194,128 +192,13 @@ impl AggFunc {
     }
 }
 
-/// Accumulator for one aggregate within one group.
-#[derive(Debug, Clone)]
-enum AggState {
-    MinMax { best: Datum, keep_less: bool },
-    Count(i64),
-    SumInt(i64, bool),
-    SumFloat(f64, bool),
-}
-
-impl AggState {
-    fn new(func: AggFunc, dtype: DataType) -> AggState {
-        match func {
-            AggFunc::Min => AggState::MinMax { best: Datum::Null, keep_less: true },
-            AggFunc::Max => AggState::MinMax { best: Datum::Null, keep_less: false },
-            AggFunc::Count => AggState::Count(0),
-            AggFunc::Sum => match dtype {
-                DataType::Int64 => AggState::SumInt(0, false),
-                DataType::Float64 => AggState::SumFloat(0.0, false),
-            },
-        }
-    }
-
-    fn update(&mut self, d: Datum) {
-        match self {
-            AggState::MinMax { best, keep_less } => {
-                if d.is_null() {
-                    return;
-                }
-                let replace = match best.sql_cmp(&d) {
-                    None => true, // best is NULL
-                    Some(ord) => {
-                        if *keep_less {
-                            ord == std::cmp::Ordering::Greater
-                        } else {
-                            ord == std::cmp::Ordering::Less
-                        }
-                    }
-                };
-                if replace {
-                    *best = d;
-                }
-            }
-            AggState::Count(n) => {
-                if !d.is_null() {
-                    *n += 1;
-                }
-            }
-            AggState::SumInt(s, any) => {
-                if let Datum::Int(v) = d {
-                    *s = s.wrapping_add(v);
-                    *any = true;
-                }
-            }
-            AggState::SumFloat(s, any) => {
-                if let Some(v) = d.as_double() {
-                    *s += v;
-                    *any = true;
-                }
-            }
-        }
-    }
-
-    /// Merges another state of the same shape (for global aggregates).
-    fn merge(&mut self, other: &AggState) {
-        match (self, other) {
-            (s @ AggState::MinMax { .. }, AggState::MinMax { best, .. }) => s.update(*best),
-            (AggState::Count(a), AggState::Count(b)) => *a += b,
-            (AggState::SumInt(a, aa), AggState::SumInt(b, ba)) => {
-                *a = a.wrapping_add(*b);
-                *aa |= ba;
-            }
-            (AggState::SumFloat(a, aa), AggState::SumFloat(b, ba)) => {
-                *a += b;
-                *aa |= ba;
-            }
-            _ => unreachable!("merging mismatched aggregate states"),
-        }
-    }
-
-    fn finish(&self) -> Datum {
-        match self {
-            AggState::MinMax { best, .. } => *best,
-            AggState::Count(n) => Datum::Int(*n),
-            AggState::SumInt(s, any) => {
-                if *any {
-                    Datum::Int(*s)
-                } else {
-                    Datum::Null
-                }
-            }
-            AggState::SumFloat(s, any) => {
-                if *any {
-                    Datum::Double(*s)
-                } else {
-                    Datum::Null
-                }
-            }
-        }
-    }
-}
-
 /// Projects each partition through the expressions, producing the given
 /// output fields. Tracks whether the input hash distribution survives
 /// (a distribution column passed through as a bare column reference).
 pub fn project(input: PData, exprs: &[(Expr, Field)], ctx: &OpCtx<'_>) -> DbResult<PData> {
     let timer = OpTimer::new(OpKind::Project, total_rows(&input.parts));
     let out_schema = build_schema_allow_dups(exprs.iter().map(|(_, f)| f.clone()).collect());
-    let new_dist = match &input.dist {
-        Distribution::Hash(cols) => {
-            let mapped: Option<Vec<usize>> = cols
-                .iter()
-                .map(|&c| {
-                    exprs.iter().position(|(e, _)| matches!(e, Expr::Column(i) if *i == c))
-                })
-                .collect();
-            match mapped {
-                Some(m) => Distribution::Hash(m),
-                None => Distribution::Arbitrary,
-            }
-        }
-        Distribution::Arbitrary => Distribution::Arbitrary,
-    };
+    let new_dist = compute::projected_dist(exprs, &input.dist);
     let exprs: Arc<Vec<(Expr, Field)>> = Arc::new(exprs.to_vec());
     let guard = ctx.guard.clone();
     let faults = ctx.faults.clone();
@@ -324,12 +207,7 @@ pub fn project(input: PData, exprs: &[(Expr, Field)], ctx: &OpCtx<'_>) -> DbResu
         guard.check()?;
         inject(&faults, OpKind::Project, part_id)?;
         gen_parts.fetch_add(1, Ordering::Relaxed);
-        let mut cols = Vec::with_capacity(exprs.len());
-        for (e, _) in exprs.iter() {
-            cols.push(e.eval(&batch, part_id)?);
-        }
-        // A projection of zero columns is impossible through SQL.
-        Ok(Batch::from_columns(cols))
+        compute::project_part(&batch, &exprs, part_id, 0)
     })?;
     timer.finish(ctx, total_rows(&parts));
     Ok(PData { schema: out_schema, parts, dist: new_dist })
@@ -348,13 +226,7 @@ pub fn filter(input: PData, pred: &Expr, ctx: &OpCtx<'_>) -> DbResult<PData> {
         guard.check()?;
         inject(&faults, OpKind::Filter, part_id)?;
         vec_parts.fetch_add(1, Ordering::Relaxed);
-        let mask = pred.eval_predicate(&batch, part_id)?;
-        let sel: SelVec = mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &keep)| keep.then_some(i as u32))
-            .collect();
-        Ok(batch.take_u32(&sel))
+        compute::filter_part(&batch, &pred, part_id, 0)
     })?;
     timer.finish(ctx, total_rows(&parts));
     Ok(PData { schema: input.schema, parts, dist: input.dist })
@@ -383,29 +255,12 @@ pub fn repartition_hash(input: PData, key_cols: &[usize], ctx: &OpCtx<'_>) -> Db
         ctx.pool.run_parts_labeled("repartition", in_parts, move |part_id, batch| {
         guard.check()?;
         inject(&faults, OpKind::Repartition, part_id)?;
-        let int_keys = if vectorized {
-            keys.iter().map(|&c| batch.column(c).as_int_parts()).collect::<Option<Vec<_>>>()
+        let (moved, out, was_vec) = compute::bucket_part(&batch, &keys, n, vectorized)?;
+        if was_vec {
+            vec_parts.fetch_add(1, Ordering::Relaxed);
         } else {
-            None
-        };
-        let dests: SelVec = match int_keys {
-            Some(cols) => {
-                vec_parts.fetch_add(1, Ordering::Relaxed);
-                kernels::bucket_rows(&cols, n as u64)
-            }
-            None => {
-                gen_parts.fetch_add(1, Ordering::Relaxed);
-                (0..batch.rows())
-                    .map(|row| (hash_key(&batch, row, &keys) % n as u64) as u32)
-                    .collect()
-            }
-        };
-        let mut sels: Vec<SelVec> = vec![Vec::new(); n];
-        for (row, &d) in dests.iter().enumerate() {
-            sels[d as usize].push(row as u32);
+            gen_parts.fetch_add(1, Ordering::Relaxed);
         }
-        let out: Vec<Batch> = sels.iter().map(|sel| batch.take_u32(sel)).collect();
-        let moved: u64 = out.iter().map(Batch::byte_size).sum();
         Ok((moved, out))
     })?;
     // Exchange accounting uses shuffle-write semantics (as Spark and
@@ -456,26 +311,9 @@ pub fn aggregate(
     ctx: &OpCtx<'_>,
 ) -> DbResult<PData> {
     let timer = OpTimer::new(OpKind::Aggregate, total_rows(&input.parts));
-    let in_types: Vec<DataType> =
-        input.schema.fields().iter().map(|f| f.dtype).collect();
-    let agg_types: Vec<DataType> = aggs
-        .iter()
-        .map(|a| Ok(a.func.output_type(a.input.output_type(&in_types)?)))
-        .collect::<DbResult<_>>()?;
-
-    let mut out_fields: Vec<Field> = group_cols
-        .iter()
-        .map(|&c| input.schema.field(c).clone())
-        .collect();
-    for (i, (a, ty)) in aggs.iter().zip(&agg_types).enumerate() {
-        let name = format!("agg{i}");
-        let mut f = Field::new(name, *ty);
-        f.nullable = !matches!(a.func, AggFunc::Count);
-        out_fields.push(f);
-    }
     // Output schema may repeat names if two group columns share one;
-    // build without the duplicate check by constructing via join trick.
-    let out_schema = build_schema_allow_dups(out_fields);
+    // built without the duplicate check (accessed positionally).
+    let (out_schema, agg_types) = compute::agg_output(&input.schema, group_cols, aggs)?;
 
     if group_cols.is_empty() {
         let out = global_aggregate(input, aggs, &agg_types, out_schema, ctx)?;
@@ -495,95 +333,20 @@ pub fn aggregate(
     let parts = ctx.pool.run_parts_labeled("aggregate", data.parts, move |part_id, batch| {
         guard.check()?;
         inject(&faults, OpKind::Aggregate, part_id)?;
-        // Evaluate agg inputs once per partition.
-        let mut agg_inputs = Vec::with_capacity(aggs.len());
-        for a in aggs.iter() {
-            agg_inputs.push(a.input.eval(&batch, part_id)?);
-        }
-        let new_states = || -> Vec<AggState> {
-            aggs.iter()
-                .zip(agg_types_arc.iter())
-                .map(|(a, ty)| AggState::new(a.func, *ty))
-                .collect()
-        };
-        // Vectorized tier: a single Int64 group key (NULLs included)
-        // goes through the group_ids kernel — one slice pass, no
-        // per-row key vectors.
-        let int_key = if vectorized {
-            if let &[g] = group.as_slice() {
-                batch.column(g).as_int_parts()
-            } else {
-                None
-            }
-        } else {
-            None
-        };
-        if let Some((keys, validity)) = int_key {
+        let (out, used_vec) = compute::agg_partition(
+            &batch,
+            part_id,
+            &group,
+            &aggs,
+            &agg_types_arc,
+            vectorized,
+        )?;
+        if used_vec {
             vec_parts.fetch_add(1, Ordering::Relaxed);
-            let gi = kernels::group_ids(keys, validity);
-            let mut states: Vec<Vec<AggState>> =
-                (0..gi.keys.len()).map(|_| new_states()).collect();
-            for (row, &g) in gi.row_groups.iter().enumerate() {
-                for (st, col) in states[g as usize].iter_mut().zip(&agg_inputs) {
-                    st.update(col.datum(row));
-                }
-            }
-            let mut gcol = Column::empty(DataType::Int64);
-            for (i, &k) in gi.keys.iter().enumerate() {
-                if gi.null_group == Some(i as u32) {
-                    gcol.push(Datum::Null);
-                } else {
-                    gcol.push(Datum::Int(k));
-                }
-            }
-            let mut cols = Vec::with_capacity(1 + agg_types_arc.len());
-            cols.push(gcol);
-            let mut agg_cols: Vec<Column> =
-                agg_types_arc.iter().map(|&t| Column::empty(t)).collect();
-            for group_states in states {
-                for (c, st) in agg_cols.iter_mut().zip(&group_states) {
-                    c.push(st.finish());
-                }
-            }
-            cols.extend(agg_cols);
-            return Ok(Batch::from_columns(cols));
+        } else {
+            gen_parts.fetch_add(1, Ordering::Relaxed);
         }
-        // Generic tier: multi-column or non-integer keys.
-        gen_parts.fetch_add(1, Ordering::Relaxed);
-        let mut order: Vec<Vec<Datum>> = Vec::new();
-        let mut groups: FastMap<Vec<KeyPart>, (usize, Vec<AggState>)> = FastMap::default();
-        for row in 0..batch.rows() {
-            let key = row_key(&batch, row, &group);
-            let entry = match groups.entry(key) {
-                Entry::Occupied(e) => e.into_mut(),
-                Entry::Vacant(e) => {
-                    order.push(group.iter().map(|&c| batch.column(c).datum(row)).collect());
-                    e.insert((order.len() - 1, new_states()))
-                }
-            };
-            for (st, col) in entry.1.iter_mut().zip(&agg_inputs) {
-                st.update(col.datum(row));
-            }
-        }
-        // Emit groups in first-seen order for determinism.
-        let mut finished: Vec<(usize, Vec<AggState>)> = groups.into_values().collect();
-        finished.sort_by_key(|(ord, _)| *ord);
-        let mut cols: Vec<Column> = group
-            .iter()
-            .map(|&c| Column::empty(batch.column(c).data_type()))
-            .collect();
-        let mut agg_cols: Vec<Column> =
-            agg_types_arc.iter().map(|&t| Column::empty(t)).collect();
-        for (ord, states) in finished {
-            for (c, d) in cols.iter_mut().zip(&order[ord]) {
-                c.push(*d);
-            }
-            for (c, st) in agg_cols.iter_mut().zip(&states) {
-                c.push(st.finish());
-            }
-        }
-        cols.extend(agg_cols);
-        Ok(Batch::from_columns(cols))
+        Ok(out)
     })?;
     timer.finish(ctx, total_rows(&parts));
     // Group columns keep their hash placement (positions 0..k).
@@ -603,38 +366,13 @@ fn global_aggregate(
     let types_arc: Arc<Vec<DataType>> = Arc::new(agg_types.to_vec());
     let guard = ctx.guard.clone();
     let faults = ctx.faults.clone();
-    let partials: Vec<Vec<AggState>> =
+    let partials: Vec<Vec<compute::AggState>> =
         ctx.pool.run_parts_labeled("aggregate", input.parts, move |part_id, batch| {
         guard.check()?;
         inject(&faults, OpKind::Aggregate, part_id)?;
-        let mut states: Vec<AggState> = aggs_arc
-            .iter()
-            .zip(types_arc.iter())
-            .map(|(a, ty)| AggState::new(a.func, *ty))
-            .collect();
-        for (a, st) in aggs_arc.iter().zip(states.iter_mut()) {
-            let col = a.input.eval(&batch, part_id)?;
-            for row in 0..batch.rows() {
-                st.update(col.datum(row));
-            }
-        }
-        Ok(states)
+        compute::global_agg_partial(&batch, part_id, &aggs_arc, &types_arc)
     })?;
-    let mut merged: Vec<AggState> = aggs
-        .iter()
-        .zip(agg_types)
-        .map(|(a, ty)| AggState::new(a.func, *ty))
-        .collect();
-    for p in &partials {
-        for (m, s) in merged.iter_mut().zip(p) {
-            m.merge(s);
-        }
-    }
-    let mut cols: Vec<Column> = agg_types.iter().map(|&t| Column::empty(t)).collect();
-    for (c, st) in cols.iter_mut().zip(&merged) {
-        c.push(st.finish());
-    }
-    let mut parts = vec![Batch::from_columns(cols)];
+    let mut parts = vec![compute::merge_partials(&partials, aggs, agg_types)];
     for _ in 1..n_parts {
         parts.push(Batch::empty(&out_schema));
     }
@@ -693,78 +431,19 @@ pub fn hash_join(
         // probe run over raw slices; matches land in two `u32`
         // selection vectors gathered straight into the output — the
         // probe loop allocates nothing per row.
-        let int_keys = if vectorized {
-            if let (&[lk], &[rk]) = (l_keys_arc.as_slice(), r_keys_arc.as_slice()) {
-                lb.column(lk).as_int_parts().zip(rb.column(rk).as_int_parts())
-            } else {
-                None
-            }
-        } else {
-            None
-        };
-        if let Some(((l_vals, l_valid), (r_vals, r_valid))) = int_keys {
+        let use_vec = vectorized
+            && matches!(
+                (l_keys_arc.as_slice(), r_keys_arc.as_slice()),
+                (&[lk], &[rk]) if lb.column(lk).as_int_parts().is_some()
+                    && rb.column(rk).as_int_parts().is_some()
+            );
+        if use_vec {
             vec_parts.fetch_add(1, Ordering::Relaxed);
-            let build = kernels::build_join(r_vals, r_valid);
-            let mut l_sel: SelVec = Vec::new();
-            let mut r_sel: SelVec = Vec::new();
-            kernels::probe_join(&build, l_vals, l_valid, left_outer, &mut l_sel, &mut r_sel);
-            let mut cols: Vec<Column> = Vec::with_capacity(lb.width() + right_width);
-            for c in lb.columns() {
-                cols.push(c.take_u32(&l_sel));
-            }
-            for ci in 0..right_width {
-                cols.push(rb.column(ci).take_u32_padded(&r_sel));
-            }
-            return Ok(Batch::from_columns(cols));
+        } else {
+            gen_parts.fetch_add(1, Ordering::Relaxed);
         }
-        // Generic tier: build side right, multi-part keys.
-        gen_parts.fetch_add(1, Ordering::Relaxed);
-        let mut l_idx: Vec<usize> = Vec::new();
-        let mut r_idx: Vec<Option<usize>> = Vec::new();
-        let mut table: FastMap<Vec<KeyPart>, Vec<usize>> = FastMap::default();
-        for row in 0..rb.rows() {
-            if key_has_null(&rb, row, &r_keys_arc) {
-                continue;
-            }
-            table.entry(row_key(&rb, row, &r_keys_arc)).or_default().push(row);
-        }
-        for row in 0..lb.rows() {
-            let matched = if key_has_null(&lb, row, &l_keys_arc) {
-                None
-            } else {
-                table.get(&row_key(&lb, row, &l_keys_arc))
-            };
-            match matched {
-                Some(rows) => {
-                    for &r in rows {
-                        l_idx.push(row);
-                        r_idx.push(Some(r));
-                    }
-                }
-                None => {
-                    if left_outer {
-                        l_idx.push(row);
-                        r_idx.push(None);
-                    }
-                }
-            }
-        }
-        let mut cols: Vec<Column> = Vec::with_capacity(lb.width() + rb.width());
-        for c in lb.columns() {
-            cols.push(c.take(&l_idx));
-        }
-        for ci in 0..right_width {
-            let src = rb.column(ci);
-            let mut out = Column::empty(src.data_type());
-            for r in &r_idx {
-                match r {
-                    Some(row) => out.push_from(src, *row),
-                    None => out.push(Datum::Null),
-                }
-            }
-            cols.push(out);
-        }
-        Ok(Batch::from_columns(cols))
+        let build = compute::build_join_part(rb, &r_keys_arc, use_vec);
+        compute::probe_part(&build, &lb, &l_keys_arc, left_outer, right_width)
     })?;
     timer.finish(ctx, total_rows(&parts));
     // The join output keeps the left side's key placement.
@@ -783,7 +462,6 @@ pub fn distinct(input: PData, ctx: &OpCtx<'_>) -> DbResult<PData> {
     let timer = OpTimer::new(OpKind::Distinct, total_rows(&input.parts));
     let all_cols: Vec<usize> = (0..input.schema.len()).collect();
     let data = ensure_distribution(input, &all_cols, ctx)?;
-    let all_arc: Arc<Vec<usize>> = Arc::new(all_cols);
     let guard = ctx.guard.clone();
     let faults = ctx.faults.clone();
     let vectorized = ctx.vectorized;
@@ -794,70 +472,64 @@ pub fn distinct(input: PData, ctx: &OpCtx<'_>) -> DbResult<PData> {
         inject(&faults, OpKind::Distinct, part_id)?;
         // Vectorized tier: one or two Int64 columns — the vertex and
         // edge table shapes every contraction round deduplicates.
-        let sel = if vectorized {
-            match batch.width() {
-                1 => batch
-                    .column(0)
-                    .as_int_parts()
-                    .map(|(v, m)| kernels::distinct_ints(v, m)),
-                2 => batch
-                    .column(0)
-                    .as_int_parts()
-                    .zip(batch.column(1).as_int_parts())
-                    .map(|((a, am), (b, bm))| kernels::distinct_pairs(a, am, b, bm)),
-                _ => None,
-            }
-        } else {
-            None
-        };
-        if let Some(sel) = sel {
+        let dtypes: Vec<DataType> =
+            batch.columns().iter().map(|c| c.data_type()).collect();
+        let mut dedup = compute::DedupState::for_shape(&dtypes, vectorized, batch.rows());
+        if dedup.is_vectorized() {
             vec_parts.fetch_add(1, Ordering::Relaxed);
-            return Ok(batch.take_u32(&sel));
+        } else {
+            gen_parts.fetch_add(1, Ordering::Relaxed);
         }
-        gen_parts.fetch_add(1, Ordering::Relaxed);
-        let mut keep: SelVec = Vec::new();
-        let mut seen: FastSet<Vec<KeyPart>> = FastSet::default();
-        seen.reserve(batch.rows());
-        for row in 0..batch.rows() {
-            if seen.insert(row_key(&batch, row, &all_arc)) {
-                keep.push(row as u32);
-            }
-        }
-        Ok(batch.take_u32(&keep))
+        Ok(dedup.push(batch))
     })?;
     timer.finish(ctx, total_rows(&parts));
     Ok(PData { schema: data.schema, parts, dist: data.dist })
 }
 
-/// Concatenates two inputs partition-wise (`UNION ALL`), consuming both
-/// — each partition pair merges by buffer append, no row copies.
-pub fn union_all(a: PData, b: PData, ctx: &OpCtx<'_>) -> DbResult<PData> {
-    if a.schema.len() != b.schema.len() {
+/// Concatenates any number of inputs partition-wise (`UNION ALL`) in a
+/// single n-ary pass — each output partition is assembled by buffer
+/// append in branch order, so a k-way union moves every batch exactly
+/// once instead of re-copying an accumulator k-1 times.
+pub fn union_all_n(inputs: Vec<PData>, ctx: &OpCtx<'_>) -> DbResult<PData> {
+    let first_arity = match inputs.first() {
+        Some(p) => p.schema.len(),
+        None => return Err(DbError::Plan("UNION ALL of zero inputs".into())),
+    };
+    if let Some(bad) = inputs.iter().find(|p| p.schema.len() != first_arity) {
         return Err(DbError::Plan(format!(
             "UNION ALL arity mismatch: {} vs {}",
-            a.schema.len(),
-            b.schema.len()
+            first_arity,
+            bad.schema.len()
         )));
     }
     let timer = OpTimer::new(
         OpKind::UnionAll,
-        total_rows(&a.parts) + total_rows(&b.parts),
+        inputs.iter().map(|p| total_rows(&p.parts)).sum(),
     );
     // No pool fan-out here, but keep union_all a fault site too (panics
     // are caught one level up, at the statement boundary).
     inject(&ctx.faults, OpKind::UnionAll, 0)?;
-    let dist = if a.dist == b.dist { a.dist.clone() } else { Distribution::Arbitrary };
-    let schema = a.schema;
-    let n = a.parts.len().max(b.parts.len());
+    let dist = if inputs.iter().all(|p| p.dist == inputs[0].dist) {
+        inputs[0].dist.clone()
+    } else {
+        Distribution::Arbitrary
+    };
+    let schema = inputs[0].schema.clone();
+    let n = inputs.iter().map(|p| p.parts.len()).max().unwrap_or(0);
+    let mut branches: Vec<std::vec::IntoIter<Batch>> =
+        inputs.into_iter().map(|p| p.parts.into_iter()).collect();
     let mut parts = Vec::with_capacity(n);
-    let mut a_iter = a.parts.into_iter();
-    let mut b_iter = b.parts.into_iter();
     for _ in 0..n {
-        let mut pa = a_iter.next().unwrap_or_else(|| Batch::empty(&schema));
-        if let Some(pb) = b_iter.next() {
-            pa.append(pb);
+        let mut acc: Option<Batch> = None;
+        for it in branches.iter_mut() {
+            if let Some(b) = it.next() {
+                match &mut acc {
+                    Some(a) => a.append(b),
+                    None => acc = Some(b),
+                }
+            }
         }
-        parts.push(pa);
+        parts.push(acc.unwrap_or_else(|| Batch::empty(&schema)));
     }
     let rows_out = total_rows(&parts);
     timer.finish(ctx, rows_out);
@@ -883,6 +555,8 @@ pub fn build_schema_allow_dups(mut fields: Vec<Field>) -> Schema {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::Column;
+    use crate::value::Datum;
 
     fn pdata(values: Vec<Vec<i64>>, dist: Distribution) -> PData {
         // One column "v", one partition per inner vec.
@@ -1192,7 +866,7 @@ mod tests {
         let rig = TestRig::new();
         let a = pdata(vec![vec![1], vec![2]], Distribution::Arbitrary);
         let b = pdata(vec![vec![3], vec![4]], Distribution::Arbitrary);
-        let out = union_all(a, b, &rig.ctx()).unwrap();
+        let out = union_all_n(vec![a, b], &rig.ctx()).unwrap();
         assert_eq!(out.row_count(), 4);
     }
 
@@ -1201,7 +875,7 @@ mod tests {
         let rig = TestRig::new();
         let a = pdata(vec![vec![1]], Distribution::Arbitrary);
         let b = pdata2(vec![vec![(1, 2)]], Distribution::Arbitrary);
-        assert!(union_all(a, b, &rig.ctx()).is_err());
+        assert!(union_all_n(vec![a, b], &rig.ctx()).is_err());
     }
 
     #[test]

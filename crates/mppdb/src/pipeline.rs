@@ -1,0 +1,598 @@
+//! Push-based pipelined executor.
+//!
+//! [`compile`]s a [`Plan`] into a tree of pipelines and runs them
+//! bottom-up. A pipeline is a morsel source (a scanned table or the
+//! output cell of an upstream pipeline), a chain of streaming
+//! [`PushOperator`] stages, and one sink. Within a pipeline, batches
+//! stream through the whole chain partition-by-partition with no
+//! intermediate [`PData`]: a filter → project → join-probe chain is a
+//! single pass over each morsel, scheduled as one cooperative task per
+//! partition on the segment pool ([`crate::pool::SegmentPool::run_coop`]).
+//! Only genuine pipeline breakers — join build, aggregate, distinct's
+//! pre-exchange, exchange itself — materialize, and each breaker ends
+//! its pipeline and sources the next one.
+//!
+//! Backpressure is fuel-based: every partition slice gets
+//! [`FUEL_PER_SLICE`] morsel pushes; when an operator answers
+//! [`PollPush::Pending`] the driver parks its mid-chain position and
+//! yields the worker, so concurrent statements interleave at operator
+//! granularity rather than queueing behind whole operators.
+//!
+//! The materializing executor ([`crate::plan::execute`]) stays on as
+//! the property-tested correctness oracle behind
+//! `ClusterConfig::pipelined = false`. Both executors call the same
+//! per-partition compute kernels ([`crate::operators::compute`]), and
+//! the pipelined driver preserves morsel order everywhere, so results
+//! are byte-identical by construction.
+
+use crate::batch::{Batch, Column};
+use crate::error::{DbError, DbResult};
+use crate::operators::stages::{
+    AggSink, BufCell, BufferSink, BuildCell, BuildSink, DedupOp, ExchangeSink, FilterOp,
+    GlobalAggSink, ProbeOp, ProjectOp,
+};
+use crate::operators::{
+    compute, ExecEnv, Finalize, Morsel, PartState, PollPush, PushCx, PushOperator, SinkPart,
+};
+use crate::ops::{self, JoinType, PData};
+use crate::plan::{ExecContext, Plan};
+use crate::pool::PartitionTask;
+use crate::schema::{Field, Schema};
+use crate::stats::OpKind;
+use crate::table::Distribution;
+use crate::trace::{OpProfile, ProfileNode};
+use crate::value::DataType;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Morsel pushes allowed per cooperative slice before a partition
+/// driver yields its worker back to the shared queue.
+const FUEL_PER_SLICE: u32 = 4;
+
+/// Where a pipeline's morsels come from.
+enum Source {
+    /// Zero-copy scan over a stored table's partitions.
+    Table(Arc<Vec<Batch>>),
+    /// The output cell of one or more upstream pipelines.
+    Cell(Arc<BufCell>),
+}
+
+/// One compiled pipeline: upstream pipelines to run first, a source,
+/// and an operator chain whose last element is the sink.
+struct PipeNode {
+    children: Vec<PipeNode>,
+    source: Source,
+    chain: Vec<Arc<dyn PushOperator>>,
+    n_parts: usize,
+    label: String,
+}
+
+/// A pipeline under construction: its stages so far plus the schema,
+/// distribution, and partition count of the stream at this point.
+struct StreamState {
+    children: Vec<PipeNode>,
+    source: Source,
+    stages: Vec<Arc<dyn PushOperator>>,
+    desc: Vec<String>,
+    schema: Schema,
+    dist: Distribution,
+    n_parts: usize,
+}
+
+impl StreamState {
+    /// Closes this stream into a pipeline by appending its sink.
+    fn close(mut self, sink: Arc<dyn PushOperator>, sink_label: String) -> PipeNode {
+        self.stages.push(sink);
+        self.desc.push(sink_label);
+        PipeNode {
+            children: self.children,
+            source: self.source,
+            chain: self.stages,
+            n_parts: self.n_parts,
+            label: format!("Pipeline: {}", self.desc.join(" -> ")),
+        }
+    }
+}
+
+struct Compiler<'a, 'b> {
+    ctx: &'b ExecContext<'a>,
+}
+
+impl Compiler<'_, '_> {
+    fn compile(&self, plan: &Plan) -> DbResult<StreamState> {
+        match plan {
+            Plan::Scan { table } => {
+                let t = (self.ctx.lookup)(table)?;
+                Ok(StreamState {
+                    children: Vec::new(),
+                    n_parts: t.partitions.len(),
+                    source: Source::Table(t.partitions.clone()),
+                    stages: Vec::new(),
+                    desc: vec![format!("Scan: {table}")],
+                    schema: t.schema.clone(),
+                    dist: t.distribution.clone(),
+                })
+            }
+            Plan::OneRow => {
+                let schema = Schema::new(vec![Field::new("__one", DataType::Int64)]);
+                let n = self.ctx.segments.max(1);
+                let cell = Arc::new(BufCell::default());
+                cell.ensure(n);
+                cell.push_part(0, vec![Batch::from_columns(vec![Column::from_ints(vec![0])])]);
+                Ok(StreamState {
+                    children: Vec::new(),
+                    source: Source::Cell(cell),
+                    stages: Vec::new(),
+                    desc: vec!["OneRow".into()],
+                    schema,
+                    dist: Distribution::Arbitrary,
+                    n_parts: n,
+                })
+            }
+            Plan::Project { input, exprs } => {
+                let mut s = self.compile(input)?;
+                s.dist = compute::projected_dist(exprs, &s.dist);
+                s.schema = ops::build_schema_allow_dups(
+                    exprs.iter().map(|(_, f)| f.clone()).collect(),
+                );
+                s.stages.push(Arc::new(ProjectOp {
+                    exprs: exprs.clone(),
+                    accum: Default::default(),
+                }));
+                s.desc.push("Project".into());
+                Ok(s)
+            }
+            Plan::Filter { input, pred } => {
+                let mut s = self.compile(input)?;
+                s.stages.push(Arc::new(FilterOp {
+                    pred: pred.clone(),
+                    accum: Default::default(),
+                }));
+                s.desc.push("Filter".into());
+                Ok(s)
+            }
+            Plan::Distinct { input } => {
+                let s = self.compile(input)?;
+                let all_cols: Vec<usize> = (0..s.schema.len()).collect();
+                let mut s = self.ensure(s, &all_cols);
+                let dtypes: Vec<DataType> =
+                    s.schema.fields().iter().map(|f| f.dtype).collect();
+                s.stages.push(Arc::new(DedupOp {
+                    dtypes,
+                    vectorized: self.ctx.vectorized,
+                    accum: Default::default(),
+                }));
+                s.desc.push("Distinct".into());
+                Ok(s)
+            }
+            Plan::Join { left, right, l_keys, r_keys, join_type } => {
+                if l_keys.len() != r_keys.len() {
+                    return Err(DbError::Plan("join key arity mismatch".into()));
+                }
+                let left_outer = matches!(join_type, JoinType::LeftOuter);
+                let r = self.compile(right)?;
+                let r = self.ensure(r, r_keys);
+                let l = self.compile(left)?;
+                let mut l = self.ensure(l, l_keys);
+                // Tier decision is schema-driven so build and probe
+                // always agree: a single Int64 key on both sides.
+                let use_vec = self.ctx.vectorized
+                    && l_keys.len() == 1
+                    && l.schema.field(l_keys[0]).dtype == DataType::Int64
+                    && r.schema.field(r_keys[0]).dtype == DataType::Int64;
+                let out_schema = l.schema.join(&r.schema, left_outer);
+                let right_width = r.schema.len();
+                let cell = Arc::new(BuildCell::default());
+                let build_node = {
+                    let in_schema = r.schema.clone();
+                    r.close(
+                        Arc::new(BuildSink {
+                            keys: r_keys.clone(),
+                            use_vec,
+                            in_schema,
+                            cell: cell.clone(),
+                            accum: Default::default(),
+                        }),
+                        format!("JoinBuild{r_keys:?}"),
+                    )
+                };
+                l.children.push(build_node);
+                l.stages.push(Arc::new(ProbeOp {
+                    l_keys: l_keys.clone(),
+                    left_outer,
+                    right_width,
+                    use_vec,
+                    build: cell,
+                    accum: Default::default(),
+                }));
+                l.desc.push(format!("JoinProbe{l_keys:?}"));
+                l.schema = out_schema;
+                // The join output keeps the left side's key placement
+                // (post-exchange, the left stream is always hashed).
+                Ok(l)
+            }
+            Plan::Aggregate { input, group_cols, aggs } => {
+                let s = self.compile(input)?;
+                let (out_schema, agg_types) =
+                    compute::agg_output(&s.schema, group_cols, aggs)?;
+                if group_cols.is_empty() {
+                    let n_parts = s.n_parts;
+                    let cell = Arc::new(BufCell::default());
+                    let in_schema = s.schema.clone();
+                    let node = s.close(
+                        Arc::new(GlobalAggSink {
+                            aggs: aggs.clone(),
+                            agg_types,
+                            in_schema,
+                            cell: cell.clone(),
+                            accum: Default::default(),
+                        }),
+                        "Aggregate (global)".into(),
+                    );
+                    return Ok(StreamState {
+                        children: vec![node],
+                        source: Source::Cell(cell),
+                        stages: Vec::new(),
+                        desc: vec!["AggRead".into()],
+                        schema: out_schema,
+                        dist: Distribution::Arbitrary,
+                        n_parts,
+                    });
+                }
+                let s = self.ensure(s, group_cols);
+                let n_parts = s.n_parts;
+                let cell = Arc::new(BufCell::default());
+                let in_schema = s.schema.clone();
+                let node = s.close(
+                    Arc::new(AggSink {
+                        group: group_cols.clone(),
+                        aggs: aggs.clone(),
+                        agg_types,
+                        in_schema,
+                        vectorized: self.ctx.vectorized,
+                        cell: cell.clone(),
+                        accum: Default::default(),
+                    }),
+                    format!("Aggregate group by {group_cols:?}"),
+                );
+                Ok(StreamState {
+                    children: vec![node],
+                    source: Source::Cell(cell),
+                    stages: Vec::new(),
+                    desc: vec!["AggRead".into()],
+                    schema: out_schema,
+                    // Group columns keep their hash placement.
+                    dist: Distribution::Hash((0..group_cols.len()).collect()),
+                    n_parts,
+                })
+            }
+            Plan::UnionAll { inputs } => {
+                if inputs.is_empty() {
+                    return Err(DbError::Plan("empty UNION ALL".into()));
+                }
+                let cell = Arc::new(BufCell::default());
+                let mut nodes = Vec::with_capacity(inputs.len());
+                let mut schema: Option<Schema> = None;
+                let mut dist: Option<Distribution> = None;
+                let mut n_parts = 0usize;
+                for p in inputs {
+                    let b = self.compile(p)?;
+                    if let Some(first) = &schema {
+                        if b.schema.len() != first.len() {
+                            return Err(DbError::Plan(format!(
+                                "UNION ALL arity mismatch: {} vs {}",
+                                first.len(),
+                                b.schema.len()
+                            )));
+                        }
+                        if dist.as_ref() != Some(&b.dist) {
+                            dist = Some(Distribution::Arbitrary);
+                        }
+                    } else {
+                        schema = Some(b.schema.clone());
+                        dist = Some(b.dist.clone());
+                    }
+                    n_parts = n_parts.max(b.n_parts);
+                    // Branch pipelines share one cell and run in branch
+                    // order, so each partition concatenates branch-major
+                    // — the materializing executor's order.
+                    nodes.push(b.close(
+                        Arc::new(BufferSink {
+                            op: Some(OpKind::UnionAll),
+                            cell: cell.clone(),
+                            accum: Default::default(),
+                        }),
+                        "UnionBranch".into(),
+                    ));
+                }
+                Ok(StreamState {
+                    children: nodes,
+                    source: Source::Cell(cell),
+                    stages: Vec::new(),
+                    desc: vec![format!("UnionRead ({} branches)", inputs.len())],
+                    schema: schema.expect("non-empty union"),
+                    dist: dist.expect("non-empty union"),
+                    n_parts,
+                })
+            }
+        }
+    }
+
+    /// Ensures the stream is hash-distributed on `keys`, closing it
+    /// into an exchange pipeline if not (mirrors
+    /// [`ops::ensure_distribution`], including elision).
+    fn ensure(&self, s: StreamState, keys: &[usize]) -> StreamState {
+        if self.ctx.allow_colocated
+            && s.dist.is_hash_on(keys)
+            && s.n_parts == self.ctx.segments
+        {
+            return s;
+        }
+        let n = self.ctx.segments.max(1);
+        let use_vec = self.ctx.vectorized
+            && keys.iter().all(|&k| s.schema.field(k).dtype == DataType::Int64);
+        let cell = Arc::new(BufCell::default());
+        let schema = s.schema.clone();
+        let node = s.close(
+            Arc::new(ExchangeSink {
+                keys: keys.to_vec(),
+                n_dest: n,
+                use_vec,
+                cell: cell.clone(),
+                accum: Default::default(),
+            }),
+            format!("Exchange{keys:?}"),
+        );
+        StreamState {
+            children: vec![node],
+            source: Source::Cell(cell),
+            stages: Vec::new(),
+            desc: vec!["ShuffleRead".into()],
+            schema,
+            dist: Distribution::Hash(keys.to_vec()),
+            n_parts: n,
+        }
+    }
+}
+
+/// One partition's driver position: pending morsels, a parked
+/// mid-chain morsel from a fuel yield, per-stage state, and how far
+/// finalization has advanced.
+struct PartDriver {
+    queue: VecDeque<Morsel>,
+    resume: Option<(usize, Morsel)>,
+    states: Vec<PartState>,
+    fin_stage: usize,
+}
+
+/// The cooperative task driving every partition of one pipeline.
+struct PipeTask {
+    chain: Vec<Arc<dyn PushOperator>>,
+    drivers: Vec<Mutex<PartDriver>>,
+    env: ExecEnv,
+}
+
+impl PipeTask {
+    /// Pushes a morsel into stage `idx` and walks it down the chain.
+    /// Returns the parked position if an operator ran out of fuel.
+    fn push_from(
+        &self,
+        idx: usize,
+        morsel: Morsel,
+        states: &mut [PartState],
+        cx: &mut PushCx<'_>,
+    ) -> DbResult<Option<(usize, Morsel)>> {
+        let mut i = idx;
+        let mut m = morsel;
+        loop {
+            let stage = &self.chain[i];
+            let rows_in = m.rows() as u64;
+            let started = Instant::now();
+            let polled = stage.poll_push(m, &mut states[i], cx);
+            stage.accum().add_nanos(started.elapsed().as_nanos() as u64);
+            match polled? {
+                PollPush::Pending(back) => return Ok(Some((i, back))),
+                PollPush::Pushed(out) => {
+                    stage.accum().add_rows_in(rows_in);
+                    match out {
+                        Some(b) => {
+                            stage.accum().add_rows_out(b.rows() as u64);
+                            if b.rows() == 0 {
+                                return Ok(None);
+                            }
+                            i += 1;
+                            m = Morsel::Owned(b);
+                        }
+                        // A sink consumed the morsel.
+                        None => return Ok(None),
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl PartitionTask for PipeTask {
+    type Out = SinkPart;
+
+    fn step(&self, part: usize) -> DbResult<Option<SinkPart>> {
+        let mut guard = self.drivers[part].lock().unwrap_or_else(|e| e.into_inner());
+        let d = &mut *guard;
+        self.env.guard.check()?;
+        let mut cx = PushCx { part, env: &self.env, fuel: FUEL_PER_SLICE };
+        loop {
+            if let Some((idx, m)) = d.resume.take() {
+                if let Some(parked) = self.push_from(idx, m, &mut d.states, &mut cx)? {
+                    d.resume = Some(parked);
+                    return Ok(None);
+                }
+                continue;
+            }
+            if let Some(m) = d.queue.pop_front() {
+                // Selection vectors index rows with u32.
+                if m.rows() >= u32::MAX as usize {
+                    return Err(DbError::Exec("partition exceeds u32 row capacity".into()));
+                }
+                if let Some(parked) = self.push_from(0, m, &mut d.states, &mut cx)? {
+                    d.resume = Some(parked);
+                    return Ok(None);
+                }
+                continue;
+            }
+            // Input drained: finalize stages front to back; a streaming
+            // stage's flush batch continues through the rest of the
+            // chain before the next stage finalizes.
+            let i = d.fin_stage;
+            let stage = &self.chain[i];
+            let started = Instant::now();
+            let fin = stage.poll_finalize(&mut d.states[i], &mut cx);
+            stage.accum().add_nanos(started.elapsed().as_nanos() as u64);
+            match fin? {
+                Finalize::Stream(out) => {
+                    d.fin_stage += 1;
+                    if let Some(b) = out {
+                        if b.rows() > 0 {
+                            stage.accum().add_rows_out(b.rows() as u64);
+                            if let Some(parked) =
+                                self.push_from(d.fin_stage, Morsel::Owned(b), &mut d.states, &mut cx)?
+                            {
+                                d.resume = Some(parked);
+                                return Ok(None);
+                            }
+                        }
+                    }
+                }
+                Finalize::Sink(out) => {
+                    stage.accum().add_rows_out(out.rows());
+                    return Ok(Some(out));
+                }
+            }
+        }
+    }
+}
+
+/// Runs one pipeline node (children first), charges its stages' op
+/// metrics, and — under capture — returns its profile subtree.
+fn run_node(
+    node: PipeNode,
+    ctx: &ExecContext<'_>,
+    capture: bool,
+) -> DbResult<Option<ProfileNode>> {
+    let started = Instant::now();
+    let mut children = Vec::new();
+    for child in node.children {
+        if let Some(p) = run_node(child, ctx, capture)? {
+            children.push(p);
+        }
+    }
+    let mut drivers = Vec::with_capacity(node.n_parts);
+    for p in 0..node.n_parts {
+        let mut queue = VecDeque::new();
+        match &node.source {
+            Source::Table(parts) => {
+                if p < parts.len() && parts[p].rows() > 0 {
+                    queue.push_back(Morsel::Shared { parts: parts.clone(), index: p });
+                }
+            }
+            Source::Cell(cell) => {
+                for b in cell.take_part(p) {
+                    if b.rows() > 0 {
+                        queue.push_back(Morsel::Owned(b));
+                    }
+                }
+            }
+        }
+        let rows_hint: usize = queue.iter().map(Morsel::rows).sum();
+        let states: Vec<PartState> =
+            node.chain.iter().map(|s| PartState::new(s.init_state(rows_hint))).collect();
+        drivers.push(Mutex::new(PartDriver { queue, resume: None, states, fin_stage: 0 }));
+    }
+    let chain = node.chain;
+    let task = Arc::new(PipeTask {
+        chain: chain.clone(),
+        drivers,
+        env: ExecEnv { guard: ctx.guard.clone(), faults: ctx.faults.clone() },
+    });
+    let outs = ctx.pool.run_coop("pipeline", node.n_parts, task)?;
+    let seg_rows: Vec<u64> = outs.iter().map(SinkPart::rows).collect();
+    let sink = chain.last().expect("pipeline chain always ends in a sink");
+    sink.complete(outs, ctx.stats)?;
+    // Each stage belongs to exactly one pipeline, so its accumulator is
+    // charged exactly once — and the profile record carries the same
+    // numbers, keeping profile / op-stats reconciliation exact.
+    let mut ops_profiles = Vec::new();
+    for stage in &chain {
+        if let Some(kind) = stage.kind() {
+            let m = stage.accum().metrics();
+            ctx.stats.charge_op(kind, m);
+            if capture {
+                ops_profiles.push(OpProfile {
+                    kind,
+                    vectorized_parts: m.vectorized_parts,
+                    generic_parts: m.generic_parts,
+                    rows_in: m.rows_in,
+                    rows_out: m.rows_out,
+                    nanos: m.nanos,
+                    exchange_bytes: stage.accum().exchange_bytes(),
+                });
+            }
+        }
+    }
+    if capture {
+        Ok(Some(ProfileNode {
+            label: node.label,
+            rows_out: seg_rows.iter().sum(),
+            seg_rows,
+            nanos: started.elapsed().as_nanos() as u64,
+            ops: ops_profiles,
+            children,
+        }))
+    } else {
+        Ok(None)
+    }
+}
+
+fn run(
+    plan: &Plan,
+    ctx: &ExecContext<'_>,
+    capture: bool,
+) -> DbResult<(PData, Option<ProfileNode>)> {
+    ctx.guard.check()?;
+    let compiler = Compiler { ctx };
+    let s = compiler.compile(plan)?;
+    let schema = s.schema.clone();
+    let dist = s.dist.clone();
+    let n_parts = s.n_parts;
+    let result_cell = Arc::new(BufCell::default());
+    let root = s.close(
+        Arc::new(BufferSink { op: None, cell: result_cell.clone(), accum: Default::default() }),
+        "Result".into(),
+    );
+    let profile = run_node(root, ctx, capture)?;
+    let mut parts = Vec::with_capacity(n_parts);
+    for p in 0..n_parts {
+        let batches = result_cell.take_part(p);
+        parts.push(if batches.is_empty() {
+            Batch::empty(&schema)
+        } else {
+            Batch::concat_owned(batches)
+        });
+    }
+    Ok((PData { schema, parts, dist }, profile))
+}
+
+/// Executes a plan through the pipelined executor.
+pub(crate) fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> DbResult<PData> {
+    run(plan, ctx, false).map(|(data, _)| data)
+}
+
+/// Executes a plan through the pipelined executor while capturing a
+/// per-pipeline [`ProfileNode`] tree (the `EXPLAIN ANALYZE` spine).
+pub(crate) fn execute_profiled(
+    plan: &Plan,
+    ctx: &ExecContext<'_>,
+) -> DbResult<(PData, ProfileNode)> {
+    let (data, profile) = run(plan, ctx, true)?;
+    Ok((data, profile.expect("capture mode always builds a profile")))
+}

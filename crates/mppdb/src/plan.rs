@@ -124,15 +124,13 @@ pub fn execute_profiled(plan: &Plan, ctx: &ExecContext<'_>) -> DbResult<(PData, 
             ops::distinct(child, &op_ctx())?
         }
         Plan::UnionAll { inputs } => {
-            let mut acc: Option<PData> = None;
+            // All branches concatenate in a single n-ary pass; folding
+            // pairwise would re-copy the accumulator once per branch.
+            let mut branches = Vec::with_capacity(inputs.len());
             for p in inputs {
-                let next = run_child(p)?;
-                acc = Some(match acc {
-                    None => next,
-                    Some(prev) => ops::union_all(prev, next, &op_ctx())?,
-                });
+                branches.push(run_child(p)?);
             }
-            acc.ok_or_else(|| DbError::Plan("empty UNION ALL".into()))?
+            ops::union_all_n(branches, &op_ctx())?
         }
     };
     let node = ProfileNode {
@@ -343,16 +341,11 @@ pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> DbResult<PData> {
             ops::distinct(data, &ctx.op_ctx())
         }
         Plan::UnionAll { inputs } => {
-            let mut iter = inputs.iter();
-            let first = iter
-                .next()
-                .ok_or_else(|| DbError::Plan("empty UNION ALL".into()))?;
-            let mut acc = execute(first, ctx)?;
-            for p in iter {
-                let next = execute(p, ctx)?;
-                acc = ops::union_all(acc, next, &ctx.op_ctx())?;
+            let mut branches = Vec::with_capacity(inputs.len());
+            for p in inputs {
+                branches.push(execute(p, ctx)?);
             }
-            Ok(acc)
+            ops::union_all_n(branches, &ctx.op_ctx())
         }
     }
 }

@@ -33,6 +33,14 @@
 //!
 //! Error precedence within one `run_parts`: the first failing partition
 //! in *partition order* wins, whether it failed with `Err` or a panic.
+//!
+//! The pipelined executor schedules through [`SegmentPool::run_coop`]
+//! instead: a [`PartitionTask`] exposes each partition as a sequence of
+//! bounded *slices*, and every helper ticket runs one slice then
+//! re-enqueues itself at the back of the shared queue. Slices from
+//! concurrent statements therefore interleave at morsel granularity —
+//! the realized form of `PollPush::Pending` backpressure — instead of
+//! queueing behind whole operators.
 
 use crate::error::{DbError, DbResult};
 use std::any::Any;
@@ -137,9 +145,7 @@ impl SegmentPool {
             return Err(task);
         }
         self.respawn_dead();
-        lock_ok(&self.shared.queue).push_back(task);
-        self.shared.available.notify_one();
-        Ok(())
+        enqueue_shared(&self.shared, task)
     }
 
     /// [`SegmentPool::run_parts_labeled`] with the generic label
@@ -211,32 +217,199 @@ impl SegmentPool {
         }
         drop(remaining);
         let slots = std::mem::take(&mut *lock_ok(&state.results));
-        let mut out = Vec::with_capacity(n);
-        let mut first_err = None;
-        for (i, slot) in slots.into_iter().enumerate() {
-            match slot.expect("completed run left an empty result slot") {
-                Ok(Ok(v)) => out.push(v),
-                Ok(Err(e)) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
-                Err(panic) => {
-                    if first_err.is_none() {
-                        first_err = Some(DbError::SegmentPanic {
-                            segment: i,
+        collect_outcomes(slots, op)
+    }
+
+    /// Runs a [`PartitionTask`] over `n_parts` partitions, cooperatively
+    /// sliced: each partition's [`PartitionTask::step`] is called until
+    /// it reports completion, with every helper ticket yielding back to
+    /// the shared queue between slices so concurrent statements
+    /// interleave at slice (morsel) granularity. The calling thread
+    /// helps drain, so the call finishes even from inside a worker.
+    /// Results come back in partition order; error precedence matches
+    /// [`SegmentPool::run_parts_labeled`]. A task that never finishes a
+    /// partition (unbounded `Pending`) hangs the call — operators must
+    /// guarantee progress.
+    pub fn run_coop<T: PartitionTask>(
+        &self,
+        op: &'static str,
+        n_parts: usize,
+        task: Arc<T>,
+    ) -> DbResult<Vec<T::Out>> {
+        if n_parts == 0 {
+            return Ok(Vec::new());
+        }
+        if n_parts == 1 {
+            // Inline fast path, like single-item run_parts: no
+            // synchronisation, panics still contained per slice.
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| task.step(0))) {
+                    Ok(Ok(Some(out))) => return Ok(vec![out]),
+                    Ok(Ok(None)) => continue,
+                    Ok(Err(e)) => return Err(e),
+                    Err(p) => {
+                        return Err(DbError::SegmentPanic {
+                            segment: 0,
                             op,
-                            payload: panic_payload(&*panic),
-                        });
+                            payload: panic_payload(&*p),
+                        })
                     }
                 }
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(out),
+        self.respawn_dead();
+        let state = Arc::new(CoopState {
+            task,
+            pending: Mutex::new((0..n_parts).collect()),
+            results: Mutex::new((0..n_parts).map(|_| None).collect()),
+            remaining: Mutex::new(n_parts),
+            done: Condvar::new(),
+        });
+        for _ in 0..self.n_workers.min(n_parts - 1) {
+            let shared = self.shared.clone();
+            let st = state.clone();
+            if self.spawn(Box::new(move || coop_tick(shared, st))).is_err() {
+                break;
+            }
+        }
+        loop {
+            // The caller drains back-to-back: its own thread is not a
+            // shared resource, so there is nothing to yield to.
+            while coop_step(&state) {}
+            let mut remaining = lock_ok(&state.remaining);
+            loop {
+                if *remaining == 0 {
+                    drop(remaining);
+                    let slots = std::mem::take(&mut *lock_ok(&state.results));
+                    return collect_outcomes(slots, op);
+                }
+                if !lock_ok(&state.pending).is_empty() {
+                    break; // a helper re-queued a slice — go claim it
+                }
+                remaining = state
+                    .done
+                    .wait(remaining)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
         }
     }
+}
+
+/// A pipeline job scheduled through [`SegmentPool::run_coop`]: each
+/// partition advances in bounded slices so the pool can interleave
+/// work from concurrent statements between them.
+pub trait PartitionTask: Send + Sync + 'static {
+    /// Per-partition output produced when the partition completes.
+    type Out: Send + 'static;
+
+    /// Runs one bounded slice of work for `part`. `Ok(None)` means the
+    /// partition has more work (it is re-queued behind other pending
+    /// slices); `Ok(Some(out))` completes it. Called for one partition
+    /// from one thread at a time, never concurrently for the same
+    /// partition.
+    fn step(&self, part: usize) -> DbResult<Option<Self::Out>>;
+}
+
+/// Shared bookkeeping for one `run_coop` call. `pending` holds
+/// partition ids with claimable work (each id at most once).
+struct CoopState<T: PartitionTask> {
+    task: Arc<T>,
+    pending: Mutex<VecDeque<usize>>,
+    results: Mutex<Vec<Option<TaskOutcome<T::Out>>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+/// Claims one partition, runs one slice, and records the outcome.
+/// Returns false when no work was claimable. Both re-queue and
+/// completion notify the caller's condvar under the `remaining` lock,
+/// so the caller can never sleep through claimable work.
+fn coop_step<T: PartitionTask>(state: &CoopState<T>) -> bool {
+    let claimed = lock_ok(&state.pending).pop_front();
+    let Some(part) = claimed else { return false };
+    match catch_unwind(AssertUnwindSafe(|| state.task.step(part))) {
+        Ok(Ok(None)) => {
+            lock_ok(&state.pending).push_back(part);
+            let _guard = lock_ok(&state.remaining);
+            state.done.notify_all();
+        }
+        outcome => {
+            let slot = match outcome {
+                Ok(Ok(Some(out))) => Ok(Ok(out)),
+                Ok(Ok(None)) => unreachable!("handled above"),
+                Ok(Err(e)) => Ok(Err(e)),
+                Err(p) => Err(p),
+            };
+            lock_ok(&state.results)[part] = Some(slot);
+            let mut remaining = lock_ok(&state.remaining);
+            *remaining -= 1;
+            if *remaining == 0 {
+                state.done.notify_all();
+            }
+        }
+    }
+    true
+}
+
+/// One helper slice: claim a partition, run one step, then yield by
+/// re-enqueueing a successor ticket at the *back* of the shared queue —
+/// tickets from other concurrent `run_coop` calls (other statements)
+/// run in between. If the pool is shutting down, finish the remaining
+/// work inline so the caller is never stranded.
+fn coop_tick<T: PartitionTask>(shared: Arc<PoolShared>, state: Arc<CoopState<T>>) {
+    if !coop_step(&state) {
+        return;
+    }
+    let next_shared = shared.clone();
+    let next_state = state.clone();
+    let successor: Ticket = Box::new(move || coop_tick(next_shared, next_state));
+    if enqueue_shared(&shared, successor).is_err() {
+        while coop_step(&state) {}
+    }
+}
+
+/// Folds completed slots into results, with the first failing partition
+/// in partition order winning (shared by `run_parts` and `run_coop`).
+fn collect_outcomes<U>(
+    slots: Vec<Option<TaskOutcome<U>>>,
+    op: &'static str,
+) -> DbResult<Vec<U>> {
+    let mut out = Vec::with_capacity(slots.len());
+    let mut first_err = None;
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.expect("completed run left an empty result slot") {
+            Ok(Ok(v)) => out.push(v),
+            Ok(Err(e)) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+            Err(panic) => {
+                if first_err.is_none() {
+                    first_err = Some(DbError::SegmentPanic {
+                        segment: i,
+                        op,
+                        payload: panic_payload(&*panic),
+                    });
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Queue-level enqueue shared by [`SegmentPool::spawn`] and the
+/// self-rescheduling `run_coop` tickets (which hold no pool handle).
+fn enqueue_shared(shared: &Arc<PoolShared>, task: Ticket) -> Result<(), Ticket> {
+    if shared.stop.load(Ordering::Relaxed) {
+        return Err(task);
+    }
+    lock_ok(&shared.queue).push_back(task);
+    shared.available.notify_one();
+    Ok(())
 }
 
 fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> JoinHandle<()> {
@@ -470,5 +643,102 @@ mod tests {
         let pool = SegmentPool::new(1);
         pool.shared.stop.store(true, Ordering::Relaxed);
         assert!(pool.spawn(Box::new(|| {})).is_err());
+    }
+
+    /// Counts down a per-partition fuse: each step burns one unit and
+    /// completes only when the fuse hits zero, exercising the
+    /// None-then-Some (Pending-style) path of `run_coop`.
+    struct Fuse {
+        left: Vec<std::sync::atomic::AtomicUsize>,
+        steps: std::sync::atomic::AtomicUsize,
+    }
+
+    impl PartitionTask for Fuse {
+        type Out = usize;
+        fn step(&self, part: usize) -> DbResult<Option<usize>> {
+            self.steps.fetch_add(1, Ordering::Relaxed);
+            let prev = self.left[part].fetch_sub(1, Ordering::Relaxed);
+            if prev <= 1 {
+                Ok(Some(part * 10))
+            } else {
+                Ok(None)
+            }
+        }
+    }
+
+    #[test]
+    fn run_coop_slices_until_each_partition_finishes() {
+        let pool = SegmentPool::new(2);
+        let fuses = [3usize, 1, 5, 2];
+        let task = Arc::new(Fuse {
+            left: fuses.iter().map(|&n| n.into()).collect(),
+            steps: 0usize.into(),
+        });
+        let out = pool.run_coop("coop", fuses.len(), task.clone()).unwrap();
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        assert_eq!(task.steps.load(Ordering::Relaxed), fuses.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn run_coop_single_partition_runs_inline() {
+        let pool = SegmentPool::new(2);
+        let task = Arc::new(Fuse {
+            left: vec![4usize.into()],
+            steps: 0usize.into(),
+        });
+        assert_eq!(pool.run_coop("coop", 1, task.clone()).unwrap(), vec![0]);
+        assert_eq!(task.steps.load(Ordering::Relaxed), 4);
+        assert_eq!(
+            pool.run_coop("coop", 0, task).unwrap(),
+            Vec::<usize>::new()
+        );
+    }
+
+    struct FailAt(usize);
+
+    impl PartitionTask for FailAt {
+        type Out = usize;
+        fn step(&self, part: usize) -> DbResult<Option<usize>> {
+            if part == self.0 {
+                panic!("partition {part} blew a slice");
+            }
+            if part == self.0 + 1 {
+                return Err(DbError::Exec("coop task error".into()));
+            }
+            Ok(Some(part))
+        }
+    }
+
+    #[test]
+    fn run_coop_error_precedence_is_partition_order() {
+        let pool = SegmentPool::new(2);
+        // Partition 1 panics, partition 2 errors: the panic (earlier
+        // partition) must win, matching run_parts precedence.
+        let err = pool.run_coop("coop", 4, Arc::new(FailAt(1))).unwrap_err();
+        match err {
+            DbError::SegmentPanic { segment, op, .. } => {
+                assert_eq!(segment, 1);
+                assert_eq!(op, "coop");
+            }
+            other => panic!("expected SegmentPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_coop_usable_from_inside_a_worker() {
+        let pool = Arc::new(SegmentPool::new(1));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let inner = pool.clone();
+        pool.spawn(Box::new(move || {
+            let task = Arc::new(Fuse {
+                left: (0..4).map(|_| 2usize.into()).collect(),
+                steps: 0usize.into(),
+            });
+            tx.send(inner.run_coop("coop", 4, task).unwrap()).unwrap();
+        }))
+        .ok()
+        .unwrap();
+        let out = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        assert_eq!(out, vec![0, 10, 20, 30]);
     }
 }

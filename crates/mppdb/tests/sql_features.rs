@@ -311,7 +311,10 @@ fn explain_analyze_reports_rows_and_time() {
         panic!()
     };
     assert!(out.contains("rows=3"), "aggregate output rows: {out}");
-    assert!(out.contains("rows=4"), "scan rows: {out}");
+    // The scan is fused into the aggregate's pipeline; its 4 rows show
+    // up as that stage's input.
+    assert!(out.contains("rows_in=4"), "scan rows feed the aggregate: {out}");
+    assert!(out.contains("Pipeline:"), "pipelined stages visible: {out}");
     assert!(out.contains("time="), "{out}");
     assert!(out.starts_with("Statement:"), "{out}");
     // Per-segment row counts: one bracketed list of 4 per plan node.

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Bench regression gate for CI.
+
+Reads an engine_bench JSON artifact (normally the smoke run) and fails
+if any kernel's ``vs_prev`` ratio exceeds the threshold. The smoke
+reference times live in ``crates/bench/benches/engine.rs``
+(``SMOKE_PREV``) and are set at the high end of observed jitter, so a
+trip here means a real regression, not scheduler noise.
+
+Usage: bench_gate.py <engine_bench_json> [threshold]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(f"usage: {sys.argv[0]} <engine_bench_json> [threshold]")
+        return 2
+    path = sys.argv[1]
+    threshold = float(sys.argv[2]) if len(sys.argv) > 2 else 1.25
+
+    with open(path) as f:
+        doc = json.load(f)
+
+    results = doc.get("results", [])
+    if not results:
+        print(f"bench gate: {path} has no results")
+        return 1
+
+    gated = [r for r in results if "vs_prev" in r]
+    if not gated:
+        print(f"bench gate: {path} carries no vs_prev ratios to check")
+        return 1
+
+    bad = [r for r in gated if r["vs_prev"] > threshold]
+    for r in bad:
+        print(
+            f"bench regression: {r['name']} ran at {r['ms']:.3f} ms, "
+            f"{r['vs_prev']:.3f}x its reference {r['prev_ms']:.3f} ms "
+            f"(gate: {threshold:.2f}x)"
+        )
+    if bad:
+        return 1
+
+    worst = max(gated, key=lambda r: r["vs_prev"])
+    print(
+        f"bench gate: {len(gated)} kernels within {threshold:.2f}x of "
+        f"reference (worst: {worst['name']} at {worst['vs_prev']:.3f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

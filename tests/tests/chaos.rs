@@ -28,10 +28,13 @@ const ALGOS: [AlgoKind; 5] = [
 /// Runs every algorithm as a service job on a cluster with the given
 /// fault plan; returns each sorted labelling plus the cluster's retry
 /// count. Panics if any job fails — under a budgeted plan plus
-/// retries, all must complete.
-fn run_all(faults: Option<FaultPlan>) -> (Vec<Vec<(i64, i64)>>, u64) {
+/// retries, all must complete. `pipelined` selects the push-based
+/// executor (the default, where faults fire inside `poll_push` /
+/// `poll_finalize`) or the materializing oracle.
+fn run_all_on(faults: Option<FaultPlan>, pipelined: bool) -> (Vec<Vec<(i64, i64)>>, u64) {
     let cluster = Arc::new(Cluster::new(ClusterConfig {
         faults,
+        pipelined,
         ..Default::default()
     }));
     let service = Service::new(
@@ -80,6 +83,10 @@ fn run_all(faults: Option<FaultPlan>) -> (Vec<Vec<(i64, i64)>>, u64) {
     (out, retries)
 }
 
+fn run_all(faults: Option<FaultPlan>) -> (Vec<Vec<(i64, i64)>>, u64) {
+    run_all_on(faults, true)
+}
+
 fn assert_identical_under(plan: FaultPlan, expect_retries: bool) {
     let (baseline, clean_retries) = run_all(None);
     assert_eq!(clean_retries, 0, "fault-free run should never retry");
@@ -118,4 +125,66 @@ fn labels_survive_a_mixed_plan_parsed_from_spec() {
     // The spec-string form `incc-serve` reads from INCC_FAULT_PLAN.
     let plan = FaultPlan::parse("seed=7,panic=30,error=40,stall=30,stall_ms=1,max=30").unwrap();
     assert_identical_under(plan, true);
+}
+
+/// The cross-executor chaos claim: panics, errors, and stalls fired
+/// from inside the pipelined executor's `poll_push` / `poll_finalize`
+/// sites must still produce labels byte-identical to a fault-free run
+/// on the materializing oracle. Any divergence in retry replay, morsel
+/// ordering, or partial-state cleanup between the two executors shows
+/// up here as a label mismatch.
+#[test]
+fn pipelined_faults_match_fault_free_materializing_oracle() {
+    let (oracle, oracle_retries) = run_all_on(None, false);
+    assert_eq!(oracle_retries, 0, "fault-free oracle run should never retry");
+    let plan = FaultPlan::parse("seed=11,panic=25,error=35,stall=25,stall_ms=1,max=25").unwrap();
+    let (faulted, retries) = run_all_on(Some(plan), true);
+    assert_eq!(
+        oracle, faulted,
+        "pipelined labels under faults diverged from the materializing oracle"
+    );
+    assert!(retries > 0, "plan injected no retryable faults into poll_push");
+}
+
+/// Cancellation mid-pipeline: a long Hash-to-Min run (path graph, so
+/// working tables grow every round) is cancelled once it is inside
+/// round 1. The `QueryGuard` check at the top of every pipeline slice
+/// must abort the run cleanly — job reports cancelled, no orphan
+/// working tables, live bytes back to the input table alone.
+#[test]
+fn cancellation_mid_pipeline_aborts_cleanly() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::default()));
+    let service = Service::new(cluster, ServiceConfig::default());
+    let pairs: Vec<(i64, i64)> = (0..2048).map(|i| (i, i + 1)).collect();
+    service.cluster().load_pairs("hmpath", "v1", "v2", &pairs).unwrap();
+    let baseline = service.cluster().stats().live_bytes;
+
+    let job = service
+        .submit(JobSpec {
+            algo: AlgoKind::HashToMin,
+            input: "hmpath".into(),
+            seed: 0,
+            profile: false,
+        })
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        match job.status() {
+            JobStatus::Running { round } if round >= 1 => break,
+            s if s.is_terminal() => panic!("job finished before it could be cancelled: {s:?}"),
+            _ => {
+                assert!(std::time::Instant::now() < deadline, "job never reached round 1");
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+    job.cancel();
+    match job.wait() {
+        JobStatus::Failed(m) => assert!(m.contains("cancelled"), "unexpected failure: {m}"),
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    assert!(job.result().is_none());
+    assert_eq!(service.cluster().table_names(), vec!["hmpath".to_string()]);
+    assert_eq!(service.cluster().stats().live_bytes, baseline);
+    service.shutdown();
 }

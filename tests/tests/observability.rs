@@ -18,13 +18,13 @@ type OpTotals = [[u64; 6]; OpKind::COUNT];
 /// The acceptance criterion for the profiling layer: the per-operator
 /// sums of every captured `QueryProfile` tree equal what
 /// `Stats::op_stats()` accumulated, and the statement-level resource
-/// deltas sum to the run's `StatsSnapshot` counters. `OpTimer::finish`
-/// charges both sides from one `OpMetrics` value, so any drift here
-/// means an operator bypassed the sink (as the CTAS store exchange
-/// once did).
-#[test]
-fn query_profiles_reconcile_with_op_stats() {
-    let db = Cluster::new(ClusterConfig::default());
+/// deltas sum to the run's `StatsSnapshot` counters. On the
+/// materializing path `OpTimer::finish` charges both sides from one
+/// `OpMetrics` value; on the pipelined path each stage's `OpAccum` is
+/// snapshotted once into both sinks. Any drift here means an operator
+/// bypassed a sink (as the CTAS store exchange once did).
+fn reconcile_profiles_on(pipelined: bool) {
+    let db = Cluster::new(ClusterConfig { pipelined, ..Default::default() });
     db.set_profiling(true);
     let graph = gnm_random_graph(60, 80, 5);
     let report = run_on_graph(&RandomisedContraction::paper(), &db, &graph, 7).unwrap();
@@ -82,6 +82,49 @@ fn query_profiles_reconcile_with_op_stats() {
     assert_eq!(bytes, stats.bytes_written);
     assert_eq!(rows, stats.rows_written);
     assert_eq!(network, stats.network_bytes);
+}
+
+#[test]
+fn query_profiles_reconcile_with_op_stats() {
+    reconcile_profiles_on(true);
+}
+
+#[test]
+fn query_profiles_reconcile_on_materializing_oracle() {
+    reconcile_profiles_on(false);
+}
+
+/// EXPLAIN ANALYZE on the pipelined executor renders fused pipeline
+/// stages (one node per pipeline, operators listed in push order) with
+/// per-stage measurements that reconcile against `op_stats`, so an
+/// operator's cost is attributable even after fusion.
+#[test]
+fn explain_analyze_shows_pipeline_stages() {
+    let db = Cluster::new(ClusterConfig::default());
+    let graph = gnm_random_graph(60, 80, 5);
+    db.load_pairs("e", "v1", "v2", &graph.to_i64_pairs()).unwrap();
+    let out = match db
+        .run("explain analyze select v1, min(v2) as m from e where v2 > 3 group by v1")
+        .unwrap()
+    {
+        incc_mppdb::QueryOutput::Explain(text) => text,
+        other => panic!("expected explain output, got {other:?}"),
+    };
+    assert!(out.contains("Pipeline:"), "fused stages visible: {out}");
+    assert!(out.contains("Scan: e"), "source named in its pipeline: {out}");
+    // The filter streams inside the scan pipeline — same fused node.
+    let scan_line = out
+        .lines()
+        .find(|l| l.contains("Scan: e"))
+        .expect("scan pipeline line");
+    assert!(
+        scan_line.contains("Filter") && scan_line.contains("Aggregate"),
+        "filter and aggregate fused with the scan: {scan_line}"
+    );
+    // Per-operator measurements are attributed under the fused nodes.
+    assert!(out.contains("filter: rows_in="), "{out}");
+    assert!(out.contains("aggregate: rows_in="), "{out}");
+    assert!(out.contains("time="), "{out}");
 }
 
 /// Theorem 1 made observable: RC's round trajectory is logarithmic in
