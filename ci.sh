@@ -34,6 +34,12 @@ step cargo test --workspace -q
 step env ENGINE_BENCH_SMOKE=1 cargo bench -p incc-bench --bench engine
 step python3 scripts/bench_gate.py results/engine_bench_smoke.json
 
+# Tracing overhead gate on the committed full-scale results: with
+# tracing disabled (the default), rc_end_to_end must stay within 1.05x
+# of the pre-tracing reference — the per-operator span branch and the
+# per-slice clock stamps have to be free when tracing is off.
+step python3 scripts/bench_gate.py results/engine_bench.json 1.25 rc_end_to_end=1.05
+
 # Round-telemetry bench smoke: all five algorithms must emit verified
 # per-round trajectories and the JSON record must parse.
 step env ROUNDS_BENCH_SMOKE=1 cargo bench -p incc-bench --bench rounds
@@ -55,6 +61,11 @@ step timeout 300 python3 scripts/stream_smoke.py
 # profiled-job envelope, and the \metrics families, against a live
 # incc-serve (bounded so a wedged server fails the run).
 step timeout 300 python3 scripts/observability_smoke.py
+
+# Span tracing + slow-query log smoke over TCP: Chrome trace-event
+# JSON must validate, \slowlog lines must parse, and the wait-time
+# metric families must be exposed, under 8 concurrent sessions.
+step timeout 300 python3 scripts/trace_smoke.py
 
 # Chaos: all five algorithms must produce labels byte-identical to a
 # fault-free run under seeded panic/error/stall fault plans, both

@@ -8,6 +8,7 @@ use crate::plan::{execute, ExecContext, QueryGuard};
 use crate::pool::SegmentPool;
 use crate::schema::{Field, Schema};
 use crate::session::{Session, SessionCore};
+use crate::span::{maybe_start, ActiveTrace, SpanKind};
 use crate::sql::{self, PlannerCatalog, Statement};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::table::{Distribution, Table};
@@ -243,6 +244,19 @@ impl Cluster {
         self.latency.snapshot()
     }
 
+    /// Installs a span trace on the default session (statements run
+    /// via [`Cluster::run`] record into it) — the engine-level hook
+    /// benches and tests use; services install per-[`Session`] traces
+    /// via [`Session::install_trace`].
+    pub fn install_trace(&self, trace: Arc<ActiveTrace>) -> Option<Arc<ActiveTrace>> {
+        self.default_core.set_trace(Some(trace))
+    }
+
+    /// Removes and returns the default session's span trace.
+    pub fn take_trace(&self) -> Option<Arc<ActiveTrace>> {
+        self.default_core.set_trace(None)
+    }
+
     /// Resets run-scoped counters (high-water mark, written bytes,
     /// network, statement count) while keeping live tables charged.
     pub fn reset_run_counters(&self) {
@@ -290,8 +304,13 @@ impl Cluster {
     /// [`Cluster::run`] and [`Session::run`].
     pub(crate) fn run_in(&self, core: &SessionCore, sql_text: &str) -> DbResult<QueryOutput> {
         let start = std::time::Instant::now();
-        let mut stmt = sql::parse_statement(sql_text)?;
-        core.rewrite(self, &mut stmt);
+        let spans = core.trace();
+        let stmt = {
+            let _parse = maybe_start(&spans, SpanKind::Parse, sql_text);
+            let mut stmt = sql::parse_statement(sql_text)?;
+            core.rewrite(self, &mut stmt);
+            stmt
+        };
         core.stats.count_query();
         let guard = QueryGuard {
             cancel: Some(core.interrupt_handle()),
@@ -309,7 +328,8 @@ impl Cluster {
         let capture = core.profiling() || is_explain_analyze;
         let before = capture.then(|| core.stats.snapshot());
         let mut profile: Option<QueryProfile> = None;
-        let mut result = self.dispatch(core, stmt, guard, faults, capture, &mut profile);
+        let mut result =
+            self.dispatch(core, stmt, guard, faults, capture, &mut profile, &spans);
         let elapsed = start.elapsed();
         core.note_statement(elapsed);
         self.latency.record(elapsed.as_nanos() as u64);
@@ -327,6 +347,7 @@ impl Cluster {
         result
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         core: &SessionCore,
@@ -335,14 +356,20 @@ impl Cluster {
         faults: Option<crate::fault::FaultContext>,
         capture: bool,
         profile: &mut Option<QueryProfile>,
+        spans: &Option<Arc<ActiveTrace>>,
     ) -> DbResult<QueryOutput> {
         guard.check()?;
         let stats = &core.stats;
         match stmt {
             Statement::Select(q) => {
-                let (plan, schema) = sql::plan_query_with_schema(&q, self)?;
-                let plan = self.maybe_optimize(plan);
-                let data = self.execute_plan(&plan, stats, guard, faults, capture, profile)?;
+                let (plan, schema) = {
+                    let _plan_span = maybe_start(spans, SpanKind::Plan, "select");
+                    let (plan, schema) = sql::plan_query_with_schema(&q, self)?;
+                    (self.maybe_optimize(plan), schema)
+                };
+                let _exec = maybe_start(spans, SpanKind::Exec, "select");
+                let data =
+                    self.execute_plan(&plan, stats, guard, faults, capture, profile, spans)?;
                 let mut rows = gather(&data);
                 if !q.order_by.is_empty() {
                     let keys: Vec<(usize, bool)> = q
@@ -378,12 +405,16 @@ impl Cluster {
                 Ok(QueryOutput::Rows(rows))
             }
             Statement::Explain { query, analyze } => {
-                let plan = self.maybe_optimize(sql::plan_query(&query, self)?);
+                let plan = {
+                    let _plan_span = maybe_start(spans, SpanKind::Plan, "explain");
+                    self.maybe_optimize(sql::plan_query(&query, self)?)
+                };
                 if analyze {
                     // Executes for real; `run_in` replaces the empty
                     // text with the finished profile's rendering once
                     // the statement-level deltas are folded in.
-                    self.execute_plan(&plan, stats, guard, faults, true, profile)?;
+                    let _exec = maybe_start(spans, SpanKind::Exec, "explain analyze");
+                    self.execute_plan(&plan, stats, guard, faults, true, profile, spans)?;
                     Ok(QueryOutput::Explain(String::new()))
                 } else {
                     Ok(QueryOutput::Explain(crate::plan::explain(&plan)))
@@ -397,9 +428,20 @@ impl Cluster {
                             .into(),
                     ));
                 }
-                let plan = self.maybe_optimize(sql::plan_query(&query, self)?);
-                let data =
-                    self.execute_plan(&plan, stats, guard, faults.clone(), capture, profile)?;
+                let plan = {
+                    let _plan_span = maybe_start(spans, SpanKind::Plan, "create table as");
+                    self.maybe_optimize(sql::plan_query(&query, self)?)
+                };
+                let _exec = maybe_start(spans, SpanKind::Exec, "create table as");
+                let data = self.execute_plan(
+                    &plan,
+                    stats,
+                    guard,
+                    faults.clone(),
+                    capture,
+                    profile,
+                    spans,
+                )?;
                 let sink = capture.then(|| Arc::new(crate::trace::SpanSink::default()));
                 let rows = self.store_traced(
                     stats,
@@ -408,6 +450,7 @@ impl Cluster {
                     distributed_by.as_deref(),
                     sink.clone(),
                     faults,
+                    spans.clone(),
                 )?;
                 if let (Some(p), Some(sink)) = (profile.as_mut(), sink) {
                     // The store-side exchange belongs to the root node.
@@ -507,6 +550,7 @@ impl Cluster {
 
     /// Executes a plan; with `capture` set, runs the profiled executor
     /// and deposits the annotated tree into `profile`.
+    #[allow(clippy::too_many_arguments)]
     fn execute_plan(
         &self,
         plan: &crate::plan::Plan,
@@ -515,6 +559,7 @@ impl Cluster {
         faults: Option<crate::fault::FaultContext>,
         capture: bool,
         profile: &mut Option<QueryProfile>,
+        spans: &Option<Arc<ActiveTrace>>,
     ) -> DbResult<PData> {
         let lookup = |name: &str| self.table(name);
         let ctx = ExecContext {
@@ -526,6 +571,7 @@ impl Cluster {
             guard,
             vectorized: self.config.vectorized,
             faults,
+            spans: spans.clone(),
         };
         if capture {
             let (data, root) = if self.config.pipelined {
@@ -561,12 +607,13 @@ impl Cluster {
         data: PData,
         distributed_by: Option<&str>,
     ) -> DbResult<usize> {
-        self.store_traced(stats, name, data, distributed_by, None, None)
+        self.store_traced(stats, name, data, distributed_by, None, None, None)
     }
 
     /// [`Cluster::store_with`] plus an optional profiling sink: a
     /// `DISTRIBUTED BY` clause can force a final exchange here, and a
     /// profiled CTAS must account for it like every other operator.
+    #[allow(clippy::too_many_arguments)]
     fn store_traced(
         &self,
         stats: &Stats,
@@ -575,6 +622,7 @@ impl Cluster {
         distributed_by: Option<&str>,
         trace: Option<Arc<crate::trace::SpanSink>>,
         faults: Option<crate::fault::FaultContext>,
+        spans: Option<Arc<ActiveTrace>>,
     ) -> DbResult<usize> {
         let name = name.to_ascii_lowercase();
         let data = match distributed_by {
@@ -591,6 +639,7 @@ impl Cluster {
                     vectorized: self.config.vectorized,
                     trace,
                     faults,
+                    spans,
                 };
                 crate::ops::ensure_distribution(data, &[idx], &octx)?
             }

@@ -61,6 +61,7 @@ pub mod pool;
 pub mod retry;
 mod schema;
 mod session;
+pub mod span;
 pub mod sql;
 mod stats;
 mod table;
@@ -78,6 +79,7 @@ pub use pool::SegmentPool;
 pub use retry::RetryPolicy;
 pub use schema::{Field, Schema};
 pub use session::Session;
+pub use span::{ActiveTrace, FinishedTrace, PartClock, SpanGuard, SpanKind, SpanRec};
 pub use stats::StatsSnapshot;
 pub use stats::{OpKind, OpMetrics, OpStats};
 pub use table::Distribution;

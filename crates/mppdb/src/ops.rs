@@ -85,6 +85,11 @@ pub struct OpCtx<'a> {
     /// one branch per partition task; when set, every partition task
     /// consults the plan right after its cancellation check.
     pub faults: Option<crate::fault::FaultContext>,
+    /// Active statement trace. `None` (the default) costs one branch
+    /// per operator; when set, each invocation records a `Stage` span
+    /// carrying the *same* duration charged to `stats`, so a trace's
+    /// stage spans reconcile exactly with `op_stats()`.
+    pub spans: Option<Arc<crate::span::ActiveTrace>>,
 }
 
 /// One-branch fault hook for partition tasks.
@@ -132,6 +137,19 @@ impl OpTimer {
             nanos: self.started.elapsed().as_nanos() as u64,
         };
         ctx.stats.charge_op(self.kind, metrics);
+        if let Some(spans) = &ctx.spans {
+            // Mirror the exact nanos charged to `stats` so span-tree
+            // reconciliation is lossless; the start is back-dated from
+            // "now" on the trace's own clock.
+            let end = spans.now_ns();
+            spans.record(
+                crate::span::SpanKind::Stage,
+                self.kind.name(),
+                end.saturating_sub(metrics.nanos),
+                metrics.nanos,
+                0,
+            );
+        }
         if let Some(sink) = &ctx.trace {
             sink.record(OpProfile {
                 kind: self.kind,
@@ -614,6 +632,7 @@ mod tests {
                 vectorized: true,
                 trace: None,
                 faults: None,
+                spans: None,
             }
         }
     }

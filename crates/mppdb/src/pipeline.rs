@@ -38,11 +38,13 @@ use crate::ops::{self, JoinType, PData};
 use crate::plan::{ExecContext, Plan};
 use crate::pool::PartitionTask;
 use crate::schema::{Field, Schema};
+use crate::span::{ActiveTrace, PartClock, SpanKind};
 use crate::stats::OpKind;
 use crate::table::Distribution;
 use crate::trace::{OpProfile, ProfileNode};
 use crate::value::DataType;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -364,6 +366,14 @@ struct PartDriver {
     resume: Option<(usize, Morsel)>,
     states: Vec<PartState>,
     fin_stage: usize,
+    /// Running/parked wall-time ledger for this partition; every gap
+    /// between cooperative slices counts as parked, so
+    /// `running + parked == wall` telescopes exactly.
+    clock: PartClock,
+    /// Set when the previous slice ended in a fuel yield — the next
+    /// slice's entry gap is then a backpressure park worth a `Parked`
+    /// span and a `Stats::charge_parked` tick, not mere queueing.
+    parked_pending: bool,
 }
 
 /// The cooperative task driving every partition of one pipeline.
@@ -371,6 +381,17 @@ struct PipeTask {
     chain: Vec<Arc<dyn PushOperator>>,
     drivers: Vec<Mutex<PartDriver>>,
     env: ExecEnv,
+    /// Active statement trace (tasks must be `'static`, so the trace
+    /// rides in the task rather than borrowing the exec context).
+    spans: Option<Arc<ActiveTrace>>,
+    /// Task-local time base for the partition clocks when tracing is
+    /// off (with a trace, its anchor is used so spans line up).
+    epoch: Instant,
+    /// Fuel-yield parks across all partitions, drained into
+    /// `Stats::charge_parked` after the pool run completes.
+    parked_total: AtomicU64,
+    /// Total parked nanoseconds across all partitions.
+    parked_nanos: AtomicU64,
 }
 
 impl PipeTask {
@@ -413,12 +434,53 @@ impl PipeTask {
     }
 }
 
+impl PipeTask {
+    /// Nanoseconds on the clock the partition ledgers use: the trace's
+    /// anchor when tracing, a task-local epoch otherwise.
+    fn now_ns(&self) -> u64 {
+        match &self.spans {
+            Some(t) => t.now_ns(),
+            None => self.epoch.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
 impl PartitionTask for PipeTask {
     type Out = SinkPart;
 
     fn step(&self, part: usize) -> DbResult<Option<SinkPart>> {
         let mut guard = self.drivers[part].lock().unwrap_or_else(|e| e.into_inner());
         let d = &mut *guard;
+        let entered = self.now_ns();
+        let gap = d.clock.enter(entered);
+        if d.parked_pending {
+            d.parked_pending = false;
+            self.parked_total.fetch_add(1, Ordering::Relaxed);
+            self.parked_nanos.fetch_add(gap, Ordering::Relaxed);
+            if let Some(spans) = &self.spans {
+                spans.record(
+                    SpanKind::Parked,
+                    "fuel backpressure",
+                    entered.saturating_sub(gap),
+                    gap,
+                    (part + 1) as u32,
+                );
+            }
+        }
+        let out = self.drive(part, d);
+        d.clock.exit(entered, self.now_ns());
+        if matches!(out, Ok(None)) {
+            d.parked_pending = true;
+        }
+        out
+    }
+}
+
+impl PipeTask {
+    /// One cooperative slice over a partition: resume a parked morsel,
+    /// drain queued input, then finalize. `Ok(None)` always means a
+    /// fuel yield — the park sites are the only early returns.
+    fn drive(&self, part: usize, d: &mut PartDriver) -> DbResult<Option<SinkPart>> {
         self.env.guard.check()?;
         let mut cx = PushCx { part, env: &self.env, fuel: FUEL_PER_SLICE };
         loop {
@@ -506,15 +568,30 @@ fn run_node(
         let rows_hint: usize = queue.iter().map(Morsel::rows).sum();
         let states: Vec<PartState> =
             node.chain.iter().map(|s| PartState::new(s.init_state(rows_hint))).collect();
-        drivers.push(Mutex::new(PartDriver { queue, resume: None, states, fin_stage: 0 }));
+        drivers.push(Mutex::new(PartDriver {
+            queue,
+            resume: None,
+            states,
+            fin_stage: 0,
+            clock: PartClock::default(),
+            parked_pending: false,
+        }));
     }
     let chain = node.chain;
     let task = Arc::new(PipeTask {
         chain: chain.clone(),
         drivers,
         env: ExecEnv { guard: ctx.guard.clone(), faults: ctx.faults.clone() },
+        spans: ctx.spans.clone(),
+        epoch: Instant::now(),
+        parked_total: AtomicU64::new(0),
+        parked_nanos: AtomicU64::new(0),
     });
-    let outs = ctx.pool.run_coop("pipeline", node.n_parts, task)?;
+    let outs = ctx.pool.run_coop("pipeline", node.n_parts, task.clone())?;
+    ctx.stats.charge_parked(
+        task.parked_total.load(Ordering::Relaxed),
+        task.parked_nanos.load(Ordering::Relaxed),
+    );
     let seg_rows: Vec<u64> = outs.iter().map(SinkPart::rows).collect();
     let sink = chain.last().expect("pipeline chain always ends in a sink");
     sink.complete(outs, ctx.stats)?;
@@ -526,6 +603,18 @@ fn run_node(
         if let Some(kind) = stage.kind() {
             let m = stage.accum().metrics();
             ctx.stats.charge_op(kind, m);
+            if let Some(spans) = &ctx.spans {
+                // Same nanos as the `charge_op` above, so the trace's
+                // stage spans reconcile exactly with `op_stats()`.
+                let end = spans.now_ns();
+                spans.record(
+                    SpanKind::Stage,
+                    kind.name(),
+                    end.saturating_sub(m.nanos),
+                    m.nanos,
+                    0,
+                );
+            }
             if capture {
                 ops_profiles.push(OpProfile {
                     kind,

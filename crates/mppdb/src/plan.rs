@@ -278,6 +278,9 @@ pub struct ExecContext<'a> {
     /// Fault injection for this statement (None ⇒ no faults — the
     /// common path costs one branch per partition).
     pub faults: Option<crate::fault::FaultContext>,
+    /// Span collector for the active statement trace (None ⇒ tracing
+    /// off — the common path costs one branch per operator).
+    pub spans: Option<std::sync::Arc<crate::span::ActiveTrace>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -292,6 +295,7 @@ impl<'a> ExecContext<'a> {
             vectorized: self.vectorized,
             trace: None,
             faults: self.faults.clone(),
+            spans: self.spans.clone(),
         }
     }
 }
@@ -398,6 +402,7 @@ mod tests {
                 guard: QueryGuard::default(),
                 vectorized: true,
                 faults: None,
+                spans: None,
             },
         )
     }
@@ -419,6 +424,7 @@ mod tests {
             guard: QueryGuard { cancel: Some(flag), deadline: None },
             vectorized: true,
             faults: None,
+            spans: None,
         };
         let err = execute(&Plan::Scan { table: "t".into() }, &ctx).unwrap_err();
         assert!(err.is_cancelled());
@@ -439,6 +445,7 @@ mod tests {
             guard: QueryGuard { cancel: None, deadline: Some(past) },
             vectorized: true,
             faults: None,
+            spans: None,
         };
         let err = execute(&Plan::Scan { table: "t".into() }, &ctx).unwrap_err();
         assert!(err.is_cancelled());

@@ -73,9 +73,15 @@ fn panic_payload(p: &(dyn Any + Send)) -> String {
 }
 
 struct PoolShared {
-    queue: Mutex<VecDeque<Ticket>>,
+    /// Pending tickets, each stamped with its enqueue instant so the
+    /// dequeue can record how long it sat behind other statements.
+    queue: Mutex<VecDeque<(std::time::Instant, Ticket)>>,
     available: Condvar,
     stop: AtomicBool,
+    /// Time tickets spend queued before a worker claims them — the
+    /// pool-level half of wait-time attribution (`\stats` wait lines,
+    /// `incc_pool_queue_wait_nanos`).
+    queue_wait: crate::trace::LatencyHistogram,
 }
 
 /// A fixed pool of segment worker threads (see the module docs).
@@ -106,6 +112,7 @@ impl SegmentPool {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             stop: AtomicBool::new(false),
+            queue_wait: crate::trace::LatencyHistogram::new(),
         });
         let handles = (0..n_workers).map(|i| spawn_worker(&shared, i)).collect();
         SegmentPool { shared, workers: Mutex::new(handles), n_workers }
@@ -114,6 +121,17 @@ impl SegmentPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.n_workers
+    }
+
+    /// Snapshot of how long tickets waited in the shared queue before a
+    /// worker claimed them.
+    pub fn queue_wait_snapshot(&self) -> crate::trace::HistogramSnapshot {
+        self.shared.queue_wait.snapshot()
+    }
+
+    /// Tickets currently waiting in the shared queue.
+    pub fn queue_depth(&self) -> usize {
+        lock_ok(&self.shared.queue).len()
     }
 
     /// Self-check: replaces any worker thread that has exited (a panic
@@ -407,7 +425,7 @@ fn enqueue_shared(shared: &Arc<PoolShared>, task: Ticket) -> Result<(), Ticket> 
     if shared.stop.load(Ordering::Relaxed) {
         return Err(task);
     }
-    lock_ok(&shared.queue).push_back(task);
+    lock_ok(&shared.queue).push_back((std::time::Instant::now(), task));
     shared.available.notify_one();
     Ok(())
 }
@@ -447,7 +465,8 @@ fn worker_loop(shared: &PoolShared) {
                 if shared.stop.load(Ordering::Relaxed) {
                     return;
                 }
-                if let Some(t) = queue.pop_front() {
+                if let Some((enqueued, t)) = queue.pop_front() {
+                    shared.queue_wait.record(enqueued.elapsed().as_nanos() as u64);
                     break t;
                 }
                 queue = shared

@@ -24,6 +24,7 @@
 
 use crate::cluster::{Cluster, QueryOutput};
 use crate::error::{DbError, DbResult};
+use crate::span::ActiveTrace;
 use crate::sql::{Query, Statement, TableRel};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::trace::{HistogramSnapshot, LatencyHistogram, QueryProfile};
@@ -70,6 +71,9 @@ pub(crate) struct SessionCore {
     profiles: Mutex<VecDeque<Arc<QueryProfile>>>,
     /// Per-statement latency distribution for this session.
     pub(crate) latency: LatencyHistogram,
+    /// Span trace installed for statements run in this session (None —
+    /// the default — costs one branch per recording site).
+    trace: Mutex<Option<Arc<ActiveTrace>>>,
 }
 
 impl SessionCore {
@@ -88,6 +92,7 @@ impl SessionCore {
             profiling: AtomicBool::new(false),
             profiles: Mutex::new(VecDeque::new()),
             latency: LatencyHistogram::new(),
+            trace: Mutex::new(None),
         }
     }
 
@@ -105,6 +110,7 @@ impl SessionCore {
             profiling: AtomicBool::new(false),
             profiles: Mutex::new(VecDeque::new()),
             latency: LatencyHistogram::new(),
+            trace: Mutex::new(None),
         }
     }
 
@@ -117,6 +123,16 @@ impl SessionCore {
 
     pub(crate) fn timeout(&self) -> Option<Duration> {
         *self.timeout.lock()
+    }
+
+    /// Installs (or clears) the span trace statements record into.
+    pub(crate) fn set_trace(&self, trace: Option<Arc<ActiveTrace>>) -> Option<Arc<ActiveTrace>> {
+        std::mem::replace(&mut *self.trace.lock(), trace)
+    }
+
+    /// The currently installed span trace, if any.
+    pub(crate) fn trace(&self) -> Option<Arc<ActiveTrace>> {
+        self.trace.lock().clone()
     }
 
     pub(crate) fn note_statement(&self, elapsed: Duration) {
@@ -429,6 +445,19 @@ impl Session {
     /// This session's per-statement latency distribution.
     pub fn latency_histogram(&self) -> HistogramSnapshot {
         self.core.latency.snapshot()
+    }
+
+    /// Installs a span trace: every statement run in this session
+    /// records its lifecycle spans (parse/plan/exec, stage detail,
+    /// parked gaps) into it until [`Session::take_trace`]. Replaces
+    /// (and returns) any previously installed trace.
+    pub fn install_trace(&self, trace: Arc<ActiveTrace>) -> Option<Arc<ActiveTrace>> {
+        self.core.set_trace(Some(trace))
+    }
+
+    /// Removes and returns the installed span trace.
+    pub fn take_trace(&self) -> Option<Arc<ActiveTrace>> {
+        self.core.set_trace(None)
     }
 
     /// Total wall time spent executing this session's statements.

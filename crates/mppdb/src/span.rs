@@ -1,0 +1,569 @@
+//! End-to-end span tracing with wait-time attribution.
+//!
+//! [`crate::trace`] answers "where did *execution* time go" — operator
+//! trees, per-segment rows. This module answers the question that the
+//! 1→16-session tail-latency investigation actually needs: where did
+//! the *wall clock* go, including all the time a statement spent not
+//! executing — admission queues, pool queues, fuel-backpressure
+//! parking, retry backoff. It records a per-statement (or per-job)
+//! lifecycle as a flat list of typed [`SpanRec`]s against one anchor
+//! instant, cheap enough to leave compiled in and sample at runtime.
+//!
+//! # Recording model
+//!
+//! An [`ActiveTrace`] is installed on a session (or threaded through a
+//! job); every layer that wants to attribute time opens a
+//! [`SpanGuard`] via [`maybe_start`] — a single `Option` branch when
+//! tracing is off. The guard records its span on `Drop`, which makes
+//! span closure *unconditional*: a panicking operator unwinds through
+//! the guard inside the segment pool's `catch_unwind`, so even chaos
+//! runs leave no orphan spans ([`ActiveTrace::open_spans`] returns to
+//! zero once the statement resolves). Span storage is bounded
+//! ([`MAX_SPANS`]); overflow increments a drop counter instead of
+//! growing without bound.
+//!
+//! Span kinds split into *top-level* phases that tile a statement's
+//! wall time — `parse`, `plan`, `admission_wait`, `pool_queue_wait`,
+//! `exec`, `retry_backoff`, `rebuild` — and *nested* detail inside
+//! `exec`: one `stage` span per operator/pipeline-stage invocation
+//! (carrying exactly the nanoseconds charged to
+//! [`crate::stats::Stats::charge_op`], so span trees reconcile with
+//! `op_stats()` to the nanosecond) and `parked` spans for fuel-yield
+//! gaps. [`FinishedTrace::attributed_nanos`] sums the top-level kinds;
+//! the service's acceptance bar is ≥ 95 % of wall attributed.
+//!
+//! [`PartClock`] is the telescoping per-partition clock behind the
+//! parked/running split: every slice entry/exit is stamped once, so
+//! `running + parked == last_exit − first_enter` holds *exactly* (a
+//! property test drives it with arbitrary monotone stamp sequences).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Hard cap on recorded spans per trace; the recorder drops (and
+/// counts) spans past this rather than growing unboundedly under a
+/// long job.
+pub const MAX_SPANS: usize = 16_384;
+
+/// The type of a recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// SQL text → AST (includes session-namespace rewriting).
+    Parse,
+    /// AST → optimized physical plan.
+    Plan,
+    /// Waiting on the service's concurrency gate for an admission
+    /// permit.
+    AdmissionWait,
+    /// A job waiting in the worker-lane queue between submission and
+    /// its first scheduled slice.
+    PoolQueueWait,
+    /// Plan execution (including result gather and CTAS store).
+    Exec,
+    /// One operator / pipeline-stage invocation (nested inside
+    /// [`SpanKind::Exec`]; carries the exact nanos charged to
+    /// `op_stats`).
+    Stage,
+    /// A partition parked by fuel backpressure (`PollPush::Pending`),
+    /// waiting to be rescheduled (nested inside [`SpanKind::Exec`]).
+    Parked,
+    /// Retry backoff sleep between statement attempts.
+    RetryBackoff,
+    /// An incremental-CC stream rebuild phase.
+    Rebuild,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in trace JSON and waterfalls.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Parse => "parse",
+            SpanKind::Plan => "plan",
+            SpanKind::AdmissionWait => "admission_wait",
+            SpanKind::PoolQueueWait => "pool_queue_wait",
+            SpanKind::Exec => "exec",
+            SpanKind::Stage => "stage",
+            SpanKind::Parked => "parked",
+            SpanKind::RetryBackoff => "retry_backoff",
+            SpanKind::Rebuild => "rebuild",
+        }
+    }
+
+    /// Whether spans of this kind tile a statement's wall time
+    /// (nested kinds — `stage`, `parked` — live *inside* `exec` and
+    /// must not be double-counted by attribution sums).
+    pub fn is_top_level(self) -> bool {
+        !matches!(self, SpanKind::Stage | SpanKind::Parked)
+    }
+}
+
+/// One recorded span: kind, label, offset from the trace anchor, and
+/// duration, all in nanoseconds. `lane` separates concurrent
+/// timelines (partitions) in the Chrome trace rendering.
+#[derive(Debug, Clone)]
+pub struct SpanRec {
+    /// Span type.
+    pub kind: SpanKind,
+    /// Human label (operator name, pipeline label, statement phase).
+    pub label: String,
+    /// Start offset from the trace anchor, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Timeline lane (0 = statement lifecycle, `p + 1` = partition p).
+    pub lane: u32,
+}
+
+/// A live trace collecting spans for one statement or job.
+#[derive(Debug)]
+pub struct ActiveTrace {
+    id: u64,
+    label: String,
+    anchor: Instant,
+    spans: Mutex<Vec<SpanRec>>,
+    open: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl ActiveTrace {
+    /// Fresh trace anchored at "now".
+    pub fn new(id: u64, label: impl Into<String>) -> ActiveTrace {
+        ActiveTrace {
+            id,
+            label: label.into(),
+            anchor: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            open: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// This trace's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Nanoseconds elapsed since the trace anchor.
+    pub fn now_ns(&self) -> u64 {
+        self.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Records one finished span (bounded; overflow is counted, not
+    /// stored).
+    pub fn record(&self, kind: SpanKind, label: impl Into<String>, start_ns: u64, dur_ns: u64, lane: u32) {
+        let mut spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
+        if spans.len() >= MAX_SPANS {
+            drop(spans);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(SpanRec { kind, label: label.into(), start_ns, dur_ns, lane });
+    }
+
+    /// Opens a span that records itself on drop — including during a
+    /// panic unwind, which is what keeps chaos runs orphan-free.
+    pub fn start(self: &Arc<Self>, kind: SpanKind, label: impl Into<String>) -> SpanGuard {
+        self.open.fetch_add(1, Ordering::Relaxed);
+        SpanGuard {
+            trace: self.clone(),
+            kind,
+            label: label.into(),
+            start_ns: self.now_ns(),
+            lane: 0,
+        }
+    }
+
+    /// Spans currently open (started, not yet dropped). Zero once a
+    /// statement has fully resolved — asserted by the chaos suite.
+    pub fn open_spans(&self) -> u64 {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Spans dropped past [`MAX_SPANS`].
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Seals the trace into an immutable [`FinishedTrace`].
+    pub fn finish(&self, statement: impl Into<String>, wall_ns: u64) -> FinishedTrace {
+        let mut spans = std::mem::take(&mut *self.spans.lock().unwrap_or_else(|e| e.into_inner()));
+        spans.sort_by_key(|s| s.start_ns);
+        FinishedTrace {
+            id: self.id,
+            label: self.label.clone(),
+            statement: statement.into(),
+            wall_ns,
+            spans,
+            dropped: self.dropped.load(Ordering::Relaxed),
+            leaked: self.open.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An open span; records itself into its trace on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    trace: Arc<ActiveTrace>,
+    kind: SpanKind,
+    label: String,
+    start_ns: u64,
+    lane: u32,
+}
+
+impl SpanGuard {
+    /// Moves this span onto a different timeline lane.
+    pub fn set_lane(&mut self, lane: u32) {
+        self.lane = lane;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = self.trace.now_ns();
+        self.trace.record(
+            self.kind,
+            std::mem::take(&mut self.label),
+            self.start_ns,
+            end.saturating_sub(self.start_ns),
+            self.lane,
+        );
+        self.trace.open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Opens a span when a trace is installed — one branch when not.
+pub fn maybe_start(
+    trace: &Option<Arc<ActiveTrace>>,
+    kind: SpanKind,
+    label: &str,
+) -> Option<SpanGuard> {
+    trace.as_ref().map(|t| t.start(kind, label))
+}
+
+/// A sealed trace: everything `\trace` renders.
+#[derive(Debug, Clone)]
+pub struct FinishedTrace {
+    /// Trace id (the `\trace <id>` handle).
+    pub id: u64,
+    /// What was traced ("statement", "job rc", …).
+    pub label: String,
+    /// The statement text (or job spec rendering).
+    pub statement: String,
+    /// End-to-end wall time the trace covers, nanoseconds.
+    pub wall_ns: u64,
+    /// Recorded spans, sorted by start offset.
+    pub spans: Vec<SpanRec>,
+    /// Spans dropped past the [`MAX_SPANS`] bound.
+    pub dropped: u64,
+    /// Spans still open when the trace was sealed — nonzero means a
+    /// guard leaked, which the chaos suite treats as a bug.
+    pub leaked: u64,
+}
+
+impl FinishedTrace {
+    /// Nanoseconds attributed by top-level spans (`stage`/`parked`
+    /// nest inside `exec` and are excluded to avoid double counting).
+    pub fn attributed_nanos(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind.is_top_level())
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// Fraction of wall time the top-level spans attribute (1.0 when
+    /// wall is zero and nothing could be attributed).
+    pub fn attribution_fraction(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 1.0;
+        }
+        self.attributed_nanos() as f64 / self.wall_ns as f64
+    }
+
+    /// Total nanoseconds recorded for one span kind.
+    pub fn kind_nanos(&self, kind: SpanKind) -> u64 {
+        self.spans.iter().filter(|s| s.kind == kind).map(|s| s.dur_ns).sum()
+    }
+
+    /// The trace in Chrome trace-event JSON ("X" complete events, µs
+    /// timestamps), loadable in `chrome://tracing` and Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.spans.len() + 2));
+        out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+        let _ = write!(
+            out,
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+             \"args\": {{\"name\": ",
+        );
+        push_json_str(&mut out, &format!("trace {} ({})", self.id, self.label));
+        out.push_str("}}");
+        for s in &self.spans {
+            out.push_str(", ");
+            out.push_str("{\"name\": ");
+            push_json_str(&mut out, &format!("{}: {}", s.kind.name(), s.label));
+            let _ = write!(
+                out,
+                ", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
+                 \"pid\": 1, \"tid\": {}",
+                s.kind.name(),
+                s.start_ns as f64 / 1e3,
+                s.dur_ns as f64 / 1e3,
+                s.lane,
+            );
+            out.push('}');
+        }
+        let _ = write!(
+            out,
+            "], \"otherData\": {{\"trace_id\": {}, \"label\": ",
+            self.id
+        );
+        push_json_str(&mut out, &self.label);
+        out.push_str(", \"statement\": ");
+        push_json_str(&mut out, &self.statement);
+        let _ = write!(
+            out,
+            ", \"wall_ns\": {}, \"attributed_ns\": {}, \"dropped_spans\": {}, \
+             \"leaked_spans\": {}}}}}",
+            self.wall_ns,
+            self.attributed_nanos(),
+            self.dropped,
+            self.leaked,
+        );
+        out
+    }
+
+    /// A text waterfall: one bar per top-level span, nested detail
+    /// summarised, attribution percentage at the end.
+    pub fn render_waterfall(&self) -> String {
+        const WIDTH: usize = 40;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace {} ({}): {}  wall={:.3}ms",
+            self.id,
+            self.label,
+            self.statement,
+            self.wall_ns as f64 / 1e6
+        );
+        let scale = |ns: u64| -> usize {
+            if self.wall_ns == 0 {
+                0
+            } else {
+                ((ns as u128 * WIDTH as u128) / self.wall_ns as u128) as usize
+            }
+        };
+        for s in self.spans.iter().filter(|s| s.kind.is_top_level()) {
+            let lead = scale(s.start_ns).min(WIDTH);
+            let bar = scale(s.dur_ns).clamp(1, WIDTH - lead.min(WIDTH - 1));
+            let _ = writeln!(
+                out,
+                "  {:>15} |{}{}{}| {:>10.3}ms  {}",
+                s.kind.name(),
+                " ".repeat(lead),
+                "#".repeat(bar),
+                " ".repeat(WIDTH.saturating_sub(lead + bar)),
+                s.dur_ns as f64 / 1e6,
+                s.label,
+            );
+        }
+        let stages = self.spans.iter().filter(|s| s.kind == SpanKind::Stage).count();
+        let parked = self.spans.iter().filter(|s| s.kind == SpanKind::Parked).count();
+        if stages + parked > 0 {
+            let _ = writeln!(
+                out,
+                "  nested: {} stage spans ({:.3}ms), {} parked spans ({:.3}ms)",
+                stages,
+                self.kind_nanos(SpanKind::Stage) as f64 / 1e6,
+                parked,
+                self.kind_nanos(SpanKind::Parked) as f64 / 1e6,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  attributed: {:.1}% of wall ({} spans, {} dropped, {} leaked)",
+            self.attribution_fraction() * 100.0,
+            self.spans.len(),
+            self.dropped,
+            self.leaked,
+        );
+        out
+    }
+}
+
+/// JSON string escape (the workspace builds offline; `serde_json` is a
+/// stub, so trace JSON is hand-rolled like the profile JSON).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Telescoping per-partition clock splitting a partition's lifetime
+/// into *running* (inside a cooperative slice) and *parked* (between
+/// slices) time.
+///
+/// Each slice stamps `enter` once and `exit` once. Because every
+/// boundary instant is used exactly twice — once closing the running
+/// interval, once opening the gap (or vice versa) — the sum telescopes:
+/// `running_ns + parked_ns == last_exit − first_enter` holds exactly
+/// for any monotone stamp sequence, not just approximately.
+#[derive(Debug, Default, Clone)]
+pub struct PartClock {
+    first: Option<u64>,
+    prev_exit: Option<u64>,
+    running_ns: u64,
+    parked_ns: u64,
+}
+
+impl PartClock {
+    /// Fresh clock.
+    pub fn new() -> PartClock {
+        PartClock::default()
+    }
+
+    /// Stamps a slice entry at `now` (nanoseconds on any fixed
+    /// monotone base). Returns the parked gap since the previous exit
+    /// (0 for the first slice).
+    pub fn enter(&mut self, now: u64) -> u64 {
+        if self.first.is_none() {
+            self.first = Some(now);
+        }
+        let gap = self.prev_exit.map_or(0, |e| now.saturating_sub(e));
+        self.parked_ns += gap;
+        gap
+    }
+
+    /// Stamps a slice exit: `entered` is the stamp passed to the
+    /// matching [`PartClock::enter`].
+    pub fn exit(&mut self, entered: u64, now: u64) {
+        self.running_ns += now.saturating_sub(entered);
+        self.prev_exit = Some(now.max(entered));
+    }
+
+    /// Total nanoseconds inside slices.
+    pub fn running_ns(&self) -> u64 {
+        self.running_ns
+    }
+
+    /// Total nanoseconds parked between slices.
+    pub fn parked_ns(&self) -> u64 {
+        self.parked_ns
+    }
+
+    /// Wall span from first entry to last exit (0 before the first
+    /// completed slice).
+    pub fn wall_ns(&self) -> u64 {
+        match (self.first, self.prev_exit) {
+            (Some(f), Some(e)) => e.saturating_sub(f),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_record_on_drop_and_close() {
+        let t = Arc::new(ActiveTrace::new(7, "statement"));
+        {
+            let _g = t.start(SpanKind::Parse, "select 1");
+            assert_eq!(t.open_spans(), 1);
+        }
+        assert_eq!(t.open_spans(), 0);
+        let fin = t.finish("select 1", 1000);
+        assert_eq!(fin.spans.len(), 1);
+        assert_eq!(fin.spans[0].kind, SpanKind::Parse);
+        assert_eq!(fin.leaked, 0);
+    }
+
+    #[test]
+    fn guards_close_during_panic_unwind() {
+        let t = Arc::new(ActiveTrace::new(1, "chaos"));
+        let t2 = t.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _g = t2.start(SpanKind::Exec, "boom");
+            panic!("injected");
+        });
+        assert!(result.is_err());
+        assert_eq!(t.open_spans(), 0, "unwind must close the span");
+        assert_eq!(t.finish("boom", 0).spans.len(), 1);
+    }
+
+    #[test]
+    fn span_storage_is_bounded() {
+        let t = ActiveTrace::new(2, "big");
+        for i in 0..(MAX_SPANS + 10) {
+            t.record(SpanKind::Stage, "s", i as u64, 1, 0);
+        }
+        let fin = t.finish("big", 0);
+        assert_eq!(fin.spans.len(), MAX_SPANS);
+        assert_eq!(fin.dropped, 10);
+    }
+
+    #[test]
+    fn attribution_excludes_nested_kinds() {
+        let t = ActiveTrace::new(3, "statement");
+        t.record(SpanKind::Parse, "p", 0, 100, 0);
+        t.record(SpanKind::Exec, "e", 100, 900, 0);
+        t.record(SpanKind::Stage, "join", 150, 700, 0);
+        t.record(SpanKind::Parked, "pipeline", 200, 50, 1);
+        let fin = t.finish("q", 1000);
+        assert_eq!(fin.attributed_nanos(), 1000);
+        assert!((fin.attribution_fraction() - 1.0).abs() < 1e-9);
+        assert_eq!(fin.kind_nanos(SpanKind::Stage), 700);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let t = ActiveTrace::new(4, "statement");
+        t.record(SpanKind::Exec, "select \"x\"", 1000, 2000, 0);
+        let json = t.finish("select \"x\"", 3000).to_chrome_json();
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"traceEvents\": ["));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ts\": 1.000"));
+        assert!(json.contains("\"dur\": 2.000"));
+        assert!(json.contains("\\\"x\\\""), "labels must be JSON-escaped");
+        assert!(json.contains("\"wall_ns\": 3000"));
+    }
+
+    #[test]
+    fn waterfall_mentions_attribution() {
+        let t = ActiveTrace::new(5, "statement");
+        t.record(SpanKind::Exec, "e", 0, 800, 0);
+        let text = t.finish("select 1", 1000).render_waterfall();
+        assert!(text.contains("exec"));
+        assert!(text.contains("attributed: 80.0%"), "{text}");
+    }
+
+    #[test]
+    fn part_clock_telescopes_exactly() {
+        let mut c = PartClock::new();
+        // Slices [10,30], [50,55], [55,80]: running 50, parked 20.
+        c.enter(10);
+        c.exit(10, 30);
+        assert_eq!(c.enter(50), 20);
+        c.exit(50, 55);
+        assert_eq!(c.enter(55), 0);
+        c.exit(55, 80);
+        assert_eq!(c.running_ns(), 50);
+        assert_eq!(c.parked_ns(), 20);
+        assert_eq!(c.running_ns() + c.parked_ns(), c.wall_ns());
+    }
+}

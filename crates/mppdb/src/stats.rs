@@ -29,6 +29,11 @@ pub struct Stats {
     /// backoff loop), and total nanoseconds slept backing off.
     retries: AtomicU64,
     backoff_nanos: AtomicU64,
+    /// Fuel-backpressure parks in the pipelined executor: how many
+    /// times a partition yielded on `PollPush::Pending`, and the total
+    /// nanoseconds partitions spent parked before being rescheduled.
+    parked: AtomicU64,
+    parked_nanos: AtomicU64,
     space_limit: AtomicU64, // 0 = unlimited
     /// Transaction mode: dropped tables' space is not reclaimed until
     /// commit — the paper's Table V argument ("most databases delete
@@ -293,6 +298,20 @@ impl Stats {
         }
     }
 
+    /// Charges fuel-backpressure parking: `count` partition parks
+    /// totalling `nanos` parked nanoseconds, rolled up to the parent
+    /// like every other counter.
+    pub fn charge_parked(&self, count: u64, nanos: u64) {
+        if count == 0 && nanos == 0 {
+            return;
+        }
+        self.parked.fetch_add(count, Ordering::Relaxed);
+        self.parked_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.charge_parked(count, nanos);
+        }
+    }
+
     /// Counts one statement retry and the backoff slept before it,
     /// rolled up to the parent like every other counter.
     pub fn count_retry(&self, backoff: std::time::Duration) {
@@ -319,6 +338,8 @@ impl Stats {
             queries: self.queries.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             backoff_nanos: self.backoff_nanos.load(Ordering::Relaxed),
+            parked: self.parked.load(Ordering::Relaxed),
+            parked_nanos: self.parked_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -335,6 +356,8 @@ impl Stats {
         self.queries.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.backoff_nanos.store(0, Ordering::Relaxed);
+        self.parked.store(0, Ordering::Relaxed);
+        self.parked_nanos.store(0, Ordering::Relaxed);
         for cell in &self.op_cells {
             cell.calls.store(0, Ordering::Relaxed);
             cell.vectorized_parts.store(0, Ordering::Relaxed);
@@ -365,6 +388,10 @@ pub struct StatsSnapshot {
     pub retries: u64,
     /// Total nanoseconds slept in retry backoff.
     pub backoff_nanos: u64,
+    /// Fuel-backpressure partition parks in the pipelined executor.
+    pub parked: u64,
+    /// Total nanoseconds partitions spent parked between slices.
+    pub parked_nanos: u64,
 }
 
 impl StatsSnapshot {
@@ -383,6 +410,8 @@ impl StatsSnapshot {
             queries: self.queries.saturating_sub(earlier.queries),
             retries: self.retries.saturating_sub(earlier.retries),
             backoff_nanos: self.backoff_nanos.saturating_sub(earlier.backoff_nanos),
+            parked: self.parked.saturating_sub(earlier.parked),
+            parked_nanos: self.parked_nanos.saturating_sub(earlier.parked_nanos),
         }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! incc-serve [addr] [--workers N] [--queue N] [--timeout-ms N] [--space-budget BYTES]
-//!            [--retries N]
+//!            [--retries N] [--trace-sample N] [--slowlog-ms N]
 //! ```
 //!
 //! Listens on `addr` (default `127.0.0.1:7878`) and speaks the
@@ -24,7 +24,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: incc-serve [addr] [--workers N] [--queue N] \
-         [--timeout-ms N] [--space-budget BYTES] [--retries N]"
+         [--timeout-ms N] [--space-budget BYTES] [--retries N] \
+         [--trace-sample N] [--slowlog-ms N]"
     );
     std::process::exit(2);
 }
@@ -48,6 +49,11 @@ fn main() {
             }
             "--space-budget" => config.space_budget = parsed(args.next()),
             "--retries" => config.retry.max_retries = parsed(args.next()),
+            // Span tracing: sample 1 in N statements/jobs (0 = off).
+            "--trace-sample" => config.trace_sample = parsed(args.next()),
+            "--slowlog-ms" => {
+                config.slowlog_threshold = Duration::from_millis(parsed::<u64>(args.next()));
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => addr = other.to_string(),
             _ => usage(),

@@ -147,6 +147,10 @@ pub struct JobResult {
 pub(crate) struct JobState {
     id: u64,
     spec: JobSpec,
+    /// When the job was accepted — the anchor for queue-wait
+    /// attribution (the `pool_queue_wait` span and `\stats` wait lines
+    /// both measure from here to execution start).
+    queued_at: std::time::Instant,
     /// Raised by [`JobHandle::cancel`]; algorithms observe it at round
     /// boundaries via `RunControl`.
     cancel: AtomicBool,
@@ -167,6 +171,7 @@ impl JobState {
         Arc::new(JobState {
             id,
             spec,
+            queued_at: std::time::Instant::now(),
             cancel: AtomicBool::new(false),
             session_flag: Mutex::new(None),
             status: Mutex::new(JobStatus::Queued),
@@ -178,6 +183,12 @@ impl JobState {
 
     pub(crate) fn spec(&self) -> &JobSpec {
         &self.spec
+    }
+
+    /// Time since the job was accepted — read once at execution start,
+    /// where it equals the queue wait.
+    pub(crate) fn queued_for(&self) -> Duration {
+        self.queued_at.elapsed()
     }
 
     pub(crate) fn cancel_flag(&self) -> &AtomicBool {

@@ -32,11 +32,15 @@
 //!   output; the `incc-serve`, `incc-cli` and `incc-smoke` binaries
 //!   wrap it.
 //! * **Observability** — [`Service::metrics_text`] exposes cluster
-//!   counters, per-operator statistics and statement latency
-//!   histograms in Prometheus text format (the `\metrics` command);
-//!   jobs submitted with [`JobSpec::profile`] carry per-statement
-//!   [`incc_mppdb::QueryProfile`]s and per-round telemetry back on
-//!   their [`JobResult`] (the `\profile <id>` command).
+//!   counters, per-operator statistics, statement latency and
+//!   wait-time histograms in Prometheus text format (the `\metrics`
+//!   command); jobs submitted with [`JobSpec::profile`] carry
+//!   per-statement [`incc_mppdb::QueryProfile`]s and per-round
+//!   telemetry back on their [`JobResult`] (the `\profile <id>`
+//!   command). With [`ServiceConfig::trace_sample`] on, statements
+//!   and jobs record end-to-end span traces (`\trace` renders Chrome
+//!   trace-event JSON plus a text waterfall) and slow runs land in a
+//!   slow-query log (`\slowlog`).
 //!
 //! ```
 //! use incc_service::{AlgoKind, JobSpec, JobStatus, Service, ServiceConfig};
@@ -69,7 +73,7 @@ mod streams;
 
 pub use job::{AlgoKind, JobHandle, JobResult, JobSpec, JobStatus};
 pub use server::Server;
-pub use service::{AdmissionError, Service, ServiceConfig};
+pub use service::{AdmissionError, Service, ServiceConfig, SlowLogEntry};
 // The incremental-CC stream surface (`\stream` verbs, `Service::open_stream`
 // and friends) re-exported so service clients need only this crate.
 pub use incc_stream::{

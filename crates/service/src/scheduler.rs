@@ -12,14 +12,18 @@
 //! Everything here is plain `std::sync` — `Mutex` + `Condvar` — keeping
 //! the service free of runtime dependencies.
 
-use incc_mppdb::SegmentPool;
+use incc_mppdb::{HistogramSnapshot, LatencyHistogram, SegmentPool};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
 struct LaneInner {
-    pending: VecDeque<Task>,
+    /// Pending tasks, each stamped at submit so the dequeue can record
+    /// how long the job sat waiting for a width slot.
+    pending: VecDeque<(Instant, Task)>,
     in_flight: usize,
     stopped: bool,
 }
@@ -32,6 +36,8 @@ struct LaneShared {
     depth: usize,
     /// Maximum tasks executing concurrently on the pool.
     width: usize,
+    /// Time tasks spend queued before claiming a width slot.
+    queue_wait: LatencyHistogram,
 }
 
 /// A bounded lane of jobs multiplexed onto a shared [`SegmentPool`].
@@ -61,6 +67,7 @@ impl JobLane {
                 idle: Condvar::new(),
                 depth,
                 width: width.max(1),
+                queue_wait: LatencyHistogram::new(),
             }),
         }
     }
@@ -73,7 +80,7 @@ impl JobLane {
             if inner.stopped || inner.pending.len() >= self.shared.depth {
                 return Err(task);
             }
-            inner.pending.push_back(task);
+            inner.pending.push_back((Instant::now(), task));
         }
         // One ticket per submission; a ticket finding the lane at width
         // exits immediately and the already-running tickets drain the
@@ -88,6 +95,11 @@ impl JobLane {
     /// Tasks waiting for a slot right now.
     pub(crate) fn queue_len(&self) -> usize {
         self.shared.inner.lock().unwrap().pending.len()
+    }
+
+    /// Snapshot of how long tasks waited in the lane before starting.
+    pub(crate) fn queue_wait_snapshot(&self) -> HistogramSnapshot {
+        self.shared.queue_wait.snapshot()
     }
 
     /// Stops accepting work, discards pending tasks, and waits for
@@ -120,8 +132,9 @@ fn run_lane(shared: &LaneShared) {
                 return;
             }
             match inner.pending.pop_front() {
-                Some(t) => {
+                Some((queued, t)) => {
                     inner.in_flight += 1;
+                    shared.queue_wait.record(queued.elapsed().as_nanos() as u64);
                     t
                 }
                 None => return,
@@ -149,6 +162,11 @@ pub(crate) struct Gate {
     capacity: usize,
     active: Mutex<usize>,
     freed: Condvar,
+    /// Statements currently blocked in [`Gate::acquire`] — the
+    /// admission queue depth gauge.
+    waiting: AtomicUsize,
+    /// Time statements spend blocked waiting for a permit.
+    wait: LatencyHistogram,
 }
 
 impl Gate {
@@ -157,18 +175,36 @@ impl Gate {
             capacity: capacity.max(1),
             active: Mutex::new(0),
             freed: Condvar::new(),
+            waiting: AtomicUsize::new(0),
+            wait: LatencyHistogram::new(),
         }
     }
 
     /// Blocks until a permit is free, then holds it for the guard's
-    /// lifetime.
+    /// lifetime. Every acquisition records its wait (zero-wait passes
+    /// included, so the histogram's count is the admission count).
     pub(crate) fn acquire(&self) -> GatePermit<'_> {
+        let started = Instant::now();
+        self.waiting.fetch_add(1, Ordering::Relaxed);
         let mut n = self.active.lock().unwrap();
         while *n >= self.capacity {
             n = self.freed.wait(n).unwrap();
         }
         *n += 1;
+        drop(n);
+        self.waiting.fetch_sub(1, Ordering::Relaxed);
+        self.wait.record(started.elapsed().as_nanos() as u64);
         GatePermit { gate: self }
+    }
+
+    /// Statements blocked waiting for a permit right now.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.waiting.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of permit-wait times.
+    pub(crate) fn wait_snapshot(&self) -> HistogramSnapshot {
+        self.wait.snapshot()
     }
 
     /// Statements executing right now.

@@ -25,7 +25,10 @@
 //!
 //! Commands: `\job <algo> <table> [seed] [profile]`, `\status <id>`,
 //! `\wait <id>`, `\cancel <id>`, `\result <id>`, `\stats [global]`,
-//! `\metrics`, `\profile on|off|last|<id>`, `\mode csv|json`,
+//! `\metrics`, `\profile on|off|last|<id>`, `\trace <id>|last` (the
+//! sampled span trace: one line of Chrome trace-event JSON, then a
+//! text waterfall), `\slowlog` (one JSON line per slow run),
+//! `\mode csv|json`,
 //! `\timeout <ms>|off`, `\shared on|off`, `\quit`, and the incremental
 //! CC stream verbs: `\stream open <name> [max_tombstones]
 //! [staleness_ms]`, `\stream feed <name> +u:v|-u:v|+v ...`,
@@ -36,7 +39,7 @@
 //! treated as an abandoned client: the session's in-flight statement is
 //! interrupted and the jobs this connection submitted are cancelled.
 
-use crate::service::Service;
+use crate::service::{Service, SlowLogEntry};
 use crate::streams::parse_stream_ops;
 use crate::{AlgoKind, JobResult, JobSpec, JobStatus, StreamConfig};
 use incc_mppdb::{Datum, QueryOutput, Session};
@@ -301,7 +304,17 @@ fn execute_command(
                 )?;
                 writeln!(w, "OK 13")?;
             } else {
-                writeln!(w, "OK 11")?;
+                // Wait-time attribution: time statements stood in line
+                // (concurrency gate, segment-pool ticket queue) —
+                // reported separately from the execution quantiles
+                // above so queueing is not mistaken for slow execution.
+                let adm = service.admission_wait();
+                let pool = service.pool_queue_wait();
+                writeln!(w, "admission_wait_p50_micros {}", adm.quantile(0.50) / 1_000)?;
+                writeln!(w, "admission_wait_p95_micros {}", adm.quantile(0.95) / 1_000)?;
+                writeln!(w, "pool_wait_p50_micros {}", pool.quantile(0.50) / 1_000)?;
+                writeln!(w, "pool_wait_p95_micros {}", pool.quantile(0.95) / 1_000)?;
+                writeln!(w, "OK 15")?;
             }
         }
         ("metrics", []) => {
@@ -345,6 +358,44 @@ fn execute_command(
                 }
                 (status, _) => writeln!(w, "ERR job {id} is {}", status.render())?,
             }
+        }
+        ("trace", [which]) => {
+            let trace = if which.eq_ignore_ascii_case("last") {
+                service.last_trace()
+            } else {
+                match which.parse::<u64>() {
+                    Ok(id) => service.trace(id),
+                    Err(_) => {
+                        writeln!(w, "ERR usage: \\trace <id>|last")?;
+                        return Ok(false);
+                    }
+                }
+            };
+            match trace {
+                Some(t) => {
+                    // Line 1 is the whole Chrome trace-event JSON
+                    // document (paste into Perfetto); the waterfall
+                    // lines after it are for human eyes.
+                    writeln!(w, "{}", t.to_chrome_json())?;
+                    let mut n = 1;
+                    for line in t.render_waterfall().lines() {
+                        writeln!(w, "{line}")?;
+                        n += 1;
+                    }
+                    writeln!(w, "OK {n}")?;
+                }
+                None => writeln!(
+                    w,
+                    "ERR no such trace (is tracing on? start with --trace-sample)"
+                )?,
+            }
+        }
+        ("slowlog", []) => {
+            let entries = service.slowlog();
+            for e in &entries {
+                writeln!(w, "{}", slowlog_entry_json(e))?;
+            }
+            writeln!(w, "OK {}", entries.len())?;
         }
         ("stream", ["list"]) => {
             let names = service.stream_names();
@@ -547,6 +598,26 @@ fn job_profile_json(id: u64, spec: &JobSpec, result: &JobResult) -> String {
     }
     out.push_str("]}");
     out
+}
+
+/// One-line JSON rendering of a slow-query log entry.
+fn slowlog_entry_json(e: &SlowLogEntry) -> String {
+    let esc = |s: &str| {
+        s.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    };
+    let trace_id = match e.trace_id {
+        Some(id) => id.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"trace_id\": {trace_id}, \"label\": \"{}\", \"statement\": \"{}\", \
+         \"wall_micros\": {}}}",
+        esc(&e.label),
+        esc(&e.statement),
+        e.wall.as_micros()
+    )
 }
 
 fn write_row(w: &mut impl Write, mode: Mode, row: &[Datum]) -> io::Result<()> {

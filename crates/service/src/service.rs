@@ -5,12 +5,14 @@ use crate::job::{JobHandle, JobResult, JobSpec, JobState, JobStatus};
 use crate::scheduler::{Gate, JobLane};
 use crate::streams::{valid_stream_name, StreamEntry};
 use incc_core::driver::{RoundRecorder, RunControl};
+use incc_mppdb::span::maybe_start;
 use incc_mppdb::{
-    Cluster, ClusterConfig, DbError, DbResult, ErrorClass, HistogramSnapshot, OpStats, QueryOutput,
-    RetryPolicy, ScalarUdf, Session, SqlEngine, StatsSnapshot,
+    ActiveTrace, Cluster, ClusterConfig, DbError, DbResult, ErrorClass, FinishedTrace,
+    HistogramSnapshot, OpStats, QueryOutput, RetryPolicy, ScalarUdf, Session, SpanKind, SqlEngine,
+    StatsSnapshot,
 };
 use incc_stream::{EdgeOp, FeedSummary, IncrementalCc, StreamConfig, StreamStatus};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -39,6 +41,15 @@ pub struct ServiceConfig {
     /// both interactive statements and every statement of a job's
     /// algorithm run. Use [`RetryPolicy::disabled`] to fail fast.
     pub retry: RetryPolicy,
+    /// Span-trace sampling rate: trace 1 in `trace_sample` statements
+    /// and jobs (0 = tracing off, 1 = trace everything). Sampled
+    /// traces land in the bounded trace registry served by `\trace`.
+    pub trace_sample: u32,
+    /// Statements and jobs whose end-to-end wall time reaches this
+    /// threshold are noted in the slow-query log (`\slowlog`).
+    pub slowlog_threshold: Duration,
+    /// Entries the slow-query log retains (oldest evicted first).
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -49,7 +60,113 @@ impl Default for ServiceConfig {
             statement_timeout: None,
             space_budget: 0,
             retry: RetryPolicy::default(),
+            trace_sample: 0,
+            slowlog_threshold: Duration::from_millis(250),
+            slowlog_capacity: 128,
         }
+    }
+}
+
+/// How many finished traces the registry retains.
+const TRACE_RING: usize = 64;
+
+/// Finished traces the service remembers, bounded FIFO. `\trace <id>`
+/// and `\trace last` resolve against this ring.
+struct TraceRegistry {
+    cap: usize,
+    ring: Mutex<VecDeque<Arc<FinishedTrace>>>,
+    last_id: AtomicU64,
+}
+
+impl TraceRegistry {
+    fn new(cap: usize) -> TraceRegistry {
+        TraceRegistry {
+            cap,
+            ring: Mutex::new(VecDeque::new()),
+            last_id: AtomicU64::new(0),
+        }
+    }
+
+    fn insert(&self, trace: Arc<FinishedTrace>) {
+        self.last_id.store(trace.id, Ordering::Release);
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() >= self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    fn get(&self, id: u64) -> Option<Arc<FinishedTrace>> {
+        self.ring
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|t| t.id == id)
+            .cloned()
+    }
+
+    fn last(&self) -> Option<Arc<FinishedTrace>> {
+        self.get(self.last_id.load(Ordering::Acquire))
+    }
+}
+
+/// One slow-query log entry.
+#[derive(Debug, Clone)]
+pub struct SlowLogEntry {
+    /// The trace id when this run was also sampled (`\trace <id>`
+    /// renders the full waterfall); `None` when tracing skipped it.
+    pub trace_id: Option<u64>,
+    /// What ran: `statement`, `job`, or `rebuild`.
+    pub label: String,
+    /// The statement text or job spec rendering.
+    pub statement: String,
+    /// End-to-end wall time, queue waits included.
+    pub wall: Duration,
+}
+
+/// The slow-query log: a bounded ring of entries at or over the
+/// configured threshold, plus a total counter that keeps counting
+/// after eviction.
+struct SlowLog {
+    threshold: Duration,
+    cap: usize,
+    ring: Mutex<VecDeque<SlowLogEntry>>,
+    total: AtomicU64,
+}
+
+impl SlowLog {
+    fn new(threshold: Duration, cap: usize) -> SlowLog {
+        SlowLog {
+            threshold,
+            cap,
+            ring: Mutex::new(VecDeque::new()),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Called for *every* completed statement and job; the threshold
+    /// check lives here so call sites stay unconditional.
+    fn note(&self, entry: SlowLogEntry) {
+        if entry.wall < self.threshold {
+            return;
+        }
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if self.cap == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() >= self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    fn entries(&self) -> Vec<SlowLogEntry> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
     }
 }
 
@@ -100,6 +217,9 @@ struct GatedEngine<'a> {
     /// Jitter salt for this engine's backoff schedule (session id, so
     /// concurrent retriers don't sleep in lockstep).
     salt: u64,
+    /// Span trace for the job this engine serves (None = unsampled);
+    /// attributes gate waits and retry backoffs per statement.
+    trace: Option<Arc<ActiveTrace>>,
 }
 
 impl SqlEngine for GatedEngine<'_> {
@@ -109,9 +229,25 @@ impl SqlEngine for GatedEngine<'_> {
         // concurrency slot other sessions could use.
         self.retry.run(
             self.salt,
-            |pause| self.inner.note_retry(pause),
+            |pause| {
+                if let Some(t) = &self.trace {
+                    // The retry driver announces the pause *before*
+                    // sleeping, so the span is stamped forward.
+                    t.record(
+                        SpanKind::RetryBackoff,
+                        "backoff",
+                        t.now_ns(),
+                        pause.as_nanos() as u64,
+                        0,
+                    );
+                }
+                self.inner.note_retry(pause)
+            },
             || {
-                let _permit = self.gate.acquire();
+                let _permit = {
+                    let _wait = maybe_start(&self.trace, SpanKind::AdmissionWait, "gate");
+                    self.gate.acquire()
+                };
                 self.inner.run(sql_text)
             },
         )
@@ -199,6 +335,12 @@ pub struct Service {
     next_job: AtomicU64,
     jobs: Mutex<HashMap<u64, Arc<JobState>>>,
     streams: Mutex<HashMap<String, StreamEntry>>,
+    /// Counts trace-sampling decisions (every 1-in-`trace_sample`th
+    /// statement or job gets a trace).
+    trace_tick: AtomicU64,
+    next_trace: AtomicU64,
+    traces: Arc<TraceRegistry>,
+    slowlog: Arc<SlowLog>,
 }
 
 impl Service {
@@ -210,6 +352,7 @@ impl Service {
             config.max_concurrent,
             config.queue_depth,
         );
+        let slowlog = Arc::new(SlowLog::new(config.slowlog_threshold, config.slowlog_capacity));
         Arc::new(Service {
             cluster,
             lane,
@@ -218,6 +361,10 @@ impl Service {
             next_job: AtomicU64::new(1),
             jobs: Mutex::new(HashMap::new()),
             streams: Mutex::new(HashMap::new()),
+            trace_tick: AtomicU64::new(0),
+            next_trace: AtomicU64::new(1),
+            traces: Arc::new(TraceRegistry::new(TRACE_RING)),
+            slowlog,
         })
     }
 
@@ -259,6 +406,65 @@ impl Service {
         Ok(())
     }
 
+    /// Rolls the sampling dice: 1 in `trace_sample` pieces of work get
+    /// a live trace (0 disables tracing entirely).
+    fn maybe_trace(&self, label: &str) -> Option<Arc<ActiveTrace>> {
+        let n = self.config.trace_sample;
+        if n == 0 {
+            return None;
+        }
+        let tick = self.trace_tick.fetch_add(1, Ordering::Relaxed);
+        if tick % n as u64 != 0 {
+            return None;
+        }
+        let id = self.next_trace.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::new(ActiveTrace::new(id, label)))
+    }
+
+    /// Looks up a finished trace by id.
+    pub fn trace(&self, id: u64) -> Option<Arc<FinishedTrace>> {
+        self.traces.get(id)
+    }
+
+    /// The most recently finished trace.
+    pub fn last_trace(&self) -> Option<Arc<FinishedTrace>> {
+        self.traces.last()
+    }
+
+    /// Current slow-query log entries, oldest first.
+    pub fn slowlog(&self) -> Vec<SlowLogEntry> {
+        self.slowlog.entries()
+    }
+
+    /// Runs ever noted over the slow-query threshold (keeps counting
+    /// after ring eviction).
+    pub fn slowlog_total(&self) -> u64 {
+        self.slowlog.total()
+    }
+
+    /// Statements currently blocked on the concurrency gate.
+    pub fn admission_queue_depth(&self) -> usize {
+        self.gate.queue_depth()
+    }
+
+    /// Histogram of time statements spent waiting on the concurrency
+    /// gate (zero-wait admissions included, so `count` = admissions).
+    pub fn admission_wait(&self) -> HistogramSnapshot {
+        self.gate.wait_snapshot()
+    }
+
+    /// Histogram of time segment-pool tickets spent queued before a
+    /// worker claimed them.
+    pub fn pool_queue_wait(&self) -> HistogramSnapshot {
+        self.cluster.worker_pool().queue_wait_snapshot()
+    }
+
+    /// Histogram of time jobs spent queued in the job lane before a
+    /// worker started them.
+    pub fn job_queue_wait(&self) -> HistogramSnapshot {
+        self.lane.queue_wait_snapshot()
+    }
+
     /// Executes one interactive statement in `session`, subject to
     /// admission (space budget), the global concurrency gate, and the
     /// service's retry policy for [`ErrorClass::Retryable`] failures.
@@ -266,14 +472,47 @@ impl Service {
         if let Err(e) = self.admit() {
             return Err(DbError::Exec(e.to_string()));
         }
-        self.config.retry.run(
+        let trace = self.maybe_trace("statement");
+        if let Some(t) = &trace {
+            session.install_trace(t.clone());
+        }
+        let started = Instant::now();
+        let result = self.config.retry.run(
             session.id(),
-            |pause| session.note_retry(pause),
+            |pause| {
+                if let Some(t) = &trace {
+                    // Announced before the sleep; stamp forward.
+                    t.record(
+                        SpanKind::RetryBackoff,
+                        "backoff",
+                        t.now_ns(),
+                        pause.as_nanos() as u64,
+                        0,
+                    );
+                }
+                session.note_retry(pause)
+            },
             || {
-                let _permit = self.gate.acquire();
+                let _permit = {
+                    let _wait = maybe_start(&trace, SpanKind::AdmissionWait, "gate");
+                    self.gate.acquire()
+                };
                 session.run(sql)
             },
-        )
+        );
+        let trace_id = trace.as_ref().map(|t| t.id());
+        if let Some(t) = trace {
+            session.take_trace();
+            let finished = Arc::new(t.finish(sql, t.now_ns()));
+            self.traces.insert(finished);
+        }
+        self.slowlog.note(SlowLogEntry {
+            trace_id,
+            label: "statement".into(),
+            statement: sql.to_string(),
+            wall: started.elapsed(),
+        });
+        result
     }
 
     /// Submits a CC computation as an asynchronous job. Returns
@@ -289,8 +528,22 @@ impl Service {
         let timeout = self.config.statement_timeout;
         let retry = self.config.retry;
         let task_state = state.clone();
+        // A job trace is anchored *here*, at submission, so the gap
+        // until the worker picks it up is visible as pool_queue_wait.
+        let trace = self.maybe_trace("job");
+        let traces = self.traces.clone();
+        let slowlog = self.slowlog.clone();
         let submitted = self.lane.submit(Box::new(move || {
-            execute_job(&cluster, &gate, timeout, retry, &task_state);
+            execute_job(
+                &cluster,
+                &gate,
+                timeout,
+                retry,
+                &task_state,
+                trace,
+                &traces,
+                &slowlog,
+            );
         }));
         if submitted.is_err() {
             self.jobs.lock().unwrap().remove(&id);
@@ -440,8 +693,13 @@ impl Service {
         let retry = self.config.retry;
         let task_state = state.clone();
         let task_pending = pending.clone();
+        let trace = self.maybe_trace("rebuild");
+        let traces = self.traces.clone();
+        let slowlog = self.slowlog.clone();
         let submitted = self.lane.submit(Box::new(move || {
-            execute_stream_rebuild(&cluster, &gate, timeout, retry, &task_state, &cc);
+            execute_stream_rebuild(
+                &cluster, &gate, timeout, retry, &task_state, &cc, trace, &traces, &slowlog,
+            );
             task_pending.store(false, Ordering::Release);
         }));
         if submitted.is_err() {
@@ -718,6 +976,67 @@ impl Service {
             h.sum_nanos as f64 / 1e9
         );
         let _ = writeln!(out, "incc_statement_latency_seconds_count {}", h.count);
+        // Wait-time attribution: where statements stood in line rather
+        // than executed, plus the slow-query log volume.
+        let mut emit = |name: &str, ty: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {ty}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        emit(
+            "incc_admission_queue_depth",
+            "gauge",
+            "Statements waiting on the concurrency gate right now.",
+            self.gate.queue_depth() as u64,
+        );
+        emit(
+            "incc_pipeline_parked_total",
+            "counter",
+            "Pipeline partition slices parked on fuel backpressure.",
+            s.parked,
+        );
+        emit(
+            "incc_pipeline_parked_nanos_total",
+            "counter",
+            "Nanoseconds pipeline partitions spent parked.",
+            s.parked_nanos,
+        );
+        emit(
+            "incc_slowlog_entries_total",
+            "counter",
+            "Statements and jobs over the slow-query threshold.",
+            self.slowlog.total(),
+        );
+        // Wait histograms stay in nanoseconds — their native unit —
+        // with the same cumulative elided-bucket rendering as above.
+        let mut nanos_hist = |name: &str, help: &str, h: &HistogramSnapshot| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                if i < 63 {
+                    let le = HistogramSnapshot::bucket_upper(i);
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum_nanos);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        };
+        nanos_hist(
+            "incc_admission_wait_nanos",
+            "Time statements waited on the concurrency gate.",
+            &self.gate.wait_snapshot(),
+        );
+        nanos_hist(
+            "incc_pool_queue_wait_nanos",
+            "Time segment-pool tickets waited for a worker.",
+            &self.cluster.worker_pool().queue_wait_snapshot(),
+        );
         out
     }
 
@@ -743,24 +1062,65 @@ impl Service {
     }
 }
 
+/// Seals a sampled trace (when there is one) into the registry and
+/// notes the run in the slow-query log either way. Runs on every job
+/// exit path — early cancellation included — so no trace leaks open.
+fn seal_trace(
+    trace: Option<Arc<ActiveTrace>>,
+    label: &str,
+    statement: &str,
+    wall: Duration,
+    traces: &TraceRegistry,
+    slowlog: &SlowLog,
+) {
+    let trace_id = trace.as_ref().map(|t| t.id());
+    if let Some(t) = trace {
+        let finished = Arc::new(t.finish(statement, t.now_ns()));
+        traces.insert(finished);
+    }
+    slowlog.note(SlowLogEntry {
+        trace_id,
+        label: label.into(),
+        statement: statement.into(),
+        wall,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
 fn execute_job(
     cluster: &Arc<Cluster>,
     gate: &Gate,
     timeout: Option<Duration>,
     retry: RetryPolicy,
     job: &Arc<JobState>,
+    trace: Option<Arc<ActiveTrace>>,
+    traces: &TraceRegistry,
+    slowlog: &SlowLog,
 ) {
+    let spec_text = {
+        let spec = job.spec();
+        format!("job {:?} on {} seed={}", spec.algo, spec.input, spec.seed)
+    };
     if job.is_cancelled() {
         job.finish_failed(ErrorClass::Cancelled, "cancelled: before start");
+        seal_trace(trace, "job", &spec_text, job.queued_for(), traces, slowlog);
         return;
     }
     job.set_running(0);
+    if let Some(t) = &trace {
+        // The trace is anchored at submission: everything up to now
+        // was spent queued behind `max_concurrent` job slots.
+        t.record(SpanKind::PoolQueueWait, "job lane", 0, t.now_ns(), 0);
+    }
     let session = cluster.session();
     session.set_timeout(timeout);
     job.attach_session_flag(session.cancel_flag());
     let spec = job.spec().clone();
     if spec.profile {
         session.set_profiling(true);
+    }
+    if let Some(t) = &trace {
+        session.install_trace(t.clone());
     }
     let algo = spec.algo.instance();
     let on_round = |round: usize, _rows: usize| job.set_running(round);
@@ -778,6 +1138,7 @@ fn execute_job(
         gate,
         retry: &retry,
         salt: session.id(),
+        trace: trace.clone(),
     };
     let before = session.stats();
     let start = Instant::now();
@@ -803,11 +1164,16 @@ fn execute_job(
         Err(e) => Err((e.class(), e.to_string())),
     };
     job.detach_session_flag();
+    if trace.is_some() {
+        session.take_trace();
+    }
     // Closing the session releases every working table the run left
     // behind (crucial after cancellation or failure). This must happen
     // *before* the terminal status is published: a waiter that observes
-    // Done/Failed must also observe the space released.
+    // Done/Failed must also observe the space released — and, below,
+    // the sealed trace.
     session.close();
+    seal_trace(trace, "job", &spec_text, job.queued_for(), traces, slowlog);
     match verdict {
         Ok(result) => job.finish_ok(result),
         Err((class, message)) => job.finish_failed(class, &message),
@@ -820,6 +1186,7 @@ fn execute_job(
 /// finishing by moving the published label table out of the job
 /// session's namespace into the shared catalog so it outlives the
 /// session.
+#[allow(clippy::too_many_arguments)]
 fn execute_stream_rebuild(
     cluster: &Arc<Cluster>,
     gate: &Gate,
@@ -827,12 +1194,20 @@ fn execute_stream_rebuild(
     retry: RetryPolicy,
     job: &Arc<JobState>,
     stream: &Arc<IncrementalCc>,
+    trace: Option<Arc<ActiveTrace>>,
+    traces: &TraceRegistry,
+    slowlog: &SlowLog,
 ) {
+    let spec_text = format!("rebuild {}", job.spec().input);
     if job.is_cancelled() {
         job.finish_failed(ErrorClass::Cancelled, "cancelled: before start");
+        seal_trace(trace, "rebuild", &spec_text, job.queued_for(), traces, slowlog);
         return;
     }
     job.set_running(0);
+    if let Some(t) = &trace {
+        t.record(SpanKind::PoolQueueWait, "job lane", 0, t.now_ns(), 0);
+    }
     let session = cluster.session();
     session.set_timeout(timeout);
     job.attach_session_flag(session.cancel_flag());
@@ -844,15 +1219,22 @@ fn execute_stream_rebuild(
         on_round: Some(&on_round),
         rounds: Some(&recorder),
     };
+    // The whole rebuild is one top-level `rebuild` span; per-statement
+    // spans are intentionally *not* collected here (they would nest
+    // under it and double-count in the wall attribution), so the
+    // engine and session run untraced.
     let engine = GatedEngine {
         inner: &session,
         gate,
         retry: &retry,
         salt: session.id(),
+        trace: None,
     };
     let before = session.stats();
     let start = Instant::now();
+    let rebuild_span = maybe_start(&trace, SpanKind::Rebuild, "stream rebuild");
     let outcome = stream.rebuild(&engine, &ctrl);
+    drop(rebuild_span);
     let elapsed = start.elapsed();
     let verdict = match outcome {
         Ok(report) => {
@@ -889,6 +1271,7 @@ fn execute_stream_rebuild(
     };
     job.detach_session_flag();
     session.close();
+    seal_trace(trace, "rebuild", &spec_text, job.queued_for(), traces, slowlog);
     match verdict {
         Ok(result) => job.finish_ok(result),
         Err((class, message)) => job.finish_failed(class, &message),
@@ -1023,6 +1406,16 @@ mod tests {
             "incc_statement_latency_seconds_bucket{le=\"+Inf\"}",
             "incc_statement_latency_seconds_sum",
             "incc_statement_latency_seconds_count",
+            "incc_admission_queue_depth",
+            "incc_pipeline_parked_total",
+            "incc_pipeline_parked_nanos_total",
+            "incc_slowlog_entries_total",
+            "incc_admission_wait_nanos_bucket{le=\"+Inf\"}",
+            "incc_admission_wait_nanos_sum",
+            "incc_admission_wait_nanos_count",
+            "incc_pool_queue_wait_nanos_bucket{le=\"+Inf\"}",
+            "incc_pool_queue_wait_nanos_sum",
+            "incc_pool_queue_wait_nanos_count",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

@@ -218,7 +218,11 @@ fn stats_and_shared_tables_over_the_wire() {
     assert!(lines.iter().any(|l| l.starts_with("p95_micros ")));
 
     let (lines, ok) = c.request("\\stats global");
-    assert_eq!(ok, "OK 11");
+    assert_eq!(ok, "OK 15");
+    assert!(lines
+        .iter()
+        .any(|l| l.starts_with("admission_wait_p95_micros ")));
+    assert!(lines.iter().any(|l| l.starts_with("pool_wait_p50_micros ")));
     let live = lines
         .iter()
         .find_map(|l| l.strip_prefix("live_bytes "))

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""CI smoke for span tracing and the slow-query log, over TCP.
+
+Boots `incc-serve` with tracing on (`--trace-sample 1`) and a zero
+slow-query threshold, stresses it with 8 concurrent sessions plus a CC
+job, then validates the whole trace surface:
+
+  \\trace last / <id> -> line 1 must parse as Chrome trace-event JSON
+                        (Perfetto-loadable: traceEvents with ph/ts/dur/
+                        pid/tid), followed by the text waterfall
+  \\slowlog           -> one JSON line per entry, all parseable
+  \\stats global      -> wait-time quantile lines present
+  \\metrics           -> the wait-attribution and slowlog families
+
+Exits non-zero on any missing piece, so a tracing regression fails CI
+rather than only the unit suites.
+"""
+
+import json
+import socket
+import subprocess
+import sys
+import threading
+
+SERVE = "target/release/incc-serve"
+SESSIONS = 8
+
+TRACE_METRIC_FAMILIES = [
+    "incc_admission_queue_depth",
+    'incc_admission_wait_nanos_bucket{le="+Inf"}',
+    "incc_admission_wait_nanos_sum",
+    "incc_admission_wait_nanos_count",
+    'incc_pool_queue_wait_nanos_bucket{le="+Inf"}',
+    "incc_pool_queue_wait_nanos_sum",
+    "incc_pool_queue_wait_nanos_count",
+    "incc_pipeline_parked_total",
+    "incc_pipeline_parked_nanos_total",
+    "incc_slowlog_entries_total",
+]
+
+
+class Client:
+    def __init__(self, addr):
+        host, port = addr.rsplit(":", 1)
+        self.sock = socket.create_connection((host, int(port)), timeout=30)
+        self.rfile = self.sock.makefile("r", encoding="utf-8")
+        _, greeting = self._read()
+        assert greeting.startswith("OK incc session"), greeting
+
+    def _read(self):
+        data = []
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                raise RuntimeError("server hung up")
+            line = line.rstrip("\r\n")
+            if line.startswith("OK") or line.startswith("ERR"):
+                return data, line
+            data.append(line)
+
+    def request(self, req, want_ok=True):
+        self.sock.sendall((req + "\n").encode("utf-8"))
+        data, status = self._read()
+        if want_ok and not status.startswith("OK"):
+            raise RuntimeError(f"{req!r} -> {status}")
+        return data, status
+
+
+def validate_chrome_trace(doc):
+    """Schema checks for a Chrome trace-event document."""
+    assert isinstance(doc["traceEvents"], list), "traceEvents must be a list"
+    assert doc["traceEvents"], "trace carries no events"
+    complete = 0
+    for ev in doc["traceEvents"]:
+        assert ev["ph"] in ("X", "M"), ev
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int), ev
+        if ev["ph"] == "X":
+            complete += 1
+            assert isinstance(ev["ts"], (int, float)), ev
+            assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0, ev
+            assert ev["name"], ev
+    assert complete > 0, "no complete (ph=X) span events"
+    other = doc["otherData"]
+    assert other["wall_ns"] > 0 and other["leaked_spans"] == 0, other
+    return complete, other
+
+
+def stress_session(addr, idx, errors):
+    try:
+        c = Client(addr)
+        for _ in range(6):
+            c.request("select v1, least(v1, min(v2)) as r from edges group by v1")
+            c.request(f"create table t{idx} as select v1, v2 from edges where v1 > {idx}")
+            c.request(f"drop table t{idx}")
+        c.request("\\quit")
+    except Exception as e:  # propagate to the main thread
+        errors.append(f"session {idx}: {e}")
+
+
+def main():
+    proc = subprocess.Popen(
+        [SERVE, "127.0.0.1:0", "--trace-sample", "1", "--slowlog-ms", "0"],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = proc.stderr.readline()
+        addr = banner.split("listening on ")[1].split()[0]
+        c = Client(addr)
+
+        # A shared edge table: triangle + path, two components.
+        c.request("\\shared on")
+        c.request(
+            "create table edges as "
+            "select 1 as v1, 2 as v2 union all select 2 as v1, 3 as v2 "
+            "union all select 3 as v1, 1 as v2 union all "
+            "select 10 as v1, 11 as v2 union all select 11 as v1, 12 as v2"
+        )
+        c.request("\\shared off")
+
+        # 8 concurrent sessions hammer the gate so admission waits and
+        # pool queue waits actually accumulate.
+        errors = []
+        threads = [
+            threading.Thread(target=stress_session, args=(addr, i, errors))
+            for i in range(SESSIONS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+        # A CC job rides through the same trace pipeline.
+        _, ok = c.request("\\job rc edges 7")
+        job_id = ok.split()[-1]
+        c.request(f"\\wait {job_id}")
+
+        # `\trace last`: line 1 is the Chrome trace JSON document.
+        lines, _ = c.request("\\trace last")
+        doc = json.loads(lines[0])
+        complete, other = validate_chrome_trace(doc)
+        trace_id = other["trace_id"]
+        assert any("attributed:" in l for l in lines[1:]), "waterfall missing"
+
+        # The same trace is addressable by id.
+        lines_by_id, _ = c.request(f"\\trace {trace_id}")
+        assert json.loads(lines_by_id[0])["otherData"]["trace_id"] == trace_id
+
+        # Unknown ids are an error, not a hang.
+        _, status = c.request("\\trace 999999", want_ok=False)
+        assert status.startswith("ERR"), status
+
+        # Slow-query log: threshold 0 means everything qualifies; every
+        # line is JSON with the expected shape.
+        entries, ok = c.request("\\slowlog")
+        assert entries, "slowlog empty despite 0ms threshold"
+        for line in entries:
+            e = json.loads(line)
+            assert e["label"] in ("statement", "job", "rebuild"), e
+            assert e["wall_micros"] >= 0, e
+        n_slow = int(ok.split()[-1])
+        assert n_slow == len(entries), (n_slow, len(entries))
+
+        # Wait-time quantiles surfaced in `\stats global`.
+        lines, _ = c.request("\\stats global")
+        for key in ("admission_wait_p50_micros", "admission_wait_p95_micros",
+                    "pool_wait_p50_micros", "pool_wait_p95_micros"):
+            assert any(l.startswith(key + " ") for l in lines), f"missing {key}"
+
+        # Metrics exposition carries the new families, and the slowlog
+        # counter agrees with what `\slowlog` reported at minimum.
+        lines, _ = c.request("\\metrics")
+        text = "\n".join(lines) + "\n"
+        missing = [f for f in TRACE_METRIC_FAMILIES if f not in text]
+        assert not missing, f"metric families missing: {missing}"
+        slow_total = next(
+            int(l.split()[-1])
+            for l in lines
+            if l.startswith("incc_slowlog_entries_total ")
+        )
+        assert slow_total >= n_slow > 0, (slow_total, n_slow)
+        adm_count = next(
+            int(l.split()[-1])
+            for l in lines
+            if l.startswith("incc_admission_wait_nanos_count ")
+        )
+        assert adm_count > 0, "no admission waits recorded"
+
+        c.request("\\quit")
+        print(
+            f"trace smoke OK: trace {trace_id} with {complete} span events "
+            f"({other['attributed_ns'] / max(other['wall_ns'], 1):.0%} attributed), "
+            f"{n_slow} slowlog entries, {adm_count} admissions measured"
+        )
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

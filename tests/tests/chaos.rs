@@ -146,6 +146,115 @@ fn pipelined_faults_match_fault_free_materializing_oracle() {
     assert!(retries > 0, "plan injected no retryable faults into poll_push");
 }
 
+/// Span hygiene under chaos: with tracing on, every job traced through
+/// a panic/error/stall-injecting plan still seals its trace with zero
+/// leaked spans — the drop-based guards must record themselves even
+/// when an operator panics mid-span and the retry layer replays the
+/// statement. The injected retries themselves must be visible as
+/// `retry_backoff` spans.
+#[test]
+fn spans_close_cleanly_under_injected_faults() {
+    let plan = FaultPlan::parse("seed=5,panic=30,error=40,stall=20,stall_ms=1,max=30").unwrap();
+    let cluster = Arc::new(Cluster::new(ClusterConfig {
+        faults: Some(plan),
+        ..Default::default()
+    }));
+    let service = Service::new(
+        cluster,
+        ServiceConfig {
+            retry: RetryPolicy {
+                max_retries: 64,
+                base: Duration::from_micros(100),
+                cap: Duration::from_millis(2),
+            },
+            trace_sample: 1,
+            ..Default::default()
+        },
+    );
+    let graph = gnm_random_graph(120, 130, 1234);
+    service
+        .cluster()
+        .load_pairs("edges", "v1", "v2", &graph.to_i64_pairs())
+        .unwrap();
+    let mut saw_backoff = false;
+    for algo in ALGOS {
+        let job = service
+            .submit(JobSpec {
+                algo,
+                input: "edges".into(),
+                seed: 42,
+                profile: false,
+            })
+            .unwrap();
+        assert_eq!(job.wait(), JobStatus::Done, "{algo:?} failed under faults");
+        let trace = service.last_trace().expect("job trace sealed");
+        assert_eq!(trace.leaked, 0, "{algo:?} leaked open spans:\n{}", trace.render_waterfall());
+        saw_backoff |= trace
+            .spans
+            .iter()
+            .any(|s| s.kind == incc_mppdb::SpanKind::RetryBackoff);
+    }
+    assert!(service.cluster().stats().retries > 0, "plan injected no retries");
+    assert!(saw_backoff, "retries happened but no retry_backoff span was recorded");
+    service.shutdown();
+}
+
+/// Span hygiene under cancellation: a traced job cancelled mid-run
+/// still seals its trace — pool-queue wait recorded, no span guard
+/// leaked by the aborted pipeline slices.
+#[test]
+fn spans_close_cleanly_under_mid_run_cancellation() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::default()));
+    let service = Service::new(
+        cluster,
+        ServiceConfig {
+            trace_sample: 1,
+            ..Default::default()
+        },
+    );
+    let pairs: Vec<(i64, i64)> = (0..2048).map(|i| (i, i + 1)).collect();
+    service.cluster().load_pairs("hmpath", "v1", "v2", &pairs).unwrap();
+    let job = service
+        .submit(JobSpec {
+            algo: AlgoKind::HashToMin,
+            input: "hmpath".into(),
+            seed: 0,
+            profile: false,
+        })
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        match job.status() {
+            JobStatus::Running { round } if round >= 1 => break,
+            s if s.is_terminal() => panic!("job finished before it could be cancelled: {s:?}"),
+            _ => {
+                assert!(std::time::Instant::now() < deadline, "job never reached round 1");
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+    job.cancel();
+    match job.wait() {
+        JobStatus::Failed(m) => assert!(m.contains("cancelled"), "unexpected failure: {m}"),
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    let trace = service.last_trace().expect("cancelled job still seals its trace");
+    assert_eq!(
+        trace.leaked,
+        0,
+        "cancellation leaked open spans:\n{}",
+        trace.render_waterfall()
+    );
+    assert!(
+        trace
+            .spans
+            .iter()
+            .any(|s| s.kind == incc_mppdb::SpanKind::PoolQueueWait),
+        "queue wait span missing from job trace"
+    );
+    service.shutdown();
+}
+
 /// Cancellation mid-pipeline: a long Hash-to-Min run (path graph, so
 /// working tables grow every round) is cancelled once it is inside
 /// round 1. The `QueryGuard` check at the top of every pipeline slice

@@ -9,7 +9,10 @@ use incc_core::hash_to_min::HashToMin;
 use incc_core::two_phase::TwoPhase;
 use incc_core::{run_on_graph, CcAlgorithm, RandomisedContraction};
 use incc_graph::generators::{gnm_random_graph, path_graph, PathNumbering};
-use incc_mppdb::{Cluster, ClusterConfig, OpKind};
+use incc_mppdb::{ActiveTrace, Cluster, ClusterConfig, OpKind, PartClock, SpanKind};
+use incc_service::{Service, ServiceConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Per-kind operator totals summed out of profile trees, indexed by
 /// `OpKind as usize` (the same cell index `Stats::charge_op` uses).
@@ -155,6 +158,133 @@ fn rc_round_telemetry_is_logarithmic() {
         "RC took {} rounds on n={n} (bound {bound:.1})",
         report.rounds
     );
+}
+
+/// Span-tree reconciliation: every `stage` span mirrors the exact
+/// `OpMetrics::nanos` value its operator charged into `op_stats`, so
+/// the sum of stage span durations equals the operator-stats nanos
+/// total *to the nanosecond* — on both executors. Any drift means an
+/// operator charged one sink but not the other.
+fn span_stage_totals_reconcile_on(pipelined: bool) {
+    let db = Cluster::new(ClusterConfig { pipelined, ..Default::default() });
+    let graph = gnm_random_graph(60, 80, 5);
+    db.load_pairs("e", "v1", "v2", &graph.to_i64_pairs()).unwrap();
+    // Measure only traced statements: the bulk load above charged no
+    // operator stats of interest, reset flushes whatever it did.
+    db.reset_run_counters();
+    let trace = Arc::new(ActiveTrace::new(1, "reconcile"));
+    db.install_trace(trace.clone());
+    db.run("create table t as select v1, min(v2) as m from e where v2 > 1 group by v1")
+        .unwrap();
+    db.run("select count(*) as n from t").unwrap();
+    db.take_trace();
+    assert_eq!(trace.open_spans(), 0, "all span guards closed");
+    let finished = trace.finish("two statements", trace.now_ns());
+    assert_eq!(finished.leaked, 0);
+    assert_eq!(finished.dropped, 0);
+
+    let stage_total: u64 = finished
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Stage)
+        .map(|s| s.dur_ns)
+        .sum();
+    let ops_total: u64 = db.op_stats().iter().map(|o| o.nanos).sum();
+    assert!(ops_total > 0, "statements charged operator stats");
+    assert_eq!(
+        stage_total, ops_total,
+        "stage spans must mirror charge_op to the nanosecond"
+    );
+    // The statement lifecycle is present as top-level structure too.
+    for kind in [SpanKind::Parse, SpanKind::Plan, SpanKind::Exec] {
+        assert!(
+            finished.spans.iter().any(|s| s.kind == kind),
+            "missing {kind:?} span"
+        );
+    }
+}
+
+#[test]
+fn span_stage_totals_reconcile_with_op_stats_pipelined() {
+    span_stage_totals_reconcile_on(true);
+}
+
+#[test]
+fn span_stage_totals_reconcile_with_op_stats_materializing() {
+    span_stage_totals_reconcile_on(false);
+}
+
+/// End-to-end attribution through the service: with 1-in-1 sampling, a
+/// non-trivial statement's trace attributes at least 95% of its wall
+/// time to the top-level kinds (parse, plan, admission_wait, exec, …)
+/// and its stage spans again reconcile exactly with operator stats.
+#[test]
+fn service_trace_attributes_wall_time() {
+    let service = Service::start(ServiceConfig {
+        trace_sample: 1,
+        ..Default::default()
+    });
+    let graph = gnm_random_graph(400, 900, 11);
+    service
+        .cluster()
+        .load_pairs("e", "v1", "v2", &graph.to_i64_pairs())
+        .unwrap();
+    service.cluster().reset_run_counters();
+    let session = service.session();
+    service
+        .run_sql(
+            &session,
+            "create table t as select v1, min(v2) as m from e where v2 > 1 group by v1",
+        )
+        .unwrap();
+    let trace = service.last_trace().expect("sampled trace");
+    assert_eq!(trace.leaked, 0);
+    assert!(
+        trace.attribution_fraction() >= 0.95,
+        "only {:.1}% of wall attributed:\n{}",
+        trace.attribution_fraction() * 100.0,
+        trace.render_waterfall()
+    );
+    let stage_total: u64 = trace
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Stage)
+        .map(|s| s.dur_ns)
+        .sum();
+    let ops_total: u64 = service.cluster().op_stats().iter().map(|o| o.nanos).sum();
+    assert_eq!(stage_total, ops_total);
+    service.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The telescoping invariant of the per-partition clock: for any
+    /// monotone stamp sequence, running + parked equals last_exit −
+    /// first_enter *exactly* — wall time inside a partition is fully
+    /// split between the two states, never double-counted or dropped.
+    #[test]
+    fn part_clock_running_plus_parked_equals_wall(
+        deltas in proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000), 1..64),
+        start in 0u64..1_000_000_000,
+    ) {
+        let mut clock = PartClock::new();
+        let mut now = start;
+        let mut first_enter = None;
+        let mut last_exit = now;
+        for (gap, run) in deltas {
+            now += gap; // parked stretch before the slice
+            let entered = now;
+            first_enter.get_or_insert(entered);
+            clock.enter(entered);
+            now += run; // time inside the slice
+            clock.exit(entered, now);
+            last_exit = now;
+        }
+        let wall = last_exit - first_enter.unwrap();
+        prop_assert_eq!(clock.running_ns() + clock.parked_ns(), wall);
+        prop_assert_eq!(clock.wall_ns(), wall);
+    }
 }
 
 /// All five algorithms emit round telemetry through the same
