@@ -26,6 +26,8 @@ struct Level {
     qps: f64,
     p50_us: u128,
     p95_us: u128,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
 }
 
 fn percentile(sorted: &[u128], p: f64) -> u128 {
@@ -84,6 +86,7 @@ fn run_level(sessions: usize) -> Level {
         }
     });
     let wall_secs = start.elapsed().as_secs_f64();
+    let cache = service.plan_cache_stats();
     service.shutdown();
 
     let mut latencies = all_latencies.into_inner().unwrap();
@@ -96,6 +99,19 @@ fn run_level(sessions: usize) -> Level {
         qps: statements as f64 / wall_secs,
         p50_us: percentile(&latencies, 0.50),
         p95_us: percentile(&latencies, 0.95),
+        plan_cache_hits: cache.hits,
+        plan_cache_misses: cache.misses,
+    }
+}
+
+/// p95 at the highest concurrency level over p95 single-session — the
+/// tail-fairness number the CI gate holds below its threshold.
+fn tail_ratio_p95(levels: &[Level]) -> f64 {
+    let single = levels.iter().find(|l| l.sessions == 1);
+    let peak = levels.iter().max_by_key(|l| l.sessions);
+    match (single, peak) {
+        (Some(s), Some(p)) if s.p95_us > 0 => p.p95_us as f64 / s.p95_us as f64,
+        _ => 0.0,
     }
 }
 
@@ -106,15 +122,25 @@ fn write_json(levels: &[Level]) -> std::io::Result<std::path::PathBuf> {
         .map(|l| {
             format!(
                 "    {{\"sessions\": {}, \"statements\": {}, \"wall_secs\": {:.4}, \
-                 \"qps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}}}",
-                l.sessions, l.statements, l.wall_secs, l.qps, l.p50_us, l.p95_us
+                 \"qps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \
+                 \"plan_cache_hits\": {}, \"plan_cache_misses\": {}}}",
+                l.sessions,
+                l.statements,
+                l.wall_secs,
+                l.qps,
+                l.p50_us,
+                l.p95_us,
+                l.plan_cache_hits,
+                l.plan_cache_misses
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"service_concurrency\",\n  \
          \"statement_mix\": \"count / group-by CTAS / scan / drop\",\n  \
-         \"mix_iters_per_session\": {MIX_ITERS_PER_SESSION},\n  \"series\": [\n{}\n  ]\n}}\n",
+         \"mix_iters_per_session\": {MIX_ITERS_PER_SESSION},\n  \
+         \"tail_ratio_p95\": {:.3},\n  \"series\": [\n{}\n  ]\n}}\n",
+        tail_ratio_p95(levels),
         series.join(",\n")
     );
     std::fs::write(&path, json)?;
@@ -134,6 +160,21 @@ fn main() {
             l.sessions, l.statements, l.qps, l.p50_us, l.p95_us
         );
     }
+    let last = levels.last().unwrap();
+    let served = last.plan_cache_hits + last.plan_cache_misses;
+    println!(
+        "tail ratio p95@{}/p95@1: {:.2}x; plan cache at {} sessions: {}/{} hits ({:.1}%)",
+        last.sessions,
+        tail_ratio_p95(&levels),
+        last.sessions,
+        last.plan_cache_hits,
+        served,
+        if served > 0 {
+            100.0 * last.plan_cache_hits as f64 / served as f64
+        } else {
+            0.0
+        }
+    );
     match write_json(&levels) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results/service.json: {e}"),

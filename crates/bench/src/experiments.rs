@@ -1,7 +1,7 @@
 //! The experiments, one per paper artefact.
 
 use crate::Config;
-use incc_core::driver::{run_on_graph, CcAlgorithm, RunReport};
+use incc_core::driver::{run_on_graph, run_on_session, CcAlgorithm, RunReport};
 use incc_core::gamma::{
     contract_to_completion, exact_expected_representatives,
     exact_expected_representatives_directed, measured_gamma, sequential_path_worst_case,
@@ -454,20 +454,22 @@ pub fn transaction_space(cfg: &Config, dataset: Dataset) -> Vec<(String, u64, u6
         let Ok(normal) = run_on_graph(algo.as_ref(), &db, &graph, cfg.seed) else {
             continue;
         };
-        let db = Cluster::new(ClusterConfig {
+        let db = std::sync::Arc::new(Cluster::new(ClusterConfig {
             segments: cfg.segments,
             seed: cfg.seed,
             ..Default::default()
-        });
-        // Single-tenant benchmark cluster: the cluster-level (default
-        // session) transaction toggle is exactly what's measured here.
-        #[allow(deprecated)]
-        db.begin_transaction();
-        let Ok(txn) = run_on_graph(algo.as_ref(), &db, &graph, cfg.seed) else {
+        }));
+        // Transaction mode is session-scoped: the session defers its
+        // drops' space until commit, so its high-water mark is the
+        // transactional peak the paper's Table V reasons about.
+        let session = db.session();
+        session.begin_transaction();
+        let outcome = run_on_session(algo.as_ref(), &session, &graph, cfg.seed);
+        session.commit();
+        session.close();
+        let Ok(txn) = outcome else {
             continue;
         };
-        #[allow(deprecated)]
-        db.commit();
         out.push((
             algo.name(),
             normal.stats.max_live_bytes,

@@ -2,7 +2,7 @@
 
 use incc_graph::union_find::{connected_components, labellings_equivalent};
 use incc_graph::EdgeList;
-use incc_mppdb::{Cluster, DbError, DbResult, SqlEngine, StatsSnapshot};
+use incc_mppdb::{Cluster, DbError, DbResult, Session, SqlEngine, StatsSnapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -282,6 +282,59 @@ pub fn run_on_graph(
 
     let pairs = db.scan_pairs(&outcome.result_table)?;
     db.drop_table(&outcome.result_table)?;
+    let mut labels = HashMap::with_capacity(pairs.len());
+    for (v, r) in pairs {
+        if labels.insert(v as u64, r as u64).is_some() {
+            return Err(DbError::Exec(format!(
+                "{}: duplicate vertex {v} in result",
+                algo.name()
+            )));
+        }
+    }
+    Ok(RunReport {
+        algorithm: algo.name(),
+        labels,
+        rounds: outcome.rounds,
+        round_sizes: outcome.round_sizes,
+        round_reports: recorder.take(),
+        elapsed,
+        stats,
+        input_bytes,
+    })
+}
+
+/// [`run_on_graph`], scoped to one [`Session`]: the input table lands
+/// in the session's namespace and the report's counters are the
+/// session's own rather than the cluster roll-up. This is the harness
+/// for session-scoped experiments — notably transaction mode
+/// ([`Session::begin_transaction`]), where the cluster-global toggle
+/// is deprecated and a multi-tenant cluster's global counters would
+/// mix other sessions' work into the measurement.
+pub fn run_on_session(
+    algo: &dyn CcAlgorithm,
+    session: &Session,
+    graph: &EdgeList,
+    seed: u64,
+) -> DbResult<RunReport> {
+    let _ = session.run("drop table if exists ccinput");
+    session.load_pairs("ccinput", "v1", "v2", &graph.to_i64_pairs())?;
+    let input_bytes = session.stats().live_bytes;
+    let before = session.stats();
+
+    let stats_fn = || session.stats().delta_since(&before);
+    let recorder = RoundRecorder::new(&stats_fn);
+    let ctrl = RunControl { rounds: Some(&recorder), ..RunControl::default() };
+    let start = Instant::now();
+    let outcome = algo.run_controlled(session, "ccinput", seed, &ctrl);
+    let elapsed = start.elapsed();
+    let stats = session.stats().delta_since(&before);
+
+    let cleanup = session.drop_table("ccinput");
+    let outcome = outcome?;
+    cleanup?;
+
+    let pairs = session.scan_pairs(&outcome.result_table)?;
+    session.drop_table(&outcome.result_table)?;
     let mut labels = HashMap::with_capacity(pairs.len());
     for (v, r) in pairs {
         if labels.insert(v as u64, r as u64).is_some() {

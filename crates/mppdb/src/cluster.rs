@@ -4,7 +4,11 @@ use crate::batch::{Batch, Column};
 use crate::error::{DbError, DbResult};
 use crate::exec::hash_datum;
 use crate::ops::PData;
-use crate::plan::{execute, ExecContext, QueryGuard};
+use crate::plan::{execute, ExecContext, Plan, QueryGuard};
+use crate::plan_cache::{
+    self, CacheEntry, CacheKey, CachedShape, Normalized, PlanCache, PlanCacheStats, TableDep,
+    PLAN_CACHE_CAPACITY,
+};
 use crate::pool::SegmentPool;
 use crate::schema::{Field, Schema};
 use crate::session::{Session, SessionCore};
@@ -123,6 +127,22 @@ impl QueryOutput {
     }
 }
 
+/// Outcome of statement preparation: either a bound plan straight from
+/// the plan cache (parse and plan skipped entirely) or a freshly parsed
+/// statement for the classic dispatch path.
+enum Prepared {
+    /// Plan-cache hit (or fresh template plan): parameters already
+    /// bound, ready to execute.
+    Cached {
+        plan: Plan,
+        schema: Schema,
+        shape: CachedShape,
+    },
+    /// Uncacheable (or normalization declined): the parsed,
+    /// session-rewritten statement.
+    Fresh(Statement),
+}
+
 /// An MPP database cluster: segments, catalog, UDFs and counters.
 ///
 /// All methods take `&self`; the catalog is internally synchronised, so
@@ -144,6 +164,14 @@ pub struct Cluster {
     /// statements land here, in addition to the session's own
     /// histogram).
     latency: LatencyHistogram,
+    /// Normalized-SQL → optimized-plan cache (see [`crate::plan_cache`]).
+    plan_cache: PlanCache,
+    /// Generation counter for plan-relevant non-catalog state — bumped
+    /// by UDF (un)registration. Cached plans embed resolved UDF
+    /// implementations, so any registry change invalidates them
+    /// wholesale; table DDL is handled per-entry by name/schema
+    /// revalidation instead.
+    catalog_epoch: AtomicU64,
     /// Fault injector built from `config.faults` (None = clean runs).
     faults: Option<Arc<crate::fault::FaultInjector>>,
 }
@@ -167,6 +195,8 @@ impl Cluster {
             pool,
             next_session_id: AtomicU64::new(1),
             latency: LatencyHistogram::new(),
+            plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
+            catalog_epoch: AtomicU64::new(0),
         }
     }
 
@@ -210,11 +240,31 @@ impl Cluster {
     /// Registers (or replaces) a scalar UDF callable from SQL.
     pub fn register_udf(&self, name: &str, udf: Arc<dyn ScalarUdf>) {
         self.udfs.write().insert(name.to_ascii_lowercase(), udf);
+        self.catalog_epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Removes a UDF registration.
     pub fn unregister_udf(&self, name: &str) {
         self.udfs.write().remove(&name.to_ascii_lowercase());
+        self.catalog_epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Plan-cache counters: hits, misses, evictions and live entries.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Empties the plan cache (counters are preserved) — the service's
+    /// `\cache clear` verb. Harmless at any time: the next statement of
+    /// each shape replans and repopulates.
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.clear();
+    }
+
+    /// Drops a closing session's plan-cache entries (its namespace
+    /// cannot recur — ids are never reused).
+    pub(crate) fn plan_cache_drop_session(&self, session: u64) {
+        self.plan_cache.clear_session(session);
     }
 
     /// Current resource counters.
@@ -305,12 +355,7 @@ impl Cluster {
     pub(crate) fn run_in(&self, core: &SessionCore, sql_text: &str) -> DbResult<QueryOutput> {
         let start = std::time::Instant::now();
         let spans = core.trace();
-        let stmt = {
-            let _parse = maybe_start(&spans, SpanKind::Parse, sql_text);
-            let mut stmt = sql::parse_statement(sql_text)?;
-            core.rewrite(self, &mut stmt);
-            stmt
-        };
+        let prepared = self.prepare(core, sql_text, &spans)?;
         core.stats.count_query();
         let guard = QueryGuard {
             cancel: Some(core.interrupt_handle()),
@@ -324,12 +369,21 @@ impl Cluster {
         // for EXPLAIN ANALYZE. The stats snapshot taken here lets the
         // finished profile carry the statement's written/exchanged-byte
         // deltas.
-        let is_explain_analyze = matches!(&stmt, Statement::Explain { analyze: true, .. });
+        let is_explain_analyze = matches!(
+            &prepared,
+            Prepared::Fresh(Statement::Explain { analyze: true, .. })
+        );
         let capture = core.profiling() || is_explain_analyze;
         let before = capture.then(|| core.stats.snapshot());
         let mut profile: Option<QueryProfile> = None;
-        let mut result =
-            self.dispatch(core, stmt, guard, faults, capture, &mut profile, &spans);
+        let mut result = match prepared {
+            Prepared::Cached { plan, schema, shape } => self.dispatch_cached(
+                core, plan, schema, shape, guard, faults, capture, &mut profile, &spans,
+            ),
+            Prepared::Fresh(stmt) => {
+                self.dispatch(core, stmt, guard, faults, capture, &mut profile, &spans)
+            }
+        };
         let elapsed = start.elapsed();
         core.note_statement(elapsed);
         self.latency.record(elapsed.as_nanos() as u64);
@@ -345,6 +399,234 @@ impl Cluster {
             core.push_profile(Arc::new(p));
         }
         result
+    }
+
+    /// Turns statement text into something executable, consulting the
+    /// plan cache for SELECT/CTAS shapes. Cache hits skip parse and
+    /// plan entirely (and open no Parse/Plan spans); misses plan the
+    /// normalized template once, cache it, and bind. Statements the
+    /// normalizer declines — and templates that fail to parse or plan —
+    /// take the classic parse-every-time path, so error messages always
+    /// reflect the user's actual statement.
+    fn prepare(
+        &self,
+        core: &SessionCore,
+        sql_text: &str,
+        spans: &Option<Arc<ActiveTrace>>,
+    ) -> DbResult<Prepared> {
+        // The consult span closes before `plan_template` opens its
+        // Parse/Plan spans — top-level spans tile wall time, so the
+        // lookup and the (miss-only) planning must not overlap.
+        let consult = maybe_start(spans, SpanKind::PlanCacheLookup, sql_text);
+        if let Some(n) = plan_cache::normalize(sql_text) {
+            let key = CacheKey { session: core.id, template: n.key.clone() };
+            if let Some(entry) = self.plan_cache.get(&key) {
+                if entry.param_count == n.params.len() && self.entry_valid(core, &entry) {
+                    self.plan_cache.note_hit();
+                    return Ok(Prepared::Cached {
+                        plan: plan_cache::bind_plan(&entry.plan, &n.params),
+                        schema: entry.schema.clone(),
+                        shape: entry.shape.clone(),
+                    });
+                }
+                // Stale (DDL changed a referenced table's identity or
+                // schema, or the UDF registry moved): drop and replan.
+                self.plan_cache.remove(&key);
+            }
+            drop(consult);
+            if let Ok(entry) = self.plan_template(core, sql_text, &n, spans) {
+                self.plan_cache.note_miss();
+                let _bind = maybe_start(spans, SpanKind::PlanCacheLookup, sql_text);
+                let prepared = Prepared::Cached {
+                    plan: plan_cache::bind_plan(&entry.plan, &n.params),
+                    schema: entry.schema.clone(),
+                    shape: entry.shape.clone(),
+                };
+                self.plan_cache.insert(key, entry);
+                return Ok(prepared);
+            }
+            // Template parse/plan failed — fall through so the classic
+            // path produces the genuine error for this statement.
+        } else {
+            drop(consult);
+        }
+        let stmt = {
+            let _parse = maybe_start(spans, SpanKind::Parse, sql_text);
+            let mut stmt = sql::parse_statement(sql_text)?;
+            core.rewrite(self, &mut stmt);
+            stmt
+        };
+        Ok(Prepared::Fresh(stmt))
+    }
+
+    /// Parses, rewrites and plans a normalized template, producing the
+    /// cache entry (with its revalidation data: referenced tables'
+    /// raw → resolved names and schemas, and the catalog epoch).
+    fn plan_template(
+        &self,
+        core: &SessionCore,
+        sql_text: &str,
+        n: &Normalized,
+        spans: &Option<Arc<ActiveTrace>>,
+    ) -> DbResult<Arc<CacheEntry>> {
+        let epoch = self.catalog_epoch.load(Ordering::Acquire);
+        let stmt = {
+            let _parse = maybe_start(spans, SpanKind::Parse, sql_text);
+            sql::parse_tokens(n.template.clone())?
+        };
+        // Dependency tracking and the CTAS target use *raw* names; the
+        // session namespace is re-applied on every execution, so a hit
+        // in a session that has since toggled `set_temp_namespace` (or
+        // created a shadowing temp) still resolves correctly — or fails
+        // validation and replans.
+        let raw_tables = plan_cache::referenced_tables(&stmt);
+        let raw_ctas = match &stmt {
+            Statement::CreateTableAs { name, .. } => Some(name.clone()),
+            _ => None,
+        };
+        let mut stmt = stmt;
+        core.rewrite(self, &mut stmt);
+        let (query, shape) = match stmt {
+            Statement::Select(q) => {
+                let shape =
+                    CachedShape::Select { order_by: q.order_by.clone(), limit: q.limit };
+                (q, shape)
+            }
+            Statement::CreateTableAs { query, distributed_by, .. } => {
+                if !query.order_by.is_empty() || query.limit.is_some() {
+                    // Uncacheable; the classic path raises the real
+                    // "no ORDER BY / LIMIT in CTAS" error.
+                    return Err(DbError::Plan("ORDER BY / LIMIT in CTAS".into()));
+                }
+                let shape = CachedShape::CreateTableAs {
+                    raw_name: raw_ctas.unwrap_or_default(),
+                    distributed_by,
+                };
+                (query, shape)
+            }
+            _ => return Err(DbError::Plan("statement shape is not cacheable".into())),
+        };
+        let (plan, schema) = {
+            let _plan_span = maybe_start(spans, SpanKind::Plan, sql_text);
+            let (plan, schema) = sql::plan_query_with_schema(&query, self)?;
+            (self.maybe_optimize(plan), schema)
+        };
+        let tables = raw_tables
+            .into_iter()
+            .map(|raw| {
+                let resolved = core.resolve(self, &raw);
+                let schema = self.table(&resolved)?.schema;
+                Ok(TableDep { raw, resolved, schema })
+            })
+            .collect::<DbResult<Vec<_>>>()?;
+        Ok(Arc::new(CacheEntry {
+            plan,
+            schema,
+            shape,
+            param_count: n.params.len(),
+            tables,
+            epoch,
+        }))
+    }
+
+    /// Whether a cached plan is still correct to execute: the catalog
+    /// epoch (UDF registry) is unchanged and every referenced table
+    /// still resolves to the same name with the same schema. Drop +
+    /// recreate with an identical schema passes — the plan only encodes
+    /// names and column positions, and execution reads current data.
+    fn entry_valid(&self, core: &SessionCore, entry: &CacheEntry) -> bool {
+        if self.catalog_epoch.load(Ordering::Acquire) != entry.epoch {
+            return false;
+        }
+        entry.tables.iter().all(|dep| {
+            core.resolve(self, &dep.raw) == dep.resolved
+                && self
+                    .table(&dep.resolved)
+                    .map(|t| t.schema == dep.schema)
+                    .unwrap_or(false)
+        })
+    }
+
+    /// Executes a plan-cache hit. Mirrors the SELECT/CTAS arms of
+    /// [`Cluster::dispatch`] minus parse and plan.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_cached(
+        &self,
+        core: &SessionCore,
+        plan: Plan,
+        schema: Schema,
+        shape: CachedShape,
+        guard: QueryGuard,
+        faults: Option<crate::fault::FaultContext>,
+        capture: bool,
+        profile: &mut Option<QueryProfile>,
+        spans: &Option<Arc<ActiveTrace>>,
+    ) -> DbResult<QueryOutput> {
+        guard.check()?;
+        let stats = &core.stats;
+        match shape {
+            CachedShape::Select { order_by, limit } => {
+                let _exec = maybe_start(spans, SpanKind::Exec, "select");
+                let data =
+                    self.execute_plan(&plan, stats, guard, faults, capture, profile, spans)?;
+                finish_select(data, &schema, &order_by, limit)
+            }
+            CachedShape::CreateTableAs { raw_name, distributed_by } => {
+                let name = core.create_name(&raw_name);
+                let _exec = maybe_start(spans, SpanKind::Exec, "create table as");
+                let data = self.execute_plan(
+                    &plan,
+                    stats,
+                    guard,
+                    faults.clone(),
+                    capture,
+                    profile,
+                    spans,
+                )?;
+                self.finish_ctas(
+                    stats,
+                    name,
+                    data,
+                    distributed_by.as_deref(),
+                    capture,
+                    profile,
+                    faults,
+                    spans,
+                )
+            }
+        }
+    }
+
+    /// Stores CTAS output and folds the store-side exchange into the
+    /// profile — the tail shared by the classic and cached CTAS paths.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_ctas(
+        &self,
+        stats: &Stats,
+        name: String,
+        data: PData,
+        distributed_by: Option<&str>,
+        capture: bool,
+        profile: &mut Option<QueryProfile>,
+        faults: Option<crate::fault::FaultContext>,
+        spans: &Option<Arc<ActiveTrace>>,
+    ) -> DbResult<QueryOutput> {
+        let sink = capture.then(|| Arc::new(crate::trace::SpanSink::default()));
+        let rows = self.store_traced(
+            stats,
+            &name,
+            data,
+            distributed_by,
+            sink.clone(),
+            faults,
+            spans.clone(),
+        )?;
+        if let (Some(p), Some(sink)) = (profile.as_mut(), sink) {
+            // The store-side exchange belongs to the root node.
+            p.root.ops.extend(sink.take());
+            p.rows_out = rows as u64;
+        }
+        Ok(QueryOutput::Created { table: name, rows })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -370,39 +652,7 @@ impl Cluster {
                 let _exec = maybe_start(spans, SpanKind::Exec, "select");
                 let data =
                     self.execute_plan(&plan, stats, guard, faults, capture, profile, spans)?;
-                let mut rows = gather(&data);
-                if !q.order_by.is_empty() {
-                    let keys: Vec<(usize, bool)> = q
-                        .order_by
-                        .iter()
-                        .map(|(name, desc)| {
-                            schema
-                                .index_of(&name.to_ascii_lowercase())
-                                .map(|i| (i, *desc))
-                                .ok_or_else(|| {
-                                    DbError::Plan(format!(
-                                        "ORDER BY column {name:?} not in output"
-                                    ))
-                                })
-                        })
-                        .collect::<DbResult<_>>()?;
-                    rows.sort_by(|a, b| {
-                        for &(i, desc) in &keys {
-                            let ord = a[i]
-                                .sql_cmp(&b[i])
-                                .unwrap_or(std::cmp::Ordering::Equal);
-                            let ord = if desc { ord.reverse() } else { ord };
-                            if ord != std::cmp::Ordering::Equal {
-                                return ord;
-                            }
-                        }
-                        std::cmp::Ordering::Equal
-                    });
-                }
-                if let Some(n) = q.limit {
-                    rows.truncate(n);
-                }
-                Ok(QueryOutput::Rows(rows))
+                finish_select(data, &schema, &q.order_by, q.limit)
             }
             Statement::Explain { query, analyze } => {
                 let plan = {
@@ -442,22 +692,16 @@ impl Cluster {
                     profile,
                     spans,
                 )?;
-                let sink = capture.then(|| Arc::new(crate::trace::SpanSink::default()));
-                let rows = self.store_traced(
+                self.finish_ctas(
                     stats,
-                    &name,
+                    name,
                     data,
                     distributed_by.as_deref(),
-                    sink.clone(),
+                    capture,
+                    profile,
                     faults,
-                    spans.clone(),
-                )?;
-                if let (Some(p), Some(sink)) = (profile.as_mut(), sink) {
-                    // The store-side exchange belongs to the root node.
-                    p.root.ops.extend(sink.take());
-                    p.rows_out = rows as u64;
-                }
-                Ok(QueryOutput::Created { table: name, rows })
+                    spans,
+                )
             }
             Statement::CreateTable { name, columns, distributed_by } => {
                 let fields: Vec<Field> = columns
@@ -1022,6 +1266,44 @@ impl PlannerCatalog for Cluster {
     }
 }
 
+/// Gathers SELECT output and applies ORDER BY / LIMIT — the tail shared
+/// by the classic and cached SELECT paths.
+fn finish_select(
+    data: PData,
+    schema: &Schema,
+    order_by: &[(String, bool)],
+    limit: Option<usize>,
+) -> DbResult<QueryOutput> {
+    let mut rows = gather(&data);
+    if !order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = order_by
+            .iter()
+            .map(|(name, desc)| {
+                schema
+                    .index_of(&name.to_ascii_lowercase())
+                    .map(|i| (i, *desc))
+                    .ok_or_else(|| {
+                        DbError::Plan(format!("ORDER BY column {name:?} not in output"))
+                    })
+            })
+            .collect::<DbResult<_>>()?;
+        rows.sort_by(|a, b| {
+            for &(i, desc) in &keys {
+                let ord = a[i].sql_cmp(&b[i]).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(n) = limit {
+        rows.truncate(n);
+    }
+    Ok(QueryOutput::Rows(rows))
+}
+
 fn gather(data: &PData) -> Vec<Vec<Datum>> {
     let mut rows = Vec::with_capacity(data.row_count());
     for b in &data.parts {
@@ -1115,5 +1397,126 @@ mod tests {
     #[should_panic(expected = "at least one segment")]
     fn zero_segments_rejected() {
         Cluster::new(ClusterConfig { segments: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn plan_cache_hits_on_literal_variants() {
+        let c = Cluster::new(ClusterConfig::default());
+        c.load_pairs("e", "v1", "v2", &[(1, 10), (2, 20), (3, 30)]).unwrap();
+        let q = |lit: i64| format!("select count(*) as n from e where v2 > {lit}");
+        assert_eq!(c.query_scalar_i64(&q(0)).unwrap(), 3);
+        assert_eq!(c.query_scalar_i64(&q(15)).unwrap(), 2);
+        assert_eq!(c.query_scalar_i64(&q(25)).unwrap(), 1);
+        let s = c.plan_cache_stats();
+        assert_eq!(s.misses, 1, "one template plan");
+        assert_eq!(s.hits, 2, "literal variants reuse it");
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn plan_cache_survives_same_schema_recreate_but_not_schema_change() {
+        let c = Cluster::new(ClusterConfig::default());
+        c.load_pairs("t", "a", "b", &[(1, 1), (2, 2)]).unwrap();
+        assert_eq!(c.query_scalar_i64("select count(*) as n from t").unwrap(), 2);
+        // Drop + recreate with the same two-column shape: the cached
+        // plan only names columns by position, so it must still hit —
+        // and read the *new* data.
+        c.drop_table("t").unwrap();
+        c.load_pairs("t", "a", "b", &[(5, 5)]).unwrap();
+        assert_eq!(c.query_scalar_i64("select count(*) as n from t").unwrap(), 1);
+        assert_eq!(c.plan_cache_stats().hits, 1);
+        // Recreate with a different schema: the entry must be replanned.
+        c.drop_table("t").unwrap();
+        c.run("create table t as select 1 as a union all select 2 as a").unwrap();
+        assert_eq!(c.query_scalar_i64("select count(*) as n from t").unwrap(), 2);
+        // Three misses: the first SELECT plan, the CTAS (itself
+        // cacheable), and the SELECT replan after the schema changed.
+        assert_eq!(c.plan_cache_stats().misses, 3);
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_udf_change() {
+        use crate::expr::ScalarUdf;
+        use crate::value::Datum;
+        #[derive(Debug)]
+        struct Plus(i64);
+        impl ScalarUdf for Plus {
+            fn eval(&self, args: &[Datum]) -> Datum {
+                Datum::Int(args[0].as_int().unwrap_or(0) + self.0)
+            }
+        }
+        let c = Cluster::new(ClusterConfig::default());
+        c.load_pairs("t", "a", "b", &[(10, 0)]).unwrap();
+        c.register_udf("bump", Arc::new(Plus(1)));
+        let q = "select min(r) as m from (select bump(a) as r from t) as s";
+        assert_eq!(c.query_scalar_i64(q).unwrap(), 11);
+        assert_eq!(c.query_scalar_i64(q).unwrap(), 11);
+        assert_eq!(c.plan_cache_stats().hits, 1);
+        // Cached plans embed the UDF implementation; replacing it must
+        // invalidate, not keep calling the old closure.
+        c.register_udf("bump", Arc::new(Plus(100)));
+        assert_eq!(c.query_scalar_i64(q).unwrap(), 110);
+        assert_eq!(c.plan_cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn cached_ctas_recreates_after_drop() {
+        let c = Cluster::new(ClusterConfig::default());
+        c.load_pairs("e", "v1", "v2", &[(1, 2), (1, 3), (2, 3)]).unwrap();
+        let ctas = "create table deg as select v1 as v, count(*) as d from e \
+                    group by v1 distributed by (v)";
+        for expect_rows in [2, 2, 2] {
+            let out = c.run(ctas).unwrap();
+            assert_eq!(out.row_count(), expect_rows);
+            c.drop_table("deg").unwrap();
+        }
+        let s = c.plan_cache_stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn session_shadowing_invalidates_cached_resolution() {
+        let c = Arc::new(Cluster::new(ClusterConfig::default()));
+        c.load_pairs("g", "v", "w", &[(1, 1), (2, 2), (3, 3)]).unwrap();
+        let s = c.session();
+        assert_eq!(s.query_scalar_i64("select count(*) as n from g").unwrap(), 3);
+        // Creating a session temp named `g` changes what `g` resolves
+        // to; the cached plan (bound to the shared table) must replan.
+        s.run("create table g as select 9 as v").unwrap();
+        assert_eq!(s.query_scalar_i64("select count(*) as n from g").unwrap(), 1);
+        // Dropping the shadow flips resolution back.
+        s.drop_table("g").unwrap();
+        assert_eq!(s.query_scalar_i64("select count(*) as n from g").unwrap(), 3);
+    }
+
+    #[test]
+    fn clear_plan_cache_empties_entries() {
+        let c = Cluster::new(ClusterConfig::default());
+        c.load_pairs("t", "a", "b", &[(1, 1)]).unwrap();
+        c.query_scalar_i64("select count(*) as n from t").unwrap();
+        assert_eq!(c.plan_cache_stats().entries, 1);
+        c.clear_plan_cache();
+        assert_eq!(c.plan_cache_stats().entries, 0);
+        // Still correct afterwards.
+        assert_eq!(c.query_scalar_i64("select count(*) as n from t").unwrap(), 1);
+    }
+
+    #[test]
+    fn cached_and_fresh_orderings_agree() {
+        let c = Cluster::new(ClusterConfig::default());
+        c.load_pairs("t", "a", "b", &[(3, 30), (1, 10), (2, 20)]).unwrap();
+        let q = "select a, b from t where b > 5 order by a desc limit 2";
+        let first = c.query(q).unwrap();
+        let second = c.query(q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            first,
+            vec![
+                vec![Datum::Int(3), Datum::Int(30)],
+                vec![Datum::Int(2), Datum::Int(20)],
+            ]
+        );
+        assert!(c.plan_cache_stats().hits >= 1);
     }
 }

@@ -69,6 +69,15 @@ pub enum Expr {
     LitInt(i64),
     /// Float literal.
     LitDouble(f64),
+    /// A plan-cache parameter slot. Only present in cached template
+    /// plans; the cache substitutes the statement's actual literal
+    /// before execution, so the executor never sees one.
+    Param {
+        /// Position in the statement's extracted parameter list.
+        idx: usize,
+        /// True when the parameter binds a float literal.
+        float: bool,
+    },
     /// NULL literal.
     Null,
     /// `least(...)`: smallest non-NULL argument (PostgreSQL semantics).
@@ -118,6 +127,7 @@ impl fmt::Debug for Expr {
             Expr::Column(i) => write!(f, "#{i}"),
             Expr::LitInt(v) => write!(f, "{v}"),
             Expr::LitDouble(v) => write!(f, "{v}"),
+            Expr::Param { idx, .. } => write!(f, "${idx}"),
             Expr::Null => write!(f, "NULL"),
             Expr::Least(a) => write!(f, "least({a:?})"),
             Expr::Greatest(a) => write!(f, "greatest({a:?})"),
@@ -143,6 +153,9 @@ impl Expr {
                 .ok_or_else(|| DbError::Plan(format!("column index {i} out of range"))),
             Expr::LitInt(_) => Ok(DataType::Int64),
             Expr::LitDouble(_) | Expr::Random { .. } => Ok(DataType::Float64),
+            Expr::Param { float, .. } => {
+                Ok(if *float { DataType::Float64 } else { DataType::Int64 })
+            }
             Expr::Null => Ok(DataType::Int64),
             Expr::Least(args) | Expr::Greatest(args) | Expr::Coalesce(args) => {
                 let mut ty = None;
@@ -186,6 +199,11 @@ impl Expr {
             Expr::Column(i) => batch.column(*i).datum(row),
             Expr::LitInt(v) => Datum::Int(*v),
             Expr::LitDouble(v) => Datum::Double(*v),
+            Expr::Param { idx, .. } => {
+                return Err(DbError::Exec(format!(
+                    "unbound plan parameter ${idx} reached execution"
+                )))
+            }
             Expr::Null => Datum::Null,
             Expr::Least(args) => fold_extreme(args, batch, row, part, base, Ordering::Less)?,
             Expr::Greatest(args) => {
@@ -295,6 +313,7 @@ impl Expr {
             Expr::Column(i) => Expr::Column(mapping(*i)),
             Expr::LitInt(v) => Expr::LitInt(*v),
             Expr::LitDouble(v) => Expr::LitDouble(*v),
+            Expr::Param { idx, float } => Expr::Param { idx: *idx, float: *float },
             Expr::Null => Expr::Null,
             Expr::Least(a) => Expr::Least(a.iter().map(|e| e.remap_columns(mapping)).collect()),
             Expr::Greatest(a) => {
@@ -330,7 +349,11 @@ impl Expr {
     pub fn references(&self, out: &mut Vec<usize>) {
         match self {
             Expr::Column(i) => out.push(*i),
-            Expr::LitInt(_) | Expr::LitDouble(_) | Expr::Null | Expr::Random { .. } => {}
+            Expr::LitInt(_)
+            | Expr::LitDouble(_)
+            | Expr::Param { .. }
+            | Expr::Null
+            | Expr::Random { .. } => {}
             Expr::Least(a) | Expr::Greatest(a) | Expr::Coalesce(a) => {
                 for e in a {
                     e.references(out);

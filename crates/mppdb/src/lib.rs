@@ -57,6 +57,7 @@ mod ops;
 pub mod optimizer;
 mod pipeline;
 mod plan;
+mod plan_cache;
 pub mod pool;
 pub mod retry;
 mod schema;
@@ -75,6 +76,7 @@ pub use error::{DbError, DbResult, ErrorClass};
 pub use fault::{FaultContext, FaultInjector, FaultPlan};
 pub use expr::Expr;
 pub use plan::QueryGuard;
+pub use plan_cache::PlanCacheStats;
 pub use pool::SegmentPool;
 pub use retry::RetryPolicy;
 pub use schema::{Field, Schema};

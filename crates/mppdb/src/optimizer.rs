@@ -338,7 +338,11 @@ fn push_through_join(
 fn contains_volatile(e: &Expr) -> bool {
     match e {
         Expr::Random { .. } => true,
-        Expr::Column(_) | Expr::LitInt(_) | Expr::LitDouble(_) | Expr::Null => false,
+        Expr::Column(_)
+        | Expr::LitInt(_)
+        | Expr::LitDouble(_)
+        | Expr::Param { .. }
+        | Expr::Null => false,
         Expr::Least(a) | Expr::Greatest(a) | Expr::Coalesce(a) => {
             a.iter().any(contains_volatile)
         }

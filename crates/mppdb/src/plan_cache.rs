@@ -1,0 +1,569 @@
+//! Plan cache: normalized-statement → optimized-plan memoization.
+//!
+//! The paper's CC algorithms drive every round through a small, highly
+//! repetitive statement mix — the same `CREATE TABLE … AS SELECT` and
+//! `SELECT` shapes differing only in literal values. Under concurrency
+//! the service re-parses and re-plans those shapes thousands of times;
+//! span traces attribute a measurable slice of the p95 tail to exactly
+//! that. This module removes parse+plan from the hot path:
+//!
+//! 1. **Normalization** ([`normalize`]) lexes the statement and
+//!    replaces `Int`/`Float` literals with [`Token::Param`]
+//!    placeholders, extracting the literal values. The rendered
+//!    template is the cache key (per session namespace). Rules:
+//!    * The integer following `LIMIT` stays verbatim — the parser
+//!      consumes it structurally, and a row limit is part of the
+//!      plan's shape, not a bindable value.
+//!    * A unary minus folds into its literal (`-7` → one negative
+//!      parameter); the dialect has no binary arithmetic, so `-` in
+//!      expression position is always a sign.
+//!    * Statements mentioning `random` are uncacheable — the planner
+//!      embeds a fresh seed per call site, so their plans are
+//!      intentionally never reused.
+//!    * Only `SELECT …` and `CREATE TABLE … AS …` are cacheable;
+//!      DDL, `INSERT` and `EXPLAIN` take the ordinary path.
+//!    * Int and float parameters render distinctly (`?i` vs `?f`), so
+//!      `x > 5` and `x > 5.0` never share a plan.
+//! 2. **Template planning** — on a miss, the template token stream is
+//!    parsed (placeholders become [`crate::Expr::Param`] slots),
+//!    session-rewritten, planned and optimized once, then cached.
+//! 3. **Binding** ([`bind_plan`]) — each execution clones the cached
+//!    plan substituting the statement's actual literals for the
+//!    parameter slots. The executor never sees a `Param`.
+//!
+//! **Invalidation** is by revalidation, not broadcast: an entry
+//! remembers, for every referenced table, the raw (pre-rewrite) name,
+//! the name it resolved to, and the schema it was planned against,
+//! plus the cluster's catalog epoch (bumped by UDF registry changes).
+//! A hit re-resolves every raw name through the session and compares
+//! name + live schema; any DDL that would make the plan wrong —
+//! drop/recreate with a different shape, a session temp now shadowing
+//! a shared table, a replaced UDF — fails the check and forces a
+//! replan. DDL that preserves name and schema (the per-round
+//! drop/recreate churn of the CC mix) keeps the entry valid, which is
+//! what makes the cache effective at all under that workload.
+
+use crate::expr::Expr;
+use crate::ops::AggExpr;
+use crate::plan::Plan;
+use crate::schema::Schema;
+use crate::sql::{Statement, TableRel, Token};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How many plans a cluster retains (least-recently-used eviction).
+pub(crate) const PLAN_CACHE_CAPACITY: usize = 256;
+
+/// A literal extracted during normalization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ParamValue {
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+}
+
+/// A normalized statement: the template token stream, its rendered
+/// cache key, and the extracted literal values in slot order.
+#[derive(Debug)]
+pub(crate) struct Normalized {
+    pub(crate) template: Vec<Token>,
+    pub(crate) key: String,
+    pub(crate) params: Vec<ParamValue>,
+}
+
+/// Normalizes a statement for caching, or `None` when the statement is
+/// uncacheable (not SELECT/CTAS, contains `random`, or fails to lex).
+pub(crate) fn normalize(sql_text: &str) -> Option<Normalized> {
+    let tokens = crate::sql::tokenize(sql_text).ok()?;
+    if !cacheable_shape(&tokens) {
+        return None;
+    }
+    if tokens.iter().any(|t| matches!(t, Token::Ident(s) if s == "random")) {
+        return None;
+    }
+    let mut template = Vec::with_capacity(tokens.len());
+    let mut params = Vec::new();
+    let mut keep_next_int = false;
+    let mut it = tokens.into_iter().peekable();
+    while let Some(t) = it.next() {
+        match t {
+            Token::Int(v) if !keep_next_int => {
+                template.push(Token::Param { idx: params.len(), float: false });
+                params.push(ParamValue::Int(v));
+            }
+            Token::Float(v) => {
+                template.push(Token::Param { idx: params.len(), float: true });
+                params.push(ParamValue::Float(v));
+            }
+            Token::Minus => match it.peek() {
+                Some(Token::Int(v)) if !keep_next_int => {
+                    let v = *v;
+                    it.next();
+                    template.push(Token::Param { idx: params.len(), float: false });
+                    params.push(ParamValue::Int(-v));
+                }
+                Some(Token::Float(v)) => {
+                    let v = *v;
+                    it.next();
+                    template.push(Token::Param { idx: params.len(), float: true });
+                    params.push(ParamValue::Float(-v));
+                }
+                _ => template.push(Token::Minus),
+            },
+            other => {
+                keep_next_int = matches!(&other, Token::Ident(s) if s == "limit");
+                template.push(other);
+                continue;
+            }
+        }
+        keep_next_int = false;
+    }
+    let key = render(&template);
+    Some(Normalized { template, key, params })
+}
+
+/// Whether the token stream is a cacheable statement shape: `SELECT …`
+/// or `CREATE TABLE <name> AS …`.
+fn cacheable_shape(tokens: &[Token]) -> bool {
+    match tokens.first() {
+        Some(Token::Ident(s)) if s == "select" => true,
+        Some(Token::Ident(s)) if s == "create" => {
+            matches!(tokens.get(1), Some(Token::Ident(t)) if t == "table")
+                && matches!(tokens.get(2), Some(Token::Ident(_)))
+                && matches!(tokens.get(3), Some(Token::Ident(a)) if a == "as")
+        }
+        _ => false,
+    }
+}
+
+/// Renders a template token stream as the canonical cache-key string.
+fn render(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match t {
+            Token::Ident(s) => out.push_str(s),
+            Token::Int(v) => out.push_str(&v.to_string()),
+            Token::Float(v) => out.push_str(&v.to_string()),
+            Token::Param { float: false, .. } => out.push_str("?i"),
+            Token::Param { float: true, .. } => out.push_str("?f"),
+            Token::LParen => out.push('('),
+            Token::RParen => out.push(')'),
+            Token::Comma => out.push(','),
+            Token::Dot => out.push('.'),
+            Token::Star => out.push('*'),
+            Token::Eq => out.push('='),
+            Token::Ne => out.push_str("!="),
+            Token::Lt => out.push('<'),
+            Token::Le => out.push_str("<="),
+            Token::Gt => out.push('>'),
+            Token::Ge => out.push_str(">="),
+            Token::Minus => out.push('-'),
+            Token::Plus => out.push('+'),
+            Token::Semi => out.push(';'),
+        }
+    }
+    out
+}
+
+/// Raw (pre-session-rewrite) table names a template statement reads,
+/// in first-mention order, deduplicated.
+pub(crate) fn referenced_tables(stmt: &Statement) -> Vec<String> {
+    fn walk_query(q: &crate::sql::Query, out: &mut Vec<String>) {
+        for core in &q.selects {
+            for item in &core.from {
+                match &item.rel {
+                    TableRel::Table(name) => {
+                        if !out.iter().any(|n| n == name) {
+                            out.push(name.clone());
+                        }
+                    }
+                    TableRel::Subquery(sub) => walk_query(sub, out),
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    match stmt {
+        Statement::Select(q) => walk_query(q, &mut out),
+        Statement::CreateTableAs { query, .. } => walk_query(query, &mut out),
+        _ => {}
+    }
+    out
+}
+
+/// What a cached plan needs from the statement besides the plan itself.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedShape {
+    /// A bare `SELECT`, with its post-execution ordering and limit.
+    Select {
+        order_by: Vec<(String, bool)>,
+        limit: Option<usize>,
+    },
+    /// `CREATE TABLE … AS …`. The target keeps its *raw* name; the
+    /// session namespace is applied at execution time, so a session
+    /// toggling `set_temp_namespace` between executions still creates
+    /// in the right place.
+    CreateTableAs {
+        raw_name: String,
+        distributed_by: Option<String>,
+    },
+}
+
+/// One table a cached plan depends on: the raw name the statement
+/// wrote, what it resolved to at plan time, and the schema the plan
+/// was bound against. A hit revalidates all three.
+#[derive(Debug, Clone)]
+pub(crate) struct TableDep {
+    pub(crate) raw: String,
+    pub(crate) resolved: String,
+    pub(crate) schema: Schema,
+}
+
+/// A cached, parameterized, optimized plan.
+#[derive(Debug)]
+pub(crate) struct CacheEntry {
+    pub(crate) plan: Plan,
+    pub(crate) schema: Schema,
+    pub(crate) shape: CachedShape,
+    pub(crate) param_count: usize,
+    pub(crate) tables: Vec<TableDep>,
+    /// Catalog epoch (UDF registry generation) at plan time.
+    pub(crate) epoch: u64,
+}
+
+/// Cache key: the session namespace the template was planned in plus
+/// the rendered template. Name resolution is per-session, so plans are
+/// not shared across sessions (each session warms its own handful of
+/// entries — the statement mix is tiny).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub(crate) session: u64,
+    pub(crate) template: String,
+}
+
+struct Slot {
+    entry: Arc<CacheEntry>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, Slot>,
+    tick: u64,
+}
+
+/// Counter snapshot of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache (parse+plan skipped).
+    pub hits: u64,
+    /// Lookups that had to parse and plan (includes first sight and
+    /// entries invalidated by catalog changes).
+    pub misses: u64,
+    /// Entries displaced by the LRU capacity bound.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+/// A bounded LRU of parameterized plans, keyed on normalized SQL.
+pub(crate) struct PlanCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks an entry up, refreshing its recency. Counters are *not*
+    /// touched — the caller records a hit only after validation.
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<Arc<CacheEntry>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            slot.entry.clone()
+        })
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least-recently-used
+    /// one past capacity.
+    pub(crate) fn insert(&self, key: CacheKey, entry: Arc<CacheEntry>) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, Slot { entry, last_used: tick });
+        while inner.map.len() > self.capacity {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Removes a stale entry (failed revalidation).
+    pub(crate) fn remove(&self, key: &CacheKey) {
+        self.inner.lock().map.remove(key);
+    }
+
+    /// Drops every cached plan. Counters are preserved.
+    pub(crate) fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// Drops every entry planned under the given session namespace —
+    /// called when a session closes so its keys do not linger until
+    /// eviction.
+    pub(crate) fn clear_session(&self, session: u64) {
+        self.inner.lock().map.retain(|k, _| k.session != session);
+    }
+
+    pub(crate) fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().map.len(),
+        }
+    }
+}
+
+/// Clones a cached plan with its parameter slots bound to the
+/// statement's actual literals.
+pub(crate) fn bind_plan(plan: &Plan, params: &[ParamValue]) -> Plan {
+    if params.is_empty() {
+        return plan.clone();
+    }
+    match plan {
+        Plan::Scan { .. } | Plan::OneRow => plan.clone(),
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(bind_plan(input, params)),
+            exprs: exprs
+                .iter()
+                .map(|(e, f)| (bind_expr(e, params), f.clone()))
+                .collect(),
+        },
+        Plan::Filter { input, pred } => Plan::Filter {
+            input: Box::new(bind_plan(input, params)),
+            pred: bind_expr(pred, params),
+        },
+        Plan::Join { left, right, l_keys, r_keys, join_type } => Plan::Join {
+            left: Box::new(bind_plan(left, params)),
+            right: Box::new(bind_plan(right, params)),
+            l_keys: l_keys.clone(),
+            r_keys: r_keys.clone(),
+            join_type: *join_type,
+        },
+        Plan::Aggregate { input, group_cols, aggs } => Plan::Aggregate {
+            input: Box::new(bind_plan(input, params)),
+            group_cols: group_cols.clone(),
+            aggs: aggs
+                .iter()
+                .map(|a| AggExpr { func: a.func, input: bind_expr(&a.input, params) })
+                .collect(),
+        },
+        Plan::Distinct { input } => Plan::Distinct { input: Box::new(bind_plan(input, params)) },
+        Plan::UnionAll { inputs } => Plan::UnionAll {
+            inputs: inputs.iter().map(|p| bind_plan(p, params)).collect(),
+        },
+    }
+}
+
+fn bind_expr(e: &Expr, params: &[ParamValue]) -> Expr {
+    match e {
+        Expr::Param { idx, float } => match params.get(*idx) {
+            Some(ParamValue::Int(v)) => Expr::LitInt(*v),
+            Some(ParamValue::Float(v)) => Expr::LitDouble(*v),
+            // Unreachable when the caller checks param_count; keep the
+            // slot so execution reports it instead of silently lying.
+            None => Expr::Param { idx: *idx, float: *float },
+        },
+        Expr::Column(_) | Expr::LitInt(_) | Expr::LitDouble(_) | Expr::Null => e.clone(),
+        Expr::Least(a) => Expr::Least(a.iter().map(|x| bind_expr(x, params)).collect()),
+        Expr::Greatest(a) => Expr::Greatest(a.iter().map(|x| bind_expr(x, params)).collect()),
+        Expr::Coalesce(a) => Expr::Coalesce(a.iter().map(|x| bind_expr(x, params)).collect()),
+        Expr::Udf { name, func, args } => Expr::Udf {
+            name: name.clone(),
+            func: func.clone(),
+            args: args.iter().map(|x| bind_expr(x, params)).collect(),
+        },
+        Expr::Random { seed } => Expr::Random { seed: *seed },
+        Expr::Cmp { op, left, right } => Expr::Cmp {
+            op: *op,
+            left: Box::new(bind_expr(left, params)),
+            right: Box::new(bind_expr(right, params)),
+        },
+        Expr::And(l, r) => {
+            Expr::And(Box::new(bind_expr(l, params)), Box::new(bind_expr(r, params)))
+        }
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(bind_expr(expr, params)),
+            negated: *negated,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_parameterize_and_templates_match() {
+        let a = normalize("select v1 from e where v1 > 5 and v2 < 3.5").unwrap();
+        let b = normalize("select v1 from e where v1 > 99 and v2 < 0.25").unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.params, vec![ParamValue::Int(5), ParamValue::Float(3.5)]);
+        assert_eq!(b.params, vec![ParamValue::Int(99), ParamValue::Float(0.25)]);
+    }
+
+    #[test]
+    fn int_and_float_literals_get_distinct_templates() {
+        let a = normalize("select v1 from e where v1 > 5").unwrap();
+        let b = normalize("select v1 from e where v1 > 5.0").unwrap();
+        assert_ne!(a.key, b.key);
+    }
+
+    #[test]
+    fn limit_count_stays_verbatim() {
+        let n = normalize("select v1 from e where v1 > 7 order by v1 limit 10").unwrap();
+        assert_eq!(n.params, vec![ParamValue::Int(7)]);
+        assert!(n.key.contains("limit 10"), "{}", n.key);
+        // Different limits are different templates (a limit is plan
+        // shape, not a bindable literal).
+        let m = normalize("select v1 from e where v1 > 7 order by v1 limit 20").unwrap();
+        assert_ne!(n.key, m.key);
+    }
+
+    #[test]
+    fn unary_minus_folds_into_the_parameter() {
+        let n = normalize("select axplusb(-42, v, -7.5) as r from t").unwrap();
+        assert_eq!(n.params, vec![ParamValue::Int(-42), ParamValue::Float(-7.5)]);
+        // Same template as the positive-literal spelling.
+        let p = normalize("select axplusb(42, v, 7.5) as r from t").unwrap();
+        assert_eq!(n.key, p.key);
+    }
+
+    #[test]
+    fn random_and_non_query_statements_are_uncacheable() {
+        assert!(normalize("select random() as r from t").is_none());
+        assert!(normalize("drop table t").is_none());
+        assert!(normalize("insert into t values (1)").is_none());
+        assert!(normalize("explain select 1 as x").is_none());
+        assert!(normalize("create table t (a bigint)").is_none());
+        assert!(normalize("alter table a rename to b").is_none());
+        assert!(normalize("select 'bad lex'").is_none());
+    }
+
+    #[test]
+    fn ctas_is_cacheable() {
+        let n = normalize(
+            "create table reps as select v1 v, min(v2) rep from g \
+             where v2 != 4 group by v1 distributed by (v)",
+        )
+        .unwrap();
+        assert_eq!(n.params, vec![ParamValue::Int(4)]);
+    }
+
+    #[test]
+    fn referenced_tables_walks_subqueries_and_unions() {
+        let stmt = crate::sql::parse_statement(
+            "select count(*) as n from (select v1 as v from g union all \
+             select v from h) as u, r where u.v = r.v",
+        )
+        .unwrap();
+        assert_eq!(referenced_tables(&stmt), vec!["g", "h", "r"]);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_counts() {
+        let cache = PlanCache::new(2);
+        let entry = || {
+            Arc::new(CacheEntry {
+                plan: Plan::OneRow,
+                schema: Schema::new(vec![]),
+                shape: CachedShape::Select { order_by: vec![], limit: None },
+                param_count: 0,
+                tables: vec![],
+                epoch: 0,
+            })
+        };
+        let key = |s: &str| CacheKey { session: 0, template: s.to_string() };
+        cache.insert(key("a"), entry());
+        cache.insert(key("b"), entry());
+        assert!(cache.get(&key("a")).is_some()); // refresh a
+        cache.insert(key("c"), entry()); // evicts b
+        assert!(cache.get(&key("b")).is_none());
+        assert!(cache.get(&key("a")).is_some());
+        assert!(cache.get(&key("c")).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn clear_session_drops_only_that_namespace() {
+        let cache = PlanCache::new(8);
+        let entry = Arc::new(CacheEntry {
+            plan: Plan::OneRow,
+            schema: Schema::new(vec![]),
+            shape: CachedShape::Select { order_by: vec![], limit: None },
+            param_count: 0,
+            tables: vec![],
+            epoch: 0,
+        });
+        cache.insert(CacheKey { session: 1, template: "t".into() }, entry.clone());
+        cache.insert(CacheKey { session: 2, template: "t".into() }, entry);
+        cache.clear_session(1);
+        assert!(cache.get(&CacheKey { session: 1, template: "t".into() }).is_none());
+        assert!(cache.get(&CacheKey { session: 2, template: "t".into() }).is_some());
+    }
+
+    #[test]
+    fn bind_substitutes_every_slot() {
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Scan { table: "t".into() }),
+            pred: Expr::Cmp {
+                op: crate::expr::CmpOp::Gt,
+                left: Box::new(Expr::Column(0)),
+                right: Box::new(Expr::Param { idx: 0, float: false }),
+            },
+        };
+        let bound = bind_plan(&plan, &[ParamValue::Int(9)]);
+        let Plan::Filter { pred, .. } = bound else { panic!() };
+        let Expr::Cmp { right, .. } = pred else { panic!() };
+        assert!(matches!(*right, Expr::LitInt(9)));
+    }
+}

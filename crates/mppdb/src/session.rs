@@ -186,8 +186,10 @@ impl SessionCore {
         format!("__sess{}__", self.id)
     }
 
-    /// Name to use when *creating* `name` in this session.
-    fn create_name(&self, name: &str) -> String {
+    /// Name to use when *creating* `name` in this session. Computed per
+    /// execution (not captured in cached plans) so `set_temp_namespace`
+    /// toggles take effect on cache hits too.
+    pub(crate) fn create_name(&self, name: &str) -> String {
         if self.id != DEFAULT_SESSION_ID && self.temp_ns.load(Ordering::Relaxed) {
             self.mangled(name)
         } else {
@@ -528,6 +530,7 @@ impl Session {
         if self.closed.swap(true, Ordering::Relaxed) {
             return;
         }
+        self.cluster.plan_cache_drop_session(self.core.id);
         // A closing session must actually release space even if it died
         // mid-transaction.
         self.core.stats.set_transactional(false);

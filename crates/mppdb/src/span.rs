@@ -69,6 +69,11 @@ pub enum SpanKind {
     /// A partition parked by fuel backpressure (`PollPush::Pending`),
     /// waiting to be rescheduled (nested inside [`SpanKind::Exec`]).
     Parked,
+    /// Plan-cache consultation: statement normalization, key lookup
+    /// and revalidation, plus literal re-binding of the cached (or
+    /// freshly planned) template. On a cache hit this is the *only*
+    /// pre-exec span — no `Parse`/`Plan` spans open at all.
+    PlanCacheLookup,
     /// Retry backoff sleep between statement attempts.
     RetryBackoff,
     /// An incremental-CC stream rebuild phase.
@@ -86,6 +91,7 @@ impl SpanKind {
             SpanKind::Exec => "exec",
             SpanKind::Stage => "stage",
             SpanKind::Parked => "parked",
+            SpanKind::PlanCacheLookup => "plan_cache",
             SpanKind::RetryBackoff => "retry_backoff",
             SpanKind::Rebuild => "rebuild",
         }

@@ -144,6 +144,14 @@ pub enum AstExpr {
     Int(i64),
     /// Float literal.
     Float(f64),
+    /// A plan-cache parameter standing in for a literal. Only appears
+    /// when parsing a normalized token template (never from user SQL).
+    Param {
+        /// Position in the extracted parameter list.
+        idx: usize,
+        /// True when the original literal was a float.
+        float: bool,
+    },
     /// `NULL`.
     Null,
     /// `*` — only valid inside `count(*)`.

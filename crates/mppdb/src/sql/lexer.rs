@@ -39,6 +39,16 @@ pub enum Token {
     Plus,
     /// `;`
     Semi,
+    /// A normalized-out literal placeholder. Never produced by
+    /// [`tokenize`]: the plan cache's normalizer substitutes these for
+    /// `Int`/`Float` literals so that statements differing only in
+    /// literal values share one parse + plan.
+    Param {
+        /// Position in the statement's extracted parameter list.
+        idx: usize,
+        /// True when the replaced literal was a float.
+        float: bool,
+    },
 }
 
 /// Tokenizes SQL text. Comments (`-- …`) run to end of line.

@@ -28,3 +28,6 @@ mod planner;
 pub use ast::{AstExpr, FromItem, JoinKind, Query, SelectCore, SelectItem, Statement, TableRel};
 pub use parser::parse_statement;
 pub use planner::{plan_query, plan_query_with_schema, PlannerCatalog};
+
+pub(crate) use lexer::{tokenize, Token};
+pub(crate) use parser::parse_tokens;

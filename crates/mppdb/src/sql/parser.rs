@@ -7,7 +7,13 @@ use crate::expr::CmpOp;
 
 /// Parses one SQL statement (an optional trailing `;` is allowed).
 pub fn parse_statement(sql: &str) -> DbResult<Statement> {
-    let tokens = tokenize(sql)?;
+    parse_tokens(tokenize(sql)?)
+}
+
+/// Parses an already-lexed token stream — the entry point the plan
+/// cache uses to parse a normalized template (whose literals have been
+/// replaced by [`Token::Param`] placeholders).
+pub(crate) fn parse_tokens(tokens: Vec<Token>) -> DbResult<Statement> {
     let mut p = Parser { tokens, pos: 0 };
     let stmt = p.statement()?;
     p.eat_if(&Token::Semi);
@@ -363,6 +369,7 @@ impl Parser {
         match self.next()? {
             Token::Int(v) => Ok(AstExpr::Int(v)),
             Token::Float(v) => Ok(AstExpr::Float(v)),
+            Token::Param { idx, float } => Ok(AstExpr::Param { idx, float }),
             Token::Minus => match self.next()? {
                 Token::Int(v) => Ok(AstExpr::Int(-v)),
                 Token::Float(v) => Ok(AstExpr::Float(-v)),

@@ -413,6 +413,7 @@ fn bind_scalar(ast: &AstExpr, scope: &Scope, cat: &dyn PlannerCatalog) -> DbResu
         }
         AstExpr::Int(v) => Ok(Expr::LitInt(*v)),
         AstExpr::Float(v) => Ok(Expr::LitDouble(*v)),
+        AstExpr::Param { idx, float } => Ok(Expr::Param { idx: *idx, float: *float }),
         AstExpr::Null => Ok(Expr::Null),
         AstExpr::Star => Err(DbError::Plan("'*' is only valid inside count(*)".into())),
         AstExpr::Call { name, args } => {
@@ -493,7 +494,9 @@ fn output_field(
 fn infer_nullable(e: &Expr, input_nullables: &[bool]) -> bool {
     match e {
         Expr::Column(i) => input_nullables.get(*i).copied().unwrap_or(true),
-        Expr::LitInt(_) | Expr::LitDouble(_) | Expr::Random { .. } => false,
+        Expr::LitInt(_) | Expr::LitDouble(_) | Expr::Param { .. } | Expr::Random { .. } => {
+            false
+        }
         Expr::Null => true,
         // least/greatest/coalesce yield NULL only when all arguments do.
         Expr::Least(a) | Expr::Greatest(a) | Expr::Coalesce(a) => {
@@ -635,6 +638,7 @@ fn bind_agg_item(
         }
         AstExpr::Int(v) => Ok(Expr::LitInt(*v)),
         AstExpr::Float(v) => Ok(Expr::LitDouble(*v)),
+        AstExpr::Param { idx, float } => Ok(Expr::Param { idx: *idx, float: *float }),
         AstExpr::Null => Ok(Expr::Null),
         AstExpr::Star => Err(DbError::Plan("'*' is only valid inside count(*)".into())),
         AstExpr::Call { name, args } if is_aggregate_name(name) => {

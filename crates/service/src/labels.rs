@@ -1,0 +1,134 @@
+//! The component-label lookup cache.
+//!
+//! "Which component is vertex v in?" is the canonical interactive
+//! query against an incremental CC stream. Answering it through SQL
+//! means a full scan of the published `{name}_labels` table per
+//! lookup — parse, plan, gate, scatter, gather — for a single point
+//! read. This cache materialises the published table once per label
+//! epoch into a hash map, so repeated lookups are O(1) reads that
+//! never touch the gate.
+//!
+//! ## Coherence
+//!
+//! Entries are versioned by the stream's label *epoch*. A rebuild
+//! publishes the new `{name}_labels` table **before** swinging the
+//! epoch (see `incc-stream`'s module docs), so at every instant the
+//! table's content is at least as new as the generation epoch. The
+//! build loop exploits that ordering: read the epoch, scan the table,
+//! re-read the epoch, and retry if it moved. A stable epoch pair
+//! therefore yields labels from that epoch *or newer* — a lookup can
+//! never return a pre-epoch (stale) label. An entry briefly tagged
+//! with labels from a mid-publish rebuild self-corrects on the next
+//! lookup, when the swung epoch no longer matches.
+
+use incc_mppdb::{DbResult, SqlEngine};
+use incc_stream::IncrementalCc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How many times the build loop re-scans when a rebuild keeps
+/// swinging the epoch mid-scan before giving up for this lookup.
+const BUILD_RETRIES: usize = 8;
+
+/// Counter snapshot of a [`LabelCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelCacheStats {
+    /// Lookups answered from a current-epoch entry.
+    pub hits: u64,
+    /// Lookups that found no entry (or a stale-epoch one).
+    pub misses: u64,
+    /// Label-table materialisations performed (one scan each).
+    pub builds: u64,
+    /// Streams with a cached label map right now.
+    pub entries: usize,
+}
+
+struct LabelEntry {
+    epoch: u64,
+    labels: Arc<HashMap<i64, i64>>,
+}
+
+/// Per-stream cache of the latest published label table, keyed by
+/// stream name and versioned by label epoch.
+pub(crate) struct LabelCache {
+    entries: Mutex<HashMap<String, LabelEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl LabelCache {
+    pub(crate) fn new() -> LabelCache {
+        LabelCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// The label map for `name` at the stream's current epoch,
+    /// building (scanning the published table) on miss. Returns the
+    /// map and the epoch it was validated against. `None` when the
+    /// epoch refused to hold still for [`BUILD_RETRIES`] scans — the
+    /// caller should fall back to the stream's in-memory labelling.
+    pub(crate) fn labels_at_current_epoch(
+        &self,
+        name: &str,
+        cc: &IncrementalCc,
+        db: &dyn SqlEngine,
+    ) -> DbResult<Option<(Arc<HashMap<i64, i64>>, u64)>> {
+        let epoch = cc.epoch();
+        {
+            let entries = self.entries.lock().unwrap();
+            if let Some(entry) = entries.get(name) {
+                if entry.epoch == epoch {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some((entry.labels.clone(), entry.epoch)));
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let table = format!("{name}_labels");
+        for _ in 0..BUILD_RETRIES {
+            let before = cc.epoch();
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            let pairs = db.scan_pairs(&table)?;
+            let after = cc.epoch();
+            if before != after {
+                // A rebuild published between our epoch reads; the
+                // scan may mix generations in its tag. Re-scan.
+                continue;
+            }
+            let labels: Arc<HashMap<i64, i64>> = Arc::new(pairs.into_iter().collect());
+            let mut entries = self.entries.lock().unwrap();
+            let entry = entries
+                .entry(name.to_string())
+                .or_insert(LabelEntry { epoch: 0, labels: Arc::new(HashMap::new()) });
+            // Another thread may have installed a newer build while we
+            // scanned; keep whichever observed the later epoch.
+            if entry.epoch <= before {
+                entry.epoch = before;
+                entry.labels = labels;
+            }
+            let result = (entry.labels.clone(), entry.epoch);
+            return Ok(Some(result));
+        }
+        Ok(None)
+    }
+
+    /// Drops every entry. Counters are preserved.
+    pub(crate) fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+    }
+
+    pub(crate) fn stats(&self) -> LabelCacheStats {
+        LabelCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            entries: self.entries.lock().unwrap().len(),
+        }
+    }
+}

@@ -66,12 +66,14 @@
 #![warn(missing_docs)]
 
 mod job;
+mod labels;
 mod scheduler;
 pub mod server;
 mod service;
 mod streams;
 
 pub use job::{AlgoKind, JobHandle, JobResult, JobSpec, JobStatus};
+pub use labels::LabelCacheStats;
 pub use server::Server;
 pub use service::{AdmissionError, Service, ServiceConfig, SlowLogEntry};
 // The incremental-CC stream surface (`\stream` verbs, `Service::open_stream`

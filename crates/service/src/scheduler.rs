@@ -1,6 +1,6 @@
 //! The admission controller's moving parts: a bounded job lane feeding
-//! the cluster's shared segment-worker pool, and a counting gate that
-//! caps how many SQL statements execute concurrently.
+//! the cluster's shared segment-worker pool, and a two-class fair gate
+//! that caps how many SQL statements execute concurrently.
 //!
 //! The service used to own a second thread pool for job execution. Jobs
 //! now run as detached tickets on the *cluster's* [`SegmentPool`] — the
@@ -16,14 +16,22 @@ use incc_mppdb::{HistogramSnapshot, LatencyHistogram, SegmentPool};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// One queued lane entry: the task, its submit stamp, and what to do
+/// if shutdown discards it before a worker claims it.
+struct Pending {
+    queued: Instant,
+    task: Task,
+    on_discard: Option<Task>,
+}
 
 struct LaneInner {
     /// Pending tasks, each stamped at submit so the dequeue can record
     /// how long the job sat waiting for a width slot.
-    pending: VecDeque<(Instant, Task)>,
+    pending: VecDeque<Pending>,
     in_flight: usize,
     stopped: bool,
 }
@@ -36,7 +44,9 @@ struct LaneShared {
     depth: usize,
     /// Maximum tasks executing concurrently on the pool.
     width: usize,
-    /// Time tasks spend queued before claiming a width slot.
+    /// Time tasks spend queued before claiming a width slot — or, for
+    /// tasks discarded at shutdown, before being discarded, so no
+    /// queue time silently vanishes from the histogram.
     queue_wait: LatencyHistogram,
 }
 
@@ -45,8 +55,10 @@ struct LaneShared {
 /// [`JobLane::submit`] *rejects* (rather than blocks) when the pending
 /// queue is at capacity — the service's backpressure signal. At most
 /// `width` tasks run at once, so jobs cannot monopolise the cluster's
-/// segment workers. Shutdown discards pending tasks (the service fails
-/// their jobs explicitly) and waits for in-flight tasks to finish.
+/// segment workers. Shutdown *drains* pending tasks: each one's
+/// queue wait is recorded and its discard callback runs (the service
+/// uses it to fail the job deterministically), then in-flight tasks
+/// are waited out.
 pub(crate) struct JobLane {
     pool: Arc<SegmentPool>,
     shared: Arc<LaneShared>,
@@ -73,14 +85,19 @@ impl JobLane {
     }
 
     /// Enqueues a task, or returns it back when the lane is full or
-    /// shutting down.
-    pub(crate) fn submit(&self, task: Task) -> Result<(), Task> {
+    /// shutting down. `on_discard` runs (at most once, never alongside
+    /// the task) if shutdown drains the entry before a worker claims it.
+    pub(crate) fn submit(&self, task: Task, on_discard: Option<Task>) -> Result<(), Task> {
         {
             let mut inner = self.shared.inner.lock().unwrap();
             if inner.stopped || inner.pending.len() >= self.shared.depth {
                 return Err(task);
             }
-            inner.pending.push_back((Instant::now(), task));
+            inner.pending.push_back(Pending {
+                queued: Instant::now(),
+                task,
+                on_discard,
+            });
         }
         // One ticket per submission; a ticket finding the lane at width
         // exits immediately and the already-running tickets drain the
@@ -97,17 +114,32 @@ impl JobLane {
         self.shared.inner.lock().unwrap().pending.len()
     }
 
-    /// Snapshot of how long tasks waited in the lane before starting.
+    /// Snapshot of how long tasks waited in the lane before starting
+    /// (or before being discarded at shutdown).
     pub(crate) fn queue_wait_snapshot(&self) -> HistogramSnapshot {
         self.shared.queue_wait.snapshot()
     }
 
-    /// Stops accepting work, discards pending tasks, and waits for
+    /// Stops accepting work, drains pending tasks (recording their
+    /// queue waits and running their discard callbacks), and waits for
     /// in-flight tasks to finish. Idempotent.
     pub(crate) fn shutdown(&self) {
+        let drained: Vec<Pending> = {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.stopped = true;
+            inner.pending.drain(..).collect()
+        };
+        // Discard callbacks run outside the lock: they may touch job
+        // state that other threads inspect under their own locks.
+        for entry in drained {
+            self.shared
+                .queue_wait
+                .record(entry.queued.elapsed().as_nanos() as u64);
+            if let Some(discard) = entry.on_discard {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(discard));
+            }
+        }
         let mut inner = self.shared.inner.lock().unwrap();
-        inner.stopped = true;
-        inner.pending.clear();
         while inner.in_flight > 0 {
             inner = self.shared.idle.wait(inner).unwrap();
         }
@@ -132,10 +164,12 @@ fn run_lane(shared: &LaneShared) {
                 return;
             }
             match inner.pending.pop_front() {
-                Some((queued, t)) => {
+                Some(entry) => {
                     inner.in_flight += 1;
-                    shared.queue_wait.record(queued.elapsed().as_nanos() as u64);
-                    t
+                    shared
+                        .queue_wait
+                        .record(entry.queued.elapsed().as_nanos() as u64);
+                    entry.task
                 }
                 None => return,
             }
@@ -151,80 +185,205 @@ fn run_lane(shared: &LaneShared) {
     }
 }
 
-/// A counting semaphore bounding concurrent statement execution.
+/// Which admission class a statement belongs to.
+///
+/// Interactive statements come from client sessions (`run_sql`); batch
+/// statements are issued by job workers — whole-algorithm runs and
+/// stream rebuilds whose rounds fan out dozens of statements each.
+/// Without the distinction, a handful of jobs keeps the plain FIFO
+/// gate saturated and a client's `select count(*)` waits behind entire
+/// CC rounds — the p95 tail the fair gate exists to cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GateClass {
+    /// Client-facing statement; admitted whenever any slot is free.
+    Interactive,
+    /// Job-issued statement; capped below total capacity and admitted
+    /// behind waiting interactive statements (but never starved — one
+    /// batch statement may always run).
+    Batch,
+}
+
+impl GateClass {
+    /// The metrics label for this class.
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            GateClass::Interactive => "interactive",
+            GateClass::Batch => "batch",
+        }
+    }
+}
+
+struct GateState {
+    active_total: usize,
+    active_batch: usize,
+}
+
+/// A two-class weighted counting semaphore bounding concurrent
+/// statement execution.
 ///
 /// Both interactive statements and every statement a job's algorithm
 /// issues acquire a permit, so "max concurrent queries" is one global
-/// number no matter where the SQL comes from. Waiters block (queries
-/// are short); admission-level rejection happens earlier, at submit
-/// time.
+/// number no matter where the SQL comes from. Fairness rules:
+///
+/// * Interactive admits whenever `active < capacity`.
+/// * Batch keeps at least one slot free for interactive work
+///   (`active_batch < capacity - 1`, for capacity > 1), and while
+///   interactive statements are queued, no *additional* batch
+///   statement is admitted — but one may always run, so batch never
+///   starves.
+///
+/// Waiters block (queries are short); admission-level rejection
+/// happens earlier, at submit time.
 pub(crate) struct Gate {
     capacity: usize,
-    active: Mutex<usize>,
+    /// Max concurrently executing batch statements (`capacity - 1`,
+    /// min 1): batch alone can saturate all but one slot.
+    batch_cap: usize,
+    state: Mutex<GateState>,
     freed: Condvar,
-    /// Statements currently blocked in [`Gate::acquire`] — the
-    /// admission queue depth gauge.
-    waiting: AtomicUsize,
-    /// Time statements spend blocked waiting for a permit.
+    /// Statements currently blocked in [`Gate::acquire`], per class —
+    /// the admission queue depth gauges, and the fairness signal the
+    /// batch admission rule reads.
+    waiting_interactive: AtomicUsize,
+    waiting_batch: AtomicUsize,
+    /// Time statements spend blocked waiting for a permit, all classes
+    /// (the pre-existing aggregate family).
     wait: LatencyHistogram,
+    /// The same waits, split by class.
+    interactive_wait: LatencyHistogram,
+    batch_wait: LatencyHistogram,
 }
 
 impl Gate {
     pub(crate) fn new(capacity: usize) -> Gate {
+        let capacity = capacity.max(1);
         Gate {
-            capacity: capacity.max(1),
-            active: Mutex::new(0),
+            capacity,
+            batch_cap: capacity.saturating_sub(1).max(1),
+            state: Mutex::new(GateState {
+                active_total: 0,
+                active_batch: 0,
+            }),
             freed: Condvar::new(),
-            waiting: AtomicUsize::new(0),
+            waiting_interactive: AtomicUsize::new(0),
+            waiting_batch: AtomicUsize::new(0),
             wait: LatencyHistogram::new(),
+            interactive_wait: LatencyHistogram::new(),
+            batch_wait: LatencyHistogram::new(),
         }
     }
 
-    /// Blocks until a permit is free, then holds it for the guard's
-    /// lifetime. Every acquisition records its wait (zero-wait passes
-    /// included, so the histogram's count is the admission count).
-    pub(crate) fn acquire(&self) -> GatePermit<'_> {
+    fn admissible(&self, class: GateClass, state: &GateState) -> bool {
+        if state.active_total >= self.capacity {
+            return false;
+        }
+        match class {
+            GateClass::Interactive => true,
+            GateClass::Batch => {
+                state.active_batch < self.batch_cap
+                    && (self.waiting_interactive.load(Ordering::Relaxed) == 0
+                        || state.active_batch == 0)
+            }
+        }
+    }
+
+    /// Blocks until this class may run, then holds a permit for the
+    /// guard's lifetime. Every acquisition records its wait (zero-wait
+    /// passes included, so the aggregate histogram's count is the
+    /// admission count).
+    pub(crate) fn acquire(&self, class: GateClass) -> GatePermit<'_> {
         let started = Instant::now();
-        self.waiting.fetch_add(1, Ordering::Relaxed);
-        let mut n = self.active.lock().unwrap();
-        while *n >= self.capacity {
-            n = self.freed.wait(n).unwrap();
+        let waiting = match class {
+            GateClass::Interactive => &self.waiting_interactive,
+            GateClass::Batch => &self.waiting_batch,
+        };
+        waiting.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.lock().unwrap();
+        while !self.admissible(class, &state) {
+            state = self.freed.wait(state).unwrap();
         }
-        *n += 1;
-        drop(n);
-        self.waiting.fetch_sub(1, Ordering::Relaxed);
-        self.wait.record(started.elapsed().as_nanos() as u64);
-        GatePermit { gate: self }
+        state.active_total += 1;
+        if class == GateClass::Batch {
+            state.active_batch += 1;
+        }
+        drop(state);
+        waiting.fetch_sub(1, Ordering::Relaxed);
+        let nanos = started.elapsed().as_nanos() as u64;
+        self.wait.record(nanos);
+        match class {
+            GateClass::Interactive => self.interactive_wait.record(nanos),
+            GateClass::Batch => self.batch_wait.record(nanos),
+        }
+        GatePermit { gate: self, class }
     }
 
-    /// Statements blocked waiting for a permit right now.
+    /// A round-boundary yield for batch work: when interactive
+    /// statements are queued, pause briefly so they claim freed slots
+    /// before the next round's statement burst contends again. Called
+    /// between algorithm rounds while *no* permit is held, so the pause
+    /// donates this worker's slot rather than squatting on it.
+    pub(crate) fn round_yield(&self) {
+        if self.waiting_interactive.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let state = self.state.lock().unwrap();
+        // Wake on any permit release, or give up after a bounded pause —
+        // this is a fairness nudge, not a scheduling guarantee.
+        let _ = self
+            .freed
+            .wait_timeout(state, Duration::from_millis(2))
+            .unwrap();
+    }
+
+    /// Statements blocked waiting for a permit right now, all classes.
     pub(crate) fn queue_depth(&self) -> usize {
-        self.waiting.load(Ordering::Relaxed)
+        self.waiting_interactive.load(Ordering::Relaxed)
+            + self.waiting_batch.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of permit-wait times.
+    /// Snapshot of permit-wait times, all classes.
     pub(crate) fn wait_snapshot(&self) -> HistogramSnapshot {
         self.wait.snapshot()
+    }
+
+    /// Snapshot of one class's permit-wait times.
+    pub(crate) fn class_wait_snapshot(&self, class: GateClass) -> HistogramSnapshot {
+        match class {
+            GateClass::Interactive => self.interactive_wait.snapshot(),
+            GateClass::Batch => self.batch_wait.snapshot(),
+        }
     }
 
     /// Statements executing right now.
     #[cfg(test)]
     pub(crate) fn active(&self) -> usize {
-        *self.active.lock().unwrap()
+        self.state.lock().unwrap().active_total
+    }
+
+    /// Batch statements executing right now.
+    #[cfg(test)]
+    pub(crate) fn active_batch(&self) -> usize {
+        self.state.lock().unwrap().active_batch
     }
 }
 
 /// RAII permit returned by [`Gate::acquire`].
 pub(crate) struct GatePermit<'a> {
     gate: &'a Gate,
+    class: GateClass,
 }
 
 impl Drop for GatePermit<'_> {
     fn drop(&mut self) {
-        let mut n = self.gate.active.lock().unwrap();
-        *n -= 1;
-        drop(n);
-        self.gate.freed.notify_one();
+        let mut state = self.gate.state.lock().unwrap();
+        state.active_total -= 1;
+        if self.class == GateClass::Batch {
+            state.active_batch -= 1;
+        }
+        drop(state);
+        // Classes wait on different predicates; wake everyone and let
+        // the admission rules sort out who proceeds.
+        self.gate.freed.notify_all();
     }
 }
 
@@ -244,9 +403,12 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..32 {
             let c = counter.clone();
-            lane.submit(Box::new(move || {
-                c.fetch_add(1, Ordering::Relaxed);
-            }))
+            lane.submit(
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }),
+                None,
+            )
             .ok()
             .unwrap();
         }
@@ -266,13 +428,16 @@ mod tests {
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..16 {
             let (peak, live, done) = (peak.clone(), live.clone(), done.clone());
-            lane.submit(Box::new(move || {
-                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
-                peak.fetch_max(now, Ordering::SeqCst);
-                std::thread::sleep(Duration::from_millis(2));
-                live.fetch_sub(1, Ordering::SeqCst);
-                done.fetch_add(1, Ordering::SeqCst);
-            }))
+            lane.submit(
+                Box::new(move || {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(2));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    done.fetch_add(1, Ordering::SeqCst);
+                }),
+                None,
+            )
             .ok()
             .unwrap();
         }
@@ -293,12 +458,15 @@ mod tests {
         let started = Arc::new(AtomicBool::new(false));
         {
             let (release, started) = (release.clone(), started.clone());
-            lane.submit(Box::new(move || {
-                started.store(true, Ordering::Relaxed);
-                while !release.load(Ordering::Relaxed) {
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-            }))
+            lane.submit(
+                Box::new(move || {
+                    started.store(true, Ordering::Relaxed);
+                    while !release.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }),
+                None,
+            )
             .ok()
             .unwrap();
         }
@@ -306,52 +474,124 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         // One task fits in the queue; the next is rejected, not blocked.
-        lane.submit(Box::new(|| {})).ok().unwrap();
-        assert!(lane.submit(Box::new(|| {})).is_err());
+        lane.submit(Box::new(|| {}), None).ok().unwrap();
+        assert!(lane.submit(Box::new(|| {}), None).is_err());
         release.store(true, Ordering::Relaxed);
         lane.shutdown();
     }
 
     #[test]
-    fn shutdown_discards_queued_tasks_and_rejects_new_ones() {
+    fn shutdown_drains_queued_tasks_and_rejects_new_ones() {
         let lane = lane(1, 8);
         let release = Arc::new(AtomicBool::new(false));
         {
             let release = release.clone();
-            lane.submit(Box::new(move || {
-                while !release.load(Ordering::Relaxed) {
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-            }))
+            lane.submit(
+                Box::new(move || {
+                    while !release.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }),
+                None,
+            )
             .ok()
             .unwrap();
         }
+        let waits_before = lane.queue_wait_snapshot().count;
         let ran = Arc::new(AtomicBool::new(false));
+        let discarded = Arc::new(AtomicBool::new(false));
         {
-            let ran = ran.clone();
-            lane.submit(Box::new(move || ran.store(true, Ordering::Relaxed)))
-                .ok()
-                .unwrap();
+            let (ran, discarded) = (ran.clone(), discarded.clone());
+            lane.submit(
+                Box::new(move || ran.store(true, Ordering::Relaxed)),
+                Some(Box::new(move || discarded.store(true, Ordering::Relaxed))),
+            )
+            .ok()
+            .unwrap();
         }
         release.store(true, Ordering::Relaxed);
         lane.shutdown();
-        assert!(lane.submit(Box::new(|| {})).is_err());
+        // The queued task either ran (the worker claimed it before
+        // shutdown stamped the lane) or was discarded — never neither,
+        // never both — and its queue wait was recorded either way.
+        assert_ne!(
+            ran.load(Ordering::Relaxed),
+            discarded.load(Ordering::Relaxed),
+            "task must run exactly once or be discarded exactly once"
+        );
+        assert!(lane.queue_wait_snapshot().count > waits_before);
+        assert!(lane.submit(Box::new(|| {}), None).is_err());
+    }
+
+    #[test]
+    fn shutdown_discard_callbacks_fire_for_every_pending_task() {
+        // Zero-width is impossible (min 1), so park the single worker
+        // slot and pile tasks behind it.
+        let lane = lane(1, 8);
+        let release = Arc::new(AtomicBool::new(false));
+        let started = Arc::new(AtomicBool::new(false));
+        {
+            let (release, started) = (release.clone(), started.clone());
+            lane.submit(
+                Box::new(move || {
+                    started.store(true, Ordering::Relaxed);
+                    while !release.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }),
+                None,
+            )
+            .ok()
+            .unwrap();
+        }
+        while !started.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let discards = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let discards = discards.clone();
+            lane.submit(
+                Box::new(|| {}),
+                Some(Box::new(move || {
+                    discards.fetch_add(1, Ordering::Relaxed);
+                })),
+            )
+            .ok()
+            .unwrap();
+        }
+        release.store(true, Ordering::Relaxed);
+        lane.shutdown();
+        // The running task was claimed; every still-pending task's
+        // discard callback fired exactly once. (The worker may claim
+        // 0..4 of them before shutdown wins the race; ran + discarded
+        // must cover all 4.)
+        assert!(discards.load(Ordering::Relaxed) <= 4);
+        let waits = lane.queue_wait_snapshot().count;
+        assert_eq!(waits, 5, "all 5 submissions recorded a queue wait");
     }
 
     #[test]
     fn lane_survives_a_panicking_task() {
         let lane = lane(2, 8);
-        lane.submit(Box::new(|| panic!("job blew up"))).ok().unwrap();
+        lane.submit(Box::new(|| panic!("job blew up")), None)
+            .ok()
+            .unwrap();
         let ran = Arc::new(AtomicBool::new(false));
         {
             let ran = ran.clone();
-            lane.submit(Box::new(move || ran.store(true, Ordering::Relaxed)))
-                .ok()
-                .unwrap();
+            lane.submit(
+                Box::new(move || ran.store(true, Ordering::Relaxed)),
+                None,
+            )
+            .ok()
+            .unwrap();
         }
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while !ran.load(Ordering::Relaxed) {
-            assert!(std::time::Instant::now() < deadline, "task after panic never ran");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "task after panic never ran"
+            );
             std::thread::sleep(Duration::from_millis(1));
         }
         lane.shutdown();
@@ -365,7 +605,7 @@ mod tests {
             .map(|_| {
                 let (gate, peak) = (gate.clone(), peak.clone());
                 std::thread::spawn(move || {
-                    let _permit = gate.acquire();
+                    let _permit = gate.acquire(GateClass::Interactive);
                     let now = gate.active();
                     peak.fetch_max(now, Ordering::Relaxed);
                     std::thread::sleep(Duration::from_millis(5));
@@ -377,5 +617,87 @@ mod tests {
         }
         assert!(peak.load(Ordering::Relaxed) <= 2);
         assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn batch_leaves_one_slot_for_interactive() {
+        let gate = Arc::new(Gate::new(4));
+        let peak_batch = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..12)
+            .map(|_| {
+                let (gate, peak_batch) = (gate.clone(), peak_batch.clone());
+                std::thread::spawn(move || {
+                    let _permit = gate.acquire(GateClass::Batch);
+                    peak_batch.fetch_max(gate.active_batch(), Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(3));
+                })
+            })
+            .collect();
+        // While batch saturates its cap, an interactive statement still
+        // gets in promptly through the reserved headroom.
+        std::thread::sleep(Duration::from_millis(2));
+        let started = Instant::now();
+        let permit = gate.acquire(GateClass::Interactive);
+        let waited = started.elapsed();
+        drop(permit);
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(
+            peak_batch.load(Ordering::Relaxed) <= 3,
+            "batch exceeded capacity - 1"
+        );
+        assert!(
+            waited < Duration::from_millis(50),
+            "interactive statement waited {waited:?} behind batch"
+        );
+    }
+
+    #[test]
+    fn batch_never_starves_under_interactive_pressure() {
+        // Capacity 1: batch_cap is 1, and the "one batch may always
+        // run" rule must let batch through even while interactive
+        // statements churn.
+        let gate = Arc::new(Gate::new(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let churn: Vec<_> = (0..2)
+            .map(|_| {
+                let (gate, stop) = (gate.clone(), stop.clone());
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let _p = gate.acquire(GateClass::Interactive);
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..5 {
+            let _p = gate.acquire(GateClass::Batch);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in churn {
+            t.join().unwrap();
+        }
+        assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn class_waits_are_recorded_separately() {
+        let gate = Gate::new(2);
+        {
+            let _a = gate.acquire(GateClass::Interactive);
+            let _b = gate.acquire(GateClass::Batch);
+        }
+        assert_eq!(gate.wait_snapshot().count, 2);
+        assert_eq!(gate.class_wait_snapshot(GateClass::Interactive).count, 1);
+        assert_eq!(gate.class_wait_snapshot(GateClass::Batch).count, 1);
+    }
+
+    #[test]
+    fn round_yield_without_waiters_is_free() {
+        let gate = Gate::new(2);
+        let started = Instant::now();
+        gate.round_yield();
+        assert!(started.elapsed() < Duration::from_millis(2));
     }
 }

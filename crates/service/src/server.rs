@@ -25,14 +25,18 @@
 //!
 //! Commands: `\job <algo> <table> [seed] [profile]`, `\status <id>`,
 //! `\wait <id>`, `\cancel <id>`, `\result <id>`, `\stats [global]`,
-//! `\metrics`, `\profile on|off|last|<id>`, `\trace <id>|last` (the
+//! `\metrics`, `\cache stats|clear` (the plan cache and the
+//! component-label lookup cache), `\profile on|off|last|<id>`,
+//! `\trace <id>|last` (the
 //! sampled span trace: one line of Chrome trace-event JSON, then a
 //! text waterfall), `\slowlog` (one JSON line per slow run),
 //! `\mode csv|json`,
 //! `\timeout <ms>|off`, `\shared on|off`, `\quit`, and the incremental
 //! CC stream verbs: `\stream open <name> [max_tombstones]
 //! [staleness_ms]`, `\stream feed <name> +u:v|-u:v|+v ...`,
-//! `\stream component <name> <v>`, `\stream stats <name>`,
+//! `\stream component <name> <v>` (in-memory labelling),
+//! `\stream label <name> <v>` (published labels via the lookup
+//! cache), `\stream stats <name>`,
 //! `\stream rebuild <name>`, `\stream list`.
 //!
 //! A connection that drops without `\quit` (EOF or a socket error) is
@@ -48,6 +52,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Nanoseconds to microseconds, rounded half-up. The `\stats` and
+/// `\stream stats` quantile lines report micros; plain integer
+/// division would truncate every sub-microsecond wait to 0 and bias
+/// all quantiles low by up to a full microsecond.
+fn micros(nanos: u64) -> u64 {
+    (nanos + 500) / 1_000
+}
 
 /// Row output rendering.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -289,12 +301,12 @@ fn execute_command(
             writeln!(w, "network_bytes {}", s.network_bytes)?;
             writeln!(w, "queries {}", s.queries)?;
             writeln!(w, "retries {}", s.retries)?;
-            writeln!(w, "backoff_micros {}", s.backoff_nanos / 1_000)?;
+            writeln!(w, "backoff_micros {}", micros(s.backoff_nanos))?;
             // Statement latency quantiles (upper bucket bounds of the
             // log-scaled histogram, so within 2x of the exact value).
-            writeln!(w, "p50_micros {}", latency.quantile(0.50) / 1_000)?;
-            writeln!(w, "p95_micros {}", latency.quantile(0.95) / 1_000)?;
-            writeln!(w, "p99_micros {}", latency.quantile(0.99) / 1_000)?;
+            writeln!(w, "p50_micros {}", micros(latency.quantile(0.50)))?;
+            writeln!(w, "p95_micros {}", micros(latency.quantile(0.95)))?;
+            writeln!(w, "p99_micros {}", micros(latency.quantile(0.99)))?;
             if args.is_empty() {
                 writeln!(w, "exec_micros {}", session.exec_time().as_micros())?;
                 writeln!(
@@ -310,12 +322,29 @@ fn execute_command(
                 // above so queueing is not mistaken for slow execution.
                 let adm = service.admission_wait();
                 let pool = service.pool_queue_wait();
-                writeln!(w, "admission_wait_p50_micros {}", adm.quantile(0.50) / 1_000)?;
-                writeln!(w, "admission_wait_p95_micros {}", adm.quantile(0.95) / 1_000)?;
-                writeln!(w, "pool_wait_p50_micros {}", pool.quantile(0.50) / 1_000)?;
-                writeln!(w, "pool_wait_p95_micros {}", pool.quantile(0.95) / 1_000)?;
+                writeln!(w, "admission_wait_p50_micros {}", micros(adm.quantile(0.50)))?;
+                writeln!(w, "admission_wait_p95_micros {}", micros(adm.quantile(0.95)))?;
+                writeln!(w, "pool_wait_p50_micros {}", micros(pool.quantile(0.50)))?;
+                writeln!(w, "pool_wait_p95_micros {}", micros(pool.quantile(0.95)))?;
                 writeln!(w, "OK 15")?;
             }
+        }
+        ("cache", ["stats"]) => {
+            let pc = service.plan_cache_stats();
+            let lc = service.label_cache_stats();
+            writeln!(w, "plan_hits {}", pc.hits)?;
+            writeln!(w, "plan_misses {}", pc.misses)?;
+            writeln!(w, "plan_evictions {}", pc.evictions)?;
+            writeln!(w, "plan_entries {}", pc.entries)?;
+            writeln!(w, "label_hits {}", lc.hits)?;
+            writeln!(w, "label_misses {}", lc.misses)?;
+            writeln!(w, "label_builds {}", lc.builds)?;
+            writeln!(w, "label_entries {}", lc.entries)?;
+            writeln!(w, "OK 8")?;
+        }
+        ("cache", ["clear"]) => {
+            service.clear_caches();
+            writeln!(w, "OK cache cleared")?;
         }
         ("metrics", []) => {
             let text = service.metrics_text();
@@ -479,6 +508,27 @@ fn execute_command(
                 None => writeln!(w, "ERR vertex {v} not in stream {name}")?,
             }
         }
+        ("stream", ["label", name, v]) => {
+            // Like `\stream component`, but answered from the
+            // *published* `{name}_labels` table via the label lookup
+            // cache — a point read, no SQL scan per lookup.
+            let Ok(v) = v.parse::<i64>() else {
+                writeln!(w, "ERR vertex must be an integer")?;
+                return Ok(false);
+            };
+            match service.stream_label(name, v) {
+                Ok(Some((label, epoch))) => {
+                    write_row(
+                        w,
+                        *mode,
+                        &[Datum::Int(v), Datum::Int(label), Datum::Int(epoch as i64)],
+                    )?;
+                    writeln!(w, "OK 1")?;
+                }
+                Ok(None) => writeln!(w, "ERR vertex {v} not in stream {name}")?,
+                Err(e) => writeln!(w, "ERR {e}")?,
+            }
+        }
         ("stream", ["stats", name]) => {
             let Some(cc) = service.stream(name) else {
                 writeln!(w, "ERR no such stream {name}")?;
@@ -501,7 +551,7 @@ fn execute_command(
             writeln!(
                 w,
                 "batch_p95_micros {}",
-                st.batch_latency.quantile(0.95) / 1_000
+                micros(st.batch_latency.quantile(0.95))
             )?;
             writeln!(w, "OK 14")?;
         }
@@ -636,5 +686,25 @@ fn write_row(w: &mut impl Write, mode: Mode, row: &[Datum]) -> io::Result<()> {
                 .collect();
             writeln!(w, "[{}]", cells.join(","))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::micros;
+
+    #[test]
+    fn micros_rounds_half_up_instead_of_truncating() {
+        assert_eq!(micros(0), 0);
+        assert_eq!(micros(499), 0);
+        assert_eq!(micros(500), 1);
+        assert_eq!(micros(999), 1);
+        assert_eq!(micros(1_000), 1);
+        assert_eq!(micros(1_499), 1);
+        assert_eq!(micros(1_500), 2);
+        // The old `/ 1_000` truncation reported 900ns waits as 0µs,
+        // zeroing whole quantile lines for sub-microsecond gates.
+        assert_eq!(micros(900), 1);
+        assert_eq!(900 / 1_000, 0_u64);
     }
 }

@@ -2,7 +2,8 @@
 //! asynchronous job API.
 
 use crate::job::{JobHandle, JobResult, JobSpec, JobState, JobStatus};
-use crate::scheduler::{Gate, JobLane};
+use crate::labels::{LabelCache, LabelCacheStats};
+use crate::scheduler::{Gate, GateClass, JobLane};
 use crate::streams::{valid_stream_name, StreamEntry};
 use incc_core::driver::{RoundRecorder, RunControl};
 use incc_mppdb::span::maybe_start;
@@ -209,7 +210,9 @@ impl std::error::Error for AdmissionError {}
 /// A [`SqlEngine`] wrapper that routes every statement through the
 /// service's concurrency gate, so algorithm rounds running on job
 /// workers count against the same `max_concurrent` bound as
-/// interactive statements.
+/// interactive statements. Job-issued statements are admitted as
+/// [`GateClass::Batch`]: capped below total capacity, and yielding to
+/// queued interactive statements.
 struct GatedEngine<'a> {
     inner: &'a Session,
     gate: &'a Gate,
@@ -246,7 +249,7 @@ impl SqlEngine for GatedEngine<'_> {
             || {
                 let _permit = {
                     let _wait = maybe_start(&self.trace, SpanKind::AdmissionWait, "gate");
-                    self.gate.acquire()
+                    self.gate.acquire(GateClass::Batch)
                 };
                 self.inner.run(sql_text)
             },
@@ -341,6 +344,9 @@ pub struct Service {
     next_trace: AtomicU64,
     traces: Arc<TraceRegistry>,
     slowlog: Arc<SlowLog>,
+    /// Per-stream component-label lookup cache, versioned by label
+    /// epoch (see [`crate::labels`]).
+    label_cache: LabelCache,
 }
 
 impl Service {
@@ -365,6 +371,7 @@ impl Service {
             next_trace: AtomicU64::new(1),
             traces: Arc::new(TraceRegistry::new(TRACE_RING)),
             slowlog,
+            label_cache: LabelCache::new(),
         })
     }
 
@@ -495,7 +502,7 @@ impl Service {
             || {
                 let _permit = {
                     let _wait = maybe_start(&trace, SpanKind::AdmissionWait, "gate");
-                    self.gate.acquire()
+                    self.gate.acquire(GateClass::Interactive)
                 };
                 session.run(sql)
             },
@@ -533,18 +540,30 @@ impl Service {
         let trace = self.maybe_trace("job");
         let traces = self.traces.clone();
         let slowlog = self.slowlog.clone();
-        let submitted = self.lane.submit(Box::new(move || {
-            execute_job(
-                &cluster,
-                &gate,
-                timeout,
-                retry,
-                &task_state,
-                trace,
-                &traces,
-                &slowlog,
-            );
-        }));
+        // If shutdown drains the lane before a worker claims this task,
+        // the discard callback fails the job deterministically instead
+        // of leaving it Queued forever.
+        let discard_state = state.clone();
+        let submitted = self.lane.submit(
+            Box::new(move || {
+                execute_job(
+                    &cluster,
+                    &gate,
+                    timeout,
+                    retry,
+                    &task_state,
+                    trace,
+                    &traces,
+                    &slowlog,
+                );
+            }),
+            Some(Box::new(move || {
+                discard_state.finish_failed(
+                    ErrorClass::Cancelled,
+                    "cancelled: discarded from queue at shutdown",
+                );
+            })),
+        );
         if submitted.is_err() {
             self.jobs.lock().unwrap().remove(&id);
             return Err(AdmissionError::QueueFull {
@@ -696,12 +715,25 @@ impl Service {
         let trace = self.maybe_trace("rebuild");
         let traces = self.traces.clone();
         let slowlog = self.slowlog.clone();
-        let submitted = self.lane.submit(Box::new(move || {
-            execute_stream_rebuild(
-                &cluster, &gate, timeout, retry, &task_state, &cc, trace, &traces, &slowlog,
-            );
-            task_pending.store(false, Ordering::Release);
-        }));
+        let discard_state = state.clone();
+        let discard_pending = pending.clone();
+        let submitted = self.lane.submit(
+            Box::new(move || {
+                execute_stream_rebuild(
+                    &cluster, &gate, timeout, retry, &task_state, &cc, trace, &traces, &slowlog,
+                );
+                task_pending.store(false, Ordering::Release);
+            }),
+            Some(Box::new(move || {
+                discard_state.finish_failed(
+                    ErrorClass::Cancelled,
+                    "cancelled: discarded from queue at shutdown",
+                );
+                // The rebuild never ran, so its scheduling latch must
+                // not stay stuck.
+                discard_pending.store(false, Ordering::Release);
+            })),
+        );
         if submitted.is_err() {
             self.jobs.lock().unwrap().remove(&id);
             pending.store(false, Ordering::Release);
@@ -711,6 +743,60 @@ impl Service {
         }
         last_job.store(id, Ordering::Release);
         Ok(JobHandle { state })
+    }
+
+    /// Answers "which component is vertex `v` in?" for a stream as a
+    /// point read against the label cache. Returns `(label, epoch)`,
+    /// or `None` when the vertex has no published label. Before the
+    /// first rebuild (epoch 0, no published table) — or while rebuilds
+    /// churn too fast for a coherent scan — the stream's in-memory
+    /// labelling answers instead, bypassing the cache.
+    pub fn stream_label(&self, name: &str, v: i64) -> DbResult<Option<(i64, u64)>> {
+        let cc = self
+            .stream(name)
+            .ok_or_else(|| DbError::Exec(format!("no such stream {name:?}")))?;
+        if cc.epoch() == 0 {
+            return Ok(cc
+                .component(v as u64)
+                .map(|(label, epoch)| (label as i64, epoch)));
+        }
+        match self
+            .label_cache
+            .labels_at_current_epoch(name, &cc, self.cluster.as_ref())?
+        {
+            Some((labels, epoch)) => Ok(labels.get(&v).map(|&label| (label, epoch))),
+            None => Ok(cc
+                .component(v as u64)
+                .map(|(label, epoch)| (label as i64, epoch))),
+        }
+    }
+
+    /// Counter snapshot of the component-label lookup cache.
+    pub fn label_cache_stats(&self) -> LabelCacheStats {
+        self.label_cache.stats()
+    }
+
+    /// Counter snapshot of the cluster's SQL plan cache.
+    pub fn plan_cache_stats(&self) -> incc_mppdb::PlanCacheStats {
+        self.cluster.plan_cache_stats()
+    }
+
+    /// Empties both the plan cache and the label cache (counters are
+    /// preserved). The `\cache clear` verb.
+    pub fn clear_caches(&self) {
+        self.cluster.clear_plan_cache();
+        self.label_cache.clear();
+    }
+
+    /// Histogram of gate waits for one admission class
+    /// (`interactive` = client statements, otherwise batch/job ones).
+    pub fn admission_class_wait(&self, interactive: bool) -> HistogramSnapshot {
+        let class = if interactive {
+            GateClass::Interactive
+        } else {
+            GateClass::Batch
+        };
+        self.gate.class_wait_snapshot(class)
     }
 
     /// Prometheus-style text exposition of the cluster's counters,
@@ -1007,6 +1093,52 @@ impl Service {
             "Statements and jobs over the slow-query threshold.",
             self.slowlog.total(),
         );
+        // Cache effectiveness: the plan cache (parse+plan skipped on
+        // hit) and the component-label lookup cache.
+        let pc = self.cluster.plan_cache_stats();
+        emit(
+            "incc_plan_cache_hits_total",
+            "counter",
+            "Statements served from a cached plan.",
+            pc.hits,
+        );
+        emit(
+            "incc_plan_cache_misses_total",
+            "counter",
+            "Cacheable statements that had to parse and plan.",
+            pc.misses,
+        );
+        emit(
+            "incc_plan_cache_evictions_total",
+            "counter",
+            "Cached plans displaced by the capacity bound.",
+            pc.evictions,
+        );
+        emit(
+            "incc_plan_cache_entries",
+            "gauge",
+            "Plans currently cached.",
+            pc.entries as u64,
+        );
+        let lc = self.label_cache.stats();
+        emit(
+            "incc_label_cache_hits_total",
+            "counter",
+            "Component lookups served from a current-epoch label map.",
+            lc.hits,
+        );
+        emit(
+            "incc_label_cache_misses_total",
+            "counter",
+            "Component lookups that found no current-epoch label map.",
+            lc.misses,
+        );
+        emit(
+            "incc_label_cache_builds_total",
+            "counter",
+            "Label-table materialisations (one full scan each).",
+            lc.builds,
+        );
         // Wait histograms stay in nanoseconds — their native unit —
         // with the same cumulative elided-bucket rendering as above.
         let mut nanos_hist = |name: &str, help: &str, h: &HistogramSnapshot| {
@@ -1037,6 +1169,46 @@ impl Service {
             "Time segment-pool tickets waited for a worker.",
             &self.cluster.worker_pool().queue_wait_snapshot(),
         );
+        // Gate waits split by admission class: one family, one series
+        // per class, same cumulative elided-bucket rendering.
+        let _ = writeln!(
+            out,
+            "# HELP incc_admission_class_wait_nanos Time statements waited on the concurrency gate, by class."
+        );
+        let _ = writeln!(out, "# TYPE incc_admission_class_wait_nanos histogram");
+        for class in [GateClass::Interactive, GateClass::Batch] {
+            let h = self.gate.class_wait_snapshot(class);
+            let label = class.label();
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                if i < 63 {
+                    let le = HistogramSnapshot::bucket_upper(i);
+                    let _ = writeln!(
+                        out,
+                        "incc_admission_class_wait_nanos_bucket{{class=\"{label}\",le=\"{le}\"}} {cumulative}"
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "incc_admission_class_wait_nanos_bucket{{class=\"{label}\",le=\"+Inf\"}} {}",
+                h.count
+            );
+            let _ = writeln!(
+                out,
+                "incc_admission_class_wait_nanos_sum{{class=\"{label}\"}} {}",
+                h.sum_nanos
+            );
+            let _ = writeln!(
+                out,
+                "incc_admission_class_wait_nanos_count{{class=\"{label}\"}} {}",
+                h.count
+            );
+        }
         out
     }
 
@@ -1123,7 +1295,13 @@ fn execute_job(
         session.install_trace(t.clone());
     }
     let algo = spec.algo.instance();
-    let on_round = |round: usize, _rows: usize| job.set_running(round);
+    // Round boundaries double as fairness points: with interactive
+    // statements queued on the gate, the job pauses briefly so they
+    // slip in before the next round's statement burst.
+    let on_round = |round: usize, _rows: usize| {
+        job.set_running(round);
+        gate.round_yield();
+    };
     // Round telemetry: difference the session's counters at every
     // round boundary the algorithm reports.
     let stats_fn = || session.stats();
@@ -1211,7 +1389,10 @@ fn execute_stream_rebuild(
     let session = cluster.session();
     session.set_timeout(timeout);
     job.attach_session_flag(session.cancel_flag());
-    let on_round = |round: usize, _rows: usize| job.set_running(round);
+    let on_round = |round: usize, _rows: usize| {
+        job.set_running(round);
+        gate.round_yield();
+    };
     let stats_fn = || session.stats();
     let recorder = RoundRecorder::new(&stats_fn);
     let ctrl = RunControl {
@@ -1416,6 +1597,17 @@ mod tests {
             "incc_pool_queue_wait_nanos_bucket{le=\"+Inf\"}",
             "incc_pool_queue_wait_nanos_sum",
             "incc_pool_queue_wait_nanos_count",
+            "incc_plan_cache_hits_total",
+            "incc_plan_cache_misses_total",
+            "incc_plan_cache_evictions_total",
+            "incc_plan_cache_entries",
+            "incc_label_cache_hits_total",
+            "incc_label_cache_misses_total",
+            "incc_label_cache_builds_total",
+            "incc_admission_class_wait_nanos_bucket{class=\"interactive\",le=\"+Inf\"}",
+            "incc_admission_class_wait_nanos_count{class=\"interactive\"}",
+            "incc_admission_class_wait_nanos_bucket{class=\"batch\",le=\"+Inf\"}",
+            "incc_admission_class_wait_nanos_count{class=\"batch\"}",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }
@@ -1692,8 +1884,108 @@ mod tests {
             let status = job.wait();
             assert!(status.is_terminal());
         }
+        // Every submission's queue wait was recorded — the claimed
+        // ones at claim time, the shutdown-discarded ones during the
+        // drain (they used to vanish from the histogram entirely).
+        assert_eq!(service.job_queue_wait().count, 4);
         // All job sessions are gone; only the shared input remains.
         assert_eq!(service.cluster().table_names(), vec!["edges".to_string()]);
         service.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn stream_label_serves_point_reads_from_the_cache() {
+        let service = Service::start(ServiceConfig::default());
+        service.open_stream("s", StreamConfig::default()).unwrap();
+        service
+            .feed_stream("s", &[EdgeOp::Add(1, 2), EdgeOp::Add(2, 3), EdgeOp::Add(8, 9)])
+            .unwrap();
+        // Epoch 0, nothing published: answered from the in-memory
+        // labelling, without touching the cache.
+        let (l1, e) = service.stream_label("s", 1).unwrap().unwrap();
+        assert_eq!(e, 0);
+        assert_eq!(service.label_cache_stats().misses, 0);
+        let (l2, _) = service.stream_label("s", 2).unwrap().unwrap();
+        assert_eq!(l1, l2);
+        assert_eq!(service.rebuild_stream("s").unwrap().wait(), JobStatus::Done);
+        // First post-rebuild lookup builds the map (miss), the second
+        // hits; both agree with the published table.
+        let (l1, e1) = service.stream_label("s", 1).unwrap().unwrap();
+        assert_eq!(e1, 1);
+        let (l8, e8) = service.stream_label("s", 8).unwrap().unwrap();
+        assert_eq!(e8, 1);
+        let stats = service.label_cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        let published: std::collections::HashMap<i64, i64> = service
+            .cluster()
+            .scan_pairs("s_labels")
+            .unwrap()
+            .into_iter()
+            .collect();
+        assert_eq!(published[&1], l1);
+        assert_eq!(published[&8], l8);
+        assert_ne!(l1, l8, "separate components share a label");
+        // Unknown vertex and unknown stream behave like `component`.
+        assert!(service.stream_label("s", 777).unwrap().is_none());
+        assert!(service.stream_label("nope", 1).is_err());
+        // A new rebuild swings the epoch; the stale entry is replaced,
+        // not served.
+        service.feed_stream("s", &[EdgeOp::Add(3, 8)]).unwrap();
+        assert_eq!(service.rebuild_stream("s").unwrap().wait(), JobStatus::Done);
+        let (l1b, e1b) = service.stream_label("s", 1).unwrap().unwrap();
+        let (l8b, _) = service.stream_label("s", 8).unwrap().unwrap();
+        assert_eq!(e1b, 2);
+        assert_eq!(l1b, l8b, "now one component");
+        assert_eq!(service.label_cache_stats().misses, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn label_lookups_never_return_a_pre_epoch_label() {
+        // Reads racing feeds and rebuilds must never observe an epoch
+        // going backwards: the build loop re-scans when a rebuild
+        // swings the epoch mid-scan, and a published-but-not-yet-swung
+        // table may only ever be *newer* than the tag it gets.
+        let service = Service::start(ServiceConfig::default());
+        service.open_stream("r", StreamConfig::default()).unwrap();
+        service
+            .feed_stream("r", &[EdgeOp::Add(1, 2), EdgeOp::Add(2, 3)])
+            .unwrap();
+        assert_eq!(service.rebuild_stream("r").unwrap().wait(), JobStatus::Done);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let churn = {
+            let (service, stop) = (Arc::clone(&service), stop.clone());
+            std::thread::spawn(move || {
+                let mut v = 4i64;
+                while !stop.load(Ordering::Relaxed) {
+                    service
+                        .feed_stream("r", &[EdgeOp::Add(v as u64, (v + 1) as u64)])
+                        .unwrap();
+                    v += 2;
+                    if let Ok(job) = service.rebuild_stream("r") {
+                        job.wait();
+                    }
+                }
+            })
+        };
+        let cc = service.stream("r").unwrap();
+        let mut last_epoch = 0;
+        for _ in 0..200 {
+            let floor = cc.epoch();
+            let (_, epoch) = service.stream_label("r", 1).unwrap().unwrap();
+            assert!(
+                epoch >= floor,
+                "lookup returned epoch {epoch} older than the {floor} observed before it"
+            );
+            assert!(epoch >= last_epoch, "epoch went backwards");
+            last_epoch = epoch;
+        }
+        stop.store(true, Ordering::Relaxed);
+        churn.join().unwrap();
+        let stats = service.label_cache_stats();
+        assert!(stats.hits + stats.misses >= 200);
+        service.shutdown();
     }
 }

@@ -8,20 +8,62 @@ reference times live in ``crates/bench/benches/engine.rs``
 trip here means a real regression, not scheduler noise.
 
 Usage: bench_gate.py <engine_bench_json> [threshold] [name=threshold ...]
+       bench_gate.py --service <service_json> [max_ratio]
 
 Trailing ``name=threshold`` pairs override the default threshold for
 individual kernels — e.g. ``rc_end_to_end=1.05`` holds the end-to-end
 run to a tighter bound than the noisy microbenches.
+
+The ``--service`` form gates the service-layer tail instead: it reads
+``results/service.json`` (written by ``cargo bench -p incc-bench
+--bench service``) and fails when p95 latency at the highest session
+count exceeds ``max_ratio`` (default 4.0) times the single-session
+p95 — the fairness bound the statement scheduler is meant to hold.
 """
 
 import json
 import sys
 
 
+def service_gate(path: str, max_ratio: float) -> int:
+    with open(path) as f:
+        doc = json.load(f)
+
+    series = doc.get("series", [])
+    single = next((l for l in series if l.get("sessions") == 1), None)
+    peak = max(series, key=lambda l: l.get("sessions", 0), default=None)
+    if single is None or peak is None or not single.get("p95_us"):
+        print(f"service gate: {path} lacks a usable 1-session/peak p95 pair")
+        return 1
+
+    ratio = peak["p95_us"] / single["p95_us"]
+    line = (
+        f"p95 {peak['p95_us']} us at {peak['sessions']} sessions vs "
+        f"{single['p95_us']} us at 1 ({ratio:.2f}x, gate {max_ratio:.2f}x)"
+    )
+    if ratio > max_ratio:
+        print(f"service tail regression: {line}")
+        return 1
+
+    hits = peak.get("plan_cache_hits", 0)
+    served = hits + peak.get("plan_cache_misses", 0)
+    hit_pct = 100.0 * hits / served if served else 0.0
+    print(f"service gate: {line}; plan cache {hit_pct:.1f}% hits at peak")
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) < 2:
-        print(f"usage: {sys.argv[0]} <engine_bench_json> [threshold] [name=threshold ...]")
+        print(
+            f"usage: {sys.argv[0]} <engine_bench_json> [threshold] [name=threshold ...]\n"
+            f"       {sys.argv[0]} --service <service_json> [max_ratio]"
+        )
         return 2
+    if sys.argv[1] == "--service":
+        if len(sys.argv) < 3:
+            print(f"usage: {sys.argv[0]} --service <service_json> [max_ratio]")
+            return 2
+        return service_gate(sys.argv[2], float(sys.argv[3]) if len(sys.argv) > 3 else 4.0)
     path = sys.argv[1]
     threshold = 1.25
     per_name: dict[str, float] = {}

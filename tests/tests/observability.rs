@@ -256,6 +256,43 @@ fn service_trace_attributes_wall_time() {
     service.shutdown();
 }
 
+/// A plan-cache hit pays zero parse/plan: its trace opens no Parse or
+/// Plan span at all — only the cache consult (normalize + revalidate +
+/// bind) and execution.
+#[test]
+fn cache_hit_traces_carry_no_parse_or_plan_spans() {
+    let service = Service::start(ServiceConfig {
+        trace_sample: 1,
+        ..Default::default()
+    });
+    service
+        .cluster()
+        .load_pairs("e", "v1", "v2", &[(1, 2), (2, 3)])
+        .unwrap();
+    let session = service.session();
+    let q = "select count(*) as n from e where v1 > 0";
+    service.run_sql(&session, q).unwrap();
+    let miss = service.last_trace().expect("sampled miss trace");
+    assert!(miss.spans.iter().any(|s| s.kind == SpanKind::Parse));
+    assert!(miss.spans.iter().any(|s| s.kind == SpanKind::Plan));
+
+    service.run_sql(&session, q).unwrap();
+    let hit = service.last_trace().expect("sampled hit trace");
+    assert!(
+        hit.spans
+            .iter()
+            .all(|s| s.kind != SpanKind::Parse && s.kind != SpanKind::Plan),
+        "cache hit must skip parse and plan entirely:\n{}",
+        hit.render_waterfall()
+    );
+    assert!(hit
+        .spans
+        .iter()
+        .any(|s| s.kind == SpanKind::PlanCacheLookup));
+    assert!(hit.spans.iter().any(|s| s.kind == SpanKind::Exec));
+    service.shutdown();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
