@@ -51,6 +51,14 @@ step python3 -c 'import json; d = json.load(open("results/rounds_smoke.json")); 
 step env STREAM_BENCH_SMOKE=1 cargo bench -p incc-bench --bench stream
 step python3 -c 'import json; d = json.load(open("results/stream_bench_smoke.json")); assert d["speedup"] > 0 and d["labellings_equivalent"]'
 
+# Adaptive algorithm-selection smoke: the three-dataset suite (dense
+# Candels slice, skewed Bitcoin addresses, long path union) must
+# complete, and on each dataset the census-driven adaptive driver must
+# land within 1.05x of the best fixed algorithm while recording its
+# decision. Catches census drift and selection regressions at CI scale.
+step timeout 300 cargo run --release -p incc-bench --bin repro -- adaptive --quick --json results
+step python3 scripts/bench_gate.py --adaptive results/adaptive_smoke.json
+
 # Incremental-CC correctness: the equivalence/staleness/epoch-safety
 # property suite, then the `\stream` verbs end-to-end over TCP against
 # a live incc-serve. Bounded so a stuck rebuild latch is a failure.
@@ -67,7 +75,9 @@ step timeout 300 python3 scripts/observability_smoke.py
 # metric families must be exposed, under 8 concurrent sessions.
 step timeout 300 python3 scripts/trace_smoke.py
 
-# Chaos: all five algorithms must produce labels byte-identical to a
+# Chaos: every CC algorithm (the five SQL ones, engine-native
+# Liu-Tarjan, and the adaptive driver) must produce labels
+# byte-identical to a
 # fault-free run under seeded panic/error/stall fault plans, both
 # in-process (harness) and over TCP against a live incc-serve with
 # INCC_FAULT_PLAN armed. Bounded: a retry loop that hangs is a failure.

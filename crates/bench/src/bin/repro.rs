@@ -10,6 +10,7 @@
 //! repro gamma              # Theorem 1 / Appendix B contraction factors
 //! repro sparkcmp           # Section VII-C in-db vs external profile
 //! repro ablation           # RC variants × randomisation methods
+//! repro adaptive           # adaptive-vs-fixed smoke (bench gate input)
 //!
 //! options: --scale <denom>  (default 20000; paper sizes are divided by this)
 //!          --runs <n>       (default 3)
@@ -18,14 +19,14 @@
 //! ```
 
 use incc_bench::report::{
-    human_bytes, render_fig6, render_rsd, render_runtimes, render_space, render_table,
-    render_written,
+    cells_to_json, human_bytes, render_fig6, render_rsd, render_runtimes, render_space,
+    render_table, render_written,
 };
 use incc_bench::{
     ablation, benchmark_suite, convergence, fig2_path_contraction, fig5_histograms,
     gamma_experiment, gamma_search, large_scale_rounds, path_space_blowup, rounds_by_method,
-    spark_comparison, table1_scaling, table2_census, table3_algorithms, transaction_space,
-    union_find_baseline, Config,
+    spark_comparison, suite_algorithms, table1_scaling, table2_census, table3_algorithms,
+    transaction_space, union_find_baseline, Config,
 };
 use incc_graph::datasets::Dataset;
 use serde::Serialize;
@@ -73,7 +74,7 @@ fn parse_args() -> Args {
                 ));
             }
             "--help" | "-h" => {
-                println!("see module docs: repro [all|table1|table2|table3|fig2|fig5|gamma|sparkcmp|ablation] [--scale N] [--runs N] [--quick] [--json DIR]");
+                println!("see module docs: repro [all|table1|table2|table3|fig2|fig5|gamma|sparkcmp|ablation|adaptive] [--scale N] [--runs N] [--quick] [--json DIR]");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => experiment = other.to_string(),
@@ -94,6 +95,16 @@ fn save_json<T: Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
         .expect("write json");
+    println!("  [json saved to {}]", path.display());
+}
+
+/// Writes pre-rendered JSON text (the suite cells use the hand-rolled
+/// renderer so the archived records carry real content).
+fn save_json_text(dir: &Option<PathBuf>, name: &str, text: &str) {
+    let Some(dir) = dir else { return };
+    std::fs::create_dir_all(dir).expect("create json dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, text).expect("write json");
     println!("  [json saved to {}]", path.display());
 }
 
@@ -132,9 +143,15 @@ fn main() {
     if run_all || args.experiment == "ablation" {
         run_ablation(&cfg, &args.json_dir);
     }
+    if run_all || args.experiment == "adaptive" {
+        adaptive_smoke(&cfg, &args.json_dir);
+    }
     if !run_all
-        && !["table1", "table2", "table3", "fig2", "fig5", "gamma", "sparkcmp", "ablation"]
-            .contains(&args.experiment.as_str())
+        && ![
+            "table1", "table2", "table3", "fig2", "fig5", "gamma", "sparkcmp", "ablation",
+            "adaptive",
+        ]
+        .contains(&args.experiment.as_str())
     {
         die(&format!("unknown experiment {:?}", args.experiment));
     }
@@ -218,8 +235,8 @@ fn table2(cfg: &Config, json: &Option<PathBuf>) {
 }
 
 fn table3(cfg: &Config, json: &Option<PathBuf>) {
-    println!("-- Tables III/IV/V + Fig. 6: RC vs HM vs TP vs CR on all datasets --");
-    let algos = table3_algorithms();
+    println!("-- Tables III/IV/V + Fig. 6: RC/HM/TP/CR + native LT + adaptive on all datasets --");
+    let algos = suite_algorithms();
     let cells = benchmark_suite(cfg, &Dataset::TABLE2, &algos);
     let unverified: Vec<_> = cells
         .iter()
@@ -283,7 +300,55 @@ fn table3(cfg: &Config, json: &Option<PathBuf>) {
         )
     );
     println!("(transactional peak tracks bytes written, not the live working set)\n");
-    save_json(json, "table3_suite", &cells);
+    // Per-algorithm totals across the suite, DNF cells counted as
+    // losses for the algorithm that did not finish.
+    let algo_names: Vec<String> = {
+        let mut names = Vec::new();
+        for c in &cells {
+            if !names.contains(&c.algorithm) {
+                names.push(c.algorithm.clone());
+            }
+        }
+        names
+    };
+    println!("suite totals (sum of mean cell seconds; DNF cells excluded from their total):");
+    for name in &algo_names {
+        let (total, finished) = cells
+            .iter()
+            .filter(|c| c.algorithm == *name)
+            .fold((0.0f64, 0usize), |(t, n), c| match c.mean_secs() {
+                Some(s) => (t + s, n + 1),
+                None => (t, n),
+            });
+        println!("  {name}: {total:.3}s over {finished} datasets");
+    }
+    save_json_text(json, "table3_suite", &cells_to_json(&cells));
+}
+
+/// The adaptive smoke comparison behind `ci.sh`'s bench gate: three
+/// small datasets, every suite algorithm, five runs each — enough for
+/// `scripts/bench_gate.py --adaptive` to assert the adaptive driver's
+/// median lands within 5% of the best fixed algorithm per dataset.
+fn adaptive_smoke(cfg: &Config, json: &Option<PathBuf>) {
+    println!("-- Adaptive smoke: suite algorithms on three small datasets --");
+    let mut cfg = *cfg;
+    // The smoke gate holds the adaptive driver to 1.05x of the best
+    // fixed algorithm, so cells must run long enough that the bounded
+    // census probe (sub-millisecond) cannot dominate, and single runs
+    // are too noisy to gate on: run at 2x the default scale and give
+    // the gate five runs per cell to take a stable median of, even
+    // under --quick.
+    cfg.runs = cfg.runs.clamp(5, 5);
+    cfg.scale_denom = cfg.scale_denom.min(10_000);
+    let datasets = [Dataset::Candels(10), Dataset::BitcoinAddresses, Dataset::PathUnion10];
+    let cells = benchmark_suite(&cfg, &datasets, &suite_algorithms());
+    println!("{}", render_runtimes(&cells));
+    for c in &cells {
+        if let Some(picked) = c.runs.first().and_then(|r| r.picked.as_ref()) {
+            println!("  {}: {}", c.dataset, picked);
+        }
+    }
+    save_json_text(json, "adaptive_smoke", &cells_to_json(&cells));
 }
 
 fn fig2(_cfg: &Config, json: &Option<PathBuf>) {

@@ -16,7 +16,7 @@ pub use experiments::*;
 
 use incc_core::driver::CcAlgorithm;
 use incc_core::{bfs::BfsStrategy, cracker::Cracker, hash_to_min::HashToMin, two_phase::TwoPhase};
-use incc_core::{RandomisedContraction, SpaceVariant};
+use incc_core::{AdaptiveDriver, LiuTarjan, RandomisedContraction, SpaceVariant};
 use incc_ffield::Method;
 
 /// Configuration shared by all experiments.
@@ -57,6 +57,15 @@ pub fn table3_algorithms() -> Vec<Box<dyn CcAlgorithm>> {
         Box::new(TwoPhase::default()),
         Box::new(Cracker::default()),
     ]
+}
+
+/// The full suite: the paper's four plus the engine-native Liu–Tarjan
+/// rounds and the census-driven adaptive driver.
+pub fn suite_algorithms() -> Vec<Box<dyn CcAlgorithm>> {
+    let mut out = table3_algorithms();
+    out.push(Box::new(LiuTarjan::default()));
+    out.push(Box::<AdaptiveDriver>::default());
+    out
 }
 
 /// All algorithm configurations exercised by the ablation experiment:

@@ -46,6 +46,69 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Renders suite cells as pretty-printed JSON. Hand-rolled (the whole
+/// workspace renders JSON without a serializer); the shape matches the
+/// archived `results/table3_suite.json` records, extended with the
+/// per-run `picked` decision for adaptive cells and a `dnf` reason for
+/// did-not-finish cells, so downstream tooling (`scripts/bench_gate.py`)
+/// can aggregate while tolerating both.
+pub fn cells_to_json(cells: &[CellResult]) -> String {
+    let esc = |s: &str| {
+        s.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    };
+    let mut out = String::from("[\n");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "  {{\n    \"dataset\": \"{}\",\n    \"algorithm\": \"{}\",\n    \"runs\": [",
+            esc(&c.dataset),
+            esc(&c.algorithm)
+        );
+        for (j, r) in c.runs.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\n        \"secs\": {},\n        \"rounds\": {},\n        \
+                 \"max_space\": {},\n        \"bytes_written\": {},\n        \
+                 \"network_bytes\": {},\n        \"queries\": {},\n        \
+                 \"input_bytes\": {},\n        \"verified\": {},\n        \"picked\": {}\n      }}",
+                r.secs,
+                r.rounds,
+                r.max_space,
+                r.bytes_written,
+                r.network_bytes,
+                r.queries,
+                r.input_bytes,
+                r.verified,
+                match &r.picked {
+                    Some(p) => format!("\"{}\"", esc(p)),
+                    None => "null".into(),
+                },
+            );
+        }
+        if !c.runs.is_empty() {
+            out.push_str("\n    ");
+        }
+        let _ = write!(
+            out,
+            "],\n    \"dnf\": {}\n  }}",
+            match &c.dnf {
+                Some(d) => format!("\"{}\"", esc(d)),
+                None => "null".into(),
+            }
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 /// Pivot of the benchmark suite by dataset × algorithm, with one value
 /// extractor — renders Tables III (seconds), IV (max space) and V
 /// (bytes written) from the same cells.
@@ -205,6 +268,7 @@ mod tests {
                     queries: 10,
                     input_bytes: 256,
                     verified: true,
+                    picked: None,
                 })
                 .collect(),
             dnf: dnf.map(String::from),
@@ -240,6 +304,25 @@ mod tests {
         assert!(render_rsd(&cells).contains('-'));
         let cells = vec![cell("A", "RC", &[1.0, 1.0], None)];
         assert!(render_rsd(&cells).contains("0.0%"));
+    }
+
+    #[test]
+    fn cells_json_records_picked_and_dnf() {
+        let mut adaptive = cell("A", "AD", &[1.0], None);
+        adaptive.runs[0].picked = Some("picked LT (native)".into());
+        let failed = cell("A", "HM", &[], Some("space limit"));
+        let json = cells_to_json(&[adaptive, failed]);
+        assert!(json.contains("\"picked\": \"picked LT (native)\""), "{json}");
+        assert!(json.contains("\"picked\": null") || !json.contains("\"picked\": \"\""));
+        assert!(json.contains("\"dnf\": \"space limit\""), "{json}");
+        assert!(json.contains("\"dnf\": null"), "{json}");
+        assert!(json.contains("\"runs\": []"), "empty runs stay compact: {json}");
+        // Balanced brackets — a cheap well-formedness check without a
+        // JSON parser in the workspace.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
     }
 
     #[test]

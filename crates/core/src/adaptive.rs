@@ -1,0 +1,426 @@
+//! Census-driven adaptive algorithm selection.
+//!
+//! The paper evaluates each algorithm against fixed dataset families
+//! and finds no single winner: Randomised Contraction dominates the
+//! heavy-tailed graphs, the simpler propagation schemes win small or
+//! shallow inputs, and the engine-native Liu–Tarjan rounds beat every
+//! SQL formulation whenever the native primitives are available. The
+//! [`AdaptiveDriver`] turns that observation into a strategy — it is a
+//! [`CcAlgorithm`] itself, so it slots into every harness (service
+//! jobs, benchmarks, chaos tests) unchanged:
+//!
+//! 1. **Probe.** A bounded census sample of the input edge relation is
+//!    drawn, preferring the engine's native [`CcOp::Census`] primitive
+//!    (one stride-sampled pass, no SQL) and falling back to a plain
+//!    scan on engines without native support. The probe also reveals
+//!    whether native primitives exist at all.
+//! 2. **Decide.** Decision features come from [`incc_graph::census`]:
+//!    degree skew, edge density, the log–log component-size slope and
+//!    a BFS-estimated diameter — all computed on the sample, so the
+//!    probe cost stays bounded regardless of input size.
+//! 3. **Run, and possibly re-decide.** The chosen algorithm runs under
+//!    a wrapped [`RunControl`]. After round 1 the driver compares the
+//!    observed working-set decay against the decay model that justified
+//!    the choice; if it is off-model the run is cancelled at the round
+//!    boundary (algorithms already clean up on cancellation) and the
+//!    fallback algorithm reruns from the untouched input table.
+//!
+//! Every decision is recorded as a human-readable string retrievable
+//! via [`CcAlgorithm::last_decision`]; the service layer surfaces it in
+//! job results and counts choices in Prometheus metrics.
+
+use crate::driver::{AlgoOutcome, CcAlgorithm, RunControl};
+use crate::hash_to_min::HashToMin;
+use crate::liu_tarjan::LiuTarjan;
+use crate::rc::RandomisedContraction;
+use crate::two_phase::TwoPhase;
+use incc_graph::census;
+use incc_graph::EdgeList;
+use incc_mppdb::{CcOp, DbError, DbResult, SqlEngine};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Tunables for [`AdaptiveDriver`]. The defaults are what the service
+/// and benchmarks use; tests override `forced_initial` to exercise the
+/// switching path deterministically.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Census sample rows requested per partition (native probe).
+    pub probe_rows_per_part: usize,
+    /// BFS probes for the diameter estimate.
+    pub diameter_probes: usize,
+    /// Degree-skew threshold above which the SQL fallback prefers
+    /// Two-Phase (its per-round dedup flattens heavy-tailed stars).
+    pub skew_threshold: f64,
+    /// Sampled-edge count below which Hash-to-Min is picked outright —
+    /// on tiny graphs its simplicity beats everyone's setup cost.
+    pub tiny_edges: usize,
+    /// Edges-per-distinct-source threshold at which native Liu–Tarjan
+    /// is preferred over Randomised Contraction. Below it the graph is
+    /// path- or forest-like (each edge brings its own vertex) and LT's
+    /// per-round full-relation passes pay for label tables RC's
+    /// contraction would have collapsed in one round; above it the
+    /// graph is dense enough that LT's SQL-free rounds win. The ratio
+    /// is exact (census counts distinct sources per partition) and
+    /// scale-invariant — Candels sits at ≈2.2 and RMAT at ≈68 across
+    /// every scale, the forest-like Bitcoin/path datasets at 1.0–1.4.
+    pub dense_threshold: f64,
+    /// Whether the round-1 decay check may abandon the first choice.
+    pub allow_switch: bool,
+    /// If the working set after round 1 exceeds this fraction of the
+    /// initial edge count, the decay is declared off-model. Calibrated
+    /// high: contraction on a pure path legitimately shrinks the edge
+    /// set by only ~5% in round 1 (endpoint pairs), so the switch must
+    /// fire only when round 1 achieved essentially nothing.
+    pub decay_limit: f64,
+    /// Test hook: force the initial pick (algorithm display name,
+    /// `"LT"`, `"RC"`, `"TP"` or `"HM"`) regardless of the census.
+    pub forced_initial: Option<String>,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> AdaptiveConfig {
+        AdaptiveConfig {
+            probe_rows_per_part: 512,
+            diameter_probes: 4,
+            skew_threshold: 8.0,
+            tiny_edges: 16,
+            dense_threshold: 1.8,
+            allow_switch: true,
+            decay_limit: 0.98,
+            forced_initial: None,
+        }
+    }
+}
+
+/// Decision features extracted from the census sample.
+#[derive(Debug, Clone)]
+struct Features {
+    native: bool,
+    sampled_edges: usize,
+    total_edges: usize,
+    /// Exact edges / distinct-source-vertices ratio (`None` when the
+    /// engine could not report distinct sources).
+    edges_per_src: Option<f64>,
+    skew: Option<f64>,
+    density: Option<f64>,
+    slope: Option<f64>,
+    diameter: Option<usize>,
+}
+
+/// The census-driven meta-algorithm. See the module docs for the
+/// probe → decide → run/re-decide lifecycle.
+#[derive(Debug, Default)]
+pub struct AdaptiveDriver {
+    /// Selection tunables.
+    pub config: AdaptiveConfig,
+    decision: Mutex<Option<String>>,
+}
+
+impl AdaptiveDriver {
+    /// A driver with explicit tunables.
+    pub fn with_config(config: AdaptiveConfig) -> AdaptiveDriver {
+        AdaptiveDriver { config, decision: Mutex::new(None) }
+    }
+
+    /// Draws the census sample, preferring the native primitive.
+    fn probe(&self, db: &dyn SqlEngine, input: &str, seed: u64) -> DbResult<Features> {
+        let (native, pairs, total_edges, src_verts) = match db.native_cc(&CcOp::Census {
+            input,
+            per_part: self.config.probe_rows_per_part,
+        }) {
+            Ok(rep) => (true, rep.sample, rep.changed, rep.src_verts),
+            Err(DbError::Exec(_)) => {
+                let pairs = db.scan_pairs(input)?;
+                let total = pairs.len();
+                let srcs = pairs
+                    .iter()
+                    .map(|&(a, _)| a)
+                    .collect::<std::collections::HashSet<_>>()
+                    .len();
+                (false, pairs, total, srcs)
+            }
+            Err(e) => return Err(e),
+        };
+        // Features are computed on a bounded sub-sample of the census
+        // sample: decision quality saturates far below the per-part
+        // sample size, and the probe has to stay near-free relative to
+        // even the fastest algorithm (the CI gate holds the adaptive
+        // driver to 1.05x of the best fixed pick). The load-bearing
+        // density feature (edges per distinct source) is exact and
+        // comes from the census itself, not this sub-sample.
+        const FEATURE_EDGE_CAP: usize = 256;
+        let stride = pairs.len().div_ceil(FEATURE_EDGE_CAP).max(1);
+        let sample = EdgeList::from_pairs(
+            pairs
+                .iter()
+                .step_by(stride)
+                .take(FEATURE_EDGE_CAP)
+                .map(|&(a, b)| (a as u64, b as u64))
+                .collect::<Vec<_>>(),
+        );
+        let diameter = census::estimated_diameter(&sample, self.config.diameter_probes, seed);
+        Ok(Features {
+            native,
+            sampled_edges: sample.edge_count(),
+            total_edges,
+            edges_per_src: (src_verts > 0).then(|| total_edges as f64 / src_verts as f64),
+            skew: census::degree_skew(&sample),
+            density: census::density(&sample),
+            slope: census::loglog_slope(&census::log2_size_histogram(&sample)),
+            diameter,
+        })
+    }
+
+    /// Maps features to an initial algorithm and a fallback for the
+    /// off-model case. Returns `(algorithm, fallback, rationale)`.
+    fn pick(&self, f: &Features) -> (Box<dyn CcAlgorithm>, Box<dyn CcAlgorithm>, String) {
+        if let Some(name) = &self.config.forced_initial {
+            let forced: Box<dyn CcAlgorithm> = match name.as_str() {
+                "LT" => Box::new(LiuTarjan::tuned()),
+                "TP" => Box::new(TwoPhase::default()),
+                "HM" => Box::new(HashToMin::default()),
+                _ => Box::new(RandomisedContraction::default()),
+            };
+            return (
+                forced,
+                Box::new(RandomisedContraction::default()),
+                format!("forced initial pick {name}"),
+            );
+        }
+        let eps = f.edges_per_src.unwrap_or(0.0);
+        if f.native && eps >= self.config.dense_threshold {
+            // Dense graph with native rounds available: every edge
+            // shares sources, so LT's label relation stays small
+            // relative to the edge relation and its SQL-free rounds
+            // win outright; the seeded-connect variant additionally
+            // folds round 1's exchange into initialisation.
+            let why = format!(
+                "native primitives, dense input (edges/src {:.2} >= {:.2}); \
+                 skew={:?} slope={:?} est_diameter={:?}",
+                eps, self.config.dense_threshold, f.skew, f.slope, f.diameter
+            );
+            return (
+                Box::new(LiuTarjan::tuned()),
+                Box::new(RandomisedContraction::default()),
+                why,
+            );
+        }
+        if f.native {
+            // Forest- or path-like (every edge brings its own source):
+            // LT would pay per-round full passes over a label relation
+            // as large as the vertex set, while one contraction round
+            // collapses most tiny components — Randomised Contraction
+            // wins despite its SQL round overhead.
+            let why = format!(
+                "native primitives but sparse input (edges/src {:.2} < {:.2}): \
+                 contraction collapses forest-like graphs; skew={:?} est_diameter={:?}",
+                eps, self.config.dense_threshold, f.skew, f.diameter
+            );
+            return (
+                Box::new(RandomisedContraction::default()),
+                Box::new(LiuTarjan::tuned()),
+                why,
+            );
+        }
+        if f.sampled_edges <= self.config.tiny_edges && f.total_edges <= self.config.tiny_edges {
+            return (
+                Box::new(HashToMin::default()),
+                Box::new(RandomisedContraction::default()),
+                format!("tiny input ({} edges)", f.total_edges),
+            );
+        }
+        if f.skew.unwrap_or(1.0) >= self.config.skew_threshold {
+            return (
+                Box::new(TwoPhase::default()),
+                Box::new(RandomisedContraction::default()),
+                format!("heavy-tailed sample (skew {:?})", f.skew),
+            );
+        }
+        (
+            Box::new(RandomisedContraction::default()),
+            Box::new(TwoPhase::default()),
+            format!(
+                "default contraction pick; skew={:?} density={:?} slope={:?}",
+                f.skew, f.density, f.slope
+            ),
+        )
+    }
+
+    fn record(&self, text: String) {
+        *self.decision.lock().unwrap() = Some(text);
+    }
+}
+
+impl CcAlgorithm for AdaptiveDriver {
+    fn name(&self) -> String {
+        "AD".into()
+    }
+
+    fn last_decision(&self) -> Option<String> {
+        self.decision.lock().unwrap().clone()
+    }
+
+    fn run_controlled(
+        &self,
+        db: &dyn SqlEngine,
+        input: &str,
+        seed: u64,
+        ctrl: &RunControl<'_>,
+    ) -> DbResult<AlgoOutcome> {
+        ctrl.checkpoint()?;
+        let features = self.probe(db, input, seed)?;
+        let (first, fallback, why) = self.pick(&features);
+        self.record(format!("picked {} ({why})", first.name()));
+
+        // Run the first choice under a wrapped control: the hook
+        // forwards round progress, propagates the caller's cancel flag
+        // and flips `abort` itself when round 1's observed decay is
+        // off-model. Decay is measured between the first two round
+        // reports (round 2's working set vs round 1's) because
+        // algorithms emit round 1 *before* their first contraction
+        // lands — comparing round 1 against the input size would read
+        // every algorithm's round 1 as "no decay".
+        let abort = AtomicBool::new(false);
+        let off_model = AtomicBool::new(false);
+        let round1_rows = std::sync::atomic::AtomicUsize::new(usize::MAX);
+        let decay_limit = if self.config.allow_switch {
+            self.config.decay_limit
+        } else {
+            f64::INFINITY
+        };
+        let hook = |round: usize, working_rows: usize| {
+            if let Some(f) = ctrl.on_round {
+                f(round, working_rows);
+            }
+            if ctrl.cancel.map(|c| c.load(Ordering::Relaxed)).unwrap_or(false) {
+                abort.store(true, Ordering::Relaxed);
+            }
+            if round == 1 {
+                round1_rows.store(working_rows, Ordering::Relaxed);
+            } else if round == 2 {
+                let r1 = round1_rows.load(Ordering::Relaxed);
+                if r1 != usize::MAX && working_rows as f64 > decay_limit * r1 as f64 {
+                    off_model.store(true, Ordering::Relaxed);
+                    abort.store(true, Ordering::Relaxed);
+                }
+            }
+        };
+        let inner = RunControl {
+            cancel: Some(&abort),
+            on_round: Some(&hook),
+            rounds: ctrl.rounds,
+        };
+        match first.run_controlled(db, input, seed, &inner) {
+            Ok(outcome) => Ok(outcome),
+            Err(DbError::Cancelled(reason)) => {
+                // The caller's cancellation wins over our own switch.
+                ctrl.checkpoint()?;
+                if !off_model.load(Ordering::Relaxed) {
+                    return Err(DbError::Cancelled(reason));
+                }
+                self.record(format!(
+                    "picked {} ({why}); switched to {} after round 1 \
+                     (round-2 working set above {:.0}% of round 1's)",
+                    first.name(),
+                    fallback.name(),
+                    self.config.decay_limit * 100.0,
+                ));
+                fallback.run_controlled(db, input, seed, ctrl)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_on_graph;
+    use incc_graph::generators::gnm_random_graph;
+    use incc_mppdb::{Cluster, ClusterConfig};
+    use std::sync::Arc;
+
+    fn small_cluster() -> Arc<Cluster> {
+        Arc::new(Cluster::new(ClusterConfig { segments: 4, ..Default::default() }))
+    }
+
+    #[test]
+    fn picks_native_liu_tarjan_on_a_dense_cluster() {
+        // 180 edges over ≤60 sources: edges/src ≥ 3, well past the
+        // dense threshold.
+        let g = gnm_random_graph(60, 180, 5);
+        let c = small_cluster();
+        let ad = AdaptiveDriver::default();
+        let report = run_on_graph(&ad, &c, &g, 3).unwrap();
+        report.verify_against(&g).unwrap();
+        let decision = ad.last_decision().unwrap();
+        assert!(decision.starts_with("picked LT"), "{decision}");
+        assert_eq!(report.stats.queries, 0, "native pick runs no SQL");
+    }
+
+    #[test]
+    fn picks_contraction_on_a_forest_like_cluster() {
+        // A path: every edge brings its own source (edges/src = 1.0),
+        // so even with native primitives available the driver must
+        // prefer contraction.
+        let pairs: Vec<(u64, u64)> = (0..200).map(|i| (i, i + 1)).collect();
+        let g = incc_graph::EdgeList::from_pairs(pairs);
+        let c = small_cluster();
+        let ad = AdaptiveDriver::default();
+        let report = run_on_graph(&ad, &c, &g, 3).unwrap();
+        report.verify_against(&g).unwrap();
+        let decision = ad.last_decision().unwrap();
+        assert!(decision.starts_with("picked RC"), "{decision}");
+        assert!(decision.contains("sparse"), "{decision}");
+    }
+
+    #[test]
+    fn switches_when_round_one_decay_is_off_model() {
+        // Force BFS-style Hash-to-Min... actually force TwoPhase with a
+        // decay limit of zero: any non-empty round-1 working set is
+        // off-model, so the driver must cancel and rerun the fallback.
+        let g = gnm_random_graph(60, 100, 6);
+        let c = small_cluster();
+        let ad = AdaptiveDriver::with_config(AdaptiveConfig {
+            forced_initial: Some("TP".into()),
+            decay_limit: 0.0,
+            ..AdaptiveConfig::default()
+        });
+        let report = run_on_graph(&ad, &c, &g, 3).unwrap();
+        report.verify_against(&g).unwrap();
+        let decision = ad.last_decision().unwrap();
+        assert!(decision.contains("switched to RC"), "{decision}");
+        assert!(c.table_names().is_empty(), "abandoned run cleaned up");
+    }
+
+    #[test]
+    fn does_not_switch_when_disabled() {
+        let g = gnm_random_graph(60, 100, 6);
+        let c = small_cluster();
+        let ad = AdaptiveDriver::with_config(AdaptiveConfig {
+            forced_initial: Some("TP".into()),
+            decay_limit: 0.0,
+            allow_switch: false,
+            ..AdaptiveConfig::default()
+        });
+        let report = run_on_graph(&ad, &c, &g, 3).unwrap();
+        report.verify_against(&g).unwrap();
+        assert!(!ad.last_decision().unwrap().contains("switched"));
+    }
+
+    #[test]
+    fn caller_cancellation_is_not_mistaken_for_a_switch() {
+        use crate::driver::RunControl;
+        let g = gnm_random_graph(60, 100, 6);
+        let c = small_cluster();
+        let _ = c.run("drop table if exists ccinput");
+        c.load_pairs("ccinput", "v1", "v2", &g.to_i64_pairs()).unwrap();
+        let cancel = AtomicBool::new(true);
+        let ctrl = RunControl { cancel: Some(&cancel), ..RunControl::default() };
+        let ad = AdaptiveDriver::default();
+        let err = ad.run_controlled(&*c, "ccinput", 3, &ctrl).unwrap_err();
+        assert!(matches!(err, DbError::Cancelled(_)), "{err:?}");
+        c.drop_table("ccinput").unwrap();
+    }
+}

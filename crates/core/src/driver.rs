@@ -78,6 +78,20 @@ impl<'a> RoundRecorder<'a> {
     /// Closes one round: snapshots the counters, differences against
     /// the previous boundary, appends a [`RoundReport`].
     pub fn note(&self, round: usize, working_rows: usize) {
+        self.close_round(round, working_rows, false);
+    }
+
+    /// Closes one round of a *native* (SQL-free) algorithm: identical
+    /// to [`RoundRecorder::note`] except the statement count is pinned
+    /// to 0. The counter snapshot still advances, so a stale statement
+    /// delta (e.g. from SQL run before the round, or from an abandoned
+    /// SQL algorithm when the adaptive driver switches) is consumed
+    /// here rather than inherited by the next round's report.
+    pub fn note_native(&self, round: usize, working_rows: usize) {
+        self.close_round(round, working_rows, true);
+    }
+
+    fn close_round(&self, round: usize, working_rows: usize, native: bool) {
         let snap = (self.stats_fn)();
         let now = Instant::now();
         let mut st = self.inner.lock().unwrap();
@@ -89,7 +103,7 @@ impl<'a> RoundRecorder<'a> {
             bytes_written: delta.bytes_written,
             rows_written: delta.rows_written,
             network_bytes: delta.network_bytes,
-            statements: delta.queries,
+            statements: if native { 0 } else { delta.queries },
             retries: delta.retries,
             nanos,
         });
@@ -166,6 +180,18 @@ impl RunControl<'_> {
             r.note(round, working_rows);
         }
     }
+
+    /// [`RunControl::report_round`] for rounds that executed no SQL:
+    /// the recorder pins the round's statement count to 0 instead of
+    /// attributing whatever statement delta happens to be pending.
+    pub fn report_round_native(&self, round: usize, working_rows: usize) {
+        if let Some(f) = self.on_round {
+            f(round, working_rows);
+        }
+        if let Some(r) = self.rounds {
+            r.note_native(round, working_rows);
+        }
+    }
 }
 
 /// A connected-components algorithm executing inside the database.
@@ -201,6 +227,15 @@ pub trait CcAlgorithm {
     /// reporting — the plain entry point.
     fn run(&self, db: &dyn SqlEngine, input: &str, seed: u64) -> DbResult<AlgoOutcome> {
         self.run_controlled(db, input, seed, &RunControl::default())
+    }
+
+    /// A record of the most recent run's algorithm-selection decision,
+    /// for algorithms that make one (the adaptive driver). Fixed
+    /// algorithms return `None`. The string leads with the chosen
+    /// algorithm's job-API name, followed by the census features that
+    /// drove the choice.
+    fn last_decision(&self) -> Option<String> {
+        None
     }
 }
 

@@ -35,17 +35,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod bfs;
 pub mod cracker;
 pub mod driver;
 pub mod gamma;
 pub mod hash_to_min;
+pub mod liu_tarjan;
 pub mod mirror;
 pub mod rc;
 pub mod two_phase;
 pub mod udf;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveDriver};
 pub use driver::{
     run_on_graph, AlgoOutcome, CcAlgorithm, RoundRecorder, RoundReport, RunReport,
 };
+pub use liu_tarjan::LiuTarjan;
 pub use rc::{RandomisedContraction, SpaceVariant};

@@ -7,6 +7,7 @@
 
 use crate::union_find::connected_components;
 use crate::EdgeList;
+use incc_ffield::strategy::mix64;
 use std::collections::{BTreeMap, HashMap};
 
 /// Summary statistics of a graph, as reported per dataset in Table II.
@@ -94,6 +95,77 @@ pub fn log2_size_histogram(g: &EdgeList) -> BTreeMap<u32, usize> {
         *hist.entry(bucket).or_insert(0) += count;
     }
     hist
+}
+
+/// Degree skew: maximum degree over mean degree (distinct neighbours).
+/// A decision feature for adaptive algorithm selection — heavy-tailed
+/// graphs (R-MAT, Bitcoin) score high, bounded-degree image graphs
+/// land near 1. `None` for the empty graph and for graphs whose every
+/// vertex is isolated (mean degree 0), so callers never see NaN.
+pub fn degree_skew(g: &EdgeList) -> Option<f64> {
+    let neighbours = neighbour_sets(g);
+    if neighbours.is_empty() {
+        return None;
+    }
+    let total: usize = neighbours.values().map(|s| s.len()).sum();
+    if total == 0 {
+        return None;
+    }
+    let mean = total as f64 / neighbours.len() as f64;
+    let max = neighbours.values().map(|s| s.len()).max().unwrap_or(0);
+    Some(max as f64 / mean)
+}
+
+/// Edge density: stored edge rows per distinct vertex. `None` for the
+/// empty graph (no vertices), never NaN.
+pub fn density(g: &EdgeList) -> Option<f64> {
+    let vertices = g.vertex_count();
+    if vertices == 0 {
+        return None;
+    }
+    Some(g.edge_count() as f64 / vertices as f64)
+}
+
+/// Diameter estimate from bounded BFS probes: runs breadth-first
+/// search from `probes` deterministically sampled start vertices
+/// (seeded by `seed`) and returns the largest eccentricity observed —
+/// a lower bound on the true diameter, good enough to separate
+/// low-diameter dense graphs from path-like ones. `None` for the
+/// empty graph; 0 for graphs of isolated vertices.
+pub fn estimated_diameter(g: &EdgeList, probes: usize, seed: u64) -> Option<usize> {
+    let neighbours = neighbour_sets(g);
+    if neighbours.is_empty() {
+        return None;
+    }
+    let mut verts: Vec<u64> = neighbours.keys().copied().collect();
+    verts.sort_unstable();
+    let mut best = 0usize;
+    for probe in 0..probes.max(1) {
+        let start = verts[(mix64(seed ^ probe as u64) % verts.len() as u64) as usize];
+        // Plain BFS over the distinct-neighbour adjacency; depth of
+        // the last frontier is the start vertex's eccentricity.
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        seen.insert(start);
+        let mut frontier = vec![start];
+        let mut depth = 0usize;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for v in frontier {
+                for &u in &neighbours[&v] {
+                    if seen.insert(u) {
+                        next.push(u);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            depth += 1;
+            frontier = next;
+        }
+        best = best.max(depth);
+    }
+    Some(best)
 }
 
 /// Least-squares slope of `log2(count)` against `log2(size)` over the
@@ -186,5 +258,42 @@ mod tests {
         let mut h = BTreeMap::new();
         h.insert(0u32, 5usize);
         assert_eq!(loglog_slope(&h), None);
+    }
+
+    #[test]
+    fn decision_features_on_empty_graph_are_none() {
+        let g = EdgeList::new();
+        assert_eq!(degree_skew(&g), None);
+        assert_eq!(density(&g), None);
+        assert_eq!(estimated_diameter(&g, 4, 1), None);
+        assert_eq!(loglog_slope(&log2_size_histogram(&g)), None);
+    }
+
+    #[test]
+    fn decision_features_on_single_vertex_graph_are_finite() {
+        // One isolated vertex, marked by a loop edge.
+        let g = EdgeList::from_pairs(vec![(7, 7)]);
+        let c = census(&g);
+        assert_eq!((c.vertices, c.components, c.max_degree), (1, 1, 0));
+        // Mean degree is zero — skew is undefined, not NaN.
+        assert_eq!(degree_skew(&g), None);
+        assert_eq!(density(&g), Some(1.0));
+        assert_eq!(estimated_diameter(&g, 3, 9), Some(0));
+        assert_eq!(loglog_slope(&log2_size_histogram(&g)), None);
+    }
+
+    #[test]
+    fn decision_features_separate_shapes() {
+        // A 16-vertex path: diameter-dominated, skew near 1.
+        let path = EdgeList::from_pairs((0..15).map(|i| (i, i + 1)).collect());
+        // A star: one hub, 15 spokes — maximal skew, tiny diameter.
+        let star = EdgeList::from_pairs((1..16).map(|i| (0, i)).collect());
+        let d_path = estimated_diameter(&path, 8, 3).unwrap();
+        let d_star = estimated_diameter(&star, 8, 3).unwrap();
+        assert!(d_path > d_star, "path {d_path} vs star {d_star}");
+        let s_path = degree_skew(&path).unwrap();
+        let s_star = degree_skew(&star).unwrap();
+        assert!(s_star > 4.0 * s_path, "star skew {s_star} vs path {s_path}");
+        assert!(density(&path).unwrap() < 1.1);
     }
 }

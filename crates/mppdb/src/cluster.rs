@@ -206,6 +206,13 @@ impl Cluster {
         &self.pool
     }
 
+    /// Runs one engine-native CC primitive (see [`crate::native`]) with
+    /// global stat attribution and no cancellation — the bare-cluster
+    /// counterpart of [`crate::session::Session::native_cc`].
+    pub fn native_cc(&self, op: &crate::native::CcOp<'_>) -> DbResult<crate::native::CcReport> {
+        crate::native::run_native_cc(self, &self.stats, QueryGuard::default(), op)
+    }
+
     /// Per-operator execution counters (wall time, rows, kernel-tier
     /// partition counts) accumulated since the last counter reset.
     pub fn op_stats(&self) -> Vec<crate::stats::OpStats> {

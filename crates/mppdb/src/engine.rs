@@ -73,6 +73,17 @@ pub trait SqlEngine: Sync {
     /// as the service's retry loop. Default: no accounting.
     fn note_retry(&self, _backoff: std::time::Duration) {}
 
+    /// Runs one engine-native CC primitive (see [`crate::native`]) —
+    /// the SQL-free fast path behind the Liu–Tarjan algorithm. Engines
+    /// without native support return an error; callers probe with a
+    /// cheap op (e.g. [`crate::native::CcOp::Census`]) and fall back
+    /// to the SQL algorithms.
+    fn native_cc(&self, _op: &crate::native::CcOp<'_>) -> DbResult<crate::native::CcReport> {
+        Err(DbError::Exec(
+            "this engine does not support native CC primitives".into(),
+        ))
+    }
+
     /// Executes a `SELECT` and returns its rows.
     fn query(&self, sql_text: &str) -> DbResult<Vec<Vec<Datum>>> {
         match self.run(sql_text)? {
@@ -141,6 +152,10 @@ impl SqlEngine for Cluster {
     fn note_retry(&self, backoff: std::time::Duration) {
         Cluster::note_retry(self, backoff)
     }
+
+    fn native_cc(&self, op: &crate::native::CcOp<'_>) -> DbResult<crate::native::CcReport> {
+        Cluster::native_cc(self, op)
+    }
 }
 
 impl SqlEngine for Session {
@@ -192,6 +207,10 @@ impl SqlEngine for Session {
 
     fn note_retry(&self, backoff: std::time::Duration) {
         Session::note_retry(self, backoff)
+    }
+
+    fn native_cc(&self, op: &crate::native::CcOp<'_>) -> DbResult<crate::native::CcReport> {
+        Session::native_cc(self, op)
     }
 }
 

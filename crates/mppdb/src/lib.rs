@@ -52,6 +52,7 @@ mod exec;
 mod expr;
 pub mod fault;
 pub mod kernels;
+pub mod native;
 mod operators;
 mod ops;
 pub mod optimizer;
@@ -74,6 +75,7 @@ pub use cluster::{Cluster, ClusterConfig, ExecutionProfile, QueryOutput, ScalarU
 pub use engine::SqlEngine;
 pub use error::{DbError, DbResult, ErrorClass};
 pub use fault::{FaultContext, FaultInjector, FaultPlan};
+pub use native::{CcOp, CcReport};
 pub use expr::Expr;
 pub use plan::QueryGuard;
 pub use plan_cache::PlanCacheStats;

@@ -1,0 +1,858 @@
+//! Engine-native connected-components primitives.
+//!
+//! The Liu–Tarjan framework (arXiv 1812.06177) phrases CC as rounds of
+//! three bulk primitives over a label relation and an edge relation:
+//! *connect* (each vertex grabs the smallest neighbouring label),
+//! *shortcut* (one pointer-jumping pass, `r(v) ← r(r(v))`) and *alter*
+//! (rewrite every edge onto current labels, dropping loops). Each maps
+//! onto the same per-partition hash kernels the SQL operators use —
+//! but invoked directly, with no parsing, planning or statement
+//! bookkeeping in the loop. This module is that direct path: every
+//! [`CcOp`] runs as a handful of partition-parallel passes on the
+//! cluster's [`crate::pool::SegmentPool`], exchanges rows between
+//! partitions with the engine's placement hash, and publishes results
+//! by atomically swapping whole tables, so an injected fault or a
+//! cancellation mid-primitive leaves no partial state behind — a
+//! retried primitive starts from the last published tables.
+//!
+//! Placement: both relations are hash-distributed with the same
+//! function the storage layer uses for `load_pairs` /
+//! `DISTRIBUTED BY` (`mix64(v) % segments`) — labels on the vertex,
+//! edges on their smaller endpoint. That co-location lets *alter*
+//! resolve the smaller endpoint's label without any exchange.
+
+use crate::batch::{Batch, Column};
+use crate::cluster::Cluster;
+use crate::error::{DbError, DbResult};
+use crate::fault::FaultContext;
+use crate::kernels::{DistinctInts, DistinctPairs, I64Map};
+use crate::ops::PData;
+use crate::plan::QueryGuard;
+use crate::schema::{Field, Schema};
+use crate::stats::{OpKind, OpMetrics, Stats};
+use crate::table::Distribution;
+use crate::value::DataType;
+use incc_ffield::strategy::mix64;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One engine-native CC primitive invocation. Table names are already
+/// resolved into the catalog namespace by the engine that dispatches
+/// the op ([`crate::SqlEngine::native_cc`]).
+#[derive(Debug, Clone)]
+pub enum CcOp<'a> {
+    /// Builds the working relations from an edge table (columns
+    /// `v1, v2`, loops marking isolated vertices): `labels` gets one
+    /// `(v, r)` row per distinct vertex and `edges` the deduplicated
+    /// loop-free `(lo, hi)` pairs. With `seed_connect`, the initial
+    /// labels already absorb the first *connect*
+    /// (`r(v) = min(v, smallest smaller neighbour)`) in the same
+    /// passes — one fewer exchange over the edge relation.
+    Init {
+        /// Source edge table.
+        input: &'a str,
+        /// Edge relation to create.
+        edges: &'a str,
+        /// Label relation to create.
+        labels: &'a str,
+        /// Fuse the first connect into initialisation.
+        seed_connect: bool,
+    },
+    /// Connect: `r(hi) ← min(r(hi), lo)` over all edges, after a local
+    /// per-partition min pre-aggregation. Both endpoints of every live
+    /// edge are label roots (guaranteed by running [`CcOp::Shortcut`]
+    /// to a fixpoint before each [`CcOp::Alter`]), so the min-update
+    /// never severs an existing parent link.
+    Connect {
+        /// Edge relation.
+        edges: &'a str,
+        /// Label relation, replaced in place.
+        labels: &'a str,
+    },
+    /// One pointer-jumping pass: `r(v) ← r(r(v))`. `changed` counts
+    /// rows whose label moved; callers loop until it reaches zero.
+    Shortcut {
+        /// Label relation, replaced in place.
+        labels: &'a str,
+    },
+    /// Rewrites every edge `(lo, hi)` to `(min(r(lo), r(hi)),
+    /// max(r(lo), r(hi)))`, dropping loops and duplicates, and
+    /// re-distributes on the new smaller endpoint.
+    Alter {
+        /// Edge relation, replaced in place.
+        edges: &'a str,
+        /// Label relation (read only).
+        labels: &'a str,
+    },
+    /// Reads a deterministic stride sample of an edge table (up to
+    /// `per_part` rows from each partition) for the adaptive driver's
+    /// census, without gathering the full relation.
+    Census {
+        /// Source edge table.
+        input: &'a str,
+        /// Sample-size cap per partition.
+        per_part: usize,
+    },
+}
+
+/// What a [`CcOp`] reports back.
+#[derive(Debug, Clone, Default)]
+pub struct CcReport {
+    /// Rows in the op's output relation (edge rows for
+    /// [`CcOp::Init`]/[`CcOp::Alter`], label rows otherwise).
+    pub rows_out: usize,
+    /// Rows whose label changed ([`CcOp::Connect`]/[`CcOp::Shortcut`];
+    /// for a seeding [`CcOp::Init`], labels seeded below their vertex).
+    pub changed: usize,
+    /// The gathered sample ([`CcOp::Census`] only, empty otherwise).
+    pub sample: Vec<(i64, i64)>,
+    /// Exact count of distinct source vertices ([`CcOp::Census`] only,
+    /// 0 otherwise). Storage hashes rows by `v1`, so each distinct
+    /// source lives in exactly one partition and the per-partition
+    /// counts sum without double-counting — one O(rows) hash pass
+    /// buys the scale-invariant edges-per-source density feature the
+    /// adaptive driver keys its algorithm choice on.
+    pub src_verts: usize,
+}
+
+/// The storage placement hash: must agree with
+/// [`crate::exec::hash_datum`] on integers so natively-built tables are
+/// co-located with `load_pairs` output and honest about their
+/// `Distribution::Hash` metadata.
+#[inline]
+fn part_of(v: i64, n: u64) -> usize {
+    (mix64(v as u64) % n) as usize
+}
+
+/// Per-partition pair storage: two parallel i64 vectors.
+type PairPart = (Vec<i64>, Vec<i64>);
+
+/// Reads a table's partitions as NULL-free i64 pairs (columns 0, 1).
+fn read_pairs(cluster: &Cluster, name: &str) -> DbResult<Vec<PairPart>> {
+    let t = cluster.table(name)?;
+    if t.schema.len() < 2 {
+        return Err(DbError::Exec(format!(
+            "native cc: table {name:?} has {} columns, need 2",
+            t.schema.len()
+        )));
+    }
+    let mut parts = Vec::with_capacity(t.partitions.len());
+    for b in t.partitions.iter() {
+        let (a, av) = int_column(b, 0, name)?;
+        let (c, cv) = int_column(b, 1, name)?;
+        if has_null(av) || has_null(cv) {
+            return Err(DbError::Exec(format!(
+                "native cc: NULL value in table {name:?}"
+            )));
+        }
+        parts.push((a.to_vec(), c.to_vec()));
+    }
+    Ok(parts)
+}
+
+fn int_column<'b>(
+    b: &'b Batch,
+    idx: usize,
+    name: &str,
+) -> DbResult<(&'b [i64], Option<&'b [bool]>)> {
+    b.column(idx).as_int_parts().ok_or_else(|| {
+        DbError::Exec(format!(
+            "native cc: column {idx} of table {name:?} is not bigint"
+        ))
+    })
+}
+
+fn has_null(validity: Option<&[bool]>) -> bool {
+    validity.is_some_and(|m| m.iter().any(|ok| !ok))
+}
+
+/// Routes per-source bucket lists to their destination partitions
+/// (concatenating in source order, so placement is deterministic) and
+/// charges the cross-partition volume as network traffic.
+fn exchange(buckets: Vec<Vec<Vec<(i64, i64)>>>, n: usize, stats: &Stats) -> Vec<Vec<(i64, i64)>> {
+    let mut out: Vec<Vec<(i64, i64)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut moved = 0u64;
+    for (src, per_dest) in buckets.into_iter().enumerate() {
+        for (dest, rows) in per_dest.into_iter().enumerate() {
+            if dest != src {
+                moved += rows.len() as u64 * 16;
+            }
+            out[dest].extend(rows);
+        }
+    }
+    stats.charge_network(moved);
+    out
+}
+
+fn pair_data(parts: Vec<PairPart>, col_a: &str, col_b: &str) -> PData {
+    let schema = Schema::new(vec![
+        Field::new(col_a.to_string(), DataType::Int64),
+        Field::new(col_b.to_string(), DataType::Int64),
+    ]);
+    let parts = parts
+        .into_iter()
+        .map(|(a, b)| Batch::from_columns(vec![Column::from_ints(a), Column::from_ints(b)]))
+        .collect();
+    PData { schema, parts, dist: Distribution::Hash(vec![0]) }
+}
+
+/// Publishes freshly computed partitions under `name` via an atomic
+/// swap: stores them as `{name}__swap`, then replaces. All compute and
+/// fault sites run before this point, so a failed primitive never
+/// leaves partial state.
+fn publish(
+    cluster: &Cluster,
+    stats: &Stats,
+    name: &str,
+    parts: Vec<PairPart>,
+    col_a: &str,
+    col_b: &str,
+) -> DbResult<()> {
+    let tmp = format!("{name}__swap");
+    let _ = cluster.drop_table_with(stats, &tmp);
+    cluster.store_with(stats, &tmp, pair_data(parts, col_a, col_b), None)?;
+    cluster.replace_table_with(stats, &tmp, name)
+}
+
+/// The shared per-closure preamble: cancellation, then fault injection.
+#[derive(Clone)]
+struct SiteCheck {
+    guard: QueryGuard,
+    faults: Option<FaultContext>,
+}
+
+impl SiteCheck {
+    fn check(&self, segment: usize) -> DbResult<()> {
+        self.guard.check()?;
+        if let Some(f) = &self.faults {
+            f.check(OpKind::NativeCc, segment)?;
+        }
+        Ok(())
+    }
+}
+
+/// An `i64 → i64` min-aggregation map built from an [`I64Map`] index.
+struct MinAgg {
+    idx: I64Map,
+    keys: Vec<i64>,
+    mins: Vec<i64>,
+}
+
+impl MinAgg {
+    fn for_rows(rows: usize) -> MinAgg {
+        MinAgg { idx: I64Map::for_rows(rows), keys: Vec::new(), mins: Vec::new() }
+    }
+
+    #[inline]
+    fn update(&mut self, key: i64, value: i64) {
+        match self.idx.get_or_insert(key, self.keys.len() as u32) {
+            Some(slot) => {
+                let m = &mut self.mins[slot as usize];
+                if value < *m {
+                    *m = value;
+                }
+            }
+            None => {
+                self.keys.push(key);
+                self.mins.push(value);
+            }
+        }
+    }
+
+    fn drain_into(self, buckets: &mut [Vec<(i64, i64)>], n: u64) {
+        for (k, m) in self.keys.into_iter().zip(self.mins) {
+            buckets[part_of(k, n)].push((k, m));
+        }
+    }
+}
+
+/// A label partition with an index from vertex to row.
+struct LabelPart {
+    v: Vec<i64>,
+    r: Vec<i64>,
+    idx: I64Map,
+}
+
+impl LabelPart {
+    fn build(part: PairPart) -> LabelPart {
+        let (v, r) = part;
+        let mut idx = I64Map::for_rows(v.len());
+        for (row, &vertex) in v.iter().enumerate() {
+            idx.set(vertex, row as u32);
+        }
+        LabelPart { v, r, idx }
+    }
+
+    #[inline]
+    fn label_of(&self, vertex: i64) -> DbResult<i64> {
+        self.idx
+            .get(vertex)
+            .map(|row| self.r[row as usize])
+            .ok_or_else(|| {
+                DbError::Exec(format!("native cc: vertex {vertex} missing from label relation"))
+            })
+    }
+}
+
+fn build_label_parts(
+    cluster: &Cluster,
+    pool: &crate::pool::SegmentPool,
+    site: &SiteCheck,
+    labels: &str,
+) -> DbResult<Arc<Vec<LabelPart>>> {
+    let parts = read_pairs(cluster, labels)?;
+    let site = site.clone();
+    let built = pool.run_parts_labeled("native_cc", parts, move |seg, part| {
+        site.check(seg)?;
+        Ok(LabelPart::build(part))
+    })?;
+    Ok(Arc::new(built))
+}
+
+/// Runs one native CC primitive against the cluster, attributing
+/// resource usage to `stats` (a session's counters or the global
+/// instance) and checking `guard` at every partition task.
+pub(crate) fn run_native_cc(
+    cluster: &Cluster,
+    stats: &Arc<Stats>,
+    guard: QueryGuard,
+    op: &CcOp<'_>,
+) -> DbResult<CcReport> {
+    let start = Instant::now();
+    let site = SiteCheck {
+        guard,
+        faults: cluster.fault_injector().map(|i| i.begin_statement()),
+    };
+    let pool = cluster.worker_pool().clone();
+    let (report, rows_in, parts_run) = match op {
+        CcOp::Init { input, edges, labels, seed_connect } => {
+            init(cluster, stats, &pool, &site, input, edges, labels, *seed_connect)?
+        }
+        CcOp::Connect { edges, labels } => connect(cluster, stats, &pool, &site, edges, labels)?,
+        CcOp::Shortcut { labels } => shortcut(cluster, stats, &pool, &site, labels)?,
+        CcOp::Alter { edges, labels } => alter(cluster, stats, &pool, &site, edges, labels)?,
+        CcOp::Census { input, per_part } => census(cluster, &pool, &site, input, *per_part)?,
+    };
+    stats.charge_op(
+        OpKind::NativeCc,
+        OpMetrics {
+            vectorized_parts: parts_run,
+            generic_parts: 0,
+            rows_in,
+            rows_out: report.rows_out as u64,
+            nanos: start.elapsed().as_nanos() as u64,
+        },
+    );
+    Ok(report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn init(
+    cluster: &Cluster,
+    stats: &Arc<Stats>,
+    pool: &crate::pool::SegmentPool,
+    site: &SiteCheck,
+    input: &str,
+    edges: &str,
+    labels: &str,
+    seed_connect: bool,
+) -> DbResult<(CcReport, u64, u64)> {
+    let parts = read_pairs(cluster, input)?;
+    let n = parts.len().max(1);
+    let rows_in: u64 = parts.iter().map(|(a, _)| a.len() as u64).sum();
+
+    // Pass 1: route vertices to their label partition, loop-free edges
+    // to their smaller endpoint's partition, and (when seeding) each
+    // edge's smaller endpoint to the larger one's partition as a
+    // connect candidate — all locally pre-deduplicated/aggregated.
+    let s = site.clone();
+    let routed = pool.run_parts_labeled("native_cc", parts, move |seg, (xs, ys)| {
+        s.check(seg)?;
+        let nn = n as u64;
+        let mut vseen = DistinctInts::for_rows(xs.len() * 2);
+        let mut eseen = DistinctPairs::for_rows(xs.len());
+        let mut vbuck: Vec<Vec<(i64, i64)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut ebuck: Vec<Vec<(i64, i64)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut cands = MinAgg::for_rows(xs.len());
+        for (&x, &y) in xs.iter().zip(&ys) {
+            for v in [x, y] {
+                if vseen.filter(&[v], None).len() == 1 {
+                    vbuck[part_of(v, nn)].push((v, v));
+                }
+            }
+            if x != y {
+                let (lo, hi) = (x.min(y), x.max(y));
+                if eseen.filter(&[lo], None, &[hi], None).len() == 1 {
+                    ebuck[part_of(lo, nn)].push((lo, hi));
+                    if seed_connect {
+                        cands.update(hi, lo);
+                    }
+                }
+            }
+        }
+        let mut cbuck: Vec<Vec<(i64, i64)>> = (0..n).map(|_| Vec::new()).collect();
+        cands.drain_into(&mut cbuck, nn);
+        Ok((vbuck, ebuck, cbuck))
+    })?;
+    let mut vbuckets = Vec::with_capacity(n);
+    let mut ebuckets = Vec::with_capacity(n);
+    let mut cbuckets = Vec::with_capacity(n);
+    for (v, e, c) in routed {
+        vbuckets.push(v);
+        ebuckets.push(e);
+        cbuckets.push(c);
+    }
+    let vparts = exchange(vbuckets, n, stats);
+    let eparts = exchange(ebuckets, n, stats);
+    let cparts = exchange(cbuckets, n, stats);
+
+    // Pass 2: per-partition global dedup; seeded labels take the min
+    // of the vertex and its aggregated candidates.
+    let s = site.clone();
+    let items: Vec<_> = vparts.into_iter().zip(eparts).zip(cparts).collect();
+    let built = pool.run_parts_labeled(
+        "native_cc",
+        items,
+        move |seg, ((vrows, erows), crows)| {
+            s.check(seg)?;
+            let mut vseen = DistinctInts::for_rows(vrows.len());
+            let mut v: Vec<i64> = Vec::new();
+            for (vertex, _) in vrows {
+                if vseen.filter(&[vertex], None).len() == 1 {
+                    v.push(vertex);
+                }
+            }
+            let mut cands = MinAgg::for_rows(crows.len());
+            for (k, m) in crows {
+                cands.update(k, m);
+            }
+            let mut changed = 0usize;
+            let r: Vec<i64> = v
+                .iter()
+                .map(|&vertex| {
+                    match cands.idx.get(vertex) {
+                        Some(slot) if cands.mins[slot as usize] < vertex => {
+                            changed += 1;
+                            cands.mins[slot as usize]
+                        }
+                        _ => vertex,
+                    }
+                })
+                .collect();
+            let mut eseen = DistinctPairs::for_rows(erows.len());
+            let mut lo: Vec<i64> = Vec::new();
+            let mut hi: Vec<i64> = Vec::new();
+            for (a, b) in erows {
+                if eseen.filter(&[a], None, &[b], None).len() == 1 {
+                    lo.push(a);
+                    hi.push(b);
+                }
+            }
+            Ok(((v, r), (lo, hi), changed))
+        },
+    )?;
+    let mut lparts = Vec::with_capacity(n);
+    let mut eparts = Vec::with_capacity(n);
+    let mut changed = 0usize;
+    for (l, e, c) in built {
+        lparts.push(l);
+        eparts.push(e);
+        changed += c;
+    }
+    let edge_rows: usize = eparts.iter().map(|(a, _)| a.len()).sum();
+    publish(cluster, stats, labels, lparts, "v", "r")?;
+    publish(cluster, stats, edges, eparts, "lo", "hi")?;
+    Ok((
+        CcReport { rows_out: edge_rows, changed, sample: Vec::new(), src_verts: 0 },
+        rows_in,
+        2 * n as u64,
+    ))
+}
+
+fn connect(
+    cluster: &Cluster,
+    stats: &Arc<Stats>,
+    pool: &crate::pool::SegmentPool,
+    site: &SiteCheck,
+    edges: &str,
+    labels: &str,
+) -> DbResult<(CcReport, u64, u64)> {
+    let eparts = read_pairs(cluster, edges)?;
+    let n = eparts.len().max(1);
+    let rows_in: u64 = eparts.iter().map(|(a, _)| a.len() as u64).sum();
+
+    // Pass 1: local min pre-aggregation of candidates, routed to the
+    // larger endpoint's label partition.
+    let s = site.clone();
+    let routed = pool.run_parts_labeled("native_cc", eparts, move |seg, (lo, hi)| {
+        s.check(seg)?;
+        let mut cands = MinAgg::for_rows(lo.len());
+        for (&l, &h) in lo.iter().zip(&hi) {
+            cands.update(h, l);
+        }
+        let mut buck: Vec<Vec<(i64, i64)>> = (0..n).map(|_| Vec::new()).collect();
+        cands.drain_into(&mut buck, n as u64);
+        Ok(buck)
+    })?;
+    let cparts = exchange(routed, n, stats);
+
+    // Pass 2: apply the aggregated minimum onto each label partition.
+    let lparts = build_label_parts(cluster, pool, site, labels)?;
+    let s = site.clone();
+    let shared = lparts.clone();
+    let items: Vec<_> = cparts.into_iter().enumerate().collect();
+    let updated = pool.run_parts_labeled("native_cc", items, move |seg, (part, crows)| {
+        s.check(seg)?;
+        let lp = &shared[part];
+        let mut r = lp.r.clone();
+        let mut changed = 0usize;
+        for (b, m) in crows {
+            let row = lp.idx.get(b).ok_or_else(|| {
+                DbError::Exec(format!("native cc: vertex {b} missing from label relation"))
+            })? as usize;
+            if m < r[row] {
+                r[row] = m;
+                changed += 1;
+            }
+        }
+        Ok(((lp.v.clone(), r), changed))
+    })?;
+    let mut parts = Vec::with_capacity(n);
+    let mut changed = 0usize;
+    for (p, c) in updated {
+        parts.push(p);
+        changed += c;
+    }
+    let rows_out: usize = parts.iter().map(|(v, _)| v.len()).sum();
+    publish(cluster, stats, labels, parts, "v", "r")?;
+    Ok((
+        CcReport { rows_out, changed, sample: Vec::new(), src_verts: 0 },
+        rows_in,
+        3 * n as u64,
+    ))
+}
+
+fn shortcut(
+    cluster: &Cluster,
+    stats: &Arc<Stats>,
+    pool: &crate::pool::SegmentPool,
+    site: &SiteCheck,
+    labels: &str,
+) -> DbResult<(CcReport, u64, u64)> {
+    let lparts = build_label_parts(cluster, pool, site, labels)?;
+    let n = lparts.len().max(1);
+    let rows_in: u64 = lparts.iter().map(|p| p.v.len() as u64).sum();
+
+    // Pass 1: each partition requests the label of every distinct
+    // non-root label value it holds, from that value's home partition.
+    let s = site.clone();
+    let shared = lparts.clone();
+    let items: Vec<usize> = (0..n).collect();
+    let routed = pool.run_parts_labeled("native_cc", items, move |seg, part| {
+        s.check(seg)?;
+        let lp = &shared[part];
+        let mut seen = DistinctInts::for_rows(lp.r.len());
+        let mut buck: Vec<Vec<(i64, i64)>> = (0..n).map(|_| Vec::new()).collect();
+        for (&v, &r) in lp.v.iter().zip(&lp.r) {
+            if r != v && seen.filter(&[r], None).len() == 1 {
+                buck[part_of(r, n as u64)].push((r, part as i64));
+            }
+        }
+        Ok(buck)
+    })?;
+    let reqs = exchange(routed, n, stats);
+
+    // Pass 2: answer each request with the key's current label, routed
+    // back to the asking partition.
+    let s = site.clone();
+    let shared = lparts.clone();
+    let items: Vec<_> = reqs.into_iter().enumerate().collect();
+    let routed = pool.run_parts_labeled("native_cc", items, move |seg, (part, rows)| {
+        s.check(seg)?;
+        let lp = &shared[part];
+        let mut buck: Vec<Vec<(i64, i64)>> = (0..n).map(|_| Vec::new()).collect();
+        for (key, origin) in rows {
+            buck[origin as usize].push((key, lp.label_of(key)?));
+        }
+        Ok(buck)
+    })?;
+    let replies = exchange(routed, n, stats);
+
+    // Pass 3: rewrite each partition's labels through the answers.
+    let s = site.clone();
+    let shared = lparts.clone();
+    let items: Vec<_> = replies.into_iter().enumerate().collect();
+    let jumped = pool.run_parts_labeled("native_cc", items, move |seg, (part, rows)| {
+        s.check(seg)?;
+        let lp = &shared[part];
+        let mut map = MinAgg::for_rows(rows.len());
+        for (key, val) in rows {
+            map.update(key, val);
+        }
+        let mut changed = 0usize;
+        let r: Vec<i64> = lp
+            .v
+            .iter()
+            .zip(&lp.r)
+            .map(|(&v, &r)| {
+                if r == v {
+                    r
+                } else {
+                    let next = map
+                        .idx
+                        .get(r)
+                        .map(|slot| map.mins[slot as usize])
+                        .unwrap_or(r);
+                    if next != r {
+                        changed += 1;
+                    }
+                    next
+                }
+            })
+            .collect();
+        Ok(((lp.v.clone(), r), changed))
+    })?;
+    let mut parts = Vec::with_capacity(n);
+    let mut changed = 0usize;
+    for (p, c) in jumped {
+        parts.push(p);
+        changed += c;
+    }
+    let rows_out: usize = parts.iter().map(|(v, _)| v.len()).sum();
+    publish(cluster, stats, labels, parts, "v", "r")?;
+    Ok((
+        CcReport { rows_out, changed, sample: Vec::new(), src_verts: 0 },
+        rows_in,
+        4 * n as u64,
+    ))
+}
+
+fn alter(
+    cluster: &Cluster,
+    stats: &Arc<Stats>,
+    pool: &crate::pool::SegmentPool,
+    site: &SiteCheck,
+    edges: &str,
+    labels: &str,
+) -> DbResult<(CcReport, u64, u64)> {
+    let eparts = read_pairs(cluster, edges)?;
+    let n = eparts.len().max(1);
+    let rows_in: u64 = eparts.iter().map(|(a, _)| a.len() as u64).sum();
+    let lparts = build_label_parts(cluster, pool, site, labels)?;
+    if lparts.len() != n {
+        return Err(DbError::Exec(format!(
+            "native cc: partition counts differ ({} edge, {} label)",
+            n,
+            lparts.len()
+        )));
+    }
+
+    // Pass 1: resolve the smaller endpoint's label locally (edges are
+    // distributed on it, co-located with its label row) and route the
+    // half-relabelled edge to the larger endpoint's partition.
+    let s = site.clone();
+    let shared = lparts.clone();
+    let items: Vec<_> = eparts.into_iter().enumerate().collect();
+    let routed = pool.run_parts_labeled("native_cc", items, move |seg, (part, (lo, hi))| {
+        s.check(seg)?;
+        let lp = &shared[part];
+        let mut buck: Vec<Vec<(i64, i64)>> = (0..n).map(|_| Vec::new()).collect();
+        for (&l, &h) in lo.iter().zip(&hi) {
+            buck[part_of(h, n as u64)].push((h, lp.label_of(l)?));
+        }
+        Ok(buck)
+    })?;
+    let half = exchange(routed, n, stats);
+
+    // Pass 2: resolve the larger endpoint's label, drop loops, locally
+    // dedup, and route the rewritten edge to its new home partition.
+    let s = site.clone();
+    let shared = lparts.clone();
+    let items: Vec<_> = half.into_iter().enumerate().collect();
+    let routed = pool.run_parts_labeled("native_cc", items, move |seg, (part, rows)| {
+        s.check(seg)?;
+        let lp = &shared[part];
+        let mut seen = DistinctPairs::for_rows(rows.len());
+        let mut buck: Vec<Vec<(i64, i64)>> = (0..n).map(|_| Vec::new()).collect();
+        for (h, ra) in rows {
+            let rb = lp.label_of(h)?;
+            if ra == rb {
+                continue;
+            }
+            let (lo2, hi2) = (ra.min(rb), ra.max(rb));
+            if seen.filter(&[lo2], None, &[hi2], None).len() == 1 {
+                buck[part_of(lo2, n as u64)].push((lo2, hi2));
+            }
+        }
+        Ok(buck)
+    })?;
+    let rewritten = exchange(routed, n, stats);
+
+    // Pass 3: global dedup per destination partition.
+    let s = site.clone();
+    let items: Vec<_> = rewritten.into_iter().enumerate().collect();
+    let deduped = pool.run_parts_labeled("native_cc", items, move |seg, (_part, rows)| {
+        s.check(seg)?;
+        let mut seen = DistinctPairs::for_rows(rows.len());
+        let mut lo: Vec<i64> = Vec::new();
+        let mut hi: Vec<i64> = Vec::new();
+        for (a, b) in rows {
+            if seen.filter(&[a], None, &[b], None).len() == 1 {
+                lo.push(a);
+                hi.push(b);
+            }
+        }
+        Ok((lo, hi))
+    })?;
+    let rows_out: usize = deduped.iter().map(|(a, _)| a.len()).sum();
+    publish(cluster, stats, edges, deduped, "lo", "hi")?;
+    Ok((
+        CcReport { rows_out, changed: 0, sample: Vec::new(), src_verts: 0 },
+        rows_in,
+        4 * n as u64,
+    ))
+}
+
+fn census(
+    cluster: &Cluster,
+    pool: &crate::pool::SegmentPool,
+    site: &SiteCheck,
+    input: &str,
+    per_part: usize,
+) -> DbResult<(CcReport, u64, u64)> {
+    let parts = read_pairs(cluster, input)?;
+    let n = parts.len().max(1);
+    let rows_in: u64 = parts.iter().map(|(a, _)| a.len() as u64).sum();
+    let cap = per_part.max(1);
+    let s = site.clone();
+    let sampled = pool.run_parts_labeled("native_cc", parts, move |seg, (a, b)| {
+        s.check(seg)?;
+        let stride = a.len().div_ceil(cap).max(1);
+        let picked: Vec<(i64, i64)> = a
+            .iter()
+            .zip(&b)
+            .step_by(stride)
+            .take(cap)
+            .map(|(&x, &y)| (x, y))
+            .collect();
+        // Exact distinct sources: rows are placed by hash(v1), so each
+        // distinct v1 value lives in exactly one partition and the
+        // per-partition counts sum to the global count.
+        let mut set = DistinctInts::for_rows(a.len());
+        let srcs = set.filter(&a, None).len();
+        Ok((picked, srcs))
+    })?;
+    let mut sample: Vec<(i64, i64)> = Vec::new();
+    let mut src_verts = 0usize;
+    for (picked, srcs) in sampled {
+        sample.extend(picked);
+        src_verts += srcs;
+    }
+    Ok((
+        CcReport { rows_out: sample.len(), changed: rows_in as usize, sample, src_verts },
+        rows_in,
+        n as u64,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::exec::hash_datum;
+    use crate::value::Datum;
+
+    #[test]
+    fn placement_hash_matches_storage() {
+        for v in [0i64, 1, -7, 42, i64::MAX, i64::MIN] {
+            for n in [1u64, 2, 8, 13] {
+                assert_eq!(part_of(v, n) as u64, hash_datum(&Datum::Int(v)) % n);
+            }
+        }
+    }
+
+    fn run(cluster: &Arc<Cluster>, op: &CcOp<'_>) -> CcReport {
+        cluster.native_cc(op).unwrap()
+    }
+
+    /// Drives the full primitive cycle by hand over a small graph and
+    /// checks labels converge to per-component minima.
+    #[test]
+    fn primitive_cycle_converges() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig { segments: 4, ..Default::default() }));
+        // Components {1,2,3,4}, {10,11}, {20} (isolated via loop).
+        cluster
+            .load_pairs(
+                "g",
+                "v1",
+                "v2",
+                &[(3, 4), (1, 2), (2, 3), (10, 11), (20, 20), (2, 1), (4, 4)],
+            )
+            .unwrap();
+        let init = run(
+            &cluster,
+            &CcOp::Init { input: "g", edges: "e", labels: "l", seed_connect: false },
+        );
+        assert_eq!(init.rows_out, 4, "deduped loop-free edges");
+        assert_eq!(cluster.row_count("l").unwrap(), 7);
+        let mut edge_rows = init.rows_out;
+        let mut rounds = 0;
+        while edge_rows > 0 {
+            rounds += 1;
+            assert!(rounds < 16, "did not converge");
+            run(&cluster, &CcOp::Connect { edges: "e", labels: "l" });
+            while run(&cluster, &CcOp::Shortcut { labels: "l" }).changed > 0 {}
+            edge_rows = run(&cluster, &CcOp::Alter { edges: "e", labels: "l" }).rows_out;
+        }
+        while run(&cluster, &CcOp::Shortcut { labels: "l" }).changed > 0 {}
+        let mut labels: Vec<(i64, i64)> = cluster.scan_pairs("l").unwrap();
+        labels.sort_unstable();
+        assert_eq!(
+            labels,
+            vec![(1, 1), (2, 1), (3, 1), (4, 1), (10, 10), (11, 10), (20, 20)]
+        );
+    }
+
+    #[test]
+    fn seeded_init_matches_plain_init_plus_connect() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig { segments: 4, ..Default::default() }));
+        let pairs: Vec<(i64, i64)> = (0..40).map(|i| (i, (i * 7 + 3) % 40)).collect();
+        cluster.load_pairs("g", "v1", "v2", &pairs).unwrap();
+        run(&cluster, &CcOp::Init { input: "g", edges: "e1", labels: "l1", seed_connect: false });
+        run(&cluster, &CcOp::Connect { edges: "e1", labels: "l1" });
+        run(&cluster, &CcOp::Init { input: "g", edges: "e2", labels: "l2", seed_connect: true });
+        let mut a = cluster.scan_pairs("l1").unwrap();
+        let mut b = cluster.scan_pairs("l2").unwrap();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(
+            cluster.scan_pairs("e1").unwrap().len(),
+            cluster.scan_pairs("e2").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn census_samples_are_bounded_and_deterministic() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig { segments: 4, ..Default::default() }));
+        let pairs: Vec<(i64, i64)> = (0..500).map(|i| (i, i + 1)).collect();
+        cluster.load_pairs("g", "v1", "v2", &pairs).unwrap();
+        let a = run(&cluster, &CcOp::Census { input: "g", per_part: 16 });
+        let b = run(&cluster, &CcOp::Census { input: "g", per_part: 16 });
+        assert_eq!(a.changed, 500, "total edge rows travel in `changed`");
+        assert!(a.rows_out <= 64 && a.rows_out > 0);
+        assert_eq!(a.sample, b.sample);
+        assert_eq!(a.src_verts, 500, "distinct sources counted exactly");
+    }
+
+    #[test]
+    fn null_input_is_rejected() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig { segments: 2, ..Default::default() }));
+        cluster.run("create table g (v1 bigint, v2 bigint)").unwrap();
+        cluster.run("insert into g values (1, null)").unwrap();
+        let err = cluster
+            .native_cc(&CcOp::Init { input: "g", edges: "e", labels: "l", seed_connect: false })
+            .unwrap_err();
+        assert!(matches!(err, DbError::Exec(_)), "{err:?}");
+    }
+}

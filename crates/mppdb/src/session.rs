@@ -506,6 +506,52 @@ impl Session {
             .drop_table_with(&self.core.stats, &self.core.resolve(&self.cluster, name))
     }
 
+    /// Runs one engine-native CC primitive (see [`crate::native`])
+    /// with this session's name resolution, stat attribution, cancel
+    /// flag and statement timeout. Relations a primitive *creates*
+    /// land in the session namespace; ones it reads or replaces
+    /// resolve through it — mirroring the SQL rewriting rules.
+    pub fn native_cc(&self, op: &crate::native::CcOp<'_>) -> DbResult<crate::native::CcReport> {
+        use crate::native::CcOp;
+        let guard = crate::QueryGuard {
+            cancel: Some(self.core.interrupt_handle()),
+            deadline: self.core.timeout().map(|t| std::time::Instant::now() + t),
+        };
+        let resolve = |name: &str| self.core.resolve(&self.cluster, name);
+        let resolved = match op {
+            CcOp::Init { input, edges, labels, seed_connect } => (
+                resolve(input),
+                self.core.create_name(edges),
+                self.core.create_name(labels),
+                *seed_connect,
+            ),
+            CcOp::Connect { edges, labels } => {
+                (resolve(edges), resolve(labels), String::new(), false)
+            }
+            CcOp::Shortcut { labels } => (resolve(labels), String::new(), String::new(), false),
+            CcOp::Alter { edges, labels } => {
+                (resolve(edges), resolve(labels), String::new(), false)
+            }
+            CcOp::Census { input, per_part } => {
+                let op = CcOp::Census { input: &resolve(input), per_part: *per_part };
+                return crate::native::run_native_cc(&self.cluster, &self.core.stats, guard, &op);
+            }
+        };
+        let op = match op {
+            CcOp::Init { .. } => CcOp::Init {
+                input: &resolved.0,
+                edges: &resolved.1,
+                labels: &resolved.2,
+                seed_connect: resolved.3,
+            },
+            CcOp::Connect { .. } => CcOp::Connect { edges: &resolved.0, labels: &resolved.1 },
+            CcOp::Shortcut { .. } => CcOp::Shortcut { labels: &resolved.0 },
+            CcOp::Alter { .. } => CcOp::Alter { edges: &resolved.0, labels: &resolved.1 },
+            CcOp::Census { .. } => unreachable!("handled above"),
+        };
+        crate::native::run_native_cc(&self.cluster, &self.core.stats, guard, &op)
+    }
+
     /// Renames a table: the source resolves through the session
     /// namespace, the target is created in it.
     pub fn rename_table(&self, from: &str, to: &str) -> DbResult<()> {

@@ -71,11 +71,14 @@ pub enum OpKind {
     Distinct = 5,
     /// Bag union.
     UnionAll = 6,
+    /// Engine-native connected-components primitive (connect /
+    /// shortcut / alter / census) — no SQL statement behind it.
+    NativeCc = 7,
 }
 
 impl OpKind {
     /// Number of operator families.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All kinds, in cell order.
     pub const ALL: [OpKind; OpKind::COUNT] = [
@@ -86,6 +89,7 @@ impl OpKind {
         OpKind::Join,
         OpKind::Distinct,
         OpKind::UnionAll,
+        OpKind::NativeCc,
     ];
 
     /// Stable lowercase name, used in EXPLAIN ANALYZE-style reports.
@@ -98,6 +102,7 @@ impl OpKind {
             OpKind::Join => "join",
             OpKind::Distinct => "distinct",
             OpKind::UnionAll => "union_all",
+            OpKind::NativeCc => "native_cc",
         }
     }
 }

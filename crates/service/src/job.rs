@@ -11,15 +11,16 @@ use incc_core::bfs::BfsStrategy;
 use incc_core::cracker::Cracker;
 use incc_core::hash_to_min::HashToMin;
 use incc_core::two_phase::TwoPhase;
-use incc_core::{CcAlgorithm, RandomisedContraction, RoundReport};
+use incc_core::{AdaptiveDriver, CcAlgorithm, LiuTarjan, RandomisedContraction, RoundReport};
 use incc_mppdb::{ErrorClass, QueryProfile, StatsSnapshot};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-/// Which CC algorithm a job runs. All five of the repo's algorithms
-/// are reachable from the service so a client can reproduce the
-/// paper's comparison workload concurrently.
+/// Which CC algorithm a job runs. All of the repo's algorithms are
+/// reachable from the service so a client can reproduce the paper's
+/// comparison workload concurrently — including the engine-native
+/// Liu–Tarjan rounds and the census-driven adaptive driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlgoKind {
     /// Randomised Contraction (the paper's algorithm, default config).
@@ -32,6 +33,10 @@ pub enum AlgoKind {
     Cracker,
     /// Naive min-propagation (MADlib / paper Section IV).
     Bfs,
+    /// Liu–Tarjan over the engine's native CC primitives (no SQL).
+    LiuTarjan,
+    /// Census-driven adaptive selection across the algorithms above.
+    Adaptive,
 }
 
 impl AlgoKind {
@@ -43,6 +48,8 @@ impl AlgoKind {
             "tp" | "twophase" | "two_phase" => Some(AlgoKind::TwoPhase),
             "cr" | "cracker" => Some(AlgoKind::Cracker),
             "bfs" => Some(AlgoKind::Bfs),
+            "lt" | "liutarjan" | "liu_tarjan" => Some(AlgoKind::LiuTarjan),
+            "adaptive" | "auto" | "ad" => Some(AlgoKind::Adaptive),
             _ => None,
         }
     }
@@ -55,6 +62,8 @@ impl AlgoKind {
             AlgoKind::TwoPhase => "tp",
             AlgoKind::Cracker => "cr",
             AlgoKind::Bfs => "bfs",
+            AlgoKind::LiuTarjan => "liu_tarjan",
+            AlgoKind::Adaptive => "adaptive",
         }
     }
 
@@ -66,6 +75,8 @@ impl AlgoKind {
             AlgoKind::TwoPhase => Box::new(TwoPhase::default()),
             AlgoKind::Cracker => Box::new(Cracker::default()),
             AlgoKind::Bfs => Box::new(BfsStrategy::default()),
+            AlgoKind::LiuTarjan => Box::new(LiuTarjan::default()),
+            AlgoKind::Adaptive => Box::new(AdaptiveDriver::default()),
         }
     }
 }
@@ -140,6 +151,10 @@ pub struct JobResult {
     /// Per-statement query profiles, captured only when
     /// [`JobSpec::profile`] was set (most recent 256 statements).
     pub profiles: Vec<Arc<QueryProfile>>,
+    /// The adaptive driver's decision record (which algorithm it
+    /// picked and why, including any mid-run switch); `None` for
+    /// fixed-algorithm jobs.
+    pub decision: Option<String>,
 }
 
 /// Shared mutable state of one job. The service's registry, the
@@ -330,8 +345,18 @@ mod tests {
         assert_eq!(AlgoKind::parse("tp"), Some(AlgoKind::TwoPhase));
         assert_eq!(AlgoKind::parse("cracker"), Some(AlgoKind::Cracker));
         assert_eq!(AlgoKind::parse("bfs"), Some(AlgoKind::Bfs));
+        assert_eq!(AlgoKind::parse("lt"), Some(AlgoKind::LiuTarjan));
+        assert_eq!(AlgoKind::parse("liu_tarjan"), Some(AlgoKind::LiuTarjan));
+        assert_eq!(AlgoKind::parse("adaptive"), Some(AlgoKind::Adaptive));
+        assert_eq!(AlgoKind::parse("AUTO"), Some(AlgoKind::Adaptive));
         assert_eq!(AlgoKind::parse("dijkstra"), None);
-        for k in [AlgoKind::Rc, AlgoKind::HashToMin, AlgoKind::TwoPhase] {
+        for k in [
+            AlgoKind::Rc,
+            AlgoKind::HashToMin,
+            AlgoKind::TwoPhase,
+            AlgoKind::LiuTarjan,
+            AlgoKind::Adaptive,
+        ] {
             assert_eq!(AlgoKind::parse(k.as_str()), Some(k));
         }
     }

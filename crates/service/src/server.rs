@@ -221,7 +221,7 @@ fn execute_command(
         }
         ("job", [algo, table, rest @ ..]) => {
             let Some(algo) = AlgoKind::parse(algo) else {
-                writeln!(w, "ERR unknown algorithm (rc|hm|tp|cr|bfs)")?;
+                writeln!(w, "ERR unknown algorithm (rc|hm|tp|cr|bfs|lt|adaptive)")?;
                 return Ok(false);
             };
             // A trailing literal `profile` turns on per-statement
@@ -646,7 +646,15 @@ fn job_profile_json(id: u64, spec: &JobSpec, result: &JobResult) -> String {
         }
         out.push_str(&p.to_json());
     }
-    out.push_str("]}");
+    out.push(']');
+    if let Some(d) = &result.decision {
+        let _ = write!(
+            out,
+            ", \"decision\": \"{}\"",
+            d.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out.push('}');
     out
 }
 

@@ -303,6 +303,34 @@ impl SqlEngine for GatedEngine<'_> {
     fn note_retry(&self, backoff: Duration) {
         self.inner.note_retry(backoff)
     }
+
+    fn native_cc(&self, op: &incc_mppdb::CcOp<'_>) -> DbResult<incc_mppdb::CcReport> {
+        // Native primitives are whole-relation passes, the moral
+        // equivalent of one statement: same retry wrap, same Batch
+        // gate class, so a native round cannot starve interactive SQL.
+        self.retry.run(
+            self.salt,
+            |pause| {
+                if let Some(t) = &self.trace {
+                    t.record(
+                        SpanKind::RetryBackoff,
+                        "backoff",
+                        t.now_ns(),
+                        pause.as_nanos() as u64,
+                        0,
+                    );
+                }
+                self.inner.note_retry(pause)
+            },
+            || {
+                let _permit = {
+                    let _wait = maybe_start(&self.trace, SpanKind::AdmissionWait, "gate");
+                    self.gate.acquire(GateClass::Batch)
+                };
+                self.inner.native_cc(op)
+            },
+        )
+    }
 }
 
 /// A concurrent multi-session query service over one [`Cluster`].
@@ -347,6 +375,10 @@ pub struct Service {
     /// Per-stream component-label lookup cache, versioned by label
     /// epoch (see [`crate::labels`]).
     label_cache: LabelCache,
+    /// Jobs executed per chosen algorithm (adaptive jobs resolve to
+    /// the algorithm the census actually picked) — the
+    /// `incc_algo_choice_total` metric family.
+    algo_choices: Arc<Mutex<std::collections::BTreeMap<String, u64>>>,
 }
 
 impl Service {
@@ -372,6 +404,7 @@ impl Service {
             traces: Arc::new(TraceRegistry::new(TRACE_RING)),
             slowlog,
             label_cache: LabelCache::new(),
+            algo_choices: Arc::new(Mutex::new(std::collections::BTreeMap::new())),
         })
     }
 
@@ -447,6 +480,18 @@ impl Service {
     /// after ring eviction).
     pub fn slowlog_total(&self) -> u64 {
         self.slowlog.total()
+    }
+
+    /// Jobs executed per chosen algorithm (protocol spellings), sorted
+    /// by name — adaptive jobs count under the algorithm their census
+    /// decision resolved to. The `incc_algo_choice_total` family.
+    pub fn algo_choice_counts(&self) -> Vec<(String, u64)> {
+        self.algo_choices
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
     }
 
     /// Statements currently blocked on the concurrency gate.
@@ -544,6 +589,7 @@ impl Service {
         // the discard callback fails the job deterministically instead
         // of leaving it Queued forever.
         let discard_state = state.clone();
+        let choices = self.algo_choices.clone();
         let submitted = self.lane.submit(
             Box::new(move || {
                 execute_job(
@@ -556,6 +602,16 @@ impl Service {
                     &traces,
                     &slowlog,
                 );
+                // Count the algorithm that actually ran: for adaptive
+                // jobs, the one the census decision picked (or switched
+                // to); for fixed jobs, the spec's own algorithm.
+                let handle = JobHandle { state: task_state.clone() };
+                let decision = handle.result().and_then(|r| r.decision.clone());
+                let label = decision
+                    .as_deref()
+                    .and_then(picked_from_decision)
+                    .unwrap_or_else(|| task_state.spec().algo.as_str().to_string());
+                *choices.lock().unwrap().entry(label).or_insert(0) += 1;
             }),
             Some(Box::new(move || {
                 discard_state.finish_failed(
@@ -886,6 +942,19 @@ impl Service {
             ("failed", failed),
         ] {
             let _ = writeln!(out, "incc_jobs{{state=\"{state}\"}} {n}");
+        }
+        // Jobs executed per chosen algorithm; adaptive jobs resolve to
+        // the algorithm the census decision picked (or switched to).
+        let choices = self.algo_choices.lock().unwrap().clone();
+        if !choices.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP incc_algo_choice_total Jobs executed per chosen algorithm."
+            );
+            let _ = writeln!(out, "# TYPE incc_algo_choice_total counter");
+            for (algo, n) in &choices {
+                let _ = writeln!(out, "incc_algo_choice_total{{algo=\"{algo}\"}} {n}");
+            }
         }
         // Per-stream incremental-CC families, labelled by stream name.
         let streams = self.stream_statuses();
@@ -1258,6 +1327,29 @@ fn seal_trace(
     });
 }
 
+/// Resolves an adaptive decision record ("picked LT (…)", possibly
+/// "… switched to RC after round 1 …") to the protocol spelling of the
+/// algorithm that finished the job.
+fn picked_from_decision(decision: &str) -> Option<String> {
+    let display = decision
+        .split("switched to ")
+        .nth(1)
+        .or_else(|| decision.strip_prefix("picked "))?
+        .split_whitespace()
+        .next()?;
+    Some(
+        match display {
+            "RC" => "rc",
+            "HM" => "hm",
+            "TP" => "tp",
+            "CR" => "cr",
+            "LT" => "liu_tarjan",
+            other => return Some(other.to_ascii_lowercase()),
+        }
+        .to_string(),
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn execute_job(
     cluster: &Arc<Cluster>,
@@ -1335,6 +1427,7 @@ fn execute_job(
                     stats,
                     round_reports: recorder.take(),
                     profiles: session.take_profiles(),
+                    decision: algo.last_decision(),
                 })
             }
             Err(e) => Err((e.class(), e.to_string())),
@@ -1443,6 +1536,7 @@ fn execute_stream_rebuild(
                         stats,
                         round_reports: recorder.take(),
                         profiles: session.take_profiles(),
+                        decision: None,
                     })
                 }
                 Err(e) => Err((e.class(), e.to_string())),
@@ -1502,6 +1596,101 @@ mod tests {
         // input remains, and its space is the only live space.
         assert_eq!(service.cluster().table_names(), vec!["edges".to_string()]);
         service.shutdown();
+    }
+
+    /// The choice counter is bumped by the lane task *after* the job's
+    /// terminal state publishes, so tests poll briefly.
+    fn wait_for_choices(service: &Service, n: u64) -> Vec<(String, u64)> {
+        for _ in 0..200 {
+            let counts = service.algo_choice_counts();
+            if counts.iter().map(|(_, c)| c).sum::<u64>() >= n {
+                return counts;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        service.algo_choice_counts()
+    }
+
+    #[test]
+    fn native_liu_tarjan_job_runs_without_sql() {
+        let service = Service::start(ServiceConfig::default());
+        let pairs = vec![(1, 2), (2, 3), (3, 1), (4, 5), (9, 9)];
+        load_edges(&service, "edges", &pairs);
+        let job = service
+            .submit(JobSpec {
+                algo: AlgoKind::LiuTarjan,
+                input: "edges".into(),
+                seed: 3,
+                profile: false,
+            })
+            .unwrap();
+        assert_eq!(job.wait(), JobStatus::Done);
+        let result = job.result().unwrap();
+        let labels: std::collections::HashMap<u64, u64> = result
+            .labels
+            .iter()
+            .map(|&(v, r)| (v as u64, r as u64))
+            .collect();
+        let g = EdgeList::from_pairs(pairs.iter().map(|&(a, b)| (a as u64, b as u64)).collect());
+        assert!(labellings_equivalent(&labels, &connected_components(&g.edges)));
+        assert_eq!(result.stats.queries, 0, "native job ran no SQL");
+        assert!(result.round_reports.iter().all(|r| r.statements == 0));
+        let counts = wait_for_choices(&service, 1);
+        assert_eq!(counts, vec![("liu_tarjan".to_string(), 1)]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn adaptive_job_records_decision_and_choice_metric() {
+        let service = Service::start(ServiceConfig::default());
+        // A dense little clique (plus an isolated-vertex loop): the
+        // census sees edges/src well above the dense threshold, so the
+        // driver must pick native Liu–Tarjan.
+        let mut pairs: Vec<(i64, i64)> = Vec::new();
+        for a in 1..=6i64 {
+            for b in (a + 1)..=6 {
+                pairs.push((a, b));
+            }
+        }
+        pairs.push((9, 9));
+        load_edges(&service, "edges", &pairs);
+        let job = service
+            .submit(JobSpec {
+                algo: AlgoKind::Adaptive,
+                input: "edges".into(),
+                seed: 5,
+                profile: false,
+            })
+            .unwrap();
+        assert_eq!(job.wait(), JobStatus::Done);
+        let result = job.result().unwrap();
+        let labels: std::collections::HashMap<u64, u64> = result
+            .labels
+            .iter()
+            .map(|&(v, r)| (v as u64, r as u64))
+            .collect();
+        let g = EdgeList::from_pairs(pairs.iter().map(|&(a, b)| (a as u64, b as u64)).collect());
+        assert!(labellings_equivalent(&labels, &connected_components(&g.edges)));
+        let decision = result.decision.clone().expect("adaptive records a decision");
+        assert!(decision.starts_with("picked LT"), "{decision}");
+        let counts = wait_for_choices(&service, 1);
+        assert_eq!(counts, vec![("liu_tarjan".to_string(), 1)]);
+        let metrics = service.metrics_text();
+        assert!(
+            metrics.contains("incc_algo_choice_total{algo=\"liu_tarjan\"} 1"),
+            "{metrics}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn decision_parsing_resolves_switches() {
+        assert_eq!(picked_from_decision("picked LT (native)"), Some("liu_tarjan".into()));
+        assert_eq!(
+            picked_from_decision("picked TP (x); switched to RC after round 1 (y)"),
+            Some("rc".into())
+        );
+        assert_eq!(picked_from_decision("no such prefix"), None);
     }
 
     #[test]

@@ -9,6 +9,7 @@ trip here means a real regression, not scheduler noise.
 
 Usage: bench_gate.py <engine_bench_json> [threshold] [name=threshold ...]
        bench_gate.py --service <service_json> [max_ratio]
+       bench_gate.py --adaptive <suite_json> [max_ratio]
 
 Trailing ``name=threshold`` pairs override the default threshold for
 individual kernels — e.g. ``rc_end_to_end=1.05`` holds the end-to-end
@@ -19,10 +20,105 @@ The ``--service`` form gates the service-layer tail instead: it reads
 --bench service``) and fails when p95 latency at the highest session
 count exceeds ``max_ratio`` (default 4.0) times the single-session
 p95 — the fairness bound the statement scheduler is meant to hold.
+
+The ``--adaptive`` form gates algorithm selection: it reads a suite
+cell array (``results/adaptive_smoke.json`` in CI, or the full
+``results/table3_suite.json``) and fails any dataset where the
+adaptive driver's median runtime exceeds ``max_ratio`` (default
+1.05) times the best *finishing* fixed algorithm, plus a few
+milliseconds of absolute slack for timer granularity on the small
+smoke cells — the census must not cost more than ~5% over a
+clairvoyant pick. An adaptive DNF is an
+outright failure; fixed-algorithm DNF cells just drop out of the
+"best fixed" pool. Adaptive runs must also carry their decision
+record (``picked``), so a silent fallback to a default can't pass.
 """
 
 import json
 import sys
+
+ADAPTIVE_NAME = "AD"
+
+
+def adaptive_gate(path: str, max_ratio: float) -> int:
+    with open(path) as f:
+        cells = json.load(f)
+
+    # Absolute slack on top of the relative gate. Smoke cells run in
+    # tens of milliseconds, where scheduler-quantum jitter has a fixed
+    # floor of a few ms that no relative margin can resolve; a wrong
+    # algorithm pick costs 30%+ (tens of ms on every smoke dataset),
+    # so 5 ms of slack absorbs timer granularity without masking a
+    # genuine mis-selection.
+    abs_slack = 0.005
+
+    # Median-of-runs, not mean or min: per-run scheduler jitter on CI
+    # machines reaches +/-30%, so the mean chases spikes and the min
+    # compares extreme order statistics; the median is the estimator
+    # whose ratio is stable enough to hold a 5% margin against.
+    def typ_secs(cell: dict) -> float | None:
+        runs = cell.get("runs") or []
+        if cell.get("dnf") or not runs:
+            return None
+        secs = sorted(r["secs"] for r in runs)
+        n = len(secs)
+        mid = secs[n // 2] if n % 2 else (secs[n // 2 - 1] + secs[n // 2]) / 2
+        return mid
+
+    datasets: list[str] = []
+    for c in cells:
+        if c["dataset"] not in datasets:
+            datasets.append(c["dataset"])
+
+    failures = 0
+    checked = 0
+    for ds in datasets:
+        ds_cells = [c for c in cells if c["dataset"] == ds]
+        adaptive = next((c for c in ds_cells if c["algorithm"] == ADAPTIVE_NAME), None)
+        if adaptive is None:
+            print(f"adaptive gate: {ds}: no {ADAPTIVE_NAME} cell in {path}")
+            failures += 1
+            continue
+        a_typ = typ_secs(adaptive)
+        if a_typ is None:
+            print(f"adaptive gate: {ds}: adaptive did not finish ({adaptive.get('dnf')})")
+            failures += 1
+            continue
+        if not all(r.get("picked") for r in adaptive["runs"]):
+            print(f"adaptive gate: {ds}: adaptive run lacks a decision record")
+            failures += 1
+            continue
+        fixed = [
+            (c["algorithm"], m)
+            for c in ds_cells
+            if c["algorithm"] != ADAPTIVE_NAME and (m := typ_secs(c)) is not None
+        ]
+        if not fixed:
+            # Every fixed algorithm DNF'd; finishing at all is a win.
+            print(f"adaptive gate: {ds}: adaptive {a_typ:.3f}s, all fixed algorithms DNF")
+            checked += 1
+            continue
+        best_name, best = min(fixed, key=lambda kv: kv[1])
+        ratio = a_typ / best if best > 0 else 1.0
+        line = (
+            f"{ds}: adaptive {a_typ:.3f}s vs best fixed {best_name} {best:.3f}s "
+            f"({ratio:.3f}x, gate {max_ratio:.2f}x + {abs_slack * 1000:.0f}ms; "
+            f"picked {adaptive['runs'][0]['picked']!r})"
+        )
+        if a_typ > max_ratio * best + abs_slack:
+            print(f"adaptive selection regression: {line}")
+            failures += 1
+        else:
+            print(f"adaptive gate: {line}")
+            checked += 1
+
+    if failures:
+        return 1
+    if not checked:
+        print(f"adaptive gate: {path} has no datasets to check")
+        return 1
+    print(f"adaptive gate: {checked} dataset(s) within {max_ratio:.2f}x of the best fixed pick")
+    return 0
 
 
 def service_gate(path: str, max_ratio: float) -> int:
@@ -56,7 +152,8 @@ def main() -> int:
     if len(sys.argv) < 2:
         print(
             f"usage: {sys.argv[0]} <engine_bench_json> [threshold] [name=threshold ...]\n"
-            f"       {sys.argv[0]} --service <service_json> [max_ratio]"
+            f"       {sys.argv[0]} --service <service_json> [max_ratio]\n"
+            f"       {sys.argv[0]} --adaptive <suite_json> [max_ratio]"
         )
         return 2
     if sys.argv[1] == "--service":
@@ -64,6 +161,11 @@ def main() -> int:
             print(f"usage: {sys.argv[0]} --service <service_json> [max_ratio]")
             return 2
         return service_gate(sys.argv[2], float(sys.argv[3]) if len(sys.argv) > 3 else 4.0)
+    if sys.argv[1] == "--adaptive":
+        if len(sys.argv) < 3:
+            print(f"usage: {sys.argv[0]} --adaptive <suite_json> [max_ratio]")
+            return 2
+        return adaptive_gate(sys.argv[2], float(sys.argv[3]) if len(sys.argv) > 3 else 1.05)
     path = sys.argv[1]
     threshold = 1.25
     per_name: dict[str, float] = {}

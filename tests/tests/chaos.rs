@@ -1,7 +1,10 @@
-//! Chaos harness: all five CC algorithms must complete — with labels
+//! Chaos harness: every CC algorithm must complete — with labels
 //! byte-identical to a fault-free run — while the cluster injects
 //! deterministic operator faults (panics, transient errors, stalls)
-//! that the service's retry layer has to absorb.
+//! that the service's retry layer has to absorb. This includes the
+//! engine-native Liu–Tarjan rounds (faults fire inside the native
+//! partition closures) and the adaptive driver (whose census probe
+//! and decision must be deterministic under fault-induced retries).
 //!
 //! The fault plans are seeded and budgeted ([`FaultPlan::max_faults`]),
 //! so every schedule is reproducible and every run terminates: each
@@ -17,12 +20,14 @@ use incc_service::{AlgoKind, JobSpec, JobStatus, Service, ServiceConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
-const ALGOS: [AlgoKind; 5] = [
+const ALGOS: [AlgoKind; 7] = [
     AlgoKind::Rc,
     AlgoKind::HashToMin,
     AlgoKind::TwoPhase,
     AlgoKind::Cracker,
     AlgoKind::Bfs,
+    AlgoKind::LiuTarjan,
+    AlgoKind::Adaptive,
 ];
 
 /// Runs every algorithm as a service job on a cluster with the given

@@ -353,3 +353,48 @@ fn every_algorithm_emits_round_reports() {
         }
     }
 }
+
+/// Regression: a native round boundary must pin `statements` to 0 *and*
+/// consume any SQL delta accrued before it — `close_round` used to
+/// leave `last` untouched on the native path, so the next SQL round
+/// inherited stale statement counts.
+#[test]
+fn native_round_boundaries_pin_statements_and_consume_stale_deltas() {
+    let db = Cluster::new(ClusterConfig::default());
+    db.load_pairs("t", "k", "v", &[(1i64, 2i64), (2, 3)]).unwrap();
+    let stats_fn = || db.stats();
+    let recorder = incc_core::driver::RoundRecorder::new(&stats_fn);
+    // SQL runs before the native boundary: the native round must not
+    // report it, and the follow-up SQL round must not re-report it.
+    db.run("select count(*) as n from t").unwrap();
+    recorder.note_native(1, 10);
+    db.run("select count(*) as n from t").unwrap();
+    recorder.note(2, 5);
+    let reports = recorder.take();
+    assert_eq!(reports.len(), 2);
+    assert_eq!(reports[0].statements, 0, "native round must report zero statements");
+    assert_eq!(
+        reports[1].statements, 1,
+        "SQL round after a native boundary inherited a stale statement delta"
+    );
+}
+
+/// End-to-end form of the same regression: engine-native Liu–Tarjan
+/// emits a report per round through `RunControl::report_round_native`,
+/// and every one of them shows zero SQL statements.
+#[test]
+fn native_liu_tarjan_rounds_report_zero_statements() {
+    let db = Cluster::new(ClusterConfig::default());
+    let graph = gnm_random_graph(40, 50, 9);
+    let report = run_on_graph(&incc_core::LiuTarjan::default(), &db, &graph, 3).unwrap();
+    report.verify_against(&graph).unwrap();
+    assert!(!report.round_reports.is_empty(), "LT emitted no round reports");
+    for r in &report.round_reports {
+        assert_eq!(
+            r.statements, 0,
+            "native LT round {} charged {} SQL statements",
+            r.round, r.statements
+        );
+    }
+    assert_eq!(report.stats.queries, 0, "native LT ran SQL statements");
+}
